@@ -1,0 +1,217 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation. Each benchmark runs the full experiment and reports the
+// headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// doubles as the reproduction harness: the values these benchmarks
+// report are the ones recorded in EXPERIMENTS.md. Heavy experiments
+// take seconds per iteration; the testing package then runs them a
+// single time.
+package finwl_test
+
+import (
+	"testing"
+
+	"finwl/internal/experiments"
+)
+
+// run executes an experiment once per benchmark iteration and reports
+// headline metrics extracted from the table by pick.
+func run(b *testing.B, id string, pick func(*experiments.Table) map[string]float64) {
+	b.Helper()
+	runner, ok := experiments.Registry[id]
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	var last *experiments.Table
+	for i := 0; i < b.N; i++ {
+		t, err := runner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	if pick != nil {
+		for name, v := range pick(last) {
+			b.ReportMetric(v, name)
+		}
+	}
+}
+
+// lastEpochRatio reports how much the final (draining) epoch of the
+// last series exceeds the plateau of the first series.
+func lastEpochRatio(t *experiments.Table) map[string]float64 {
+	exp := t.Series[0].Y
+	worst := t.Series[len(t.Series)-1].Y
+	mid := exp[len(exp)/2]
+	return map[string]float64{
+		"plateau_exp":   mid,
+		"plateau_worst": worst[len(worst)/2],
+		"drain_last":    worst[len(worst)-1],
+	}
+}
+
+func BenchmarkFig03(b *testing.B) { run(b, "fig3", lastEpochRatio) }
+func BenchmarkFig04(b *testing.B) { run(b, "fig4", lastEpochRatio) }
+
+func BenchmarkFig05(b *testing.B) {
+	run(b, "fig5", func(t *experiments.Table) map[string]float64 {
+		c := t.Series[0].Y
+		return map[string]float64{
+			"tss_cv1":   c[0],
+			"tss_cv100": c[len(c)-1],
+			"tss_flat":  t.Series[1].Y[0],
+		}
+	})
+}
+
+// errAt picks the prediction error at the lowest and highest C² of
+// the last (largest N) series.
+func errAt(t *experiments.Table) map[string]float64 {
+	s := t.Series[len(t.Series)-1].Y
+	return map[string]float64{
+		"errpct_cv10": s[2], // C² = 10 in the sweep grids
+		"errpct_max":  s[len(s)-1],
+	}
+}
+
+func BenchmarkFig06(b *testing.B) { run(b, "fig6", errAt) }
+func BenchmarkFig07(b *testing.B) { run(b, "fig7", errAt) }
+
+// speedupEnds reports first/last speedups of every series boundary.
+func speedupEnds(t *experiments.Table) map[string]float64 {
+	first := t.Series[0].Y
+	last := t.Series[len(t.Series)-1].Y
+	return map[string]float64{
+		"sp_first_lo": first[0],
+		"sp_first_hi": first[len(first)-1],
+		"sp_last_lo":  last[0],
+		"sp_last_hi":  last[len(last)-1],
+	}
+}
+
+func BenchmarkFig08(b *testing.B) { run(b, "fig8", speedupEnds) }
+func BenchmarkFig09(b *testing.B) { run(b, "fig9", speedupEnds) }
+func BenchmarkFig10(b *testing.B) { run(b, "fig10", lastEpochRatio) }
+func BenchmarkFig11(b *testing.B) { run(b, "fig11", lastEpochRatio) }
+func BenchmarkFig12(b *testing.B) { run(b, "fig12", errAt) }
+func BenchmarkFig13(b *testing.B) { run(b, "fig13", errAt) }
+func BenchmarkFig14(b *testing.B) { run(b, "fig14", speedupEnds) }
+func BenchmarkFig15(b *testing.B) { run(b, "fig15", speedupEnds) }
+
+func BenchmarkSteadyStateVsPF(b *testing.B) {
+	run(b, "tbl-ss", func(t *experiments.Table) map[string]float64 {
+		n := len(t.X) - 1
+		return map[string]float64{
+			"tss_exp_K8": t.Series[0].Y[n],
+			"pf_exp_K8":  t.Series[1].Y[n],
+			"h2_gap_pct": t.Series[3].Y[n],
+		}
+	})
+}
+
+func BenchmarkApproxVsExact(b *testing.B) {
+	run(b, "tbl-approx", func(t *experiments.Table) map[string]float64 {
+		e := t.Series[2].Y
+		return map[string]float64{
+			"apxerr_N5":   e[0],
+			"apxerr_N400": e[len(e)-1],
+		}
+	})
+}
+
+func BenchmarkSimValidation(b *testing.B) {
+	run(b, "tbl-sim", func(t *experiments.Table) map[string]float64 {
+		out := map[string]float64{}
+		for i := range t.X {
+			out["gap_ci_units"] = maxf(out["gap_ci_units"],
+				abs(t.Series[0].Y[i]-t.Series[1].Y[i])/t.Series[2].Y[i])
+		}
+		return out
+	})
+}
+
+func BenchmarkCompletionPercentiles(b *testing.B) {
+	run(b, "tbl-dist", func(t *experiments.Table) map[string]float64 {
+		n := len(t.X) - 1
+		return map[string]float64{
+			"mean_hiCV": t.Series[0].Y[n],
+			"p99_hiCV":  t.Series[3].Y[n],
+		}
+	})
+}
+
+func BenchmarkMultitask(b *testing.B) {
+	run(b, "tbl-multi", func(t *experiments.Table) map[string]float64 {
+		sp := t.Series[1].Y
+		return map[string]float64{
+			"sp_degree1": sp[0],
+			"sp_degreeN": sp[len(sp)-1],
+		}
+	})
+}
+
+func BenchmarkSchedOverhead(b *testing.B) {
+	run(b, "tbl-sched", func(t *experiments.Table) map[string]float64 {
+		per, cen := t.Series[0].Y, t.Series[1].Y
+		n := len(per) - 1
+		return map[string]float64{
+			"et_pernode_max": per[n],
+			"et_central_max": cen[n],
+		}
+	})
+}
+
+func BenchmarkAvailability(b *testing.B) {
+	run(b, "tbl-avail", func(t *experiments.Table) map[string]float64 {
+		exact, naive := t.Series[0].Y, t.Series[1].Y
+		n := len(exact) - 1
+		return map[string]float64{
+			"et_exact_worst": exact[n],
+			"et_naive_worst": naive[n],
+		}
+	})
+}
+
+func BenchmarkBounds(b *testing.B) {
+	run(b, "tbl-bounds", func(t *experiments.Table) map[string]float64 {
+		n := len(t.X) - 1
+		return map[string]float64{
+			"x_pf_K8":        t.Series[2].Y[n],
+			"x_transient_K8": t.Series[5].Y[n],
+		}
+	})
+}
+
+func BenchmarkClassMix(b *testing.B) {
+	run(b, "tbl-mix", func(t *experiments.Table) map[string]float64 {
+		random, bf := t.Series[0].Y, t.Series[1].Y
+		mid := len(random) / 2
+		return map[string]float64{
+			"et_random_mid":     random[mid],
+			"et_batchfirst_mid": bf[mid],
+		}
+	})
+}
+
+func BenchmarkStateSpace(b *testing.B) {
+	run(b, "tbl-space", func(t *experiments.Table) map[string]float64 {
+		n := len(t.X) - 1
+		return map[string]float64{"reduction_K8": t.Series[2].Y[n]}
+	})
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,107 @@
+// Command finwl regenerates the paper's tables and figures from the
+// analytic model and prints them as text tables.
+//
+// Usage:
+//
+//	finwl -list             list experiment ids
+//	finwl -exp fig3         run one experiment
+//	finwl -exp all          run every experiment in paper order
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"time"
+
+	"finwl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list   = flag.Bool("list", false, "list available experiments")
+		format = flag.String("format", "text", "text | csv")
+		out    = flag.String("o", "", "write output to this file instead of stdout")
+	)
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "finwl:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *list {
+		for _, id := range experiments.Order {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "finwl: pass -exp <id> or -list")
+		os.Exit(2)
+	}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.Order
+	}
+	for _, id := range ids {
+		runner, ok := experiments.Registry[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "finwl: unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		start := time.Now()
+		table, err := runner()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finwl: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		var err2 error
+		if *format == "csv" {
+			err2 = renderCSV(w, table)
+		} else {
+			err2 = table.Render(w)
+		}
+		if err2 != nil {
+			fmt.Fprintf(os.Stderr, "finwl: %s: render: %v\n", id, err2)
+			os.Exit(1)
+		}
+		if *format == "text" {
+			fmt.Fprintf(w, "   (%s computed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}
+
+// renderCSV writes the table as id,x,<series...> rows with a header.
+func renderCSV(w io.Writer, t *experiments.Table) error {
+	header := "id," + t.XLabel
+	for _, s := range t.Series {
+		header += "," + s.Label
+	}
+	if _, err := fmt.Fprintln(w, header); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		row := t.ID + "," + strconv.FormatFloat(x, 'g', -1, 64)
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				row += "," + strconv.FormatFloat(s.Y[i], 'g', -1, 64)
+			} else {
+				row += ","
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

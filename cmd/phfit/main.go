@@ -1,0 +1,164 @@
+// Command phfit fits phase-type distributions and reports their LAQT
+// representation <p, B>, moments and distribution function — a
+// workbench for choosing the service laws fed into the cluster
+// models.
+//
+// Usage:
+//
+//	phfit -family h2 -mean 12 -cv2 10
+//	phfit -family erlang -mean 12 -stages 3
+//	phfit -family tpt -mean 12 -alpha 1.4 -stages 10
+//	phfit -family coxian -mean 12 -cv2 0.7
+//	phfit -family h2 -mean 12 -cv2 10 -f0 0.5     (pdf(0)-fit, §5.4.2)
+//	phfit -fit-csv trace.csv -branches 3          (EM fit from a trace)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finwl/internal/phase"
+	"finwl/internal/trace"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "h2", "exp | erlang | h2 | coxian | tpt")
+		mean   = flag.Float64("mean", 1, "target mean")
+		cv2    = flag.Float64("cv2", 2, "target squared coefficient of variation")
+		stages = flag.Int("stages", 2, "stage/branch count (erlang, tpt)")
+		alpha  = flag.Float64("alpha", 1.4, "tail exponent (tpt)")
+		f0     = flag.Float64("f0", 0, "pdf at 0 for the three-parameter H2 fit (0 = balanced means)")
+		grid   = flag.Int("grid", 8, "points of the distribution function to print")
+		fitCSV = flag.String("fit-csv", "", "EM-fit a hyperexponential to the one-column CSV trace in this file")
+		branch = flag.Int("branches", 2, "EM branches with -fit-csv")
+	)
+	flag.Parse()
+
+	if *fitCSV != "" {
+		fitFromTrace(*fitCSV, *branch, *grid)
+		return
+	}
+
+	var (
+		d   *phase.PH
+		err error
+	)
+	switch *family {
+	case "exp":
+		d = phase.ExpoMean(*mean)
+	case "erlang":
+		d = phase.ErlangMean(*stages, *mean)
+	case "h2":
+		if *f0 > 0 {
+			d, err = phase.HyperExpFitPDF0(*mean, *cv2, *f0)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "phfit:", err)
+				os.Exit(1)
+			}
+		} else {
+			d = phase.HyperExpFit(*mean, *cv2)
+		}
+	case "coxian":
+		d = phase.Coxian2(*mean, *cv2)
+	case "tpt":
+		d = phase.TPT(*stages, *alpha, *mean)
+	default:
+		fmt.Fprintf(os.Stderr, "phfit: unknown family %q\n", *family)
+		os.Exit(2)
+	}
+	if err := d.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "phfit: fit produced an invalid distribution:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(d)
+	fmt.Printf("  moments: E[T]=%.6g  E[T²]=%.6g  E[T³]=%.6g\n", d.Moment(1), d.Moment(2), d.Moment(3))
+	fmt.Printf("  Var=%.6g  C²=%.6g  pdf(0)=%.6g\n\n", d.Variance(), d.CV2(), d.PDF0())
+
+	fmt.Println("  entry vector p:", fmtVec(d.Alpha))
+	fmt.Println("  rates µ:       ", fmtVec(d.Rates))
+	fmt.Println("  B = M(I−P):")
+	fmt.Print(indent(d.B().String()))
+
+	fmt.Println("\n  t, F(t), R(t):")
+	for i := 1; i <= *grid; i++ {
+		t := d.Mean() * float64(i) / 2
+		fmt.Printf("  %8.4g  %8.6f  %8.6f\n", t, d.CDF(t), d.Reliability(t))
+	}
+}
+
+func fmtVec(v []float64) string {
+	out := "["
+	for i, x := range v {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%.6g", x)
+	}
+	return out + "]"
+}
+
+func indent(s string) string {
+	out := ""
+	for _, line := range splitLines(s) {
+		out += "    " + line + "\n"
+	}
+	return out
+}
+
+func splitLines(s string) []string {
+	var lines []string
+	cur := ""
+	for _, r := range s {
+		if r == '\n' {
+			lines = append(lines, cur)
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		lines = append(lines, cur)
+	}
+	return lines
+}
+
+// fitFromTrace EM-fits a hyperexponential to a CSV trace and reports
+// both the trace summary and the fitted law.
+func fitFromTrace(path string, branches, grid int) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phfit:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	samples, err := trace.ReadCSV(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phfit:", err)
+		os.Exit(1)
+	}
+	sum, err := trace.Summarize(samples)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phfit:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("trace: n=%d mean=%.6g C²=%.6g median=%.6g p99=%.6g max=%.6g\n",
+		sum.N, sum.Mean, sum.CV2, sum.Median, sum.P99, sum.Max)
+	res, err := phase.FitHyperEM(samples, branches, 1000, 1e-10)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "phfit:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("EM: %d iterations, converged=%v, logL=%.4f\n\n", res.Iterations, res.Converged, res.LogLikelihood)
+	d := res.Dist
+	fmt.Println(d)
+	fmt.Println("  branch probs:", fmtVec(d.Alpha))
+	fmt.Println("  branch rates:", fmtVec(d.Rates))
+	fmt.Println("\n  t, F(t), R(t):")
+	for i := 1; i <= grid; i++ {
+		t := d.Mean() * float64(i) / 2
+		fmt.Printf("  %8.4g  %8.6f  %8.6f\n", t, d.CDF(t), d.Reliability(t))
+	}
+}

@@ -1,0 +1,107 @@
+// Command sweep runs parameter sweeps over the transient model and
+// emits CSV, for plotting or regression tracking.
+//
+// The swept variable is one of: k, n, cv2 (of a chosen component),
+// cycles, remotefrac. Every other parameter is fixed by flags.
+//
+// Usage:
+//
+//	sweep -var cv2 -component remote -from 1 -to 100 -steps 12 -k 8 -n 30
+//	sweep -var k -from 1 -to 10 -steps 10 -n 100 -low-contention > speedup.csv
+//	sweep -var n -from 10 -to 200 -steps 10 -k 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/network"
+	"finwl/internal/workload"
+)
+
+func main() {
+	var (
+		variable  = flag.String("var", "cv2", "k | n | cv2 | cycles | remotefrac")
+		component = flag.String("component", "remote", "cpu | remote (for -var cv2)")
+		arch      = flag.String("arch", "central", "central | distributed")
+		from      = flag.Float64("from", 1, "sweep start")
+		to        = flag.Float64("to", 10, "sweep end")
+		steps     = flag.Int("steps", 10, "number of sweep points")
+		k         = flag.Int("k", 5, "workstations")
+		n         = flag.Int("n", 30, "tasks")
+		lowCont   = flag.Bool("low-contention", false, "use the low-contention workload")
+	)
+	flag.Parse()
+	if *steps < 1 {
+		fatal(fmt.Errorf("steps must be >= 1"))
+	}
+
+	fmt.Println("x,total_time,speedup,tss,first_epoch,last_epoch")
+	for i := 0; i < *steps; i++ {
+		x := *from
+		if *steps > 1 {
+			x += (*to - *from) * float64(i) / float64(*steps-1)
+		}
+		app := workload.Default(*n)
+		if *lowCont {
+			app = workload.LowContention(*n)
+		}
+		kk, nn := *k, *n
+		dists := cluster.Dists{}
+		switch *variable {
+		case "k":
+			kk = int(x + 0.5)
+		case "n":
+			nn = int(x + 0.5)
+			app.N = nn
+		case "cv2":
+			if *component == "cpu" {
+				dists.CPU = cluster.WithCV2(x)
+			} else {
+				dists.Remote = cluster.WithCV2(x)
+			}
+		case "cycles":
+			app.Cycles = x
+		case "remotefrac":
+			app.RemoteFrac = x
+		default:
+			fatal(fmt.Errorf("unknown sweep variable %q", *variable))
+		}
+
+		var (
+			net *network.Network
+			err error
+		)
+		if *arch == "central" {
+			net, err = cluster.Central(kk, app, dists, cluster.Options{})
+		} else {
+			net, err = cluster.Distributed(kk, app, dists)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		s, err := core.NewSolver(net, kk)
+		if err != nil {
+			fatal(err)
+		}
+		res, err := s.Solve(nn)
+		if err != nil {
+			fatal(err)
+		}
+		_, tss, err := s.SteadyState()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%g,%g,%g,%g,%g,%g\n",
+			x, res.TotalTime, app.SerialTime()/res.TotalTime, tss,
+			res.Epochs[0], res.Epochs[len(res.Epochs)-1])
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Heterogeneous workloads: a job mixing light interactive tasks with
+// heavy batch tasks on the same cluster. The multiclass transient
+// model answers the scheduling question the single-class model
+// cannot: in which order should the scheduler admit the classes?
+// Starting the heavy tasks first (LPT-style) trims the draining tail;
+// the model quantifies by how much, and a multiclass simulation
+// confirms it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finwl/internal/matrix"
+	"finwl/internal/multiclass"
+	"finwl/internal/statespace"
+)
+
+func main() {
+	const (
+		q        = 0.2
+		nLight   = 8
+		nHeavy   = 4
+		k        = 3
+		slowdown = 4.0
+	)
+	// Three stations: CPU pool (delay), shared comm and disk (queues).
+	// Class 0 = interactive, class 1 = batch (4× heavier everywhere).
+	baseRates := []float64{2, 4, 1.2}
+	routes := make([]*matrix.Matrix, 2)
+	exits := make([][]float64, 2)
+	entries := make([][]float64, 2)
+	for c := 0; c < 2; c++ {
+		r := matrix.New(3, 3)
+		r.Set(0, 1, (1-q)/2)
+		r.Set(0, 2, (1-q)/2)
+		r.Set(1, 0, 1)
+		r.Set(2, 0, 1)
+		routes[c] = r
+		exits[c] = []float64{q, 0, 0}
+		entries[c] = []float64{1, 0, 0}
+	}
+	rates := make([][]float64, 3)
+	for st, base := range baseRates {
+		rates[st] = []float64{base, base / slowdown}
+	}
+	mk := func(swap bool) *multiclass.Config {
+		cfg := &multiclass.Config{
+			Stations: []multiclass.Station{
+				{Name: "CPU", Kind: statespace.Delay},
+				{Name: "Comm", Kind: statespace.Queue},
+				{Name: "Disk", Kind: statespace.Queue},
+			},
+			Classes: 2,
+			Rates:   rates,
+			Route:   routes,
+			Exit:    exits,
+			Entry:   entries,
+		}
+		if swap {
+			sw := make([][]float64, 3)
+			for st := range rates {
+				sw[st] = []float64{rates[st][1], rates[st][0]}
+			}
+			cfg.Rates = sw
+		}
+		return cfg
+	}
+
+	fmt.Printf("Workload: %d interactive + %d batch tasks (batch %.0fx heavier), K=%d\n\n",
+		nLight, nHeavy, slowdown, k)
+
+	type policy struct {
+		label  string
+		swap   bool
+		counts []int
+		pol    multiclass.Policy
+	}
+	policies := []policy{
+		{"random admission", false, []int{nLight, nHeavy}, multiclass.Proportional},
+		{"interactive first", false, []int{nLight, nHeavy}, multiclass.PriorityOrder},
+		{"batch first", true, []int{nHeavy, nLight}, multiclass.PriorityOrder},
+	}
+	for _, p := range policies {
+		cfg := mk(p.swap)
+		solver, err := multiclass.NewSolver(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		w := multiclass.Workload{Counts: p.counts, K: k, Policy: p.pol}
+		res, err := solver.Solve(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, ci, err := multiclass.Replicate(cfg, w, 5, 4000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s analytic E(T) = %7.2f   sim %7.2f ± %.2f\n", p.label, res.TotalTime, mean, ci)
+	}
+	fmt.Println("\nAdmitting the batch class first overlaps its long service with the")
+	fmt.Println("stream of short tasks instead of leaving it to dominate the drain.")
+}

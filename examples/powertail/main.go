@@ -1,0 +1,68 @@
+// Power-tail workloads: the measurements that motivate the paper
+// (CPU times at BELLCORE, file sizes on disks) are power-tailed, and
+// exponential models underestimate them badly. This example models
+// the shared storage server with a truncated power-tail (TPT)
+// distribution, compares it against exponential and H2 fits of the
+// same mean, and shows what each assumption predicts for the job.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/phase"
+	"finwl/internal/workload"
+)
+
+func main() {
+	app := workload.Default(30)
+	const k = 5
+
+	tpt := func(mean float64) *phase.PH { return phase.TPT(12, 1.4, mean) }
+	probe := phase.TPT(12, 1.4, 1)
+	fmt.Printf("TPT service law: %d exponential branches, tail index α=1.4, C²=%.1f\n\n", probe.Dim(), probe.CV2())
+
+	type row struct {
+		label string
+		dist  cluster.Dist
+	}
+	rows := []row{
+		{"exponential", cluster.Exponential},
+		{fmt.Sprintf("H2 fit (C²=%.1f)", probe.CV2()), cluster.WithCV2(probe.CV2())},
+		{"truncated power tail", tpt},
+	}
+	fmt.Printf("%-24s %10s %10s %12s\n", "storage service law", "E(T) job", "t_ss", "last epoch")
+	var baseline float64
+	for i, r := range rows {
+		net, err := cluster.Central(k, app, cluster.Dists{Remote: r.dist}, cluster.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := core.NewSolver(net, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Solve(app.N)
+		if err != nil {
+			log.Fatal(err)
+		}
+		_, tss, err := s.SteadyState()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %10.2f %10.4f %12.4f\n", r.label, res.TotalTime, tss, res.Epochs[app.N-1])
+		if i == 0 {
+			baseline = res.TotalTime
+		} else if i == len(rows)-1 {
+			fmt.Printf("\nexponential model underestimates the power-tail job by %.1f%%\n",
+				100*(res.TotalTime-baseline)/res.TotalTime)
+		}
+	}
+	fmt.Println("\nBoth high-variance laws push the job well past the exponential")
+	fmt.Println("prediction — and they disagree with each other despite sharing the")
+	fmt.Println("same mean and C²: the higher moments of the tail matter too, which")
+	fmt.Println("is why the model accepts arbitrary matrix-exponential laws instead")
+	fmt.Println("of a single variance knob.")
+}

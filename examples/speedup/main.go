@@ -1,0 +1,70 @@
+// Capacity planning: how many workstations does this job actually
+// benefit from? Sweeps the cluster size and compares three answers —
+// the exact transient model, the classical product-form steady-state
+// estimate (which ignores the transient and draining regions), and
+// the order-statistics fork/join prediction (which ignores resource
+// sharing entirely: each task occupies its machine for its full
+// service time, so no CPU/I-O overlap between tasks). It then
+// recommends the size where the marginal speedup drops below 10% per
+// added workstation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/orderstat"
+	"finwl/internal/productform"
+	"finwl/internal/workload"
+)
+
+func main() {
+	const n = 60
+	app := workload.LowContention(n)
+	dists := cluster.Dists{CPU: cluster.WithCV2(4)} // bursty CPU demands
+
+	fmt.Printf("Job: N=%d tasks, E(T)=%.1f, CPU C²=4\n\n", n, app.SingleTaskTime())
+	fmt.Printf("%3s %12s %12s %12s %12s\n", "K", "exact SP", "PF-est SP", "forkjoin SP", "marginal")
+
+	serial := app.SerialTime()
+	prev := 0.0
+	recommended := 0
+	for k := 1; k <= 10; k++ {
+		net, err := cluster.Central(k, app, dists, cluster.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := core.NewSolver(net, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		total, err := s.TotalTime(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		exact := serial / total
+
+		// The product-form estimate ignores both transients and the
+		// CPU burstiness: every task is costed at the steady rate.
+		pfTime := float64(n) * productform.FromNetwork(net).Interdeparture(k)
+		pfSP := serial / pfTime
+
+		// Fork/join order-statistics prediction: tasks run as
+		// independent batches, one at a time per machine.
+		forkjoin := serial / orderstat.IndependentMakespan(net.AsPH(), n, k)
+
+		marginal := exact - prev
+		fmt.Printf("%3d %12.2f %12.2f %12.2f %12.2f\n", k, exact, pfSP, forkjoin, marginal)
+		if recommended == 0 && k > 1 && marginal < 0.1*exact {
+			recommended = k - 1
+		}
+		prev = exact
+	}
+	if recommended == 0 {
+		recommended = 10
+	}
+	fmt.Printf("\nRecommended cluster size: %d workstations\n", recommended)
+	fmt.Println("(marginal speedup below 10% of the total beyond that point)")
+}

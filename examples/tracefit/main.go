@@ -1,0 +1,116 @@
+// Trace-driven modeling: the full pipeline the paper's motivation
+// implies. Measured CPU/file-size traces are power-tailed (BELLCORE);
+// here we (1) generate a genuinely Pareto service trace for the
+// shared storage, (2) fit hyperexponential laws to it by EM,
+// (3) predict the job — mean AND completion-time percentiles — under
+// the exponential assumption and under the fitted law, and (4) check
+// both against a trace-driven simulation that samples the true Pareto
+// law the analytic model cannot represent exactly.
+//
+// The punchline matches the power-tail literature: the *mean* E(T) is
+// nearly insensitive to the tail at these loads, but the p99 makespan
+// is not — and only the fitted high-variance model sees that.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"finwl/internal/cluster"
+	"finwl/internal/ctmc"
+	"finwl/internal/network"
+	"finwl/internal/phase"
+	"finwl/internal/sim"
+	"finwl/internal/trace"
+	"finwl/internal/workload"
+)
+
+func main() {
+	const (
+		k       = 4
+		n       = 30
+		alpha   = 1.6 // tail index: finite mean, infinite variance — the PT regime
+		reps    = 6000
+		samples = 50000
+	)
+	app := workload.Default(n)
+	rng := rand.New(rand.NewSource(17))
+
+	// 1. "Measure" the storage service trace.
+	params, err := cluster.DeriveCentral(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	xmin := params.TRD * (alpha - 1) / alpha // Pareto with the calibrated mean
+	tr := trace.Pareto(rng, alpha, xmin, samples)
+	sum, err := trace.Summarize(tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("storage service trace: n=%d mean=%.4f C²=%.2f p99=%.3f max=%.2f\n",
+		sum.N, sum.Mean, sum.CV2, sum.P99, sum.Max)
+
+	// 2. EM-fit a hyperexponential law to the trace.
+	fit, err := phase.FitHyperEM(tr, 3, 800, 1e-10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("EM H3 fit: mean=%.4f C²=%.2f (%d iters, converged=%v)\n\n",
+		fit.Dist.Mean(), fit.Dist.CV2(), fit.Iterations, fit.Converged)
+
+	// 3. Ground truth: trace-driven simulation with true Pareto
+	// service at the storage station (index 3 = RDisk).
+	netBase, err := cluster.Central(k, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	samplers := make([]func(*rand.Rand) float64, len(netBase.Stations))
+	samplers[3] = func(r *rand.Rand) float64 {
+		return xmin / math.Pow(r.Float64(), 1/alpha)
+	}
+	rep, err := sim.Replicate(sim.Config{Net: netBase, K: k, N: n, Seed: 23, Samplers: samplers}, reps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-20s %10s %10s %10s\n", "model", "mean E(T)", "p90", "p99")
+	fmt.Printf("%-20s %10.2f %10.2f %10.2f   (trace-driven simulation)\n",
+		"true Pareto", rep.MeanTotal, rep.TotalQuantile(0.9), rep.TotalQuantile(0.99))
+
+	// 4. Analytic predictions: mean from the transient solver,
+	// percentiles from the absorbing-chain distribution.
+	predict := func(label string, d cluster.Dist) {
+		net, err := cluster.Central(k, app, cluster.Dists{Remote: d}, cluster.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		chain, err := network.NewChain(net, k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := ctmc.Build(chain, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mean, err := c.MeanAbsorptionTime()
+		if err != nil {
+			log.Fatal(err)
+		}
+		p90, err := c.Quantile(0.9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p99, err := c.Quantile(0.99)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-20s %10.2f %10.2f %10.2f\n", label, mean, p90, p99)
+	}
+	predict("exponential", cluster.Exponential)
+	predict("H3 EM fit", func(mean float64) *phase.PH { return fit.Dist.ScaleMean(mean) })
+
+	fmt.Println("\nMeans barely move — but the trace-driven p99 sits far above the")
+	fmt.Println("exponential model's, and the EM-fitted law closes most of that gap.")
+}

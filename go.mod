@@ -1,0 +1,3 @@
+module finwl
+
+go 1.22

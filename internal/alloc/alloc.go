@@ -1,0 +1,169 @@
+// Package alloc optimizes the placement of shared data over the
+// disks of a distributed cluster, the application the paper's
+// companion work ([15], "Efficient Data Allocation for a Cluster of
+// Workstations") built on the same model. The transient solver is the
+// objective function: an allocation is a point on the simplex (the
+// fraction of shared data per disk), and we search for the fractions
+// minimizing the job completion time E(T) — on heterogeneous disks
+// the optimum shifts data toward the fast spindles, but less than
+// proportionally, because queueing at the hot disk is convex.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/matrix"
+	"finwl/internal/network"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+// DistributedAlloc builds a distributed cluster of k workstations
+// whose shared data is split by `fractions` (a simplex point: disk i
+// serves fractions[i] of all disk work) over disks with relative
+// `speeds` (work units per time; 1 = nominal). Visit probabilities
+// follow the data: p_i = fractions[i], and disk i's per-visit service
+// time is W/(speeds[i]·visits) with W the job's total disk work — so
+// the single-task disk time lands at Σ fᵢ·W/sᵢ.
+func DistributedAlloc(k int, app workload.App, dists cluster.Dists, fractions, speeds []float64) (*network.Network, error) {
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("alloc: need k >= 1, got %d", k)
+	}
+	if len(fractions) != k || len(speeds) != k {
+		return nil, fmt.Errorf("alloc: need %d fractions and speeds, got %d and %d", k, len(fractions), len(speeds))
+	}
+	var sum float64
+	for i := range fractions {
+		if fractions[i] < 0 {
+			return nil, fmt.Errorf("alloc: negative fraction at disk %d", i)
+		}
+		if speeds[i] <= 0 {
+			return nil, fmt.Errorf("alloc: non-positive speed at disk %d", i)
+		}
+		sum += fractions[i]
+	}
+	if sum <= 0 {
+		return nil, errors.New("alloc: fractions sum to zero")
+	}
+
+	if dists.CPU == nil {
+		dists.CPU = cluster.Exponential
+	}
+	if dists.Comm == nil {
+		dists.Comm = cluster.Exponential
+	}
+	if dists.Remote == nil {
+		dists.Remote = cluster.Exponential
+	}
+
+	q := app.Q()
+	visits := (1 - q) / q
+	diskWork := (1-app.C)*app.X + app.Y
+
+	m := k + 2
+	route := matrix.New(m, m)
+	comm := m - 1
+	stations := make([]network.Station, m)
+	stations[0] = network.Station{Name: "CPU", Kind: statespace.Delay, Service: dists.CPU(q * app.C * app.X)}
+	for i := 0; i < k; i++ {
+		p := fractions[i] / sum
+		route.Set(0, 1+i, p*(1-q))
+		route.Set(1+i, comm, 1)
+		var svc *phase.PH
+		perVisit := diskWork / (speeds[i] * visits)
+		svc = dists.Remote(perVisit)
+		stations[1+i] = network.Station{Name: fmt.Sprintf("D%d", i+1), Kind: statespace.Queue, Service: svc}
+	}
+	route.Set(comm, 0, 1)
+	stations[comm] = network.Station{Name: "Comm", Kind: statespace.Queue, Service: dists.Comm(app.B * app.Y / visits)}
+
+	exit := make([]float64, m)
+	exit[0] = q
+	entry := make([]float64, m)
+	entry[0] = 1
+	net := &network.Network{Stations: stations, Route: route, Exit: exit, Entry: entry}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// Result is an optimized allocation.
+type Result struct {
+	Fractions []float64
+	TotalTime float64 // E(T) under the optimal allocation
+	Evals     int     // objective evaluations spent
+}
+
+// Optimize searches the allocation simplex for the fractions
+// minimizing E(T) of the given workload, by iterated pairwise
+// transfers: repeatedly move a step of data from the disk whose
+// marginal cost is highest to the one where it is lowest, shrinking
+// the step until no transfer helps. The objective is the exact
+// transient model, so the optimum accounts for transient and draining
+// regions, not just steady state.
+func Optimize(k int, app workload.App, dists cluster.Dists, speeds []float64) (*Result, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("alloc: optimization needs k >= 2, got %d", k)
+	}
+	fractions := make([]float64, k)
+	for i := range fractions {
+		fractions[i] = 1 / float64(k)
+	}
+	evals := 0
+	objective := func(f []float64) (float64, error) {
+		evals++
+		net, err := DistributedAlloc(k, app, dists, f, speeds)
+		if err != nil {
+			return 0, err
+		}
+		s, err := core.NewSolver(net, k)
+		if err != nil {
+			return 0, err
+		}
+		return s.TotalTime(app.N)
+	}
+
+	best, err := objective(fractions)
+	if err != nil {
+		return nil, err
+	}
+	step := 0.5 / float64(k)
+	const minStep = 1e-4
+	for step > minStep {
+		improved := false
+		for from := 0; from < k; from++ {
+			if fractions[from] < step {
+				continue
+			}
+			for to := 0; to < k; to++ {
+				if to == from {
+					continue
+				}
+				trial := append([]float64(nil), fractions...)
+				trial[from] -= step
+				trial[to] += step
+				v, err := objective(trial)
+				if err != nil {
+					return nil, err
+				}
+				if v < best-1e-12 {
+					best = v
+					fractions = trial
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			step /= 2
+		}
+	}
+	return &Result{Fractions: fractions, TotalTime: best, Evals: evals}, nil
+}

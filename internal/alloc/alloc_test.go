@@ -1,0 +1,152 @@
+package alloc
+
+import (
+	"math"
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/workload"
+)
+
+func ones(k int) []float64 {
+	v := make([]float64, k)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+func uniform(k int) []float64 {
+	v := make([]float64, k)
+	for i := range v {
+		v[i] = 1 / float64(k)
+	}
+	return v
+}
+
+// With identical disks and a uniform allocation, DistributedAlloc
+// must agree with cluster.Distributed exactly.
+func TestUniformMatchesDistributed(t *testing.T) {
+	app := workload.Default(15)
+	k := 3
+	netA, err := DistributedAlloc(k, app, cluster.Dists{}, uniform(k), ones(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netB, err := cluster.Distributed(k, app, cluster.Dists{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sA, err := core.NewSolver(netA, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sB, err := core.NewSolver(netB, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sA.TotalTime(app.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sB.TotalTime(app.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9*b {
+		t.Fatalf("alloc %v vs distributed %v", a, b)
+	}
+}
+
+// Fractions are normalized: scaling them all by a constant changes
+// nothing.
+func TestFractionsNormalized(t *testing.T) {
+	app := workload.Default(10)
+	k := 2
+	n1, err := DistributedAlloc(k, app, cluster.Dists{}, []float64{1, 3}, ones(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := DistributedAlloc(k, app, cluster.Dists{}, []float64{0.25, 0.75}, ones(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := core.NewSolver(n1, k)
+	s2, _ := core.NewSolver(n2, k)
+	a, _ := s1.TotalTime(app.N)
+	b, _ := s2.TotalTime(app.N)
+	if math.Abs(a-b) > 1e-9*b {
+		t.Fatalf("scaled fractions changed the model: %v vs %v", a, b)
+	}
+}
+
+func TestDistributedAllocRejections(t *testing.T) {
+	app := workload.Default(5)
+	if _, err := DistributedAlloc(0, app, cluster.Dists{}, nil, nil); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := DistributedAlloc(2, app, cluster.Dists{}, []float64{1}, ones(2)); err == nil {
+		t.Fatal("accepted wrong fraction count")
+	}
+	if _, err := DistributedAlloc(2, app, cluster.Dists{}, []float64{-1, 2}, ones(2)); err == nil {
+		t.Fatal("accepted negative fraction")
+	}
+	if _, err := DistributedAlloc(2, app, cluster.Dists{}, []float64{0, 0}, ones(2)); err == nil {
+		t.Fatal("accepted zero fractions")
+	}
+	if _, err := DistributedAlloc(2, app, cluster.Dists{}, uniform(2), []float64{1, 0}); err == nil {
+		t.Fatal("accepted zero speed")
+	}
+}
+
+// Identical disks: the optimizer must stay (close to) uniform.
+func TestOptimizeIdenticalDisksStaysUniform(t *testing.T) {
+	app := workload.Default(10)
+	k := 2
+	res, err := Optimize(k, app, cluster.Dists{}, ones(k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform must be within the optimizer's tolerance of optimal.
+	netU, _ := DistributedAlloc(k, app, cluster.Dists{}, uniform(k), ones(k))
+	sU, _ := core.NewSolver(netU, k)
+	u, _ := sU.TotalTime(app.N)
+	if res.TotalTime > u+1e-6 {
+		t.Fatalf("optimizer (%v) worse than uniform (%v)", res.TotalTime, u)
+	}
+	if math.Abs(res.Fractions[0]-res.Fractions[1]) > 0.1 {
+		t.Fatalf("identical disks got asymmetric allocation %v", res.Fractions)
+	}
+}
+
+// A fast disk should receive more data — but queueing convexity keeps
+// the split milder than speed-proportional.
+func TestOptimizeHeterogeneousDisks(t *testing.T) {
+	app := workload.Default(12)
+	k := 2
+	speeds := []float64{2, 1} // disk 1 twice as fast
+	res, err := Optimize(k, app, cluster.Dists{}, speeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fractions[0] <= res.Fractions[1] {
+		t.Fatalf("fast disk got less data: %v", res.Fractions)
+	}
+	// Beats uniform.
+	netU, _ := DistributedAlloc(k, app, cluster.Dists{}, uniform(k), speeds)
+	sU, _ := core.NewSolver(netU, k)
+	u, _ := sU.TotalTime(app.N)
+	if res.TotalTime >= u {
+		t.Fatalf("optimized %v not better than uniform %v", res.TotalTime, u)
+	}
+	if res.Evals < 3 {
+		t.Fatalf("suspiciously few evaluations: %d", res.Evals)
+	}
+}
+
+func TestOptimizeRejectsSmallK(t *testing.T) {
+	if _, err := Optimize(1, workload.Default(5), cluster.Dists{}, ones(1)); err == nil {
+		t.Fatal("accepted k=1")
+	}
+}

@@ -1,0 +1,94 @@
+// Package bounds implements the classical operational-analysis
+// performance bounds for closed queueing networks — asymptotic bounds
+// (Denning–Buzen) and balanced-job bounds (Zahorjan et al.) — as the
+// cheapest baseline tier below MVA and the transient model. They need
+// only service demands, cost O(stations), and bracket the exact
+// throughput; the experiments use them to show what each modeling
+// tier buys: bounds < product form < transient model.
+package bounds
+
+import (
+	"fmt"
+
+	"finwl/internal/productform"
+	"finwl/internal/statespace"
+)
+
+// Result brackets the system throughput X(n) and the cycle time.
+type Result struct {
+	N int
+	// Asymptotic (optimistic/pessimistic) bounds.
+	XUpper float64 // min(1/Dmax, n/(D+Z))
+	XLower float64 // n/(n·D+Z) — pessimistic: full queueing everywhere
+	// Balanced-job bounds (tighter on both sides).
+	XUpperBJB float64
+	XLowerBJB float64
+}
+
+// FromModel computes the bounds from a product-form model: queue and
+// multi-server stations contribute to the queueing demand D, delay
+// stations to the think time Z. Multi-server stations are treated at
+// their per-server demand for Dmax (their saturation point).
+func FromModel(m *productform.Model, n int) (*Result, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("bounds: population %d, want >= 1", n)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	var (
+		dTotal, dMax, z float64
+		queueStations   int
+	)
+	for i := range m.Visits {
+		demand := m.Visits[i] * m.Means[i]
+		switch m.Kinds[i] {
+		case statespace.Delay:
+			z += demand
+		case statespace.Queue:
+			dTotal += demand
+			queueStations++
+			if demand > dMax {
+				dMax = demand
+			}
+		case statespace.Multi:
+			c := 1
+			if m.Servers != nil && m.Servers[i] > 1 {
+				c = m.Servers[i]
+			}
+			dTotal += demand
+			queueStations++
+			if perServer := demand / float64(c); perServer > dMax {
+				dMax = perServer
+			}
+		}
+	}
+	res := &Result{N: n}
+	nf := float64(n)
+	if dMax > 0 {
+		res.XUpper = minF(1/dMax, nf/(dTotal+z))
+	} else {
+		res.XUpper = nf / (dTotal + z)
+	}
+	res.XLower = nf / (nf*dTotal + z)
+
+	// Balanced-job bounds: a network with all queueing demand balanced
+	// at the average is optimistic; balanced at the maximum is
+	// pessimistic.
+	if queueStations > 0 {
+		dAvg := dTotal / float64(queueStations)
+		res.XUpperBJB = minF(1/dMax, nf/(z+dTotal+(nf-1)*dAvg*dTotal/(z+dTotal)))
+		res.XLowerBJB = nf / (z + dTotal + (nf-1)*dMax)
+	} else {
+		res.XUpperBJB = res.XUpper
+		res.XLowerBJB = res.XUpper
+	}
+	return res, nil
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

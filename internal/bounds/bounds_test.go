@@ -1,0 +1,145 @@
+package bounds
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finwl/internal/cluster"
+	"finwl/internal/productform"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+// The exact MVA throughput must lie inside both bound pairs, with the
+// BJB pair at least as tight as the asymptotic pair.
+func TestBoundsBracketMVA(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(4, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := productform.FromNetwork(net)
+	for n := 1; n <= 12; n++ {
+		x := m.MVA(n).Throughput
+		b, err := FromModel(m, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const slack = 1e-9
+		if x > b.XUpper+slack || x < b.XLower-slack {
+			t.Fatalf("n=%d: X=%v outside asymptotic [%v, %v]", n, x, b.XLower, b.XUpper)
+		}
+		if x > b.XUpperBJB+slack || x < b.XLowerBJB-slack {
+			t.Fatalf("n=%d: X=%v outside BJB [%v, %v]", n, x, b.XLowerBJB, b.XUpperBJB)
+		}
+		if b.XUpperBJB > b.XUpper+slack || b.XLowerBJB < b.XLower-slack {
+			t.Fatalf("n=%d: BJB looser than asymptotic", n)
+		}
+	}
+}
+
+// Property: bounds bracket MVA on random queue/delay networks.
+func TestBoundsBracketProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := 1 + r.Intn(5)
+		m := &productform.Model{
+			Visits: make([]float64, s),
+			Means:  make([]float64, s),
+			Kinds:  make([]statespace.Kind, s),
+		}
+		for i := 0; i < s; i++ {
+			m.Visits[i] = 0.2 + 2*r.Float64()
+			m.Means[i] = 0.2 + 2*r.Float64()
+			if r.Intn(2) == 0 {
+				m.Kinds[i] = statespace.Delay
+			} else {
+				m.Kinds[i] = statespace.Queue
+			}
+		}
+		for n := 1; n <= 8; n++ {
+			x := m.MVA(n).Throughput
+			b, err := FromModel(m, n)
+			if err != nil {
+				return false
+			}
+			const slack = 1e-9
+			if x > b.XUpper+slack || x < b.XLower-slack ||
+				x > b.XUpperBJB+slack || x < b.XLowerBJB-slack {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Saturation: for large n the upper bound equals 1/Dmax and the exact
+// throughput approaches it.
+func TestBoundsSaturation(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(4, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := productform.FromNetwork(net)
+	b, err := FromModel(m, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := m.MVA(100).Throughput
+	if (b.XUpper-x)/x > 0.02 {
+		t.Fatalf("at n=100 exact %v should be within 2%% of 1/Dmax %v", x, b.XUpper)
+	}
+}
+
+// Pure delay network: all bounds collapse to n/Z.
+func TestBoundsPureDelay(t *testing.T) {
+	m := &productform.Model{
+		Visits: []float64{1},
+		Means:  []float64{2},
+		Kinds:  []statespace.Kind{statespace.Delay},
+	}
+	b, err := FromModel(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 5.0 / 2
+	for _, v := range []float64{b.XUpper, b.XUpperBJB, b.XLowerBJB} {
+		if v != want {
+			t.Fatalf("pure delay bound %v, want %v", v, want)
+		}
+	}
+}
+
+// Multi-server stations saturate at c/demand.
+func TestBoundsMultiServer(t *testing.T) {
+	m := &productform.Model{
+		Visits:  []float64{1, 1},
+		Means:   []float64{1, 2},
+		Kinds:   []statespace.Kind{statespace.Delay, statespace.Multi},
+		Servers: []int{0, 4},
+	}
+	b, err := FromModel(m, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dmax per server = 2/4 = 0.5 → X ≤ 2.
+	if b.XUpper != 2 {
+		t.Fatalf("multi-server upper bound %v, want 2", b.XUpper)
+	}
+}
+
+func TestBoundsErrors(t *testing.T) {
+	m := &productform.Model{Visits: []float64{1}, Means: []float64{1}, Kinds: []statespace.Kind{statespace.Queue}}
+	if _, err := FromModel(m, 0); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	bad := &productform.Model{}
+	if _, err := FromModel(bad, 1); err == nil {
+		t.Fatal("accepted empty model")
+	}
+}

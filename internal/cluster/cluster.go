@@ -1,0 +1,263 @@
+// Package cluster builds the paper's two cluster architectures as
+// networks ready for the transient solver:
+//
+//   - Central (§5.4): K workstations with private CPUs and disks plus
+//     one shared communication channel and one central storage server.
+//     The reduced model has four stations — a CPU delay pool, a local
+//     disk delay pool, a Comm queue and a RemoteDisk queue.
+//   - Distributed (§5.5): the shared data is spread over the K
+//     workstation disks, so each disk is a shared queue of its own —
+//     K+2 stations.
+//
+// Device service times are calibrated from the application model so
+// that a lone task's time components come out to [C·X, (1−C)·X, B·Y,
+// Y] exactly as §5.4 prescribes: q = t_cpu/(C·X),
+// p₁ = q·(1−C)·X/(t_d·(1−q)), p₂ = q·Y/(t_rd·(1−q)).
+package cluster
+
+import (
+	"fmt"
+
+	"finwl/internal/matrix"
+	"finwl/internal/network"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+// Dist makes a service distribution with a given mean. The cluster
+// builders compute each device's mean service time from the
+// application model and pass it here, so a Dist chooses only the
+// *shape* (exponential, Erlang, H2, …).
+type Dist func(mean float64) *phase.PH
+
+// Exponential is the default service shape.
+func Exponential(mean float64) *phase.PH { return phase.ExpoMean(mean) }
+
+// WithCV2 returns a Dist with the given squared coefficient of
+// variation (Erlang below 1, exponential at 1, balanced H2 above 1).
+func WithCV2(cv2 float64) Dist {
+	return func(mean float64) *phase.PH { return phase.FitCV2(mean, cv2) }
+}
+
+// ErlangStages returns a Dist that is Erlang with a fixed stage count.
+func ErlangStages(m int) Dist {
+	return func(mean float64) *phase.PH { return phase.ErlangMean(m, mean) }
+}
+
+// Dists selects the service shape of each cluster component. Nil
+// fields default to Exponential.
+type Dists struct {
+	CPU    Dist
+	Disk   Dist // central model's local-disk pool
+	Comm   Dist
+	Remote Dist // central: the shared storage server; distributed: every disk
+}
+
+func (d Dists) orDefault() Dists {
+	if d.CPU == nil {
+		d.CPU = Exponential
+	}
+	if d.Disk == nil {
+		d.Disk = Exponential
+	}
+	if d.Comm == nil {
+		d.Comm = Exponential
+	}
+	if d.Remote == nil {
+		d.Remote = Exponential
+	}
+	return d
+}
+
+// CentralParams are the derived model parameters of the central
+// cluster, exposed for reporting and tests.
+type CentralParams struct {
+	Q, P1, P2               float64 // routing probabilities
+	TCPU, TDisk, TComm, TRD float64 // mean device service times per visit
+}
+
+// DeriveCentral computes the §5.4 calibration for an application.
+func DeriveCentral(app workload.App) (CentralParams, error) {
+	if err := app.Validate(); err != nil {
+		return CentralParams{}, err
+	}
+	q := app.Q()
+	p2 := app.RemoteFrac
+	p1 := 1 - p2
+	visits := (1 - q) / q // mean I/O requests per task
+	return CentralParams{
+		Q:     q,
+		P1:    p1,
+		P2:    p2,
+		TCPU:  q * app.C * app.X,
+		TDisk: (1 - app.C) * app.X / (p1 * visits),
+		TComm: app.B * app.Y / (p2 * visits),
+		TRD:   app.Y / (p2 * visits),
+	}, nil
+}
+
+// Options tweak the cluster topology.
+type Options struct {
+	// RemoteAsDelay models the shared storage as an infinite-server
+	// (no-contention) station — the paper's Fig. 5 "light load" case,
+	// where the service distribution provably has no effect on the
+	// steady state.
+	RemoteAsDelay bool
+	// SchedOverhead adds a dispatch stage of this mean duration that
+	// every task passes through before its first CPU burst — the
+	// "scheduling overhead" parameter the paper lists as an easy
+	// extension (§5). Zero means no stage.
+	SchedOverhead float64
+	// SchedShared makes the dispatch stage a single shared FCFS queue
+	// (a central scheduler) instead of a per-task delay stage.
+	SchedShared bool
+}
+
+// Central builds the paper's central-storage cluster of k
+// workstations as a 4-station network.
+func Central(k int, app workload.App, dists Dists, opts Options) (*network.Network, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: need at least one workstation, got %d", k)
+	}
+	p, err := DeriveCentral(app)
+	if err != nil {
+		return nil, err
+	}
+	dists = dists.orDefault()
+	route := matrix.New(4, 4)
+	route.Set(0, 1, p.P1*(1-p.Q)) // CPU → local disk
+	route.Set(0, 2, p.P2*(1-p.Q)) // CPU → comm channel
+	route.Set(1, 0, 1)            // disk → CPU
+	route.Set(2, 3, 1)            // comm → central storage
+	route.Set(3, 0, 1)            // storage → CPU
+	remoteKind := statespace.Queue
+	if opts.RemoteAsDelay {
+		remoteKind = statespace.Delay
+	}
+	net := &network.Network{
+		Stations: []network.Station{
+			{Name: "CPU", Kind: statespace.Delay, Service: dists.CPU(p.TCPU)},
+			{Name: "Disk", Kind: statespace.Delay, Service: dists.Disk(p.TDisk)},
+			{Name: "Comm", Kind: statespace.Queue, Service: dists.Comm(p.TComm)},
+			{Name: "RDisk", Kind: remoteKind, Service: dists.Remote(p.TRD)},
+		},
+		Route: route,
+		Exit:  []float64{p.Q, 0, 0, 0},
+		Entry: []float64{1, 0, 0, 0},
+	}
+	if opts.SchedOverhead > 0 {
+		addSchedStage(net, opts)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// addSchedStage appends a dispatch station that every entering task
+// visits before reaching the original entry station.
+func addSchedStage(net *network.Network, opts Options) {
+	m := len(net.Stations)
+	kind := statespace.Delay
+	if opts.SchedShared {
+		kind = statespace.Queue
+	}
+	grown := matrix.New(m+1, m+1)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			grown.Set(i, j, net.Route.At(i, j))
+		}
+	}
+	// Scheduler routes to the old entry stations.
+	for j := 0; j < m; j++ {
+		grown.Set(m, j, net.Entry[j])
+	}
+	net.Route = grown
+	net.Stations = append(net.Stations, network.Station{
+		Name:    "Sched",
+		Kind:    kind,
+		Service: phase.ExpoMean(opts.SchedOverhead),
+	})
+	net.Exit = append(net.Exit, 0)
+	entry := make([]float64, m+1)
+	entry[m] = 1
+	net.Entry = entry
+}
+
+// DistributedParams are the derived parameters of the distributed
+// cluster.
+type DistributedParams struct {
+	Q     float64
+	PDisk []float64 // routing probability to each disk (sums to 1)
+	TCPU  float64
+	TDisk float64 // per-visit mean at each disk (identical disks)
+	TComm float64
+}
+
+// DeriveDistributed computes the §5.5 calibration with the shared
+// data spread uniformly over the k disks: every I/O request goes to
+// disk i with probability 1/k and then crosses the communication
+// channel back.
+func DeriveDistributed(k int, app workload.App) (DistributedParams, error) {
+	if err := app.Validate(); err != nil {
+		return DistributedParams{}, err
+	}
+	if k < 1 {
+		return DistributedParams{}, fmt.Errorf("cluster: need at least one workstation, got %d", k)
+	}
+	q := app.Q()
+	visits := (1 - q) / q
+	diskTotal := (1-app.C)*app.X + app.Y // all disk work, local plus remote
+	pd := make([]float64, k)
+	for i := range pd {
+		pd[i] = 1 / float64(k)
+	}
+	return DistributedParams{
+		Q:     q,
+		PDisk: pd,
+		TCPU:  q * app.C * app.X,
+		TDisk: diskTotal / visits, // per visit: total disk time × k/(k·visits)
+		TComm: app.B * app.Y / visits,
+	}, nil
+}
+
+// Distributed builds the paper's distributed-storage cluster of k
+// workstations as a (k+2)-station network: one CPU delay pool, k
+// shared disk queues and one communication channel queue. Routing
+// follows §5.5: CPU → disk i with pᵢ(1−q), every disk reply crosses
+// the comm channel, comm → CPU.
+func Distributed(k int, app workload.App, dists Dists) (*network.Network, error) {
+	p, err := DeriveDistributed(k, app)
+	if err != nil {
+		return nil, err
+	}
+	dists = dists.orDefault()
+	m := k + 2 // CPU, k disks, comm
+	route := matrix.New(m, m)
+	comm := m - 1
+	for i := 0; i < k; i++ {
+		route.Set(0, 1+i, p.PDisk[i]*(1-p.Q)) // CPU → disk i
+		route.Set(1+i, comm, 1)               // disk → comm
+	}
+	route.Set(comm, 0, 1) // comm → CPU
+	stations := make([]network.Station, m)
+	stations[0] = network.Station{Name: "CPU", Kind: statespace.Delay, Service: dists.CPU(p.TCPU)}
+	for i := 0; i < k; i++ {
+		stations[1+i] = network.Station{
+			Name:    fmt.Sprintf("D%d", i+1),
+			Kind:    statespace.Queue,
+			Service: dists.Remote(p.TDisk),
+		}
+	}
+	stations[comm] = network.Station{Name: "Comm", Kind: statespace.Queue, Service: dists.Comm(p.TComm)}
+	exit := make([]float64, m)
+	exit[0] = p.Q
+	entry := make([]float64, m)
+	entry[0] = 1
+	net := &network.Network{Stations: stations, Route: route, Exit: exit, Entry: entry}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}

@@ -1,0 +1,248 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"finwl/internal/core"
+	"finwl/internal/workload"
+)
+
+func approx(t *testing.T, got, want, relTol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+// The central cluster must reproduce the paper's time-component
+// vector pV = [C·X, (1−C)·X, B·Y, Y].
+func TestCentralTimeComponents(t *testing.T) {
+	app := workload.Default(30)
+	net, err := Central(5, app, Dists{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := net.TimeComponents()
+	approx(t, tc[0], app.C*app.X, 1e-9, "CPU time C·X")
+	approx(t, tc[1], (1-app.C)*app.X, 1e-9, "disk time (1−C)·X")
+	approx(t, tc[2], app.B*app.Y, 1e-9, "comm time B·Y")
+	approx(t, tc[3], app.Y, 1e-9, "remote time Y")
+	approx(t, net.AsPH().Mean(), app.SingleTaskTime(), 1e-9, "single-task E(T)")
+}
+
+// The calibration holds for any shape choice — time components depend
+// only on means.
+func TestCentralTimeComponentsWithPhases(t *testing.T) {
+	app := workload.Default(30)
+	net, err := Central(5, app, Dists{
+		CPU:    ErlangStages(3),
+		Remote: WithCV2(25),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := net.TimeComponents()
+	approx(t, tc[0], app.C*app.X, 1e-9, "CPU time with Erlang")
+	approx(t, tc[3], app.Y, 1e-9, "remote time with H2")
+}
+
+func TestDistributedTimeComponents(t *testing.T) {
+	app := workload.Default(30)
+	k := 4
+	net, err := Distributed(k, app, Dists{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := net.TimeComponents()
+	approx(t, tc[0], app.C*app.X, 1e-9, "CPU time")
+	diskTotal := (1-app.C)*app.X + app.Y
+	for i := 1; i <= k; i++ {
+		approx(t, tc[i], diskTotal/float64(k), 1e-9, "per-disk time")
+	}
+	approx(t, tc[k+1], app.B*app.Y, 1e-9, "comm time")
+}
+
+func TestDeriveCentralFormulas(t *testing.T) {
+	app := workload.Default(10)
+	p, err := DeriveCentral(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert the paper's formulas: q = t_cpu/(C·X),
+	// p1 = q(1−C)X/(t_d(1−q)), p2 = q·Y/(t_rd(1−q)).
+	approx(t, p.Q, p.TCPU/(app.C*app.X), 1e-12, "q")
+	approx(t, p.P1, p.Q*(1-app.C)*app.X/(p.TDisk*(1-p.Q)), 1e-12, "p1")
+	approx(t, p.P2, p.Q*app.Y/(p.TRD*(1-p.Q)), 1e-12, "p2")
+	approx(t, p.P1+p.P2, 1, 1e-12, "p1+p2")
+}
+
+func TestCentralRejectsBadInput(t *testing.T) {
+	app := workload.Default(10)
+	if _, err := Central(0, app, Dists{}, Options{}); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	bad := app
+	bad.C = 1.5
+	if _, err := Central(2, bad, Dists{}, Options{}); err == nil {
+		t.Fatal("accepted C out of range")
+	}
+	if _, err := Distributed(0, app, Dists{}); err == nil {
+		t.Fatal("distributed accepted k=0")
+	}
+}
+
+func TestRemoteAsDelayOption(t *testing.T) {
+	app := workload.Default(10)
+	net, err := Central(3, app, Dists{}, Options{RemoteAsDelay: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.Stations[3].Kind.String(); got != "delay" {
+		t.Fatalf("remote kind = %s, want delay", got)
+	}
+	// Insensitivity: with every shared server removed from contention
+	// (remote as delay) the steady state must not depend on the remote
+	// distribution — but the comm queue is still shared, so compare
+	// with comm load kept tiny.
+	light := app
+	light.B = 1e-6
+	mkTss := func(remote Dist) float64 {
+		n, err := Central(3, light, Dists{Remote: remote}, Options{RemoteAsDelay: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewSolver(n, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tss, err := s.SteadyState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tss
+	}
+	if e, h := mkTss(Exponential), mkTss(WithCV2(40)); math.Abs(e-h)/e > 1e-6 {
+		t.Fatalf("no-contention steady state sensitive to distribution: exp %v vs H2 %v", e, h)
+	}
+}
+
+// Solving the default workload end to end: the job takes longer on
+// fewer machines, and never less than work/K or the serial bound.
+func TestCentralEndToEndSanity(t *testing.T) {
+	app := workload.Default(20)
+	var prev float64 = math.Inf(1)
+	for _, k := range []int{1, 2, 4} {
+		net, err := Central(k, app, Dists{}, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewSolver(net, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total, err := s.TotalTime(app.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total >= prev {
+			t.Fatalf("K=%d: total %v not faster than smaller cluster %v", k, total, prev)
+		}
+		// Can never beat perfect speedup on the task service times.
+		if lower := app.SingleTaskTime() * float64(app.N) / float64(k) * 0.5; total < lower {
+			t.Fatalf("K=%d: total %v impossibly fast", k, total)
+		}
+		prev = total
+	}
+}
+
+// Property: calibration identities hold across random valid apps.
+func TestDeriveCentralProperty(t *testing.T) {
+	f := func(xSeed, cSeed, ySeed uint16) bool {
+		app := workload.App{
+			N:          10,
+			X:          0.5 + float64(xSeed%100)/10,
+			C:          0.1 + 0.8*float64(cSeed%100)/100,
+			Y:          0.1 + float64(ySeed%100)/10,
+			B:          0.25,
+			Cycles:     8,
+			RemoteFrac: 0.4,
+		}
+		p, err := DeriveCentral(app)
+		if err != nil {
+			return false
+		}
+		visits := (1 - p.Q) / p.Q
+		lhs := p.TCPU/p.Q + p.TDisk*p.P1*visits + p.TComm*p.P2*visits + p.TRD*p.P2*visits
+		return math.Abs(lhs-app.SingleTaskTime()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := workload.Default(5)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []workload.App{
+		{N: 0, X: 1, C: 0.5, Y: 1, B: 0.1, Cycles: 2, RemoteFrac: 0.5},
+		{N: 1, X: 0, C: 0.5, Y: 1, B: 0.1, Cycles: 2, RemoteFrac: 0.5},
+		{N: 1, X: 1, C: 0, Y: 1, B: 0.1, Cycles: 2, RemoteFrac: 0.5},
+		{N: 1, X: 1, C: 0.5, Y: -1, B: 0.1, Cycles: 2, RemoteFrac: 0.5},
+		{N: 1, X: 1, C: 0.5, Y: 1, B: -0.1, Cycles: 2, RemoteFrac: 0.5},
+		{N: 1, X: 1, C: 0.5, Y: 1, B: 0.1, Cycles: 0.5, RemoteFrac: 0.5},
+		{N: 1, X: 1, C: 0.5, Y: 1, B: 0.1, Cycles: 2, RemoteFrac: 1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+}
+
+func TestCentralMultitask(t *testing.T) {
+	app := workload.Default(20)
+	net, k, err := CentralMultitask(3, 2, app, Dists{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 6 {
+		t.Fatalf("K = %d, want 6", k)
+	}
+	if got := net.Stations[0].Kind.String(); got != "multi" {
+		t.Fatalf("CPU kind = %s, want multi", got)
+	}
+	if net.Stations[0].Servers != 3 || net.Stations[1].Servers != 3 {
+		t.Fatal("CPU/disk pools should have 3 servers")
+	}
+	// degree 1 keeps the plain delay-pool model.
+	net1, k1, err := CentralMultitask(3, 1, app, Dists{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != 3 || net1.Stations[0].Kind.String() != "delay" {
+		t.Fatal("degree 1 should return the plain central model")
+	}
+	// Calibration: single-task time components unchanged by pooling.
+	tc := net.TimeComponents()
+	approx(t, tc[0], app.C*app.X, 1e-9, "multitask CPU time")
+	// Erlang CPUs cannot multiprogram in this model.
+	if _, _, err := CentralMultitask(3, 2, app, Dists{CPU: ErlangStages(2)}, Options{}); err == nil {
+		t.Fatal("accepted PH CPU with multitasking")
+	}
+	if _, _, err := CentralMultitask(0, 2, app, Dists{}, Options{}); err == nil {
+		t.Fatal("accepted w=0")
+	}
+}
+
+func TestWorkloadDerived(t *testing.T) {
+	app := workload.Default(30)
+	approx(t, app.SingleTaskTime(), 12, 1e-12, "default E(T)")
+	approx(t, app.Q(), 0.1, 1e-12, "q")
+	approx(t, app.SerialTime(), 30*(app.X+app.Y), 1e-12, "serial time")
+	low := workload.LowContention(30)
+	approx(t, low.SingleTaskTime(), 12, 1e-12, "low-contention E(T)")
+}

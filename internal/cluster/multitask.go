@@ -1,0 +1,44 @@
+package cluster
+
+import (
+	"fmt"
+
+	"finwl/internal/network"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+// CentralMultitask models the paper's multitasking extension (§5
+// "more parameters can always be added … multitasking"): w
+// workstations each multiprogrammed with `degree` tasks. Concurrency
+// rises to K = w·degree, but the CPU and local-disk pools now have
+// only w servers each, so tasks on the same workstation time-share —
+// both stations become w-server multi-server stations. CPU and disk
+// service must stay exponential (multi-server stations track no
+// phases); the shared comm/storage servers may use any distribution.
+//
+// It returns the network and the concurrency K to build the solver
+// with.
+func CentralMultitask(w, degree int, app workload.App, dists Dists, opts Options) (*network.Network, int, error) {
+	if w < 1 || degree < 1 {
+		return nil, 0, fmt.Errorf("cluster: need w >= 1 and degree >= 1, got %d, %d", w, degree)
+	}
+	net, err := Central(w, app, dists, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	if degree == 1 {
+		return net, w, nil // plain dedicated-workstation model
+	}
+	for _, idx := range []int{0, 1} { // CPU pool, local-disk pool
+		if net.Stations[idx].Service.Dim() != 1 {
+			return nil, 0, fmt.Errorf("cluster: multitasking requires exponential %s service", net.Stations[idx].Name)
+		}
+		net.Stations[idx].Kind = statespace.Multi
+		net.Stations[idx].Servers = w
+	}
+	if err := net.Validate(); err != nil {
+		return nil, 0, err
+	}
+	return net, w * degree, nil
+}

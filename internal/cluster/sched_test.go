@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"finwl/internal/core"
+	"finwl/internal/network"
+	"finwl/internal/workload"
+)
+
+func TestSchedOverheadStage(t *testing.T) {
+	app := workload.Default(10)
+	net, err := Central(3, app, Dists{}, Options{SchedOverhead: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Stations) != 5 {
+		t.Fatalf("stations %d, want 5 (with sched stage)", len(net.Stations))
+	}
+	if net.Stations[4].Name != "Sched" || net.Stations[4].Kind.String() != "delay" {
+		t.Fatalf("sched stage wrong: %+v", net.Stations[4])
+	}
+	if net.Entry[4] != 1 {
+		t.Fatal("entry should move to the sched stage")
+	}
+	// Single-task flow time gains exactly the overhead (delay stage,
+	// visited once).
+	tc := net.TimeComponents()
+	if math.Abs(tc[4]-0.4) > 1e-9 {
+		t.Fatalf("sched time component %v, want 0.4", tc[4])
+	}
+	if math.Abs(net.AsPH().Mean()-(app.SingleTaskTime()+0.4)) > 1e-9 {
+		t.Fatal("single-task time should grow by the overhead")
+	}
+
+	// Shared scheduler variant is a queue.
+	netQ, err := Central(3, app, Dists{}, Options{SchedOverhead: 0.4, SchedShared: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if netQ.Stations[4].Kind.String() != "queue" {
+		t.Fatal("shared sched should be a queue")
+	}
+
+	// Overhead slows the job; the shared variant at least as much.
+	base, err := core.NewSolver(mustNet(t, app, Options{}), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withOv, err := core.NewSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withQ, err := core.NewSolver(netQ, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := base.TotalTime(app.N)
+	o, _ := withOv.TotalTime(app.N)
+	qv, _ := withQ.TotalTime(app.N)
+	if !(b < o && o <= qv) {
+		t.Fatalf("expected base %v < per-node %v <= shared %v", b, o, qv)
+	}
+}
+
+func mustNet(t *testing.T, app workload.App, opts Options) *network.Network {
+	t.Helper()
+	net, err := Central(3, app, Dists{}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/matrix"
+	"finwl/internal/phase"
+	"finwl/internal/productform"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+func TestRegionsThreePhases(t *testing.T) {
+	app := workload.Default(40)
+	net, err := cluster.Central(5, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSolver(t, net, 5)
+	res, err := s.Solve(app.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.Regions(0.01)
+	if reg.FillEpochs == 0 || reg.DrainEpochs == 0 || reg.SteadyEpochs == 0 {
+		t.Fatalf("expected all three regions, got %+v", reg)
+	}
+	if reg.FillEpochs+reg.DrainEpochs+reg.SteadyEpochs != app.N {
+		t.Fatalf("regions don't partition the epochs: %+v", reg)
+	}
+	// The steady value should match the fixed point.
+	_, tss, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(reg.SteadyValue-tss)/tss > 0.01 {
+		t.Fatalf("plateau %v vs t_ss %v", reg.SteadyValue, tss)
+	}
+	// A bigger workload spends a larger fraction of its life at steady
+	// state.
+	res2, err := s.Solve(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Regions(0.01).SteadyTimeFrac <= reg.SteadyTimeFrac {
+		t.Fatal("steady fraction should grow with N")
+	}
+}
+
+func TestRegionsTinyWorkload(t *testing.T) {
+	net := singleStation(statespace.Queue, phase.Expo(1))
+	s := mustSolver(t, net, 1)
+	res, err := s.Solve(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := res.Regions(0.05)
+	if reg.FillEpochs+reg.DrainEpochs+reg.SteadyEpochs != 1 {
+		t.Fatalf("single epoch should partition: %+v", reg)
+	}
+}
+
+func TestOccupancyConservation(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(4, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSolver(t, net, 4)
+	for k := 1; k <= 4; k++ {
+		pi := s.EntryVector(k)
+		occ := s.Occupancy(k, pi)
+		if math.Abs(matrix.VecSum(occ)-float64(k)) > 1e-9 {
+			t.Fatalf("level %d: occupancy sums to %v", k, matrix.VecSum(occ))
+		}
+	}
+	// Right after entry all tasks sit at the CPU.
+	occ := s.Occupancy(4, s.EntryVector(4))
+	if math.Abs(occ[0]-4) > 1e-9 {
+		t.Fatalf("entry occupancy = %v, want all at CPU", occ)
+	}
+}
+
+// Time-stationary occupancy for an exponential network must match
+// MVA's mean queue lengths — and must differ from the
+// departure-embedded fixed point, which weights states by departures
+// rather than by time.
+func TestOccupancyMatchesMVA(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(4, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustSolver(t, net, 4)
+	piTime, err := s.TimeStationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := s.Occupancy(4, piTime)
+	mva := productform.FromNetwork(net).MVA(4)
+	for i := range occ {
+		if math.Abs(occ[i]-mva.QueueLen[i]) > 1e-6*math.Max(1, mva.QueueLen[i]) {
+			t.Fatalf("station %d: occupancy %v vs MVA %v", i, occ[i], mva.QueueLen[i])
+		}
+	}
+	piEmb, _, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	embOcc := s.Occupancy(4, piEmb)
+	if math.Abs(embOcc[0]-occ[0]) < 1e-6 {
+		t.Fatal("embedded and time-stationary occupancies should differ")
+	}
+}
+
+func TestBusyServers(t *testing.T) {
+	// Two-station multi network: busy servers bounded by the server
+	// count and by occupancy.
+	net := multiNet(2, 1.5, 1)
+	s := mustSolver(t, net, 4)
+	pi, err := s.TimeStationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	busy := s.BusyServers(4, pi)
+	occ := s.Occupancy(4, pi)
+	if busy[1] > 2+1e-12 {
+		t.Fatalf("multi station busy %v exceeds 2 servers", busy[1])
+	}
+	if busy[1] > occ[1]+1e-12 {
+		t.Fatal("busy servers cannot exceed occupancy")
+	}
+	// Delay station: every customer is in service.
+	if math.Abs(busy[0]-occ[0]) > 1e-12 {
+		t.Fatal("delay station busy != occupancy")
+	}
+	// Steady-state utilization matches Buzen throughput × demand.
+	pf := productform.FromNetwork(net)
+	x := pf.ThroughputBuzen(4)
+	visits := net.VisitRatios()
+	wantUtil := x * visits[1] * net.Stations[1].Service.Mean() // busy servers = X·v·s
+	if math.Abs(busy[1]-wantUtil) > 1e-6*math.Max(1, wantUtil) {
+		t.Fatalf("busy servers %v vs X·v·s %v", busy[1], wantUtil)
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/workload"
+)
+
+func benchNet(b *testing.B, k int, d cluster.Dists) *Solver {
+	b.Helper()
+	app := workload.Default(30)
+	net, err := cluster.Central(k, app, d, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(net, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// Building + factoring the chain is the setup cost paid once per
+// configuration.
+func BenchmarkNewSolverCentralK8H2(b *testing.B) {
+	app := workload.Default(30)
+	net, err := cluster.Central(8, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSolver(net, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One feeding epoch: the per-task marginal cost of the transient
+// solution.
+func BenchmarkFeedEpochK8(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	pi := s.EntryVector(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pi = s.Feed(8, pi)
+	}
+}
+
+func BenchmarkSolveN100K8(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(100); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSteadyStateK8(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Sparse vs dense on the same mid-size model.
+func BenchmarkSparseSolveDistributedK4(b *testing.B) {
+	app := workload.Default(20)
+	net, err := cluster.Distributed(4, app, cluster.Dists{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSparseSolver(net, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDenseSolveDistributedK4(b *testing.B) {
+	app := workload.Default(20)
+	net, err := cluster.Distributed(4, app, cluster.Dists{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := NewSolver(net, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

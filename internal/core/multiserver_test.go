@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"finwl/internal/matrix"
+	"finwl/internal/network"
+	"finwl/internal/phase"
+	"finwl/internal/productform"
+	"finwl/internal/sim"
+	"finwl/internal/statespace"
+)
+
+// multiNet is a two-station network: a delay "think" stage and a
+// c-server exponential station — the classic machine-repair shape.
+func multiNet(c int, muThink, muSvc float64) *network.Network {
+	route := matrix.New(2, 2)
+	route.Set(0, 1, 0.5)
+	route.Set(1, 0, 1)
+	return &network.Network{
+		Stations: []network.Station{
+			{Name: "think", Kind: statespace.Delay, Service: phase.Expo(muThink)},
+			{Name: "pool", Kind: statespace.Multi, Service: phase.Expo(muSvc), Servers: c},
+		},
+		Route: route,
+		Exit:  []float64{0.5, 0},
+		Entry: []float64{1, 0},
+	}
+}
+
+// A 1-server Multi station is exactly a Queue station.
+func TestMultiOneServerEqualsQueue(t *testing.T) {
+	asQueue := multiNet(1, 2, 1.5)
+	asQueue.Stations[1].Kind = statespace.Queue
+	asQueue.Stations[1].Servers = 0
+	sm := mustSolver(t, multiNet(1, 2, 1.5), 4)
+	sq := mustSolver(t, asQueue, 4)
+	for _, n := range []int{4, 9} {
+		a, err := sm.TotalTime(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := sq.TotalTime(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, a, b, 1e-10, "multi(1) vs queue")
+	}
+}
+
+// A Multi station with servers ≥ K never queues: it must match the
+// Delay version.
+func TestMultiEnoughServersEqualsDelay(t *testing.T) {
+	k := 3
+	asDelay := multiNet(k, 2, 1.5)
+	asDelay.Stations[1].Kind = statespace.Delay
+	asDelay.Stations[1].Servers = 0
+	sm := mustSolver(t, multiNet(k, 2, 1.5), k)
+	sd := mustSolver(t, asDelay, k)
+	a, err := sm.TotalTime(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sd.TotalTime(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, a, b, 1e-10, "multi(K) vs delay")
+}
+
+// Exponential multi-server stations keep the product form: the
+// transient steady state must match Buzen with load-dependent rates.
+func TestMultiSteadyStateMatchesBuzen(t *testing.T) {
+	for _, c := range []int{1, 2, 3} {
+		net := multiNet(c, 1.7, 0.9)
+		s := mustSolver(t, net, 5)
+		_, tss, err := s.SteadyState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := productform.FromNetwork(net).Interdeparture(5)
+		approx(t, tss, pf, 1e-9, "multi t_ss vs Buzen")
+	}
+}
+
+// More servers help monotonically, with diminishing returns bounded
+// by the delay version.
+func TestMultiMonotoneInServers(t *testing.T) {
+	n := 10
+	prev := math.Inf(1)
+	for _, c := range []int{1, 2, 4} {
+		s := mustSolver(t, multiNet(c, 2, 1), 4)
+		total, err := s.TotalTime(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total >= prev {
+			t.Fatalf("c=%d: %v not faster than %v", c, total, prev)
+		}
+		prev = total
+	}
+}
+
+// Simulator agreement for the multi-server station.
+func TestMultiSimAgreement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	net := multiNet(2, 1.5, 1)
+	s := mustSolver(t, net, 4)
+	want, err := s.TotalTime(12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.Replicate(sim.Config{Net: net, K: 4, N: 12, Seed: 3}, 4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MeanTotal-want) > 4*rep.TotalCI95 {
+		t.Fatalf("sim %v ± %v vs analytic %v", rep.MeanTotal, rep.TotalCI95, want)
+	}
+}
+
+// Validation rejects malformed multi-server stations.
+func TestMultiValidation(t *testing.T) {
+	bad := multiNet(2, 1, 1)
+	bad.Stations[1].Servers = 0
+	if _, err := NewSolver(bad, 2); err == nil {
+		t.Fatal("accepted Servers=0")
+	}
+	bad2 := multiNet(2, 1, 1)
+	bad2.Stations[1].Service = phase.ErlangMean(2, 1)
+	if _, err := NewSolver(bad2, 2); err == nil {
+		t.Fatal("accepted PH service on a multi-server station")
+	}
+}
+
+// MVA must refuse multi-server stations rather than silently
+// approximate.
+func TestMVARejectsMulti(t *testing.T) {
+	net := multiNet(2, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MVA accepted a multi-server station")
+		}
+	}()
+	productform.FromNetwork(net).MVA(3)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finwl/internal/cluster"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+// The sparse solver must reproduce the dense solver exactly (both are
+// exact methods; only the linear algebra differs).
+func TestSparseMatchesDenseCentral(t *testing.T) {
+	app := workload.Default(15)
+	net, err := cluster.Central(4, app, cluster.Dists{
+		Remote: cluster.WithCV2(10),
+		CPU:    cluster.ErlangStages(2),
+	}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := mustSolver(t, net, 4)
+	sp, err := NewSparseSolver(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dres, err := dense.Solve(app.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sres, err := sp.Solve(app.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range dres.Epochs {
+		approx(t, sres.Epochs[i], dres.Epochs[i], 1e-8, "sparse epoch")
+	}
+	approx(t, sres.TotalTime, dres.TotalTime, 1e-9, "sparse total")
+}
+
+func TestSparseSteadyStateMatchesDense(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(4, app, cluster.Dists{Remote: cluster.WithCV2(5)}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := mustSolver(t, net, 4)
+	_, dTss, err := dense.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSparseSolver(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sTss, err := sp.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, sTss, dTss, 1e-7, "sparse t_ss")
+}
+
+// Property: dense and sparse agree on random small networks.
+func TestSparseMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNet(r)
+		k := 1 + r.Intn(3)
+		dense, err := NewSolver(net, k)
+		if err != nil {
+			return false
+		}
+		sp, err := NewSparseSolver(net, k)
+		if err != nil {
+			return false
+		}
+		n := k + r.Intn(5)
+		dTotal, err := dense.TotalTime(n)
+		if err != nil {
+			return false
+		}
+		sTotal, err := sp.TotalTime(n)
+		if err != nil {
+			return false
+		}
+		return math.Abs(dTotal-sTotal) < 1e-7*math.Max(1, dTotal)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The sparse path handles a distributed cluster whose top level has
+// thousands of states; sanity-check against the single-queue bound
+// and monotonicity rather than the (infeasible) dense path.
+func TestSparseLargeDistributed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large state space in -short mode")
+	}
+	app := workload.Default(12)
+	k := 6
+	net, err := cluster.Distributed(k, app, cluster.Dists{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSparseSolver(net, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// D(6) for 8 stations = C(13,6) = 1716; more with bigger k.
+	if d := sp.Chain.D(k); d != 1716 {
+		t.Fatalf("D(%d) = %d, want 1716", k, d)
+	}
+	total, err := sp.TotalTime(app.N)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job cannot beat perfect parallelism over its service time,
+	// nor be slower than fully serial execution.
+	lower := app.SingleTaskTime() * float64(app.N) / float64(k)
+	upper := app.SingleTaskTime() * float64(app.N)
+	if total < lower || total > upper {
+		t.Fatalf("E(T) = %v outside [%v, %v]", total, lower, upper)
+	}
+}
+
+func TestSparseSingleQueueSequential(t *testing.T) {
+	svc := phase.HyperExpFit(2, 6)
+	net := singleStation(statespace.Queue, svc)
+	net.Stations[0].Name = "q"
+	sp, err := NewSparseSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := sp.TotalTime(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, total, 7*svc.Mean(), 1e-8, "sparse sequential queue")
+}
+
+func TestSparseRejectsBadInput(t *testing.T) {
+	net := singleStation(statespace.Queue, phase.Expo(1))
+	sp, err := NewSparseSolver(net, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sp.Solve(0); err == nil {
+		t.Fatal("Solve(0) succeeded")
+	}
+	if _, err := NewSparseSolver(net, 0); err == nil {
+		t.Fatal("NewSparseSolver with K=0 succeeded")
+	}
+}

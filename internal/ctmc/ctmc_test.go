@@ -1,0 +1,384 @@
+package ctmc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/matrix"
+	"finwl/internal/network"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+func approx(t *testing.T, got, want, relTol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func singleStation(kind statespace.Kind, svc *phase.PH) *network.Network {
+	return &network.Network{
+		Stations: []network.Station{{Name: "s", Kind: kind, Service: svc}},
+		Route:    matrix.New(1, 1),
+		Exit:     []float64{1},
+		Entry:    []float64{1},
+	}
+}
+
+func buildChain(t *testing.T, net *network.Network, k, n int) *Chain {
+	t.Helper()
+	ch, err := network.NewChain(net, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Build(ch, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// The chain's mean absorption time must equal the level-recursion
+// E(T) — two independent computations of the same model.
+func TestMeanMatchesTransientSolver(t *testing.T) {
+	app := workload.Default(12)
+	configs := []cluster.Dists{
+		{},
+		{Remote: cluster.WithCV2(10)},
+		{CPU: cluster.ErlangStages(2), Remote: cluster.WithCV2(5)},
+	}
+	for i, d := range configs {
+		net, err := cluster.Central(3, app, d, cluster.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := core.NewSolver(net, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := s.TotalTime(app.N)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := buildChain(t, net, 3, app.N)
+		got, err := c.MeanAbsorptionTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, got, want, 1e-9, "mean absorption vs E(T)")
+		if i == 0 && c.States() == 0 {
+			t.Fatal("no transient states")
+		}
+	}
+}
+
+// Property: agreement holds for random networks and workloads.
+func TestMeanMatchesSolverProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNet(r)
+		k := 1 + r.Intn(3)
+		n := k + r.Intn(6)
+		s, err := core.NewSolver(net, k)
+		if err != nil {
+			return false
+		}
+		want, err := s.TotalTime(n)
+		if err != nil {
+			return false
+		}
+		ch, err := network.NewChain(net, k)
+		if err != nil {
+			return false
+		}
+		c, err := Build(ch, n)
+		if err != nil {
+			return false
+		}
+		got, err := c.MeanAbsorptionTime()
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-8*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomNet(r *rand.Rand) *network.Network {
+	m := 1 + r.Intn(3)
+	stations := make([]network.Station, m)
+	for i := range stations {
+		kind := statespace.Delay
+		if r.Intn(2) == 0 {
+			kind = statespace.Queue
+		}
+		var svc *phase.PH
+		if r.Intn(2) == 0 {
+			svc = phase.Expo(0.5 + 2*r.Float64())
+		} else {
+			svc = phase.HyperExpFit(0.5+r.Float64(), 1+3*r.Float64())
+		}
+		stations[i] = network.Station{Name: string(rune('A' + i)), Kind: kind, Service: svc}
+	}
+	route := matrix.New(m, m)
+	exit := make([]float64, m)
+	for i := 0; i < m; i++ {
+		exit[i] = 0.3 + 0.4*r.Float64()
+		remain := 1 - exit[i]
+		w := make([]float64, m)
+		var sum float64
+		for j := range w {
+			w[j] = r.Float64()
+			sum += w[j]
+		}
+		for j := range w {
+			route.Set(i, j, remain*w[j]/sum)
+		}
+	}
+	entry := make([]float64, m)
+	entry[0] = 1
+	return &network.Network{Stations: stations, Route: route, Exit: exit, Entry: entry}
+}
+
+// Single exponential FCFS queue: completion of N tasks is
+// Erlang(N, µ) — closed-form CDF.
+func TestCDFSingleQueueErlang(t *testing.T) {
+	mu := 1.5
+	n := 4
+	c := buildChain(t, singleStation(statespace.Queue, phase.Expo(mu)), 2, n)
+	erlangCDF := func(tt float64) float64 {
+		// P(Erlang(n,µ) ≤ t) = 1 − e^{−µt} Σ_{k<n} (µt)^k/k!
+		sum, term := 0.0, 1.0
+		for k := 0; k < n; k++ {
+			if k > 0 {
+				term *= mu * tt / float64(k)
+			}
+			sum += term
+		}
+		return 1 - math.Exp(-mu*tt)*sum
+	}
+	for _, tt := range []float64{0.5, 1, 2, 4, 8} {
+		got, err := c.CompletionCDF(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx(t, got, erlangCDF(tt), 1e-8, "Erlang CDF")
+	}
+}
+
+// Delay station with K = N: completion is max of N iid exponentials,
+// CDF = (1 − e^{−µt})^N.
+func TestCDFDelayMaxOfExponentials(t *testing.T) {
+	mu := 0.8
+	n := 3
+	c := buildChain(t, singleStation(statespace.Delay, phase.Expo(mu)), n, n)
+	for _, tt := range []float64{0.5, 1, 2, 5} {
+		got, err := c.CompletionCDF(tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Pow(1-math.Exp(-mu*tt), float64(n))
+		approx(t, got, want, 1e-8, "max-of-exp CDF")
+	}
+}
+
+func TestCDFMonotoneAndBounded(t *testing.T) {
+	app := workload.Default(6)
+	net, err := cluster.Central(2, app, cluster.Dists{Remote: cluster.WithCV2(8)}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildChain(t, net, 2, app.N)
+	mean, err := c.MeanAbsorptionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1.0
+	for _, frac := range []float64{0.1, 0.5, 1, 1.5, 2, 4} {
+		v, err := c.CompletionCDF(mean * frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v < prev || v < 0 || v > 1 {
+			t.Fatalf("CDF not monotone in [0,1]: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	if prev < 0.95 {
+		t.Fatalf("CDF at 4× mean is only %v", prev)
+	}
+	if z, _ := c.CompletionCDF(0); z != 0 {
+		t.Fatal("CDF(0) != 0")
+	}
+}
+
+// The CDF's implied mean (∫ survival) must match the direct mean.
+func TestCDFImpliedMean(t *testing.T) {
+	net := singleStation(statespace.Queue, phase.HyperExpFit(1, 6))
+	c := buildChain(t, net, 2, 3)
+	mean, err := c.MeanAbsorptionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trapezoid over survival with fine grid out to 40×mean.
+	var integral float64
+	h := mean / 100
+	last := 1.0
+	for x := h; x < 40*mean; x += h {
+		v, err := c.CompletionCDF(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		surv := 1 - v
+		integral += h * (last + surv) / 2
+		last = surv
+		if surv < 1e-10 {
+			break
+		}
+	}
+	approx(t, integral, mean, 0.01, "∫survival vs mean")
+}
+
+func TestQuantile(t *testing.T) {
+	net := singleStation(statespace.Queue, phase.Expo(2))
+	c := buildChain(t, net, 1, 2) // Erlang(2,2): median at known point
+	q50, err := c.Quantile(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.CompletionCDF(q50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, v, 0.5, 1e-4, "CDF at median")
+	q99, err := c.Quantile(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q99 <= q50 {
+		t.Fatal("q99 should exceed median")
+	}
+	if _, err := c.Quantile(1.5); err == nil {
+		t.Fatal("accepted quantile > 1")
+	}
+}
+
+// Heavy-tailed service moves the tail percentile much more than the
+// mean — the extension's whole point.
+func TestTailSensitivity(t *testing.T) {
+	app := workload.Default(8)
+	k := 2
+	mk := func(d cluster.Dists) (mean, p99 float64) {
+		net, err := cluster.Central(k, app, d, cluster.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := buildChain(t, net, k, app.N)
+		mean, err = c.MeanAbsorptionTime()
+		if err != nil {
+			t.Fatal(err)
+		}
+		p99, err = c.Quantile(0.99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mean, p99
+	}
+	mExp, tExp := mk(cluster.Dists{})
+	mH2, tH2 := mk(cluster.Dists{Remote: cluster.WithCV2(25)})
+	meanRatio := mH2 / mExp
+	tailRatio := tH2 / tExp
+	if tailRatio <= meanRatio {
+		t.Fatalf("p99 ratio %v should exceed mean ratio %v", tailRatio, meanRatio)
+	}
+}
+
+func TestOccupancyAt(t *testing.T) {
+	app := workload.Default(6)
+	net, err := cluster.Central(2, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := buildChain(t, net, 2, app.N)
+	// At t=0 both admitted tasks sit at the CPU (entry station).
+	occ0, err := c.OccupancyAt(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(occ0[0]-2) > 1e-12 {
+		t.Fatalf("t=0 CPU occupancy %v, want 2", occ0[0])
+	}
+	var total0 float64
+	for _, v := range occ0 {
+		total0 += v
+	}
+	if math.Abs(total0-2) > 1e-12 {
+		t.Fatalf("t=0 total occupancy %v, want 2", total0)
+	}
+	// Mid-run: mass spread over stations, total ≤ 2 (some work done).
+	mean, err := c.MeanAbsorptionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	occMid, err := c.OccupancyAt(mean / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalMid float64
+	for st, v := range occMid {
+		if v < -1e-12 {
+			t.Fatalf("negative occupancy at station %d", st)
+		}
+		totalMid += v
+	}
+	if totalMid >= 2 || totalMid <= 0 {
+		t.Fatalf("mid-run occupancy %v, want in (0, 2)", totalMid)
+	}
+	// Long after the mean everything has drained.
+	occLate, err := c.OccupancyAt(mean * 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalLate float64
+	for _, v := range occLate {
+		totalLate += v
+	}
+	if totalLate > 0.05 {
+		t.Fatalf("late occupancy %v, want ~0", totalLate)
+	}
+}
+
+func TestBuildRejectsBadN(t *testing.T) {
+	net := singleStation(statespace.Queue, phase.Expo(1))
+	ch, err := network.NewChain(net, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(ch, 0); err == nil {
+		t.Fatal("Build accepted N=0")
+	}
+}
+
+func TestPoissonWeights(t *testing.T) {
+	for _, q := range []float64{0.5, 3, 20, 150} {
+		w := poissonWeights(q, 1e-13)
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Fatalf("q=%v: weights sum to %v", q, sum)
+		}
+	}
+	if w := poissonWeights(0, 1e-13); len(w) != 1 || w[0] != 1 {
+		t.Fatal("q=0 should be the unit mass")
+	}
+}

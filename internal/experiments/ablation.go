@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+
+	"finwl/internal/cluster"
+	"finwl/internal/sim"
+	"finwl/internal/statespace"
+	"finwl/internal/workload"
+)
+
+// ApproxVsExactTable compares the exact transient E(T) with the
+// steady-state approximation (the paper's reference [17] ablation):
+// the approximation's error must vanish as N grows and be largest
+// when the transient regions dominate.
+func ApproxVsExactTable(id string, arch Arch, k int, ns []int, d cluster.Dists, mkApp func(int) workload.App) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Exact transient E(T) vs steady-state approximation, %s K=%d", arch, k),
+		XLabel: "N",
+		YLabel: "time / error %",
+	}
+	var exacts, approxs, errs []float64
+	for _, n := range ns {
+		t.X = append(t.X, float64(n))
+		app := mkApp(n)
+		s, err := newSolver(arch, k, app, d, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		exact, err := s.TotalTime(n)
+		if err != nil {
+			return nil, err
+		}
+		appr, err := s.ApproxTotalTime(n)
+		if err != nil {
+			return nil, err
+		}
+		exacts = append(exacts, exact)
+		approxs = append(approxs, appr)
+		errs = append(errs, 100*math.Abs(appr-exact)/exact)
+	}
+	t.Series = []Series{
+		{Label: "exact E(T)", Y: exacts},
+		{Label: "approx E(T)", Y: approxs},
+		{Label: "error %", Y: errs},
+	}
+	return t, nil
+}
+
+// ApproxVsExact runs the ablation on the central cluster with an H2
+// shared server, where the transient regions are the longest.
+func ApproxVsExact() (*Table, error) {
+	return ApproxVsExactTable("tbl-approx", CentralArch, 5,
+		[]int{5, 10, 20, 50, 100, 200, 400},
+		distsFor(CompRemote, cluster.WithCV2(10)), workload.Default)
+}
+
+// SimValidationTable runs the discrete-event simulator against the
+// analytic transient model on the configurations of Figures 3 and 10
+// and reports both values with the simulation CI — the paper's
+// validation methodology.
+func SimValidationTable(id string, reps int) (*Table, error) {
+	type scenario struct {
+		label string
+		arch  Arch
+		k, n  int
+		dists cluster.Dists
+	}
+	scenarios := []scenario{
+		{"central exp", CentralArch, 5, 30, cluster.Dists{}},
+		{"central H2 rdisk", CentralArch, 5, 30, distsFor(CompRemote, cluster.WithCV2(10))},
+		{"central E3 cpu", CentralArch, 5, 30, distsFor(CompCPU, cluster.ErlangStages(3))},
+		{"distributed exp", DistributedArch, 3, 20, cluster.Dists{}},
+	}
+	t := &Table{
+		ID:     id,
+		Title:  "Analytic E(T) vs discrete-event simulation",
+		XLabel: "scenario#",
+		YLabel: "time",
+		Notes:  []string{fmt.Sprintf("%d replications per scenario; CI is the 95%% half-width", reps)},
+	}
+	var analytic, simulated, ci []float64
+	for i, sc := range scenarios {
+		t.X = append(t.X, float64(i+1))
+		t.Notes = append(t.Notes, fmt.Sprintf("scenario %d: %s (K=%d, N=%d)", i+1, sc.label, sc.k, sc.n))
+		app := workload.Default(sc.n)
+		net, err := buildNet(sc.arch, sc.k, app, sc.dists, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s, err := newSolver(sc.arch, sc.k, app, sc.dists, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		exact, err := s.TotalTime(sc.n)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := sim.Replicate(sim.Config{Net: net, K: sc.k, N: sc.n, Seed: 7}, reps)
+		if err != nil {
+			return nil, err
+		}
+		analytic = append(analytic, exact)
+		simulated = append(simulated, rep.MeanTotal)
+		ci = append(ci, rep.TotalCI95)
+	}
+	t.Series = []Series{
+		{Label: "analytic", Y: analytic},
+		{Label: "simulated", Y: simulated},
+		{Label: "sim CI95", Y: ci},
+	}
+	return t, nil
+}
+
+// SimValidation runs the standard validation suite.
+func SimValidation() (*Table, error) { return SimValidationTable("tbl-sim", 3000) }
+
+// StateSpaceTable reports the paper's §5.4 state-space reduction: the
+// Kronecker product space (2K+1)^K versus the reduced composition
+// space for the 4-station central model, C(K+3, K).
+func StateSpaceTable() (*Table, error) {
+	t := &Table{
+		ID:     "tbl-space",
+		Title:  "State-space sizes: Kronecker formulation vs reduced product space",
+		XLabel: "K",
+		YLabel: "states",
+	}
+	var kron, reduced, ratio []float64
+	for k := 1; k <= 8; k++ {
+		t.X = append(t.X, float64(k))
+		kf, _ := new(big.Float).SetInt(statespace.KroneckerSize(2*k+1, k)).Float64()
+		rd := float64(statespace.Compositions(4, k))
+		kron = append(kron, kf)
+		reduced = append(reduced, rd)
+		ratio = append(ratio, kf/rd)
+	}
+	t.Series = []Series{
+		{Label: "Kronecker", Y: kron},
+		{Label: "reduced", Y: reduced},
+		{Label: "ratio", Y: ratio},
+	}
+	return t, nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finwl/internal/bounds"
+	"finwl/internal/cluster"
+	"finwl/internal/phase"
+	"finwl/internal/productform"
+	"finwl/internal/workload"
+)
+
+// SchedOverheadTable quantifies the paper's "scheduling overhead"
+// extension: the dispatch cost every task pays before its first CPU
+// burst, modeled either as per-node work (delay) or as a single
+// central scheduler (shared queue). A central scheduler turns pure
+// overhead into a new contention point: the two curves separate as
+// the overhead grows.
+func SchedOverheadTable(id string, k, n int, overheads []float64) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Scheduling-overhead ablation, central K=%d N=%d", k, n),
+		XLabel: "overhead",
+		YLabel: "E(T)",
+		X:      overheads,
+	}
+	app := workload.Default(n)
+	for _, shared := range []bool{false, true} {
+		label := "per-node"
+		if shared {
+			label = "central sched"
+		}
+		var ys []float64
+		for _, ov := range overheads {
+			s, err := newSolver(CentralArch, k, app, cluster.Dists{},
+				cluster.Options{SchedOverhead: ov, SchedShared: shared})
+			if err != nil {
+				return nil, err
+			}
+			total, err := s.TotalTime(n)
+			if err != nil {
+				return nil, err
+			}
+			ys = append(ys, total)
+		}
+		t.Series = append(t.Series, Series{Label: label, Y: ys})
+	}
+	return t, nil
+}
+
+// SchedOverhead is the registered variant.
+func SchedOverhead() (*Table, error) {
+	return SchedOverheadTable("tbl-sched", 4, 30, []float64{0.001, 0.1, 0.3, 0.6, 1.0})
+}
+
+// AvailabilityTable folds server breakdowns into the shared storage
+// service law (phase.WithBreakdowns) and compares the exact model
+// against the naive prediction that only inflates the mean service
+// time by 1/availability. Both have the same utilization; the exact
+// model also carries the repair-time bursts, so it is always slower —
+// the gap is what ignoring failure dynamics costs.
+func AvailabilityTable(id string, k, n int, failRates []float64, repair float64) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Storage-server breakdowns, central K=%d N=%d (repair rate %.3g)", k, n, repair),
+		XLabel: "fail rate",
+		YLabel: "E(T)",
+		X:      failRates,
+		Notes:  []string{"naive = mean inflated by 1/availability; exact = PH breakdown model"},
+	}
+	app := workload.Default(n)
+	var exact, naive, avail []float64
+	for _, f := range failRates {
+		inflate := 1 + f/repair
+		brk := func(mean float64) *phase.PH {
+			return phase.WithBreakdowns(phase.ExpoMean(mean), f, repair)
+		}
+		sExact, err := newSolver(CentralArch, k, app, cluster.Dists{Remote: brk}, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		e, err := sExact.TotalTime(n)
+		if err != nil {
+			return nil, err
+		}
+		slow := func(mean float64) *phase.PH { return phase.ExpoMean(mean * inflate) }
+		sNaive, err := newSolver(CentralArch, k, app, cluster.Dists{Remote: slow}, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		nv, err := sNaive.TotalTime(n)
+		if err != nil {
+			return nil, err
+		}
+		exact = append(exact, e)
+		naive = append(naive, nv)
+		avail = append(avail, 100/inflate)
+	}
+	t.Series = []Series{
+		{Label: "exact E(T)", Y: exact},
+		{Label: "naive E(T)", Y: naive},
+		{Label: "avail %", Y: avail},
+	}
+	return t, nil
+}
+
+// Availability is the registered variant.
+func Availability() (*Table, error) {
+	return AvailabilityTable("tbl-avail", 4, 30, []float64{0, 0.05, 0.1, 0.2, 0.4}, 0.5)
+}
+
+// BoundsTable stacks the modeling tiers for the central cluster:
+// O(1) operational bounds, the exact product-form throughput, and the
+// transient model's effective throughput N/E(T) — which sits *below*
+// the steady-state value because it pays for the fill and drain
+// regions the cheaper tiers cannot see.
+func BoundsTable(id string, ks []int, n int) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Modeling tiers: bounds vs product form vs transient, N=%d", n),
+		XLabel: "K",
+		YLabel: "throughput",
+	}
+	app := workload.Default(n)
+	var lo, loBJB, pf, hiBJB, hi, eff []float64
+	for _, k := range ks {
+		t.X = append(t.X, float64(k))
+		net, err := buildNet(CentralArch, k, app, cluster.Dists{}, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		m := productform.FromNetwork(net)
+		b, err := bounds.FromModel(m, k)
+		if err != nil {
+			return nil, err
+		}
+		s, err := newSolver(CentralArch, k, app, cluster.Dists{}, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		total, err := s.TotalTime(n)
+		if err != nil {
+			return nil, err
+		}
+		lo = append(lo, b.XLower)
+		loBJB = append(loBJB, b.XLowerBJB)
+		pf = append(pf, m.ThroughputBuzen(k))
+		hiBJB = append(hiBJB, b.XUpperBJB)
+		hi = append(hi, b.XUpper)
+		eff = append(eff, float64(n)/total)
+	}
+	t.Series = []Series{
+		{Label: "X lower", Y: lo},
+		{Label: "X lower BJB", Y: loBJB},
+		{Label: "X exact PF", Y: pf},
+		{Label: "X upper BJB", Y: hiBJB},
+		{Label: "X upper", Y: hi},
+		{Label: "N/E(T) transient", Y: eff},
+	}
+	return t, nil
+}
+
+// Bounds is the registered variant.
+func Bounds() (*Table, error) {
+	return BoundsTable("tbl-bounds", []int{1, 2, 3, 4, 5, 6, 7, 8}, 30)
+}

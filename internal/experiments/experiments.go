@@ -1,0 +1,174 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 6). Each figure is a parameterless
+// function returning a Table; parameterized helpers underneath let
+// tests and callers run reduced versions. The cmd/finwl binary and
+// the repository-level benchmarks are thin wrappers over this
+// package, and EXPERIMENTS.md records the outputs next to the
+// paper's curves.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/network"
+	"finwl/internal/workload"
+)
+
+// Series is one labeled curve sharing the Table's X grid.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Table is one reproduced figure or table.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []Series
+	Notes  []string
+}
+
+// Render writes the table as aligned text columns.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(w, "   %s\n", n); err != nil {
+			return err
+		}
+	}
+	header := fmt.Sprintf("%14s", t.XLabel)
+	for _, s := range t.Series {
+		header += fmt.Sprintf(" %14s", s.Label)
+	}
+	if _, err := fmt.Fprintf(w, "%s   [%s]\n", header, t.YLabel); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", len(header)+3)); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		row := fmt.Sprintf("%14.6g", x)
+		for _, s := range t.Series {
+			if i < len(s.Y) {
+				row += fmt.Sprintf(" %14.6g", s.Y[i])
+			} else {
+				row += fmt.Sprintf(" %14s", "-")
+			}
+		}
+		if _, err := fmt.Fprintln(w, row); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Arch selects the cluster architecture.
+type Arch int
+
+const (
+	// CentralArch is the §5.4 central-storage cluster.
+	CentralArch Arch = iota
+	// DistributedArch is the §5.5 distributed-storage cluster.
+	DistributedArch
+)
+
+func (a Arch) String() string {
+	if a == CentralArch {
+		return "central"
+	}
+	return "distributed"
+}
+
+// Component identifies which cluster device a variant's distribution
+// applies to.
+type Component int
+
+const (
+	// CompCPU varies the dedicated CPU servers (§6.2).
+	CompCPU Component = iota
+	// CompRemote varies the shared storage servers (§6.1).
+	CompRemote
+)
+
+func (c Component) String() string {
+	if c == CompCPU {
+		return "CPU"
+	}
+	return "remote disk"
+}
+
+// distsFor builds a Dists with dist applied to the chosen component.
+func distsFor(c Component, d cluster.Dist) cluster.Dists {
+	switch c {
+	case CompCPU:
+		return cluster.Dists{CPU: d}
+	default:
+		return cluster.Dists{Remote: d}
+	}
+}
+
+// buildNet constructs the chosen architecture.
+func buildNet(arch Arch, k int, app workload.App, d cluster.Dists, opts cluster.Options) (*network.Network, error) {
+	if arch == CentralArch {
+		return cluster.Central(k, app, d, opts)
+	}
+	return cluster.Distributed(k, app, d)
+}
+
+// newSolver builds a transient solver for the architecture.
+func newSolver(arch Arch, k int, app workload.App, d cluster.Dists, opts cluster.Options) (*core.Solver, error) {
+	net, err := buildNet(arch, k, app, d, opts)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSolver(net, k)
+}
+
+// Runner produces one table.
+type Runner func() (*Table, error)
+
+// Registry maps experiment ids to runners; Order lists them in paper
+// order.
+var Registry = map[string]Runner{
+	"fig3":       Fig3,
+	"fig4":       Fig4,
+	"fig5":       Fig5,
+	"fig6":       Fig6,
+	"fig7":       Fig7,
+	"fig8":       Fig8,
+	"fig9":       Fig9,
+	"fig10":      Fig10,
+	"fig11":      Fig11,
+	"fig12":      Fig12,
+	"fig13":      Fig13,
+	"fig14":      Fig14,
+	"fig15":      Fig15,
+	"tbl-ss":     SteadyStateVsPF,
+	"tbl-approx": ApproxVsExact,
+	"tbl-sim":    SimValidation,
+	"tbl-space":  StateSpaceTable,
+	"tbl-dist":   CompletionPercentiles,
+	"tbl-multi":  Multitask,
+	"tbl-sched":  SchedOverhead,
+	"tbl-avail":  Availability,
+	"tbl-bounds": Bounds,
+	"tbl-mix":    ClassMix,
+}
+
+// Order is the canonical run order.
+var Order = []string{
+	"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+	"fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+	"tbl-ss", "tbl-approx", "tbl-sim", "tbl-space", "tbl-dist", "tbl-multi",
+	"tbl-sched", "tbl-avail", "tbl-bounds", "tbl-mix",
+}

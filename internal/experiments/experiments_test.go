@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/workload"
+)
+
+// Reduced configurations keep the test suite fast; the full paper
+// parameters run in the benchmarks.
+
+func TestInterdepartureRegions(t *testing.T) {
+	tab, err := InterdepartureTable("t", "test", CentralArch, 3, workload.Default(12),
+		[]Variant{
+			{Label: "Exp"},
+			{Label: "H2", Dists: distsFor(CompRemote, cluster.WithCV2(20))},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 2 || len(tab.Series[0].Y) != 12 {
+		t.Fatalf("unexpected table shape: %d series, %d epochs", len(tab.Series), len(tab.Series[0].Y))
+	}
+	exp, h2 := tab.Series[0].Y, tab.Series[1].Y
+	// Steady feeding region: middle epochs nearly constant.
+	if math.Abs(exp[6]-exp[7])/exp[6] > 0.01 {
+		t.Fatalf("no steady plateau: %v vs %v", exp[6], exp[7])
+	}
+	// Draining region: final epoch largest.
+	if exp[11] <= exp[6] {
+		t.Fatal("draining epochs should exceed the plateau")
+	}
+	// The H2 plateau sits above the exponential plateau (contention
+	// penalty of variability).
+	if h2[6] <= exp[6] {
+		t.Fatalf("H2 plateau %v not above exp %v", h2[6], exp[6])
+	}
+}
+
+func TestSteadyStateSweepShapes(t *testing.T) {
+	tab, err := SteadyStateSweep("t", CentralArch, 3, workload.Default(10), []float64{1, 10, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var contention, noContention []float64
+	for _, s := range tab.Series {
+		if s.Label == "Contention" {
+			contention = s.Y
+		} else {
+			noContention = s.Y
+		}
+	}
+	// No-contention curve is flat (insensitivity).
+	for i := 1; i < len(noContention); i++ {
+		if math.Abs(noContention[i]-noContention[0])/noContention[0] > 1e-6 {
+			t.Fatalf("no-contention curve not flat: %v", noContention)
+		}
+	}
+	// Contention curve grows with C² and dominates the no-contention
+	// curve.
+	for i := 1; i < len(contention); i++ {
+		if contention[i] <= contention[i-1] {
+			t.Fatalf("contention curve not increasing: %v", contention)
+		}
+	}
+	if contention[0] <= noContention[0] {
+		t.Fatal("queueing should cost time vs infinite servers")
+	}
+}
+
+func TestPredictionErrorShapes(t *testing.T) {
+	tab, err := PredictionErrorTable("t", CentralArch, 3, []int{10, 40}, CompRemote,
+		[]float64{1, 10, 50}, workload.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tab.Series {
+		if s.Y[0] != 0 {
+			t.Fatalf("%s: error at C²=1 is %v, want 0", s.Label, s.Y[0])
+		}
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] <= s.Y[i-1] {
+				t.Fatalf("%s: error not increasing: %v", s.Label, s.Y)
+			}
+		}
+	}
+}
+
+func TestPredictionErrorDedicatedErlang(t *testing.T) {
+	// C² < 1 (Erlang CPU) must also give a non-zero but small error,
+	// the paper's "exponential is a good approximation below C²=1".
+	tab, err := PredictionErrorTable("t", CentralArch, 3, []int{12}, CompCPU,
+		[]float64{1.0 / 3, 1, 10}, workload.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := tab.Series[0].Y
+	if y[1] != 0 {
+		t.Fatal("C²=1 must be exact")
+	}
+	if y[0] <= 0 || y[0] >= y[2] {
+		t.Fatalf("Erlang error %v should be positive but below the H2 error %v", y[0], y[2])
+	}
+}
+
+func TestSpeedupVsCV2Shapes(t *testing.T) {
+	tab, err := SpeedupVsCV2Table("t", CentralArch, 3, []int{10, 40}, CompRemote,
+		[]float64{1, 10, 50}, workload.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := tab.Series[0].Y, tab.Series[1].Y
+	for i := range small {
+		// Larger workloads amortize the transient: higher speedup.
+		if large[i] <= small[i] {
+			t.Fatalf("N=40 speedup %v not above N=10 %v at C²=%v", large[i], small[i], tab.X[i])
+		}
+	}
+	for i := 1; i < len(small); i++ {
+		if small[i] >= small[i-1] {
+			t.Fatalf("speedup should fall with C²: %v", small)
+		}
+	}
+}
+
+func TestSpeedupVsKShapes(t *testing.T) {
+	tab, err := SpeedupVsKTable("t", "test", CentralArch, []int{1, 2, 4}, []int{8, 40},
+		[]Variant{{Label: ""}}, workload.LowContention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range tab.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] <= s.Y[i-1] {
+				t.Fatalf("%s: speedup not increasing in K: %v", s.Label, s.Y)
+			}
+		}
+	}
+	// Transient penalty: the small workload scales worse at K=4.
+	if tab.Series[1].Y[2] <= tab.Series[0].Y[2] {
+		t.Fatal("larger workload should achieve higher speedup at K=4")
+	}
+}
+
+func TestApproxVsExactShapes(t *testing.T) {
+	tab, err := ApproxVsExactTable("t", CentralArch, 3, []int{5, 20, 100},
+		cluster.Dists{}, workload.Default)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := tab.Series[2].Y
+	if errs[len(errs)-1] > 1 {
+		t.Fatalf("approximation error at N=100 is %v%%, want < 1%%", errs[len(errs)-1])
+	}
+	if errs[len(errs)-1] >= errs[0] && errs[0] > 0 {
+		t.Fatalf("approximation should improve with N: %v", errs)
+	}
+}
+
+func TestSimValidationSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation in -short mode")
+	}
+	tab, err := SimValidationTable("t", 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytic, simulated, ci := tab.Series[0].Y, tab.Series[1].Y, tab.Series[2].Y
+	for i := range analytic {
+		if math.Abs(analytic[i]-simulated[i]) > 5*ci[i] {
+			t.Errorf("scenario %d: analytic %v vs sim %v ± %v", i+1, analytic[i], simulated[i], ci[i])
+		}
+	}
+}
+
+func TestStateSpaceTable(t *testing.T) {
+	tab, err := StateSpaceTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K=5: Kronecker 11^5 = 161051, reduced C(8,5) = 56.
+	if tab.Series[0].Y[4] != 161051 {
+		t.Fatalf("Kronecker K=5 = %v", tab.Series[0].Y[4])
+	}
+	if tab.Series[1].Y[4] != 56 {
+		t.Fatalf("reduced K=5 = %v", tab.Series[1].Y[4])
+	}
+}
+
+func TestSteadyStateVsPFIdentity(t *testing.T) {
+	tab, err := SteadyStateVsPFTable("t", CentralArch, []int{1, 3}, workload.Default(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tss, pf := tab.Series[0].Y, tab.Series[1].Y
+	for i := range tss {
+		if math.Abs(tss[i]-pf[i]) > 1e-8*pf[i] {
+			t.Fatalf("K=%v: t_ss %v != PF %v", tab.X[i], tss[i], pf[i])
+		}
+	}
+}
+
+func TestRender(t *testing.T) {
+	tab := &Table{
+		ID: "x", Title: "demo", XLabel: "k", YLabel: "v",
+		X:      []float64{1, 2},
+		Series: []Series{{Label: "a", Y: []float64{3, 4}}, {Label: "b", Y: []float64{5}}},
+		Notes:  []string{"note"},
+	}
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"demo", "note", "a", "b", "3", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Fatalf("missing runner for %s", id)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestCompletionPercentilesShapes(t *testing.T) {
+	tab, err := CompletionPercentilesTable("t", CentralArch, 2, 8, []float64{1, 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, p50, p90, p99 := tab.Series[0].Y, tab.Series[1].Y, tab.Series[2].Y, tab.Series[3].Y
+	for i := range tab.X {
+		if !(p50[i] < p90[i] && p90[i] < p99[i]) {
+			t.Fatalf("percentiles not ordered at C²=%v: %v %v %v", tab.X[i], p50[i], p90[i], p99[i])
+		}
+	}
+	// Variability moves the tail much more than the mean.
+	meanGrowth := mean[1] / mean[0]
+	tailGrowth := p99[1] / p99[0]
+	if tailGrowth <= meanGrowth {
+		t.Fatalf("p99 growth %v should exceed mean growth %v", tailGrowth, meanGrowth)
+	}
+}
+
+func TestSchedOverheadShapes(t *testing.T) {
+	tab, err := SchedOverheadTable("t", 3, 12, []float64{0.001, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perNode, central := tab.Series[0].Y, tab.Series[1].Y
+	// Overhead always costs time.
+	if perNode[1] <= perNode[0] || central[1] <= central[0] {
+		t.Fatal("overhead did not increase E(T)")
+	}
+	// A central scheduler contends; per-node does not.
+	if central[1] <= perNode[1] {
+		t.Fatalf("central scheduler (%v) should cost more than per-node (%v)", central[1], perNode[1])
+	}
+}
+
+func TestAvailabilityShapes(t *testing.T) {
+	tab, err := AvailabilityTable("t", 3, 12, []float64{0, 0.2}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, naive := tab.Series[0].Y, tab.Series[1].Y
+	if exact[0] != naive[0] {
+		t.Fatal("no failures: models must coincide")
+	}
+	if exact[1] <= exact[0] {
+		t.Fatal("failures did not slow the job")
+	}
+	// Repair bursts add variability beyond the mean inflation.
+	if exact[1] <= naive[1] {
+		t.Fatalf("exact (%v) should exceed naive (%v)", exact[1], naive[1])
+	}
+}
+
+func TestBoundsTableShapes(t *testing.T) {
+	tab, err := BoundsTable("t", []int{1, 3}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tab.X {
+		lo, loB := tab.Series[0].Y[i], tab.Series[1].Y[i]
+		pf := tab.Series[2].Y[i]
+		hiB, hi := tab.Series[3].Y[i], tab.Series[4].Y[i]
+		eff := tab.Series[5].Y[i]
+		if !(lo <= pf+1e-9 && pf <= hi+1e-9 && loB <= pf+1e-9 && pf <= hiB+1e-9) {
+			t.Fatalf("K=%v: PF %v outside bounds [%v,%v]/[%v,%v]", tab.X[i], pf, lo, hi, loB, hiB)
+		}
+		// The finite workload pays transient+drain: effective
+		// throughput below the steady PF value (equal at K=1, where
+		// every epoch is a full task and there is nothing to fill).
+		if tab.X[i] == 1 {
+			if diff := eff - pf; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("K=1: transient %v should equal PF %v", eff, pf)
+			}
+		} else if eff >= pf {
+			t.Fatalf("K=%v: transient throughput %v not below PF %v", tab.X[i], eff, pf)
+		}
+	}
+}
+
+func TestClassMixShapes(t *testing.T) {
+	tab, err := ClassMixTable("t", 8, 2, 4, []int{0, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, bf := tab.Series[0].Y, tab.Series[1].Y
+	// Pure workloads: policies coincide.
+	for _, i := range []int{0, 2} {
+		if diff := random[i] - bf[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("pure workload %d: policies differ (%v vs %v)", i, random[i], bf[i])
+		}
+	}
+	// Mixed: batch-first wins (starts long tasks early).
+	if bf[1] >= random[1] {
+		t.Fatalf("batch-first (%v) should beat random (%v)", bf[1], random[1])
+	}
+	// More batch work → longer job.
+	if !(random[0] < random[1] && random[1] < random[2]) {
+		t.Fatalf("E(T) not increasing in batch share: %v", random)
+	}
+}
+
+func TestMultitaskShapes(t *testing.T) {
+	tab, err := MultitaskTable("t", 3, []int{1, 2}, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals := tab.Series[0].Y
+	// Multiprogramming two tasks per node overlaps compute with I/O:
+	// strictly faster than one task per node at these loads.
+	if totals[1] >= totals[0] {
+		t.Fatalf("degree 2 (%v) not faster than degree 1 (%v)", totals[1], totals[0])
+	}
+	speedups := tab.Series[1].Y
+	if speedups[1] <= speedups[0] {
+		t.Fatal("speedup should rise with multiprogramming here")
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finwl/internal/cluster"
+	"finwl/internal/workload"
+)
+
+// Variant is one curve of an interdeparture figure: a label plus the
+// service-shape assignment it uses.
+type Variant struct {
+	Label string
+	Dists cluster.Dists
+	Opts  cluster.Options
+}
+
+// InterdepartureTable computes the mean inter-departure time of every
+// epoch (task order 1..N) for each variant — the quantity plotted in
+// the paper's Figures 3, 4, 10 and 11, whose three regions (transient
+// fill, steady feeding, draining) are the model's signature.
+func InterdepartureTable(id, title string, arch Arch, k int, app workload.App, variants []Variant) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "task order",
+		YLabel: "inter-departure time",
+		Notes: []string{
+			fmt.Sprintf("%s cluster, K=%d workstations, N=%d tasks, E(T)=%.3g", arch, k, app.N, app.SingleTaskTime()),
+		},
+	}
+	for i := 1; i <= app.N; i++ {
+		t.X = append(t.X, float64(i))
+	}
+	for _, v := range variants {
+		s, err := newSolver(arch, k, app, v.Dists, v.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("%s (%s): %w", id, v.Label, err)
+		}
+		res, err := s.Solve(app.N)
+		if err != nil {
+			return nil, fmt.Errorf("%s (%s): %w", id, v.Label, err)
+		}
+		t.Series = append(t.Series, Series{Label: v.Label, Y: res.Epochs})
+	}
+	return t, nil
+}
+
+// sharedServerVariants is the §6.1 sweep: remote storage exponential
+// vs hyperexponential at C² = 10 and 50.
+func sharedServerVariants() []Variant {
+	return []Variant{
+		{Label: "Exp"},
+		{Label: "H2 C2=10", Dists: distsFor(CompRemote, cluster.WithCV2(10))},
+		{Label: "H2 C2=50", Dists: distsFor(CompRemote, cluster.WithCV2(50))},
+	}
+}
+
+// dedicatedServerVariants is the §6.2 sweep: CPU exponential vs
+// Erlang-3 vs H2 with C² = 2.
+func dedicatedServerVariants() []Variant {
+	return []Variant{
+		{Label: "Exp"},
+		{Label: "E3", Dists: distsFor(CompCPU, cluster.ErlangStages(3))},
+		{Label: "H2 C2=2", Dists: distsFor(CompCPU, cluster.WithCV2(2))},
+	}
+}
+
+// Fig3 reproduces Figure 3: a 30-task application on a 5-workstation
+// central cluster with a non-exponential shared server.
+func Fig3() (*Table, error) {
+	return InterdepartureTable("fig3",
+		"Inter-departure time by task order, central K=5, shared server non-exponential",
+		CentralArch, 5, workload.Default(30), sharedServerVariants())
+}
+
+// Fig4 reproduces Figure 4: the same application on 8 workstations.
+func Fig4() (*Table, error) {
+	return InterdepartureTable("fig4",
+		"Inter-departure time by task order, central K=8, shared server non-exponential",
+		CentralArch, 8, workload.Default(30), sharedServerVariants())
+}
+
+// Fig10 reproduces Figure 10: a 20-task application on a
+// 5-workstation distributed cluster with non-exponential dedicated
+// servers (CPUs).
+func Fig10() (*Table, error) {
+	return InterdepartureTable("fig10",
+		"Inter-departure time by task order, distributed K=5, dedicated servers non-exponential",
+		DistributedArch, 5, workload.Default(20), dedicatedServerVariants())
+}
+
+// Fig11 reproduces Figure 11: a 30-task application on an
+// 8-workstation central cluster with non-exponential CPUs.
+func Fig11() (*Table, error) {
+	return InterdepartureTable("fig11",
+		"Inter-departure time by task order, central K=8, dedicated servers non-exponential",
+		CentralArch, 8, workload.Default(30), dedicatedServerVariants())
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finwl/internal/matrix"
+	"finwl/internal/multiclass"
+	"finwl/internal/statespace"
+)
+
+// mixConfig builds the two-class heterogeneous cluster used by the
+// class-mix ablation: a CPU pool, a shared communication channel and
+// a shared disk, where class 1 ("batch") is `slowdown`× slower at
+// every device than class 0 ("interactive").
+func mixConfig(slowdown float64) *multiclass.Config {
+	const q = 0.2
+	baseRates := []float64{2, 4, 1.2} // CPU, Comm, Disk for class 0
+	routes := make([]*matrix.Matrix, 2)
+	exits := make([][]float64, 2)
+	entries := make([][]float64, 2)
+	for c := 0; c < 2; c++ {
+		r := matrix.New(3, 3)
+		r.Set(0, 1, (1-q)/2)
+		r.Set(0, 2, (1-q)/2)
+		r.Set(1, 0, 1)
+		r.Set(2, 0, 1)
+		routes[c] = r
+		exits[c] = []float64{q, 0, 0}
+		entries[c] = []float64{1, 0, 0}
+	}
+	rates := make([][]float64, 3)
+	for st, base := range baseRates {
+		rates[st] = []float64{base, base / slowdown}
+	}
+	return &multiclass.Config{
+		Stations: []multiclass.Station{
+			{Name: "CPU", Kind: statespace.Delay},
+			{Name: "Comm", Kind: statespace.Queue},
+			{Name: "Disk", Kind: statespace.Queue},
+		},
+		Classes: 2,
+		Rates:   rates,
+		Route:   routes,
+		Exit:    exits,
+		Entry:   entries,
+	}
+}
+
+// ClassMixTable sweeps the composition of a two-class workload
+// (interactive + batch tasks, batch `slowdown`× heavier) and compares
+// admission policies: random (proportional) admission versus
+// batch-first priority. Starting the long tasks early trims the
+// draining tail — the multiclass version of LPT scheduling.
+func ClassMixTable(id string, n, k int, slowdown float64, batchCounts []int) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Two-class workload mix, N=%d K=%d, batch tasks %gx heavier", n, k, slowdown),
+		XLabel: "batch tasks",
+		YLabel: "E(T)",
+		Notes:  []string{"batch-first admits all heavy tasks before any interactive ones"},
+	}
+	cfgBatchFirst := mixConfig(slowdown)
+	solverBF, err := multiclass.NewSolver(swapClasses(cfgBatchFirst))
+	if err != nil {
+		return nil, err
+	}
+	solver, err := multiclass.NewSolver(cfgBatchFirst)
+	if err != nil {
+		return nil, err
+	}
+	var random, batchFirst []float64
+	for _, b := range batchCounts {
+		t.X = append(t.X, float64(b))
+		w := multiclass.Workload{Counts: []int{n - b, b}, K: k, Policy: multiclass.Proportional}
+		res, err := solver.Solve(w)
+		if err != nil {
+			return nil, err
+		}
+		random = append(random, res.TotalTime)
+		// Batch-first: class order swapped so PriorityOrder admits the
+		// heavy class first.
+		wBF := multiclass.Workload{Counts: []int{b, n - b}, K: k, Policy: multiclass.PriorityOrder}
+		resBF, err := solverBF.Solve(wBF)
+		if err != nil {
+			return nil, err
+		}
+		batchFirst = append(batchFirst, resBF.TotalTime)
+	}
+	t.Series = []Series{
+		{Label: "random admit", Y: random},
+		{Label: "batch-first", Y: batchFirst},
+	}
+	return t, nil
+}
+
+// swapClasses returns the config with class indices 0 and 1 swapped.
+func swapClasses(cfg *multiclass.Config) *multiclass.Config {
+	out := &multiclass.Config{
+		Stations: cfg.Stations,
+		Classes:  2,
+		Rates:    make([][]float64, len(cfg.Rates)),
+		Route:    []*matrix.Matrix{cfg.Route[1], cfg.Route[0]},
+		Exit:     [][]float64{cfg.Exit[1], cfg.Exit[0]},
+		Entry:    [][]float64{cfg.Entry[1], cfg.Entry[0]},
+	}
+	for st := range cfg.Rates {
+		out.Rates[st] = []float64{cfg.Rates[st][1], cfg.Rates[st][0]}
+	}
+	return out
+}
+
+// ClassMix is the registered variant.
+func ClassMix() (*Table, error) {
+	return ClassMixTable("tbl-mix", 12, 3, 4, []int{0, 2, 4, 6, 8, 10, 12})
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"finwl/internal/cluster"
+	"finwl/internal/workload"
+)
+
+// PredictionErrorTable computes the percentage error of assuming
+// exponential service when the true distribution of one component has
+// squared coefficient of variation C²:
+//
+//	E% = |E(T_act) − E(T_exp)| / E(T_act) × 100   (§6.1.3)
+//
+// One series per workload size in ns; x-axis is C².
+func PredictionErrorTable(id string, arch Arch, k int, ns []int, comp Component, cv2s []float64, mkApp func(int) workload.App) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Prediction error of the exponential assumption, %s K=%d, %s varied", arch, k, comp),
+		XLabel: "C2",
+		YLabel: "error %",
+		X:      cv2s,
+	}
+	for _, n := range ns {
+		app := mkApp(n)
+		// Exponential baseline for this workload.
+		sExp, err := newSolver(arch, k, app, cluster.Dists{}, cluster.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: baseline: %w", id, err)
+		}
+		expTotal, err := sExp.TotalTime(n)
+		if err != nil {
+			return nil, err
+		}
+		var ys []float64
+		for _, cv2 := range cv2s {
+			var actTotal float64
+			if cv2 == 1 {
+				actTotal = expTotal
+			} else {
+				s, err := newSolver(arch, k, app, distsFor(comp, cluster.WithCV2(cv2)), cluster.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
+				}
+				actTotal, err = s.TotalTime(n)
+				if err != nil {
+					return nil, err
+				}
+			}
+			ys = append(ys, 100*math.Abs(actTotal-expTotal)/actTotal)
+		}
+		t.Series = append(t.Series, Series{Label: fmt.Sprintf("N = %d", n), Y: ys})
+	}
+	return t, nil
+}
+
+// Fig6 reproduces Figure 6: prediction error on a 5-workstation
+// distributed cluster whose shared disks are hyperexponential, for
+// N = 30 and N = 100.
+func Fig6() (*Table, error) {
+	return PredictionErrorTable("fig6", DistributedArch, 5, []int{30, 100},
+		CompRemote, []float64{1, 5, 10, 20, 40, 60, 80, 90}, workload.Default)
+}
+
+// Fig7 reproduces Figure 7: the same sweep on an 8-workstation
+// central cluster.
+func Fig7() (*Table, error) {
+	return PredictionErrorTable("fig7", CentralArch, 8, []int{30, 100},
+		CompRemote, []float64{1, 5, 10, 20, 40, 60, 80, 90}, workload.Default)
+}
+
+// Fig12 reproduces Figure 12: prediction error with the dedicated
+// CPUs non-exponential (Erlang below C²=1, H2 above), central K=5.
+func Fig12() (*Table, error) {
+	return PredictionErrorTable("fig12", CentralArch, 5, []int{30},
+		CompCPU, []float64{1.0 / 3, 0.5, 1, 5, 10}, workload.Default)
+}
+
+// Fig13 reproduces Figure 13: the same on 8 workstations.
+func Fig13() (*Table, error) {
+	return PredictionErrorTable("fig13", CentralArch, 8, []int{30},
+		CompCPU, []float64{1.0 / 3, 0.5, 1, 5, 10}, workload.Default)
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"finwl/internal/cluster"
+	"finwl/internal/workload"
+)
+
+// speedup is the paper's §6.1.4 metric: the job's serial time on one
+// workstation with purely local data over its modeled time on the
+// cluster.
+func speedup(app workload.App, total float64) float64 {
+	return app.SerialTime() / total
+}
+
+// SpeedupVsCV2Table sweeps a component's C² and reports speedup — the
+// paper's Figures 8 and 9 (shared server varied, one series per N).
+func SpeedupVsCV2Table(id string, arch Arch, k int, ns []int, comp Component, cv2s []float64, mkApp func(int) workload.App) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Speedup vs C², %s K=%d, %s varied", arch, k, comp),
+		XLabel: "C2",
+		YLabel: "speedup",
+		X:      cv2s,
+	}
+	for _, n := range ns {
+		app := mkApp(n)
+		var ys []float64
+		for _, cv2 := range cv2s {
+			s, err := newSolver(arch, k, app, distsFor(comp, cluster.WithCV2(cv2)), cluster.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
+			}
+			total, err := s.TotalTime(n)
+			if err != nil {
+				return nil, err
+			}
+			ys = append(ys, speedup(app, total))
+		}
+		t.Series = append(t.Series, Series{Label: fmt.Sprintf("N = %d", n), Y: ys})
+	}
+	return t, nil
+}
+
+// Fig8 reproduces Figure 8: speedup of a 5-workstation central
+// cluster as the shared server's C² grows, for N = 30 and 100.
+func Fig8() (*Table, error) {
+	return SpeedupVsCV2Table("fig8", CentralArch, 5, []int{30, 100},
+		CompRemote, []float64{1, 5, 10, 20, 40, 60, 80, 90}, workload.Default)
+}
+
+// Fig9 reproduces Figure 9: the same on 8 workstations.
+func Fig9() (*Table, error) {
+	return SpeedupVsCV2Table("fig9", CentralArch, 8, []int{30, 100},
+		CompRemote, []float64{1, 5, 10, 20, 40, 60, 80, 90}, workload.Default)
+}
+
+// SpeedupVsKTable sweeps the cluster size — the paper's Figures 14
+// and 15. Each variant contributes one series per workload size.
+func SpeedupVsKTable(id, title string, arch Arch, ks []int, ns []int, variants []Variant, mkApp func(int) workload.App) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  title,
+		XLabel: "K",
+		YLabel: "speedup",
+	}
+	for _, k := range ks {
+		t.X = append(t.X, float64(k))
+	}
+	for _, v := range variants {
+		for _, n := range ns {
+			app := mkApp(n)
+			label := v.Label
+			if len(ns) > 1 {
+				label = fmt.Sprintf("%s N=%d", v.Label, n)
+				if v.Label == "" {
+					label = fmt.Sprintf("N = %d", n)
+				}
+			}
+			var ys []float64
+			for _, k := range ks {
+				s, err := newSolver(arch, k, app, v.Dists, v.Opts)
+				if err != nil {
+					return nil, fmt.Errorf("%s (K=%d): %w", id, k, err)
+				}
+				total, err := s.TotalTime(n)
+				if err != nil {
+					return nil, err
+				}
+				ys = append(ys, speedup(app, total))
+			}
+			t.Series = append(t.Series, Series{Label: label, Y: ys})
+		}
+	}
+	return t, nil
+}
+
+// Fig14 reproduces Figure 14: exponential speedup vs cluster size for
+// N = 20, 100 and 200 — the transient region throttles the small
+// workload long before contention does.
+func Fig14() (*Table, error) {
+	return SpeedupVsKTable("fig14",
+		"Speedup vs K (exponential), low-contention workload",
+		CentralArch, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, []int{20, 100, 200},
+		[]Variant{{Label: ""}}, workload.LowContention)
+}
+
+// Fig15 reproduces Figure 15: speedup vs cluster size at N = 100 for
+// exponential, Erlang-2 and H2 (C²=2) CPUs.
+func Fig15() (*Table, error) {
+	return SpeedupVsKTable("fig15",
+		"Speedup vs K by service distribution, N = 100",
+		CentralArch, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, []int{100},
+		[]Variant{
+			{Label: "Exp"},
+			{Label: "E2", Dists: distsFor(CompCPU, cluster.ErlangStages(2))},
+			{Label: "H2 C2=2", Dists: distsFor(CompCPU, cluster.WithCV2(2))},
+		}, workload.LowContention)
+}

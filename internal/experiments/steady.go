@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/productform"
+	"finwl/internal/workload"
+)
+
+// SteadyStateSweep computes the steady-state inter-departure time
+// t_ss = π*·τ'_K as the shared server's C² varies, under contention
+// (FCFS queue) and without (infinite-server) — the paper's Figure 5.
+func SteadyStateSweep(id string, arch Arch, k int, app workload.App, cv2s []float64) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  fmt.Sprintf("Steady-state inter-departure time vs C², %s K=%d", arch, k),
+		XLabel: "C2",
+		YLabel: "t_ss",
+		X:      cv2s,
+		Notes: []string{
+			"contention: shared storage as FCFS queue; no contention: infinite-server",
+		},
+	}
+	for _, contention := range []bool{true, false} {
+		label := "Contention"
+		opts := cluster.Options{}
+		if !contention {
+			label = "No contention"
+			opts.RemoteAsDelay = true
+		}
+		var ys []float64
+		for _, cv2 := range cv2s {
+			s, err := newSolver(arch, k, app, distsFor(CompRemote, cluster.WithCV2(cv2)), opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
+			}
+			_, tss, err := s.SteadyState()
+			if err != nil {
+				return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
+			}
+			ys = append(ys, tss)
+		}
+		t.Series = append(t.Series, Series{Label: label, Y: ys})
+	}
+	return t, nil
+}
+
+// Fig5 reproduces Figure 5: steady-state inter-departure time of an
+// 8-workstation central cluster as the shared server's C² grows from
+// 1 to 100, with and without contention. The contention curve dips to
+// a minimum before rising; the no-contention curve is flat
+// (insensitivity).
+func Fig5() (*Table, error) {
+	return SteadyStateSweep("fig5", CentralArch, 8, workload.Default(30),
+		[]float64{1, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+}
+
+// SteadyStateVsPFTable verifies the paper's claim that for
+// exponential servers the transient model's steady state equals the
+// product-form (Jackson) solution, and quantifies the divergence once
+// a shared server is H2.
+func SteadyStateVsPFTable(id string, arch Arch, ks []int, app workload.App) (*Table, error) {
+	t := &Table{
+		ID:     id,
+		Title:  "Transient-model steady state vs product-form solution",
+		XLabel: "K",
+		YLabel: "inter-departure time",
+		Notes: []string{
+			"exp: identical by theory; H2 C2=10 on the shared server: PF no longer applies",
+		},
+	}
+	var tssExp, pfExp, tssH2, pfRel []float64
+	for _, k := range ks {
+		t.X = append(t.X, float64(k))
+		net, err := buildNet(arch, k, app, cluster.Dists{}, cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		s, err := core.NewSolver(net, k)
+		if err != nil {
+			return nil, err
+		}
+		_, tss, err := s.SteadyState()
+		if err != nil {
+			return nil, err
+		}
+		pf := productform.FromNetwork(net).Interdeparture(k)
+		tssExp = append(tssExp, tss)
+		pfExp = append(pfExp, pf)
+
+		netH2, err := buildNet(arch, k, app, distsFor(CompRemote, cluster.WithCV2(10)), cluster.Options{})
+		if err != nil {
+			return nil, err
+		}
+		sH2, err := core.NewSolver(netH2, k)
+		if err != nil {
+			return nil, err
+		}
+		_, tH2, err := sH2.SteadyState()
+		if err != nil {
+			return nil, err
+		}
+		tssH2 = append(tssH2, tH2)
+		pfRel = append(pfRel, 100*math.Abs(tH2-pf)/tH2)
+	}
+	t.Series = []Series{
+		{Label: "t_ss exp", Y: tssExp},
+		{Label: "PF exp", Y: pfExp},
+		{Label: "t_ss H2", Y: tssH2},
+		{Label: "PF err% vs H2", Y: pfRel},
+	}
+	return t, nil
+}
+
+// SteadyStateVsPF runs the identity check on the central cluster for
+// K = 1..8.
+func SteadyStateVsPF() (*Table, error) {
+	return SteadyStateVsPFTable("tbl-ss", CentralArch, []int{1, 2, 3, 4, 5, 6, 7, 8}, workload.Default(30))
+}

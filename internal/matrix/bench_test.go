@@ -1,0 +1,84 @@
+package matrix
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(n int) *Matrix {
+	rng := rand.New(rand.NewSource(42))
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+		m.Set(i, i, m.At(i, i)+float64(n))
+	}
+	return m
+}
+
+func BenchmarkMul100(b *testing.B) {
+	m := benchMatrix(100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Mul(m)
+	}
+}
+
+func BenchmarkFactor200(b *testing.B) {
+	m := benchMatrix(200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolve200(b *testing.B) {
+	m := benchMatrix(200)
+	f, err := Factor(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 200)
+	for i := range rhs {
+		rhs[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Solve(rhs)
+	}
+}
+
+func BenchmarkSolveLeft200(b *testing.B) {
+	m := benchMatrix(200)
+	f, err := Factor(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rhs := make([]float64, 200)
+	for i := range rhs {
+		rhs[i] = float64(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.SolveLeft(rhs)
+	}
+}
+
+func BenchmarkExpm50(b *testing.B) {
+	m := benchMatrix(50).Scale(0.05)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Expm(m)
+	}
+}
+
+func BenchmarkKron20x20(b *testing.B) {
+	m := benchMatrix(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Kron(m, m)
+	}
+}

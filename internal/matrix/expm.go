@@ -1,0 +1,71 @@
+package matrix
+
+import "math"
+
+// padé coefficients for the degree-13 diagonal approximant used by
+// the scaling-and-squaring method (Higham 2005).
+var pade13 = [...]float64{
+	64764752532480000, 32382376266240000, 7771770303897600,
+	1187353796428800, 129060195264000, 10559470521600,
+	670442572800, 33522128640, 1323241920,
+	40840800, 960960, 16380, 182, 1,
+}
+
+// Expm returns the matrix exponential e^A computed with the
+// scaling-and-squaring method and a degree-13 Padé approximant.
+// This is the workhorse behind phase-type distribution functions
+// F(t) = 1 − p·exp(−tB)·ε.
+func Expm(a *Matrix) *Matrix {
+	if a.rows != a.cols {
+		panic("matrix: Expm requires a square matrix")
+	}
+	n := a.rows
+	norm := a.NormInf()
+	// Scaling: choose s so that ‖A/2^s‖∞ ≤ θ13 ≈ 5.37.
+	const theta13 = 5.371920351148152
+	s := 0
+	if norm > theta13 {
+		s = int(math.Ceil(math.Log2(norm / theta13)))
+	}
+	as := a.Scale(1 / math.Exp2(float64(s)))
+
+	// Padé 13: r(A) = q(A)⁻¹ p(A) with p, q split into even/odd parts.
+	a2 := as.Mul(as)
+	a4 := a2.Mul(a2)
+	a6 := a4.Mul(a2)
+	b := pade13[:]
+
+	// u = A(A6(b13·A6 + b11·A4 + b9·A2) + b7·A6 + b5·A4 + b3·A2 + b1·I)
+	w1 := a6.Scale(b[13]).Add(a4.Scale(b[11])).Add(a2.Scale(b[9]))
+	w2 := a6.Scale(b[7]).Add(a4.Scale(b[5])).Add(a2.Scale(b[3])).Add(Identity(n).Scale(b[1]))
+	u := as.Mul(a6.Mul(w1).Add(w2))
+	// v = A6(b12·A6 + b10·A4 + b8·A2) + b6·A6 + b4·A4 + b2·A2 + b0·I
+	z1 := a6.Scale(b[12]).Add(a4.Scale(b[10])).Add(a2.Scale(b[8]))
+	z2 := a6.Scale(b[6]).Add(a4.Scale(b[4])).Add(a2.Scale(b[2])).Add(Identity(n).Scale(b[0]))
+	v := a6.Mul(z1).Add(z2)
+
+	// r = (v − u)⁻¹ (v + u)
+	f, err := Factor(v.Sub(u))
+	if err != nil {
+		// v − u is nonsingular for any A after scaling; a singular
+		// result means the input contained NaN/Inf.
+		panic("matrix: Expm: singular Padé denominator (NaN or Inf input?)")
+	}
+	num := v.Add(u)
+	r := New(n, n)
+	col := make([]float64, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = num.data[i*n+j]
+		}
+		x := f.Solve(col)
+		for i := 0; i < n; i++ {
+			r.data[i*n+j] = x[i]
+		}
+	}
+	// Undo scaling by repeated squaring.
+	for i := 0; i < s; i++ {
+		r = r.Mul(r)
+	}
+	return r
+}

@@ -1,0 +1,39 @@
+package matrix
+
+// Kron returns the Kronecker product a ⊗ b, the matrix of blocks
+// a[i][j]·b. The paper's full (unreduced) product-space formulation
+// of a K-workstation cluster is a Kronecker construction; it is used
+// here to cross-validate the reduced product space on tiny systems.
+func Kron(a, b *Matrix) *Matrix {
+	out := New(a.rows*b.rows, a.cols*b.cols)
+	for ia := 0; ia < a.rows; ia++ {
+		for ja := 0; ja < a.cols; ja++ {
+			av := a.data[ia*a.cols+ja]
+			if av == 0 {
+				continue
+			}
+			for ib := 0; ib < b.rows; ib++ {
+				dst := (ia*b.rows + ib) * out.cols
+				src := ib * b.cols
+				for jb := 0; jb < b.cols; jb++ {
+					out.data[dst+ja*b.cols+jb] = av * b.data[src+jb]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// KronVec returns the Kronecker product of two vectors, a ⊗ b.
+func KronVec(a, b []float64) []float64 {
+	out := make([]float64, len(a)*len(b))
+	for i, av := range a {
+		if av == 0 {
+			continue
+		}
+		for j, bv := range b {
+			out[i*len(b)+j] = av * bv
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package matrix
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// numerically singular matrix.
+var ErrSingular = errors.New("matrix: singular matrix")
+
+// LU is an LU factorization with partial pivoting: P·A = L·U, where L
+// is unit lower triangular and U is upper triangular. A single
+// factorization supports both right solves (A·x = b) and left solves
+// (x·A = b), which is what the transient queueing solver needs: one
+// factorization of I−P_k per population level serves every epoch.
+type LU struct {
+	lu   *Matrix // packed L (below diagonal, unit implied) and U
+	perm []int   // row i of lu is row perm[i] of A
+	sign float64 // permutation parity, for Det
+}
+
+// Factor computes the LU factorization of the square matrix a with
+// partial pivoting. It returns ErrSingular when a pivot is exactly
+// zero; near-singular systems succeed but with large condition
+// numbers the caller is expected to validate residuals.
+func Factor(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("matrix: Factor requires a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Partial pivot: largest magnitude in column k at/below row k.
+		p := k
+		maxAbs := math.Abs(lu.data[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.data[i*n+k]); v > maxAbs {
+				maxAbs = v
+				p = i
+			}
+		}
+		if maxAbs == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rk := lu.data[k*n : (k+1)*n]
+			rp := lu.data[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			perm[k], perm[p] = perm[p], perm[k]
+			sign = -sign
+		}
+		pivot := lu.data[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu.data[i*n+k] / pivot
+			lu.data[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			ri := lu.data[i*n : (i+1)*n]
+			rk := lu.data[k*n : (k+1)*n]
+			for j := k + 1; j < n; j++ {
+				ri[j] -= m * rk[j]
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+// N returns the dimension of the factored matrix.
+func (f *LU) N() int { return f.lu.rows }
+
+// Solve solves A·x = b and returns x. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	n := f.N()
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: Solve length %d, want %d", len(b), n))
+	}
+	x := make([]float64, n)
+	// Apply permutation: x = P·b.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	d := f.lu.data
+	// Forward substitution with unit lower triangular L.
+	for i := 1; i < n; i++ {
+		row := d[i*n : i*n+i]
+		s := x[i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		row := d[i*n : (i+1)*n]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+	return x
+}
+
+// SolveLeft solves x·A = b (equivalently Aᵀ·xᵀ = bᵀ) and returns x.
+// b is not modified.
+func (f *LU) SolveLeft(b []float64) []float64 {
+	n := f.N()
+	if len(b) != n {
+		panic(fmt.Sprintf("matrix: SolveLeft length %d, want %d", len(b), n))
+	}
+	// Aᵀ = Uᵀ·Lᵀ·P, so solve Uᵀ·z = b, then Lᵀ·w = z, then undo P.
+	d := f.lu.data
+	z := make([]float64, n)
+	copy(z, b)
+	// Uᵀ is lower triangular with U's diagonal: forward substitution.
+	for i := 0; i < n; i++ {
+		s := z[i]
+		for j := 0; j < i; j++ {
+			s -= d[j*n+i] * z[j]
+		}
+		z[i] = s / d[i*n+i]
+	}
+	// Lᵀ is unit upper triangular: back substitution.
+	for i := n - 2; i >= 0; i-- {
+		s := z[i]
+		for j := i + 1; j < n; j++ {
+			s -= d[j*n+i] * z[j]
+		}
+		z[i] = s
+	}
+	// P·x = w  ⇒  x[perm[i]] = w[i].
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[f.perm[i]] = z[i]
+	}
+	return x
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	n := f.N()
+	det := f.sign
+	for i := 0; i < n; i++ {
+		det *= f.lu.data[i*n+i]
+	}
+	return det
+}
+
+// Inverse returns A⁻¹ computed column by column from the
+// factorization.
+func (f *LU) Inverse() *Matrix {
+	n := f.N()
+	inv := New(n, n)
+	e := make([]float64, n)
+	for j := 0; j < n; j++ {
+		e[j] = 1
+		col := f.Solve(e)
+		e[j] = 0
+		for i := 0; i < n; i++ {
+			inv.data[i*n+j] = col[i]
+		}
+	}
+	return inv
+}
+
+// Solve is a convenience wrapper that factors a and solves a·x = b.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse is a convenience wrapper that factors a and inverts it.
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Inverse(), nil
+}

@@ -1,0 +1,292 @@
+// Package matrix provides the dense linear algebra needed by the
+// linear-algebraic queueing theory (LAQT) machinery: matrices and
+// vectors over float64, LU factorization with partial pivoting,
+// left- and right-hand linear solves, inversion, matrix powers, the
+// matrix exponential, and Kronecker products.
+//
+// Everything is implemented from scratch on top of the standard
+// library. Matrices are dense, row-major, and sized at construction.
+// The package favours explicit error returns over panics for
+// numerically detectable failures (singular systems); index
+// violations panic like slice accesses do.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64 values.
+type Matrix struct {
+	rows, cols int
+	data       []float64 // len == rows*cols
+}
+
+// New returns a zero-initialized rows×cols matrix.
+// It panics if either dimension is not positive.
+func New(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("matrix: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from a slice of equal-length rows.
+// The data is copied.
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		panic("matrix: FromRows requires at least one row and column")
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			panic(fmt.Sprintf("matrix: ragged row %d: got %d values, want %d", i, len(r), m.cols))
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns a square matrix with d on its diagonal.
+func Diag(d []float64) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.data[i*len(d)+i] = v
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at row i, column j.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns v to the element at row i, column j.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+// Inc adds v to the element at row i, column j.
+func (m *Matrix) Inc(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] += v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) out of range for %dx%d", i, j, m.rows, m.cols))
+	}
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// RawRow returns row i without copying. The caller must not grow the
+// returned slice; writes alias the matrix.
+func (m *Matrix) RawRow(i int) []float64 {
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.rows, m.cols)
+	copy(c.data, m.data)
+	return c
+}
+
+// Add returns m + b as a new matrix.
+func (m *Matrix) Add(b *Matrix) *Matrix {
+	m.sameShape(b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] + b.data[i]
+	}
+	return out
+}
+
+// Sub returns m − b as a new matrix.
+func (m *Matrix) Sub(b *Matrix) *Matrix {
+	m.sameShape(b)
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = m.data[i] - b.data[i]
+	}
+	return out
+}
+
+// Scale returns s·m as a new matrix.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.rows, m.cols)
+	for i := range m.data {
+		out.data[i] = s * m.data[i]
+	}
+	return out
+}
+
+func (m *Matrix) sameShape(b *Matrix) {
+	if m.rows != b.rows || m.cols != b.cols {
+		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+}
+
+// Mul returns the matrix product m·b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.cols != b.rows {
+		panic(fmt.Sprintf("matrix: Mul shape mismatch %dx%d · %dx%d", m.rows, m.cols, b.rows, b.cols))
+	}
+	out := New(m.rows, b.cols)
+	// ikj loop order: stream through b rows for cache friendliness.
+	for i := 0; i < m.rows; i++ {
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		arow := m.data[i*m.cols : (i+1)*m.cols]
+		for k := 0; k < m.cols; k++ {
+			a := arow[k]
+			if a == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bv := range brow {
+				orow[j] += a * bv
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns the matrix-vector product m·x (x treated as column).
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("matrix: MulVec length %d, want %d", len(x), m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns the vector-matrix product x·m (x treated as row).
+func (m *Matrix) VecMul(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("matrix: VecMul length %d, want %d", len(x), m.rows))
+	}
+	out := make([]float64, m.cols)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			out[j] += xv * v
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ as a new matrix.
+func (m *Matrix) Transpose() *Matrix {
+	out := New(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.data[j*m.rows+i] = m.data[i*m.cols+j]
+		}
+	}
+	return out
+}
+
+// Pow returns m^n for n ≥ 0 by binary exponentiation.
+// m must be square; Pow(m, 0) is the identity.
+func (m *Matrix) Pow(n int) *Matrix {
+	if m.rows != m.cols {
+		panic("matrix: Pow requires a square matrix")
+	}
+	if n < 0 {
+		panic("matrix: Pow requires n >= 0")
+	}
+	result := Identity(m.rows)
+	base := m.Clone()
+	for n > 0 {
+		if n&1 == 1 {
+			result = result.Mul(base)
+		}
+		n >>= 1
+		if n > 0 {
+			base = base.Mul(base)
+		}
+	}
+	return result
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference
+// between m and b.
+func (m *Matrix) MaxAbsDiff(b *Matrix) float64 {
+	m.sameShape(b)
+	var d float64
+	for i := range m.data {
+		if v := math.Abs(m.data[i] - b.data[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}
+
+// EqualTol reports whether every element of m and b differs by at
+// most tol.
+func (m *Matrix) EqualTol(b *Matrix, tol float64) bool {
+	if m.rows != b.rows || m.cols != b.cols {
+		return false
+	}
+	return m.MaxAbsDiff(b) <= tol
+}
+
+// String renders the matrix with aligned columns, for debugging.
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	for i := 0; i < m.rows; i++ {
+		sb.WriteString("[")
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				sb.WriteString(" ")
+			}
+			fmt.Fprintf(&sb, "%10.6g", m.data[i*m.cols+j])
+		}
+		sb.WriteString("]\n")
+	}
+	return sb.String()
+}

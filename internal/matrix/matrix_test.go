@@ -1,0 +1,480 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func randomMatrix(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// randomDiagDominant returns a comfortably nonsingular matrix.
+func randomDiagDominant(rng *rand.Rand, n int) *Matrix {
+	m := randomMatrix(rng, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, m.At(i, i)+float64(n)+1)
+	}
+	return m
+}
+
+func TestNewZeroInitialized(t *testing.T) {
+	m := New(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("element (%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			New(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestFromRowsAndAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows wrong layout: %v", m)
+	}
+	if got := m.Row(1); got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Row(1) = %v", got)
+	}
+	if got := m.Col(0); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Col(0) = %v", got)
+	}
+}
+
+func TestFromRowsPanicsOnRagged(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ragged FromRows did not panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestIdentityAndDiag(t *testing.T) {
+	id := Identity(3)
+	d := Diag([]float64{1, 1, 1})
+	if !id.EqualTol(d, 0) {
+		t.Fatal("Identity(3) != Diag(ones)")
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := randomMatrix(rng, 5)
+	if got := m.Mul(Identity(5)); !got.EqualTol(m, 1e-14) {
+		t.Fatal("M·I != M")
+	}
+	if got := Identity(5).Mul(m); !got.EqualTol(m, 1e-14) {
+		t.Fatal("I·M != M")
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	if got := a.Mul(b); !got.EqualTol(want, 0) {
+		t.Fatalf("got\n%vwant\n%v", got, want)
+	}
+}
+
+func TestMulVecAndVecMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if got := a.MulVec([]float64{1, 1, 1}); got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if got := a.VecMul([]float64{1, 1}); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("VecMul = %v", got)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := randomMatrix(rng, 4)
+	if !m.Transpose().Transpose().EqualTol(m, 0) {
+		t.Fatal("(Mᵀ)ᵀ != M")
+	}
+}
+
+func TestPow(t *testing.T) {
+	a := FromRows([][]float64{{2, 0}, {0, 3}})
+	want := FromRows([][]float64{{8, 0}, {0, 27}})
+	if got := a.Pow(3); !got.EqualTol(want, 0) {
+		t.Fatalf("Pow(3) = %v", got)
+	}
+	if got := a.Pow(0); !got.EqualTol(Identity(2), 0) {
+		t.Fatalf("Pow(0) = %v", got)
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) for random matrices and vectors.
+func TestMulAssociativityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		a, b := randomMatrix(r, n), randomMatrix(r, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		left := a.Mul(b).MulVec(x)
+		right := a.MulVec(b.MulVec(x))
+		return VecMaxAbsDiff(left, right) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: VecMul is the transpose dual of MulVec: x·A == Aᵀ·x.
+func TestVecMulTransposeDualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(7)
+		a := randomMatrix(r, n)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		return VecMaxAbsDiff(a.VecMul(x), a.Transpose().MulVec(x)) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLUSolveKnown(t *testing.T) {
+	a := FromRows([][]float64{{4, 3}, {6, 3}})
+	x, err := Solve(a, []float64{10, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x+3y=10, 6x+3y=12 → x=1, y=2
+	if !almostEqual(x[0], 1, 1e-12) || !almostEqual(x[1], 2, 1e-12) {
+		t.Fatalf("solve = %v, want [1 2]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Factor(a); err == nil {
+		t.Fatal("Factor of singular matrix succeeded")
+	}
+}
+
+// Property: Solve residual ‖Ax−b‖ is tiny for random well-conditioned A.
+func TestLUSolveResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomDiagDominant(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		fct, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		x := fct.Solve(b)
+		return VecMaxAbsDiff(a.MulVec(x), b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: SolveLeft residual ‖xA−b‖ is tiny.
+func TestLUSolveLeftResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		a := randomDiagDominant(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		fct, err := Factor(a)
+		if err != nil {
+			return false
+		}
+		x := fct.SolveLeft(b)
+		return VecMaxAbsDiff(a.VecMul(x), b) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(8)
+		a := randomDiagDominant(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.Mul(inv).EqualTol(Identity(n), 1e-9) {
+			t.Fatalf("A·A⁻¹ != I for n=%d", n)
+		}
+		if !inv.Mul(a).EqualTol(Identity(n), 1e-9) {
+			t.Fatalf("A⁻¹·A != I for n=%d", n)
+		}
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := FromRows([][]float64{{3, 8}, {4, 6}})
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Det(), -14, 1e-12) {
+		t.Fatalf("det = %v, want -14", f.Det())
+	}
+	// Permutation parity: a matrix needing a row swap.
+	b := FromRows([][]float64{{0, 1}, {1, 0}})
+	fb, err := Factor(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fb.Det(), -1, 1e-12) {
+		t.Fatalf("det of swap = %v, want -1", fb.Det())
+	}
+}
+
+func TestExpmZeroIsIdentity(t *testing.T) {
+	if got := Expm(New(4, 4)); !got.EqualTol(Identity(4), 1e-14) {
+		t.Fatal("exp(0) != I")
+	}
+}
+
+func TestExpmDiagonal(t *testing.T) {
+	a := Diag([]float64{1, -2, 0.5})
+	got := Expm(a)
+	want := Diag([]float64{math.E, math.Exp(-2), math.Exp(0.5)})
+	if !got.EqualTol(want, 1e-12) {
+		t.Fatalf("exp(diag) =\n%vwant\n%v", got, want)
+	}
+}
+
+func TestExpmNilpotent(t *testing.T) {
+	// For strictly upper triangular N with N²=0: exp(N) = I + N.
+	a := FromRows([][]float64{{0, 3}, {0, 0}})
+	want := FromRows([][]float64{{1, 3}, {0, 1}})
+	if got := Expm(a); !got.EqualTol(want, 1e-12) {
+		t.Fatalf("exp(nilpotent) = %v", got)
+	}
+}
+
+// Property: exp(sI + A) = e^s·exp(A) since sI commutes with everything.
+func TestExpmScalarShiftProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(5)
+		a := randomMatrix(r, n)
+		s := r.NormFloat64()
+		left := Expm(a.Add(Identity(n).Scale(s)))
+		right := Expm(a).Scale(math.Exp(s))
+		return left.MaxAbsDiff(right) < 1e-8*math.Max(1, right.NormInf())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: exp of a generator (rows sum to 0, non-negative
+// off-diagonals) is row-stochastic.
+func TestExpmGeneratorStochasticProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		g := New(n, n)
+		for i := 0; i < n; i++ {
+			var rowSum float64
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := r.Float64() * 3
+					g.Set(i, j, v)
+					rowSum += v
+				}
+			}
+			g.Set(i, i, -rowSum)
+		}
+		p := Expm(g)
+		for i := 0; i < n; i++ {
+			if !almostEqual(VecSum(p.Row(i)), 1, 1e-9) {
+				return false
+			}
+			for j := 0; j < n; j++ {
+				if p.At(i, j) < -1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpmLargeNormScaling(t *testing.T) {
+	// Exercises the squaring loop: ‖A‖ >> θ13.
+	a := Diag([]float64{-50, -80})
+	got := Expm(a)
+	want := Diag([]float64{math.Exp(-50), math.Exp(-80)})
+	if math.Abs(got.At(0, 0)-want.At(0, 0)) > 1e-12*want.At(0, 0) {
+		t.Fatalf("exp(-50) = %v, want %v", got.At(0, 0), want.At(0, 0))
+	}
+}
+
+func TestKronKnown(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{0, 5}, {6, 7}})
+	got := Kron(a, b)
+	want := FromRows([][]float64{
+		{0, 5, 0, 10},
+		{6, 7, 12, 14},
+		{0, 15, 0, 20},
+		{18, 21, 24, 28},
+	})
+	if !got.EqualTol(want, 0) {
+		t.Fatalf("Kron =\n%vwant\n%v", got, want)
+	}
+}
+
+// Property: (A⊗B)(x⊗y) == (Ax)⊗(By).
+func TestKronMixedProductProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, m := 1+r.Intn(4), 1+r.Intn(4)
+		a, b := randomMatrix(r, n), randomMatrix(r, m)
+		x := make([]float64, n)
+		y := make([]float64, m)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		left := Kron(a, b).MulVec(KronVec(x, y))
+		right := KronVec(a.MulVec(x), b.MulVec(y))
+		return VecMaxAbsDiff(left, right) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := FromRows([][]float64{{1, -2}, {-3, 4}})
+	if a.Norm1() != 6 {
+		t.Fatalf("Norm1 = %v, want 6", a.Norm1())
+	}
+	if a.NormInf() != 7 {
+		t.Fatalf("NormInf = %v, want 7", a.NormInf())
+	}
+	if !almostEqual(a.FrobeniusNorm(), math.Sqrt(30), 1e-12) {
+		t.Fatalf("Frobenius = %v", a.FrobeniusNorm())
+	}
+}
+
+func TestVectorHelpers(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v", got)
+	}
+	if got := VecSum(Ones(5)); got != 5 {
+		t.Fatalf("VecSum(Ones) = %v", got)
+	}
+	u := Unit(3, 1)
+	if u[0] != 0 || u[1] != 1 || u[2] != 0 {
+		t.Fatalf("Unit = %v", u)
+	}
+	if got := Norm1([]float64{-1, 2, -3}); got != 6 {
+		t.Fatalf("Norm1 = %v", got)
+	}
+	if got := NormInf([]float64{-1, 2, -3}); got != 3 {
+		t.Fatalf("NormInf = %v", got)
+	}
+	if got := Norm2([]float64{3, 4}); got != 5 {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	v := Normalize1([]float64{2, 2})
+	if v[0] != 0.5 || v[1] != 0.5 {
+		t.Fatalf("Normalize1 = %v", v)
+	}
+	if got := VecAdd([]float64{1, 2}, []float64{3, 4}); got[0] != 4 || got[1] != 6 {
+		t.Fatalf("VecAdd = %v", got)
+	}
+	if got := VecSub([]float64{1, 2}, []float64{3, 4}); got[0] != -2 || got[1] != -2 {
+		t.Fatalf("VecSub = %v", got)
+	}
+	if got := VecScale(2, []float64{1, 2}); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("VecScale = %v", got)
+	}
+}
+
+func TestNormalize1PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Normalize1 of zero vector did not panic")
+		}
+	}()
+	Normalize1([]float64{0, 0})
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	c := a.Clone()
+	c.Set(0, 0, 99)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone aliases original")
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{4, 3}, {2, 1}})
+	if got := a.Add(b); !got.EqualTol(FromRows([][]float64{{5, 5}, {5, 5}}), 0) {
+		t.Fatalf("Add = %v", got)
+	}
+	if got := a.Sub(a); !got.EqualTol(New(2, 2), 0) {
+		t.Fatalf("Sub = %v", got)
+	}
+	if got := a.Scale(2); !got.EqualTol(FromRows([][]float64{{2, 4}, {6, 8}}), 0) {
+		t.Fatalf("Scale = %v", got)
+	}
+}

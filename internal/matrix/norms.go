@@ -1,0 +1,47 @@
+package matrix
+
+import "math"
+
+// Norm1 returns the maximum absolute column sum of m.
+func (m *Matrix) Norm1() float64 {
+	sums := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, v := range row {
+			sums[j] += math.Abs(v)
+		}
+	}
+	var max float64
+	for _, s := range sums {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// NormInf returns the maximum absolute row sum of m.
+func (m *Matrix) NormInf() float64 {
+	var max float64
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for _, v := range row {
+			s += math.Abs(v)
+		}
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+// FrobeniusNorm returns the square root of the sum of squared
+// elements of m.
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, v := range m.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}

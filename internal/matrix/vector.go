@@ -1,0 +1,132 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Ones returns a length-n vector of ones (the LAQT ε vector).
+func Ones(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = 1
+	}
+	return v
+}
+
+// Unit returns a length-n vector with a 1 in position i.
+func Unit(n, i int) []float64 {
+	v := make([]float64, n)
+	v[i] = 1
+	return v
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("matrix: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// VecAdd returns a + b elementwise.
+func VecAdd(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("matrix: VecAdd length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// VecSub returns a − b elementwise.
+func VecSub(a, b []float64) []float64 {
+	if len(a) != len(b) {
+		panic("matrix: VecSub length mismatch")
+	}
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// VecScale returns s·a.
+func VecScale(s float64, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = s * v
+	}
+	return out
+}
+
+// VecSum returns the sum of the elements of a.
+func VecSum(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v
+	}
+	return s
+}
+
+// Norm1 returns Σ|aᵢ|.
+func Norm1(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of a.
+func Norm2(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// NormInf returns max|aᵢ|.
+func NormInf(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		if m := math.Abs(v); m > s {
+			s = m
+		}
+	}
+	return s
+}
+
+// Normalize1 scales a in place so its elements sum to 1 and returns
+// it. It panics if the element sum is zero.
+func Normalize1(a []float64) []float64 {
+	s := VecSum(a)
+	if s == 0 {
+		panic("matrix: Normalize1 of zero-sum vector")
+	}
+	for i := range a {
+		a[i] /= s
+	}
+	return a
+}
+
+// VecMaxAbsDiff returns max|aᵢ − bᵢ|.
+func VecMaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("matrix: VecMaxAbsDiff length mismatch")
+	}
+	var d float64
+	for i := range a {
+		if v := math.Abs(a[i] - b[i]); v > d {
+			d = v
+		}
+	}
+	return d
+}

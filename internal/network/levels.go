@@ -1,0 +1,296 @@
+package network
+
+import (
+	"fmt"
+
+	"finwl/internal/matrix"
+	"finwl/internal/statespace"
+)
+
+// Level holds the paper's per-population matrices for k active tasks:
+//
+//	MDiag — the diagonal of M_k, the total event rate of each state;
+//	P     — [P_k]ij, the probability that the next event moves the
+//	        system from state i to state j without a departure;
+//	Q     — [Q_k]ij, the probability that the next event is a task
+//	        departure leaving the system in state j of level k−1;
+//	R     — [R_k]ij, the probability that a task arriving while the
+//	        system is in state i of level k−1 puts it in state j.
+//
+// Rows of P_k + Q_k sum to one, as do rows of R_k.
+type Level struct {
+	K      int
+	States *statespace.Level
+	MDiag  []float64
+	P      *matrix.Matrix
+	Q      *matrix.Matrix // D(k) × D(k−1)
+	R      *matrix.Matrix // D(k−1) × D(k)
+}
+
+// Chain is the full ladder of level matrices for populations 1..K,
+// sharing one state-space layout. Levels[0] is the trivial empty
+// level (one state, no matrices); Levels[k] describes k active tasks.
+type Chain struct {
+	Net    *Network
+	Space  *statespace.Space
+	Levels []*Level
+}
+
+// NewChain validates the network and builds every level up to maxK.
+func NewChain(net *Network, maxK int) (*Chain, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if maxK < 1 {
+		return nil, fmt.Errorf("network: chain needs maxK >= 1, got %d", maxK)
+	}
+	space := net.Space()
+	c := &Chain{Net: net, Space: space, Levels: make([]*Level, maxK+1)}
+	prev := space.Enumerate(0)
+	c.Levels[0] = &Level{K: 0, States: prev}
+	for k := 1; k <= maxK; k++ {
+		cur := space.Enumerate(k)
+		c.Levels[k] = buildLevel(net, space, k, prev, cur)
+		prev = cur
+	}
+	return c, nil
+}
+
+// D returns the number of states at level k.
+func (c *Chain) D(k int) int { return c.Levels[k].States.Count() }
+
+// EntryVector returns p_k, the state distribution after k tasks have
+// entered an initially empty system: e₀·R₁·R₂···R_k (§4).
+func (c *Chain) EntryVector(k int) []float64 {
+	pi := []float64{1}
+	for j := 1; j <= k; j++ {
+		pi = c.Levels[j].R.VecMul(pi)
+	}
+	return pi
+}
+
+// levelSink receives the transition weights of one level as they are
+// generated; dense and sparse chains share the construction logic and
+// differ only in the sink.
+type levelSink interface {
+	setM(i int, rate float64)
+	addP(i, j int, w float64)
+	addQ(i, jPrev int, w float64)
+	addR(iPrev, j int, w float64)
+}
+
+// denseSink writes into a dense Level.
+type denseSink struct{ lvl *Level }
+
+func (s denseSink) setM(i int, rate float64) { s.lvl.MDiag[i] = rate }
+func (s denseSink) addP(i, j int, w float64) { s.lvl.P.Inc(i, j, w) }
+func (s denseSink) addQ(i, j int, w float64) { s.lvl.Q.Inc(i, j, w) }
+func (s denseSink) addR(i, j int, w float64) { s.lvl.R.Inc(i, j, w) }
+
+func buildLevel(net *Network, space *statespace.Space, k int, prev, cur *statespace.Level) *Level {
+	d := cur.Count()
+	dPrev := prev.Count()
+	lvl := &Level{
+		K:      k,
+		States: cur,
+		MDiag:  make([]float64, d),
+		P:      matrix.New(d, d),
+		Q:      matrix.New(d, dPrev),
+		R:      matrix.New(dPrev, d),
+	}
+	emitLevel(net, space, prev, cur, denseSink{lvl})
+	return lvl
+}
+
+// emitLevel generates every M/P/Q/R weight of one population level.
+func emitLevel(net *Network, space *statespace.Space, prev, cur *statespace.Level, sink levelSink) {
+	d := cur.Count()
+	dPrev := prev.Count()
+	scratch := make([]int, space.Width())
+
+	// addArrival distributes weight w over the states reached when a
+	// task arrives at station dst with the system in `state`, calling
+	// emit for each target state.
+	addArrival := func(state []int, dst int, w float64, emit func(target []int, w float64)) {
+		st := net.Stations[dst]
+		switch st.Kind {
+		case statespace.Delay:
+			for ph, a := range st.Service.Alpha {
+				if a == 0 {
+					continue
+				}
+				copy(scratch, state)
+				space.SetDelayCount(scratch, dst, ph, space.DelayCount(scratch, dst, ph)+1)
+				emit(scratch, w*a)
+			}
+		case statespace.Queue:
+			n := space.QueueCount(state, dst)
+			if n == 0 {
+				// The arriving task goes straight into service.
+				for ph, a := range st.Service.Alpha {
+					if a == 0 {
+						continue
+					}
+					copy(scratch, state)
+					space.SetQueue(scratch, dst, 1, ph)
+					emit(scratch, w*a)
+				}
+			} else {
+				copy(scratch, state)
+				space.SetQueue(scratch, dst, n+1, space.QueuePhase(state, dst))
+				emit(scratch, w)
+			}
+		case statespace.Multi:
+			copy(scratch, state)
+			space.SetMultiCount(scratch, dst, space.MultiCount(state, dst)+1)
+			emit(scratch, w)
+		}
+	}
+
+	// R_k: arrivals into level k−1 states.
+	for i := 0; i < dPrev; i++ {
+		state := prev.State(i)
+		for e, pe := range net.Entry {
+			if pe == 0 {
+				continue
+			}
+			addArrival(state, e, pe, func(target []int, w float64) {
+				sink.addR(i, cur.MustIndex(target), w)
+			})
+		}
+	}
+
+	// M_k, P_k, Q_k: events out of level k states.
+	depart := make([]int, space.Width())
+	for si := 0; si < d; si++ {
+		state := cur.State(si)
+
+		// First pass: total event rate.
+		var total float64
+		forEachActiveUnit(net, space, state, func(st, ph int, rate float64) {
+			total += rate
+		})
+		sink.setM(si, total)
+
+		forEachActiveUnit(net, space, state, func(st, ph int, rate float64) {
+			w0 := rate / total
+			svc := net.Stations[st].Service
+
+			// Internal phase movement within the station.
+			for ph2 := 0; ph2 < svc.Dim(); ph2++ {
+				tp := svc.Trans.At(ph, ph2)
+				if tp == 0 {
+					continue
+				}
+				moved := moveWithinStation(net, space, state, st, ph, ph2, depart)
+				sink.addP(si, cur.MustIndex(moved), w0*tp)
+			}
+
+			done := svc.ExitProb(ph)
+			if done == 0 {
+				return
+			}
+			// Remove the completing customer from the station; for a
+			// queue with waiting customers the successor's starting
+			// phase fans out over the entry vector.
+			forEachPostCompletion(net, space, state, st, ph, depart, func(base []int, bw float64) {
+				baseCopy := append([]int(nil), base...)
+				// Route to the next station …
+				for dst := 0; dst < len(net.Stations); dst++ {
+					r := net.Route.At(st, dst)
+					if r == 0 {
+						continue
+					}
+					addArrival(baseCopy, dst, w0*done*bw*r, func(target []int, w float64) {
+						sink.addP(si, cur.MustIndex(target), w)
+					})
+				}
+				// … or leave the system.
+				if e := net.Exit[st]; e > 0 {
+					sink.addQ(si, prev.MustIndex(baseCopy), w0*done*bw*e)
+				}
+			})
+		})
+	}
+}
+
+// forEachActiveUnit visits every independently-completing exponential
+// phase in the state with its aggregate rate: each occupied phase of
+// a delay station (rate count·µ) and the in-service phase of each
+// non-empty queue station (rate µ).
+func forEachActiveUnit(net *Network, space *statespace.Space, state []int, f func(st, ph int, rate float64)) {
+	for st := range net.Stations {
+		svc := net.Stations[st].Service
+		switch net.Stations[st].Kind {
+		case statespace.Delay:
+			for ph := 0; ph < svc.Dim(); ph++ {
+				if c := space.DelayCount(state, st, ph); c > 0 {
+					f(st, ph, float64(c)*svc.Rates[ph])
+				}
+			}
+		case statespace.Queue:
+			if n := space.QueueCount(state, st); n > 0 {
+				ph := space.QueuePhase(state, st)
+				f(st, ph, svc.Rates[ph])
+			}
+		case statespace.Multi:
+			if n := space.MultiCount(state, st); n > 0 {
+				busy := n
+				if c := net.Stations[st].Servers; busy > c {
+					busy = c
+				}
+				f(st, 0, float64(busy)*svc.Rates[0])
+			}
+		}
+	}
+}
+
+// moveWithinStation returns the state after one customer at (st, ph)
+// moves to phase ph2 of the same station, using buf as scratch.
+func moveWithinStation(net *Network, space *statespace.Space, state []int, st, ph, ph2 int, buf []int) []int {
+	copy(buf, state)
+	switch net.Stations[st].Kind {
+	case statespace.Delay:
+		space.SetDelayCount(buf, st, ph, space.DelayCount(buf, st, ph)-1)
+		space.SetDelayCount(buf, st, ph2, space.DelayCount(buf, st, ph2)+1)
+	case statespace.Queue:
+		space.SetQueue(buf, st, space.QueueCount(buf, st), ph2)
+	case statespace.Multi:
+		// Exponential only: no internal phase moves exist.
+	}
+	return buf
+}
+
+// forEachPostCompletion removes the customer completing service at
+// (st, ph) and emits the resulting station state(s) with weights: a
+// single state for delay stations and empty-after queues, and one
+// state per successor entry phase for queues with waiting customers.
+func forEachPostCompletion(net *Network, space *statespace.Space, state []int, st, ph int, buf []int, emit func(base []int, w float64)) {
+	svc := net.Stations[st].Service
+	switch net.Stations[st].Kind {
+	case statespace.Delay:
+		copy(buf, state)
+		space.SetDelayCount(buf, st, ph, space.DelayCount(buf, st, ph)-1)
+		emit(buf, 1)
+	case statespace.Queue:
+		n := space.QueueCount(state, st)
+		if n == 1 {
+			copy(buf, state)
+			space.SetQueue(buf, st, 0, 0)
+			emit(buf, 1)
+			return
+		}
+		for ph2, a := range svc.Alpha {
+			if a == 0 {
+				continue
+			}
+			copy(buf, state)
+			space.SetQueue(buf, st, n-1, ph2)
+			emit(buf, a)
+		}
+	case statespace.Multi:
+		copy(buf, state)
+		space.SetMultiCount(buf, st, space.MultiCount(state, st)-1)
+		emit(buf, 1)
+	}
+}

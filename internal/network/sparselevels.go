@@ -1,0 +1,87 @@
+package network
+
+import (
+	"fmt"
+
+	"finwl/internal/sparse"
+	"finwl/internal/statespace"
+)
+
+// SparseLevel is a population level's matrices in CSR form, for state
+// spaces too large to factor densely. The semantics are identical to
+// Level.
+type SparseLevel struct {
+	K      int
+	States *statespace.Level
+	MDiag  []float64
+	P      *sparse.CSR
+	Q      *sparse.CSR // D(k) × D(k−1)
+	R      *sparse.CSR // D(k−1) × D(k)
+}
+
+// SparseChain is the CSR counterpart of Chain, built by the same
+// transition-generation code.
+type SparseChain struct {
+	Net    *Network
+	Space  *statespace.Space
+	Levels []*SparseLevel
+}
+
+// sparseSink accumulates one level into CSR builders.
+type sparseSink struct {
+	m       []float64
+	p, q, r *sparse.Builder
+}
+
+func (s *sparseSink) setM(i int, rate float64) { s.m[i] = rate }
+func (s *sparseSink) addP(i, j int, w float64) { s.p.Add(i, j, w) }
+func (s *sparseSink) addQ(i, j int, w float64) { s.q.Add(i, j, w) }
+func (s *sparseSink) addR(i, j int, w float64) { s.r.Add(i, j, w) }
+
+// NewSparseChain validates the network and builds CSR level matrices
+// for populations 1..maxK.
+func NewSparseChain(net *Network, maxK int) (*SparseChain, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	if maxK < 1 {
+		return nil, fmt.Errorf("network: sparse chain needs maxK >= 1, got %d", maxK)
+	}
+	space := net.Space()
+	c := &SparseChain{Net: net, Space: space, Levels: make([]*SparseLevel, maxK+1)}
+	prev := space.Enumerate(0)
+	c.Levels[0] = &SparseLevel{K: 0, States: prev}
+	for k := 1; k <= maxK; k++ {
+		cur := space.Enumerate(k)
+		d, dPrev := cur.Count(), prev.Count()
+		sink := &sparseSink{
+			m: make([]float64, d),
+			p: sparse.NewBuilder(d, d),
+			q: sparse.NewBuilder(d, dPrev),
+			r: sparse.NewBuilder(dPrev, d),
+		}
+		emitLevel(net, space, prev, cur, sink)
+		c.Levels[k] = &SparseLevel{
+			K:      k,
+			States: cur,
+			MDiag:  sink.m,
+			P:      sink.p.Build(),
+			Q:      sink.q.Build(),
+			R:      sink.r.Build(),
+		}
+		prev = cur
+	}
+	return c, nil
+}
+
+// D returns the number of states at level k.
+func (c *SparseChain) D(k int) int { return c.Levels[k].States.Count() }
+
+// EntryVector returns p_k = e₀·R₁···R_k.
+func (c *SparseChain) EntryVector(k int) []float64 {
+	pi := []float64{1}
+	for j := 1; j <= k; j++ {
+		pi = c.Levels[j].R.VecMul(pi)
+	}
+	return pi
+}

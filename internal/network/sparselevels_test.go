@@ -1,0 +1,101 @@
+package network
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finwl/internal/matrix"
+	"finwl/internal/phase"
+)
+
+// The sparse chain must contain exactly the dense chain's matrices —
+// both are produced by the same emitter through different sinks.
+func TestSparseChainMatchesDense(t *testing.T) {
+	n := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
+	n.Stations[3].Service = phase.HyperExpFit(1, 8)
+	dense, err := NewChain(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewSparseChain(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 3; k++ {
+		dl, sl := dense.Levels[k], sp.Levels[k]
+		if matrix.VecMaxAbsDiff(dl.MDiag, sl.MDiag) > 1e-14 {
+			t.Fatalf("level %d: MDiag differs", k)
+		}
+		if sl.P.Dense().MaxAbsDiff(dl.P) > 1e-14 {
+			t.Fatalf("level %d: P differs", k)
+		}
+		if sl.Q.Dense().MaxAbsDiff(dl.Q) > 1e-14 {
+			t.Fatalf("level %d: Q differs", k)
+		}
+		if sl.R.Dense().MaxAbsDiff(dl.R) > 1e-14 {
+			t.Fatalf("level %d: R differs", k)
+		}
+	}
+	// Entry vectors agree too.
+	if matrix.VecMaxAbsDiff(dense.EntryVector(3), sp.EntryVector(3)) > 1e-14 {
+		t.Fatal("entry vectors differ")
+	}
+}
+
+// Property: agreement on random networks.
+func TestSparseChainMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := randomExpNetwork(r, 1+r.Intn(3))
+		k := 1 + r.Intn(3)
+		dense, err := NewChain(n, k)
+		if err != nil {
+			return false
+		}
+		sp, err := NewSparseChain(n, k)
+		if err != nil {
+			return false
+		}
+		for lvl := 1; lvl <= k; lvl++ {
+			if sp.Levels[lvl].P.Dense().MaxAbsDiff(dense.Levels[lvl].P) > 1e-13 {
+				return false
+			}
+			if sp.Levels[lvl].R.Dense().MaxAbsDiff(dense.Levels[lvl].R) > 1e-13 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseChainErrors(t *testing.T) {
+	n := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
+	if _, err := NewSparseChain(n, 0); err == nil {
+		t.Fatal("accepted maxK=0")
+	}
+	bad := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
+	bad.Entry[0] = 2
+	if _, err := NewSparseChain(bad, 1); err == nil {
+		t.Fatal("accepted invalid network")
+	}
+}
+
+// Sparse chains support the NNZ accounting the solver's scaling
+// argument rests on: nnz per row stays bounded as D grows.
+func TestSparseChainNNZBounded(t *testing.T) {
+	n := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
+	sp, err := NewSparseChain(n, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := sp.Levels[6]
+	d := lvl.States.Count()
+	perRow := float64(lvl.P.NNZ()) / float64(d)
+	if perRow > 30 {
+		t.Fatalf("P has %.1f nnz per row — construction is not sparse", perRow)
+	}
+}

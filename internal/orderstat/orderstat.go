@@ -1,0 +1,166 @@
+// Package orderstat provides the order-statistics analysis that the
+// paper's introduction contrasts with the network model: when tasks
+// are fully independent (no shared resources), the job completion
+// time on K machines is the maximum of iid task times, and speedup
+// analysis reduces to order statistics. Comparing these bounds with
+// the contention-aware transient model quantifies what shared
+// resources cost.
+package orderstat
+
+import (
+	"math"
+
+	"finwl/internal/phase"
+)
+
+// ExpMaxMean returns E[max of n iid Exp(µ)] = H_n/µ.
+func ExpMaxMean(n int, mu float64) float64 {
+	if n < 1 {
+		panic("orderstat: n must be >= 1")
+	}
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h / mu
+}
+
+// ExpMinMean returns E[min of n iid Exp(µ)] = 1/(nµ).
+func ExpMinMean(n int, mu float64) float64 {
+	if n < 1 {
+		panic("orderstat: n must be >= 1")
+	}
+	return 1 / (float64(n) * mu)
+}
+
+// MaxMean returns E[max of n iid draws] of a phase-type distribution
+// by numeric integration of 1 − F(t)ⁿ. Accuracy is limited by the
+// integration grid; the defaults hold ~1e-4 relative error for the
+// families used in the paper.
+func MaxMean(d *phase.PH, n int) float64 {
+	if n < 1 {
+		panic("orderstat: n must be >= 1")
+	}
+	if n == 1 {
+		return d.Mean()
+	}
+	return integrate(func(t float64) float64 {
+		return 1 - math.Pow(d.CDF(t), float64(n))
+	}, d.Mean()*10, upperBound(d, n))
+}
+
+// MinMean returns E[min of n iid draws] via ∫ R(t)ⁿ dt.
+func MinMean(d *phase.PH, n int) float64 {
+	if n < 1 {
+		panic("orderstat: n must be >= 1")
+	}
+	if n == 1 {
+		return d.Mean()
+	}
+	return integrate(func(t float64) float64 {
+		return math.Pow(d.Reliability(t), float64(n))
+	}, d.Mean()*10, upperBound(d, n))
+}
+
+// IndependentMakespan returns the expected completion time of N
+// independent tasks on K machines when tasks are pre-assigned in
+// balanced batches of ⌈N/K⌉ / ⌊N/K⌋: the max over machines of a sum
+// of iid task times, approximated by a normal-order-statistics
+// correction — exact for K=1 and asymptotically tight for large
+// batches. It is the "no contention" reference line for the speedup
+// figures.
+func IndependentMakespan(d *phase.PH, n, k int) float64 {
+	if n < 1 || k < 1 {
+		panic("orderstat: n and k must be >= 1")
+	}
+	if k == 1 {
+		return float64(n) * d.Mean()
+	}
+	if n <= k {
+		return MaxMean(d, n)
+	}
+	// Machines get batches of size q or q+1.
+	q := n / k
+	rem := n % k
+	// Expected max of k batch sums ≈ batch mean + z_k·σ_batch where
+	// z_k = E[max of k standard normals], Blom's approximation.
+	zk := normalMaxApprox(k)
+	mean := d.Mean()
+	sd := math.Sqrt(d.Variance())
+	big := float64(q+1)*mean + zk*sd*math.Sqrt(float64(q+1))
+	small := float64(q)*mean + zk*sd*math.Sqrt(float64(q))
+	if rem > 0 {
+		return big
+	}
+	return small
+}
+
+// normalMaxApprox estimates E[max of k standard normals] with Blom's
+// formula Φ⁻¹((k−α)/(k−2α+1)), α = 0.375.
+func normalMaxApprox(k int) float64 {
+	if k == 1 {
+		return 0
+	}
+	const alpha = 0.375
+	p := (float64(k) - alpha) / (float64(k) - 2*alpha + 1)
+	return normalQuantile(p)
+}
+
+// normalQuantile is the Acklam rational approximation of Φ⁻¹.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		panic("orderstat: quantile domain")
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02, 1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02, 6.680131188771972e+01, -1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00, -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// upperBound picks an integration horizon: far enough into the tail
+// that the n-fold max has negligible mass beyond it.
+func upperBound(d *phase.PH, n int) float64 {
+	scale := d.Mean() * math.Max(1, d.CV2())
+	return scale * (30 + 10*math.Log(float64(n)+1))
+}
+
+// integrate runs composite Simpson on [0, hi], with a dense grid on
+// the body [0, split] where most of the mass lives and a coarser one
+// on the tail (split, hi] — heavy-tailed H2/TPT distributions need a
+// long horizon without starving the body of resolution.
+func integrate(f func(float64) float64, split, hi float64) float64 {
+	if split >= hi {
+		split = hi / 2
+	}
+	return simpson(f, 0, split, 4000) + simpson(f, split, hi, 4000)
+}
+
+func simpson(f func(float64) float64, lo, hi float64, steps int) float64 {
+	h := (hi - lo) / float64(steps)
+	sum := f(lo) + f(hi)
+	for i := 1; i < steps; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 1 {
+			sum += 4 * f(x)
+		} else {
+			sum += 2 * f(x)
+		}
+	}
+	return sum * h / 3
+}

@@ -1,0 +1,106 @@
+package orderstat
+
+import (
+	"math"
+	"testing"
+
+	"finwl/internal/phase"
+)
+
+func approx(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > tol*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+func TestExpMaxMeanHarmonic(t *testing.T) {
+	approx(t, ExpMaxMean(1, 2), 0.5, 1e-12, "H1")
+	approx(t, ExpMaxMean(3, 1), 1+0.5+1.0/3, 1e-12, "H3")
+}
+
+func TestExpMinMean(t *testing.T) {
+	approx(t, ExpMinMean(4, 0.5), 1/(4*0.5), 1e-12, "min of 4")
+}
+
+func TestNumericMatchesExponentialClosedForm(t *testing.T) {
+	d := phase.Expo(1.3)
+	for _, n := range []int{2, 3, 5} {
+		approx(t, MaxMean(d, n), ExpMaxMean(n, 1.3), 1e-3, "MaxMean exp")
+		approx(t, MinMean(d, n), ExpMinMean(n, 1.3), 1e-3, "MinMean exp")
+	}
+}
+
+func TestMaxOfTwoH2ClosedForm(t *testing.T) {
+	d := phase.HyperExpFit(2, 8)
+	p, mu1, mu2 := d.Alpha[0], d.Rates[0], d.Rates[1]
+	eMin := p*p/(2*mu1) + 2*p*(1-p)/(mu1+mu2) + (1-p)*(1-p)/(2*mu2)
+	want := 2*d.Mean() - eMin
+	approx(t, MaxMean(d, 2), want, 1e-3, "max of two H2")
+	approx(t, MinMean(d, 2), eMin, 1e-3, "min of two H2")
+}
+
+func TestMaxMinIdentityN2(t *testing.T) {
+	// E[max]+E[min] = 2E[X] for n=2, any distribution.
+	for _, d := range []*phase.PH{
+		phase.ErlangMean(3, 1.5),
+		phase.HyperExpFit(1, 20),
+	} {
+		got := MaxMean(d, 2) + MinMean(d, 2)
+		approx(t, got, 2*d.Mean(), 1e-3, "max+min identity")
+	}
+}
+
+func TestMaxMonotoneInN(t *testing.T) {
+	d := phase.HyperExpFit(1, 5)
+	prev := 0.0
+	for n := 1; n <= 6; n++ {
+		v := MaxMean(d, n)
+		if v <= prev {
+			t.Fatalf("MaxMean not increasing at n=%d: %v <= %v", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	approx(t, normalQuantile(0.5), 0, 1e-6, "median")
+	approx(t, normalQuantile(0.975), 1.959964, 1e-4, "97.5%")
+	approx(t, normalQuantile(0.025), -1.959964, 1e-4, "2.5%")
+	approx(t, normalQuantile(0.999), 3.0902, 1e-3, "99.9%")
+}
+
+func TestIndependentMakespan(t *testing.T) {
+	d := phase.ExpoMean(2)
+	approx(t, IndependentMakespan(d, 7, 1), 14, 1e-9, "k=1 serial")
+	approx(t, IndependentMakespan(d, 3, 8), MaxMean(d, 3), 1e-9, "n<=k is max")
+	// More machines never slower (for fixed n).
+	prev := math.Inf(1)
+	for _, k := range []int{1, 2, 4, 8} {
+		v := IndependentMakespan(d, 64, k)
+		if v > prev+1e-9 {
+			t.Fatalf("makespan grew with k=%d: %v > %v", k, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"ExpMaxMean": func() { ExpMaxMean(0, 1) },
+		"ExpMinMean": func() { ExpMinMean(0, 1) },
+		"MaxMean":    func() { MaxMean(phase.Expo(1), 0) },
+		"MinMean":    func() { MinMean(phase.Expo(1), 0) },
+		"Makespan":   func() { IndependentMakespan(phase.Expo(1), 0, 1) },
+		"Quantile":   func() { normalQuantile(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,40 @@
+package phase
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSampleH2(b *testing.B) {
+	d := HyperExpFit(1, 10)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(rng)
+	}
+}
+
+func BenchmarkSampleErlang4(b *testing.B) {
+	d := ErlangMean(4, 1)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Sample(rng)
+	}
+}
+
+func BenchmarkCDFTPT12(b *testing.B) {
+	d := TPT(12, 1.4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.CDF(2.5)
+	}
+}
+
+func BenchmarkMoment3(b *testing.B) {
+	d := TPT(12, 1.4, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.Moment(3)
+	}
+}

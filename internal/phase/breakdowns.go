@@ -1,0 +1,55 @@
+package phase
+
+import (
+	"fmt"
+
+	"finwl/internal/matrix"
+)
+
+// WithBreakdowns returns the completion-time distribution of service
+// by d on a server that fails at rate `fail` (exponentially, while
+// serving) and repairs at rate `repair`, with preemptive-resume
+// semantics: work done before a failure is kept, service continues
+// where it stopped once the server is back.
+//
+// The construction is exact and stays phase-type — the conclusion of
+// the paper lists fault tolerance among the model's applications, and
+// this is the standard way to fold server availability into the
+// service law: each phase i splits into an up state (rate µᵢ+f,
+// failing with probability f/(µᵢ+f)) and a down state (rate r,
+// returning to up). The mean inflates by exactly (1 + f/r).
+func WithBreakdowns(d *PH, fail, repair float64) *PH {
+	if fail < 0 || repair <= 0 {
+		panic(fmt.Sprintf("phase: WithBreakdowns needs fail >= 0 and repair > 0, got %v, %v", fail, repair))
+	}
+	if fail == 0 {
+		return d.ScaleMean(d.Mean()) // clean copy
+	}
+	m := d.Dim()
+	alpha := make([]float64, 2*m)
+	rates := make([]float64, 2*m)
+	trans := matrix.New(2*m, 2*m)
+	for i := 0; i < m; i++ {
+		up, down := i, m+i
+		alpha[up] = d.Alpha[i]
+		rates[up] = d.Rates[i] + fail
+		rates[down] = repair
+		pFail := fail / (d.Rates[i] + fail)
+		pWork := 1 - pFail
+		trans.Set(up, down, pFail)
+		for j := 0; j < m; j++ {
+			if v := d.Trans.At(i, j); v != 0 {
+				trans.Set(up, j, pWork*v)
+			}
+		}
+		// Completion probability scales by pWork implicitly: the
+		// remaining mass of the up row exits the distribution.
+		trans.Set(down, up, 1)
+	}
+	return &PH{
+		Name:  fmt.Sprintf("%s+brk(f=%.3g,r=%.3g)", d.Name, fail, repair),
+		Alpha: alpha,
+		Rates: rates,
+		Trans: trans,
+	}
+}

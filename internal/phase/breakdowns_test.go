@@ -1,0 +1,91 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The preemptive-resume construction inflates the mean by exactly
+// 1 + f/r for any base distribution.
+func TestBreakdownsMeanInflation(t *testing.T) {
+	for _, d := range []*PH{
+		Expo(2),
+		ErlangMean(3, 1.5),
+		HyperExpFit(1, 10),
+		Coxian2(2, 0.8),
+	} {
+		for _, fr := range [][2]float64{{0.1, 1}, {0.5, 0.25}, {2, 4}} {
+			fail, repair := fr[0], fr[1]
+			b := WithBreakdowns(d, fail, repair)
+			if err := b.Validate(); err != nil {
+				t.Fatalf("%v: %v", d, err)
+			}
+			want := d.Mean() * (1 + fail/repair)
+			if math.Abs(b.Mean()-want) > 1e-9*want {
+				t.Fatalf("%v f=%v r=%v: mean %v, want %v", d, fail, repair, b.Mean(), want)
+			}
+		}
+	}
+}
+
+func TestBreakdownsZeroFailIsIdentity(t *testing.T) {
+	d := HyperExpFit(2, 5)
+	b := WithBreakdowns(d, 0, 1)
+	if math.Abs(b.Mean()-d.Mean()) > 1e-12 || math.Abs(b.CV2()-d.CV2()) > 1e-9 {
+		t.Fatal("zero failure rate should not change the distribution")
+	}
+}
+
+// Breakdowns add variability: C² strictly grows.
+func TestBreakdownsIncreaseVariability(t *testing.T) {
+	d := Expo(1)
+	b := WithBreakdowns(d, 0.5, 0.5)
+	if b.CV2() <= d.CV2() {
+		t.Fatalf("C² %v should exceed base %v", b.CV2(), d.CV2())
+	}
+}
+
+// Sampled means agree with the analytic inflation (seeded).
+func TestBreakdownsSampling(t *testing.T) {
+	d := ErlangMean(2, 1)
+	b := WithBreakdowns(d, 1, 2)
+	rng := rand.New(rand.NewSource(12))
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += b.Sample(rng)
+	}
+	got := sum / n
+	want := b.Mean()
+	sigma := math.Sqrt(b.Variance() / n)
+	if math.Abs(got-want) > 5*sigma {
+		t.Fatalf("sample mean %v, want %v ± %v", got, want, 5*sigma)
+	}
+}
+
+// Property: inflation law holds across random parameters.
+func TestBreakdownsMeanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := HyperExpFit(0.5+2*r.Float64(), 1+5*r.Float64())
+		fail := 0.05 + 2*r.Float64()
+		repair := 0.1 + 3*r.Float64()
+		b := WithBreakdowns(d, fail, repair)
+		want := d.Mean() * (1 + fail/repair)
+		return math.Abs(b.Mean()-want) < 1e-8*want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative failure rate did not panic")
+		}
+	}()
+	WithBreakdowns(Expo(1), -1, 1)
+}

@@ -1,0 +1,157 @@
+package phase
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// EMResult reports a completed expectation-maximization fit.
+type EMResult struct {
+	Dist          *PH
+	LogLikelihood float64
+	Iterations    int
+	Converged     bool
+}
+
+// FitHyperEM fits an m-branch hyperexponential to observed service
+// times by expectation-maximization. This is the bridge from measured
+// workloads (the BELLCORE CPU-time and file-size traces that motivate
+// the paper) to the model: H-m is dense in the class of completely
+// monotone densities, so with enough branches it approximates any
+// heavy-tailed empirical law, and EM finds a local maximum-likelihood
+// fit whose log-likelihood increases monotonically.
+//
+// Branches are initialized from quantile groups of the sorted sample,
+// which separates scales well for long-tailed data. tol is the
+// relative log-likelihood improvement below which iteration stops.
+func FitHyperEM(samples []float64, branches, maxIter int, tol float64) (*EMResult, error) {
+	n := len(samples)
+	if n < 2*branches {
+		return nil, fmt.Errorf("phase: EM needs at least %d samples for %d branches, got %d", 2*branches, branches, n)
+	}
+	if branches < 1 {
+		return nil, errors.New("phase: EM needs at least one branch")
+	}
+	for _, x := range samples {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("phase: EM sample %v out of domain (0, ∞)", x)
+		}
+	}
+	if maxIter < 1 {
+		maxIter = 500
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+
+	// Quantile-group initialization.
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	probs := make([]float64, branches)
+	rates := make([]float64, branches)
+	for j := 0; j < branches; j++ {
+		lo := j * n / branches
+		hi := (j + 1) * n / branches
+		group := sorted[lo:hi]
+		var mean float64
+		for _, x := range group {
+			mean += x
+		}
+		mean /= float64(len(group))
+		probs[j] = float64(len(group)) / float64(n)
+		rates[j] = 1 / mean
+	}
+
+	gamma := make([][]float64, branches) // responsibilities
+	for j := range gamma {
+		gamma[j] = make([]float64, n)
+	}
+	prevLL := math.Inf(-1)
+	res := &EMResult{}
+	for iter := 1; iter <= maxIter; iter++ {
+		// E-step with the usual max-subtraction for stability.
+		var ll float64
+		for i, x := range samples {
+			maxLog := math.Inf(-1)
+			logs := make([]float64, branches)
+			for j := 0; j < branches; j++ {
+				logs[j] = math.Log(probs[j]) + math.Log(rates[j]) - rates[j]*x
+				if logs[j] > maxLog {
+					maxLog = logs[j]
+				}
+			}
+			var denom float64
+			for j := 0; j < branches; j++ {
+				logs[j] = math.Exp(logs[j] - maxLog)
+				denom += logs[j]
+			}
+			for j := 0; j < branches; j++ {
+				gamma[j][i] = logs[j] / denom
+			}
+			ll += maxLog + math.Log(denom)
+		}
+		// M-step.
+		for j := 0; j < branches; j++ {
+			var weight, weighted float64
+			for i, x := range samples {
+				weight += gamma[j][i]
+				weighted += gamma[j][i] * x
+			}
+			if weight < 1e-300 || weighted <= 0 {
+				// Branch starved: re-seed it at the global scale.
+				weight = 1e-6 * float64(n)
+				weighted = weight * sorted[n/2]
+			}
+			probs[j] = weight / float64(n)
+			rates[j] = weight / weighted
+		}
+		normalize(probs)
+		res.Iterations = iter
+		res.LogLikelihood = ll
+		if ll-prevLL < tol*math.Abs(ll)+1e-15 && iter > 1 {
+			res.Converged = true
+			break
+		}
+		prevLL = ll
+	}
+	res.Dist = Hyper(probs, rates)
+	res.Dist.Name = fmt.Sprintf("H%d-EM", branches)
+	return res, nil
+}
+
+func normalize(p []float64) {
+	var s float64
+	for _, v := range p {
+		s += v
+	}
+	for i := range p {
+		p[i] /= s
+	}
+}
+
+// LogLikelihood evaluates the hyperexponential log-likelihood of
+// samples under d (d must be a mixture, i.e. have no internal
+// transitions); useful for comparing fits.
+func LogLikelihood(d *PH, samples []float64) (float64, error) {
+	for i := 0; i < d.Dim(); i++ {
+		for j := 0; j < d.Dim(); j++ {
+			if d.Trans.At(i, j) != 0 {
+				return 0, errors.New("phase: LogLikelihood requires a pure mixture (no internal transitions)")
+			}
+		}
+	}
+	var ll float64
+	for _, x := range samples {
+		var density float64
+		for j := 0; j < d.Dim(); j++ {
+			density += d.Alpha[j] * d.Rates[j] * math.Exp(-d.Rates[j]*x)
+		}
+		if density <= 0 {
+			return 0, fmt.Errorf("phase: zero density at sample %v", x)
+		}
+		ll += math.Log(density)
+	}
+	return ll, nil
+}

@@ -1,0 +1,118 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func sampleN(rng *rand.Rand, d *PH, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// EM on data generated from a known H2 recovers its mean and C².
+func TestFitHyperEMRecoversH2(t *testing.T) {
+	truth := HyperExpFit(2, 8)
+	rng := rand.New(rand.NewSource(4))
+	samples := sampleN(rng, truth, 60000)
+	res, err := FitHyperEM(samples, 2, 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("EM did not converge")
+	}
+	if math.Abs(res.Dist.Mean()-truth.Mean())/truth.Mean() > 0.05 {
+		t.Fatalf("fitted mean %v, truth %v", res.Dist.Mean(), truth.Mean())
+	}
+	if math.Abs(res.Dist.CV2()-truth.CV2())/truth.CV2() > 0.25 {
+		t.Fatalf("fitted C² %v, truth %v", res.Dist.CV2(), truth.CV2())
+	}
+}
+
+// EM on exponential data should produce a near-degenerate mixture.
+func TestFitHyperEMExponentialData(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := sampleN(rng, Expo(2), 30000)
+	res, err := FitHyperEM(samples, 2, 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dist.Mean()-0.5)/0.5 > 0.05 {
+		t.Fatalf("fitted mean %v, want ~0.5", res.Dist.Mean())
+	}
+	if res.Dist.CV2() > 1.15 {
+		t.Fatalf("fitted C² %v on exponential data", res.Dist.CV2())
+	}
+}
+
+// The EM log-likelihood must beat (or match) the naive single
+// exponential with the sample mean.
+func TestFitHyperEMBeatsExponential(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	truth := HyperExpFit(1, 15)
+	samples := sampleN(rng, truth, 20000)
+	res, err := FitHyperEM(samples, 3, 500, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, x := range samples {
+		mean += x
+	}
+	mean /= float64(len(samples))
+	expLL, err := LogLikelihood(ExpoMean(mean), samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitLL, err := LogLikelihood(res.Dist, samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fitLL <= expLL {
+		t.Fatalf("EM fit LL %v not above exponential LL %v", fitLL, expLL)
+	}
+	if math.Abs(fitLL-res.LogLikelihood) > 1e-6*math.Abs(fitLL) {
+		t.Fatalf("reported LL %v disagrees with recomputed %v", res.LogLikelihood, fitLL)
+	}
+}
+
+func TestFitHyperEMValidation(t *testing.T) {
+	if _, err := FitHyperEM([]float64{1, 2}, 2, 10, 0); err == nil {
+		t.Fatal("accepted too few samples")
+	}
+	if _, err := FitHyperEM([]float64{1, -2, 3, 4}, 1, 10, 0); err == nil {
+		t.Fatal("accepted negative sample")
+	}
+	if _, err := FitHyperEM([]float64{1, 2, 3, 4}, 0, 10, 0); err == nil {
+		t.Fatal("accepted zero branches")
+	}
+}
+
+func TestLogLikelihoodRejectsNonMixture(t *testing.T) {
+	if _, err := LogLikelihood(Erlang(2, 1), []float64{1}); err == nil {
+		t.Fatal("accepted an Erlang (has internal transitions)")
+	}
+}
+
+// One-branch EM is just the exponential MLE: rate = 1/sample-mean.
+func TestFitHyperEMOneBranch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := sampleN(rng, Expo(3), 5000)
+	var mean float64
+	for _, x := range samples {
+		mean += x
+	}
+	mean /= float64(len(samples))
+	res, err := FitHyperEM(samples, 1, 100, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dist.Rates[0]-1/mean) > 1e-9/mean {
+		t.Fatalf("one-branch rate %v, want %v", res.Dist.Rates[0], 1/mean)
+	}
+}

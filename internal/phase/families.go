@@ -1,0 +1,266 @@
+package phase
+
+import (
+	"fmt"
+	"math"
+
+	"finwl/internal/matrix"
+)
+
+// Expo returns the exponential distribution with rate µ (mean 1/µ).
+func Expo(mu float64) *PH {
+	if mu <= 0 {
+		panic("phase: Expo requires a positive rate")
+	}
+	return &PH{
+		Name:  "Exp",
+		Alpha: []float64{1},
+		Rates: []float64{mu},
+		Trans: matrix.New(1, 1),
+	}
+}
+
+// ExpoMean returns the exponential distribution with the given mean.
+func ExpoMean(mean float64) *PH { return Expo(1 / mean) }
+
+// Erlang returns the Erlang-m distribution: m identical exponential
+// stages in series, each with rate mu. Mean m/µ, C² = 1/m.
+func Erlang(m int, mu float64) *PH {
+	if m < 1 {
+		panic("phase: Erlang requires m >= 1")
+	}
+	if mu <= 0 {
+		panic("phase: Erlang requires a positive rate")
+	}
+	alpha := matrix.Unit(m, 0)
+	rates := make([]float64, m)
+	trans := matrix.New(m, m)
+	for i := 0; i < m; i++ {
+		rates[i] = mu
+		if i+1 < m {
+			trans.Set(i, i+1, 1)
+		}
+	}
+	return &PH{Name: fmt.Sprintf("E%d", m), Alpha: alpha, Rates: rates, Trans: trans}
+}
+
+// ErlangMean returns the Erlang-m distribution with the given mean
+// (stage rate m/mean).
+func ErlangMean(m int, mean float64) *PH { return Erlang(m, float64(m)/mean) }
+
+// Hyper returns the hyperexponential distribution that picks branch i
+// with probability probs[i] and serves at rate rates[i]; its density
+// is Σ pᵢµᵢ·exp(−µᵢt) (paper §5.4.2).
+func Hyper(probs, rates []float64) *PH {
+	if len(probs) != len(rates) || len(probs) == 0 {
+		panic("phase: Hyper requires matching non-empty probs and rates")
+	}
+	var sum float64
+	for _, p := range probs {
+		if p < 0 {
+			panic("phase: Hyper probabilities must be non-negative")
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		panic(fmt.Sprintf("phase: Hyper probabilities sum to %v", sum))
+	}
+	m := len(probs)
+	return &PH{
+		Name:  fmt.Sprintf("H%d", m),
+		Alpha: append([]float64(nil), probs...),
+		Rates: append([]float64(nil), rates...),
+		Trans: matrix.New(m, m),
+	}
+}
+
+// HyperExpFit returns a two-phase hyperexponential with the given
+// mean and squared coefficient of variation cv2 ≥ 1, using the
+// balanced-means fit (each branch contributes half the mean):
+//
+//	p = (1 + sqrt((C²−1)/(C²+1)))/2,  µ₁ = 2p/mean,  µ₂ = 2(1−p)/mean.
+//
+// cv2 == 1 degenerates to the exponential.
+func HyperExpFit(mean, cv2 float64) *PH {
+	if mean <= 0 {
+		panic("phase: HyperExpFit requires positive mean")
+	}
+	if cv2 < 1 {
+		panic("phase: HyperExpFit requires cv2 >= 1 (use Erlang/Coxian below 1)")
+	}
+	if cv2 == 1 {
+		return ExpoMean(mean)
+	}
+	p := 0.5 * (1 + math.Sqrt((cv2-1)/(cv2+1)))
+	mu1 := 2 * p / mean
+	mu2 := 2 * (1 - p) / mean
+	d := Hyper([]float64{p, 1 - p}, []float64{mu1, mu2})
+	d.Name = "H2"
+	return d
+}
+
+// HyperExpFitPDF0 returns a two-phase hyperexponential matching the
+// mean, cv2 ≥ 1 and the density at the origin f0 = p·µ₁ + (1−p)·µ₂ —
+// the third-parameter fit the paper proposes (§5.4.2). It searches
+// the one-parameter family of valid H2 fits by bisection on the
+// branch probability. Not every (mean, cv2, f0) triple is feasible;
+// an error is returned when f0 is out of range.
+func HyperExpFitPDF0(mean, cv2, f0 float64) (*PH, error) {
+	if cv2 <= 1 {
+		return nil, fmt.Errorf("phase: pdf(0) fit needs cv2 > 1, got %v", cv2)
+	}
+	// Parameterize by p ∈ (pmin, 1): given p, matching mean and cv2
+	// fixes µ1, µ2 via the two-moment equations. Balanced-means is one
+	// interior point. Solve the quadratic for x = p/µ1:
+	//   p/µ1 + (1-p)/µ2 = mean
+	//   2(p/µ1² + (1-p)/µ2²) = (cv2+1)·mean²
+	f0At := func(p float64) (float64, bool) {
+		// With y = (mean − x)/(1−p)·? — derive: let x=1/µ1, y=1/µ2.
+		// p·x + (1−p)·y = mean ; p·x² + (1−p)·y² = (cv2+1)/2·mean².
+		m2 := (cv2 + 1) / 2 * mean * mean
+		// Solve for x (take the smaller-mean fast branch):
+		// y = (mean − p·x)/(1−p); substitute:
+		// p·x² + (mean − p·x)²/(1−p) = m2
+		// (p + p²/(1−p))·x² − 2·mean·p/(1−p)·x + mean²/(1−p) − m2 = 0
+		a := p + p*p/(1-p)
+		bq := -2 * mean * p / (1 - p)
+		c := mean*mean/(1-p) - m2
+		disc := bq*bq - 4*a*c
+		if disc < 0 {
+			return 0, false
+		}
+		x := (-bq - math.Sqrt(disc)) / (2 * a) // fast branch: small mean 1/µ1... x is E of branch 1
+		if x <= 0 {
+			return 0, false
+		}
+		y := (mean - p*x) / (1 - p)
+		if y <= 0 {
+			return 0, false
+		}
+		return p/x + (1-p)/y, true
+	}
+	// The feasible p-interval is strict (the two-moment equations need
+	// a non-negative discriminant and positive branch means); scan a
+	// grid for a bracket around the target f0, then bisect inside it.
+	const grid = 4096
+	var lo, hi, fLo float64
+	found := false
+	prevP, prevF := math.NaN(), math.NaN()
+	for i := 1; i < grid; i++ {
+		p := float64(i) / grid
+		f, ok := f0At(p)
+		if !ok {
+			prevP, prevF = math.NaN(), math.NaN()
+			continue
+		}
+		if !math.IsNaN(prevP) && (prevF-f0)*(f-f0) <= 0 {
+			lo, hi, fLo = prevP, p, prevF
+			found = true
+			break
+		}
+		prevP, prevF = p, f
+	}
+	if !found {
+		return nil, fmt.Errorf("phase: f0=%v not achievable for mean=%v cv2=%v", f0, mean, cv2)
+	}
+	for iter := 0; iter < 200; iter++ {
+		mid := (lo + hi) / 2
+		fMid, ok := f0At(mid)
+		if !ok {
+			return nil, fmt.Errorf("phase: pdf(0) fit failed at p=%v", mid)
+		}
+		if (fMid-f0)*(fLo-f0) <= 0 {
+			hi = mid
+		} else {
+			lo, fLo = mid, fMid
+		}
+	}
+	p := (lo + hi) / 2
+	m2 := (cv2 + 1) / 2 * mean * mean
+	a := p + p*p/(1-p)
+	bq := -2 * mean * p / (1 - p)
+	c := mean*mean/(1-p) - m2
+	x := (-bq - math.Sqrt(bq*bq-4*a*c)) / (2 * a)
+	y := (mean - p*x) / (1 - p)
+	d := Hyper([]float64{p, 1 - p}, []float64{1 / x, 1 / y})
+	d.Name = "H2"
+	return d, nil
+}
+
+// Coxian2 returns a two-phase Coxian distribution with the given mean
+// and cv2 ∈ [0.5, ∞). Coxian-2 covers the C² gap between Erlang-2
+// (0.5) and the hyperexponentials (≥1), so together the families span
+// every C² ≥ 0.5 at two phases or fewer.
+func Coxian2(mean, cv2 float64) *PH {
+	if cv2 < 0.5 {
+		panic("phase: Coxian2 requires cv2 >= 0.5")
+	}
+	// Marie's fit: µ1 = 2/mean, b = 1/(2·cv2), µ2 = b·µ1... use the
+	// standard two-moment Coxian fit:
+	mu1 := 2 / mean
+	b := 0.5 / cv2
+	mu2 := mu1 * b
+	trans := matrix.New(2, 2)
+	trans.Set(0, 1, b)
+	d := &PH{
+		Name:  "Cox2",
+		Alpha: []float64{1, 0},
+		Rates: []float64{mu1, mu2},
+		Trans: trans,
+	}
+	return d.ScaleMean(mean)
+}
+
+// FitCV2 returns a phase-type distribution with the given mean and
+// squared coefficient of variation, choosing the family the paper
+// uses for that variability regime: Erlang-m for cv2 ≤ 1 (m =
+// round(1/cv2), exact when 1/cv2 is an integer), exponential at
+// cv2 = 1, and a balanced-means H2 for cv2 > 1.
+func FitCV2(mean, cv2 float64) *PH {
+	switch {
+	case cv2 <= 0:
+		panic("phase: FitCV2 requires cv2 > 0")
+	case cv2 < 1:
+		m := int(math.Round(1 / cv2))
+		if m < 2 {
+			m = 2
+		}
+		return ErlangMean(m, mean)
+	case cv2 == 1:
+		return ExpoMean(mean)
+	default:
+		return HyperExpFit(mean, cv2)
+	}
+}
+
+// TPT returns Lipsky's truncated power-tail distribution: an
+// m-branch hyperexponential with geometrically decaying branch
+// probabilities pᵢ ∝ θ^i and rates µᵢ = µ·γ^{−i}, where θ·γ^α = 1
+// fixes the tail exponent α. As m → ∞ the reliability function decays
+// like t^{−α}; with finite m the first ⌈α⌉ moments are finite, which
+// is what makes it usable inside a matrix model. The result is scaled
+// to the requested mean.
+func TPT(m int, alpha, mean float64) *PH {
+	if m < 1 {
+		panic("phase: TPT requires m >= 1")
+	}
+	if alpha <= 0 {
+		panic("phase: TPT requires alpha > 0")
+	}
+	const theta = 0.5
+	gamma := math.Pow(theta, -1/alpha)
+	probs := make([]float64, m)
+	rates := make([]float64, m)
+	var norm float64
+	for i := 0; i < m; i++ {
+		probs[i] = math.Pow(theta, float64(i))
+		norm += probs[i]
+	}
+	for i := 0; i < m; i++ {
+		probs[i] /= norm
+		rates[i] = math.Pow(gamma, -float64(i))
+	}
+	d := Hyper(probs, rates)
+	d.Name = fmt.Sprintf("TPT%d(a=%.3g)", m, alpha)
+	return d.ScaleMean(mean)
+}

@@ -1,0 +1,331 @@
+package phase
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, relTol float64, what string) {
+	t.Helper()
+	denom := math.Abs(want)
+	if denom < 1 {
+		denom = 1
+	}
+	if math.Abs(got-want)/denom > relTol {
+		t.Fatalf("%s = %v, want %v (rel tol %v)", what, got, want, relTol)
+	}
+}
+
+func TestExpoMoments(t *testing.T) {
+	d := Expo(2)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Mean(), 0.5, 1e-12, "mean")
+	approx(t, d.Moment(2), 2*0.25, 1e-12, "E[T²]")
+	approx(t, d.Variance(), 0.25, 1e-12, "variance")
+	approx(t, d.CV2(), 1, 1e-12, "C²")
+}
+
+func TestExpoCDF(t *testing.T) {
+	d := Expo(3)
+	for _, tt := range []float64{0.1, 0.5, 1, 2} {
+		approx(t, d.CDF(tt), 1-math.Exp(-3*tt), 1e-10, "CDF")
+		approx(t, d.PDF(tt), 3*math.Exp(-3*tt), 1e-10, "PDF")
+		approx(t, d.Reliability(tt), math.Exp(-3*tt), 1e-10, "R")
+	}
+	if d.CDF(0) != 0 || d.CDF(-1) != 0 {
+		t.Fatal("CDF at t<=0 should be 0")
+	}
+	if d.Reliability(0) != 1 {
+		t.Fatal("R(0) should be 1")
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	for m := 1; m <= 6; m++ {
+		d := Erlang(m, float64(m)) // mean 1
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		approx(t, d.Mean(), 1, 1e-10, "Erlang mean")
+		approx(t, d.CV2(), 1/float64(m), 1e-10, "Erlang C²")
+	}
+}
+
+func TestErlangMean(t *testing.T) {
+	d := ErlangMean(3, 12)
+	approx(t, d.Mean(), 12, 1e-10, "ErlangMean mean")
+	approx(t, d.CV2(), 1.0/3, 1e-10, "ErlangMean C²")
+}
+
+func TestErlangCDFKnown(t *testing.T) {
+	// Erlang-2 with rate 1 per stage: F(t) = 1 − e^{−t}(1+t).
+	d := Erlang(2, 1)
+	for _, tt := range []float64{0.5, 1, 2, 4} {
+		want := 1 - math.Exp(-tt)*(1+tt)
+		approx(t, d.CDF(tt), want, 1e-9, "Erlang2 CDF")
+	}
+}
+
+func TestHyperMoments(t *testing.T) {
+	d := Hyper([]float64{0.3, 0.7}, []float64{1, 5})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantMean := 0.3/1 + 0.7/5
+	approx(t, d.Mean(), wantMean, 1e-12, "Hyper mean")
+	wantM2 := 2 * (0.3/1 + 0.7/25)
+	approx(t, d.Moment(2), wantM2, 1e-12, "Hyper E[T²]")
+}
+
+func TestHyperCDFIsMixture(t *testing.T) {
+	d := Hyper([]float64{0.4, 0.6}, []float64{2, 0.5})
+	for _, tt := range []float64{0.2, 1, 3} {
+		want := 0.4*(1-math.Exp(-2*tt)) + 0.6*(1-math.Exp(-0.5*tt))
+		approx(t, d.CDF(tt), want, 1e-9, "Hyper CDF")
+	}
+}
+
+func TestHyperExpFitMatchesTargets(t *testing.T) {
+	for _, cv2 := range []float64{1, 2, 5, 10, 50, 100} {
+		d := HyperExpFit(12, cv2)
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		approx(t, d.Mean(), 12, 1e-9, "fit mean")
+		approx(t, d.CV2(), cv2, 1e-9, "fit C²")
+	}
+}
+
+func TestHyperExpFitRejectsLowCV2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("HyperExpFit(1, 0.5) did not panic")
+		}
+	}()
+	HyperExpFit(1, 0.5)
+}
+
+func TestHyperExpFitPDF0(t *testing.T) {
+	// The balanced-means fit has some f0; asking for that f0 must
+	// reproduce mean and cv2 (and approximately that pdf(0)).
+	base := HyperExpFit(2, 8)
+	f0 := base.PDF0()
+	d, err := HyperExpFitPDF0(2, 8, f0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Mean(), 2, 1e-6, "pdf0-fit mean")
+	approx(t, d.CV2(), 8, 1e-6, "pdf0-fit C²")
+	approx(t, d.PDF0(), f0, 1e-6, "pdf0-fit f(0)")
+}
+
+func TestHyperExpFitPDF0Infeasible(t *testing.T) {
+	if _, err := HyperExpFitPDF0(2, 8, 1e9); err == nil {
+		t.Fatal("expected infeasible f0 to error")
+	}
+	if _, err := HyperExpFitPDF0(2, 0.5, 1); err == nil {
+		t.Fatal("expected cv2<1 to error")
+	}
+}
+
+func TestCoxian2Fit(t *testing.T) {
+	for _, cv2 := range []float64{0.5, 0.7, 1, 2} {
+		d := Coxian2(5, cv2)
+		if err := d.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		approx(t, d.Mean(), 5, 1e-9, "Coxian mean")
+		approx(t, d.CV2(), cv2, 1e-9, "Coxian C²")
+	}
+}
+
+func TestFitCV2Families(t *testing.T) {
+	if d := FitCV2(3, 1); d.Dim() != 1 {
+		t.Fatal("FitCV2 at cv2=1 should be exponential")
+	}
+	if d := FitCV2(3, 0.5); d.Dim() != 2 {
+		t.Fatal("FitCV2 at cv2=0.5 should be Erlang-2")
+	}
+	d := FitCV2(3, 10)
+	approx(t, d.Mean(), 3, 1e-9, "FitCV2 mean")
+	approx(t, d.CV2(), 10, 1e-9, "FitCV2 C²")
+	// Erlang m=round(1/cv2) is exact only at reciprocals of ints.
+	d3 := FitCV2(3, 1.0/3)
+	approx(t, d3.CV2(), 1.0/3, 1e-9, "FitCV2 Erlang-3 C²")
+}
+
+func TestTPTProperties(t *testing.T) {
+	d := TPT(10, 1.4, 12)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	approx(t, d.Mean(), 12, 1e-9, "TPT mean")
+	if d.CV2() <= 1 {
+		t.Fatalf("TPT C² = %v, want > 1 (heavy tail)", d.CV2())
+	}
+	// More phases → heavier truncated tail → larger C².
+	if TPT(14, 1.4, 12).CV2() <= d.CV2() {
+		t.Fatal("TPT C² should grow with truncation length")
+	}
+}
+
+func TestScaleMean(t *testing.T) {
+	d := HyperExpFit(1, 5).ScaleMean(42)
+	approx(t, d.Mean(), 42, 1e-9, "scaled mean")
+	approx(t, d.CV2(), 5, 1e-9, "scale preserves C²")
+}
+
+func TestValidateCatchesBrokenDistributions(t *testing.T) {
+	good := Expo(1)
+	bad := &PH{Alpha: []float64{0.5, 0.4}, Rates: good.Rates, Trans: good.Trans}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted alpha summing to 0.9")
+	}
+	bad2 := Erlang(2, 1)
+	bad2.Rates[0] = -1
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("Validate accepted negative rate")
+	}
+	bad3 := Erlang(2, 1)
+	bad3.Trans.Set(0, 0, 0.9)
+	bad3.Trans.Set(0, 1, 0.9)
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("Validate accepted row sum > 1")
+	}
+}
+
+// Property: moments computed by n!Ψ[Vⁿ] match direct integration of
+// the reliability function (E[Tⁿ] = n∫ t^{n-1}R(t)dt) for random H2
+// and Erlang mixes.
+func TestMomentMatchesNumericIntegrationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var d *PH
+		if r.Intn(2) == 0 {
+			d = ErlangMean(1+r.Intn(4), 0.5+2*r.Float64())
+		} else {
+			d = HyperExpFit(0.5+2*r.Float64(), 1+9*r.Float64())
+		}
+		want := d.Moment(2)
+		// Trapezoid on 2∫ t·R(t) dt with adaptive-ish fine grid.
+		upper := d.Mean() * 60 * math.Max(1, d.CV2())
+		n := 6000
+		h := upper / float64(n)
+		var integral float64
+		for i := 0; i <= n; i++ {
+			tt := float64(i) * h
+			v := tt * reliabilityScalar(d, tt)
+			if i == 0 || i == n {
+				v /= 2
+			}
+			integral += v
+		}
+		got := 2 * integral * h
+		return math.Abs(got-want)/want < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// reliabilityScalar avoids Expm for the mixture/series families used
+// in the property test: both have closed forms.
+func reliabilityScalar(d *PH, t float64) float64 {
+	switch {
+	case d.Dim() == 1:
+		return math.Exp(-d.Rates[0] * t)
+	case d.Trans.At(0, 0) == 0 && d.Alpha[0] != 1: // hyper
+		var r float64
+		for i, p := range d.Alpha {
+			r += p * math.Exp(-d.Rates[i]*t)
+		}
+		return r
+	default: // erlang
+		m := d.Dim()
+		mu := d.Rates[0]
+		var r, term float64
+		term = 1
+		for k := 0; k < m; k++ {
+			if k > 0 {
+				term *= mu * t / float64(k)
+			}
+			r += term
+		}
+		return r * math.Exp(-mu*t)
+	}
+}
+
+// Property: sampled means converge to analytic means (seeded, loose
+// statistical tolerance).
+func TestSampleMeanProperty(t *testing.T) {
+	dists := []*PH{
+		Expo(1),
+		ErlangMean(3, 2),
+		HyperExpFit(2, 10),
+		Coxian2(1.5, 0.7),
+		TPT(8, 1.5, 3),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for _, d := range dists {
+		const n = 200000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += d.Sample(rng)
+		}
+		got := sum / n
+		want := d.Mean()
+		// 5 sigma of the sample-mean distribution.
+		sigma := math.Sqrt(d.Variance() / n)
+		if math.Abs(got-want) > 5*sigma+1e-9 {
+			t.Errorf("%v: sample mean %v, want %v ± %v", d, got, want, 5*sigma)
+		}
+	}
+}
+
+func TestSampleCDFAgreement(t *testing.T) {
+	// Empirical CDF at a few quantile points vs analytic CDF.
+	d := HyperExpFit(1, 4)
+	rng := rand.New(rand.NewSource(7))
+	const n = 100000
+	points := []float64{0.1, 0.5, 1, 2, 5}
+	counts := make([]int, len(points))
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		for j, p := range points {
+			if x <= p {
+				counts[j]++
+			}
+		}
+	}
+	for j, p := range points {
+		got := float64(counts[j]) / n
+		want := d.CDF(p)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("empirical CDF(%v) = %v, analytic %v", p, got, want)
+		}
+	}
+}
+
+func TestPDF0(t *testing.T) {
+	d := Hyper([]float64{0.25, 0.75}, []float64{4, 1})
+	approx(t, d.PDF0(), 0.25*4+0.75*1, 1e-12, "PDF0")
+	// Erlang-m (m≥2) has pdf(0) = 0.
+	approx(t, Erlang(3, 1).PDF0(), 0, 1e-12, "Erlang PDF0")
+}
+
+func TestMomentZeroAndPanics(t *testing.T) {
+	d := Expo(1)
+	if d.Moment(0) != 1 {
+		t.Fatal("E[T⁰] should be 1")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative moment order did not panic")
+		}
+	}()
+	d.Moment(-1)
+}

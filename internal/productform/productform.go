@@ -1,0 +1,204 @@
+// Package productform implements the classical steady-state solution
+// of closed product-form (Jackson/Gordon–Newell) queueing networks —
+// the baseline the paper extends. Two independent algorithms are
+// provided: Buzen's convolution algorithm (G(N), reference [3,4] of
+// the paper) with load-dependent service rates, and exact Mean Value
+// Analysis. Both treat delay (infinite-server) stations and
+// single-server FCFS queues, which is exactly the station repertoire
+// of the cluster models.
+//
+// The product-form solution is exact only for exponential FCFS
+// queues; for phase-type queues it is the approximation whose error
+// the paper quantifies. The transient model's steady state
+// (core.SteadyState) must coincide with it in the exponential case —
+// an identity the integration tests assert.
+package productform
+
+import (
+	"fmt"
+
+	"finwl/internal/network"
+	"finwl/internal/statespace"
+)
+
+// Model is the station-level data the product-form algorithms need:
+// per-job visit counts, mean service times per visit, station kinds,
+// and (for multi-server stations) server counts.
+type Model struct {
+	Visits  []float64
+	Means   []float64
+	Kinds   []statespace.Kind
+	Names   []string
+	Servers []int // per station; used by Multi stations only
+}
+
+// FromNetwork derives the product-form model of a network: visit
+// ratios from the traffic equations and mean service times from the
+// stations' phase-type distributions.
+func FromNetwork(net *network.Network) *Model {
+	v := net.VisitRatios()
+	m := &Model{
+		Visits:  v,
+		Means:   make([]float64, len(v)),
+		Kinds:   make([]statespace.Kind, len(v)),
+		Names:   make([]string, len(v)),
+		Servers: make([]int, len(v)),
+	}
+	for i, st := range net.Stations {
+		m.Means[i] = st.Service.Mean()
+		m.Kinds[i] = st.Kind
+		m.Names[i] = st.Name
+		m.Servers[i] = st.Servers
+	}
+	return m
+}
+
+// Validate checks the model's dimensions and positivity.
+func (m *Model) Validate() error {
+	if len(m.Visits) == 0 {
+		return fmt.Errorf("productform: empty model")
+	}
+	if len(m.Means) != len(m.Visits) || len(m.Kinds) != len(m.Visits) {
+		return fmt.Errorf("productform: mismatched field lengths")
+	}
+	for i := range m.Visits {
+		if m.Visits[i] < 0 {
+			return fmt.Errorf("productform: negative visit ratio at station %d", i)
+		}
+		if m.Means[i] <= 0 {
+			return fmt.Errorf("productform: non-positive service mean at station %d", i)
+		}
+	}
+	return nil
+}
+
+// demand returns the service demand v_i·s_i of station i.
+func (m *Model) demand(i int) float64 { return m.Visits[i] * m.Means[i] }
+
+// ThroughputBuzen returns the system throughput X(n) — job
+// completions per unit time with n customers — via the convolution
+// algorithm: X(n) = G(n−1)/G(n).
+func (m *Model) ThroughputBuzen(n int) float64 {
+	g := m.gSeries(n)
+	return g[n-1] / g[n]
+}
+
+// NormalizationConstants returns G(0..n) from Buzen's convolution.
+// f_i(k) = d_i^k for a queue and d_i^k/k! for a delay station, with
+// d_i the service demand.
+func (m *Model) NormalizationConstants(n int) []float64 {
+	return m.gSeries(n)
+}
+
+func (m *Model) gSeries(n int) []float64 {
+	if n < 1 {
+		panic("productform: population must be >= 1")
+	}
+	g := make([]float64, n+1)
+	g[0] = 1
+	for i := range m.Visits {
+		d := m.demand(i)
+		switch m.Kinds[i] {
+		case statespace.Queue:
+			// g_new(k) = Σ_j d^j · g(k−j) has the O(n) recurrence
+			// g_new(k) = g(k) + d·g_new(k−1).
+			for k := 1; k <= n; k++ {
+				g[k] = g[k] + d*g[k-1]
+			}
+		case statespace.Delay:
+			// Full convolution with f(j) = d^j/j!.
+			next := make([]float64, n+1)
+			for k := 0; k <= n; k++ {
+				term := 1.0 // d^j / j!
+				for j := 0; j <= k; j++ {
+					if j > 0 {
+						term *= d / float64(j)
+					}
+					next[k] += term * g[k-j]
+				}
+			}
+			copy(g, next)
+		case statespace.Multi:
+			// f(j) = d^j / Π_{l=1..j} min(l, c) — load-dependent rates
+			// up to c busy servers.
+			c := 1
+			if m.Servers != nil && m.Servers[i] > 1 {
+				c = m.Servers[i]
+			}
+			next := make([]float64, n+1)
+			for k := 0; k <= n; k++ {
+				term := 1.0
+				for j := 0; j <= k; j++ {
+					if j > 0 {
+						div := j
+						if div > c {
+							div = c
+						}
+						term *= d / float64(div)
+					}
+					next[k] += term * g[k-j]
+				}
+			}
+			copy(g, next)
+		default:
+			panic(fmt.Sprintf("productform: unknown station kind %v", m.Kinds[i]))
+		}
+	}
+	return g
+}
+
+// MVAResult carries the per-population outputs of mean value
+// analysis.
+type MVAResult struct {
+	N          int
+	Throughput float64   // system throughput X(N)
+	Residence  []float64 // mean residence time per visit at each station
+	QueueLen   []float64 // mean number of customers at each station
+	Util       []float64 // utilization (queues) / mean busy servers (delays)
+}
+
+// MVA runs exact mean value analysis up to population n and returns
+// the result at n.
+func (m *Model) MVA(n int) *MVAResult {
+	if n < 1 {
+		panic("productform: population must be >= 1")
+	}
+	s := len(m.Visits)
+	q := make([]float64, s)
+	res := &MVAResult{N: n}
+	for pop := 1; pop <= n; pop++ {
+		r := make([]float64, s)
+		var cycle float64
+		for i := 0; i < s; i++ {
+			switch m.Kinds[i] {
+			case statespace.Delay:
+				r[i] = m.Means[i]
+			case statespace.Queue:
+				r[i] = m.Means[i] * (1 + q[i])
+			case statespace.Multi:
+				panic("productform: exact MVA does not support multi-server stations; use ThroughputBuzen")
+			}
+			cycle += m.Visits[i] * r[i]
+		}
+		x := float64(pop) / cycle
+		for i := 0; i < s; i++ {
+			q[i] = x * m.Visits[i] * r[i]
+		}
+		if pop == n {
+			res.Throughput = x
+			res.Residence = r
+			res.QueueLen = q
+			res.Util = make([]float64, s)
+			for i := 0; i < s; i++ {
+				res.Util[i] = x * m.demand(i)
+			}
+		}
+	}
+	return res
+}
+
+// Interdeparture returns the product-form steady-state mean time
+// between job completions with n customers, G(n)/G(n−1).
+func (m *Model) Interdeparture(n int) float64 {
+	return 1 / m.ThroughputBuzen(n)
+}

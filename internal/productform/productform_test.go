@@ -1,0 +1,282 @@
+package productform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finwl/internal/core"
+	"finwl/internal/matrix"
+	"finwl/internal/network"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+)
+
+func approx(t *testing.T, got, want, relTol float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > relTol*math.Max(1, math.Abs(want)) {
+		t.Fatalf("%s = %v, want %v", what, got, want)
+	}
+}
+
+// Machine-repair / central-server sanity: a single queue visited once
+// per job with demand d: X(n) = 1/d for any n ≥ 1 (the server is the
+// only resource and is saturated).
+func TestSingleQueueThroughput(t *testing.T) {
+	m := &Model{
+		Visits: []float64{1},
+		Means:  []float64{0.5},
+		Kinds:  []statespace.Kind{statespace.Queue},
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for n := 1; n <= 5; n++ {
+		approx(t, m.ThroughputBuzen(n), 2, 1e-12, "Buzen X(n)")
+		approx(t, m.MVA(n).Throughput, 2, 1e-12, "MVA X(n)")
+	}
+}
+
+// A single delay station: X(n) = n/s (all customers in service).
+func TestSingleDelayThroughput(t *testing.T) {
+	m := &Model{
+		Visits: []float64{1},
+		Means:  []float64{2},
+		Kinds:  []statespace.Kind{statespace.Delay},
+	}
+	for n := 1; n <= 5; n++ {
+		approx(t, m.ThroughputBuzen(n), float64(n)/2, 1e-12, "Buzen delay X(n)")
+		approx(t, m.MVA(n).Throughput, float64(n)/2, 1e-12, "MVA delay X(n)")
+	}
+}
+
+// Two-queue closed network with n=2, known by hand:
+// demands d1, d2; G(1)=d1+d2, G(2)=d1²+d1d2+d2²; X(2)=G(1)/G(2).
+func TestTwoQueuesHandComputed(t *testing.T) {
+	d1, d2 := 0.5, 0.25
+	m := &Model{
+		Visits: []float64{1, 1},
+		Means:  []float64{d1, d2},
+		Kinds:  []statespace.Kind{statespace.Queue, statespace.Queue},
+	}
+	g := m.NormalizationConstants(2)
+	approx(t, g[1], d1+d2, 1e-12, "G(1)")
+	approx(t, g[2], d1*d1+d1*d2+d2*d2, 1e-12, "G(2)")
+	approx(t, m.ThroughputBuzen(2), g[1]/g[2], 1e-12, "X(2)")
+}
+
+// Buzen and MVA must agree on random mixed networks.
+func TestBuzenMVAAgreementProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := 1 + r.Intn(5)
+		m := &Model{
+			Visits: make([]float64, s),
+			Means:  make([]float64, s),
+			Kinds:  make([]statespace.Kind, s),
+		}
+		for i := 0; i < s; i++ {
+			m.Visits[i] = 0.2 + 2*r.Float64()
+			m.Means[i] = 0.2 + 2*r.Float64()
+			if r.Intn(2) == 0 {
+				m.Kinds[i] = statespace.Delay
+			} else {
+				m.Kinds[i] = statespace.Queue
+			}
+		}
+		for n := 1; n <= 6; n++ {
+			b := m.ThroughputBuzen(n)
+			v := m.MVA(n).Throughput
+			if math.Abs(b-v) > 1e-9*math.Max(1, b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MVA bookkeeping: queue lengths sum to the population and
+// utilizations equal X·d.
+func TestMVAConservation(t *testing.T) {
+	m := &Model{
+		Visits: []float64{1, 0.8, 0.4},
+		Means:  []float64{0.3, 0.7, 1.1},
+		Kinds:  []statespace.Kind{statespace.Delay, statespace.Queue, statespace.Queue},
+	}
+	for n := 1; n <= 8; n++ {
+		res := m.MVA(n)
+		var total float64
+		for _, q := range res.QueueLen {
+			total += q
+		}
+		approx(t, total, float64(n), 1e-9, "Σ queue lengths")
+		for i := range res.Util {
+			approx(t, res.Util[i], res.Throughput*m.demand(i), 1e-12, "utilization")
+		}
+	}
+}
+
+// The paper's identity: for exponential servers the transient model's
+// steady-state inter-departure time equals the product-form solution.
+func TestSteadyStateMatchesTransientModel(t *testing.T) {
+	q, p1, p2 := 0.1, 0.5, 0.5
+	route := matrix.New(4, 4)
+	route.Set(0, 1, p1*(1-q))
+	route.Set(0, 2, p2*(1-q))
+	route.Set(1, 0, 1)
+	route.Set(2, 3, 1)
+	route.Set(3, 0, 1)
+	net := &network.Network{
+		Stations: []network.Station{
+			{Name: "CPU", Kind: statespace.Delay, Service: phase.Expo(1 / 0.3)},
+			{Name: "Disk", Kind: statespace.Delay, Service: phase.Expo(1 / 0.6)},
+			{Name: "Comm", Kind: statespace.Queue, Service: phase.Expo(1 / 0.2)},
+			{Name: "RDisk", Kind: statespace.Queue, Service: phase.Expo(1 / 0.9)},
+		},
+		Route: route,
+		Exit:  []float64{q, 0, 0, 0},
+		Entry: []float64{1, 0, 0, 0},
+	}
+	for _, k := range []int{1, 2, 4, 6} {
+		s, err := core.NewSolver(net, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, tss, err := s.SteadyState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := FromNetwork(net).Interdeparture(k)
+		approx(t, tss, pf, 1e-9, "t_ss vs product form")
+	}
+}
+
+// With a phase-type queue the product form is only approximate: the
+// two must diverge (this is the paper's whole point).
+func TestPhaseTypeQueueBreaksProductForm(t *testing.T) {
+	route := matrix.New(2, 2)
+	route.Set(0, 1, 0.5)
+	route.Set(1, 0, 1)
+	net := &network.Network{
+		Stations: []network.Station{
+			{Name: "CPU", Kind: statespace.Delay, Service: phase.Expo(2)},
+			{Name: "Shared", Kind: statespace.Queue, Service: phase.HyperExpFit(1, 25)},
+		},
+		Route: route,
+		Exit:  []float64{0.5, 0},
+		Entry: []float64{1, 0},
+	}
+	s, err := core.NewSolver(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tss, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := FromNetwork(net).Interdeparture(4)
+	if math.Abs(tss-pf)/pf < 0.02 {
+		t.Fatalf("H2 queue: t_ss %v ≈ PF %v — expected a visible gap", tss, pf)
+	}
+}
+
+// Insensitivity: with only delay stations the product form is exact
+// for any service distribution, so t_ss must match even with H2.
+func TestDelayInsensitivity(t *testing.T) {
+	route := matrix.New(2, 2)
+	route.Set(0, 1, 0.6)
+	route.Set(1, 0, 1)
+	net := &network.Network{
+		Stations: []network.Station{
+			{Name: "A", Kind: statespace.Delay, Service: phase.HyperExpFit(0.7, 9)},
+			{Name: "B", Kind: statespace.Delay, Service: phase.ErlangMean(3, 1.2)},
+		},
+		Route: route,
+		Exit:  []float64{0.4, 0},
+		Entry: []float64{1, 0},
+	}
+	s, err := core.NewSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tss, err := s.SteadyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := FromNetwork(net).Interdeparture(3)
+	approx(t, tss, pf, 1e-8, "insensitive t_ss vs PF")
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := &Model{Visits: []float64{1}, Means: []float64{0}, Kinds: []statespace.Kind{statespace.Queue}}
+	if err := m.Validate(); err == nil {
+		t.Fatal("accepted zero mean")
+	}
+	m2 := &Model{}
+	if err := m2.Validate(); err == nil {
+		t.Fatal("accepted empty model")
+	}
+	m3 := &Model{Visits: []float64{-1}, Means: []float64{1}, Kinds: []statespace.Kind{statespace.Queue}}
+	if err := m3.Validate(); err == nil {
+		t.Fatal("accepted negative visits")
+	}
+}
+
+func TestInterdepartureAndGSeries(t *testing.T) {
+	m := &Model{
+		Visits: []float64{1, 1},
+		Means:  []float64{0.5, 0.25},
+		Kinds:  []statespace.Kind{statespace.Queue, statespace.Delay},
+	}
+	if got := m.Interdeparture(3); math.Abs(got*m.ThroughputBuzen(3)-1) > 1e-12 {
+		t.Fatalf("Interdeparture inconsistent with throughput: %v", got)
+	}
+	g := m.NormalizationConstants(4)
+	if len(g) != 5 || g[0] != 1 {
+		t.Fatalf("G series wrong: %v", g)
+	}
+	for i := 1; i < len(g); i++ {
+		if g[i] <= 0 {
+			t.Fatalf("G(%d) = %v", i, g[i])
+		}
+	}
+}
+
+func TestMultiServerBuzenBetweenQueueAndDelay(t *testing.T) {
+	// A c-server station's throughput sits between the 1-server queue
+	// and the infinite-server delay versions.
+	mk := func(kind statespace.Kind, servers int) float64 {
+		m := &Model{
+			Visits:  []float64{1, 1},
+			Means:   []float64{0.4, 1.2},
+			Kinds:   []statespace.Kind{statespace.Delay, kind},
+			Servers: []int{0, servers},
+		}
+		return m.ThroughputBuzen(6)
+	}
+	q := mk(statespace.Queue, 0)
+	c2 := mk(statespace.Multi, 2)
+	c4 := mk(statespace.Multi, 4)
+	d := mk(statespace.Delay, 0)
+	if !(q < c2 && c2 < c4 && c4 <= d) {
+		t.Fatalf("ordering violated: queue %v, c2 %v, c4 %v, delay %v", q, c2, c4, d)
+	}
+	// One server: identical to the queue formula.
+	if got := mk(statespace.Multi, 1); math.Abs(got-q) > 1e-12 {
+		t.Fatalf("multi(1) %v != queue %v", got, q)
+	}
+}
+
+func TestPanicsOnBadPopulation(t *testing.T) {
+	m := &Model{Visits: []float64{1}, Means: []float64{1}, Kinds: []statespace.Kind{statespace.Queue}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MVA(0) did not panic")
+		}
+	}()
+	m.MVA(0)
+}

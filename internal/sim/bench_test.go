@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/workload"
+)
+
+func BenchmarkRunCentralK5N30(b *testing.B) {
+	app := workload.Default(30)
+	net, err := cluster.Central(5, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Net: net, K: 5, N: 30, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunDistributedK5N100(b *testing.B) {
+	app := workload.Default(100)
+	net, err := cluster.Distributed(5, app, cluster.Dists{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Config{Net: net, K: 5, N: 100, Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

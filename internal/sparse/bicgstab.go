@@ -1,0 +1,151 @@
+package sparse
+
+import (
+	"errors"
+	"math"
+
+	"finwl/internal/matrix"
+)
+
+// ErrNoConvergence is returned when an iterative solve fails to reach
+// the requested tolerance within its iteration budget.
+var ErrNoConvergence = errors.New("sparse: iterative solve did not converge")
+
+// Options controls the iterative solvers.
+type Options struct {
+	Tol     float64   // relative residual target; default 1e-12
+	MaxIter int       // default 10·n
+	Precond []float64 // optional Jacobi preconditioner: 1/diag(A)
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Tol == 0 {
+		o.Tol = 1e-12
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10 * n
+		if o.MaxIter < 200 {
+			o.MaxIter = 200
+		}
+	}
+	return o
+}
+
+// BiCGSTAB solves A·x = b where A is given as a matrix-vector product
+// callback, using the (optionally Jacobi-preconditioned)
+// stabilized bi-conjugate gradient method. It suits the transient
+// solver's systems (I−P), which are nonsymmetric M-matrix-like and
+// well conditioned after Jacobi scaling.
+func BiCGSTAB(mulVec func([]float64) []float64, b []float64, opts Options) ([]float64, error) {
+	n := len(b)
+	opts = opts.withDefaults(n)
+	apply := func(x []float64) []float64 {
+		if opts.Precond == nil {
+			return mulVec(x)
+		}
+		// Right preconditioning: solve A·D⁻¹·y = b, x = D⁻¹·y.
+		scaled := make([]float64, n)
+		for i := range scaled {
+			scaled[i] = x[i] * opts.Precond[i]
+		}
+		return mulVec(scaled)
+	}
+
+	x := make([]float64, n)
+	r := append([]float64(nil), b...) // r = b − A·0
+	rHat := append([]float64(nil), r...)
+	normB := matrix.Norm2(b)
+	if normB == 0 {
+		return x, nil
+	}
+	var (
+		rho, alpha, omega float64 = 1, 1, 1
+		v, p                      = make([]float64, n), make([]float64, n)
+	)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		rhoNext := matrix.Dot(rHat, r)
+		if rhoNext == 0 {
+			// Breakdown: restart with the current residual.
+			copy(rHat, r)
+			rhoNext = matrix.Dot(rHat, r)
+			if rhoNext == 0 {
+				break
+			}
+		}
+		beta := (rhoNext / rho) * (alpha / omega)
+		rho = rhoNext
+		for i := 0; i < n; i++ {
+			p[i] = r[i] + beta*(p[i]-omega*v[i])
+		}
+		v = apply(p)
+		alpha = rho / matrix.Dot(rHat, v)
+		s := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s[i] = r[i] - alpha*v[i]
+		}
+		if matrix.Norm2(s)/normB < opts.Tol {
+			for i := 0; i < n; i++ {
+				x[i] += alpha * p[i]
+			}
+			return unprecondition(x, opts), nil
+		}
+		t := apply(s)
+		tt := matrix.Dot(t, t)
+		if tt == 0 {
+			return nil, ErrNoConvergence
+		}
+		omega = matrix.Dot(t, s) / tt
+		for i := 0; i < n; i++ {
+			x[i] += alpha*p[i] + omega*s[i]
+			r[i] = s[i] - omega*t[i]
+		}
+		if matrix.Norm2(r)/normB < opts.Tol {
+			return unprecondition(x, opts), nil
+		}
+		if omega == 0 || math.IsNaN(omega) {
+			return nil, ErrNoConvergence
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+func unprecondition(x []float64, opts Options) []float64 {
+	if opts.Precond == nil {
+		return x
+	}
+	for i := range x {
+		x[i] *= opts.Precond[i]
+	}
+	return x
+}
+
+// SolveIMinusP solves x·(I−P) = b (left system) or (I−P)·x = b (right
+// system) for a substochastic CSR matrix P, with Jacobi
+// preconditioning derived from the system's diagonal.
+func SolveIMinusP(p *CSR, b []float64, left bool, opts Options) ([]float64, error) {
+	n := p.Rows()
+	diag := p.Diagonal()
+	pre := make([]float64, n)
+	for i := range pre {
+		d := 1 - diag[i]
+		if d <= 0 {
+			d = 1
+		}
+		pre[i] = 1 / d
+	}
+	opts.Precond = pre
+	mul := func(x []float64) []float64 {
+		var px []float64
+		if left {
+			px = p.VecMul(x)
+		} else {
+			px = p.MulVec(x)
+		}
+		out := make([]float64, n)
+		for i := range out {
+			out[i] = x[i] - px[i]
+		}
+		return out
+	}
+	return BiCGSTAB(mul, b, opts)
+}

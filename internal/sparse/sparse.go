@@ -1,0 +1,199 @@
+// Package sparse provides compressed sparse row (CSR) matrices and
+// the iterative solvers the large-population transient solver needs.
+// The level matrices P_k, Q_k, R_k are extremely sparse — each state
+// has one outgoing entry per active service phase times routing
+// fan-out — so beyond a few thousand states the dense LU path in
+// internal/matrix stops being viable. This package keeps the same
+// left/right solve operations available at scale: matrix-vector
+// products over CSR plus a preconditioned BiCGSTAB.
+package sparse
+
+import (
+	"fmt"
+	"sort"
+
+	"finwl/internal/matrix"
+)
+
+// CSR is an immutable compressed-sparse-row matrix.
+type CSR struct {
+	rows, cols int
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// Builder accumulates coordinate-format entries; duplicates are
+// summed at Build time.
+type Builder struct {
+	rows, cols int
+	is, js     []int
+	vs         []float64
+}
+
+// NewBuilder returns a Builder for a rows×cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sparse: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at (i, j).
+func (b *Builder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %dx%d", i, j, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.is = append(b.is, i)
+	b.js = append(b.js, j)
+	b.vs = append(b.vs, v)
+}
+
+// Build converts the accumulated entries to CSR, summing duplicates.
+func (b *Builder) Build() *CSR {
+	n := len(b.is)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		ox, oy := order[x], order[y]
+		if b.is[ox] != b.is[oy] {
+			return b.is[ox] < b.is[oy]
+		}
+		return b.js[ox] < b.js[oy]
+	})
+	m := &CSR{rows: b.rows, cols: b.cols, rowPtr: make([]int, b.rows+1)}
+	lastI, lastJ := -1, -1
+	for _, o := range order {
+		i, j, v := b.is[o], b.js[o], b.vs[o]
+		if i == lastI && j == lastJ {
+			m.vals[len(m.vals)-1] += v
+			continue
+		}
+		m.colIdx = append(m.colIdx, j)
+		m.vals = append(m.vals, v)
+		lastI, lastJ = i, j
+		m.rowPtr[i+1]++
+	}
+	for i := 0; i < b.rows; i++ {
+		m.rowPtr[i+1] += m.rowPtr[i]
+	}
+	return m
+}
+
+// Rows returns the row count.
+func (m *CSR) Rows() int { return m.rows }
+
+// Cols returns the column count.
+func (m *CSR) Cols() int { return m.cols }
+
+// NNZ returns the number of stored entries.
+func (m *CSR) NNZ() int { return len(m.vals) }
+
+// At returns the value at (i, j); O(log nnz(row i)).
+func (m *CSR) At(i, j int) float64 {
+	lo, hi := m.rowPtr[i], m.rowPtr[i+1]
+	idx := sort.SearchInts(m.colIdx[lo:hi], j)
+	if lo+idx < hi && m.colIdx[lo+idx] == j {
+		return m.vals[lo+idx]
+	}
+	return 0
+}
+
+// MulVec returns A·x.
+func (m *CSR) MulVec(x []float64) []float64 {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("sparse: MulVec length %d, want %d", len(x), m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		var s float64
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			s += m.vals[p] * x[m.colIdx[p]]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// VecMul returns x·A (x treated as a row vector).
+func (m *CSR) VecMul(x []float64) []float64 {
+	if len(x) != m.rows {
+		panic(fmt.Sprintf("sparse: VecMul length %d, want %d", len(x), m.rows))
+	}
+	out := make([]float64, m.cols)
+	for i := 0; i < m.rows; i++ {
+		xv := x[i]
+		if xv == 0 {
+			continue
+		}
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			out[m.colIdx[p]] += xv * m.vals[p]
+		}
+	}
+	return out
+}
+
+// RowSums returns the vector of row sums.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			out[i] += m.vals[p]
+		}
+	}
+	return out
+}
+
+// Diagonal returns the main diagonal as a slice.
+func (m *CSR) Diagonal() []float64 {
+	n := m.rows
+	if m.cols < n {
+		n = m.cols
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = m.At(i, i)
+	}
+	return out
+}
+
+// Transpose returns Aᵀ as a new CSR.
+func (m *CSR) Transpose() *CSR {
+	b := NewBuilder(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			b.Add(m.colIdx[p], i, m.vals[p])
+		}
+	}
+	return b.Build()
+}
+
+// Dense expands to a dense matrix (for tests and small systems).
+func (m *CSR) Dense() *matrix.Matrix {
+	d := matrix.New(m.rows, m.cols)
+	for i := 0; i < m.rows; i++ {
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			d.Set(i, m.colIdx[p], m.vals[p])
+		}
+	}
+	return d
+}
+
+// FromDense converts a dense matrix, dropping exact zeros.
+func FromDense(d *matrix.Matrix) *CSR {
+	b := NewBuilder(d.Rows(), d.Cols())
+	for i := 0; i < d.Rows(); i++ {
+		row := d.RawRow(i)
+		for j, v := range row {
+			if v != 0 {
+				b.Add(i, j, v)
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,202 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"finwl/internal/matrix"
+)
+
+func randomDense(r *rand.Rand, rows, cols int, density float64) *matrix.Matrix {
+	d := matrix.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Float64() < density {
+				d.Set(i, j, r.NormFloat64())
+			}
+		}
+	}
+	return d
+}
+
+func TestBuilderAndAt(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 1, 2)
+	b.Add(2, 3, 5)
+	b.Add(0, 1, 3) // duplicate accumulates
+	b.Add(1, 0, 0) // explicit zero dropped
+	m := b.Build()
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+	if m.At(0, 1) != 5 {
+		t.Fatalf("At(0,1) = %v, want 5", m.At(0, 1))
+	}
+	if m.At(2, 3) != 5 || m.At(1, 1) != 0 {
+		t.Fatal("wrong values")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Add did not panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestRoundTripDense(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := randomDense(r, 7, 5, 0.3)
+	if got := FromDense(d).Dense(); !got.EqualTol(d, 0) {
+		t.Fatal("FromDense/Dense round trip failed")
+	}
+}
+
+// Property: CSR MulVec / VecMul match the dense implementations.
+func TestMulMatchesDenseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		d := randomDense(r, rows, cols, 0.4)
+		m := FromDense(d)
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		for i := range x {
+			x[i] = r.NormFloat64()
+		}
+		for i := range y {
+			y[i] = r.NormFloat64()
+		}
+		return matrix.VecMaxAbsDiff(m.MulVec(x), d.MulVec(x)) < 1e-12 &&
+			matrix.VecMaxAbsDiff(m.VecMul(y), d.VecMul(y)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeAndSums(t *testing.T) {
+	d := matrix.FromRows([][]float64{{1, 0, 2}, {0, 3, 0}})
+	m := FromDense(d)
+	if got := m.Transpose().Dense(); !got.EqualTol(d.Transpose(), 0) {
+		t.Fatal("transpose mismatch")
+	}
+	sums := m.RowSums()
+	if sums[0] != 3 || sums[1] != 3 {
+		t.Fatalf("RowSums = %v", sums)
+	}
+	diag := m.Diagonal()
+	if diag[0] != 1 || diag[1] != 3 {
+		t.Fatalf("Diagonal = %v", diag)
+	}
+}
+
+// substochasticP builds a random substochastic matrix with spectral
+// radius < 1 (row sums ≤ 0.97).
+func substochasticP(r *rand.Rand, n int) *CSR {
+	b := NewBuilder(n, n)
+	for i := 0; i < n; i++ {
+		weights := make([]float64, n)
+		var sum float64
+		for j := range weights {
+			if r.Float64() < 0.5 {
+				weights[j] = r.Float64()
+				sum += weights[j]
+			}
+		}
+		if sum == 0 {
+			continue
+		}
+		scale := (0.5 + 0.45*r.Float64()) / sum
+		for j, w := range weights {
+			if w > 0 {
+				b.Add(i, j, w*scale)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Property: SolveIMinusP solutions satisfy their defining systems.
+func TestSolveIMinusPProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(30)
+		p := substochasticP(r, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		// Right system.
+		x, err := SolveIMinusP(p, b, false, Options{})
+		if err != nil {
+			return false
+		}
+		res := matrix.VecSub(matrix.VecSub(x, p.MulVec(x)), b)
+		if matrix.NormInf(res) > 1e-8*math.Max(1, matrix.NormInf(b)) {
+			return false
+		}
+		// Left system.
+		y, err := SolveIMinusP(p, b, true, Options{})
+		if err != nil {
+			return false
+		}
+		res = matrix.VecSub(matrix.VecSub(y, p.VecMul(y)), b)
+		return matrix.NormInf(res) < 1e-8*math.Max(1, matrix.NormInf(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBiCGSTABAgainstLU(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + r.Intn(20)
+		p := substochasticP(r, n)
+		a := matrix.Identity(n).Sub(p.Dense())
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = r.NormFloat64()
+		}
+		want, err := matrix.Solve(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveIMinusP(p, b, false, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if matrix.VecMaxAbsDiff(got, want) > 1e-7*math.Max(1, matrix.NormInf(want)) {
+			t.Fatalf("trial %d: BiCGSTAB deviates from LU by %v", trial, matrix.VecMaxAbsDiff(got, want))
+		}
+	}
+}
+
+func TestBiCGSTABZeroRHS(t *testing.T) {
+	p := substochasticP(rand.New(rand.NewSource(2)), 5)
+	x, err := SolveIMinusP(p, make([]float64, 5), false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if matrix.NormInf(x) != 0 {
+		t.Fatal("zero rhs should give zero solution")
+	}
+}
+
+func TestBiCGSTABNoConvergenceBudget(t *testing.T) {
+	// A hard system with an absurdly small budget must error, not hang.
+	r := rand.New(rand.NewSource(3))
+	p := substochasticP(r, 40)
+	b := make([]float64, 40)
+	for i := range b {
+		b[i] = r.NormFloat64()
+	}
+	if _, err := SolveIMinusP(p, b, false, Options{MaxIter: 1, Tol: 1e-15}); err == nil {
+		t.Fatal("expected ErrNoConvergence with MaxIter=1")
+	}
+}

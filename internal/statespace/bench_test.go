@@ -1,0 +1,46 @@
+package statespace
+
+import "testing"
+
+func BenchmarkEnumerateCentralK8(b *testing.B) {
+	sp := NewSpace([]StationShape{
+		{Kind: Delay, Phases: 1},
+		{Kind: Delay, Phases: 1},
+		{Kind: Queue, Phases: 1},
+		{Kind: Queue, Phases: 2},
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.Enumerate(8)
+	}
+}
+
+func BenchmarkEnumerateDistributedK6(b *testing.B) {
+	shapes := []StationShape{{Kind: Delay, Phases: 1}}
+	for i := 0; i < 6; i++ {
+		shapes = append(shapes, StationShape{Kind: Queue, Phases: 2})
+	}
+	shapes = append(shapes, StationShape{Kind: Queue, Phases: 1})
+	sp := NewSpace(shapes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sp.Enumerate(6)
+	}
+}
+
+func BenchmarkIndexLookup(b *testing.B) {
+	sp := NewSpace([]StationShape{
+		{Kind: Delay, Phases: 2},
+		{Kind: Queue, Phases: 2},
+		{Kind: Queue, Phases: 1},
+	})
+	lvl := sp.Enumerate(6)
+	states := make([][]int, lvl.Count())
+	for i := range states {
+		states[i] = lvl.State(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = lvl.Index(states[i%len(states)])
+	}
+}

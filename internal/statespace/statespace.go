@@ -1,0 +1,340 @@
+// Package statespace enumerates the reduced product space the paper
+// builds its level matrices over (§5.4): because tasks are iid, only
+// the number of customers at each service station matters, not which
+// task is where, collapsing the Kronecker space of size (servers)^K
+// down to compositions — D_RP(k) = C(M+k−1, k) for M exponential
+// stations.
+//
+// Two station kinds extend the plain composition space to phase-type
+// service:
+//
+//   - Delay stations (dedicated servers — the paper's load-dependent
+//     CPU and local-disk pools): every customer is in service at once,
+//     so the state keeps a count per phase, exactly the stage-splitting
+//     of §5.4.1.
+//   - Queue stations (shared servers — the communication channel and
+//     shared disks): FCFS with one customer in service, so the state
+//     keeps the total count plus the in-service customer's phase. This
+//     is the case where Jackson/product-form networks do not apply.
+//
+// A state is a fixed-width []int: each delay station contributes one
+// slot per phase; each queue station contributes a (count, phase)
+// pair. Level holds every state with exactly k customers, with a
+// deterministic order and an index map, which is what the level
+// matrices M_k, P_k, Q_k, R_k are built over.
+package statespace
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Kind distinguishes the two station state layouts.
+type Kind int
+
+const (
+	// Delay is an infinite-server (dedicated) station: all customers
+	// present are in service simultaneously.
+	Delay Kind = iota
+	// Queue is a single-server FCFS (shared) station: one customer in
+	// service, the rest waiting.
+	Queue
+	// Multi is a c-server FCFS station (exponential service only):
+	// min(n, c) customers in service — the paper's multitasking
+	// extension, covering W workstations shared by more tasks.
+	Multi
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Delay:
+		return "delay"
+	case Queue:
+		return "queue"
+	case Multi:
+		return "multi"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// StationShape describes how one station contributes to the state.
+type StationShape struct {
+	Kind    Kind
+	Phases  int // number of service phases, ≥ 1
+	Servers int // Multi only: parallel servers, ≥ 1
+}
+
+// Space is the state layout for a fixed set of stations.
+type Space struct {
+	shapes  []StationShape
+	offsets []int // start of each station's segment in a state vector
+	width   int   // total state vector length
+}
+
+// NewSpace builds a Space from station shapes.
+func NewSpace(shapes []StationShape) *Space {
+	if len(shapes) == 0 {
+		panic("statespace: no stations")
+	}
+	s := &Space{shapes: append([]StationShape(nil), shapes...)}
+	s.offsets = make([]int, len(shapes))
+	for i, sh := range shapes {
+		if sh.Phases < 1 {
+			panic(fmt.Sprintf("statespace: station %d has %d phases", i, sh.Phases))
+		}
+		s.offsets[i] = s.width
+		switch sh.Kind {
+		case Delay:
+			s.width += sh.Phases
+		case Queue:
+			s.width += 2
+		case Multi:
+			if sh.Phases != 1 {
+				panic(fmt.Sprintf("statespace: multi-server station %d must be exponential (1 phase), got %d", i, sh.Phases))
+			}
+			if sh.Servers < 1 {
+				panic(fmt.Sprintf("statespace: multi-server station %d needs >= 1 servers", i))
+			}
+			s.width++
+		default:
+			panic(fmt.Sprintf("statespace: unknown kind %v", sh.Kind))
+		}
+	}
+	return s
+}
+
+// Stations returns the number of stations.
+func (s *Space) Stations() int { return len(s.shapes) }
+
+// Shape returns station st's shape.
+func (s *Space) Shape(st int) StationShape { return s.shapes[st] }
+
+// Width returns the state vector length.
+func (s *Space) Width() int { return s.width }
+
+// CustomersAt returns the number of customers at station st in state.
+func (s *Space) CustomersAt(state []int, st int) int {
+	off := s.offsets[st]
+	switch s.shapes[st].Kind {
+	case Delay:
+		n := 0
+		for p := 0; p < s.shapes[st].Phases; p++ {
+			n += state[off+p]
+		}
+		return n
+	default: // Queue and Multi keep the count in the first slot
+		return state[off]
+	}
+}
+
+// TotalCustomers returns the number of customers in the whole state.
+func (s *Space) TotalCustomers(state []int) int {
+	n := 0
+	for st := range s.shapes {
+		n += s.CustomersAt(state, st)
+	}
+	return n
+}
+
+// DelayCount returns the number of customers in phase ph of delay
+// station st.
+func (s *Space) DelayCount(state []int, st, ph int) int {
+	if s.shapes[st].Kind != Delay {
+		panic("statespace: DelayCount on a queue station")
+	}
+	return state[s.offsets[st]+ph]
+}
+
+// QueueCount returns the number of customers at queue station st.
+func (s *Space) QueueCount(state []int, st int) int {
+	if s.shapes[st].Kind != Queue {
+		panic("statespace: QueueCount on a delay station")
+	}
+	return state[s.offsets[st]]
+}
+
+// QueuePhase returns the in-service phase at queue station st; it is
+// meaningful only when the station is non-empty (0 otherwise).
+func (s *Space) QueuePhase(state []int, st int) int {
+	if s.shapes[st].Kind != Queue {
+		panic("statespace: QueuePhase on a delay station")
+	}
+	return state[s.offsets[st]+1]
+}
+
+// SetDelayCount sets the phase-ph customer count of delay station st.
+func (s *Space) SetDelayCount(state []int, st, ph, n int) {
+	state[s.offsets[st]+ph] = n
+}
+
+// SetQueue sets queue station st's count and in-service phase. The
+// phase of an empty station is canonicalized to 0.
+func (s *Space) SetQueue(state []int, st, n, ph int) {
+	if n == 0 {
+		ph = 0
+	}
+	state[s.offsets[st]] = n
+	state[s.offsets[st]+1] = ph
+}
+
+// MultiCount returns the number of customers at multi-server station
+// st.
+func (s *Space) MultiCount(state []int, st int) int {
+	if s.shapes[st].Kind != Multi {
+		panic("statespace: MultiCount on a non-multi station")
+	}
+	return state[s.offsets[st]]
+}
+
+// SetMultiCount sets the customer count of multi-server station st.
+func (s *Space) SetMultiCount(state []int, st, n int) {
+	if s.shapes[st].Kind != Multi {
+		panic("statespace: SetMultiCount on a non-multi station")
+	}
+	state[s.offsets[st]] = n
+}
+
+// Key returns a canonical map key for a state. Counts are assumed to
+// fit a byte segment count of up to 255 per slot, far beyond any
+// feasible population for a dense model.
+func (s *Space) Key(state []int) string {
+	b := make([]byte, len(state))
+	for i, v := range state {
+		if v < 0 || v > 255 {
+			panic(fmt.Sprintf("statespace: slot value %d out of key range", v))
+		}
+		b[i] = byte(v)
+	}
+	return string(b)
+}
+
+// Level is the enumerated set of states holding exactly K customers.
+type Level struct {
+	Space  *Space
+	K      int
+	states [][]int
+	index  map[string]int
+}
+
+// Enumerate lists every state with exactly k customers, in a
+// deterministic order, and builds the index map.
+func (s *Space) Enumerate(k int) *Level {
+	if k < 0 {
+		panic("statespace: negative population")
+	}
+	l := &Level{Space: s, K: k, index: make(map[string]int)}
+	state := make([]int, s.width)
+	l.enumerate(state, 0, k)
+	return l
+}
+
+func (l *Level) enumerate(state []int, st, remaining int) {
+	s := l.Space
+	if st == len(s.shapes) {
+		if remaining == 0 {
+			cp := append([]int(nil), state...)
+			l.index[s.Key(cp)] = len(l.states)
+			l.states = append(l.states, cp)
+		}
+		return
+	}
+	sh := s.shapes[st]
+	off := s.offsets[st]
+	switch sh.Kind {
+	case Delay:
+		l.enumerateDelay(state, st, off, 0, remaining)
+	case Queue:
+		for n := 0; n <= remaining; n++ {
+			state[off] = n
+			if n == 0 {
+				state[off+1] = 0
+				l.enumerate(state, st+1, remaining)
+			} else {
+				for ph := 0; ph < sh.Phases; ph++ {
+					state[off+1] = ph
+					l.enumerate(state, st+1, remaining-n)
+				}
+			}
+		}
+		state[off], state[off+1] = 0, 0
+	case Multi:
+		for n := 0; n <= remaining; n++ {
+			state[off] = n
+			l.enumerate(state, st+1, remaining-n)
+		}
+		state[off] = 0
+	}
+}
+
+// enumerateDelay distributes up to `remaining` customers over the
+// phases of delay station st starting at phase index ph.
+func (l *Level) enumerateDelay(state []int, st, off, ph, remaining int) {
+	s := l.Space
+	m := s.shapes[st].Phases
+	if ph == m-1 {
+		// Last phase takes any count 0..remaining; the rest of the
+		// network gets what is left.
+		for n := 0; n <= remaining; n++ {
+			state[off+ph] = n
+			l.enumerate(state, st+1, remaining-n)
+		}
+		state[off+ph] = 0
+		return
+	}
+	for n := 0; n <= remaining; n++ {
+		state[off+ph] = n
+		l.enumerateDelay(state, st, off, ph+1, remaining-n)
+	}
+	state[off+ph] = 0
+}
+
+// Count returns the number of states at this level, D(k).
+func (l *Level) Count() int { return len(l.states) }
+
+// State returns state i. The returned slice is shared; callers must
+// copy before mutating.
+func (l *Level) State(i int) []int { return l.states[i] }
+
+// Index returns the position of a state, or −1 if it is not a state
+// of this level.
+func (l *Level) Index(state []int) int {
+	if i, ok := l.index[l.Space.Key(state)]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex is Index that panics on a miss; transition construction
+// uses it because every generated target must exist by construction.
+func (l *Level) MustIndex(state []int) int {
+	i := l.Index(state)
+	if i < 0 {
+		panic(fmt.Sprintf("statespace: state %v not found at level %d", state, l.K))
+	}
+	return i
+}
+
+// Compositions returns C(m+k−1, k), the number of ways to place k
+// indistinguishable customers at m stations — the paper's D_RP(k).
+func Compositions(m, k int) int {
+	return int(binomial(m+k-1, k))
+}
+
+// KroneckerSize returns servers^k, the size of the unreduced product
+// space the paper contrasts with (§5.4): each of the k distinguishable
+// tasks independently occupies one of the servers.
+func KroneckerSize(servers, k int) *big.Int {
+	return new(big.Int).Exp(big.NewInt(int64(servers)), big.NewInt(int64(k)), nil)
+}
+
+func binomial(n, k int) int64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	b := big.NewInt(0).Binomial(int64(n), int64(k))
+	if !b.IsInt64() {
+		panic("statespace: composition count overflows int64")
+	}
+	return b.Int64()
+}

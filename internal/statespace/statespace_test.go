@@ -1,0 +1,269 @@
+package statespace
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allDelayExp(m int) *Space {
+	shapes := make([]StationShape, m)
+	for i := range shapes {
+		shapes[i] = StationShape{Kind: Delay, Phases: 1}
+	}
+	return NewSpace(shapes)
+}
+
+func TestCompositionsKnown(t *testing.T) {
+	// Paper §5.4: the central cluster reduces to M=4 servers with
+	// D_RP(k) = C(k+3, k); the distributed cluster with K=5 has
+	// K+2 = 7 stations; 2K+1 = 11 is the pre-reduction server count.
+	for _, c := range []struct{ m, k, want int }{
+		{4, 1, 4}, {4, 2, 10}, {4, 5, 56}, {4, 8, 165},
+		{7, 5, 462}, {1, 10, 1}, {3, 0, 1}, {11, 5, 3003},
+	} {
+		if got := Compositions(c.m, c.k); got != c.want {
+			t.Errorf("Compositions(%d,%d) = %d, want %d", c.m, c.k, got, c.want)
+		}
+	}
+}
+
+func TestEnumerateMatchesCompositionCount(t *testing.T) {
+	for m := 1; m <= 5; m++ {
+		for k := 0; k <= 6; k++ {
+			sp := allDelayExp(m)
+			lvl := sp.Enumerate(k)
+			if got, want := lvl.Count(), Compositions(m, k); got != want {
+				t.Errorf("m=%d k=%d: enumerated %d states, want %d", m, k, got, want)
+			}
+		}
+	}
+}
+
+func TestEnumerateQueuePhases(t *testing.T) {
+	// One H2 queue station alone: states at level k>0 are (k, ph) for
+	// ph in {0,1} → 2 states; level 0 → 1 state.
+	sp := NewSpace([]StationShape{{Kind: Queue, Phases: 2}})
+	if got := sp.Enumerate(0).Count(); got != 1 {
+		t.Fatalf("level 0 count = %d, want 1", got)
+	}
+	for k := 1; k <= 4; k++ {
+		if got := sp.Enumerate(k).Count(); got != 2 {
+			t.Fatalf("level %d count = %d, want 2", k, got)
+		}
+	}
+}
+
+func TestEnumerateMixed(t *testing.T) {
+	// Delay(2 phases) + Queue(2 phases), k=2.
+	// Count by cases on queue occupancy n:
+	//  n=0: delay holds 2 over 2 phases → C(3,2)=3 states
+	//  n=1: 2 queue phases × delay holds 1 over 2 phases (2) → 4
+	//  n=2: 2 queue phases × delay empty → 2
+	// total 9.
+	sp := NewSpace([]StationShape{
+		{Kind: Delay, Phases: 2},
+		{Kind: Queue, Phases: 2},
+	})
+	if got := sp.Enumerate(2).Count(); got != 9 {
+		t.Fatalf("mixed count = %d, want 9", got)
+	}
+}
+
+func TestIndexRoundTrip(t *testing.T) {
+	sp := NewSpace([]StationShape{
+		{Kind: Delay, Phases: 3},
+		{Kind: Queue, Phases: 2},
+		{Kind: Queue, Phases: 1},
+	})
+	lvl := sp.Enumerate(4)
+	for i := 0; i < lvl.Count(); i++ {
+		st := lvl.State(i)
+		if sp.TotalCustomers(st) != 4 {
+			t.Fatalf("state %v has %d customers, want 4", st, sp.TotalCustomers(st))
+		}
+		if got := lvl.Index(st); got != i {
+			t.Fatalf("Index(State(%d)) = %d", i, got)
+		}
+	}
+}
+
+func TestIndexMissReturnsMinusOne(t *testing.T) {
+	sp := allDelayExp(2)
+	lvl := sp.Enumerate(2)
+	if got := lvl.Index([]int{3, 0}); got != -1 {
+		t.Fatalf("Index of foreign state = %d, want -1", got)
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	sp := allDelayExp(2)
+	lvl := sp.Enumerate(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustIndex on missing state did not panic")
+		}
+	}()
+	lvl.MustIndex([]int{9, 9})
+}
+
+func TestAccessors(t *testing.T) {
+	sp := NewSpace([]StationShape{
+		{Kind: Delay, Phases: 2},
+		{Kind: Queue, Phases: 3},
+	})
+	state := make([]int, sp.Width())
+	sp.SetDelayCount(state, 0, 0, 2)
+	sp.SetDelayCount(state, 0, 1, 1)
+	sp.SetQueue(state, 1, 4, 2)
+	if sp.CustomersAt(state, 0) != 3 {
+		t.Fatalf("delay customers = %d", sp.CustomersAt(state, 0))
+	}
+	if sp.DelayCount(state, 0, 1) != 1 {
+		t.Fatal("DelayCount wrong")
+	}
+	if sp.QueueCount(state, 1) != 4 || sp.QueuePhase(state, 1) != 2 {
+		t.Fatal("queue accessors wrong")
+	}
+	if sp.TotalCustomers(state) != 7 {
+		t.Fatalf("total = %d, want 7", sp.TotalCustomers(state))
+	}
+	// Emptying a queue canonicalizes phase to 0.
+	sp.SetQueue(state, 1, 0, 2)
+	if sp.QueuePhase(state, 1) != 0 {
+		t.Fatal("empty queue phase not canonicalized")
+	}
+}
+
+func TestKindAccessorPanics(t *testing.T) {
+	sp := NewSpace([]StationShape{{Kind: Delay, Phases: 1}, {Kind: Queue, Phases: 1}})
+	state := make([]int, sp.Width())
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("DelayCount on queue", func() { sp.DelayCount(state, 1, 0) })
+	mustPanic("QueueCount on delay", func() { sp.QueueCount(state, 0) })
+	mustPanic("QueuePhase on delay", func() { sp.QueuePhase(state, 0) })
+}
+
+func TestMultiStation(t *testing.T) {
+	sp := NewSpace([]StationShape{
+		{Kind: Multi, Phases: 1, Servers: 2},
+		{Kind: Delay, Phases: 1},
+	})
+	// Multi contributes one slot: D(k) = k+1 compositions over 2 slots.
+	for k := 0; k <= 4; k++ {
+		if got, want := sp.Enumerate(k).Count(), k+1; got != want {
+			t.Fatalf("k=%d: count %d, want %d", k, got, want)
+		}
+	}
+	state := make([]int, sp.Width())
+	sp.SetMultiCount(state, 0, 3)
+	if sp.MultiCount(state, 0) != 3 || sp.CustomersAt(state, 0) != 3 {
+		t.Fatal("multi accessors wrong")
+	}
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("MultiCount on delay", func() { sp.MultiCount(state, 1) })
+	mustPanic("SetMultiCount on delay", func() { sp.SetMultiCount(state, 1, 1) })
+	mustPanic("multi with phases", func() {
+		NewSpace([]StationShape{{Kind: Multi, Phases: 2, Servers: 2}})
+	})
+	mustPanic("multi without servers", func() {
+		NewSpace([]StationShape{{Kind: Multi, Phases: 1}})
+	})
+}
+
+func TestKroneckerSize(t *testing.T) {
+	// Paper: central cluster of K workstations needs (2K+1)^K states
+	// in the unreduced formulation; K=5 → 11^5 = 161051.
+	if got := KroneckerSize(11, 5).Int64(); got != 161051 {
+		t.Fatalf("KroneckerSize(11,5) = %d", got)
+	}
+}
+
+// Property: enumeration count is composition-multiplicative across a
+// random mix of stations: D(k) = Σ over per-station splits. We verify
+// against a direct convolution computed independently.
+func TestEnumerateCountProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nSt := 1 + r.Intn(4)
+		shapes := make([]StationShape, nSt)
+		for i := range shapes {
+			if r.Intn(2) == 0 {
+				shapes[i] = StationShape{Kind: Delay, Phases: 1 + r.Intn(3)}
+			} else {
+				shapes[i] = StationShape{Kind: Queue, Phases: 1 + r.Intn(3)}
+			}
+		}
+		k := r.Intn(5)
+		sp := NewSpace(shapes)
+		// Independent count: convolve per-station state counts.
+		counts := make([]int, k+1) // counts[j] = states for j customers so far
+		counts[0] = 1
+		for _, sh := range shapes {
+			next := make([]int, k+1)
+			for have := 0; have <= k; have++ {
+				if counts[have] == 0 {
+					continue
+				}
+				for add := 0; have+add <= k; add++ {
+					var ways int
+					switch sh.Kind {
+					case Delay:
+						ways = Compositions(sh.Phases, add)
+					case Queue:
+						if add == 0 {
+							ways = 1
+						} else {
+							ways = sh.Phases
+						}
+					}
+					next[have+add] += counts[have] * ways
+				}
+			}
+			counts = next
+		}
+		return sp.Enumerate(k).Count() == counts[k]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: states are unique and indices are a bijection.
+func TestEnumerateUniqueProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		sp := NewSpace([]StationShape{
+			{Kind: Delay, Phases: 1 + r.Intn(3)},
+			{Kind: Queue, Phases: 1 + r.Intn(3)},
+			{Kind: Delay, Phases: 1},
+		})
+		lvl := sp.Enumerate(1 + r.Intn(5))
+		seen := map[string]bool{}
+		for i := 0; i < lvl.Count(); i++ {
+			k := sp.Key(lvl.State(i))
+			if seen[k] {
+				return false
+			}
+			seen[k] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

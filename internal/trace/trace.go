@@ -1,0 +1,160 @@
+// Package trace generates and summarizes synthetic workload traces —
+// the stand-in for the measured CPU-time and file-size traces
+// (BELLCORE et al.) that motivate the paper's non-exponential
+// modeling. It produces genuinely power-tailed samples (Pareto and
+// lognormal, which are NOT phase-type), summarizes them, and together
+// with phase.FitHyperEM closes the loop: measure → fit a
+// matrix-exponential law → feed the analytic model.
+package trace
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+
+	"finwl/internal/phase"
+)
+
+// Pareto draws n samples from a Pareto(α, xmin) law: density
+// α·xminᵅ/x^{α+1} for x ≥ xmin. For α ≤ 2 the variance is infinite —
+// the regime the power-tail literature reports for CPU times.
+func Pareto(rng *rand.Rand, alpha, xmin float64, n int) []float64 {
+	if alpha <= 0 || xmin <= 0 {
+		panic("trace: Pareto requires alpha > 0 and xmin > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = xmin / math.Pow(rng.Float64(), 1/alpha)
+	}
+	return out
+}
+
+// Lognormal draws n samples with the given log-mean and log-stddev.
+func Lognormal(rng *rand.Rand, mu, sigma float64, n int) []float64 {
+	if sigma <= 0 {
+		panic("trace: Lognormal requires sigma > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Exp(mu + sigma*rng.NormFloat64())
+	}
+	return out
+}
+
+// FromPH draws n samples from a phase-type law (for controlled
+// experiments where the true distribution is known).
+func FromPH(rng *rand.Rand, d *phase.PH, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.Sample(rng)
+	}
+	return out
+}
+
+// Summary describes a trace.
+type Summary struct {
+	N           int
+	Mean        float64
+	Variance    float64
+	CV2         float64
+	Min, Max    float64
+	Median      float64
+	P90, P99    float64
+	ThirdMoment float64
+}
+
+// Summarize computes a Summary; it errors on empty or non-positive
+// traces.
+func Summarize(samples []float64) (*Summary, error) {
+	if len(samples) == 0 {
+		return nil, errors.New("trace: empty trace")
+	}
+	s := &Summary{N: len(samples), Min: math.Inf(1), Max: math.Inf(-1)}
+	for _, x := range samples {
+		if x <= 0 || math.IsNaN(x) {
+			return nil, fmt.Errorf("trace: sample %v out of domain", x)
+		}
+		s.Mean += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean /= float64(s.N)
+	for _, x := range samples {
+		d := x - s.Mean
+		s.Variance += d * d
+		s.ThirdMoment += x * x * x
+	}
+	if s.N > 1 {
+		s.Variance /= float64(s.N - 1)
+	}
+	s.ThirdMoment /= float64(s.N)
+	s.CV2 = s.Variance / (s.Mean * s.Mean)
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	s.Median = quantile(sorted, 0.5)
+	s.P90 = quantile(sorted, 0.9)
+	s.P99 = quantile(sorted, 0.99)
+	return s, nil
+}
+
+func quantile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// WriteCSV writes one sample per row.
+func WriteCSV(w io.Writer, samples []float64) error {
+	cw := csv.NewWriter(w)
+	for _, x := range samples {
+		if err := cw.Write([]string{strconv.FormatFloat(x, 'g', -1, 64)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV reads a one-column CSV of samples.
+func ReadCSV(r io.Reader) ([]float64, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []float64
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(rec) == 0 {
+			continue
+		}
+		v, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad sample %q: %w", rec[0], err)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("trace: no samples in input")
+	}
+	return out, nil
+}

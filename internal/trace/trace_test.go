@@ -1,0 +1,155 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"finwl/internal/phase"
+)
+
+func TestParetoMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	alpha, xmin := 2.5, 1.0
+	s := Pareto(rng, alpha, xmin, 400000)
+	sum, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMean := alpha * xmin / (alpha - 1)
+	if math.Abs(sum.Mean-wantMean)/wantMean > 0.02 {
+		t.Fatalf("Pareto mean %v, want %v", sum.Mean, wantMean)
+	}
+	if sum.Min < xmin {
+		t.Fatalf("sample below xmin: %v", sum.Min)
+	}
+	// Median of Pareto: xmin·2^{1/α}.
+	wantMedian := xmin * math.Pow(2, 1/alpha)
+	if math.Abs(sum.Median-wantMedian)/wantMedian > 0.02 {
+		t.Fatalf("median %v, want %v", sum.Median, wantMedian)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	mu, sigma := 0.5, 0.8
+	s := Lognormal(rng, mu, sigma, 300000)
+	sum, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Exp(mu + sigma*sigma/2)
+	if math.Abs(sum.Mean-want)/want > 0.02 {
+		t.Fatalf("lognormal mean %v, want %v", sum.Mean, want)
+	}
+}
+
+func TestFromPH(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	d := phase.ErlangMean(3, 2)
+	s := FromPH(rng, d, 200000)
+	sum, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Mean-2)/2 > 0.02 {
+		t.Fatalf("PH trace mean %v, want 2", sum.Mean)
+	}
+	if math.Abs(sum.CV2-1.0/3) > 0.02 {
+		t.Fatalf("PH trace C² %v, want 1/3", sum.CV2)
+	}
+}
+
+func TestSummarizeQuantilesOrdered(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := Pareto(rng, 1.5, 1, 50000)
+	sum, err := Summarize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(sum.Min <= sum.Median && sum.Median <= sum.P90 && sum.P90 <= sum.P99 && sum.P99 <= sum.Max) {
+		t.Fatalf("quantiles out of order: %+v", sum)
+	}
+	// Heavy tail: the mean sits far above the median.
+	if sum.Mean <= sum.Median {
+		t.Fatal("Pareto(1.5) mean should exceed median")
+	}
+}
+
+func TestSummarizeRejections(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Fatal("accepted empty trace")
+	}
+	if _, err := Summarize([]float64{1, 0}); err == nil {
+		t.Fatal("accepted zero sample")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	samples := []float64{1.5, 2.25, 0.125, 1e6}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("round trip length %d", len(got))
+	}
+	for i := range samples {
+		if got[i] != samples[i] {
+			t.Fatalf("sample %d: %v != %v", i, got[i], samples[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("accepted empty input")
+	}
+	if _, err := ReadCSV(strings.NewReader("abc\n")); err == nil {
+		t.Fatal("accepted non-numeric input")
+	}
+}
+
+// End-to-end: a Pareto trace EM-fitted with H3 reproduces the
+// trace mean closely and captures (most of) its variability.
+func TestEMPipelineOnParetoTrace(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	samples := Pareto(rng, 2.2, 1, 40000)
+	sum, err := Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := phase.FitHyperEM(samples, 3, 500, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Dist.Mean()-sum.Mean)/sum.Mean > 0.02 {
+		t.Fatalf("fit mean %v vs trace mean %v", res.Dist.Mean(), sum.Mean)
+	}
+	if res.Dist.CV2() <= 1 {
+		t.Fatalf("fit C² %v should reflect the heavy tail", res.Dist.CV2())
+	}
+}
+
+func TestGeneratorPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, f := range map[string]func(){
+		"Pareto alpha":  func() { Pareto(rng, 0, 1, 1) },
+		"Pareto xmin":   func() { Pareto(rng, 1, 0, 1) },
+		"Lognorm sigma": func() { Lognormal(rng, 0, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

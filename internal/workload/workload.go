@@ -1,0 +1,105 @@
+// Package workload models the paper's application layer (§5.1): a
+// job is a set of N iid tasks, each a geometric number of
+// compute/I-O cycles characterized by four time components — local
+// CPU time C·X, local disk time (1−C)·X, communication time B·Y and
+// remote service time Y. The cluster builders translate these
+// components plus device speeds into the routing probabilities
+// q, p₁, p₂ of the network model (§5.4).
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// App is the application model.
+type App struct {
+	// N is the number of tasks in the job (the finite workload).
+	N int
+	// X is the expected local service time per task: X = E(T₁)+E(T₂),
+	// CPU plus local disk.
+	X float64
+	// C is the fraction of local time spent on the CPU: C·X on CPU,
+	// (1−C)·X on the local disk.
+	C float64
+	// Y is the expected remote service time per task, E(T₃).
+	Y float64
+	// B is the communication overhead ratio: the task spends B·Y on
+	// the communication channel per unit of remote service.
+	B float64
+	// Cycles is the mean number of compute/I-O cycles per task, the
+	// 1/q of the geometric cycle count in Figure 1.
+	Cycles float64
+	// RemoteFrac is p₂, the probability that an I/O request is remote
+	// rather than local, used by the central model where p₁+p₂ = 1.
+	RemoteFrac float64
+}
+
+// Default returns the workload used for the paper's Section 6
+// experiments: tasks with a 12-time-unit total service requirement
+// (E(T) = X + B·Y + Y = 9 + 0.5 + 2.5) and a shared storage demand
+// high enough that the remote server runs near saturation on 5–8
+// workstations — the "heavy load" regime where the service
+// distribution visibly shapes the transient (Figs. 3–13).
+func Default(n int) App {
+	return App{
+		N:          n,
+		X:          8.7,
+		C:          0.5,
+		Y:          2.75,
+		B:          0.2,
+		Cycles:     10,
+		RemoteFrac: 0.5,
+	}
+}
+
+// LowContention returns the same 12-unit task with most of the work
+// local (Y = 1.2), so the shared servers stay lightly loaded and the
+// cluster scales to ~10 workstations — the regime of the speedup
+// scaling experiments (Figs. 14–15).
+func LowContention(n int) App {
+	return App{
+		N:          n,
+		X:          10.56,
+		C:          0.5,
+		Y:          1.2,
+		B:          0.2,
+		Cycles:     10,
+		RemoteFrac: 0.5,
+	}
+}
+
+// Validate checks the model's ranges.
+func (a App) Validate() error {
+	switch {
+	case a.N < 1:
+		return fmt.Errorf("workload: N = %d, want >= 1", a.N)
+	case a.X <= 0:
+		return fmt.Errorf("workload: X = %v, want > 0", a.X)
+	case a.C <= 0 || a.C >= 1:
+		return fmt.Errorf("workload: C = %v, want in (0,1)", a.C)
+	case a.Y < 0:
+		return fmt.Errorf("workload: Y = %v, want >= 0", a.Y)
+	case a.B < 0:
+		return fmt.Errorf("workload: B = %v, want >= 0", a.B)
+	case a.Cycles < 1:
+		return fmt.Errorf("workload: Cycles = %v, want >= 1", a.Cycles)
+	case a.RemoteFrac <= 0 || a.RemoteFrac >= 1:
+		return fmt.Errorf("workload: RemoteFrac = %v, want in (0,1)", a.RemoteFrac)
+	case math.IsNaN(a.X + a.C + a.Y + a.B + a.Cycles + a.RemoteFrac):
+		return fmt.Errorf("workload: NaN parameter")
+	}
+	return nil
+}
+
+// Q returns the per-cycle exit probability q = 1/Cycles.
+func (a App) Q() float64 { return 1 / a.Cycles }
+
+// SingleTaskTime returns the mean no-contention flow time of one
+// task, E(T) = X + B·Y + Y — the sum of the pV time components.
+func (a App) SingleTaskTime() float64 { return a.X + a.B*a.Y + a.Y }
+
+// SerialTime returns the mean time to run the whole job on a single
+// workstation with purely local data: N·(X+Y) of work with no
+// communication. It is the baseline of the paper's speedup plots.
+func (a App) SerialTime() float64 { return float64(a.N) * (a.X + a.Y) }

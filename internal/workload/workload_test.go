@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultInvariants(t *testing.T) {
+	app := Default(30)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if app.N != 30 {
+		t.Fatalf("N = %d", app.N)
+	}
+	if math.Abs(app.SingleTaskTime()-12) > 1e-12 {
+		t.Fatalf("E(T) = %v, want 12", app.SingleTaskTime())
+	}
+	if math.Abs(app.Q()-0.1) > 1e-12 {
+		t.Fatalf("q = %v, want 0.1", app.Q())
+	}
+}
+
+func TestLowContentionInvariants(t *testing.T) {
+	app := LowContention(100)
+	if err := app.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(app.SingleTaskTime()-12) > 1e-12 {
+		t.Fatalf("E(T) = %v, want 12", app.SingleTaskTime())
+	}
+	if app.Y >= Default(100).Y {
+		t.Fatal("low-contention workload should have less remote work")
+	}
+}
+
+func TestSerialTime(t *testing.T) {
+	app := Default(10)
+	want := 10 * (app.X + app.Y)
+	if math.Abs(app.SerialTime()-want) > 1e-12 {
+		t.Fatalf("SerialTime = %v, want %v", app.SerialTime(), want)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	base := Default(5)
+	mutations := map[string]func(*App){
+		"N":          func(a *App) { a.N = 0 },
+		"X":          func(a *App) { a.X = -1 },
+		"C low":      func(a *App) { a.C = 0 },
+		"C high":     func(a *App) { a.C = 1 },
+		"Y":          func(a *App) { a.Y = -0.1 },
+		"B":          func(a *App) { a.B = -0.1 },
+		"Cycles":     func(a *App) { a.Cycles = 0.9 },
+		"RemoteFrac": func(a *App) { a.RemoteFrac = 0 },
+		"NaN":        func(a *App) { a.X = math.NaN() },
+	}
+	for name, mutate := range mutations {
+		app := base
+		mutate(&app)
+		if err := app.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, app)
+		}
+	}
+}
+
+// Property: SingleTaskTime decomposes as CX + (1−C)X + BY + Y and is
+// always at least X.
+func TestSingleTaskTimeProperty(t *testing.T) {
+	f := func(xq, cq, yq, bq uint8) bool {
+		app := App{
+			N:          1,
+			X:          0.5 + float64(xq)/16,
+			C:          0.05 + 0.9*float64(cq)/256,
+			Y:          float64(yq) / 16,
+			B:          float64(bq) / 64,
+			Cycles:     5,
+			RemoteFrac: 0.5,
+		}
+		if err := app.Validate(); err != nil {
+			return false
+		}
+		total := app.SingleTaskTime()
+		decomposed := app.C*app.X + (1-app.C)*app.X + app.B*app.Y + app.Y
+		return math.Abs(total-decomposed) < 1e-12 && total >= app.X
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
