@@ -39,12 +39,26 @@ func main() {
 		fatal(fmt.Errorf("steps must be >= 1"))
 	}
 
-	fmt.Println("x,total_time,speedup,tss,first_epoch,last_epoch")
-	for i := 0; i < *steps; i++ {
-		x := *from
+	xs := make([]float64, *steps)
+	for i := range xs {
+		xs[i] = *from
 		if *steps > 1 {
-			x += (*to - *from) * float64(i) / float64(*steps-1)
+			xs[i] += (*to - *from) * float64(i) / float64(*steps-1)
 		}
+	}
+
+	fmt.Println("x,total_time,speedup,tss,first_epoch,last_epoch")
+
+	if *variable == "n" {
+		// The network is independent of N: build one solver, factor it
+		// once, and evaluate every workload size in a single SolveSweep
+		// feeding pass with checkpointed drains.
+		sweepN(xs, *arch, *k, *lowCont)
+		return
+	}
+
+	for i := 0; i < *steps; i++ {
+		x := xs[i]
 		app := workload.Default(*n)
 		if *lowCont {
 			app = workload.LowContention(*n)
@@ -54,9 +68,6 @@ func main() {
 		switch *variable {
 		case "k":
 			kk = int(x + 0.5)
-		case "n":
-			nn = int(x + 0.5)
-			app.N = nn
 		case "cv2":
 			if *component == "cpu" {
 				dists.CPU = cluster.WithCV2(x)
@@ -97,6 +108,49 @@ func main() {
 		}
 		fmt.Printf("%g,%g,%g,%g,%g,%g\n",
 			x, res.TotalTime, app.SerialTime()/res.TotalTime, tss,
+			res.Epochs[0], res.Epochs[len(res.Epochs)-1])
+	}
+}
+
+// sweepN prints the CSV rows of an N-sweep using one solver and one
+// incremental SolveSweep pass over every requested workload size.
+func sweepN(xs []float64, arch string, k int, lowCont bool) {
+	mkApp := workload.Default
+	if lowCont {
+		mkApp = workload.LowContention
+	}
+	ns := make([]int, len(xs))
+	for i, x := range xs {
+		ns[i] = int(x + 0.5)
+	}
+	app := mkApp(ns[0])
+	var (
+		net *network.Network
+		err error
+	)
+	if arch == "central" {
+		net, err = cluster.Central(k, app, cluster.Dists{}, cluster.Options{})
+	} else {
+		net, err = cluster.Distributed(k, app, cluster.Dists{})
+	}
+	if err != nil {
+		fatal(err)
+	}
+	s, err := core.NewSolver(net, k)
+	if err != nil {
+		fatal(err)
+	}
+	results, err := s.SolveSweep(ns)
+	if err != nil {
+		fatal(err)
+	}
+	_, tss, err := s.SteadyState()
+	if err != nil {
+		fatal(err)
+	}
+	for i, res := range results {
+		fmt.Printf("%g,%g,%g,%g,%g,%g\n",
+			xs[i], res.TotalTime, mkApp(ns[i]).SerialTime()/res.TotalTime, tss,
 			res.Epochs[0], res.Epochs[len(res.Epochs)-1])
 	}
 }

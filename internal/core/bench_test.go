@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"testing"
 
 	"finwl/internal/cluster"
@@ -22,13 +23,20 @@ func benchNet(b *testing.B, k int, d cluster.Dists) *Solver {
 }
 
 // Building + factoring the chain is the setup cost paid once per
-// configuration.
-func BenchmarkNewSolverCentralK8H2(b *testing.B) {
+// configuration. The serial/parallel pair measures the worker-pool
+// speedup of chain construction and per-level factorization (they
+// coincide on a single-core host).
+func benchNewSolver(b *testing.B, procs int) {
+	if procs > 0 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+	}
 	app := workload.Default(30)
 	net, err := cluster.Central(8, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := NewSolver(net, 8); err != nil {
@@ -37,19 +45,44 @@ func BenchmarkNewSolverCentralK8H2(b *testing.B) {
 	}
 }
 
-// One feeding epoch: the per-task marginal cost of the transient
-// solution.
+func BenchmarkNewSolverCentralK8H2(b *testing.B)       { benchNewSolver(b, 0) }
+func BenchmarkNewSolverCentralK8H2Serial(b *testing.B) { benchNewSolver(b, 1) }
+
+// One feeding epoch through the public (allocating) API: the per-task
+// marginal cost of the transient solution.
 func BenchmarkFeedEpochK8(b *testing.B) {
 	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
 	pi := s.EntryVector(8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		pi = s.Feed(8, pi)
 	}
 }
 
+// The same epoch through the workspace kernel, as the Solve loop runs
+// it: must be 0 allocs/op.
+func BenchmarkFeedEpochIntoK8(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	ws := s.getWS()
+	defer s.putWS(ws)
+	d := s.d(8)
+	pi := ws.cur[:d]
+	copy(pi, s.EntryVector(8))
+	out := ws.next[:d]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.EpochTime(8, pi)
+		_ = t
+		s.feedInto(out, 8, pi, ws)
+		pi, out = out, pi
+	}
+}
+
 func BenchmarkSolveN100K8(b *testing.B) {
 	s := benchNet(b, 8, cluster.Dists{})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := s.Solve(100); err != nil {
@@ -58,8 +91,58 @@ func BenchmarkSolveN100K8(b *testing.B) {
 	}
 }
 
+// Large-K transient pass, allocation-tracked: the Result slices and
+// entry vector are the only allocations however large N is.
+func BenchmarkSolveN400K8H2(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// A 100-point N-sweep: one SolveSweep feeding pass with checkpointed
+// drains versus 100 independent Solve calls.
+func sweepNs() []int {
+	ns := make([]int, 100)
+	for i := range ns {
+		ns[i] = 8 + 4*i // 8 .. 404
+	}
+	return ns
+}
+
+func BenchmarkSolveSweep100PointsK8(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	ns := sweepNs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveSweep(ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRepeatedSolve100PointsK8(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	ns := sweepNs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range ns {
+			if _, err := s.Solve(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 func BenchmarkSteadyStateK8(b *testing.B) {
 	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := s.SteadyState(); err != nil {

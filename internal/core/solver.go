@@ -19,14 +19,23 @@
 //     product-form (Jackson) solution,
 //   - draining: after the queue empties, π steps down the levels
 //     k = K, K−1, …, 1 through Y_k with epoch times π·τ'_k.
+//
+// Performance: level factorizations fan out over a worker pool at
+// construction; the epoch loop runs on pooled scratch workspaces and
+// the *Into matrix kernels, so the N epochs of Solve, the sweep pass
+// of SolveSweep, and the power iterations perform zero allocations
+// per iteration. Solvers are safe for concurrent use.
 package core
 
 import (
 	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"finwl/internal/matrix"
 	"finwl/internal/network"
+	"finwl/internal/par"
 )
 
 // Solver holds a network's level matrices with their factorizations.
@@ -34,12 +43,26 @@ type Solver struct {
 	Chain  *network.Chain
 	K      int
 	levels []*levelSolver // index k ∈ [1, K]
+	maxD   int            // largest level dimension
+	ws     sync.Pool      // *workspace scratch, so solves never share state
 }
 
 type levelSolver struct {
 	lvl  *network.Level
 	fact *matrix.LU // LU of A_k = I − P_k
 	tau  []float64  // τ'_k
+}
+
+// workspace is the per-solve scratch memory: every buffer is sized to
+// the largest level, so one workspace serves a whole transient pass
+// without reallocation. Workspaces are pooled on the Solver; a Solve,
+// SolveSweep, SteadyState or TimeStationary call checks one out for
+// its duration, which keeps concurrent calls from sharing state.
+type workspace struct {
+	y          []float64 // left-solve result inside departInto
+	t          []float64 // post-departure vector inside feedInto
+	cur, next  []float64 // ping-pong state distributions
+	dcur, dnxt []float64 // drain-checkpoint distributions (SolveSweep)
 }
 
 // NewSolver builds the level chain for populations 1..K and factors
@@ -52,32 +75,64 @@ func NewSolver(net *network.Network, K int) (*Solver, error) {
 	return NewSolverFromChain(chain)
 }
 
-// NewSolverFromChain factors an already-built chain.
+// NewSolverFromChain factors an already-built chain. The per-level
+// factorizations are independent, so they run across a worker pool;
+// results land in per-level slots and errors are reported for the
+// lowest failing level, keeping the outcome deterministic.
 func NewSolverFromChain(chain *network.Chain) (*Solver, error) {
 	K := len(chain.Levels) - 1
 	s := &Solver{Chain: chain, K: K, levels: make([]*levelSolver, K+1)}
-	for k := 1; k <= K; k++ {
+	errs := make([]error, K+1)
+	par.For(K, func(i int) {
+		k := K - i // biggest level first, for load balance
 		lvl := chain.Levels[k]
 		d := lvl.States.Count()
 		a := matrix.Identity(d).Sub(lvl.P)
 		fact, err := matrix.Factor(a)
 		if err != nil {
-			return nil, fmt.Errorf("core: level %d: I−P_k singular (tasks can avoid departing): %w", k, err)
+			errs[k] = fmt.Errorf("core: level %d: I−P_k singular (tasks can avoid departing): %w", k, err)
+			return
 		}
 		minvEps := make([]float64, d)
 		for i := 0; i < d; i++ {
 			minvEps[i] = 1 / lvl.MDiag[i]
 		}
 		s.levels[k] = &levelSolver{lvl: lvl, fact: fact, tau: fact.Solve(minvEps)}
+	})
+	for k := 1; k <= K; k++ {
+		if errs[k] != nil {
+			return nil, errs[k]
+		}
+	}
+	for k := 0; k <= K; k++ {
+		if d := chain.Levels[k].States.Count(); d > s.maxD {
+			s.maxD = d
+		}
+	}
+	s.ws.New = func() any {
+		return &workspace{
+			y:    make([]float64, s.maxD),
+			t:    make([]float64, s.maxD),
+			cur:  make([]float64, s.maxD),
+			next: make([]float64, s.maxD),
+			dcur: make([]float64, s.maxD),
+			dnxt: make([]float64, s.maxD),
+		}
 	}
 	return s, nil
 }
 
-// Tau returns τ'_k, the mean time until the next departure from each
-// state of level k. The returned slice is shared; do not modify.
+func (s *Solver) getWS() *workspace  { return s.ws.Get().(*workspace) }
+func (s *Solver) putWS(w *workspace) { s.ws.Put(w) }
+
+// d returns the state count at level k.
+func (s *Solver) d(k int) int { return s.Chain.Levels[k].States.Count() }
+
+// Tau returns a copy of τ'_k, the mean time until the next departure
+// from each state of level k. The caller owns the returned slice.
 func (s *Solver) Tau(k int) []float64 {
 	s.checkLevel(k)
-	return s.levels[k].tau
+	return append([]float64(nil), s.levels[k].tau...)
 }
 
 func (s *Solver) checkLevel(k int) {
@@ -94,22 +149,47 @@ func (s *Solver) EpochTime(k int, pi []float64) float64 {
 	return matrix.Dot(pi, s.levels[k].tau)
 }
 
+// departInto computes π·Y_k into dst (length D(k−1)) using y (length
+// ≥ D(k)) as left-solve scratch. No allocations.
+func (s *Solver) departInto(dst []float64, k int, pi []float64, y []float64) {
+	ls := s.levels[k]
+	yy := y[:len(pi)]
+	ls.fact.SolveLeftInto(yy, pi)
+	ls.lvl.Q.VecMulInto(dst, yy)
+}
+
+// feedInto computes π·Y_k·R_k into dst (length D(k)) using the
+// workspace's y and t buffers. dst must not be ws.y or ws.t; it may
+// be any other buffer, including one aliasing a previous pi.
+func (s *Solver) feedInto(dst []float64, k int, pi []float64, ws *workspace) {
+	lvl := s.Chain.Levels[k]
+	dPrev := lvl.Q.Cols()
+	s.departInto(ws.t[:dPrev], k, pi, ws.y)
+	lvl.R.VecMulInto(dst, ws.t[:dPrev])
+}
+
 // Depart returns the state distribution over level k−1 immediately
 // after a departure from distribution pi over level k: π·Y_k, with
 // Y_k = V_k M_k Q_k evaluated as a left-solve followed by the exit
 // map.
 func (s *Solver) Depart(k int, pi []float64) []float64 {
 	s.checkLevel(k)
-	ls := s.levels[k]
-	y := ls.fact.SolveLeft(pi)
-	return ls.lvl.Q.VecMul(y)
+	ws := s.getWS()
+	defer s.putWS(ws)
+	out := make([]float64, s.Chain.Levels[k].Q.Cols())
+	s.departInto(out, k, pi, ws.y)
+	return out
 }
 
 // Feed returns the state distribution after a departure immediately
 // followed by a replacement arrival: π·Y_K·R_K.
 func (s *Solver) Feed(k int, pi []float64) []float64 {
 	s.checkLevel(k)
-	return s.Chain.Levels[k].R.VecMul(s.Depart(k, pi))
+	ws := s.getWS()
+	defer s.putWS(ws)
+	out := make([]float64, s.d(k))
+	s.feedInto(out, k, pi, ws)
+	return out
 }
 
 // EntryVector returns p_k = p·R₂···R_k, the distribution right after
@@ -131,7 +211,10 @@ type Result struct {
 // Solve computes the transient solution for a workload of N tasks.
 // The first min(N, K) tasks enter at time zero; every departure is
 // replaced while tasks remain queued; then the system drains. For
-// N ≤ K the model is the paper's Case 1, otherwise Case 2.
+// N ≤ K the model is the paper's Case 1, otherwise Case 2. The epoch
+// loop ping-pongs two workspace buffers, so its cost per epoch is one
+// dot product, one left-solve and two vector-matrix products with no
+// allocations.
 func (s *Solver) Solve(n int) (*Result, error) {
 	if n < 1 {
 		return nil, errors.New("core: workload must have at least one task")
@@ -141,21 +224,30 @@ func (s *Solver) Solve(n int) (*Result, error) {
 		kStart = s.K
 	}
 	res := &Result{N: n, K: kStart, Epochs: make([]float64, 0, n), Departures: make([]float64, 0, n)}
-	pi := s.Chain.EntryVector(kStart)
+	ws := s.getWS()
+	defer s.putWS(ws)
+	cur, nxt := ws.cur, ws.next
+	pi := cur[:s.d(kStart)]
+	copy(pi, s.Chain.EntryVector(kStart))
 	queued := n - kStart
 	var clock float64
 	for k := kStart; k >= 1; {
-		t := s.EpochTime(k, pi)
+		t := matrix.Dot(pi, s.levels[k].tau)
 		clock += t
 		res.Epochs = append(res.Epochs, t)
 		res.Departures = append(res.Departures, clock)
 		if queued > 0 {
-			pi = s.Feed(k, pi)
+			out := nxt[:len(pi)]
+			s.feedInto(out, k, pi, ws)
+			pi = out
 			queued--
 		} else {
-			pi = s.Depart(k, pi)
+			out := nxt[:s.d(k-1)]
+			s.departInto(out, k, pi, ws.y)
+			pi = out
 			k--
 		}
+		cur, nxt = nxt, cur
 	}
 	res.TotalTime = clock
 	return res, nil
@@ -170,6 +262,103 @@ func (s *Solver) TotalTime(n int) (float64, error) {
 	return r.TotalTime, nil
 }
 
+// SolveSweep computes the transient solution for every workload in ns
+// in a single feeding pass. The feeding epochs of Solve(n) are a
+// strict prefix of Solve(n′) for n ≤ n′ (both start from p_K and
+// apply Y_K·R_K per epoch), so the sweep advances one level-K state
+// distribution to each requested checkpoint and runs the K draining
+// epochs from a copy — O(max nᵢ + K·len(ns)) linear solves instead of
+// the O(Σ nᵢ) of repeated Solve calls. Workloads below K have no
+// feeding region to share and are solved individually.
+//
+// Results are returned in the order of ns (which may be unsorted and
+// may contain duplicates) and are identical to per-N Solve outputs:
+// both paths run the same kernels in the same order.
+func (s *Solver) SolveSweep(ns []int) ([]*Result, error) {
+	results := make([]*Result, len(ns))
+	targets := make([]int, 0, len(ns)) // indices into ns with ns[i] ≥ K
+	for i, n := range ns {
+		if n < 1 {
+			return nil, errors.New("core: workload must have at least one task")
+		}
+		if n < s.K {
+			r, err := s.Solve(n)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+			continue
+		}
+		targets = append(targets, i)
+	}
+	if len(targets) == 0 {
+		return results, nil
+	}
+	sort.Slice(targets, func(a, b int) bool { return ns[targets[a]] < ns[targets[b]] })
+
+	ws := s.getWS()
+	defer s.putWS(ws)
+	K := s.K
+	dK := s.d(K)
+	cur, nxt := ws.cur, ws.next
+	pi := cur[:dK]
+	copy(pi, s.Chain.EntryVector(K))
+	feeds := 0
+	feedTimes := make([]float64, 0, ns[targets[len(targets)-1]]-K)
+	for _, idx := range targets {
+		n := ns[idx]
+		// Advance the shared feeding pass to this workload's checkpoint.
+		for feeds < n-K {
+			t := matrix.Dot(pi, s.levels[K].tau)
+			feedTimes = append(feedTimes, t)
+			out := nxt[:dK]
+			s.feedInto(out, K, pi, ws)
+			pi = out
+			cur, nxt = nxt, cur
+			feeds++
+		}
+		// Replay the shared feeding prefix into this result …
+		res := &Result{N: n, K: K, Epochs: make([]float64, 0, n), Departures: make([]float64, 0, n)}
+		var clock float64
+		for _, t := range feedTimes[:n-K] {
+			clock += t
+			res.Epochs = append(res.Epochs, t)
+			res.Departures = append(res.Departures, clock)
+		}
+		// … then drain from a copy, leaving the pass ready to continue.
+		dpi := ws.dcur[:dK]
+		copy(dpi, pi)
+		dcur, dnxt := ws.dcur, ws.dnxt
+		for k := K; k >= 1; k-- {
+			t := matrix.Dot(dpi, s.levels[k].tau)
+			clock += t
+			res.Epochs = append(res.Epochs, t)
+			res.Departures = append(res.Departures, clock)
+			out := dnxt[:s.d(k-1)]
+			s.departInto(out, k, dpi, ws.y)
+			dpi = out
+			dcur, dnxt = dnxt, dcur
+		}
+		res.TotalTime = clock
+		results[idx] = res
+	}
+	return results, nil
+}
+
+// TotalTimeSweep returns E(T) for every workload in ns via one
+// SolveSweep pass, in the order of ns.
+func (s *Solver) TotalTimeSweep(ns []int) ([]float64, error) {
+	rs, err := s.SolveSweep(ns)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(rs))
+	for i, r := range rs {
+		out[i] = r.TotalTime
+	}
+	return out, nil
+}
+
 // SteadyState solves π* = π*·Y_K·R_K, the fixed point of the feeding
 // operator, and returns π* with the steady-state inter-departure time
 // t_ss = π*·τ'_K (§6.1.2). For small levels it solves the linear
@@ -179,7 +368,7 @@ func (s *Solver) TotalTime(n int) (float64, error) {
 // product-form solution.
 func (s *Solver) SteadyState() (pi []float64, tss float64, err error) {
 	k := s.K
-	d := s.Chain.Levels[k].States.Count()
+	d := s.d(k)
 	if d <= 400 {
 		pi, err = s.steadyDirect(k)
 	} else {
@@ -194,18 +383,21 @@ func (s *Solver) SteadyState() (pi []float64, tss float64, err error) {
 // steadyDirect builds T = Y_K·R_K densely and solves the singular
 // system πT = π with the normalization Σπ = 1 replacing one equation.
 func (s *Solver) steadyDirect(k int) ([]float64, error) {
-	d := s.Chain.Levels[k].States.Count()
-	// Build T row by row: row i of T is e_i·Y_k·R_k.
+	d := s.d(k)
+	ws := s.getWS()
+	// Build T row by row: row i of T is e_i·Y_k·R_k, written straight
+	// into the matrix storage.
 	tmat := matrix.New(d, d)
-	e := make([]float64, d)
+	e := ws.dcur[:d]
+	for i := range e {
+		e[i] = 0
+	}
 	for i := 0; i < d; i++ {
 		e[i] = 1
-		row := s.Feed(k, e)
+		s.feedInto(tmat.RawRow(i), k, e, ws)
 		e[i] = 0
-		for j := 0; j < d; j++ {
-			tmat.Set(i, j, row[j])
-		}
 	}
+	s.putWS(ws)
 	// Solve π(T − I) = 0 with Σπ = 1: transpose to (Tᵀ − I)x = 0 and
 	// overwrite the last equation with the normalization.
 	a := tmat.Transpose().Sub(matrix.Identity(d))
@@ -221,22 +413,26 @@ func (s *Solver) steadyDirect(k int) ([]float64, error) {
 	return x, nil
 }
 
-// steadyPower runs power iteration on the operator form of Y_K·R_K.
+// steadyPower runs power iteration on the operator form of Y_K·R_K,
+// ping-ponging workspace buffers so each iteration is allocation-free.
 func (s *Solver) steadyPower(k int) ([]float64, error) {
-	d := s.Chain.Levels[k].States.Count()
-	pi := make([]float64, d)
+	d := s.d(k)
+	ws := s.getWS()
+	defer s.putWS(ws)
+	pi := ws.cur[:d]
 	for i := range pi {
 		pi[i] = 1 / float64(d)
 	}
+	nxt := ws.next[:d]
 	const maxIter = 200000
 	const tol = 1e-13
 	for iter := 0; iter < maxIter; iter++ {
-		next := s.Feed(k, pi)
-		matrix.Normalize1(next) // guard against round-off drift
-		if matrix.VecMaxAbsDiff(next, pi) < tol {
-			return next, nil
+		s.feedInto(nxt, k, pi, ws)
+		matrix.Normalize1(nxt) // guard against round-off drift
+		if matrix.VecMaxAbsDiff(nxt, pi) < tol {
+			return append([]float64(nil), nxt...), nil
 		}
-		pi = next
+		pi, nxt = nxt, pi
 	}
 	return nil, errors.New("core: steady-state power iteration did not converge")
 }
@@ -253,29 +449,37 @@ func (s *Solver) TimeStationary() ([]float64, error) {
 	k := s.K
 	lvl := s.Chain.Levels[k]
 	d := lvl.States.Count()
+	dPrev := lvl.Q.Cols()
+	ws := s.getWS()
+	defer s.putWS(ws)
 	// ν = π·M solves the embedded jump chain ν = ν(P + Q·R); then
 	// π ∝ ν·M⁻¹.
-	nu := make([]float64, d)
+	nu := ws.cur[:d]
 	for i := range nu {
 		nu[i] = 1 / float64(d)
 	}
+	next := ws.next[:d]
+	hop := ws.dcur[:d]
 	const maxIter = 500000
 	const tol = 1e-13
+	converged := false
 	for iter := 0; iter < maxIter; iter++ {
-		next := lvl.P.VecMul(nu)
-		hop := lvl.R.VecMul(lvl.Q.VecMul(nu))
+		lvl.P.VecMulInto(next, nu)
+		lvl.Q.VecMulInto(ws.t[:dPrev], nu)
+		lvl.R.VecMulInto(hop, ws.t[:dPrev])
 		for i := range next {
 			next[i] += hop[i]
 		}
 		matrix.Normalize1(next)
 		if matrix.VecMaxAbsDiff(next, nu) < tol {
 			nu = next
+			converged = true
 			break
 		}
-		nu = next
-		if iter == maxIter-1 {
-			return nil, errors.New("core: time-stationary iteration did not converge")
-		}
+		nu, next = next, nu
+	}
+	if !converged {
+		return nil, errors.New("core: time-stationary iteration did not converge")
 	}
 	pi := make([]float64, d)
 	for i := range pi {

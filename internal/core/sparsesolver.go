@@ -46,9 +46,20 @@ func (s *SparseSolver) checkLevel(k int) {
 	}
 }
 
-// Tau returns τ'_k, solving (I−P_k)·τ = M_k⁻¹·ε on first use. It is
-// safe for concurrent use.
+// Tau returns a copy of τ'_k, solving (I−P_k)·τ = M_k⁻¹·ε on first
+// use. The caller owns the returned slice — the same contract as
+// Solver.Tau. It is safe for concurrent use.
 func (s *SparseSolver) Tau(k int) ([]float64, error) {
+	tau, err := s.tauShared(k)
+	if err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), tau...), nil
+}
+
+// tauShared returns the mutex-guarded cached τ'_k without copying;
+// internal callers treat it as read-only.
+func (s *SparseSolver) tauShared(k int) ([]float64, error) {
 	s.checkLevel(k)
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -70,7 +81,7 @@ func (s *SparseSolver) Tau(k int) ([]float64, error) {
 
 // EpochTime returns π·τ'_k.
 func (s *SparseSolver) EpochTime(k int, pi []float64) (float64, error) {
-	tau, err := s.Tau(k)
+	tau, err := s.tauShared(k)
 	if err != nil {
 		return 0, err
 	}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/workload"
+)
+
+// SolveSweep must reproduce per-N Solve results to machine precision:
+// both paths run the same kernels in the same order, so the epoch
+// sequences agree to the last bit (the assertions allow a whisper of
+// relative slack in case a future refactor reassociates a sum).
+func TestSolveSweepMatchesSolve(t *testing.T) {
+	const relTol = 1e-13
+	cases := []struct {
+		name  string
+		dists cluster.Dists
+		k     int
+		ns    []int
+	}{
+		// Unsorted with duplicates, spanning N < K, N = K and N ≫ K.
+		{"exponential", cluster.Dists{}, 4, []int{50, 2, 4, 200, 4, 1, 3, 120, 50}},
+		{"erlang3-cpu", cluster.Dists{CPU: cluster.ErlangStages(3)}, 4, []int{1, 4, 3, 80, 10}},
+		{"h2-remote-cv10", cluster.Dists{Remote: cluster.WithCV2(10)}, 5, []int{2, 5, 150, 5, 30}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			app := workload.Default(30)
+			net, err := cluster.Central(tc.k, app, tc.dists, cluster.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := NewSolver(net, tc.k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.SolveSweep(tc.ns)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.ns) {
+				t.Fatalf("got %d results for %d workloads", len(got), len(tc.ns))
+			}
+			for i, n := range tc.ns {
+				want, err := s.Solve(n)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := got[i]
+				if r.N != n || r.K != want.K {
+					t.Fatalf("N=%d: header (N=%d, K=%d), want (N=%d, K=%d)", n, r.N, r.K, want.N, want.K)
+				}
+				if len(r.Epochs) != n || len(r.Departures) != n {
+					t.Fatalf("N=%d: %d epochs, %d departures", n, len(r.Epochs), len(r.Departures))
+				}
+				if !closeRel(r.TotalTime, want.TotalTime, relTol) {
+					t.Fatalf("N=%d: TotalTime %v, want %v", n, r.TotalTime, want.TotalTime)
+				}
+				for j := range want.Epochs {
+					if !closeRel(r.Epochs[j], want.Epochs[j], relTol) {
+						t.Fatalf("N=%d: epoch %d = %v, want %v", n, j, r.Epochs[j], want.Epochs[j])
+					}
+					if !closeRel(r.Departures[j], want.Departures[j], relTol) {
+						t.Fatalf("N=%d: departure %d = %v, want %v", n, j, r.Departures[j], want.Departures[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+func TestSolveSweepRejectsBadWorkload(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(3, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SolveSweep([]int{5, 0, 7}); err == nil {
+		t.Fatal("want error for workload 0")
+	}
+	if rs, err := s.SolveSweep(nil); err != nil || len(rs) != 0 {
+		t.Fatalf("empty sweep: %v, %d results", err, len(rs))
+	}
+}
+
+func TestTotalTimeSweep(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(3, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := []int{3, 10, 25}
+	totals, err := s.TotalTimeSweep(ns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ns {
+		want, err := s.TotalTime(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !closeRel(totals[i], want, 1e-13) {
+			t.Fatalf("N=%d: %v, want %v", n, totals[i], want)
+		}
+	}
+}
+
+// Tau must hand back an owned copy: mutating it cannot perturb later
+// solves.
+func TestTauReturnsDefensiveCopy(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(3, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.TotalTime(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := s.Tau(3)
+	for i := range tau {
+		tau[i] = -1
+	}
+	after, err := s.TotalTime(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatalf("mutating Tau's result changed TotalTime: %v vs %v", before, after)
+	}
+
+	sp, err := NewSparseSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spBefore, err := sp.TotalTime(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stau, err := sp.Tau(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stau {
+		stau[i] = -1
+	}
+	spAfter, err := sp.TotalTime(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spBefore != spAfter {
+		t.Fatalf("mutating SparseSolver.Tau's result changed TotalTime: %v vs %v", spBefore, spAfter)
+	}
+}

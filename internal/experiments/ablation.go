@@ -22,25 +22,26 @@ func ApproxVsExactTable(id string, arch Arch, k int, ns []int, d cluster.Dists, 
 		XLabel: "N",
 		YLabel: "time / error %",
 	}
-	var exacts, approxs, errs []float64
-	for _, n := range ns {
+	// One solver serves the whole N grid: the exact totals come from a
+	// single SolveSweep feeding pass, the approximation reuses the
+	// solver's steady state per point.
+	s, err := newSolver(arch, k, mkApp(ns[0]), d, cluster.Options{})
+	if err != nil {
+		return nil, err
+	}
+	exacts, err := s.TotalTimeSweep(ns)
+	if err != nil {
+		return nil, err
+	}
+	var approxs, errs []float64
+	for i, n := range ns {
 		t.X = append(t.X, float64(n))
-		app := mkApp(n)
-		s, err := newSolver(arch, k, app, d, cluster.Options{})
-		if err != nil {
-			return nil, err
-		}
-		exact, err := s.TotalTime(n)
-		if err != nil {
-			return nil, err
-		}
 		appr, err := s.ApproxTotalTime(n)
 		if err != nil {
 			return nil, err
 		}
-		exacts = append(exacts, exact)
 		approxs = append(approxs, appr)
-		errs = append(errs, 100*math.Abs(appr-exact)/exact)
+		errs = append(errs, 100*math.Abs(appr-exacts[i])/exacts[i])
 	}
 	t.Series = []Series{
 		{Label: "exact E(T)", Y: exacts},

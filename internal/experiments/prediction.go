@@ -23,33 +23,36 @@ func PredictionErrorTable(id string, arch Arch, k int, ns []int, comp Component,
 		YLabel: "error %",
 		X:      cv2s,
 	}
-	for _, n := range ns {
-		app := mkApp(n)
-		// Exponential baseline for this workload.
-		sExp, err := newSolver(arch, k, app, cluster.Dists{}, cluster.Options{})
-		if err != nil {
-			return nil, fmt.Errorf("%s: baseline: %w", id, err)
+	// The network is independent of N, so the exponential baseline and
+	// each C² variant build one solver and sweep every workload size in
+	// a single feeding pass.
+	sExp, err := newSolver(arch, k, mkApp(ns[0]), cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: baseline: %w", id, err)
+	}
+	expTotals, err := sExp.TotalTimeSweep(ns)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([][]float64, len(cv2s)) // actual totals per C², parallel to ns
+	for j, cv2 := range cv2s {
+		if cv2 == 1 {
+			cols[j] = expTotals
+			continue
 		}
-		expTotal, err := sExp.TotalTime(n)
+		s, err := newSolver(arch, k, mkApp(ns[0]), distsFor(comp, cluster.WithCV2(cv2)), cluster.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
+		}
+		cols[j], err = s.TotalTimeSweep(ns)
 		if err != nil {
 			return nil, err
 		}
-		var ys []float64
-		for _, cv2 := range cv2s {
-			var actTotal float64
-			if cv2 == 1 {
-				actTotal = expTotal
-			} else {
-				s, err := newSolver(arch, k, app, distsFor(comp, cluster.WithCV2(cv2)), cluster.Options{})
-				if err != nil {
-					return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
-				}
-				actTotal, err = s.TotalTime(n)
-				if err != nil {
-					return nil, err
-				}
-			}
-			ys = append(ys, 100*math.Abs(actTotal-expTotal)/actTotal)
+	}
+	for i, n := range ns {
+		ys := make([]float64, len(cv2s))
+		for j := range cv2s {
+			ys[j] = 100 * math.Abs(cols[j][i]-expTotals[i]) / cols[j][i]
 		}
 		t.Series = append(t.Series, Series{Label: fmt.Sprintf("N = %d", n), Y: ys})
 	}

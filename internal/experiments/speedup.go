@@ -16,6 +16,9 @@ func speedup(app workload.App, total float64) float64 {
 
 // SpeedupVsCV2Table sweeps a component's C² and reports speedup — the
 // paper's Figures 8 and 9 (shared server varied, one series per N).
+// The network depends on the workload only through its per-task
+// parameters, so each C² point builds one solver and evaluates every
+// N in a single SolveSweep feeding pass.
 func SpeedupVsCV2Table(id string, arch Arch, k int, ns []int, comp Component, cv2s []float64, mkApp func(int) workload.App) (*Table, error) {
 	t := &Table{
 		ID:     id,
@@ -24,19 +27,22 @@ func SpeedupVsCV2Table(id string, arch Arch, k int, ns []int, comp Component, cv
 		YLabel: "speedup",
 		X:      cv2s,
 	}
-	for _, n := range ns {
+	cols := make([][]float64, len(cv2s)) // totals per C² point, parallel to ns
+	for j, cv2 := range cv2s {
+		s, err := newSolver(arch, k, mkApp(ns[0]), distsFor(comp, cluster.WithCV2(cv2)), cluster.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
+		}
+		cols[j], err = s.TotalTimeSweep(ns)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i, n := range ns {
 		app := mkApp(n)
-		var ys []float64
-		for _, cv2 := range cv2s {
-			s, err := newSolver(arch, k, app, distsFor(comp, cluster.WithCV2(cv2)), cluster.Options{})
-			if err != nil {
-				return nil, fmt.Errorf("%s (C²=%v): %w", id, cv2, err)
-			}
-			total, err := s.TotalTime(n)
-			if err != nil {
-				return nil, err
-			}
-			ys = append(ys, speedup(app, total))
+		ys := make([]float64, len(cv2s))
+		for j := range cv2s {
+			ys[j] = speedup(app, cols[j][i])
 		}
 		t.Series = append(t.Series, Series{Label: fmt.Sprintf("N = %d", n), Y: ys})
 	}
@@ -69,7 +75,19 @@ func SpeedupVsKTable(id, title string, arch Arch, ks []int, ns []int, variants [
 		t.X = append(t.X, float64(k))
 	}
 	for _, v := range variants {
-		for _, n := range ns {
+		// One solver per cluster size serves every workload in ns.
+		cols := make([][]float64, len(ks))
+		for j, k := range ks {
+			s, err := newSolver(arch, k, mkApp(ns[0]), v.Dists, v.Opts)
+			if err != nil {
+				return nil, fmt.Errorf("%s (K=%d): %w", id, k, err)
+			}
+			cols[j], err = s.TotalTimeSweep(ns)
+			if err != nil {
+				return nil, err
+			}
+		}
+		for i, n := range ns {
 			app := mkApp(n)
 			label := v.Label
 			if len(ns) > 1 {
@@ -78,17 +96,9 @@ func SpeedupVsKTable(id, title string, arch Arch, ks []int, ns []int, variants [
 					label = fmt.Sprintf("N = %d", n)
 				}
 			}
-			var ys []float64
-			for _, k := range ks {
-				s, err := newSolver(arch, k, app, v.Dists, v.Opts)
-				if err != nil {
-					return nil, fmt.Errorf("%s (K=%d): %w", id, k, err)
-				}
-				total, err := s.TotalTime(n)
-				if err != nil {
-					return nil, err
-				}
-				ys = append(ys, speedup(app, total))
+			ys := make([]float64, len(ks))
+			for j := range ks {
+				ys[j] = speedup(app, cols[j][i])
 			}
 			t.Series = append(t.Series, Series{Label: label, Y: ys})
 		}

@@ -16,10 +16,23 @@ var ErrSingular = errors.New("matrix: singular matrix")
 // (x·A = b), which is what the transient queueing solver needs: one
 // factorization of I−P_k per population level serves every epoch.
 type LU struct {
-	lu   *Matrix // packed L (below diagonal, unit implied) and U
-	perm []int   // row i of lu is row perm[i] of A
-	sign float64 // permutation parity, for Det
+	lu     *Matrix // packed L (below diagonal, unit implied) and U
+	perm   []int   // row i of lu is row perm[i] of A
+	sign   float64 // permutation parity, for Det
+	starts []int   // cycle starts of perm, for in-place permutation
 }
+
+// Factoring switches to a cache-blocked elimination at this dimension:
+// the unblocked right-looking update streams the whole trailing
+// submatrix once per pivot column, while the blocked form touches it
+// once per luBlock columns, keeping each target row hot in cache
+// across the block. The two paths produce bitwise-identical factors
+// (same pivots, same per-element operation order), which the tests
+// assert.
+const (
+	luBlockThreshold = 128
+	luBlock          = 48
+)
 
 // Factor computes the LU factorization of the square matrix a with
 // partial pivoting. It returns ErrSingular when a pivot is exactly
@@ -35,44 +48,137 @@ func Factor(a *Matrix) (*LU, error) {
 	for i := range perm {
 		perm[i] = i
 	}
-	sign := 1.0
-	for k := 0; k < n; k++ {
+	var sign float64
+	var err error
+	if n < luBlockThreshold {
+		sign, err = factorPanel(lu.data, n, perm, 1, 0, n, n)
+	} else {
+		sign, err = factorBlocked(lu.data, n, perm)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &LU{lu: lu, perm: perm, sign: sign, starts: permCycleStarts(perm)}, nil
+}
+
+// factorPanel eliminates pivot columns kb..ke−1 of the n×n matrix d,
+// restricting the row updates to columns < jEnd. With (kb, ke, jEnd) =
+// (0, n, n) it is the classic unblocked right-looking elimination;
+// with jEnd = ke it factors one panel of a blocked sweep, leaving the
+// columns right of the panel untouched. Row swaps always span the full
+// row so L multipliers and pending columns travel with their row.
+func factorPanel(d []float64, n int, perm []int, sign float64, kb, ke, jEnd int) (float64, error) {
+	for k := kb; k < ke; k++ {
 		// Partial pivot: largest magnitude in column k at/below row k.
 		p := k
-		maxAbs := math.Abs(lu.data[k*n+k])
+		maxAbs := math.Abs(d[k*n+k])
 		for i := k + 1; i < n; i++ {
-			if v := math.Abs(lu.data[i*n+k]); v > maxAbs {
+			if v := math.Abs(d[i*n+k]); v > maxAbs {
 				maxAbs = v
 				p = i
 			}
 		}
 		if maxAbs == 0 {
-			return nil, ErrSingular
+			return sign, ErrSingular
 		}
 		if p != k {
-			rk := lu.data[k*n : (k+1)*n]
-			rp := lu.data[p*n : (p+1)*n]
+			rk := d[k*n : (k+1)*n]
+			rp := d[p*n : (p+1)*n]
 			for j := 0; j < n; j++ {
 				rk[j], rp[j] = rp[j], rk[j]
 			}
 			perm[k], perm[p] = perm[p], perm[k]
 			sign = -sign
 		}
-		pivot := lu.data[k*n+k]
+		pivot := d[k*n+k]
 		for i := k + 1; i < n; i++ {
-			m := lu.data[i*n+k] / pivot
-			lu.data[i*n+k] = m
+			m := d[i*n+k] / pivot
+			d[i*n+k] = m
 			if m == 0 {
 				continue
 			}
-			ri := lu.data[i*n : (i+1)*n]
-			rk := lu.data[k*n : (k+1)*n]
-			for j := k + 1; j < n; j++ {
+			ri := d[i*n : i*n+jEnd]
+			rk := d[k*n : k*n+jEnd]
+			for j := k + 1; j < jEnd; j++ {
 				ri[j] -= m * rk[j]
 			}
 		}
 	}
-	return &LU{lu: lu, perm: perm, sign: sign}, nil
+	return sign, nil
+}
+
+// factorBlocked runs the right-looking elimination in panels of
+// luBlock columns. After each panel is factored (updates confined to
+// the panel), the deferred eliminations are replayed on the columns to
+// its right — first completing the panel's U rows, then the trailing
+// submatrix — with pivot steps applied in the same increasing order
+// and one row kept hot across the whole block.
+func factorBlocked(d []float64, n int, perm []int) (float64, error) {
+	sign := 1.0
+	for kb := 0; kb < n; kb += luBlock {
+		ke := kb + luBlock
+		if ke > n {
+			ke = n
+		}
+		var err error
+		sign, err = factorPanel(d, n, perm, sign, kb, ke, ke)
+		if err != nil {
+			return sign, err
+		}
+		if ke == n {
+			break
+		}
+		// Complete the panel's U rows: row r still owes the updates
+		// from pivots kb..r−1 on the columns right of the panel.
+		for r := kb + 1; r < ke; r++ {
+			rr := d[r*n+ke : r*n+n]
+			for k := kb; k < r; k++ {
+				m := d[r*n+k]
+				if m == 0 {
+					continue
+				}
+				rk := d[k*n+ke : k*n+n]
+				for j, v := range rk {
+					rr[j] -= m * v
+				}
+			}
+		}
+		// Trailing update: each row below the panel replays the whole
+		// block of pivots while it is resident in cache.
+		for i := ke; i < n; i++ {
+			ri := d[i*n+ke : i*n+n]
+			for k := kb; k < ke; k++ {
+				m := d[i*n+k]
+				if m == 0 {
+					continue
+				}
+				rk := d[k*n+ke : k*n+n]
+				for j, v := range rk {
+					ri[j] -= m * v
+				}
+			}
+		}
+	}
+	return sign, nil
+}
+
+// permCycleStarts returns the start index of every non-trivial cycle
+// of perm, enabling allocation-free in-place application of the
+// permutation in SolveLeftInto.
+func permCycleStarts(perm []int) []int {
+	visited := make([]bool, len(perm))
+	var starts []int
+	for i, p := range perm {
+		if visited[i] || p == i {
+			visited[i] = true
+			continue
+		}
+		starts = append(starts, i)
+		for j := i; !visited[j]; j = perm[j] {
+			visited[j] = true
+		}
+	}
+	return starts
 }
 
 // N returns the dimension of the factored matrix.
@@ -80,11 +186,23 @@ func (f *LU) N() int { return f.lu.rows }
 
 // Solve solves A·x = b and returns x. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
+	x := make([]float64, f.N())
+	f.SolveInto(x, b)
+	return x
+}
+
+// SolveInto solves A·x = b into dst and returns dst. dst must have
+// length N and must not alias b; b is not modified. It performs no
+// allocations.
+func (f *LU) SolveInto(dst, b []float64) []float64 {
 	n := f.N()
 	if len(b) != n {
 		panic(fmt.Sprintf("matrix: Solve length %d, want %d", len(b), n))
 	}
-	x := make([]float64, n)
+	if len(dst) != n {
+		panic(fmt.Sprintf("matrix: SolveInto dst length %d, want %d", len(dst), n))
+	}
+	x := dst
 	// Apply permutation: x = P·b.
 	for i := 0; i < n; i++ {
 		x[i] = b[f.perm[i]]
@@ -114,14 +232,29 @@ func (f *LU) Solve(b []float64) []float64 {
 // SolveLeft solves x·A = b (equivalently Aᵀ·xᵀ = bᵀ) and returns x.
 // b is not modified.
 func (f *LU) SolveLeft(b []float64) []float64 {
+	x := make([]float64, f.N())
+	f.SolveLeftInto(x, b)
+	return x
+}
+
+// SolveLeftInto solves x·A = b into dst and returns dst. dst must
+// have length N; it may alias b (b is consumed in place in that
+// case). It performs no allocations: the final permutation is applied
+// in place by walking the cycles precomputed at factor time.
+func (f *LU) SolveLeftInto(dst, b []float64) []float64 {
 	n := f.N()
 	if len(b) != n {
 		panic(fmt.Sprintf("matrix: SolveLeft length %d, want %d", len(b), n))
 	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("matrix: SolveLeftInto dst length %d, want %d", len(dst), n))
+	}
 	// Aᵀ = Uᵀ·Lᵀ·P, so solve Uᵀ·z = b, then Lᵀ·w = z, then undo P.
 	d := f.lu.data
-	z := make([]float64, n)
-	copy(z, b)
+	z := dst
+	if &z[0] != &b[0] {
+		copy(z, b)
+	}
 	// Uᵀ is lower triangular with U's diagonal: forward substitution.
 	for i := 0; i < n; i++ {
 		s := z[i]
@@ -138,12 +271,15 @@ func (f *LU) SolveLeft(b []float64) []float64 {
 		}
 		z[i] = s
 	}
-	// P·x = w  ⇒  x[perm[i]] = w[i].
-	x := make([]float64, n)
-	for i := 0; i < n; i++ {
-		x[f.perm[i]] = z[i]
+	// P·x = w  ⇒  x[perm[i]] = w[i], applied in place cycle by cycle.
+	for _, c := range f.starts {
+		v := z[c]
+		for i := f.perm[c]; i != c; i = f.perm[i] {
+			z[i], v = v, z[i]
+		}
+		z[c] = v
 	}
-	return x
+	return z
 }
 
 // Det returns the determinant of the factored matrix.
@@ -162,9 +298,10 @@ func (f *LU) Inverse() *Matrix {
 	n := f.N()
 	inv := New(n, n)
 	e := make([]float64, n)
+	col := make([]float64, n)
 	for j := 0; j < n; j++ {
 		e[j] = 1
-		col := f.Solve(e)
+		f.SolveInto(col, e)
 		e[j] = 0
 		for i := 0; i < n; i++ {
 			inv.data[i*n+j] = col[i]

@@ -1,0 +1,209 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, n int) *Matrix {
+	m := New(n, n)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	// Diagonal dominance keeps the systems well conditioned without
+	// making pivoting trivial everywhere.
+	for i := 0; i < n; i++ {
+		m.data[i*n+i] += 2
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v
+}
+
+// The blocked elimination must be bitwise-identical to the unblocked
+// one: same pivots, same factors, same parity.
+func TestFactorBlockedMatchesUnblocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{luBlockThreshold, 150, 200, 2*luBlock + 5} {
+		a := randMatrix(rng, n)
+
+		ref := a.Clone()
+		refPerm := make([]int, n)
+		for i := range refPerm {
+			refPerm[i] = i
+		}
+		refSign, err := factorPanel(ref.data, n, refPerm, 1, 0, n, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		blk := a.Clone()
+		blkPerm := make([]int, n)
+		for i := range blkPerm {
+			blkPerm[i] = i
+		}
+		blkSign, err := factorBlocked(blk.data, n, blkPerm)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if refSign != blkSign {
+			t.Fatalf("n=%d: sign %v vs %v", n, refSign, blkSign)
+		}
+		for i := range refPerm {
+			if refPerm[i] != blkPerm[i] {
+				t.Fatalf("n=%d: perm[%d] = %d vs %d", n, i, refPerm[i], blkPerm[i])
+			}
+		}
+		for i, v := range ref.data {
+			if v != blk.data[i] {
+				t.Fatalf("n=%d: lu[%d] = %v (unblocked) vs %v (blocked)", n, i, v, blk.data[i])
+			}
+		}
+	}
+}
+
+// Factoring through the public API (which selects the blocked path for
+// large n) must still solve accurately.
+func TestFactorBlockedSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 160
+	a := randMatrix(rng, n)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVec(rng, n)
+	b := a.MulVec(x)
+	got := f.Solve(b)
+	for i := range x {
+		if math.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], x[i])
+		}
+	}
+	bl := a.VecMul(x) // x·a
+	gotL := f.SolveLeft(bl)
+	for i := range x {
+		if math.Abs(gotL[i]-x[i]) > 1e-9 {
+			t.Fatalf("left x[%d] = %v, want %v", i, gotL[i], x[i])
+		}
+	}
+}
+
+// The Into variants must agree exactly with the allocating wrappers
+// and perform zero allocations.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 5, 17, 64, 140} {
+		a := randMatrix(rng, n)
+		f, err := Factor(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := randVec(rng, n)
+
+		want := f.Solve(b)
+		dst := make([]float64, n)
+		got := f.SolveInto(dst, b)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: SolveInto[%d] = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+
+		wantL := f.SolveLeft(b)
+		dstL := make([]float64, n)
+		gotL := f.SolveLeftInto(dstL, b)
+		for i := range wantL {
+			if gotL[i] != wantL[i] {
+				t.Fatalf("n=%d: SolveLeftInto[%d] = %v, want %v", n, i, gotL[i], wantL[i])
+			}
+		}
+
+		// Aliased left solve: dst == b is allowed and must agree too.
+		bb := append([]float64(nil), b...)
+		f.SolveLeftInto(bb, bb)
+		for i := range wantL {
+			if bb[i] != wantL[i] {
+				t.Fatalf("n=%d: aliased SolveLeftInto[%d] = %v, want %v", n, i, bb[i], wantL[i])
+			}
+		}
+
+		if allocs := testing.AllocsPerRun(10, func() {
+			f.SolveInto(dst, b)
+			f.SolveLeftInto(dstL, b)
+		}); allocs != 0 {
+			t.Fatalf("n=%d: Into kernels allocated %v times per run", n, allocs)
+		}
+	}
+}
+
+func TestVecMulIntoMatchesVecMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := New(7, 13)
+	for i := range m.data {
+		m.data[i] = rng.NormFloat64()
+	}
+	x := randVec(rng, 7)
+	want := m.VecMul(x)
+	dst := make([]float64, 13)
+	dst[0] = 42 // must be overwritten, not accumulated into
+	got := m.VecMulInto(dst, x)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("VecMulInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	y := randVec(rng, 13)
+	wantC := m.MulVec(y)
+	dstC := make([]float64, 7)
+	gotC := m.MulVecInto(dstC, y)
+	for i := range wantC {
+		if gotC[i] != wantC[i] {
+			t.Fatalf("MulVecInto[%d] = %v, want %v", i, gotC[i], wantC[i])
+		}
+	}
+
+	if allocs := testing.AllocsPerRun(10, func() {
+		m.VecMulInto(dst, x)
+		m.MulVecInto(dstC, y)
+	}); allocs != 0 {
+		t.Fatalf("Into products allocated %v times per run", allocs)
+	}
+}
+
+func BenchmarkPerfFactor200(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMatrix(rng, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Factor(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfSolveLeftInto200(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMatrix(rng, 200)
+	f, err := Factor(a)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := randVec(rng, 200)
+	dst := make([]float64, 200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.SolveLeftInto(dst, x)
+	}
+}

@@ -186,37 +186,57 @@ func (m *Matrix) Mul(b *Matrix) *Matrix {
 
 // MulVec returns the matrix-vector product m·x (x treated as column).
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.rows), x)
+}
+
+// MulVecInto computes m·x into dst and returns dst. dst must have
+// length Rows and must not alias x. It performs no allocations.
+func (m *Matrix) MulVecInto(dst, x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("matrix: MulVec length %d, want %d", len(x), m.cols))
 	}
-	out := make([]float64, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("matrix: MulVecInto dst length %d, want %d", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		var s float64
 		for j, v := range row {
 			s += v * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // VecMul returns the vector-matrix product x·m (x treated as row).
 func (m *Matrix) VecMul(x []float64) []float64 {
+	return m.VecMulInto(make([]float64, m.cols), x)
+}
+
+// VecMulInto computes x·m into dst and returns dst. dst must have
+// length Cols and must not alias x. It performs no allocations — the
+// epoch kernels of the transient solver run entirely on this variant.
+func (m *Matrix) VecMulInto(dst, x []float64) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("matrix: VecMul length %d, want %d", len(x), m.rows))
 	}
-	out := make([]float64, m.cols)
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("matrix: VecMulInto dst length %d, want %d", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
 	for i, xv := range x {
 		if xv == 0 {
 			continue
 		}
 		row := m.data[i*m.cols : (i+1)*m.cols]
 		for j, v := range row {
-			out[j] += xv * v
+			dst[j] += xv * v
 		}
 	}
-	return out
+	return dst
 }
 
 // Transpose returns mᵀ as a new matrix.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"finwl/internal/matrix"
+	"finwl/internal/par"
 	"finwl/internal/statespace"
 )
 
@@ -37,6 +38,14 @@ type Chain struct {
 }
 
 // NewChain validates the network and builds every level up to maxK.
+//
+// Construction is parallel: the per-population state spaces are
+// enumerated first (each level's enumeration is independent), then the
+// level matrices are generated across a worker pool — level k only
+// reads the network, the space layout, and the immutable state lists
+// of levels k−1 and k, so the levels are embarrassingly parallel.
+// Workers claim the largest levels first and write into their own
+// slot, keeping assembly deterministic.
 func NewChain(net *Network, maxK int) (*Chain, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -46,14 +55,24 @@ func NewChain(net *Network, maxK int) (*Chain, error) {
 	}
 	space := net.Space()
 	c := &Chain{Net: net, Space: space, Levels: make([]*Level, maxK+1)}
-	prev := space.Enumerate(0)
-	c.Levels[0] = &Level{K: 0, States: prev}
-	for k := 1; k <= maxK; k++ {
-		cur := space.Enumerate(k)
-		c.Levels[k] = buildLevel(net, space, k, prev, cur)
-		prev = cur
-	}
+	states := enumerateLevels(space, maxK)
+	c.Levels[0] = &Level{K: 0, States: states[0]}
+	par.For(maxK, func(i int) {
+		k := maxK - i // largest state spaces first, for load balance
+		c.Levels[k] = buildLevel(net, space, k, states[k-1], states[k])
+	})
 	return c, nil
+}
+
+// enumerateLevels lists the states of every population 0..maxK in
+// parallel; the enumerations share nothing but the read-only layout.
+func enumerateLevels(space *statespace.Space, maxK int) []*statespace.Level {
+	states := make([]*statespace.Level, maxK+1)
+	par.For(maxK+1, func(i int) {
+		k := maxK - i
+		states[k] = space.Enumerate(k)
+	})
+	return states
 }
 
 // D returns the number of states at level k.

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"finwl/internal/par"
 	"finwl/internal/sparse"
 	"finwl/internal/statespace"
 )
@@ -39,7 +40,9 @@ func (s *sparseSink) addQ(i, j int, w float64) { s.q.Add(i, j, w) }
 func (s *sparseSink) addR(i, j int, w float64) { s.r.Add(i, j, w) }
 
 // NewSparseChain validates the network and builds CSR level matrices
-// for populations 1..maxK.
+// for populations 1..maxK. Like NewChain, the levels are generated in
+// parallel once the state spaces exist; each worker owns its level's
+// builders, so no synchronization is needed beyond the final join.
 func NewSparseChain(net *Network, maxK int) (*SparseChain, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -49,10 +52,11 @@ func NewSparseChain(net *Network, maxK int) (*SparseChain, error) {
 	}
 	space := net.Space()
 	c := &SparseChain{Net: net, Space: space, Levels: make([]*SparseLevel, maxK+1)}
-	prev := space.Enumerate(0)
-	c.Levels[0] = &SparseLevel{K: 0, States: prev}
-	for k := 1; k <= maxK; k++ {
-		cur := space.Enumerate(k)
+	states := enumerateLevels(space, maxK)
+	c.Levels[0] = &SparseLevel{K: 0, States: states[0]}
+	par.For(maxK, func(i int) {
+		k := maxK - i
+		prev, cur := states[k-1], states[k]
 		d, dPrev := cur.Count(), prev.Count()
 		sink := &sparseSink{
 			m: make([]float64, d),
@@ -69,8 +73,7 @@ func NewSparseChain(net *Network, maxK int) (*SparseChain, error) {
 			Q:      sink.q.Build(),
 			R:      sink.r.Build(),
 		}
-		prev = cur
-	}
+	})
 	return c, nil
 }
 

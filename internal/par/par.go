@@ -1,0 +1,51 @@
+// Package par provides the tiny deterministic worker-pool primitive
+// the construction paths fan out over: a bounded parallel for-loop.
+// Callers index into pre-sized result slices so assembly order never
+// depends on scheduling, only the wall-clock does.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n) across up to
+// runtime.GOMAXPROCS(0) goroutines and returns when all calls have
+// finished. Iterations are claimed dynamically (an atomic counter), so
+// unevenly sized work items — e.g. population levels whose state
+// spaces grow with k — balance themselves. With one processor, or
+// n ≤ 1, it degenerates to a plain loop with no goroutines at all.
+//
+// fn must be safe to call concurrently for distinct i.
+func For(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,116 @@
+// Root performance harness: the BenchmarkPerf* benchmarks track the
+// solver's three hot paths — chain construction + factorization,
+// the allocation-free epoch kernels, and incremental N-sweeps — so
+// every PR leaves a comparable perf trajectory. scripts/bench.sh runs
+// them and snapshots the results into BENCH_<n>.json.
+package finwl_test
+
+import (
+	"runtime"
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/workload"
+)
+
+func perfNet(b *testing.B, k int) *core.Solver {
+	b.Helper()
+	app := workload.Default(30)
+	net, err := cluster.Central(k, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := core.NewSolver(net, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// Chain construction + per-level LU factorization, parallel (default
+// GOMAXPROCS) versus serial (GOMAXPROCS=1). On a multi-core host the
+// parallel variant shows the worker-pool speedup; on one core the two
+// coincide.
+func benchPerfConstruct(b *testing.B, procs int) {
+	if procs > 0 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+	}
+	app := workload.Default(30)
+	net, err := cluster.Central(8, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.NewSolver(net, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfNewSolverK8H2(b *testing.B)       { benchPerfConstruct(b, 0) }
+func BenchmarkPerfNewSolverK8H2Serial(b *testing.B) { benchPerfConstruct(b, 1) }
+
+// One transient pass at N=400 on the K=8 H2 chain: the epoch loop
+// must stay O(1) in allocations however large N grows.
+func BenchmarkPerfSolveN400K8(b *testing.B) {
+	s := perfNet(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Solve(400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func perfSweepNs() []int {
+	ns := make([]int, 100)
+	for i := range ns {
+		ns[i] = 8 + 4*i
+	}
+	return ns
+}
+
+// A 100-point N-sweep via the incremental SolveSweep pass …
+func BenchmarkPerfSolveSweep100(b *testing.B) {
+	s := perfNet(b, 8)
+	ns := perfSweepNs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SolveSweep(ns); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// … against the same sweep as 100 independent Solve calls.
+func BenchmarkPerfRepeatedSolve100(b *testing.B) {
+	s := perfNet(b, 8)
+	ns := perfSweepNs()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, n := range ns {
+			if _, err := s.Solve(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Steady state of the K=8 H2 chain (direct solve at this size).
+func BenchmarkPerfSteadyStateK8(b *testing.B) {
+	s := perfNet(b, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.SteadyState(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

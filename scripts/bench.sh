@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the root perf harness (BenchmarkPerf*) and snapshots the
+# results as JSON so successive PRs leave a perf trajectory:
+#
+#   scripts/bench.sh [BENCH_1.json]
+#
+# BENCHTIME overrides the per-benchmark budget (default 2s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+benchtime="${BENCHTIME:-2s}"
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+go test -run '^$' -bench 'Perf' -benchmem -benchtime "$benchtime" ./internal/matrix . | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v goversion="$(go env GOVERSION)" \
+    -v cpus="$(nproc)" '
+BEGIN {
+    printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"cpus\": %s,\n", date, goversion, cpus
+    printf "  \"benchmarks\": [\n"
+    n = 0
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    iters = $2; nsop = $3
+    bop = "null"; allocs = "null"
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op") bop = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (n++) printf ",\n"
+    printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, iters, nsop, bop, allocs
+}
+END {
+    printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu
+}' "$tmp" > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: formatting, vet, build, the full test suite under the
+# race detector, and a one-iteration smoke pass over the perf
+# benchmarks. Every PR must leave this green.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+fmt=$(gofmt -l .)
+if [ -n "$fmt" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$fmt" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "== bench smoke (1 iteration) =="
+go test -run '^$' -bench . -benchtime 1x ./internal/matrix ./internal/core .
+
+echo "CI OK"
