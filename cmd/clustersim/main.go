@@ -5,15 +5,20 @@
 // Usage:
 //
 //	clustersim -arch central -k 5 -n 30 -remote-cv2 10 -reps 5000
-//	clustersim -arch distributed -k 3 -n 20 -cpu-cv2 0.5
+//	clustersim -arch distributed -k 3 -n 20 -cpu-cv2 0.5 -timeout 1m
+//
+// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
+// command-line misuse.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
-	"os"
+	"time"
 
+	"finwl/internal/cliutil"
 	"finwl/internal/cluster"
 	"finwl/internal/core"
 	"finwl/internal/network"
@@ -21,65 +26,80 @@ import (
 	"finwl/internal/workload"
 )
 
+type options struct {
+	arch              string
+	k, n, reps        int
+	seed              int64
+	cpuCV2, remoteCV2 float64
+	lowCont, quiet    bool
+}
+
 func main() {
 	var (
-		arch      = flag.String("arch", "central", "central | distributed")
-		k         = flag.Int("k", 5, "workstations")
-		n         = flag.Int("n", 30, "tasks in the workload")
-		reps      = flag.Int("reps", 4000, "simulation replications")
-		seed      = flag.Int64("seed", 1, "simulation seed")
-		cpuCV2    = flag.Float64("cpu-cv2", 1, "CPU service C²")
-		remoteCV2 = flag.Float64("remote-cv2", 1, "shared storage C²")
-		lowCont   = flag.Bool("low-contention", false, "use the low-contention workload")
-		quiet     = flag.Bool("quiet", false, "suppress the per-epoch table")
+		opts    options
+		timeout time.Duration
 	)
+	flag.StringVar(&opts.arch, "arch", "central", "central | distributed")
+	flag.IntVar(&opts.k, "k", 5, "workstations")
+	flag.IntVar(&opts.n, "n", 30, "tasks in the workload")
+	flag.IntVar(&opts.reps, "reps", 4000, "simulation replications")
+	flag.Int64Var(&opts.seed, "seed", 1, "simulation seed")
+	flag.Float64Var(&opts.cpuCV2, "cpu-cv2", 1, "CPU service C²")
+	flag.Float64Var(&opts.remoteCV2, "remote-cv2", 1, "shared storage C²")
+	flag.BoolVar(&opts.lowCont, "low-contention", false, "use the low-contention workload")
+	flag.BoolVar(&opts.quiet, "quiet", false, "suppress the per-epoch table")
+	flag.DurationVar(&timeout, "timeout", 0, "abort after this long (0 = no limit)")
 	flag.Parse()
+	cliutil.Main("clustersim", timeout, func(ctx context.Context) error {
+		return run(ctx, opts)
+	})
+}
 
-	app := workload.Default(*n)
-	if *lowCont {
-		app = workload.LowContention(*n)
+func run(ctx context.Context, opts options) error {
+	app := workload.Default(opts.n)
+	if opts.lowCont {
+		app = workload.LowContention(opts.n)
 	}
 	dists := cluster.Dists{}
-	if *cpuCV2 != 1 {
-		dists.CPU = cluster.WithCV2(*cpuCV2)
+	if opts.cpuCV2 != 1 {
+		dists.CPU = cluster.WithCV2(opts.cpuCV2)
 	}
-	if *remoteCV2 != 1 {
-		dists.Remote = cluster.WithCV2(*remoteCV2)
+	if opts.remoteCV2 != 1 {
+		dists.Remote = cluster.WithCV2(opts.remoteCV2)
 	}
 
 	var (
 		net *network.Network
 		err error
 	)
-	switch *arch {
+	switch opts.arch {
 	case "central":
-		net, err = cluster.Central(*k, app, dists, cluster.Options{})
+		net, err = cluster.Central(opts.k, app, dists, cluster.Options{})
 	case "distributed":
-		net, err = cluster.Distributed(*k, app, dists)
+		net, err = cluster.Distributed(opts.k, app, dists)
 	default:
-		fmt.Fprintf(os.Stderr, "clustersim: unknown arch %q\n", *arch)
-		os.Exit(2)
+		return cliutil.Usagef("unknown arch %q", opts.arch)
 	}
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	solver, err := core.NewSolver(net, *k)
+	solver, err := core.NewSolverCtx(ctx, net, opts.k)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	res, err := solver.Solve(*n)
+	res, err := solver.SolveCtx(ctx, opts.n)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	rep, err := sim.Replicate(sim.Config{Net: net, K: *k, N: *n, Seed: *seed}, *reps)
+	rep, err := sim.ReplicateCtx(ctx, sim.Config{Net: net, K: opts.k, N: opts.n, Seed: opts.seed}, opts.reps)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
 	fmt.Printf("%s cluster: K=%d, N=%d, CPU C²=%v, storage C²=%v, %d reps\n\n",
-		*arch, *k, *n, *cpuCV2, *remoteCV2, *reps)
-	if !*quiet {
+		opts.arch, opts.k, opts.n, opts.cpuCV2, opts.remoteCV2, opts.reps)
+	if !opts.quiet {
 		fmt.Printf("%6s %12s %12s\n", "epoch", "analytic", "simulated")
 		for i := range res.Epochs {
 			fmt.Printf("%6d %12.4f %12.4f\n", i+1, res.Epochs[i], rep.MeanEpochs[i])
@@ -90,9 +110,5 @@ func main() {
 	fmt.Printf("E(T) simulated: %.4f ± %.4f (95%% CI)\n", rep.MeanTotal, rep.TotalCI95)
 	gap := math.Abs(res.TotalTime - rep.MeanTotal)
 	fmt.Printf("gap: %.4f (%.2f CI half-widths)\n", gap, gap/rep.TotalCI95)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "clustersim:", err)
-	os.Exit(1)
+	return nil
 }

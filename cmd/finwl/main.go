@@ -6,9 +6,14 @@
 //	finwl -list             list experiment ids
 //	finwl -exp fig3         run one experiment
 //	finwl -exp all          run every experiment in paper order
+//	finwl -exp all -timeout 2m
+//
+// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
+// command-line misuse.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -16,69 +21,71 @@ import (
 	"strconv"
 	"time"
 
+	"finwl/internal/cliutil"
 	"finwl/internal/experiments"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		list   = flag.Bool("list", false, "list available experiments")
-		format = flag.String("format", "text", "text | csv")
-		out    = flag.String("o", "", "write output to this file instead of stdout")
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list    = flag.Bool("list", false, "list available experiments")
+		format  = flag.String("format", "text", "text | csv")
+		out     = flag.String("o", "", "write output to this file instead of stdout")
+		timeout = flag.Duration("timeout", 0, "abort after this long (0 = no limit)")
 	)
 	flag.Parse()
+	cliutil.Main("finwl", *timeout, func(ctx context.Context) error {
+		return run(ctx, *exp, *list, *format, *out)
+	})
+}
 
+func run(ctx context.Context, exp string, list bool, format, out string) error {
 	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "finwl:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		w = f
 	}
 
-	if *list {
+	if list {
 		for _, id := range experiments.Order {
 			fmt.Println(id)
 		}
-		return
+		return nil
 	}
-	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "finwl: pass -exp <id> or -list")
-		os.Exit(2)
+	if exp == "" {
+		return cliutil.Usagef("pass -exp <id> or -list")
 	}
-	ids := []string{*exp}
-	if *exp == "all" {
+	ids := []string{exp}
+	if exp == "all" {
 		ids = experiments.Order
 	}
 	for _, id := range ids {
 		runner, ok := experiments.Registry[id]
 		if !ok {
-			fmt.Fprintf(os.Stderr, "finwl: unknown experiment %q (use -list)\n", id)
-			os.Exit(2)
+			return cliutil.Usagef("unknown experiment %q (use -list)", id)
 		}
 		start := time.Now()
-		table, err := runner()
+		table, err := cliutil.Await(ctx, runner)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "finwl: %s: %v\n", id, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", id, err)
 		}
-		var err2 error
-		if *format == "csv" {
-			err2 = renderCSV(w, table)
+		if format == "csv" {
+			err = renderCSV(w, table)
 		} else {
-			err2 = table.Render(w)
+			err = table.Render(w)
 		}
-		if err2 != nil {
-			fmt.Fprintf(os.Stderr, "finwl: %s: render: %v\n", id, err2)
-			os.Exit(1)
+		if err != nil {
+			return fmt.Errorf("%s: render: %w", id, err)
 		}
-		if *format == "text" {
+		if format == "text" {
 			fmt.Fprintf(w, "   (%s computed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	return nil
 }
 
 // renderCSV writes the table as id,x,<series...> rows with a header.

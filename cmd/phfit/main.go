@@ -11,66 +11,85 @@
 //	phfit -family coxian -mean 12 -cv2 0.7
 //	phfit -family h2 -mean 12 -cv2 10 -f0 0.5     (pdf(0)-fit, §5.4.2)
 //	phfit -fit-csv trace.csv -branches 3          (EM fit from a trace)
+//
+// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
+// command-line misuse.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"finwl/internal/cliutil"
 	"finwl/internal/phase"
 	"finwl/internal/trace"
 )
 
+type options struct {
+	family string
+	mean   float64
+	cv2    float64
+	stages int
+	alpha  float64
+	f0     float64
+	grid   int
+	fitCSV string
+	branch int
+}
+
 func main() {
 	var (
-		family = flag.String("family", "h2", "exp | erlang | h2 | coxian | tpt")
-		mean   = flag.Float64("mean", 1, "target mean")
-		cv2    = flag.Float64("cv2", 2, "target squared coefficient of variation")
-		stages = flag.Int("stages", 2, "stage/branch count (erlang, tpt)")
-		alpha  = flag.Float64("alpha", 1.4, "tail exponent (tpt)")
-		f0     = flag.Float64("f0", 0, "pdf at 0 for the three-parameter H2 fit (0 = balanced means)")
-		grid   = flag.Int("grid", 8, "points of the distribution function to print")
-		fitCSV = flag.String("fit-csv", "", "EM-fit a hyperexponential to the one-column CSV trace in this file")
-		branch = flag.Int("branches", 2, "EM branches with -fit-csv")
+		opts    options
+		timeout time.Duration
 	)
+	flag.StringVar(&opts.family, "family", "h2", "exp | erlang | h2 | coxian | tpt")
+	flag.Float64Var(&opts.mean, "mean", 1, "target mean")
+	flag.Float64Var(&opts.cv2, "cv2", 2, "target squared coefficient of variation")
+	flag.IntVar(&opts.stages, "stages", 2, "stage/branch count (erlang, tpt)")
+	flag.Float64Var(&opts.alpha, "alpha", 1.4, "tail exponent (tpt)")
+	flag.Float64Var(&opts.f0, "f0", 0, "pdf at 0 for the three-parameter H2 fit (0 = balanced means)")
+	flag.IntVar(&opts.grid, "grid", 8, "points of the distribution function to print")
+	flag.StringVar(&opts.fitCSV, "fit-csv", "", "EM-fit a hyperexponential to the one-column CSV trace in this file")
+	flag.IntVar(&opts.branch, "branches", 2, "EM branches with -fit-csv")
+	flag.DurationVar(&timeout, "timeout", 0, "abort after this long (0 = no limit)")
 	flag.Parse()
+	cliutil.Main("phfit", timeout, func(ctx context.Context) error {
+		return run(ctx, opts)
+	})
+}
 
-	if *fitCSV != "" {
-		fitFromTrace(*fitCSV, *branch, *grid)
-		return
+func run(ctx context.Context, opts options) error {
+	if opts.fitCSV != "" {
+		return fitFromTrace(ctx, opts.fitCSV, opts.branch, opts.grid)
 	}
 
-	var (
-		d   *phase.PH
-		err error
-	)
-	switch *family {
-	case "exp":
-		d = phase.ExpoMean(*mean)
-	case "erlang":
-		d = phase.ErlangMean(*stages, *mean)
-	case "h2":
-		if *f0 > 0 {
-			d, err = phase.HyperExpFitPDF0(*mean, *cv2, *f0)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "phfit:", err)
-				os.Exit(1)
+	d, err := cliutil.Await(ctx, func() (*phase.PH, error) {
+		switch opts.family {
+		case "exp":
+			return phase.ExpoMean(opts.mean)
+		case "erlang":
+			return phase.ErlangMean(opts.stages, opts.mean)
+		case "h2":
+			if opts.f0 > 0 {
+				return phase.HyperExpFitPDF0(opts.mean, opts.cv2, opts.f0)
 			}
-		} else {
-			d = phase.HyperExpFit(*mean, *cv2)
+			return phase.HyperExpFit(opts.mean, opts.cv2)
+		case "coxian":
+			return phase.Coxian2(opts.mean, opts.cv2)
+		case "tpt":
+			return phase.TPT(opts.stages, opts.alpha, opts.mean)
+		default:
+			return nil, cliutil.Usagef("unknown family %q", opts.family)
 		}
-	case "coxian":
-		d = phase.Coxian2(*mean, *cv2)
-	case "tpt":
-		d = phase.TPT(*stages, *alpha, *mean)
-	default:
-		fmt.Fprintf(os.Stderr, "phfit: unknown family %q\n", *family)
-		os.Exit(2)
+	})
+	if err != nil {
+		return err
 	}
 	if err := d.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "phfit: fit produced an invalid distribution:", err)
-		os.Exit(1)
+		return fmt.Errorf("fit produced an invalid distribution: %w", err)
 	}
 
 	fmt.Println(d)
@@ -83,10 +102,11 @@ func main() {
 	fmt.Print(indent(d.B().String()))
 
 	fmt.Println("\n  t, F(t), R(t):")
-	for i := 1; i <= *grid; i++ {
+	for i := 1; i <= opts.grid; i++ {
 		t := d.Mean() * float64(i) / 2
 		fmt.Printf("  %8.4g  %8.6f  %8.6f\n", t, d.CDF(t), d.Reliability(t))
 	}
+	return nil
 }
 
 func fmtVec(v []float64) string {
@@ -127,29 +147,27 @@ func splitLines(s string) []string {
 
 // fitFromTrace EM-fits a hyperexponential to a CSV trace and reports
 // both the trace summary and the fitted law.
-func fitFromTrace(path string, branches, grid int) {
+func fitFromTrace(ctx context.Context, path string, branches, grid int) error {
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phfit:", err)
-		os.Exit(1)
+		return err
 	}
 	defer f.Close()
 	samples, err := trace.ReadCSV(f)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phfit:", err)
-		os.Exit(1)
+		return err
 	}
 	sum, err := trace.Summarize(samples)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phfit:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("trace: n=%d mean=%.6g C²=%.6g median=%.6g p99=%.6g max=%.6g\n",
 		sum.N, sum.Mean, sum.CV2, sum.Median, sum.P99, sum.Max)
-	res, err := phase.FitHyperEM(samples, branches, 1000, 1e-10)
+	res, err := cliutil.Await(ctx, func() (*phase.EMResult, error) {
+		return phase.FitHyperEM(samples, branches, 1000, 1e-10)
+	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "phfit:", err)
-		os.Exit(1)
+		return err
 	}
 	fmt.Printf("EM: %d iterations, converged=%v, logL=%.4f\n\n", res.Iterations, res.Converged, res.LogLikelihood)
 	d := res.Dist
@@ -161,4 +179,5 @@ func fitFromTrace(path string, branches, grid int) {
 		t := d.Mean() * float64(i) / 2
 		fmt.Printf("  %8.4g  %8.6f  %8.6f\n", t, d.CDF(t), d.Reliability(t))
 	}
+	return nil
 }

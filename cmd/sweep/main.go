@@ -8,68 +8,90 @@
 //
 //	sweep -var cv2 -component remote -from 1 -to 100 -steps 12 -k 8 -n 30
 //	sweep -var k -from 1 -to 10 -steps 10 -n 100 -low-contention > speedup.csv
-//	sweep -var n -from 10 -to 200 -steps 10 -k 5
+//	sweep -var n -from 10 -to 200 -steps 10 -k 5 -timeout 30s
+//
+// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
+// command-line misuse.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
+	"time"
 
+	"finwl/internal/cliutil"
 	"finwl/internal/cluster"
 	"finwl/internal/core"
 	"finwl/internal/network"
 	"finwl/internal/workload"
 )
 
+type options struct {
+	variable  string
+	component string
+	arch      string
+	from, to  float64
+	steps     int
+	k, n      int
+	lowCont   bool
+}
+
 func main() {
 	var (
-		variable  = flag.String("var", "cv2", "k | n | cv2 | cycles | remotefrac")
-		component = flag.String("component", "remote", "cpu | remote (for -var cv2)")
-		arch      = flag.String("arch", "central", "central | distributed")
-		from      = flag.Float64("from", 1, "sweep start")
-		to        = flag.Float64("to", 10, "sweep end")
-		steps     = flag.Int("steps", 10, "number of sweep points")
-		k         = flag.Int("k", 5, "workstations")
-		n         = flag.Int("n", 30, "tasks")
-		lowCont   = flag.Bool("low-contention", false, "use the low-contention workload")
+		opts    options
+		timeout time.Duration
 	)
+	flag.StringVar(&opts.variable, "var", "cv2", "k | n | cv2 | cycles | remotefrac")
+	flag.StringVar(&opts.component, "component", "remote", "cpu | remote (for -var cv2)")
+	flag.StringVar(&opts.arch, "arch", "central", "central | distributed")
+	flag.Float64Var(&opts.from, "from", 1, "sweep start")
+	flag.Float64Var(&opts.to, "to", 10, "sweep end")
+	flag.IntVar(&opts.steps, "steps", 10, "number of sweep points")
+	flag.IntVar(&opts.k, "k", 5, "workstations")
+	flag.IntVar(&opts.n, "n", 30, "tasks")
+	flag.BoolVar(&opts.lowCont, "low-contention", false, "use the low-contention workload")
+	flag.DurationVar(&timeout, "timeout", 0, "abort after this long (0 = no limit)")
 	flag.Parse()
-	if *steps < 1 {
-		fatal(fmt.Errorf("steps must be >= 1"))
-	}
+	cliutil.Main("sweep", timeout, func(ctx context.Context) error {
+		return run(ctx, opts)
+	})
+}
 
-	xs := make([]float64, *steps)
+func run(ctx context.Context, opts options) error {
+	if opts.steps < 1 {
+		return cliutil.Usagef("steps must be >= 1, got %d", opts.steps)
+	}
+	xs := make([]float64, opts.steps)
 	for i := range xs {
-		xs[i] = *from
-		if *steps > 1 {
-			xs[i] += (*to - *from) * float64(i) / float64(*steps-1)
+		xs[i] = opts.from
+		if opts.steps > 1 {
+			xs[i] += (opts.to - opts.from) * float64(i) / float64(opts.steps-1)
 		}
 	}
 
 	fmt.Println("x,total_time,speedup,tss,first_epoch,last_epoch")
 
-	if *variable == "n" {
+	if opts.variable == "n" {
 		// The network is independent of N: build one solver, factor it
 		// once, and evaluate every workload size in a single SolveSweep
 		// feeding pass with checkpointed drains.
-		sweepN(xs, *arch, *k, *lowCont)
-		return
+		return sweepN(ctx, xs, opts.arch, opts.k, opts.lowCont)
 	}
 
-	for i := 0; i < *steps; i++ {
+	for i := 0; i < opts.steps; i++ {
 		x := xs[i]
-		app := workload.Default(*n)
-		if *lowCont {
-			app = workload.LowContention(*n)
+		app := workload.Default(opts.n)
+		if opts.lowCont {
+			app = workload.LowContention(opts.n)
 		}
-		kk, nn := *k, *n
+		kk, nn := opts.k, opts.n
 		dists := cluster.Dists{}
-		switch *variable {
+		switch opts.variable {
 		case "k":
 			kk = int(x + 0.5)
 		case "cv2":
-			if *component == "cpu" {
+			if opts.component == "cpu" {
 				dists.CPU = cluster.WithCV2(x)
 			} else {
 				dists.Remote = cluster.WithCV2(x)
@@ -79,42 +101,46 @@ func main() {
 		case "remotefrac":
 			app.RemoteFrac = x
 		default:
-			fatal(fmt.Errorf("unknown sweep variable %q", *variable))
+			return cliutil.Usagef("unknown sweep variable %q", opts.variable)
 		}
 
-		var (
-			net *network.Network
-			err error
-		)
-		if *arch == "central" {
-			net, err = cluster.Central(kk, app, dists, cluster.Options{})
-		} else {
-			net, err = cluster.Distributed(kk, app, dists)
-		}
+		net, err := buildNet(opts.arch, kk, app, dists)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		s, err := core.NewSolver(net, kk)
+		s, err := core.NewSolverCtx(ctx, net, kk)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		res, err := s.Solve(nn)
+		res, err := s.SolveCtx(ctx, nn)
 		if err != nil {
-			fatal(err)
+			return err
 		}
-		_, tss, err := s.SteadyState()
+		_, tss, err := s.SteadyStateCtx(ctx)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("%g,%g,%g,%g,%g,%g\n",
 			x, res.TotalTime, app.SerialTime()/res.TotalTime, tss,
 			res.Epochs[0], res.Epochs[len(res.Epochs)-1])
 	}
+	return nil
+}
+
+func buildNet(arch string, k int, app workload.App, dists cluster.Dists) (*network.Network, error) {
+	switch arch {
+	case "central":
+		return cluster.Central(k, app, dists, cluster.Options{})
+	case "distributed":
+		return cluster.Distributed(k, app, dists)
+	default:
+		return nil, cliutil.Usagef("unknown arch %q", arch)
+	}
 }
 
 // sweepN prints the CSV rows of an N-sweep using one solver and one
 // incremental SolveSweep pass over every requested workload size.
-func sweepN(xs []float64, arch string, k int, lowCont bool) {
+func sweepN(ctx context.Context, xs []float64, arch string, k int, lowCont bool) error {
 	mkApp := workload.Default
 	if lowCont {
 		mkApp = workload.LowContention
@@ -123,39 +149,26 @@ func sweepN(xs []float64, arch string, k int, lowCont bool) {
 	for i, x := range xs {
 		ns[i] = int(x + 0.5)
 	}
-	app := mkApp(ns[0])
-	var (
-		net *network.Network
-		err error
-	)
-	if arch == "central" {
-		net, err = cluster.Central(k, app, cluster.Dists{}, cluster.Options{})
-	} else {
-		net, err = cluster.Distributed(k, app, cluster.Dists{})
-	}
+	net, err := buildNet(arch, k, mkApp(ns[0]), cluster.Dists{})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	s, err := core.NewSolver(net, k)
+	s, err := core.NewSolverCtx(ctx, net, k)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	results, err := s.SolveSweep(ns)
+	results, err := s.SolveSweepCtx(ctx, ns)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	_, tss, err := s.SteadyState()
+	_, tss, err := s.SteadyStateCtx(ctx)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	for i, res := range results {
 		fmt.Printf("%g,%g,%g,%g,%g,%g\n",
 			xs[i], res.TotalTime, mkApp(ns[i]).SerialTime()/res.TotalTime, tss,
 			res.Epochs[0], res.Epochs[len(res.Epochs)-1])
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "sweep:", err)
-	os.Exit(1)
+	return nil
 }

@@ -20,8 +20,11 @@ func main() {
 	app := workload.Default(30)
 	const k = 5
 
-	tpt := func(mean float64) *phase.PH { return phase.TPT(12, 1.4, mean) }
-	probe := phase.TPT(12, 1.4, 1)
+	tpt := func(mean float64) (*phase.PH, error) { return phase.TPT(12, 1.4, mean) }
+	probe, err := phase.TPT(12, 1.4, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("TPT service law: %d exponential branches, tail index α=1.4, C²=%.1f\n\n", probe.Dim(), probe.CV2())
 
 	type row struct {

@@ -36,7 +36,11 @@ func main() {
 
 	fmt.Println("Single-task calibration (paper §5.4):")
 	names := []string{"CPU", "Disk", "Comm", "RDisk"}
-	for i, v := range net.TimeComponents() {
+	tc, err := net.TimeComponents()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, v := range tc {
 		fmt.Printf("  time at %-6s %6.3f\n", names[i], v)
 	}
 	fmt.Printf("  total E(T) one task, no contention: %.3f\n\n", net.AsPH().Mean())
@@ -73,7 +77,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pf := productform.FromNetwork(net).Interdeparture(k)
+	pfModel, err := productform.FromNetwork(net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pf := pfModel.Interdeparture(k)
 	fmt.Printf("steady-state inter-departure time: %.4f\n", tss)
 	fmt.Printf("product-form (exponential) value:  %.4f\n", pf)
 	fmt.Printf("what assuming product form would miss: %.1f%%\n", 100*(tss-pf)/tss)

@@ -48,7 +48,11 @@ func main() {
 
 		// The product-form estimate ignores both transients and the
 		// CPU burstiness: every task is costed at the steady rate.
-		pfTime := float64(n) * productform.FromNetwork(net).Interdeparture(k)
+		pfModel, err := productform.FromNetwork(net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pfTime := float64(n) * pfModel.Interdeparture(k)
 		pfSP := serial / pfTime
 
 		// Fork/join order-statistics prediction: tasks run as

@@ -109,7 +109,7 @@ func main() {
 		fmt.Printf("%-20s %10.2f %10.2f %10.2f\n", label, mean, p90, p99)
 	}
 	predict("exponential", cluster.Exponential)
-	predict("H3 EM fit", func(mean float64) *phase.PH { return fit.Dist.ScaleMean(mean) })
+	predict("H3 EM fit", func(mean float64) (*phase.PH, error) { return fit.Dist.ScaleMean(mean), nil })
 
 	fmt.Println("\nMeans barely move — but the trace-driven p99 sits far above the")
 	fmt.Println("exponential model's, and the EM-fitted law closes most of that gap.")

@@ -17,7 +17,6 @@ import (
 	"finwl/internal/core"
 	"finwl/internal/matrix"
 	"finwl/internal/network"
-	"finwl/internal/phase"
 	"finwl/internal/statespace"
 	"finwl/internal/workload"
 )
@@ -71,18 +70,28 @@ func DistributedAlloc(k int, app workload.App, dists cluster.Dists, fractions, s
 	route := matrix.New(m, m)
 	comm := m - 1
 	stations := make([]network.Station, m)
-	stations[0] = network.Station{Name: "CPU", Kind: statespace.Delay, Service: dists.CPU(q * app.C * app.X)}
+	svcCPU, err := dists.CPU(q * app.C * app.X)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: CPU service: %w", err)
+	}
+	stations[0] = network.Station{Name: "CPU", Kind: statespace.Delay, Service: svcCPU}
 	for i := 0; i < k; i++ {
 		p := fractions[i] / sum
 		route.Set(0, 1+i, p*(1-q))
 		route.Set(1+i, comm, 1)
-		var svc *phase.PH
 		perVisit := diskWork / (speeds[i] * visits)
-		svc = dists.Remote(perVisit)
+		svc, err := dists.Remote(perVisit)
+		if err != nil {
+			return nil, fmt.Errorf("alloc: disk %d service: %w", i+1, err)
+		}
 		stations[1+i] = network.Station{Name: fmt.Sprintf("D%d", i+1), Kind: statespace.Queue, Service: svc}
 	}
 	route.Set(comm, 0, 1)
-	stations[comm] = network.Station{Name: "Comm", Kind: statespace.Queue, Service: dists.Comm(app.B * app.Y / visits)}
+	svcComm, err := dists.Comm(app.B * app.Y / visits)
+	if err != nil {
+		return nil, fmt.Errorf("alloc: Comm service: %w", err)
+	}
+	stations[comm] = network.Station{Name: "Comm", Kind: statespace.Queue, Service: svcComm}
 
 	exit := make([]float64, m)
 	exit[0] = q

@@ -19,7 +19,10 @@ func TestBoundsBracketMVA(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := productform.FromNetwork(net)
+	m, err := productform.FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for n := 1; n <= 12; n++ {
 		x := m.MVA(n).Throughput
 		b, err := FromModel(m, n)
@@ -85,7 +88,10 @@ func TestBoundsSaturation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := productform.FromNetwork(net)
+	m, err := productform.FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
 	b, err := FromModel(m, 100)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,188 @@
+// Package check is the validation layer of the solver pipeline: the
+// typed-error vocabulary every package reports failures in, plus the
+// structural screens (probability vectors, stochastic rows, positive
+// rates, NaN/Inf filters) that public constructors run on their inputs
+// before any numerical work begins.
+//
+// The error contract is deliberately small. Every failure a caller can
+// act on matches exactly one of the sentinels below under errors.Is:
+//
+//	ErrInvalidModel — the input fails a structural invariant; fix the
+//	                  model, retrying cannot help.
+//	ErrSingular     — a linear system is numerically singular after the
+//	                  fallback ladder (refine → rescale → error).
+//	ErrNotConverged — an iterative method hit its iteration cap; the
+//	                  message carries the final residual.
+//	ErrNumeric      — a computation produced NaN/Inf that the guards
+//	                  caught before it could be returned as a result.
+//	ErrCanceled     — the caller's context was canceled or its deadline
+//	                  expired; also matches context.Canceled /
+//	                  context.DeadlineExceeded via Unwrap.
+//
+// check imports only the standard library so every package — including
+// internal/matrix at the bottom of the stack — can use it.
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalidModel is returned when an input fails structural
+// validation at a public constructor.
+var ErrInvalidModel = errors.New("invalid model")
+
+// ErrSingular is returned when a linear system is numerically
+// singular and the fallback ladder could not rescue it.
+var ErrSingular = errors.New("singular matrix")
+
+// ErrNotConverged is returned when an iterative method exhausts its
+// iteration budget without meeting its tolerance.
+var ErrNotConverged = errors.New("did not converge")
+
+// ErrNumeric is returned when a guard catches a NaN or Inf that would
+// otherwise have been silently returned as a result.
+var ErrNumeric = errors.New("non-finite numerical result")
+
+// ErrCanceled is returned when a context is canceled or its deadline
+// expires mid-computation.
+var ErrCanceled = errors.New("computation canceled")
+
+// canceledError wraps a context error so that errors.Is matches both
+// ErrCanceled and the underlying context sentinel.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string { return "computation canceled: " + e.cause.Error() }
+func (e *canceledError) Unwrap() error { return e.cause }
+func (e *canceledError) Is(target error) bool {
+	return target == ErrCanceled
+}
+
+// Canceled converts ctx's cancellation state into a typed error that
+// matches both ErrCanceled and the context package's own sentinel. It
+// returns nil when the context is still live.
+func Canceled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return &canceledError{cause: err}
+	}
+	return nil
+}
+
+// Invalid builds an ErrInvalidModel-matching error with a formatted
+// description.
+func Invalid(format string, args ...any) error {
+	return fmt.Errorf("%s: %w", fmt.Sprintf(format, args...), ErrInvalidModel)
+}
+
+// Finite rejects NaN and ±Inf.
+func Finite(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return Invalid("%s is %v, want finite", name, v)
+	}
+	return nil
+}
+
+// FiniteVec rejects any NaN or ±Inf element.
+func FiniteVec(name string, v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Invalid("%s[%d] is %v, want finite", name, i, x)
+		}
+	}
+	return nil
+}
+
+// Positive requires v > 0 and finite.
+func Positive(name string, v float64) error {
+	if err := Finite(name, v); err != nil {
+		return err
+	}
+	if v <= 0 {
+		return Invalid("%s is %v, want > 0", name, v)
+	}
+	return nil
+}
+
+// PositiveVec requires every element > 0 and finite — the screen for
+// rate vectors.
+func PositiveVec(name string, v []float64) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x <= 0 {
+			return Invalid("%s[%d] is %v, want positive finite", name, i, x)
+		}
+	}
+	return nil
+}
+
+// ProbTol is the tolerance used when checking that probabilities sum
+// to one.
+const ProbTol = 1e-9
+
+// ProbVec requires v to be a probability vector: finite, non-negative
+// entries summing to 1 within ProbTol.
+func ProbVec(name string, v []float64) error {
+	if len(v) == 0 {
+		return Invalid("%s is empty", name)
+	}
+	var sum float64
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Invalid("%s[%d] is %v, want finite", name, i, x)
+		}
+		if x < 0 {
+			return Invalid("%s[%d] is %v, want >= 0", name, i, x)
+		}
+		sum += x
+	}
+	if math.Abs(sum-1) > ProbTol {
+		return Invalid("%s sums to %v, want 1", name, sum)
+	}
+	return nil
+}
+
+// SubStochasticRow requires finite, non-negative entries whose sum does
+// not exceed 1 + ProbTol — the invariant of internal transition rows
+// whose deficit is the exit probability.
+func SubStochasticRow(name string, row []float64) error {
+	var sum float64
+	for j, x := range row {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return Invalid("%s[%d] is %v, want finite", name, j, x)
+		}
+		if x < 0 {
+			return Invalid("%s[%d] is %v, want >= 0", name, j, x)
+		}
+		sum += x
+	}
+	if sum > 1+ProbTol {
+		return Invalid("%s sums to %v > 1", name, sum)
+	}
+	return nil
+}
+
+// StochasticRow requires a row that sums to exactly 1 within ProbTol
+// on top of the SubStochasticRow screens.
+func StochasticRow(name string, row []float64) error {
+	if err := SubStochasticRow(name, row); err != nil {
+		return err
+	}
+	var sum float64
+	for _, x := range row {
+		sum += x
+	}
+	if math.Abs(sum-1) > ProbTol {
+		return Invalid("%s sums to %v, want 1", name, sum)
+	}
+	return nil
+}
+
+// Count requires n >= min, the screen for populations and workload
+// sizes.
+func Count(name string, n, min int) error {
+	if n < min {
+		return Invalid("%s is %d, want >= %d", name, n, min)
+	}
+	return nil
+}

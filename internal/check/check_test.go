@@ -1,0 +1,81 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+// timeZero is a deadline already in the past.
+func timeZero() time.Time { return time.Now().Add(-time.Hour) }
+
+func TestCanceledMatchesBothSentinels(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Canceled(ctx)
+	if err == nil {
+		t.Fatal("Canceled on canceled ctx returned nil")
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Errorf("error %v does not match ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v does not match context.Canceled", err)
+	}
+}
+
+func TestCanceledDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), timeZero())
+	defer cancel()
+	err := Canceled(ctx)
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline error %v should match ErrCanceled and DeadlineExceeded", err)
+	}
+}
+
+func TestCanceledLiveContext(t *testing.T) {
+	if err := Canceled(context.Background()); err != nil {
+		t.Errorf("live context gave %v", err)
+	}
+}
+
+func TestScreens(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		err  error
+		bad  bool
+	}{
+		{"finite ok", Finite("x", 1.5), false},
+		{"finite nan", Finite("x", nan), true},
+		{"finite inf", Finite("x", math.Inf(1)), true},
+		{"positive ok", Positive("x", 2), false},
+		{"positive zero", Positive("x", 0), true},
+		{"positive nan", Positive("x", nan), true},
+		{"probvec ok", ProbVec("p", []float64{0.25, 0.75}), false},
+		{"probvec empty", ProbVec("p", nil), true},
+		{"probvec neg", ProbVec("p", []float64{-0.5, 1.5}), true},
+		{"probvec sum", ProbVec("p", []float64{0.2, 0.2}), true},
+		{"probvec nan", ProbVec("p", []float64{nan, 1}), true},
+		{"substoch ok", SubStochasticRow("r", []float64{0.2, 0.3}), false},
+		{"substoch over", SubStochasticRow("r", []float64{0.8, 0.4}), true},
+		{"stoch ok", StochasticRow("r", []float64{0.5, 0.5}), false},
+		{"stoch under", StochasticRow("r", []float64{0.5, 0.4}), true},
+		{"positivevec bad", PositiveVec("mu", []float64{1, 0}), true},
+		{"count ok", Count("n", 3, 1), false},
+		{"count bad", Count("n", 0, 1), true},
+	}
+	for _, c := range cases {
+		if c.bad && c.err == nil {
+			t.Errorf("%s: want error, got nil", c.name)
+		}
+		if !c.bad && c.err != nil {
+			t.Errorf("%s: want nil, got %v", c.name, c.err)
+		}
+		if c.bad && !errors.Is(c.err, ErrInvalidModel) {
+			t.Errorf("%s: %v does not match ErrInvalidModel", c.name, c.err)
+		}
+	}
+}

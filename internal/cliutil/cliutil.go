@@ -1,0 +1,71 @@
+// Package cliutil carries the shared plumbing of the cmd/ binaries:
+// the run()-returns-error main wrapper with distinct exit codes, and
+// the -timeout flag's context construction. Every command exits 0 on
+// success, 1 on a runtime failure (solver error, I/O, timeout), and 2
+// on command-line misuse — with a one-line message on stderr, never a
+// panic or a stack trace.
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+)
+
+// UsageError marks command-line misuse; Main exits 2 for it.
+type UsageError struct{ Msg string }
+
+func (e *UsageError) Error() string { return e.Msg }
+
+// Usagef builds a UsageError with a formatted message.
+func Usagef(format string, args ...any) error {
+	return &UsageError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Main runs run under a context honoring timeout (0 = no limit) and
+// converts its error into the exit-code contract above. It does not
+// return on failure.
+func Main(name string, timeout time.Duration, run func(ctx context.Context) error) {
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	err := run(ctx)
+	cancel()
+	if err == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+	var ue *UsageError
+	if errors.As(err, &ue) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// Await runs fn concurrently and returns its result, or the context's
+// error if the deadline lands first. It exists to put legacy
+// synchronous call trees (which cannot observe ctx themselves) under
+// the -timeout contract: an abandoned fn keeps running, but Main is
+// about to exit the process anyway.
+func Await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := fn()
+		ch <- result{v, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-ctx.Done():
+		var zero T
+		return zero, fmt.Errorf("timed out: %w", ctx.Err())
+	}
+}

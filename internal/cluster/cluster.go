@@ -28,21 +28,32 @@ import (
 // Dist makes a service distribution with a given mean. The cluster
 // builders compute each device's mean service time from the
 // application model and pass it here, so a Dist chooses only the
-// *shape* (exponential, Erlang, H2, …).
-type Dist func(mean float64) *phase.PH
+// *shape* (exponential, Erlang, H2, …). A Dist reports invalid
+// parameters (its own, or a mean the calibration should never have
+// produced) as an error, which the builders propagate.
+type Dist func(mean float64) (*phase.PH, error)
 
 // Exponential is the default service shape.
-func Exponential(mean float64) *phase.PH { return phase.ExpoMean(mean) }
+func Exponential(mean float64) (*phase.PH, error) { return phase.ExpoMean(mean) }
 
 // WithCV2 returns a Dist with the given squared coefficient of
 // variation (Erlang below 1, exponential at 1, balanced H2 above 1).
 func WithCV2(cv2 float64) Dist {
-	return func(mean float64) *phase.PH { return phase.FitCV2(mean, cv2) }
+	return func(mean float64) (*phase.PH, error) { return phase.FitCV2(mean, cv2) }
 }
 
 // ErlangStages returns a Dist that is Erlang with a fixed stage count.
 func ErlangStages(m int) Dist {
-	return func(mean float64) *phase.PH { return phase.ErlangMean(m, mean) }
+	return func(mean float64) (*phase.PH, error) { return phase.ErlangMean(m, mean) }
+}
+
+// service invokes d for one station and attributes any failure to it.
+func service(station string, d Dist, mean float64) (*phase.PH, error) {
+	ph, err := d(mean)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %s service: %w", station, err)
+	}
+	return ph, nil
 }
 
 // Dists selects the service shape of each cluster component. Nil
@@ -135,19 +146,37 @@ func Central(k int, app workload.App, dists Dists, opts Options) (*network.Netwo
 	if opts.RemoteAsDelay {
 		remoteKind = statespace.Delay
 	}
+	svcCPU, err := service("CPU", dists.CPU, p.TCPU)
+	if err != nil {
+		return nil, err
+	}
+	svcDisk, err := service("Disk", dists.Disk, p.TDisk)
+	if err != nil {
+		return nil, err
+	}
+	svcComm, err := service("Comm", dists.Comm, p.TComm)
+	if err != nil {
+		return nil, err
+	}
+	svcRemote, err := service("RDisk", dists.Remote, p.TRD)
+	if err != nil {
+		return nil, err
+	}
 	net := &network.Network{
 		Stations: []network.Station{
-			{Name: "CPU", Kind: statespace.Delay, Service: dists.CPU(p.TCPU)},
-			{Name: "Disk", Kind: statespace.Delay, Service: dists.Disk(p.TDisk)},
-			{Name: "Comm", Kind: statespace.Queue, Service: dists.Comm(p.TComm)},
-			{Name: "RDisk", Kind: remoteKind, Service: dists.Remote(p.TRD)},
+			{Name: "CPU", Kind: statespace.Delay, Service: svcCPU},
+			{Name: "Disk", Kind: statespace.Delay, Service: svcDisk},
+			{Name: "Comm", Kind: statespace.Queue, Service: svcComm},
+			{Name: "RDisk", Kind: remoteKind, Service: svcRemote},
 		},
 		Route: route,
 		Exit:  []float64{p.Q, 0, 0, 0},
 		Entry: []float64{1, 0, 0, 0},
 	}
 	if opts.SchedOverhead > 0 {
-		addSchedStage(net, opts)
+		if err := addSchedStage(net, opts); err != nil {
+			return nil, err
+		}
 	}
 	if err := net.Validate(); err != nil {
 		return nil, err
@@ -157,7 +186,11 @@ func Central(k int, app workload.App, dists Dists, opts Options) (*network.Netwo
 
 // addSchedStage appends a dispatch station that every entering task
 // visits before reaching the original entry station.
-func addSchedStage(net *network.Network, opts Options) {
+func addSchedStage(net *network.Network, opts Options) error {
+	svc, err := phase.ExpoMean(opts.SchedOverhead)
+	if err != nil {
+		return fmt.Errorf("cluster: Sched service: %w", err)
+	}
 	m := len(net.Stations)
 	kind := statespace.Delay
 	if opts.SchedShared {
@@ -177,12 +210,13 @@ func addSchedStage(net *network.Network, opts Options) {
 	net.Stations = append(net.Stations, network.Station{
 		Name:    "Sched",
 		Kind:    kind,
-		Service: phase.ExpoMean(opts.SchedOverhead),
+		Service: svc,
 	})
 	net.Exit = append(net.Exit, 0)
 	entry := make([]float64, m+1)
 	entry[m] = 1
 	net.Entry = entry
+	return nil
 }
 
 // DistributedParams are the derived parameters of the distributed
@@ -242,15 +276,27 @@ func Distributed(k int, app workload.App, dists Dists) (*network.Network, error)
 	}
 	route.Set(comm, 0, 1) // comm → CPU
 	stations := make([]network.Station, m)
-	stations[0] = network.Station{Name: "CPU", Kind: statespace.Delay, Service: dists.CPU(p.TCPU)}
+	svcCPU, err := service("CPU", dists.CPU, p.TCPU)
+	if err != nil {
+		return nil, err
+	}
+	svcComm, err := service("Comm", dists.Comm, p.TComm)
+	if err != nil {
+		return nil, err
+	}
+	stations[0] = network.Station{Name: "CPU", Kind: statespace.Delay, Service: svcCPU}
 	for i := 0; i < k; i++ {
+		svcDisk, err := service(fmt.Sprintf("D%d", i+1), dists.Remote, p.TDisk)
+		if err != nil {
+			return nil, err
+		}
 		stations[1+i] = network.Station{
 			Name:    fmt.Sprintf("D%d", i+1),
 			Kind:    statespace.Queue,
-			Service: dists.Remote(p.TDisk),
+			Service: svcDisk,
 		}
 	}
-	stations[comm] = network.Station{Name: "Comm", Kind: statespace.Queue, Service: dists.Comm(p.TComm)}
+	stations[comm] = network.Station{Name: "Comm", Kind: statespace.Queue, Service: svcComm}
 	exit := make([]float64, m)
 	exit[0] = p.Q
 	entry := make([]float64, m)

@@ -24,7 +24,10 @@ func TestCentralTimeComponents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tc := net.TimeComponents()
+	tc, err := net.TimeComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
 	approx(t, tc[0], app.C*app.X, 1e-9, "CPU time C·X")
 	approx(t, tc[1], (1-app.C)*app.X, 1e-9, "disk time (1−C)·X")
 	approx(t, tc[2], app.B*app.Y, 1e-9, "comm time B·Y")
@@ -43,7 +46,10 @@ func TestCentralTimeComponentsWithPhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tc := net.TimeComponents()
+	tc, err := net.TimeComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
 	approx(t, tc[0], app.C*app.X, 1e-9, "CPU time with Erlang")
 	approx(t, tc[3], app.Y, 1e-9, "remote time with H2")
 }
@@ -55,7 +61,10 @@ func TestDistributedTimeComponents(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tc := net.TimeComponents()
+	tc, err := net.TimeComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
 	approx(t, tc[0], app.C*app.X, 1e-9, "CPU time")
 	diskTotal := (1-app.C)*app.X + app.Y
 	for i := 1; i <= k; i++ {
@@ -227,7 +236,10 @@ func TestCentralMultitask(t *testing.T) {
 		t.Fatal("degree 1 should return the plain central model")
 	}
 	// Calibration: single-task time components unchanged by pooling.
-	tc := net.TimeComponents()
+	tc, err := net.TimeComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
 	approx(t, tc[0], app.C*app.X, 1e-9, "multitask CPU time")
 	// Erlang CPUs cannot multiprogram in this model.
 	if _, _, err := CentralMultitask(3, 2, app, Dists{CPU: ErlangStages(2)}, Options{}); err == nil {

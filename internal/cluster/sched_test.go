@@ -26,7 +26,10 @@ func TestSchedOverheadStage(t *testing.T) {
 	}
 	// Single-task flow time gains exactly the overhead (delay stage,
 	// visited once).
-	tc := net.TimeComponents()
+	tc, err := net.TimeComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(tc[4]-0.4) > 1e-9 {
 		t.Fatalf("sched time component %v, want 0.4", tc[4])
 	}

@@ -50,7 +50,7 @@ func TestRegionsThreePhases(t *testing.T) {
 }
 
 func TestRegionsTinyWorkload(t *testing.T) {
-	net := singleStation(statespace.Queue, phase.Expo(1))
+	net := singleStation(statespace.Queue, phase.MustExpo(1))
 	s := mustSolver(t, net, 1)
 	res, err := s.Solve(1)
 	if err != nil {
@@ -99,7 +99,11 @@ func TestOccupancyMatchesMVA(t *testing.T) {
 		t.Fatal(err)
 	}
 	occ := s.Occupancy(4, piTime)
-	mva := productform.FromNetwork(net).MVA(4)
+	pfm, err := productform.FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mva := pfm.MVA(4)
 	for i := range occ {
 		if math.Abs(occ[i]-mva.QueueLen[i]) > 1e-6*math.Max(1, mva.QueueLen[i]) {
 			t.Fatalf("station %d: occupancy %v vs MVA %v", i, occ[i], mva.QueueLen[i])
@@ -137,9 +141,15 @@ func TestBusyServers(t *testing.T) {
 		t.Fatal("delay station busy != occupancy")
 	}
 	// Steady-state utilization matches Buzen throughput × demand.
-	pf := productform.FromNetwork(net)
+	pf, err := productform.FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
 	x := pf.ThroughputBuzen(4)
-	visits := net.VisitRatios()
+	visits, err := net.VisitRatios()
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantUtil := x * visits[1] * net.Stations[1].Service.Mean() // busy servers = X·v·s
 	if math.Abs(busy[1]-wantUtil) > 1e-6*math.Max(1, wantUtil) {
 		t.Fatalf("busy servers %v vs X·v·s %v", busy[1], wantUtil)

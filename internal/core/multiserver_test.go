@@ -20,8 +20,8 @@ func multiNet(c int, muThink, muSvc float64) *network.Network {
 	route.Set(1, 0, 1)
 	return &network.Network{
 		Stations: []network.Station{
-			{Name: "think", Kind: statespace.Delay, Service: phase.Expo(muThink)},
-			{Name: "pool", Kind: statespace.Multi, Service: phase.Expo(muSvc), Servers: c},
+			{Name: "think", Kind: statespace.Delay, Service: phase.MustExpo(muThink)},
+			{Name: "pool", Kind: statespace.Multi, Service: phase.MustExpo(muSvc), Servers: c},
 		},
 		Route: route,
 		Exit:  []float64{0.5, 0},
@@ -79,7 +79,11 @@ func TestMultiSteadyStateMatchesBuzen(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pf := productform.FromNetwork(net).Interdeparture(5)
+		pfm, err := productform.FromNetwork(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := pfm.Interdeparture(5)
 		approx(t, tss, pf, 1e-9, "multi t_ss vs Buzen")
 	}
 }
@@ -130,7 +134,7 @@ func TestMultiValidation(t *testing.T) {
 		t.Fatal("accepted Servers=0")
 	}
 	bad2 := multiNet(2, 1, 1)
-	bad2.Stations[1].Service = phase.ErlangMean(2, 1)
+	bad2.Stations[1].Service = phase.MustErlangMean(2, 1)
 	if _, err := NewSolver(bad2, 2); err == nil {
 		t.Fatal("accepted PH service on a multi-server station")
 	}
@@ -145,5 +149,9 @@ func TestMVARejectsMulti(t *testing.T) {
 			t.Fatal("MVA accepted a multi-server station")
 		}
 	}()
-	productform.FromNetwork(net).MVA(3)
+	pfm, err := productform.FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfm.MVA(3)
 }

@@ -28,15 +28,28 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 	"finwl/internal/network"
 	"finwl/internal/par"
 )
+
+// finiteResult screens a scalar result boundary: a NaN/Inf mean time
+// means the model fed the kernels something the validators could not
+// see (e.g. a pathological but structurally valid chain), and must
+// surface as a typed error instead of a silent garbage number.
+func finiteResult(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("core: %s is %v: %w", name, v, check.ErrNumeric)
+	}
+	return nil
+}
 
 // Solver holds a network's level matrices with their factorizations.
 type Solver struct {
@@ -68,41 +81,56 @@ type workspace struct {
 // NewSolver builds the level chain for populations 1..K and factors
 // every level.
 func NewSolver(net *network.Network, K int) (*Solver, error) {
-	chain, err := network.NewChain(net, K)
+	return NewSolverCtx(context.Background(), net, K)
+}
+
+// NewSolverCtx is NewSolver under a context: both the chain
+// construction and the per-level factorizations observe cancellation,
+// surfacing it as a check.ErrCanceled-matching error.
+func NewSolverCtx(ctx context.Context, net *network.Network, K int) (*Solver, error) {
+	chain, err := network.NewChainCtx(ctx, net, K)
 	if err != nil {
 		return nil, err
 	}
-	return NewSolverFromChain(chain)
+	return NewSolverFromChainCtx(ctx, chain)
 }
 
-// NewSolverFromChain factors an already-built chain. The per-level
-// factorizations are independent, so they run across a worker pool;
-// results land in per-level slots and errors are reported for the
-// lowest failing level, keeping the outcome deterministic.
+// NewSolverFromChain factors an already-built chain. See
+// NewSolverFromChainCtx.
 func NewSolverFromChain(chain *network.Chain) (*Solver, error) {
+	return NewSolverFromChainCtx(context.Background(), chain)
+}
+
+// NewSolverFromChainCtx factors an already-built chain under a
+// context. The per-level factorizations are independent, so they run
+// across a worker pool; results land in per-level slots, worker panics
+// come back as wrapped errors, and a singular or numerically hopeless
+// level reports a check.ErrSingular-matching error naming the level.
+func NewSolverFromChainCtx(ctx context.Context, chain *network.Chain) (*Solver, error) {
 	K := len(chain.Levels) - 1
 	s := &Solver{Chain: chain, K: K, levels: make([]*levelSolver, K+1)}
-	errs := make([]error, K+1)
-	par.For(K, func(i int) {
+	err := par.ForErr(ctx, K, func(i int) error {
 		k := K - i // biggest level first, for load balance
 		lvl := chain.Levels[k]
 		d := lvl.States.Count()
 		a := matrix.Identity(d).Sub(lvl.P)
 		fact, err := matrix.Factor(a)
 		if err != nil {
-			errs[k] = fmt.Errorf("core: level %d: I−P_k singular (tasks can avoid departing): %w", k, err)
-			return
+			return fmt.Errorf("core: level %d: I−P_k singular (tasks can avoid departing): %w", k, err)
+		}
+		if cond := fact.Cond1Est(); cond > matrix.CondLimit {
+			return fmt.Errorf("core: level %d: I−P_k has condition estimate %.3g (limit %.3g): %w",
+				k, cond, matrix.CondLimit, check.ErrSingular)
 		}
 		minvEps := make([]float64, d)
 		for i := 0; i < d; i++ {
 			minvEps[i] = 1 / lvl.MDiag[i]
 		}
 		s.levels[k] = &levelSolver{lvl: lvl, fact: fact, tau: fact.Solve(minvEps)}
+		return nil
 	})
-	for k := 1; k <= K; k++ {
-		if errs[k] != nil {
-			return nil, errs[k]
-		}
+	if err != nil {
+		return nil, err
 	}
 	for k := 0; k <= K; k++ {
 		if d := chain.Levels[k].States.Count(); d > s.maxD {
@@ -216,8 +244,16 @@ type Result struct {
 // dot product, one left-solve and two vector-matrix products with no
 // allocations.
 func (s *Solver) Solve(n int) (*Result, error) {
-	if n < 1 {
-		return nil, errors.New("core: workload must have at least one task")
+	return s.SolveCtx(context.Background(), n)
+}
+
+// SolveCtx is Solve under a context: the epoch loop polls ctx once per
+// epoch (a nil-check on a live context — the zero-allocation property
+// of the loop is preserved) and returns a check.ErrCanceled-matching
+// error as soon as cancellation is observed.
+func (s *Solver) SolveCtx(ctx context.Context, n int) (*Result, error) {
+	if err := check.Count("core: workload size", n, 1); err != nil {
+		return nil, err
 	}
 	kStart := n
 	if kStart > s.K {
@@ -232,6 +268,9 @@ func (s *Solver) Solve(n int) (*Result, error) {
 	queued := n - kStart
 	var clock float64
 	for k := kStart; k >= 1; {
+		if err := check.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		t := matrix.Dot(pi, s.levels[k].tau)
 		clock += t
 		res.Epochs = append(res.Epochs, t)
@@ -250,6 +289,9 @@ func (s *Solver) Solve(n int) (*Result, error) {
 		cur, nxt = nxt, cur
 	}
 	res.TotalTime = clock
+	if err := finiteResult("total time", clock); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -275,14 +317,22 @@ func (s *Solver) TotalTime(n int) (float64, error) {
 // may contain duplicates) and are identical to per-N Solve outputs:
 // both paths run the same kernels in the same order.
 func (s *Solver) SolveSweep(ns []int) ([]*Result, error) {
+	return s.SolveSweepCtx(context.Background(), ns)
+}
+
+// SolveSweepCtx is SolveSweep under a context: cancellation is polled
+// once per feeding epoch and once per drain checkpoint, so a canceled
+// sweep returns a check.ErrCanceled-matching error promptly instead of
+// finishing the pass.
+func (s *Solver) SolveSweepCtx(ctx context.Context, ns []int) ([]*Result, error) {
 	results := make([]*Result, len(ns))
 	targets := make([]int, 0, len(ns)) // indices into ns with ns[i] ≥ K
 	for i, n := range ns {
-		if n < 1 {
-			return nil, errors.New("core: workload must have at least one task")
+		if err := check.Count("core: workload size", n, 1); err != nil {
+			return nil, err
 		}
 		if n < s.K {
-			r, err := s.Solve(n)
+			r, err := s.SolveCtx(ctx, n)
 			if err != nil {
 				return nil, err
 			}
@@ -309,6 +359,9 @@ func (s *Solver) SolveSweep(ns []int) ([]*Result, error) {
 		n := ns[idx]
 		// Advance the shared feeding pass to this workload's checkpoint.
 		for feeds < n-K {
+			if err := check.Canceled(ctx); err != nil {
+				return nil, err
+			}
 			t := matrix.Dot(pi, s.levels[K].tau)
 			feedTimes = append(feedTimes, t)
 			out := nxt[:dK]
@@ -330,6 +383,9 @@ func (s *Solver) SolveSweep(ns []int) ([]*Result, error) {
 		copy(dpi, pi)
 		dcur, dnxt := ws.dcur, ws.dnxt
 		for k := K; k >= 1; k-- {
+			if err := check.Canceled(ctx); err != nil {
+				return nil, err
+			}
 			t := matrix.Dot(dpi, s.levels[k].tau)
 			clock += t
 			res.Epochs = append(res.Epochs, t)
@@ -340,6 +396,9 @@ func (s *Solver) SolveSweep(ns []int) ([]*Result, error) {
 			dcur, dnxt = dnxt, dcur
 		}
 		res.TotalTime = clock
+		if err := finiteResult("total time", clock); err != nil {
+			return nil, err
+		}
 		results[idx] = res
 	}
 	return results, nil
@@ -367,17 +426,30 @@ func (s *Solver) TotalTimeSweep(ns []int) ([]float64, error) {
 // workload grows, and for exponential servers t_ss matches the
 // product-form solution.
 func (s *Solver) SteadyState() (pi []float64, tss float64, err error) {
+	return s.SteadyStateCtx(context.Background())
+}
+
+// SteadyStateCtx is SteadyState under a context; the power-iteration
+// path polls ctx periodically.
+func (s *Solver) SteadyStateCtx(ctx context.Context) (pi []float64, tss float64, err error) {
+	if err := check.Canceled(ctx); err != nil {
+		return nil, 0, err
+	}
 	k := s.K
 	d := s.d(k)
 	if d <= 400 {
 		pi, err = s.steadyDirect(k)
 	} else {
-		pi, err = s.steadyPower(k)
+		pi, err = s.steadyPower(ctx, k)
 	}
 	if err != nil {
 		return nil, 0, err
 	}
-	return pi, s.EpochTime(k, pi), nil
+	tss = s.EpochTime(k, pi)
+	if err := finiteResult("steady-state epoch time", tss); err != nil {
+		return nil, 0, err
+	}
+	return pi, tss, nil
 }
 
 // steadyDirect builds T = Y_K·R_K densely and solves the singular
@@ -415,7 +487,7 @@ func (s *Solver) steadyDirect(k int) ([]float64, error) {
 
 // steadyPower runs power iteration on the operator form of Y_K·R_K,
 // ping-ponging workspace buffers so each iteration is allocation-free.
-func (s *Solver) steadyPower(k int) ([]float64, error) {
+func (s *Solver) steadyPower(ctx context.Context, k int) ([]float64, error) {
 	d := s.d(k)
 	ws := s.getWS()
 	defer s.putWS(ws)
@@ -426,15 +498,22 @@ func (s *Solver) steadyPower(k int) ([]float64, error) {
 	nxt := ws.next[:d]
 	const maxIter = 200000
 	const tol = 1e-13
+	diff := math.Inf(1)
 	for iter := 0; iter < maxIter; iter++ {
+		if iter%1024 == 0 {
+			if err := check.Canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		s.feedInto(nxt, k, pi, ws)
 		matrix.Normalize1(nxt) // guard against round-off drift
-		if matrix.VecMaxAbsDiff(nxt, pi) < tol {
+		if diff = matrix.VecMaxAbsDiff(nxt, pi); diff < tol {
 			return append([]float64(nil), nxt...), nil
 		}
 		pi, nxt = nxt, pi
 	}
-	return nil, errors.New("core: steady-state power iteration did not converge")
+	return nil, fmt.Errorf("core: steady-state power iteration hit %d iterations (residual %.3g, tol %.3g): %w",
+		maxIter, diff, tol, check.ErrNotConverged)
 }
 
 // TimeStationary returns the time-stationary distribution of the
@@ -446,6 +525,12 @@ func (s *Solver) steadyPower(k int) ([]float64, error) {
 // utilizations) must be computed here; for exponential networks they
 // then coincide with MVA's, which the tests assert.
 func (s *Solver) TimeStationary() ([]float64, error) {
+	return s.TimeStationaryCtx(context.Background())
+}
+
+// TimeStationaryCtx is TimeStationary under a context; the fixed-point
+// iteration polls ctx periodically.
+func (s *Solver) TimeStationaryCtx(ctx context.Context) ([]float64, error) {
 	k := s.K
 	lvl := s.Chain.Levels[k]
 	d := lvl.States.Count()
@@ -463,7 +548,13 @@ func (s *Solver) TimeStationary() ([]float64, error) {
 	const maxIter = 500000
 	const tol = 1e-13
 	converged := false
+	diff := math.Inf(1)
 	for iter := 0; iter < maxIter; iter++ {
+		if iter%1024 == 0 {
+			if err := check.Canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
 		lvl.P.VecMulInto(next, nu)
 		lvl.Q.VecMulInto(ws.t[:dPrev], nu)
 		lvl.R.VecMulInto(hop, ws.t[:dPrev])
@@ -471,7 +562,7 @@ func (s *Solver) TimeStationary() ([]float64, error) {
 			next[i] += hop[i]
 		}
 		matrix.Normalize1(next)
-		if matrix.VecMaxAbsDiff(next, nu) < tol {
+		if diff = matrix.VecMaxAbsDiff(next, nu); diff < tol {
 			nu = next
 			converged = true
 			break
@@ -479,7 +570,8 @@ func (s *Solver) TimeStationary() ([]float64, error) {
 		nu, next = next, nu
 	}
 	if !converged {
-		return nil, errors.New("core: time-stationary iteration did not converge")
+		return nil, fmt.Errorf("core: time-stationary iteration hit %d iterations (residual %.3g, tol %.3g): %w",
+			maxIter, diff, tol, check.ErrNotConverged)
 	}
 	pi := make([]float64, d)
 	for i := range pi {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -41,9 +42,9 @@ func approx(t *testing.T, got, want, tol float64, what string) {
 // regardless of K and of the service distribution.
 func TestSingleQueueIsSequential(t *testing.T) {
 	for _, svc := range []*phase.PH{
-		phase.Expo(2),
-		phase.ErlangMean(3, 1.7),
-		phase.HyperExpFit(2.5, 12),
+		phase.MustExpo(2),
+		phase.MustErlangMean(3, 1.7),
+		phase.MustHyperExpFit(2.5, 12),
 	} {
 		s := mustSolver(t, singleStation(statespace.Queue, svc), 3)
 		for _, n := range []int{1, 3, 7} {
@@ -70,7 +71,7 @@ func TestSingleQueueIsSequential(t *testing.T) {
 func TestSingleDelayExponentialHarmonic(t *testing.T) {
 	mu := 1.5
 	for k := 1; k <= 5; k++ {
-		s := mustSolver(t, singleStation(statespace.Delay, phase.Expo(mu)), k)
+		s := mustSolver(t, singleStation(statespace.Delay, phase.MustExpo(mu)), k)
 		for _, n := range []int{k, k + 4} {
 			var want float64
 			want = float64(n-k) / (float64(k) * mu)
@@ -90,7 +91,7 @@ func TestSingleDelayExponentialHarmonic(t *testing.T) {
 // E[max] = 2E[X] − ∫R(t)²dt in closed form. This exercises R₂, Q₂,
 // Y₂ and the phase bookkeeping end to end.
 func TestDelayMaxOfTwoHyperexponential(t *testing.T) {
-	d := phase.HyperExpFit(2, 8)
+	d := phase.MustHyperExpFit(2, 8)
 	p, mu1, mu2 := d.Alpha[0], d.Rates[0], d.Rates[1]
 	eMin := p*p/(2*mu1) + 2*p*(1-p)/(mu1+mu2) + (1-p)*(1-p)/(2*mu2)
 	want := 2*d.Mean() - eMin
@@ -106,7 +107,7 @@ func TestDelayMaxOfTwoHyperexponential(t *testing.T) {
 // ∫ e^{−2µt}(1+µt)² dt = 1/(2µ) + 2µ/(4µ²)·... computed numerically
 // here to keep the test independent of hand algebra.
 func TestDelayMaxOfTwoErlang(t *testing.T) {
-	d := phase.Erlang(2, 2) // mean 1
+	d := phase.MustErlang(2, 2) // mean 1
 	mu := 2.0
 	// ∫₀^∞ [e^{−µt}(1+µt)]² dt
 	f := func(tt float64) float64 {
@@ -138,9 +139,9 @@ func centralCluster(k int, rdisk *phase.PH) *network.Network {
 	route.Set(3, 0, 1)
 	return &network.Network{
 		Stations: []network.Station{
-			{Name: "CPU", Kind: statespace.Delay, Service: phase.Expo(1 / 0.3)},
-			{Name: "Disk", Kind: statespace.Delay, Service: phase.Expo(1 / 0.6)},
-			{Name: "Comm", Kind: statespace.Queue, Service: phase.Expo(1 / 0.2)},
+			{Name: "CPU", Kind: statespace.Delay, Service: phase.MustExpo(1 / 0.3)},
+			{Name: "Disk", Kind: statespace.Delay, Service: phase.MustExpo(1 / 0.6)},
+			{Name: "Comm", Kind: statespace.Queue, Service: phase.MustExpo(1 / 0.2)},
 			{Name: "RDisk", Kind: statespace.Queue, Service: rdisk},
 		},
 		Route: route,
@@ -150,7 +151,7 @@ func centralCluster(k int, rdisk *phase.PH) *network.Network {
 }
 
 func TestSolveEpochCountAndMonotonicity(t *testing.T) {
-	net := centralCluster(4, phase.ExpoMean(1.0))
+	net := centralCluster(4, phase.MustExpoMean(1.0))
 	s := mustSolver(t, net, 4)
 	r, err := s.Solve(12)
 	if err != nil {
@@ -173,7 +174,7 @@ func TestSolveEpochCountAndMonotonicity(t *testing.T) {
 
 // N < K is served by a smaller effective level.
 func TestSolveSmallWorkload(t *testing.T) {
-	net := centralCluster(4, phase.ExpoMean(1.0))
+	net := centralCluster(4, phase.MustExpoMean(1.0))
 	s := mustSolver(t, net, 4)
 	r, err := s.Solve(2)
 	if err != nil {
@@ -192,7 +193,7 @@ func TestSolveSmallWorkload(t *testing.T) {
 }
 
 func TestSolveRejectsBadN(t *testing.T) {
-	s := mustSolver(t, singleStation(statespace.Queue, phase.Expo(1)), 1)
+	s := mustSolver(t, singleStation(statespace.Queue, phase.MustExpo(1)), 1)
 	if _, err := s.Solve(0); err == nil {
 		t.Fatal("Solve(0) succeeded")
 	}
@@ -200,7 +201,7 @@ func TestSolveRejectsBadN(t *testing.T) {
 
 // Depart keeps probability mass: Y_k is stochastic.
 func TestDepartIsStochastic(t *testing.T) {
-	net := centralCluster(3, phase.HyperExpFit(1, 10))
+	net := centralCluster(3, phase.MustHyperExpFit(1, 10))
 	s := mustSolver(t, net, 3)
 	pi := s.EntryVector(3)
 	for k := 3; k >= 1; k-- {
@@ -214,7 +215,7 @@ func TestDepartIsStochastic(t *testing.T) {
 }
 
 func TestFeedIsStochastic(t *testing.T) {
-	net := centralCluster(3, phase.HyperExpFit(1, 10))
+	net := centralCluster(3, phase.MustHyperExpFit(1, 10))
 	s := mustSolver(t, net, 3)
 	pi := s.EntryVector(3)
 	for i := 0; i < 10; i++ {
@@ -228,13 +229,13 @@ func TestFeedIsStochastic(t *testing.T) {
 // The transient epochs converge to the steady-state inter-departure
 // time, and both steady-state methods agree.
 func TestSteadyStateConvergence(t *testing.T) {
-	net := centralCluster(4, phase.HyperExpFit(1.0, 5))
+	net := centralCluster(4, phase.MustHyperExpFit(1.0, 5))
 	s := mustSolver(t, net, 4)
 	piD, tssD, err := s.SteadyState()
 	if err != nil {
 		t.Fatal(err)
 	}
-	piP, err := s.steadyPower(s.K)
+	piP, err := s.steadyPower(context.Background(), s.K)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +253,7 @@ func TestSteadyStateConvergence(t *testing.T) {
 
 // Fixed point property: feeding the steady state returns it.
 func TestSteadyStateIsFixedPoint(t *testing.T) {
-	net := centralCluster(3, phase.HyperExpFit(1.0, 20))
+	net := centralCluster(3, phase.MustHyperExpFit(1.0, 20))
 	s := mustSolver(t, net, 3)
 	pi, _, err := s.SteadyState()
 	if err != nil {
@@ -267,7 +268,7 @@ func TestSteadyStateIsFixedPoint(t *testing.T) {
 // The approximation converges to the exact total time for large N
 // (relative error vanishes) and is close even for moderate N.
 func TestApproxTotalTime(t *testing.T) {
-	net := centralCluster(4, phase.ExpoMean(0.8))
+	net := centralCluster(4, phase.MustExpoMean(0.8))
 	s := mustSolver(t, net, 4)
 	for _, n := range []int{10, 50, 400} {
 		exact, err := s.TotalTime(n)
@@ -330,11 +331,11 @@ func randomNet(r *rand.Rand) *network.Network {
 		var svc *phase.PH
 		switch r.Intn(3) {
 		case 0:
-			svc = phase.Expo(0.5 + 2*r.Float64())
+			svc = phase.MustExpo(0.5 + 2*r.Float64())
 		case 1:
-			svc = phase.ErlangMean(2, 0.5+r.Float64())
+			svc = phase.MustErlangMean(2, 0.5+r.Float64())
 		default:
-			svc = phase.HyperExpFit(0.5+r.Float64(), 1+4*r.Float64())
+			svc = phase.MustHyperExpFit(0.5+r.Float64(), 1+4*r.Float64())
 		}
 		stations[i] = network.Station{Name: string(rune('A' + i)), Kind: kind, Service: svc}
 	}
@@ -383,7 +384,7 @@ func TestK1RenewalProperty(t *testing.T) {
 }
 
 func TestTauPositive(t *testing.T) {
-	net := centralCluster(4, phase.HyperExpFit(1, 50))
+	net := centralCluster(4, phase.MustHyperExpFit(1, 50))
 	s := mustSolver(t, net, 4)
 	for k := 1; k <= 4; k++ {
 		for i, v := range s.Tau(k) {
@@ -395,7 +396,7 @@ func TestTauPositive(t *testing.T) {
 }
 
 func TestCheckLevelPanics(t *testing.T) {
-	s := mustSolver(t, singleStation(statespace.Queue, phase.Expo(1)), 2)
+	s := mustSolver(t, singleStation(statespace.Queue, phase.MustExpo(1)), 2)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Tau(0) did not panic")

@@ -1,10 +1,11 @@
 package core
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 	"finwl/internal/network"
 	"finwl/internal/sparse"
@@ -27,7 +28,13 @@ type SparseSolver struct {
 
 // NewSparseSolver builds the CSR chain for populations 1..K.
 func NewSparseSolver(net *network.Network, k int) (*SparseSolver, error) {
-	chain, err := network.NewSparseChain(net, k)
+	return NewSparseSolverCtx(context.Background(), net, k)
+}
+
+// NewSparseSolverCtx is NewSparseSolver under a context: the chain
+// construction observes cancellation.
+func NewSparseSolverCtx(ctx context.Context, net *network.Network, k int) (*SparseSolver, error) {
+	chain, err := network.NewSparseChainCtx(ctx, net, k)
 	if err != nil {
 		return nil, err
 	}
@@ -111,8 +118,14 @@ func (s *SparseSolver) Feed(k int, pi []float64) ([]float64, error) {
 // Solve computes the transient solution for n tasks, mirroring
 // Solver.Solve.
 func (s *SparseSolver) Solve(n int) (*Result, error) {
-	if n < 1 {
-		return nil, errors.New("core: workload must have at least one task")
+	return s.SolveCtx(context.Background(), n)
+}
+
+// SolveCtx is Solve under a context: cancellation is polled once per
+// epoch, which bounds the latency of a cancel by one sparse solve.
+func (s *SparseSolver) SolveCtx(ctx context.Context, n int) (*Result, error) {
+	if err := check.Count("core: workload size", n, 1); err != nil {
+		return nil, err
 	}
 	kStart := n
 	if kStart > s.K {
@@ -123,6 +136,9 @@ func (s *SparseSolver) Solve(n int) (*Result, error) {
 	queued := n - kStart
 	var clock float64
 	for k := kStart; k >= 1; {
+		if err := check.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		t, err := s.EpochTime(k, pi)
 		if err != nil {
 			return nil, err
@@ -142,6 +158,9 @@ func (s *SparseSolver) Solve(n int) (*Result, error) {
 		}
 	}
 	res.TotalTime = clock
+	if err := finiteResult("total time", clock); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -156,6 +175,12 @@ func (s *SparseSolver) TotalTime(n int) (float64, error) {
 
 // SteadyState power-iterates the feeding operator to its fixed point.
 func (s *SparseSolver) SteadyState() (pi []float64, tss float64, err error) {
+	return s.SteadyStateCtx(context.Background())
+}
+
+// SteadyStateCtx is SteadyState under a context; cancellation is
+// polled once per power iteration.
+func (s *SparseSolver) SteadyStateCtx(ctx context.Context) (pi []float64, tss float64, err error) {
 	k := s.K
 	d := s.Chain.Levels[k].States.Count()
 	pi = make([]float64, d)
@@ -164,17 +189,28 @@ func (s *SparseSolver) SteadyState() (pi []float64, tss float64, err error) {
 	}
 	const maxIter = 200000
 	const tol = 1e-12
+	diff := 1.0
 	for iter := 0; iter < maxIter; iter++ {
+		if err := check.Canceled(ctx); err != nil {
+			return nil, 0, err
+		}
 		next, err := s.Feed(k, pi)
 		if err != nil {
 			return nil, 0, err
 		}
 		matrix.Normalize1(next)
-		if matrix.VecMaxAbsDiff(next, pi) < tol {
+		if diff = matrix.VecMaxAbsDiff(next, pi); diff < tol {
 			t, err := s.EpochTime(k, next)
-			return next, t, err
+			if err != nil {
+				return nil, 0, err
+			}
+			if err := finiteResult("steady-state epoch time", t); err != nil {
+				return nil, 0, err
+			}
+			return next, t, nil
 		}
 		pi = next
 	}
-	return nil, 0, errors.New("core: sparse steady-state iteration did not converge")
+	return nil, 0, fmt.Errorf("core: sparse steady-state iteration hit %d iterations (residual %.3g, tol %.3g): %w",
+		maxIter, diff, tol, check.ErrNotConverged)
 }

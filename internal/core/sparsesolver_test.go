@@ -129,7 +129,7 @@ func TestSparseLargeDistributed(t *testing.T) {
 }
 
 func TestSparseSingleQueueSequential(t *testing.T) {
-	svc := phase.HyperExpFit(2, 6)
+	svc := phase.MustHyperExpFit(2, 6)
 	net := singleStation(statespace.Queue, svc)
 	net.Stations[0].Name = "q"
 	sp, err := NewSparseSolver(net, 3)
@@ -144,7 +144,7 @@ func TestSparseSingleQueueSequential(t *testing.T) {
 }
 
 func TestSparseRejectsBadInput(t *testing.T) {
-	net := singleStation(statespace.Queue, phase.Expo(1))
+	net := singleStation(statespace.Queue, phase.MustExpo(1))
 	sp, err := NewSparseSolver(net, 2)
 	if err != nil {
 		t.Fatal(err)

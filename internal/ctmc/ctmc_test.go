@@ -122,9 +122,9 @@ func randomNet(r *rand.Rand) *network.Network {
 		}
 		var svc *phase.PH
 		if r.Intn(2) == 0 {
-			svc = phase.Expo(0.5 + 2*r.Float64())
+			svc = phase.MustExpo(0.5 + 2*r.Float64())
 		} else {
-			svc = phase.HyperExpFit(0.5+r.Float64(), 1+3*r.Float64())
+			svc = phase.MustHyperExpFit(0.5+r.Float64(), 1+3*r.Float64())
 		}
 		stations[i] = network.Station{Name: string(rune('A' + i)), Kind: kind, Service: svc}
 	}
@@ -149,13 +149,13 @@ func randomNet(r *rand.Rand) *network.Network {
 }
 
 // Single exponential FCFS queue: completion of N tasks is
-// Erlang(N, µ) — closed-form CDF.
+// MustErlang(N, µ) — closed-form CDF.
 func TestCDFSingleQueueErlang(t *testing.T) {
 	mu := 1.5
 	n := 4
-	c := buildChain(t, singleStation(statespace.Queue, phase.Expo(mu)), 2, n)
+	c := buildChain(t, singleStation(statespace.Queue, phase.MustExpo(mu)), 2, n)
 	erlangCDF := func(tt float64) float64 {
-		// P(Erlang(n,µ) ≤ t) = 1 − e^{−µt} Σ_{k<n} (µt)^k/k!
+		// P(MustErlang(n,µ) ≤ t) = 1 − e^{−µt} Σ_{k<n} (µt)^k/k!
 		sum, term := 0.0, 1.0
 		for k := 0; k < n; k++ {
 			if k > 0 {
@@ -179,7 +179,7 @@ func TestCDFSingleQueueErlang(t *testing.T) {
 func TestCDFDelayMaxOfExponentials(t *testing.T) {
 	mu := 0.8
 	n := 3
-	c := buildChain(t, singleStation(statespace.Delay, phase.Expo(mu)), n, n)
+	c := buildChain(t, singleStation(statespace.Delay, phase.MustExpo(mu)), n, n)
 	for _, tt := range []float64{0.5, 1, 2, 5} {
 		got, err := c.CompletionCDF(tt)
 		if err != nil {
@@ -222,7 +222,7 @@ func TestCDFMonotoneAndBounded(t *testing.T) {
 
 // The CDF's implied mean (∫ survival) must match the direct mean.
 func TestCDFImpliedMean(t *testing.T) {
-	net := singleStation(statespace.Queue, phase.HyperExpFit(1, 6))
+	net := singleStation(statespace.Queue, phase.MustHyperExpFit(1, 6))
 	c := buildChain(t, net, 2, 3)
 	mean, err := c.MeanAbsorptionTime()
 	if err != nil {
@@ -248,8 +248,8 @@ func TestCDFImpliedMean(t *testing.T) {
 }
 
 func TestQuantile(t *testing.T) {
-	net := singleStation(statespace.Queue, phase.Expo(2))
-	c := buildChain(t, net, 1, 2) // Erlang(2,2): median at known point
+	net := singleStation(statespace.Queue, phase.MustExpo(2))
+	c := buildChain(t, net, 1, 2) // MustErlang(2,2): median at known point
 	q50, err := c.Quantile(0.5)
 	if err != nil {
 		t.Fatal(err)
@@ -357,7 +357,7 @@ func TestOccupancyAt(t *testing.T) {
 }
 
 func TestBuildRejectsBadN(t *testing.T) {
-	net := singleStation(statespace.Queue, phase.Expo(1))
+	net := singleStation(statespace.Queue, phase.MustExpo(1))
 	ch, err := network.NewChain(net, 1)
 	if err != nil {
 		t.Fatal(err)

@@ -72,8 +72,12 @@ func AvailabilityTable(id string, k, n int, failRates []float64, repair float64)
 	var exact, naive, avail []float64
 	for _, f := range failRates {
 		inflate := 1 + f/repair
-		brk := func(mean float64) *phase.PH {
-			return phase.WithBreakdowns(phase.ExpoMean(mean), f, repair)
+		brk := func(mean float64) (*phase.PH, error) {
+			d, err := phase.ExpoMean(mean)
+			if err != nil {
+				return nil, err
+			}
+			return phase.WithBreakdowns(d, f, repair)
 		}
 		sExact, err := newSolver(CentralArch, k, app, cluster.Dists{Remote: brk}, cluster.Options{})
 		if err != nil {
@@ -83,7 +87,7 @@ func AvailabilityTable(id string, k, n int, failRates []float64, repair float64)
 		if err != nil {
 			return nil, err
 		}
-		slow := func(mean float64) *phase.PH { return phase.ExpoMean(mean * inflate) }
+		slow := func(mean float64) (*phase.PH, error) { return phase.ExpoMean(mean * inflate) }
 		sNaive, err := newSolver(CentralArch, k, app, cluster.Dists{Remote: slow}, cluster.Options{})
 		if err != nil {
 			return nil, err
@@ -129,7 +133,10 @@ func BoundsTable(id string, ks []int, n int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		m := productform.FromNetwork(net)
+		m, err := productform.FromNetwork(net)
+		if err != nil {
+			return nil, err
+		}
 		b, err := bounds.FromModel(m, k)
 		if err != nil {
 			return nil, err

@@ -87,7 +87,11 @@ func SteadyStateVsPFTable(id string, arch Arch, ks []int, app workload.App) (*Ta
 		if err != nil {
 			return nil, err
 		}
-		pf := productform.FromNetwork(net).Interdeparture(k)
+		pfModel, err := productform.FromNetwork(net)
+		if err != nil {
+			return nil, err
+		}
+		pf := pfModel.Interdeparture(k)
 		tssExp = append(tssExp, tss)
 		pfExp = append(pfExp, pf)
 

@@ -1,14 +1,16 @@
 package matrix
 
 import (
-	"errors"
 	"fmt"
 	"math"
+
+	"finwl/internal/check"
 )
 
 // ErrSingular is returned when a factorization or solve encounters a
-// numerically singular matrix.
-var ErrSingular = errors.New("matrix: singular matrix")
+// numerically singular matrix. It is the same value as
+// check.ErrSingular, so callers can match either sentinel.
+var ErrSingular = check.ErrSingular
 
 // LU is an LU factorization with partial pivoting: P·A = L·U, where L
 // is unit lower triangular and U is upper triangular. A single
@@ -20,6 +22,7 @@ type LU struct {
 	perm   []int   // row i of lu is row perm[i] of A
 	sign   float64 // permutation parity, for Det
 	starts []int   // cycle starts of perm, for in-place permutation
+	anorm  float64 // ‖A‖₁ of the factored matrix, for Cond1Est
 }
 
 // Factoring switches to a cache-blocked elimination at this dimension:
@@ -58,7 +61,7 @@ func Factor(a *Matrix) (*LU, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &LU{lu: lu, perm: perm, sign: sign, starts: permCycleStarts(perm)}, nil
+	return &LU{lu: lu, perm: perm, sign: sign, starts: permCycleStarts(perm), anorm: a.Norm1()}, nil
 }
 
 // factorPanel eliminates pivot columns kb..ke−1 of the n×n matrix d,

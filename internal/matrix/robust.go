@@ -1,0 +1,258 @@
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"finwl/internal/check"
+)
+
+// CondLimit is the 1-norm condition estimate above which a
+// factorization is treated as numerically singular by the robust
+// solve ladder: beyond it a float64 solve carries no trustworthy
+// digits, so returning a typed error beats returning noise.
+const CondLimit = 1e15
+
+// Cond1Est returns an estimate of the 1-norm condition number
+// κ₁(A) = ‖A‖₁·‖A⁻¹‖₁ of the factored matrix, using Hager's power
+// method on A⁻¹ (the LAPACK xGECON approach): a handful of
+// forward/backward solves, never an explicit inverse. The estimate is
+// a lower bound that is almost always within a small factor of the
+// true value.
+func (f *LU) Cond1Est() float64 {
+	n := f.N()
+	if n == 1 {
+		u := math.Abs(f.lu.data[0])
+		if u == 0 {
+			return math.Inf(1)
+		}
+		return f.anorm / u
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	z := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / float64(n)
+	}
+	est := 0.0
+	for iter := 0; iter < 5; iter++ {
+		f.SolveInto(y, x) // y = A⁻¹·x
+		est = Norm1(y)
+		if !isFiniteVec(y) {
+			return math.Inf(1)
+		}
+		// ξ = sign(y); z = A⁻ᵀ·ξ via the left solve.
+		for i := range z {
+			if y[i] >= 0 {
+				z[i] = 1
+			} else {
+				z[i] = -1
+			}
+		}
+		f.SolveLeftInto(z, z)
+		if !isFiniteVec(z) {
+			return math.Inf(1)
+		}
+		j, zmax := 0, 0.0
+		for i, v := range z {
+			if a := math.Abs(v); a > zmax {
+				zmax, j = a, i
+			}
+		}
+		if zmax <= Dot(z, x) {
+			break
+		}
+		for i := range x {
+			x[i] = 0
+		}
+		x[j] = 1
+	}
+	return est * f.anorm
+}
+
+func isFiniteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// equilibrate returns the row and column scale vectors that bring
+// every row and column of a to unit maximum magnitude: the scaled
+// matrix is S = diag(r)·A·diag(c). Scales are powers of two, so the
+// scaling is exact in floating point. Zero rows/columns get scale 1.
+func equilibrate(a *Matrix) (scaled *Matrix, r, c []float64) {
+	n, m := a.Rows(), a.Cols()
+	r = make([]float64, n)
+	c = make([]float64, m)
+	scaled = a.Clone()
+	for i := 0; i < n; i++ {
+		row := scaled.RawRow(i)
+		maxAbs := 0.0
+		for _, v := range row {
+			if x := math.Abs(v); x > maxAbs {
+				maxAbs = x
+			}
+		}
+		r[i] = pow2Recip(maxAbs)
+		for j := range row {
+			row[j] *= r[i]
+		}
+	}
+	for j := 0; j < m; j++ {
+		maxAbs := 0.0
+		for i := 0; i < n; i++ {
+			if x := math.Abs(scaled.At(i, j)); x > maxAbs {
+				maxAbs = x
+			}
+		}
+		c[j] = pow2Recip(maxAbs)
+		if c[j] != 1 {
+			for i := 0; i < n; i++ {
+				scaled.Set(i, j, scaled.At(i, j)*c[j])
+			}
+		}
+	}
+	return scaled, r, c
+}
+
+// pow2Recip returns the power of two nearest to 1/x (1 for x = 0 or
+// non-finite x, so degenerate rows pass through unscaled).
+func pow2Recip(x float64) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return 1
+	}
+	_, exp := math.Frexp(x)
+	return math.Ldexp(1, -exp+1)
+}
+
+// refineRight performs one step of iterative refinement on A·x = b:
+// r = b − A·x, A·δ = r, x ← x + δ. One step in working precision
+// typically recovers the digits partial pivoting loses on
+// ill-conditioned systems.
+func refineRight(f *LU, a *Matrix, x, b []float64) {
+	n := len(b)
+	r := make([]float64, n)
+	a.MulVecInto(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	d := make([]float64, n)
+	f.SolveInto(d, r)
+	for i := range x {
+		x[i] += d[i]
+	}
+}
+
+// refineLeft is refineRight for the left system x·A = b.
+func refineLeft(f *LU, a *Matrix, x, b []float64) {
+	n := len(b)
+	r := make([]float64, n)
+	a.VecMulInto(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	d := make([]float64, n)
+	f.SolveLeftInto(d, r)
+	for i := range x {
+		x[i] += d[i]
+	}
+}
+
+// SolveRobust solves A·x = b through the hardened fallback ladder:
+//
+//  1. factor and solve, then apply one step of iterative refinement;
+//  2. if the factorization failed, the condition estimate exceeds
+//     CondLimit, or the solution is non-finite, retry on an
+//     equilibrated rescaling of A (exact powers of two);
+//  3. if the rescaled system still fails, return a typed error —
+//     check.ErrSingular with the condition estimate in the message —
+//     instead of panicking or returning NaN.
+//
+// The condition estimate of the factorization that produced x is
+// returned alongside it.
+func SolveRobust(a *Matrix, b []float64) (x []float64, cond float64, err error) {
+	return solveRobust(a, b, false)
+}
+
+// SolveLeftRobust is SolveRobust for the left system x·A = b.
+func SolveLeftRobust(a *Matrix, b []float64) (x []float64, cond float64, err error) {
+	return solveRobust(a, b, true)
+}
+
+func solveRobust(a *Matrix, b []float64, left bool) ([]float64, float64, error) {
+	if a.Rows() != a.Cols() {
+		return nil, 0, check.Invalid("matrix: robust solve needs a square matrix, got %dx%d", a.Rows(), a.Cols())
+	}
+	if len(b) != a.Rows() {
+		return nil, 0, check.Invalid("matrix: robust solve rhs length %d, want %d", len(b), a.Rows())
+	}
+	if !isFiniteVec(a.data) {
+		return nil, 0, fmt.Errorf("matrix: non-finite entries in system matrix: %w", check.ErrNumeric)
+	}
+	if !isFiniteVec(b) {
+		return nil, 0, fmt.Errorf("matrix: non-finite entries in right-hand side: %w", check.ErrNumeric)
+	}
+	x, cond, err := solveRefined(a, b, left)
+	if err == nil {
+		return x, cond, nil
+	}
+	// Rescale retry: solve diag(r)·A·diag(c) in the scaled basis and
+	// map the solution back.
+	scaled, r, c := equilibrate(a)
+	bs := make([]float64, len(b))
+	if left {
+		// x·A = b  ⇔  (x·R⁻¹)·(R·A·C) = b·C, x = z·R.
+		for i := range bs {
+			bs[i] = b[i] * c[i]
+		}
+	} else {
+		// A·x = b  ⇔  (R·A·C)·(C⁻¹·x) = R·b, x = C·z.
+		for i := range bs {
+			bs[i] = b[i] * r[i]
+		}
+	}
+	z, cond2, err2 := solveRefined(scaled, bs, left)
+	if err2 != nil {
+		return nil, math.Max(cond, cond2), fmt.Errorf(
+			"matrix: system singular to working precision (cond est %.3g direct, %.3g equilibrated): %w",
+			cond, cond2, check.ErrSingular)
+	}
+	if left {
+		for i := range z {
+			z[i] *= r[i]
+		}
+	} else {
+		for i := range z {
+			z[i] *= c[i]
+		}
+	}
+	return z, cond2, nil
+}
+
+// solveRefined is one rung of the ladder: factor, solve, refine once,
+// and screen the outcome for conditioning and finiteness.
+func solveRefined(a *Matrix, b []float64, left bool) ([]float64, float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, math.Inf(1), fmt.Errorf("matrix: factorization failed: %w", err)
+	}
+	cond := f.Cond1Est()
+	var x []float64
+	if left {
+		x = f.SolveLeft(b)
+		refineLeft(f, a, x, b)
+	} else {
+		x = f.Solve(b)
+		refineRight(f, a, x, b)
+	}
+	if !isFiniteVec(x) {
+		return nil, cond, fmt.Errorf("matrix: solve produced non-finite values (cond est %.3g): %w", cond, check.ErrNumeric)
+	}
+	if cond > CondLimit {
+		return nil, cond, fmt.Errorf("matrix: condition estimate %.3g exceeds limit %.3g: %w", cond, CondLimit, check.ErrSingular)
+	}
+	return x, cond, nil
+}

@@ -1,0 +1,165 @@
+package matrix
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"finwl/internal/check"
+)
+
+func TestCond1EstIdentity(t *testing.T) {
+	f, err := Factor(Identity(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := f.Cond1Est(); math.Abs(c-1) > 1e-12 {
+		t.Errorf("cond(I) estimate = %v, want 1", c)
+	}
+}
+
+func TestCond1EstDiagonal(t *testing.T) {
+	// cond₁ of diag(1, 1e-6) is exactly 1e6.
+	f, err := Factor(Diag([]float64{1, 1e-6}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cond1Est()
+	if c < 1e5 || c > 1e7 {
+		t.Errorf("cond estimate = %v, want ~1e6", c)
+	}
+}
+
+func TestCond1EstHilbert(t *testing.T) {
+	// The 8x8 Hilbert matrix has κ₁ ≈ 3.4e10; the estimate must land
+	// within a couple of orders of magnitude.
+	n := 8
+	h := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			h.Set(i, j, 1/float64(i+j+1))
+		}
+	}
+	f, err := Factor(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := f.Cond1Est()
+	if c < 1e9 || c > 1e12 {
+		t.Errorf("hilbert cond estimate = %v, want ~3e10", c)
+	}
+}
+
+func TestSolveRobustWellConditioned(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 40
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Inc(i, i, float64(n)) // diagonally dominant
+	}
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = rng.Float64()
+	}
+	b := a.MulVec(want)
+	x, cond, err := SolveRobust(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cond <= 0 || cond > 1e4 {
+		t.Errorf("cond = %v for a well-conditioned system", cond)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-10 {
+			t.Fatalf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+	// Left system through the same ladder.
+	bl := a.VecMul(want)
+	xl, _, err := SolveLeftRobust(a, bl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(xl[i]-want[i]) > 1e-10 {
+			t.Fatalf("left x[%d] = %v, want %v", i, xl[i], want[i])
+		}
+	}
+}
+
+func TestSolveRobustRescuesBadScaling(t *testing.T) {
+	// A system that is fine after row/column scaling but whose raw
+	// condition number overflows the limit: rows scaled by 1e-200 and
+	// 1e+200. Plain LU drowns in the scale disparity; the equilibrated
+	// retry must rescue it.
+	a := FromRows([][]float64{
+		{1e-200 * 2, 1e-200 * 1},
+		{1e200 * 1, 1e200 * 3},
+	})
+	b := []float64{1e-200 * 3, 1e200 * 4}
+	x, _, err := SolveRobust(a, b)
+	if err != nil {
+		t.Fatalf("robust solve failed: %v", err)
+	}
+	// True solution of [[2,1],[1,3]]·x = [3,4]: x = [1, 1].
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Errorf("x = %v, want [1 1]", x)
+	}
+}
+
+func TestSolveRobustSingularTyped(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	_, _, err := SolveRobust(a, []float64{1, 1})
+	if err == nil {
+		t.Fatal("want error for singular system")
+	}
+	if !errors.Is(err, check.ErrSingular) {
+		t.Errorf("err = %v, want ErrSingular", err)
+	}
+	if !errors.Is(err, ErrSingular) {
+		t.Errorf("err = %v should also match matrix.ErrSingular", err)
+	}
+}
+
+func TestSolveRobustNaNInputTyped(t *testing.T) {
+	a := FromRows([][]float64{
+		{math.NaN(), 0},
+		{0, 1},
+	})
+	_, _, err := SolveRobust(a, []float64{1, 1})
+	if !errors.Is(err, check.ErrNumeric) {
+		t.Errorf("err = %v, want ErrNumeric", err)
+	}
+	_, _, err = SolveRobust(Identity(2), []float64{math.Inf(1), 0})
+	if !errors.Is(err, check.ErrNumeric) {
+		t.Errorf("inf rhs: err = %v, want ErrNumeric", err)
+	}
+}
+
+func TestSolveRobustShapeErrors(t *testing.T) {
+	_, _, err := SolveRobust(New(2, 3), []float64{1, 1})
+	if !errors.Is(err, check.ErrInvalidModel) {
+		t.Errorf("non-square: %v", err)
+	}
+	_, _, err = SolveRobust(Identity(3), []float64{1, 1})
+	if !errors.Is(err, check.ErrInvalidModel) {
+		t.Errorf("length mismatch: %v", err)
+	}
+}
+
+func TestErrSingularAliasesCheck(t *testing.T) {
+	if !errors.Is(ErrSingular, check.ErrSingular) {
+		t.Fatal("matrix.ErrSingular must alias check.ErrSingular")
+	}
+	_, err := Factor(New(2, 2)) // zero matrix
+	if !errors.Is(err, check.ErrSingular) {
+		t.Errorf("Factor(0) = %v, want ErrSingular", err)
+	}
+}

@@ -69,9 +69,9 @@ func TestIdenticalClassesMatchSingleClass(t *testing.T) {
 	route.Set(2, 0, 1)
 	single := &network.Network{
 		Stations: []network.Station{
-			{Name: "CPU", Kind: statespace.Delay, Service: phase.Expo(2)},
-			{Name: "Comm", Kind: statespace.Queue, Service: phase.Expo(3)},
-			{Name: "Disk", Kind: statespace.Queue, Service: phase.Expo(1.5)},
+			{Name: "CPU", Kind: statespace.Delay, Service: phase.MustExpo(2)},
+			{Name: "Comm", Kind: statespace.Queue, Service: phase.MustExpo(3)},
+			{Name: "Disk", Kind: statespace.Queue, Service: phase.MustExpo(1.5)},
 		},
 		Route: route,
 		Exit:  []float64{0.25, 0, 0},

@@ -1,9 +1,10 @@
 package multiclass
 
 import (
-	"errors"
+	"context"
 	"fmt"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 	"finwl/internal/statespace"
 )
@@ -60,19 +61,23 @@ func popKey(pop []int) string {
 }
 
 // levelFor builds (or fetches) the level of a population vector,
-// including its factorization and departure maps.
-func (s *Solver) levelFor(pop []int) *level {
+// including its factorization and departure maps. A population whose
+// I−P is singular (some state can postpone departures forever)
+// surfaces as a check.ErrSingular-matching error.
+func (s *Solver) levelFor(pop []int) (*level, error) {
 	key := popKey(pop)
 	if lvl, ok := s.levels[key]; ok {
-		return lvl
+		return lvl, nil
 	}
 	lvl := s.space.enumerate(pop)
-	s.buildMatrices(lvl)
+	if err := s.buildMatrices(lvl); err != nil {
+		return nil, err
+	}
 	s.levels[key] = lvl
-	return lvl
+	return lvl, nil
 }
 
-func (s *Solver) buildMatrices(lvl *level) {
+func (s *Solver) buildMatrices(lvl *level) error {
 	cfg := s.cfg
 	sp := s.space
 	d := len(lvl.states)
@@ -84,7 +89,11 @@ func (s *Solver) buildMatrices(lvl *level) {
 		if lvl.pop[c] > 0 {
 			down := append([]int(nil), lvl.pop...)
 			down[c]--
-			neighbors[c] = s.levelFor(down)
+			var err error
+			neighbors[c], err = s.levelFor(down)
+			if err != nil {
+				return err
+			}
 			lvl.q[c] = matrix.New(d, len(neighbors[c].states))
 		}
 	}
@@ -130,7 +139,7 @@ func (s *Solver) buildMatrices(lvl *level) {
 	a := matrix.Identity(d).Sub(lvl.p)
 	fact, err := matrix.Factor(a)
 	if err != nil {
-		panic(fmt.Sprintf("multiclass: I−P singular at pop %v", lvl.pop))
+		return fmt.Errorf("multiclass: I−P singular at pop %v (tasks can avoid departing): %w", lvl.pop, err)
 	}
 	lvl.fact = fact
 	rhs := make([]float64, d)
@@ -138,6 +147,7 @@ func (s *Solver) buildMatrices(lvl *level) {
 		rhs[i] = 1 / lvl.mDiag[i]
 	}
 	lvl.tau = fact.Solve(rhs)
+	return nil
 }
 
 // forEachActive visits every completing unit: (station, class, rate).
@@ -211,21 +221,27 @@ type node struct {
 // Solve walks the workload: admissions to level K, then N departures
 // with policy-driven replacement, accumulating expected epoch times.
 func (s *Solver) Solve(w Workload) (*Result, error) {
+	return s.SolveCtx(context.Background(), w)
+}
+
+// SolveCtx is Solve under a context: cancellation is polled once per
+// departure epoch and surfaces as a check.ErrCanceled-matching error.
+func (s *Solver) SolveCtx(ctx context.Context, w Workload) (*Result, error) {
 	if len(w.Counts) != s.cfg.Classes {
-		return nil, fmt.Errorf("multiclass: %d class counts for %d classes", len(w.Counts), s.cfg.Classes)
+		return nil, check.Invalid("multiclass: %d class counts for %d classes", len(w.Counts), s.cfg.Classes)
 	}
 	total := 0
 	for c, n := range w.Counts {
 		if n < 0 {
-			return nil, fmt.Errorf("multiclass: negative count for class %d", c)
+			return nil, check.Invalid("multiclass: negative count for class %d", c)
 		}
 		total += n
 	}
 	if total < 1 {
-		return nil, errors.New("multiclass: empty workload")
+		return nil, check.Invalid("multiclass: empty workload")
 	}
 	if w.K < 1 {
-		return nil, errors.New("multiclass: K must be >= 1")
+		return nil, check.Invalid("multiclass: K must be >= 1, got %d", w.K)
 	}
 	admit := w.K
 	if admit > total {
@@ -241,16 +257,26 @@ func (s *Solver) Solve(w Workload) (*Result, error) {
 		weight: 1,
 	}
 	nodes := []node{start}
+	var err error
 	for i := 0; i < admit; i++ {
-		nodes = s.admitOne(nodes, w.Policy)
+		nodes, err = s.admitOne(nodes, w.Policy)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	res := &Result{Epochs: make([]float64, 0, total)}
 	for dep := 0; dep < total; dep++ {
+		if err := check.Canceled(ctx); err != nil {
+			return nil, err
+		}
 		// Expected epoch time across nodes.
 		var t float64
 		for _, nd := range nodes {
-			lvl := s.levelFor(nd.pop)
+			lvl, err := s.levelFor(nd.pop)
+			if err != nil {
+				return nil, err
+			}
 			t += nd.weight * matrix.Dot(nd.dist, lvl.tau)
 		}
 		res.Epochs = append(res.Epochs, t)
@@ -259,7 +285,10 @@ func (s *Solver) Solve(w Workload) (*Result, error) {
 		// Departure branching by class, then replacement.
 		var next []node
 		for _, nd := range nodes {
-			lvl := s.levelFor(nd.pop)
+			lvl, err := s.levelFor(nd.pop)
+			if err != nil {
+				return nil, err
+			}
 			y := lvl.fact.SolveLeft(nd.dist)
 			for c := 0; c < s.cfg.Classes; c++ {
 				if lvl.q[c] == nil {
@@ -291,14 +320,28 @@ func (s *Solver) Solve(w Workload) (*Result, error) {
 			}
 		}
 		if anyQueued && dep < total-1 {
-			nodes = s.admitOne(nodes, w.Policy)
+			nodes, err = s.admitOne(nodes, w.Policy)
+			if err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := finiteTotal(res.TotalTime); err != nil {
+		return nil, err
 	}
 	return res, nil
 }
 
+// finiteTotal screens the result boundary for NaN/Inf.
+func finiteTotal(v float64) error {
+	if v != v || v > 1e308 || v < -1e308 {
+		return fmt.Errorf("multiclass: total time is %v: %w", v, check.ErrNumeric)
+	}
+	return nil
+}
+
 // admitOne admits one queued task to every node per the policy.
-func (s *Solver) admitOne(nodes []node, policy Policy) []node {
+func (s *Solver) admitOne(nodes []node, policy Policy) ([]node, error) {
 	var out []node
 	for _, nd := range nodes {
 		totalQueued := 0
@@ -309,44 +352,59 @@ func (s *Solver) admitOne(nodes []node, policy Policy) []node {
 			out = append(out, nd)
 			continue
 		}
-		admitClass := func(c int, w float64) {
+		admitClass := func(c int, w float64) error {
 			up := append([]int(nil), nd.pop...)
 			up[c]++
 			queued := append([]int(nil), nd.queued...)
 			queued[c]--
+			dist, err := s.applyArrival(nd.pop, nd.dist, c)
+			if err != nil {
+				return err
+			}
 			out = append(out, node{
 				pop:    up,
 				queued: queued,
-				dist:   s.applyArrival(nd.pop, nd.dist, c),
+				dist:   dist,
 				weight: nd.weight * w,
 			})
+			return nil
 		}
 		switch policy {
 		case PriorityOrder:
 			for c, q := range nd.queued {
 				if q > 0 {
-					admitClass(c, 1)
+					if err := admitClass(c, 1); err != nil {
+						return nil, err
+					}
 					break
 				}
 			}
 		default: // Proportional
 			for c, q := range nd.queued {
 				if q > 0 {
-					admitClass(c, float64(q)/float64(totalQueued))
+					if err := admitClass(c, float64(q)/float64(totalQueued)); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
 	}
-	return mergeNodes(out)
+	return mergeNodes(out), nil
 }
 
 // applyArrival maps a distribution at pop to pop+e_c through the
 // class-c entry vector.
-func (s *Solver) applyArrival(pop []int, dist []float64, c int) []float64 {
-	from := s.levelFor(pop)
+func (s *Solver) applyArrival(pop []int, dist []float64, c int) ([]float64, error) {
+	from, err := s.levelFor(pop)
+	if err != nil {
+		return nil, err
+	}
 	up := append([]int(nil), pop...)
 	up[c]++
-	to := s.levelFor(up)
+	to, err := s.levelFor(up)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(to.states))
 	scratch := make([]int, s.space.width)
 	for i, p := range dist {
@@ -362,7 +420,7 @@ func (s *Solver) applyArrival(pop []int, dist []float64, c int) []float64 {
 			out[to.index[s.space.key(scratch)]] += p * pe
 		}
 	}
-	return out
+	return out, nil
 }
 
 // mergeNodes combines nodes sharing (pop, queued).

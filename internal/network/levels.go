@@ -1,8 +1,10 @@
 package network
 
 import (
+	"context"
 	"fmt"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 	"finwl/internal/par"
 	"finwl/internal/statespace"
@@ -37,7 +39,72 @@ type Chain struct {
 	Levels []*Level
 }
 
+// MaxPopulation is the largest supported maxK: state keys pack
+// per-slot customer counts into single bytes, so populations beyond
+// 255 cannot be represented. (Any chain near this bound is far past
+// the memory guards anyway.)
+const MaxPopulation = 255
+
+// maxPhaseIndex bounds per-station phase counts for the same reason:
+// a queue station's in-service phase index shares the byte encoding.
+const maxPhaseIndex = 255
+
+// Memory guards: the level-count DP (statespace.LevelSize) prices a
+// chain before anything is allocated, so a model that would exhaust
+// memory is rejected with ErrInvalidModel instead of dying in the
+// allocator. Dense chains are bounded by total matrix entries
+// (Σ d_k² + 2·d_k·d_{k−1} float64s ≈ 2 GiB); sparse chains by total
+// enumerated states.
+const (
+	maxDenseEntries = float64(1 << 28) // 268M float64s ≈ 2 GiB
+	maxSparseStates = float64(1 << 24) // ~16.8M states
+)
+
+// planChain sizes every level of the prospective chain without
+// enumerating it and rejects models whose construction could not
+// complete. It returns the per-level state counts for reuse.
+func planChain(space *statespace.Space, maxK int, dense bool) ([]int64, error) {
+	if maxK < 1 {
+		return nil, check.Invalid("network: chain needs maxK >= 1, got %d", maxK)
+	}
+	if maxK > MaxPopulation {
+		return nil, check.Invalid("network: population %d exceeds the supported maximum %d", maxK, MaxPopulation)
+	}
+	for st := 0; st < space.Stations(); st++ {
+		if p := space.Shape(st).Phases; p > maxPhaseIndex+1 {
+			return nil, check.Invalid("network: station %d has %d phases, want <= %d", st, p, maxPhaseIndex+1)
+		}
+	}
+	sizes := make([]int64, maxK+1)
+	var states, entries float64
+	for k := 0; k <= maxK; k++ {
+		sizes[k] = space.LevelSize(k)
+		d := float64(sizes[k])
+		states += d
+		if k > 0 {
+			entries += d*d + 2*d*float64(sizes[k-1]) + d
+		}
+	}
+	if dense && entries > maxDenseEntries {
+		return nil, check.Invalid(
+			"network: dense chain needs %.3g matrix entries (limit %.3g) — use the sparse chain or a smaller model",
+			entries, maxDenseEntries)
+	}
+	if !dense && states > maxSparseStates {
+		return nil, check.Invalid("network: chain has %.3g states (limit %.3g)", states, maxSparseStates)
+	}
+	return sizes, nil
+}
+
 // NewChain validates the network and builds every level up to maxK.
+// See NewChainCtx for the construction strategy.
+func NewChain(net *Network, maxK int) (*Chain, error) {
+	return NewChainCtx(context.Background(), net, maxK)
+}
+
+// NewChainCtx is NewChain under a context: construction checks ctx
+// between levels and returns a check.ErrCanceled-matching error as
+// soon as cancellation or a deadline is observed.
 //
 // Construction is parallel: the per-population state spaces are
 // enumerated first (each level's enumeration is independent), then the
@@ -46,33 +113,44 @@ type Chain struct {
 // of levels k−1 and k, so the levels are embarrassingly parallel.
 // Workers claim the largest levels first and write into their own
 // slot, keeping assembly deterministic.
-func NewChain(net *Network, maxK int) (*Chain, error) {
+func NewChainCtx(ctx context.Context, net *Network, maxK int) (*Chain, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
-	if maxK < 1 {
-		return nil, fmt.Errorf("network: chain needs maxK >= 1, got %d", maxK)
-	}
 	space := net.Space()
+	if _, err := planChain(space, maxK, true); err != nil {
+		return nil, err
+	}
 	c := &Chain{Net: net, Space: space, Levels: make([]*Level, maxK+1)}
-	states := enumerateLevels(space, maxK)
+	states, err := enumerateLevels(ctx, space, maxK)
+	if err != nil {
+		return nil, err
+	}
 	c.Levels[0] = &Level{K: 0, States: states[0]}
-	par.For(maxK, func(i int) {
+	err = par.ForErr(ctx, maxK, func(i int) error {
 		k := maxK - i // largest state spaces first, for load balance
 		c.Levels[k] = buildLevel(net, space, k, states[k-1], states[k])
+		return nil
 	})
+	if err != nil {
+		return nil, fmt.Errorf("network: chain construction: %w", err)
+	}
 	return c, nil
 }
 
 // enumerateLevels lists the states of every population 0..maxK in
 // parallel; the enumerations share nothing but the read-only layout.
-func enumerateLevels(space *statespace.Space, maxK int) []*statespace.Level {
+func enumerateLevels(ctx context.Context, space *statespace.Space, maxK int) ([]*statespace.Level, error) {
 	states := make([]*statespace.Level, maxK+1)
-	par.For(maxK+1, func(i int) {
+	err := par.ForErr(ctx, maxK+1, func(i int) error {
 		k := maxK - i
 		states[k] = space.Enumerate(k)
+		return nil
 	})
-	return states
+	if err != nil {
+		return nil, fmt.Errorf("network: state enumeration: %w", err)
+	}
+	return states, nil
 }
 
 // D returns the number of states at level k.

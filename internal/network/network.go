@@ -16,8 +16,8 @@ package network
 
 import (
 	"fmt"
-	"math"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 	"finwl/internal/phase"
 	"finwl/internal/statespace"
@@ -45,55 +45,56 @@ type Network struct {
 	Entry    []float64
 }
 
-// Validate checks the structural invariants of the network.
+// Validate checks the structural invariants of the network: station
+// shapes, per-station service laws (delegated to phase.Validate),
+// stochastic routing+exit rows, and a probability entry vector — all
+// with NaN/Inf screens, every failure matching check.ErrInvalidModel.
 func (n *Network) Validate() error {
+	if n == nil {
+		return check.Invalid("network: nil network")
+	}
 	m := len(n.Stations)
 	if m == 0 {
-		return fmt.Errorf("network: no stations")
+		return check.Invalid("network: no stations")
+	}
+	if n.Route == nil {
+		return check.Invalid("network: nil routing matrix")
 	}
 	if n.Route.Rows() != m || n.Route.Cols() != m {
-		return fmt.Errorf("network: routing matrix %dx%d for %d stations", n.Route.Rows(), n.Route.Cols(), m)
+		return check.Invalid("network: routing matrix %dx%d for %d stations", n.Route.Rows(), n.Route.Cols(), m)
 	}
 	if len(n.Exit) != m || len(n.Entry) != m {
-		return fmt.Errorf("network: exit/entry vectors sized %d/%d for %d stations", len(n.Exit), len(n.Entry), m)
+		return check.Invalid("network: exit/entry vectors sized %d/%d for %d stations", len(n.Exit), len(n.Entry), m)
 	}
-	var entrySum float64
 	for i, st := range n.Stations {
 		if st.Service == nil {
-			return fmt.Errorf("network: station %d (%s) has no service distribution", i, st.Name)
+			return check.Invalid("network: station %d (%s) has no service distribution", i, st.Name)
 		}
 		if err := st.Service.Validate(); err != nil {
 			return fmt.Errorf("network: station %d (%s): %w", i, st.Name, err)
 		}
-		if st.Kind == statespace.Multi {
+		switch st.Kind {
+		case statespace.Delay, statespace.Queue:
+		case statespace.Multi:
 			if st.Servers < 1 {
-				return fmt.Errorf("network: multi-server station %d (%s) needs Servers >= 1", i, st.Name)
+				return check.Invalid("network: multi-server station %d (%s) needs Servers >= 1", i, st.Name)
 			}
 			if st.Service.Dim() != 1 {
-				return fmt.Errorf("network: multi-server station %d (%s) must have exponential service", i, st.Name)
+				return check.Invalid("network: multi-server station %d (%s) must have exponential service", i, st.Name)
 			}
+		default:
+			return check.Invalid("network: station %d (%s) has unknown kind %v", i, st.Name, st.Kind)
 		}
-		rowSum := n.Exit[i]
-		if rowSum < 0 {
-			return fmt.Errorf("network: negative exit probability at station %d", i)
+		// Routing row i plus the exit probability must be stochastic.
+		row := make([]float64, 0, m+1)
+		row = append(row, n.Route.RawRow(i)...)
+		row = append(row, n.Exit[i])
+		if err := check.StochasticRow(fmt.Sprintf("network: station %d routing+exit", i), row); err != nil {
+			return err
 		}
-		for j := 0; j < m; j++ {
-			v := n.Route.At(i, j)
-			if v < 0 {
-				return fmt.Errorf("network: negative routing probability (%d,%d)", i, j)
-			}
-			rowSum += v
-		}
-		if math.Abs(rowSum-1) > 1e-9 {
-			return fmt.Errorf("network: station %d routing+exit sums to %v", i, rowSum)
-		}
-		if n.Entry[i] < 0 {
-			return fmt.Errorf("network: negative entry probability at station %d", i)
-		}
-		entrySum += n.Entry[i]
 	}
-	if math.Abs(entrySum-1) > 1e-9 {
-		return fmt.Errorf("network: entry probabilities sum to %v", entrySum)
+	if err := check.ProbVec("network: entry probabilities", n.Entry); err != nil {
+		return err
 	}
 	return nil
 }
@@ -168,15 +169,20 @@ func (n *Network) AsPH() *phase.PH {
 // TimeComponents returns p·V of the single-task chain aggregated by
 // station: the expected total time a lone task spends at each station
 // over its life in the system (the paper's pV vector, e.g.
-// [CX, (1−C)X, BY, Y] for the central cluster).
-func (n *Network) TimeComponents() []float64 {
-	ph := n.AsPH()
-	f, err := matrix.Factor(ph.B())
-	if err != nil {
-		panic("network: singular B — a task can get trapped")
+// [CX, (1−C)X, BY, Y] for the central cluster). It fails with a typed
+// error when the single-task chain is not absorbing (a task can get
+// trapped, making B singular).
+func (n *Network) TimeComponents() ([]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
 	}
-	// p·V = SolveLeft of B with p.
-	pv := f.SolveLeft(ph.Alpha)
+	ph := n.AsPH()
+	// p·V = SolveLeft of B with p, through the robust ladder so a
+	// stiff but solvable chain still yields its components.
+	pv, _, err := matrix.SolveLeftRobust(ph.B(), ph.Alpha)
+	if err != nil {
+		return nil, fmt.Errorf("network: time components (is the network absorbing?): %w", err)
+	}
 	offsets, _ := n.positions()
 	out := make([]float64, len(n.Stations))
 	for i, st := range n.Stations {
@@ -184,17 +190,22 @@ func (n *Network) TimeComponents() []float64 {
 			out[i] += pv[offsets[i]+k]
 		}
 	}
-	return out
+	return out, nil
 }
 
 // VisitRatios solves the traffic equations v = Entry + v·Route and
 // returns the expected number of visits a task makes to each station.
-func (n *Network) VisitRatios() []float64 {
+// It fails with a typed error when the routing chain is not absorbing
+// (I−Route singular: some tasks never leave).
+func (n *Network) VisitRatios() ([]float64, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
 	m := len(n.Stations)
 	a := matrix.Identity(m).Sub(n.Route)
-	f, err := matrix.Factor(a)
+	v, _, err := matrix.SolveLeftRobust(a, n.Entry)
 	if err != nil {
-		panic("network: routing chain is not absorbing (I−Route singular)")
+		return nil, fmt.Errorf("network: traffic equations (is the routing chain absorbing?): %w", err)
 	}
-	return f.SolveLeft(n.Entry)
+	return v, nil
 }

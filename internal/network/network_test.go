@@ -15,7 +15,7 @@ import (
 func singleExpNet(mu float64, kind statespace.Kind) *Network {
 	route := matrix.New(1, 1)
 	return &Network{
-		Stations: []Station{{Name: "s", Kind: kind, Service: phase.Expo(mu)}},
+		Stations: []Station{{Name: "s", Kind: kind, Service: phase.MustExpo(mu)}},
 		Route:    route,
 		Exit:     []float64{1},
 		Entry:    []float64{1},
@@ -33,10 +33,10 @@ func paperCentralNet(q, p1, p2, muCPU, muD, muCom, muRD float64) *Network {
 	route.Set(3, 0, 1)        // RDisk → CPU
 	return &Network{
 		Stations: []Station{
-			{Name: "CPU", Kind: statespace.Delay, Service: phase.Expo(muCPU)},
-			{Name: "Disk", Kind: statespace.Delay, Service: phase.Expo(muD)},
-			{Name: "Comm", Kind: statespace.Queue, Service: phase.Expo(muCom)},
-			{Name: "RDisk", Kind: statespace.Queue, Service: phase.Expo(muRD)},
+			{Name: "CPU", Kind: statespace.Delay, Service: phase.MustExpo(muCPU)},
+			{Name: "Disk", Kind: statespace.Delay, Service: phase.MustExpo(muD)},
+			{Name: "Comm", Kind: statespace.Queue, Service: phase.MustExpo(muCom)},
+			{Name: "RDisk", Kind: statespace.Queue, Service: phase.MustExpo(muRD)},
 		},
 		Route: route,
 		Exit:  []float64{q, 0, 0, 0},
@@ -84,7 +84,10 @@ func TestTimeComponentsMatchPaperFormula(t *testing.T) {
 	q, p1, p2 := 0.1, 0.4, 0.6
 	muCPU, muD, muCom, muRD := 3.0, 1.5, 4.0, 0.75
 	n := paperCentralNet(q, p1, p2, muCPU, muD, muCom, muRD)
-	got := n.TimeComponents()
+	got, err := n.TimeComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := []float64{
 		(1 / muCPU) / q,
 		(1 / muD) * p1 * (1 - q) / q,
@@ -101,7 +104,10 @@ func TestTimeComponentsMatchPaperFormula(t *testing.T) {
 func TestVisitRatios(t *testing.T) {
 	q := 0.2
 	n := paperCentralNet(q, 0.5, 0.5, 1, 1, 1, 1)
-	v := n.VisitRatios()
+	v, err := n.VisitRatios()
+	if err != nil {
+		t.Fatal(err)
+	}
 	// CPU is visited 1/q times on average; Disk p1(1−q)/q times;
 	// Comm and RDisk p2(1−q)/q times.
 	if math.Abs(v[0]-1/q) > 1e-9 {
@@ -119,7 +125,11 @@ func TestAsPHMeanEqualsSumOfTimeComponents(t *testing.T) {
 	n := paperCentralNet(0.1, 0.5, 0.5, 2, 1, 5, 0.5)
 	mean := n.AsPH().Mean()
 	var sum float64
-	for _, v := range n.TimeComponents() {
+	tc, err := n.TimeComponents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range tc {
 		sum += v
 	}
 	if math.Abs(mean-sum) > 1e-9 {
@@ -177,8 +187,8 @@ func TestChainStochasticWithPhases(t *testing.T) {
 	// Erlang-3 CPU (delay) and H2 remote disk (queue): the §5.4.1 and
 	// §6.1 constructions combined.
 	n := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
-	n.Stations[0].Service = phase.ErlangMean(3, 1.0)
-	n.Stations[3].Service = phase.HyperExpFit(2, 10)
+	n.Stations[0].Service = phase.MustErlangMean(3, 1.0)
+	n.Stations[3].Service = phase.MustHyperExpFit(2, 10)
 	c, err := NewChain(n, 3)
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +198,7 @@ func TestChainStochasticWithPhases(t *testing.T) {
 
 func TestEntryVectorIsDistribution(t *testing.T) {
 	n := paperCentralNet(0.15, 0.3, 0.7, 1, 2, 3, 4)
-	n.Stations[3].Service = phase.HyperExpFit(1, 4)
+	n.Stations[3].Service = phase.MustHyperExpFit(1, 4)
 	c, err := NewChain(n, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -234,7 +244,7 @@ func randomExpNetwork(r *rand.Rand, m int) *Network {
 		stations[i] = Station{
 			Name:    string(rune('A' + i)),
 			Kind:    kind,
-			Service: phase.Expo(0.5 + 3*r.Float64()),
+			Service: phase.MustExpo(0.5 + 3*r.Float64()),
 		}
 	}
 	route := matrix.New(m, m)
@@ -315,7 +325,7 @@ func TestLumpCheckRandomProperty(t *testing.T) {
 
 func TestLumpCheckRejectsPhases(t *testing.T) {
 	n := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
-	n.Stations[0].Service = phase.ErlangMean(2, 1)
+	n.Stations[0].Service = phase.MustErlangMean(2, 1)
 	if err := LumpCheck(n, 2, 1e-9); err == nil {
 		t.Fatal("LumpCheck accepted a multi-phase station")
 	}

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"context"
 	"fmt"
 
 	"finwl/internal/par"
@@ -40,21 +41,31 @@ func (s *sparseSink) addQ(i, j int, w float64) { s.q.Add(i, j, w) }
 func (s *sparseSink) addR(i, j int, w float64) { s.r.Add(i, j, w) }
 
 // NewSparseChain validates the network and builds CSR level matrices
-// for populations 1..maxK. Like NewChain, the levels are generated in
-// parallel once the state spaces exist; each worker owns its level's
-// builders, so no synchronization is needed beyond the final join.
+// for populations 1..maxK. See NewSparseChainCtx.
 func NewSparseChain(net *Network, maxK int) (*SparseChain, error) {
+	return NewSparseChainCtx(context.Background(), net, maxK)
+}
+
+// NewSparseChainCtx is NewSparseChain under a context. Like NewChain,
+// the levels are generated in parallel once the state spaces exist;
+// each worker owns its level's builders, so no synchronization is
+// needed beyond the final join. Cancellation surfaces as a
+// check.ErrCanceled-matching error.
+func NewSparseChainCtx(ctx context.Context, net *Network, maxK int) (*SparseChain, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
-	if maxK < 1 {
-		return nil, fmt.Errorf("network: sparse chain needs maxK >= 1, got %d", maxK)
-	}
 	space := net.Space()
+	if _, err := planChain(space, maxK, false); err != nil {
+		return nil, err
+	}
 	c := &SparseChain{Net: net, Space: space, Levels: make([]*SparseLevel, maxK+1)}
-	states := enumerateLevels(space, maxK)
+	states, err := enumerateLevels(ctx, space, maxK)
+	if err != nil {
+		return nil, err
+	}
 	c.Levels[0] = &SparseLevel{K: 0, States: states[0]}
-	par.For(maxK, func(i int) {
+	err = par.ForErr(ctx, maxK, func(i int) error {
 		k := maxK - i
 		prev, cur := states[k-1], states[k]
 		d, dPrev := cur.Count(), prev.Count()
@@ -73,7 +84,11 @@ func NewSparseChain(net *Network, maxK int) (*SparseChain, error) {
 			Q:      sink.q.Build(),
 			R:      sink.r.Build(),
 		}
+		return nil
 	})
+	if err != nil {
+		return nil, fmt.Errorf("network: sparse chain construction: %w", err)
+	}
 	return c, nil
 }
 

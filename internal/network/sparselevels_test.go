@@ -13,7 +13,7 @@ import (
 // both are produced by the same emitter through different sinks.
 func TestSparseChainMatchesDense(t *testing.T) {
 	n := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
-	n.Stations[3].Service = phase.HyperExpFit(1, 8)
+	n.Stations[3].Service = phase.MustHyperExpFit(1, 8)
 	dense, err := NewChain(n, 3)
 	if err != nil {
 		t.Fatal(err)

@@ -24,7 +24,7 @@ func TestExpMinMean(t *testing.T) {
 }
 
 func TestNumericMatchesExponentialClosedForm(t *testing.T) {
-	d := phase.Expo(1.3)
+	d := phase.MustExpo(1.3)
 	for _, n := range []int{2, 3, 5} {
 		approx(t, MaxMean(d, n), ExpMaxMean(n, 1.3), 1e-3, "MaxMean exp")
 		approx(t, MinMean(d, n), ExpMinMean(n, 1.3), 1e-3, "MinMean exp")
@@ -32,7 +32,7 @@ func TestNumericMatchesExponentialClosedForm(t *testing.T) {
 }
 
 func TestMaxOfTwoH2ClosedForm(t *testing.T) {
-	d := phase.HyperExpFit(2, 8)
+	d := phase.MustHyperExpFit(2, 8)
 	p, mu1, mu2 := d.Alpha[0], d.Rates[0], d.Rates[1]
 	eMin := p*p/(2*mu1) + 2*p*(1-p)/(mu1+mu2) + (1-p)*(1-p)/(2*mu2)
 	want := 2*d.Mean() - eMin
@@ -43,8 +43,8 @@ func TestMaxOfTwoH2ClosedForm(t *testing.T) {
 func TestMaxMinIdentityN2(t *testing.T) {
 	// E[max]+E[min] = 2E[X] for n=2, any distribution.
 	for _, d := range []*phase.PH{
-		phase.ErlangMean(3, 1.5),
-		phase.HyperExpFit(1, 20),
+		phase.MustErlangMean(3, 1.5),
+		phase.MustHyperExpFit(1, 20),
 	} {
 		got := MaxMean(d, 2) + MinMean(d, 2)
 		approx(t, got, 2*d.Mean(), 1e-3, "max+min identity")
@@ -52,7 +52,7 @@ func TestMaxMinIdentityN2(t *testing.T) {
 }
 
 func TestMaxMonotoneInN(t *testing.T) {
-	d := phase.HyperExpFit(1, 5)
+	d := phase.MustHyperExpFit(1, 5)
 	prev := 0.0
 	for n := 1; n <= 6; n++ {
 		v := MaxMean(d, n)
@@ -71,7 +71,7 @@ func TestNormalQuantile(t *testing.T) {
 }
 
 func TestIndependentMakespan(t *testing.T) {
-	d := phase.ExpoMean(2)
+	d := phase.MustExpoMean(2)
 	approx(t, IndependentMakespan(d, 7, 1), 14, 1e-9, "k=1 serial")
 	approx(t, IndependentMakespan(d, 3, 8), MaxMean(d, 3), 1e-9, "n<=k is max")
 	// More machines never slower (for fixed n).
@@ -89,9 +89,9 @@ func TestPanics(t *testing.T) {
 	for name, f := range map[string]func(){
 		"ExpMaxMean": func() { ExpMaxMean(0, 1) },
 		"ExpMinMean": func() { ExpMinMean(0, 1) },
-		"MaxMean":    func() { MaxMean(phase.Expo(1), 0) },
-		"MinMean":    func() { MinMean(phase.Expo(1), 0) },
-		"Makespan":   func() { IndependentMakespan(phase.Expo(1), 0, 1) },
+		"MaxMean":    func() { MaxMean(phase.MustExpo(1), 0) },
+		"MinMean":    func() { MinMean(phase.MustExpo(1), 0) },
+		"Makespan":   func() { IndependentMakespan(phase.MustExpo(1), 0, 1) },
 		"Quantile":   func() { normalQuantile(0) },
 	} {
 		func() {

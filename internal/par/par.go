@@ -2,25 +2,74 @@
 // the construction paths fan out over: a bounded parallel for-loop.
 // Callers index into pre-sized result slices so assembly order never
 // depends on scheduling, only the wall-clock does.
+//
+// The pool is hardened: a panic inside one iteration no longer kills
+// the process. Each worker recovers panics into *PanicError values,
+// remaining iterations are abandoned as soon as any iteration fails or
+// the caller's context is canceled, and the error reported back is the
+// one from the lowest-indexed failing iteration — so the outcome is
+// deterministic even though scheduling is not.
 package par
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"finwl/internal/check"
 )
+
+// Ctx is the subset of context.Context the pool consults, kept as a
+// local interface so plain For callers pass nothing.
+type Ctx interface {
+	Err() error
+	Done() <-chan struct{}
+}
+
+// PanicError wraps a panic recovered from a worker iteration.
+type PanicError struct {
+	Index int    // iteration that panicked
+	Value any    // the recovered value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: panic on iteration %d: %v", e.Index, e.Value)
+}
 
 // For runs fn(i) for every i in [0, n) across up to
 // runtime.GOMAXPROCS(0) goroutines and returns when all calls have
-// finished. Iterations are claimed dynamically (an atomic counter), so
-// unevenly sized work items — e.g. population levels whose state
-// spaces grow with k — balance themselves. With one processor, or
-// n ≤ 1, it degenerates to a plain loop with no goroutines at all.
+// finished or the first failure has been observed. Iterations are
+// claimed dynamically (an atomic counter), so unevenly sized work
+// items — e.g. population levels whose state spaces grow with k —
+// balance themselves. With one processor, or n ≤ 1, it degenerates to
+// a plain loop with no goroutines at all.
 //
-// fn must be safe to call concurrently for distinct i.
-func For(n int, fn func(i int)) {
+// A panic in fn is recovered and returned as a *PanicError; once any
+// iteration fails, unclaimed iterations are skipped. fn must be safe
+// to call concurrently for distinct i.
+func For(n int, fn func(i int)) error {
+	return ForErr(nil, n, func(i int) error { fn(i); return nil })
+}
+
+// ForErr is For with per-iteration errors and optional cancellation:
+// ctx may be nil (never canceled) or a context.Context. The first
+// error by iteration index wins; a canceled context surfaces as
+// check.ErrCanceled. All spawned goroutines have exited by the time
+// ForErr returns, whatever the outcome.
+func ForErr(ctx Ctx, n int, fn func(i int) error) error {
 	if n <= 0 {
-		return
+		return nil
+	}
+	ctxErr := func() error {
+		if ctx == nil {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return &canceled{cause: err}
+		}
+		return nil
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
@@ -28,24 +77,88 @@ func For(n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			if err := ctxErr(); err != nil {
+				return err
+			}
+			if err := runOne(i, fn); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstErr error
+		firstIdx int
+	)
+	record := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstErr, firstIdx = err, i
+		}
+		mu.Unlock()
+	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for {
+				if failed.Load() {
+					return
+				}
+				if ctx != nil && ctx.Err() != nil {
+					failed.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				if err := runOne(i, fn); err != nil {
+					record(i, err)
+					return
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	// Cancellation wins only when no iteration failed on its own: an
+	// iteration error is more specific than the cancellation racing it.
+	mu.Lock()
+	err := firstErr
+	mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return ctxErr()
+}
+
+// canceled adapts a raw ctx.Err() into the typed-error contract
+// without importing context (ctx may be any Ctx implementation).
+type canceled struct{ cause error }
+
+func (e *canceled) Error() string {
+	return "par: " + check.ErrCanceled.Error() + ": " + e.cause.Error()
+}
+func (e *canceled) Unwrap() error { return e.cause }
+func (e *canceled) Is(target error) bool {
+	return target == check.ErrCanceled
+}
+
+// runOne executes one iteration with panic containment.
+func runOne(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 8192)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = &PanicError{Index: i, Value: r, Stack: buf}
+		}
+	}()
+	return fn(i)
 }

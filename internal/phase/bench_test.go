@@ -6,7 +6,7 @@ import (
 )
 
 func BenchmarkSampleH2(b *testing.B) {
-	d := HyperExpFit(1, 10)
+	d := MustHyperExpFit(1, 10)
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -15,7 +15,7 @@ func BenchmarkSampleH2(b *testing.B) {
 }
 
 func BenchmarkSampleErlang4(b *testing.B) {
-	d := ErlangMean(4, 1)
+	d := MustErlangMean(4, 1)
 	rng := rand.New(rand.NewSource(1))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -24,7 +24,7 @@ func BenchmarkSampleErlang4(b *testing.B) {
 }
 
 func BenchmarkCDFTPT12(b *testing.B) {
-	d := TPT(12, 1.4, 1)
+	d := MustTPT(12, 1.4, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = d.CDF(2.5)
@@ -32,7 +32,7 @@ func BenchmarkCDFTPT12(b *testing.B) {
 }
 
 func BenchmarkMoment3(b *testing.B) {
-	d := TPT(12, 1.4, 1)
+	d := MustTPT(12, 1.4, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = d.Moment(3)

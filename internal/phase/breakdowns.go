@@ -3,6 +3,7 @@ package phase
 import (
 	"fmt"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 )
 
@@ -18,12 +19,21 @@ import (
 // service law: each phase i splits into an up state (rate µᵢ+f,
 // failing with probability f/(µᵢ+f)) and a down state (rate r,
 // returning to up). The mean inflates by exactly (1 + f/r).
-func WithBreakdowns(d *PH, fail, repair float64) *PH {
-	if fail < 0 || repair <= 0 {
-		panic(fmt.Sprintf("phase: WithBreakdowns needs fail >= 0 and repair > 0, got %v, %v", fail, repair))
+func WithBreakdowns(d *PH, fail, repair float64) (*PH, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("phase: WithBreakdowns: %w", err)
+	}
+	if err := check.Positive("repair rate", repair); err != nil {
+		return nil, fmt.Errorf("phase: WithBreakdowns: %w", err)
+	}
+	if err := check.Finite("fail rate", fail); err != nil {
+		return nil, fmt.Errorf("phase: WithBreakdowns: %w", err)
+	}
+	if fail < 0 {
+		return nil, fmt.Errorf("phase: WithBreakdowns: %w", check.Invalid("fail rate is %v, want >= 0", fail))
 	}
 	if fail == 0 {
-		return d.ScaleMean(d.Mean()) // clean copy
+		return d.ScaleMean(d.Mean()), nil // clean copy
 	}
 	m := d.Dim()
 	alpha := make([]float64, 2*m)
@@ -51,5 +61,5 @@ func WithBreakdowns(d *PH, fail, repair float64) *PH {
 		Alpha: alpha,
 		Rates: rates,
 		Trans: trans,
-	}
+	}, nil
 }

@@ -11,14 +11,14 @@ import (
 // 1 + f/r for any base distribution.
 func TestBreakdownsMeanInflation(t *testing.T) {
 	for _, d := range []*PH{
-		Expo(2),
-		ErlangMean(3, 1.5),
-		HyperExpFit(1, 10),
-		Coxian2(2, 0.8),
+		MustExpo(2),
+		MustErlangMean(3, 1.5),
+		MustHyperExpFit(1, 10),
+		MustCoxian2(2, 0.8),
 	} {
 		for _, fr := range [][2]float64{{0.1, 1}, {0.5, 0.25}, {2, 4}} {
 			fail, repair := fr[0], fr[1]
-			b := WithBreakdowns(d, fail, repair)
+			b := MustWithBreakdowns(d, fail, repair)
 			if err := b.Validate(); err != nil {
 				t.Fatalf("%v: %v", d, err)
 			}
@@ -31,8 +31,8 @@ func TestBreakdownsMeanInflation(t *testing.T) {
 }
 
 func TestBreakdownsZeroFailIsIdentity(t *testing.T) {
-	d := HyperExpFit(2, 5)
-	b := WithBreakdowns(d, 0, 1)
+	d := MustHyperExpFit(2, 5)
+	b := MustWithBreakdowns(d, 0, 1)
 	if math.Abs(b.Mean()-d.Mean()) > 1e-12 || math.Abs(b.CV2()-d.CV2()) > 1e-9 {
 		t.Fatal("zero failure rate should not change the distribution")
 	}
@@ -40,8 +40,8 @@ func TestBreakdownsZeroFailIsIdentity(t *testing.T) {
 
 // Breakdowns add variability: C² strictly grows.
 func TestBreakdownsIncreaseVariability(t *testing.T) {
-	d := Expo(1)
-	b := WithBreakdowns(d, 0.5, 0.5)
+	d := MustExpo(1)
+	b := MustWithBreakdowns(d, 0.5, 0.5)
 	if b.CV2() <= d.CV2() {
 		t.Fatalf("C² %v should exceed base %v", b.CV2(), d.CV2())
 	}
@@ -49,8 +49,8 @@ func TestBreakdownsIncreaseVariability(t *testing.T) {
 
 // Sampled means agree with the analytic inflation (seeded).
 func TestBreakdownsSampling(t *testing.T) {
-	d := ErlangMean(2, 1)
-	b := WithBreakdowns(d, 1, 2)
+	d := MustErlangMean(2, 1)
+	b := MustWithBreakdowns(d, 1, 2)
 	rng := rand.New(rand.NewSource(12))
 	const n = 200000
 	var sum float64
@@ -69,10 +69,10 @@ func TestBreakdownsSampling(t *testing.T) {
 func TestBreakdownsMeanProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		d := HyperExpFit(0.5+2*r.Float64(), 1+5*r.Float64())
+		d := MustHyperExpFit(0.5+2*r.Float64(), 1+5*r.Float64())
 		fail := 0.05 + 2*r.Float64()
 		repair := 0.1 + 3*r.Float64()
-		b := WithBreakdowns(d, fail, repair)
+		b := MustWithBreakdowns(d, fail, repair)
 		want := d.Mean() * (1 + fail/repair)
 		return math.Abs(b.Mean()-want) < 1e-8*want
 	}
@@ -87,5 +87,5 @@ func TestBreakdownsPanics(t *testing.T) {
 			t.Fatal("negative failure rate did not panic")
 		}
 	}()
-	WithBreakdowns(Expo(1), -1, 1)
+	MustWithBreakdowns(MustExpo(1), -1, 1)
 }

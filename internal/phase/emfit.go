@@ -116,7 +116,11 @@ func FitHyperEM(samples []float64, branches, maxIter int, tol float64) (*EMResul
 		}
 		prevLL = ll
 	}
-	res.Dist = Hyper(probs, rates)
+	dist, err := Hyper(probs, rates)
+	if err != nil {
+		return nil, fmt.Errorf("phase: EM produced an invalid fit: %w", err)
+	}
+	res.Dist = dist
 	res.Dist.Name = fmt.Sprintf("H%d-EM", branches)
 	return res, nil
 }

@@ -16,7 +16,7 @@ func sampleN(rng *rand.Rand, d *PH, n int) []float64 {
 
 // EM on data generated from a known H2 recovers its mean and C².
 func TestFitHyperEMRecoversH2(t *testing.T) {
-	truth := HyperExpFit(2, 8)
+	truth := MustHyperExpFit(2, 8)
 	rng := rand.New(rand.NewSource(4))
 	samples := sampleN(rng, truth, 60000)
 	res, err := FitHyperEM(samples, 2, 500, 1e-10)
@@ -37,7 +37,7 @@ func TestFitHyperEMRecoversH2(t *testing.T) {
 // EM on exponential data should produce a near-degenerate mixture.
 func TestFitHyperEMExponentialData(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	samples := sampleN(rng, Expo(2), 30000)
+	samples := sampleN(rng, MustExpo(2), 30000)
 	res, err := FitHyperEM(samples, 2, 500, 1e-10)
 	if err != nil {
 		t.Fatal(err)
@@ -54,7 +54,7 @@ func TestFitHyperEMExponentialData(t *testing.T) {
 // exponential with the sample mean.
 func TestFitHyperEMBeatsExponential(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
-	truth := HyperExpFit(1, 15)
+	truth := MustHyperExpFit(1, 15)
 	samples := sampleN(rng, truth, 20000)
 	res, err := FitHyperEM(samples, 3, 500, 1e-10)
 	if err != nil {
@@ -65,7 +65,7 @@ func TestFitHyperEMBeatsExponential(t *testing.T) {
 		mean += x
 	}
 	mean /= float64(len(samples))
-	expLL, err := LogLikelihood(ExpoMean(mean), samples)
+	expLL, err := LogLikelihood(MustExpoMean(mean), samples)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +94,7 @@ func TestFitHyperEMValidation(t *testing.T) {
 }
 
 func TestLogLikelihoodRejectsNonMixture(t *testing.T) {
-	if _, err := LogLikelihood(Erlang(2, 1), []float64{1}); err == nil {
+	if _, err := LogLikelihood(MustErlang(2, 1), []float64{1}); err == nil {
 		t.Fatal("accepted an Erlang (has internal transitions)")
 	}
 }
@@ -102,7 +102,7 @@ func TestLogLikelihoodRejectsNonMixture(t *testing.T) {
 // One-branch EM is just the exponential MLE: rate = 1/sample-mean.
 func TestFitHyperEMOneBranch(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	samples := sampleN(rng, Expo(3), 5000)
+	samples := sampleN(rng, MustExpo(3), 5000)
 	var mean float64
 	for _, x := range samples {
 		mean += x

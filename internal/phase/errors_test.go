@@ -1,0 +1,113 @@
+package phase
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"finwl/internal/check"
+	"finwl/internal/matrix"
+)
+
+// Every constructor must refuse malformed parameters with an error
+// matching check.ErrInvalidModel — never a panic, never a NaN-laden
+// distribution.
+func TestConstructorsRejectBadInput(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		make func() (*PH, error)
+	}{
+		{"Expo zero rate", func() (*PH, error) { return Expo(0) }},
+		{"Expo NaN rate", func() (*PH, error) { return Expo(nan) }},
+		{"ExpoMean negative", func() (*PH, error) { return ExpoMean(-1) }},
+		{"ExpoMean Inf", func() (*PH, error) { return ExpoMean(math.Inf(1)) }},
+		{"Erlang zero stages", func() (*PH, error) { return Erlang(0, 1) }},
+		{"Erlang NaN rate", func() (*PH, error) { return Erlang(2, nan) }},
+		{"ErlangMean zero mean", func() (*PH, error) { return ErlangMean(2, 0) }},
+		{"Hyper empty", func() (*PH, error) { return Hyper(nil, nil) }},
+		{"Hyper mismatched", func() (*PH, error) { return Hyper([]float64{1}, []float64{1, 2}) }},
+		{"Hyper bad sum", func() (*PH, error) { return Hyper([]float64{0.3, 0.3}, []float64{1, 2}) }},
+		{"Hyper NaN prob", func() (*PH, error) { return Hyper([]float64{nan, 1}, []float64{1, 2}) }},
+		{"Hyper zero rate", func() (*PH, error) { return Hyper([]float64{0.5, 0.5}, []float64{1, 0}) }},
+		{"HyperExpFit cv2<1", func() (*PH, error) { return HyperExpFit(1, 0.5) }},
+		{"HyperExpFit NaN cv2", func() (*PH, error) { return HyperExpFit(1, nan) }},
+		{"Coxian2 cv2<0.5", func() (*PH, error) { return Coxian2(1, 0.2) }},
+		{"Coxian2 NaN mean", func() (*PH, error) { return Coxian2(nan, 1) }},
+		{"FitCV2 zero cv2", func() (*PH, error) { return FitCV2(1, 0) }},
+		{"FitCV2 negative mean", func() (*PH, error) { return FitCV2(-2, 1) }},
+		{"TPT zero branches", func() (*PH, error) { return TPT(0, 1.4, 1) }},
+		{"TPT zero alpha", func() (*PH, error) { return TPT(4, 0, 1) }},
+		{"TPT NaN mean", func() (*PH, error) { return TPT(4, 1.4, nan) }},
+		{"PDF0 cv2<=1", func() (*PH, error) { return HyperExpFitPDF0(1, 1, 2) }},
+		{"PDF0 zero f0", func() (*PH, error) { return HyperExpFitPDF0(1, 4, 0) }},
+		{"Breakdowns negative fail", func() (*PH, error) { return WithBreakdowns(MustExpo(1), -1, 1) }},
+		{"Breakdowns zero repair", func() (*PH, error) { return WithBreakdowns(MustExpo(1), 1, 0) }},
+		{"Breakdowns invalid dist", func() (*PH, error) {
+			bad := &PH{Alpha: []float64{1}, Rates: []float64{-1}, Trans: matrix.New(1, 1)}
+			return WithBreakdowns(bad, 1, 1)
+		}},
+	}
+	for _, tc := range cases {
+		d, err := tc.make()
+		if err == nil {
+			t.Errorf("%s: no error (got %v)", tc.name, d)
+			continue
+		}
+		if !errors.Is(err, check.ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", tc.name, err)
+		}
+	}
+}
+
+// Validate must flag an absorbing internal phase — a trap state with
+// no path to service completion makes B singular.
+func TestValidateCatchesAbsorbingPhase(t *testing.T) {
+	trans := matrix.New(2, 2)
+	trans.Set(0, 1, 1) // phase 0 → phase 1
+	trans.Set(1, 1, 1) // phase 1 loops forever
+	d := &PH{Alpha: []float64{1, 0}, Rates: []float64{1, 1}, Trans: trans}
+	err := d.Validate()
+	if err == nil {
+		t.Fatal("absorbing phase not detected")
+	}
+	if !errors.Is(err, check.ErrInvalidModel) {
+		t.Fatalf("err = %v, want ErrInvalidModel", err)
+	}
+}
+
+// Validate must flag NaN contamination that the old sum checks let
+// through (NaN comparisons are always false).
+func TestValidateCatchesNaN(t *testing.T) {
+	nan := math.NaN()
+	good := MustExpo(1)
+	bad1 := &PH{Alpha: []float64{nan}, Rates: good.Rates, Trans: good.Trans}
+	if err := bad1.Validate(); err == nil || !errors.Is(err, check.ErrInvalidModel) {
+		t.Errorf("NaN alpha: err = %v", err)
+	}
+	trans := matrix.New(1, 1)
+	trans.Set(0, 0, nan)
+	bad2 := &PH{Alpha: []float64{1}, Rates: []float64{1}, Trans: trans}
+	if err := bad2.Validate(); err == nil || !errors.Is(err, check.ErrInvalidModel) {
+		t.Errorf("NaN trans: err = %v", err)
+	}
+}
+
+// The Must wrappers return identical distributions for valid input
+// and panic (with the typed error) on invalid input.
+func TestMustWrappers(t *testing.T) {
+	if d := MustHyperExpFit(2, 8); d.Dim() != 2 {
+		t.Fatalf("MustHyperExpFit dim = %d", d.Dim())
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MustExpo(-1) did not panic")
+		}
+		err, ok := r.(error)
+		if !ok || !errors.Is(err, check.ErrInvalidModel) {
+			t.Fatalf("panic value %v, want ErrInvalidModel error", r)
+		}
+	}()
+	MustExpo(-1)
+}

@@ -4,33 +4,39 @@ import (
 	"fmt"
 	"math"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 )
 
 // Expo returns the exponential distribution with rate µ (mean 1/µ).
-func Expo(mu float64) *PH {
-	if mu <= 0 {
-		panic("phase: Expo requires a positive rate")
+func Expo(mu float64) (*PH, error) {
+	if err := check.Positive("rate", mu); err != nil {
+		return nil, fmt.Errorf("phase: Expo: %w", err)
 	}
 	return &PH{
 		Name:  "Exp",
 		Alpha: []float64{1},
 		Rates: []float64{mu},
 		Trans: matrix.New(1, 1),
-	}
+	}, nil
 }
 
 // ExpoMean returns the exponential distribution with the given mean.
-func ExpoMean(mean float64) *PH { return Expo(1 / mean) }
+func ExpoMean(mean float64) (*PH, error) {
+	if err := check.Positive("mean", mean); err != nil {
+		return nil, fmt.Errorf("phase: ExpoMean: %w", err)
+	}
+	return Expo(1 / mean)
+}
 
 // Erlang returns the Erlang-m distribution: m identical exponential
 // stages in series, each with rate mu. Mean m/µ, C² = 1/m.
-func Erlang(m int, mu float64) *PH {
-	if m < 1 {
-		panic("phase: Erlang requires m >= 1")
+func Erlang(m int, mu float64) (*PH, error) {
+	if err := check.Count("stages", m, 1); err != nil {
+		return nil, fmt.Errorf("phase: Erlang: %w", err)
 	}
-	if mu <= 0 {
-		panic("phase: Erlang requires a positive rate")
+	if err := check.Positive("rate", mu); err != nil {
+		return nil, fmt.Errorf("phase: Erlang: %w", err)
 	}
 	alpha := matrix.Unit(m, 0)
 	rates := make([]float64, m)
@@ -41,29 +47,34 @@ func Erlang(m int, mu float64) *PH {
 			trans.Set(i, i+1, 1)
 		}
 	}
-	return &PH{Name: fmt.Sprintf("E%d", m), Alpha: alpha, Rates: rates, Trans: trans}
+	return &PH{Name: fmt.Sprintf("E%d", m), Alpha: alpha, Rates: rates, Trans: trans}, nil
 }
 
 // ErlangMean returns the Erlang-m distribution with the given mean
 // (stage rate m/mean).
-func ErlangMean(m int, mean float64) *PH { return Erlang(m, float64(m)/mean) }
+func ErlangMean(m int, mean float64) (*PH, error) {
+	if err := check.Positive("mean", mean); err != nil {
+		return nil, fmt.Errorf("phase: ErlangMean: %w", err)
+	}
+	if err := check.Count("stages", m, 1); err != nil {
+		return nil, fmt.Errorf("phase: ErlangMean: %w", err)
+	}
+	return Erlang(m, float64(m)/mean)
+}
 
 // Hyper returns the hyperexponential distribution that picks branch i
 // with probability probs[i] and serves at rate rates[i]; its density
 // is Σ pᵢµᵢ·exp(−µᵢt) (paper §5.4.2).
-func Hyper(probs, rates []float64) *PH {
+func Hyper(probs, rates []float64) (*PH, error) {
 	if len(probs) != len(rates) || len(probs) == 0 {
-		panic("phase: Hyper requires matching non-empty probs and rates")
+		return nil, fmt.Errorf("phase: Hyper: %w",
+			check.Invalid("need matching non-empty probs (%d) and rates (%d)", len(probs), len(rates)))
 	}
-	var sum float64
-	for _, p := range probs {
-		if p < 0 {
-			panic("phase: Hyper probabilities must be non-negative")
-		}
-		sum += p
+	if err := check.ProbVec("probs", probs); err != nil {
+		return nil, fmt.Errorf("phase: Hyper: %w", err)
 	}
-	if math.Abs(sum-1) > 1e-9 {
-		panic(fmt.Sprintf("phase: Hyper probabilities sum to %v", sum))
+	if err := check.PositiveVec("rates", rates); err != nil {
+		return nil, fmt.Errorf("phase: Hyper: %w", err)
 	}
 	m := len(probs)
 	return &PH{
@@ -71,7 +82,7 @@ func Hyper(probs, rates []float64) *PH {
 		Alpha: append([]float64(nil), probs...),
 		Rates: append([]float64(nil), rates...),
 		Trans: matrix.New(m, m),
-	}
+	}, nil
 }
 
 // HyperExpFit returns a two-phase hyperexponential with the given
@@ -81,12 +92,16 @@ func Hyper(probs, rates []float64) *PH {
 //	p = (1 + sqrt((C²−1)/(C²+1)))/2,  µ₁ = 2p/mean,  µ₂ = 2(1−p)/mean.
 //
 // cv2 == 1 degenerates to the exponential.
-func HyperExpFit(mean, cv2 float64) *PH {
-	if mean <= 0 {
-		panic("phase: HyperExpFit requires positive mean")
+func HyperExpFit(mean, cv2 float64) (*PH, error) {
+	if err := check.Positive("mean", mean); err != nil {
+		return nil, fmt.Errorf("phase: HyperExpFit: %w", err)
+	}
+	if err := check.Finite("cv2", cv2); err != nil {
+		return nil, fmt.Errorf("phase: HyperExpFit: %w", err)
 	}
 	if cv2 < 1 {
-		panic("phase: HyperExpFit requires cv2 >= 1 (use Erlang/Coxian below 1)")
+		return nil, fmt.Errorf("phase: HyperExpFit: %w",
+			check.Invalid("cv2 is %v, want >= 1 (use Erlang/Coxian below 1)", cv2))
 	}
 	if cv2 == 1 {
 		return ExpoMean(mean)
@@ -94,9 +109,12 @@ func HyperExpFit(mean, cv2 float64) *PH {
 	p := 0.5 * (1 + math.Sqrt((cv2-1)/(cv2+1)))
 	mu1 := 2 * p / mean
 	mu2 := 2 * (1 - p) / mean
-	d := Hyper([]float64{p, 1 - p}, []float64{mu1, mu2})
+	d, err := Hyper([]float64{p, 1 - p}, []float64{mu1, mu2})
+	if err != nil {
+		return nil, err
+	}
 	d.Name = "H2"
-	return d
+	return d, nil
 }
 
 // HyperExpFitPDF0 returns a two-phase hyperexponential matching the
@@ -106,8 +124,17 @@ func HyperExpFit(mean, cv2 float64) *PH {
 // branch probability. Not every (mean, cv2, f0) triple is feasible;
 // an error is returned when f0 is out of range.
 func HyperExpFitPDF0(mean, cv2, f0 float64) (*PH, error) {
+	if err := check.Positive("mean", mean); err != nil {
+		return nil, fmt.Errorf("phase: HyperExpFitPDF0: %w", err)
+	}
+	if err := check.Positive("f0", f0); err != nil {
+		return nil, fmt.Errorf("phase: HyperExpFitPDF0: %w", err)
+	}
+	if err := check.Finite("cv2", cv2); err != nil {
+		return nil, fmt.Errorf("phase: HyperExpFitPDF0: %w", err)
+	}
 	if cv2 <= 1 {
-		return nil, fmt.Errorf("phase: pdf(0) fit needs cv2 > 1, got %v", cv2)
+		return nil, fmt.Errorf("phase: pdf(0) fit needs cv2 > 1, got %v: %w", cv2, check.ErrInvalidModel)
 	}
 	// Parameterize by p ∈ (pmin, 1): given p, matching mean and cv2
 	// fixes µ1, µ2 via the two-moment equations. Balanced-means is one
@@ -161,13 +188,13 @@ func HyperExpFitPDF0(mean, cv2, f0 float64) (*PH, error) {
 		prevP, prevF = p, f
 	}
 	if !found {
-		return nil, fmt.Errorf("phase: f0=%v not achievable for mean=%v cv2=%v", f0, mean, cv2)
+		return nil, fmt.Errorf("phase: f0=%v not achievable for mean=%v cv2=%v: %w", f0, mean, cv2, check.ErrInvalidModel)
 	}
 	for iter := 0; iter < 200; iter++ {
 		mid := (lo + hi) / 2
 		fMid, ok := f0At(mid)
 		if !ok {
-			return nil, fmt.Errorf("phase: pdf(0) fit failed at p=%v", mid)
+			return nil, fmt.Errorf("phase: pdf(0) fit failed at p=%v: %w", mid, check.ErrNumeric)
 		}
 		if (fMid-f0)*(fLo-f0) <= 0 {
 			hi = mid
@@ -182,7 +209,10 @@ func HyperExpFitPDF0(mean, cv2, f0 float64) (*PH, error) {
 	c := mean*mean/(1-p) - m2
 	x := (-bq - math.Sqrt(bq*bq-4*a*c)) / (2 * a)
 	y := (mean - p*x) / (1 - p)
-	d := Hyper([]float64{p, 1 - p}, []float64{1 / x, 1 / y})
+	d, err := Hyper([]float64{p, 1 - p}, []float64{1 / x, 1 / y})
+	if err != nil {
+		return nil, err
+	}
 	d.Name = "H2"
 	return d, nil
 }
@@ -191,9 +221,15 @@ func HyperExpFitPDF0(mean, cv2, f0 float64) (*PH, error) {
 // and cv2 ∈ [0.5, ∞). Coxian-2 covers the C² gap between Erlang-2
 // (0.5) and the hyperexponentials (≥1), so together the families span
 // every C² ≥ 0.5 at two phases or fewer.
-func Coxian2(mean, cv2 float64) *PH {
+func Coxian2(mean, cv2 float64) (*PH, error) {
+	if err := check.Positive("mean", mean); err != nil {
+		return nil, fmt.Errorf("phase: Coxian2: %w", err)
+	}
+	if err := check.Finite("cv2", cv2); err != nil {
+		return nil, fmt.Errorf("phase: Coxian2: %w", err)
+	}
 	if cv2 < 0.5 {
-		panic("phase: Coxian2 requires cv2 >= 0.5")
+		return nil, fmt.Errorf("phase: Coxian2: %w", check.Invalid("cv2 is %v, want >= 0.5", cv2))
 	}
 	// Marie's fit: µ1 = 2/mean, b = 1/(2·cv2), µ2 = b·µ1... use the
 	// standard two-moment Coxian fit:
@@ -208,7 +244,7 @@ func Coxian2(mean, cv2 float64) *PH {
 		Rates: []float64{mu1, mu2},
 		Trans: trans,
 	}
-	return d.ScaleMean(mean)
+	return d.ScaleMean(mean), nil
 }
 
 // FitCV2 returns a phase-type distribution with the given mean and
@@ -216,10 +252,14 @@ func Coxian2(mean, cv2 float64) *PH {
 // uses for that variability regime: Erlang-m for cv2 ≤ 1 (m =
 // round(1/cv2), exact when 1/cv2 is an integer), exponential at
 // cv2 = 1, and a balanced-means H2 for cv2 > 1.
-func FitCV2(mean, cv2 float64) *PH {
+func FitCV2(mean, cv2 float64) (*PH, error) {
+	if err := check.Positive("mean", mean); err != nil {
+		return nil, fmt.Errorf("phase: FitCV2: %w", err)
+	}
+	if err := check.Positive("cv2", cv2); err != nil {
+		return nil, fmt.Errorf("phase: FitCV2: %w", err)
+	}
 	switch {
-	case cv2 <= 0:
-		panic("phase: FitCV2 requires cv2 > 0")
 	case cv2 < 1:
 		m := int(math.Round(1 / cv2))
 		if m < 2 {
@@ -240,12 +280,15 @@ func FitCV2(mean, cv2 float64) *PH {
 // like t^{−α}; with finite m the first ⌈α⌉ moments are finite, which
 // is what makes it usable inside a matrix model. The result is scaled
 // to the requested mean.
-func TPT(m int, alpha, mean float64) *PH {
-	if m < 1 {
-		panic("phase: TPT requires m >= 1")
+func TPT(m int, alpha, mean float64) (*PH, error) {
+	if err := check.Count("branches", m, 1); err != nil {
+		return nil, fmt.Errorf("phase: TPT: %w", err)
 	}
-	if alpha <= 0 {
-		panic("phase: TPT requires alpha > 0")
+	if err := check.Positive("alpha", alpha); err != nil {
+		return nil, fmt.Errorf("phase: TPT: %w", err)
+	}
+	if err := check.Positive("mean", mean); err != nil {
+		return nil, fmt.Errorf("phase: TPT: %w", err)
 	}
 	const theta = 0.5
 	gamma := math.Pow(theta, -1/alpha)
@@ -260,7 +303,17 @@ func TPT(m int, alpha, mean float64) *PH {
 		probs[i] /= norm
 		rates[i] = math.Pow(gamma, -float64(i))
 	}
-	d := Hyper(probs, rates)
+	d, err := Hyper(probs, rates)
+	if err != nil {
+		return nil, err
+	}
 	d.Name = fmt.Sprintf("TPT%d(a=%.3g)", m, alpha)
-	return d.ScaleMean(mean)
+	// Small tail exponents spread the branch rates over gamma^(m−1);
+	// past the float64 range that under/overflows into a distribution
+	// with non-finite moments. Reject it rather than return garbage.
+	out := d.ScaleMean(mean)
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("phase: TPT: %d branches with tail exponent %g exceed float64 range: %w", m, alpha, err)
+	}
+	return out, nil
 }

@@ -1,0 +1,46 @@
+package phase
+
+// Must panics if err is non-nil and otherwise returns d. It turns the
+// error-returning constructors back into expression-friendly builders
+// for examples, tests and hard-coded models whose parameters are known
+// to be valid at compile time.
+func Must(d *PH, err error) *PH {
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// MustExpo is Expo for statically known-good parameters; it panics on
+// invalid input instead of returning an error.
+func MustExpo(mu float64) *PH { return Must(Expo(mu)) }
+
+// MustExpoMean is ExpoMean for statically known-good parameters.
+func MustExpoMean(mean float64) *PH { return Must(ExpoMean(mean)) }
+
+// MustErlang is Erlang for statically known-good parameters.
+func MustErlang(m int, mu float64) *PH { return Must(Erlang(m, mu)) }
+
+// MustErlangMean is ErlangMean for statically known-good parameters.
+func MustErlangMean(m int, mean float64) *PH { return Must(ErlangMean(m, mean)) }
+
+// MustHyper is Hyper for statically known-good parameters.
+func MustHyper(probs, rates []float64) *PH { return Must(Hyper(probs, rates)) }
+
+// MustHyperExpFit is HyperExpFit for statically known-good parameters.
+func MustHyperExpFit(mean, cv2 float64) *PH { return Must(HyperExpFit(mean, cv2)) }
+
+// MustCoxian2 is Coxian2 for statically known-good parameters.
+func MustCoxian2(mean, cv2 float64) *PH { return Must(Coxian2(mean, cv2)) }
+
+// MustFitCV2 is FitCV2 for statically known-good parameters.
+func MustFitCV2(mean, cv2 float64) *PH { return Must(FitCV2(mean, cv2)) }
+
+// MustTPT is TPT for statically known-good parameters.
+func MustTPT(m int, alpha, mean float64) *PH { return Must(TPT(m, alpha, mean)) }
+
+// MustWithBreakdowns is WithBreakdowns for statically known-good
+// parameters.
+func MustWithBreakdowns(d *PH, fail, repair float64) *PH {
+	return Must(WithBreakdowns(d, fail, repair))
+}

@@ -14,11 +14,10 @@
 package phase
 
 import (
-	"errors"
 	"fmt"
-	"math"
 	"math/rand"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 )
 
@@ -38,44 +37,65 @@ type PH struct {
 }
 
 // Validate checks structural invariants: matching dimensions,
-// probability vectors/rows, and strictly positive rates.
+// probability vectors/rows (including NaN/Inf screens), strictly
+// positive rates, and service-completion reachability — from every
+// phase there must be a positive-probability path out of the
+// distribution, otherwise B = M(I−P) is singular and every moment is
+// infinite. All failures match check.ErrInvalidModel.
 func (d *PH) Validate() error {
+	if d == nil {
+		return check.Invalid("phase: nil distribution")
+	}
 	m := len(d.Alpha)
 	if m == 0 {
-		return errors.New("phase: empty distribution")
+		return check.Invalid("phase: empty distribution")
+	}
+	if d.Trans == nil {
+		return check.Invalid("phase: nil transition matrix")
 	}
 	if len(d.Rates) != m {
-		return fmt.Errorf("phase: %d rates for %d phases", len(d.Rates), m)
+		return check.Invalid("phase: %d rates for %d phases", len(d.Rates), m)
 	}
 	if d.Trans.Rows() != m || d.Trans.Cols() != m {
-		return fmt.Errorf("phase: transition matrix %dx%d for %d phases", d.Trans.Rows(), d.Trans.Cols(), m)
+		return check.Invalid("phase: transition matrix %dx%d for %d phases", d.Trans.Rows(), d.Trans.Cols(), m)
 	}
-	var aSum float64
-	for _, a := range d.Alpha {
-		if a < 0 {
-			return fmt.Errorf("phase: negative entry probability %v", a)
-		}
-		aSum += a
+	if err := check.ProbVec("phase: entry probabilities", d.Alpha); err != nil {
+		return err
 	}
-	if math.Abs(aSum-1) > 1e-9 {
-		return fmt.Errorf("phase: entry probabilities sum to %v, want 1", aSum)
-	}
-	for i, r := range d.Rates {
-		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
-			return fmt.Errorf("phase: rate[%d] = %v, want positive finite", i, r)
-		}
+	if err := check.PositiveVec("phase: rate", d.Rates); err != nil {
+		return err
 	}
 	for i := 0; i < m; i++ {
-		var rowSum float64
-		for j := 0; j < m; j++ {
-			v := d.Trans.At(i, j)
-			if v < 0 {
-				return fmt.Errorf("phase: negative transition prob at (%d,%d)", i, j)
-			}
-			rowSum += v
+		if err := check.SubStochasticRow(fmt.Sprintf("phase: P row %d", i), d.Trans.RawRow(i)); err != nil {
+			return err
 		}
-		if rowSum > 1+1e-9 {
-			return fmt.Errorf("phase: row %d of P sums to %v > 1", i, rowSum)
+	}
+	// Completion reachability: reverse BFS from the phases with a
+	// strictly positive exit probability along positive-probability
+	// transitions. A phase outside the reached set can never complete
+	// service — an absorbing internal phase, which would make B
+	// singular and hang the sampler.
+	reach := make([]bool, m)
+	queue := make([]int, 0, m)
+	for i := 0; i < m; i++ {
+		if d.ExitProb(i) > check.ProbTol {
+			reach[i] = true
+			queue = append(queue, i)
+		}
+	}
+	for len(queue) > 0 {
+		j := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for i := 0; i < m; i++ {
+			if !reach[i] && d.Trans.At(i, j) > 0 {
+				reach[i] = true
+				queue = append(queue, i)
+			}
+		}
+	}
+	for i, ok := range reach {
+		if !ok {
+			return check.Invalid("phase: phase %d cannot reach service completion (absorbing internal phase)", i)
 		}
 	}
 	return nil

@@ -19,7 +19,7 @@ func approx(t *testing.T, got, want, relTol float64, what string) {
 }
 
 func TestExpoMoments(t *testing.T) {
-	d := Expo(2)
+	d := MustExpo(2)
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestExpoMoments(t *testing.T) {
 }
 
 func TestExpoCDF(t *testing.T) {
-	d := Expo(3)
+	d := MustExpo(3)
 	for _, tt := range []float64{0.1, 0.5, 1, 2} {
 		approx(t, d.CDF(tt), 1-math.Exp(-3*tt), 1e-10, "CDF")
 		approx(t, d.PDF(tt), 3*math.Exp(-3*tt), 1e-10, "PDF")
@@ -46,7 +46,7 @@ func TestExpoCDF(t *testing.T) {
 
 func TestErlangMoments(t *testing.T) {
 	for m := 1; m <= 6; m++ {
-		d := Erlang(m, float64(m)) // mean 1
+		d := MustErlang(m, float64(m)) // mean 1
 		if err := d.Validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -56,14 +56,14 @@ func TestErlangMoments(t *testing.T) {
 }
 
 func TestErlangMean(t *testing.T) {
-	d := ErlangMean(3, 12)
+	d := MustErlangMean(3, 12)
 	approx(t, d.Mean(), 12, 1e-10, "ErlangMean mean")
 	approx(t, d.CV2(), 1.0/3, 1e-10, "ErlangMean C²")
 }
 
 func TestErlangCDFKnown(t *testing.T) {
 	// Erlang-2 with rate 1 per stage: F(t) = 1 − e^{−t}(1+t).
-	d := Erlang(2, 1)
+	d := MustErlang(2, 1)
 	for _, tt := range []float64{0.5, 1, 2, 4} {
 		want := 1 - math.Exp(-tt)*(1+tt)
 		approx(t, d.CDF(tt), want, 1e-9, "Erlang2 CDF")
@@ -71,7 +71,7 @@ func TestErlangCDFKnown(t *testing.T) {
 }
 
 func TestHyperMoments(t *testing.T) {
-	d := Hyper([]float64{0.3, 0.7}, []float64{1, 5})
+	d := MustHyper([]float64{0.3, 0.7}, []float64{1, 5})
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +82,7 @@ func TestHyperMoments(t *testing.T) {
 }
 
 func TestHyperCDFIsMixture(t *testing.T) {
-	d := Hyper([]float64{0.4, 0.6}, []float64{2, 0.5})
+	d := MustHyper([]float64{0.4, 0.6}, []float64{2, 0.5})
 	for _, tt := range []float64{0.2, 1, 3} {
 		want := 0.4*(1-math.Exp(-2*tt)) + 0.6*(1-math.Exp(-0.5*tt))
 		approx(t, d.CDF(tt), want, 1e-9, "Hyper CDF")
@@ -91,7 +91,7 @@ func TestHyperCDFIsMixture(t *testing.T) {
 
 func TestHyperExpFitMatchesTargets(t *testing.T) {
 	for _, cv2 := range []float64{1, 2, 5, 10, 50, 100} {
-		d := HyperExpFit(12, cv2)
+		d := MustHyperExpFit(12, cv2)
 		if err := d.Validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -103,16 +103,16 @@ func TestHyperExpFitMatchesTargets(t *testing.T) {
 func TestHyperExpFitRejectsLowCV2(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("HyperExpFit(1, 0.5) did not panic")
+			t.Fatal("MustHyperExpFit(1, 0.5) did not panic")
 		}
 	}()
-	HyperExpFit(1, 0.5)
+	MustHyperExpFit(1, 0.5)
 }
 
 func TestHyperExpFitPDF0(t *testing.T) {
 	// The balanced-means fit has some f0; asking for that f0 must
 	// reproduce mean and cv2 (and approximately that pdf(0)).
-	base := HyperExpFit(2, 8)
+	base := MustHyperExpFit(2, 8)
 	f0 := base.PDF0()
 	d, err := HyperExpFitPDF0(2, 8, f0)
 	if err != nil {
@@ -134,7 +134,7 @@ func TestHyperExpFitPDF0Infeasible(t *testing.T) {
 
 func TestCoxian2Fit(t *testing.T) {
 	for _, cv2 := range []float64{0.5, 0.7, 1, 2} {
-		d := Coxian2(5, cv2)
+		d := MustCoxian2(5, cv2)
 		if err := d.Validate(); err != nil {
 			t.Fatal(err)
 		}
@@ -144,22 +144,22 @@ func TestCoxian2Fit(t *testing.T) {
 }
 
 func TestFitCV2Families(t *testing.T) {
-	if d := FitCV2(3, 1); d.Dim() != 1 {
+	if d := MustFitCV2(3, 1); d.Dim() != 1 {
 		t.Fatal("FitCV2 at cv2=1 should be exponential")
 	}
-	if d := FitCV2(3, 0.5); d.Dim() != 2 {
+	if d := MustFitCV2(3, 0.5); d.Dim() != 2 {
 		t.Fatal("FitCV2 at cv2=0.5 should be Erlang-2")
 	}
-	d := FitCV2(3, 10)
+	d := MustFitCV2(3, 10)
 	approx(t, d.Mean(), 3, 1e-9, "FitCV2 mean")
 	approx(t, d.CV2(), 10, 1e-9, "FitCV2 C²")
 	// Erlang m=round(1/cv2) is exact only at reciprocals of ints.
-	d3 := FitCV2(3, 1.0/3)
+	d3 := MustFitCV2(3, 1.0/3)
 	approx(t, d3.CV2(), 1.0/3, 1e-9, "FitCV2 Erlang-3 C²")
 }
 
 func TestTPTProperties(t *testing.T) {
-	d := TPT(10, 1.4, 12)
+	d := MustTPT(10, 1.4, 12)
 	if err := d.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -168,29 +168,29 @@ func TestTPTProperties(t *testing.T) {
 		t.Fatalf("TPT C² = %v, want > 1 (heavy tail)", d.CV2())
 	}
 	// More phases → heavier truncated tail → larger C².
-	if TPT(14, 1.4, 12).CV2() <= d.CV2() {
+	if MustTPT(14, 1.4, 12).CV2() <= d.CV2() {
 		t.Fatal("TPT C² should grow with truncation length")
 	}
 }
 
 func TestScaleMean(t *testing.T) {
-	d := HyperExpFit(1, 5).ScaleMean(42)
+	d := MustHyperExpFit(1, 5).ScaleMean(42)
 	approx(t, d.Mean(), 42, 1e-9, "scaled mean")
 	approx(t, d.CV2(), 5, 1e-9, "scale preserves C²")
 }
 
 func TestValidateCatchesBrokenDistributions(t *testing.T) {
-	good := Expo(1)
+	good := MustExpo(1)
 	bad := &PH{Alpha: []float64{0.5, 0.4}, Rates: good.Rates, Trans: good.Trans}
 	if err := bad.Validate(); err == nil {
 		t.Fatal("Validate accepted alpha summing to 0.9")
 	}
-	bad2 := Erlang(2, 1)
+	bad2 := MustErlang(2, 1)
 	bad2.Rates[0] = -1
 	if err := bad2.Validate(); err == nil {
 		t.Fatal("Validate accepted negative rate")
 	}
-	bad3 := Erlang(2, 1)
+	bad3 := MustErlang(2, 1)
 	bad3.Trans.Set(0, 0, 0.9)
 	bad3.Trans.Set(0, 1, 0.9)
 	if err := bad3.Validate(); err == nil {
@@ -206,9 +206,9 @@ func TestMomentMatchesNumericIntegrationProperty(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		var d *PH
 		if r.Intn(2) == 0 {
-			d = ErlangMean(1+r.Intn(4), 0.5+2*r.Float64())
+			d = MustErlangMean(1+r.Intn(4), 0.5+2*r.Float64())
 		} else {
-			d = HyperExpFit(0.5+2*r.Float64(), 1+9*r.Float64())
+			d = MustHyperExpFit(0.5+2*r.Float64(), 1+9*r.Float64())
 		}
 		want := d.Moment(2)
 		// Trapezoid on 2∫ t·R(t) dt with adaptive-ish fine grid.
@@ -263,11 +263,11 @@ func reliabilityScalar(d *PH, t float64) float64 {
 // statistical tolerance).
 func TestSampleMeanProperty(t *testing.T) {
 	dists := []*PH{
-		Expo(1),
-		ErlangMean(3, 2),
-		HyperExpFit(2, 10),
-		Coxian2(1.5, 0.7),
-		TPT(8, 1.5, 3),
+		MustExpo(1),
+		MustErlangMean(3, 2),
+		MustHyperExpFit(2, 10),
+		MustCoxian2(1.5, 0.7),
+		MustTPT(8, 1.5, 3),
 	}
 	rng := rand.New(rand.NewSource(42))
 	for _, d := range dists {
@@ -288,7 +288,7 @@ func TestSampleMeanProperty(t *testing.T) {
 
 func TestSampleCDFAgreement(t *testing.T) {
 	// Empirical CDF at a few quantile points vs analytic CDF.
-	d := HyperExpFit(1, 4)
+	d := MustHyperExpFit(1, 4)
 	rng := rand.New(rand.NewSource(7))
 	const n = 100000
 	points := []float64{0.1, 0.5, 1, 2, 5}
@@ -311,14 +311,14 @@ func TestSampleCDFAgreement(t *testing.T) {
 }
 
 func TestPDF0(t *testing.T) {
-	d := Hyper([]float64{0.25, 0.75}, []float64{4, 1})
+	d := MustHyper([]float64{0.25, 0.75}, []float64{4, 1})
 	approx(t, d.PDF0(), 0.25*4+0.75*1, 1e-12, "PDF0")
 	// Erlang-m (m≥2) has pdf(0) = 0.
-	approx(t, Erlang(3, 1).PDF0(), 0, 1e-12, "Erlang PDF0")
+	approx(t, MustErlang(3, 1).PDF0(), 0, 1e-12, "Erlang PDF0")
 }
 
 func TestMomentZeroAndPanics(t *testing.T) {
-	d := Expo(1)
+	d := MustExpo(1)
 	if d.Moment(0) != 1 {
 		t.Fatal("E[T⁰] should be 1")
 	}

@@ -34,9 +34,13 @@ type Model struct {
 
 // FromNetwork derives the product-form model of a network: visit
 // ratios from the traffic equations and mean service times from the
-// stations' phase-type distributions.
-func FromNetwork(net *network.Network) *Model {
-	v := net.VisitRatios()
+// stations' phase-type distributions. It fails when the routing chain
+// is not absorbing (the traffic equations are singular).
+func FromNetwork(net *network.Network) (*Model, error) {
+	v, err := net.VisitRatios()
+	if err != nil {
+		return nil, err
+	}
 	m := &Model{
 		Visits:  v,
 		Means:   make([]float64, len(v)),
@@ -50,7 +54,7 @@ func FromNetwork(net *network.Network) *Model {
 		m.Names[i] = st.Name
 		m.Servers[i] = st.Servers
 	}
-	return m
+	return m, nil
 }
 
 // Validate checks the model's dimensions and positivity.

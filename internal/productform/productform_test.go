@@ -132,10 +132,10 @@ func TestSteadyStateMatchesTransientModel(t *testing.T) {
 	route.Set(3, 0, 1)
 	net := &network.Network{
 		Stations: []network.Station{
-			{Name: "CPU", Kind: statespace.Delay, Service: phase.Expo(1 / 0.3)},
-			{Name: "Disk", Kind: statespace.Delay, Service: phase.Expo(1 / 0.6)},
-			{Name: "Comm", Kind: statespace.Queue, Service: phase.Expo(1 / 0.2)},
-			{Name: "RDisk", Kind: statespace.Queue, Service: phase.Expo(1 / 0.9)},
+			{Name: "CPU", Kind: statespace.Delay, Service: phase.MustExpo(1 / 0.3)},
+			{Name: "Disk", Kind: statespace.Delay, Service: phase.MustExpo(1 / 0.6)},
+			{Name: "Comm", Kind: statespace.Queue, Service: phase.MustExpo(1 / 0.2)},
+			{Name: "RDisk", Kind: statespace.Queue, Service: phase.MustExpo(1 / 0.9)},
 		},
 		Route: route,
 		Exit:  []float64{q, 0, 0, 0},
@@ -150,7 +150,11 @@ func TestSteadyStateMatchesTransientModel(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		pf := FromNetwork(net).Interdeparture(k)
+		pfm, err := FromNetwork(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pf := pfm.Interdeparture(k)
 		approx(t, tss, pf, 1e-9, "t_ss vs product form")
 	}
 }
@@ -163,8 +167,8 @@ func TestPhaseTypeQueueBreaksProductForm(t *testing.T) {
 	route.Set(1, 0, 1)
 	net := &network.Network{
 		Stations: []network.Station{
-			{Name: "CPU", Kind: statespace.Delay, Service: phase.Expo(2)},
-			{Name: "Shared", Kind: statespace.Queue, Service: phase.HyperExpFit(1, 25)},
+			{Name: "CPU", Kind: statespace.Delay, Service: phase.MustExpo(2)},
+			{Name: "Shared", Kind: statespace.Queue, Service: phase.MustHyperExpFit(1, 25)},
 		},
 		Route: route,
 		Exit:  []float64{0.5, 0},
@@ -178,7 +182,11 @@ func TestPhaseTypeQueueBreaksProductForm(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf := FromNetwork(net).Interdeparture(4)
+	pfm, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := pfm.Interdeparture(4)
 	if math.Abs(tss-pf)/pf < 0.02 {
 		t.Fatalf("H2 queue: t_ss %v ≈ PF %v — expected a visible gap", tss, pf)
 	}
@@ -192,8 +200,8 @@ func TestDelayInsensitivity(t *testing.T) {
 	route.Set(1, 0, 1)
 	net := &network.Network{
 		Stations: []network.Station{
-			{Name: "A", Kind: statespace.Delay, Service: phase.HyperExpFit(0.7, 9)},
-			{Name: "B", Kind: statespace.Delay, Service: phase.ErlangMean(3, 1.2)},
+			{Name: "A", Kind: statespace.Delay, Service: phase.MustHyperExpFit(0.7, 9)},
+			{Name: "B", Kind: statespace.Delay, Service: phase.MustErlangMean(3, 1.2)},
 		},
 		Route: route,
 		Exit:  []float64{0.4, 0},
@@ -207,7 +215,11 @@ func TestDelayInsensitivity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pf := FromNetwork(net).Interdeparture(3)
+	pfm, err := FromNetwork(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := pfm.Interdeparture(3)
 	approx(t, tss, pf, 1e-8, "insensitive t_ss vs PF")
 }
 

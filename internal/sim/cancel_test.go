@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"finwl/internal/check"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+)
+
+// A canceled context must stop a single run promptly with a typed
+// error.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := Config{Net: singleStation(statespace.Queue, phase.MustExpo(1)), K: 3, N: 50000, Seed: 1}
+	if _, err := RunCtx(ctx, cfg); !errors.Is(err, check.ErrCanceled) {
+		t.Fatalf("RunCtx: %v, want ErrCanceled", err)
+	}
+}
+
+// Canceling mid-replication must return ErrCanceled and leave no
+// worker goroutines behind.
+func TestReplicateCanceledNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cfg := Config{Net: singleStation(statespace.Queue, phase.MustExpo(1)), K: 3, N: 2000, Seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReplicateCtx(ctx, cfg, 10000)
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the pool spin up mid-flight
+	cancel()
+
+	select {
+	case err := <-done:
+		if !errors.Is(err, check.ErrCanceled) {
+			t.Fatalf("ReplicateCtx: %v, want ErrCanceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("ReplicateCtx did not return after cancel")
+	}
+
+	// All workers must have exited by the time ReplicateCtx returns;
+	// allow the runtime a few scheduling rounds to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if g := runtime.NumGoroutine(); g <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after cancel", before, runtime.NumGoroutine())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// The event budget turns a structurally valid but non-absorbing
+// network into a typed convergence failure instead of an endless run.
+func TestMaxEventsBudget(t *testing.T) {
+	net := singleStation(statespace.Queue, phase.MustExpo(1))
+	net.Exit[0] = 0
+	net.Route.Set(0, 0, 1) // tasks loop forever
+	cfg := Config{Net: net, K: 2, N: 5, Seed: 1, MaxEvents: 1000}
+	if _, err := RunCtx(context.Background(), cfg); !errors.Is(err, check.ErrNotConverged) {
+		t.Fatalf("RunCtx: %v, want ErrNotConverged", err)
+	}
+}

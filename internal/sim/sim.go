@@ -11,18 +11,23 @@ package sim
 
 import (
 	"container/heap"
-	"errors"
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
+	"finwl/internal/check"
 	"finwl/internal/network"
+	"finwl/internal/par"
 	"finwl/internal/statespace"
 )
+
+// cancelCheckInterval is how many events the DES processes between
+// context polls: frequent enough that a cancel lands within
+// microseconds, rare enough to stay invisible in the event loop cost.
+const cancelCheckInterval = 1024
 
 // Config describes one simulation scenario.
 type Config struct {
@@ -37,6 +42,13 @@ type Config struct {
 	// simulation with laws that are not phase-type at all — e.g. true
 	// Pareto service — to quantify what a PH fit loses.
 	Samplers []func(*rand.Rand) float64
+
+	// MaxEvents optionally bounds the number of events one replication
+	// may process (0 = unlimited). A structurally valid network whose
+	// tasks rarely (or never) exit would otherwise simulate forever;
+	// with a budget, the run fails with a check.ErrNotConverged-matching
+	// error instead.
+	MaxEvents int
 }
 
 // RunResult is the outcome of a single replication.
@@ -76,14 +88,22 @@ func (h *eventHeap) Pop() interface{} {
 
 // Run simulates one replication.
 func Run(cfg Config) (*RunResult, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run under a context: the event loop polls ctx every
+// cancelCheckInterval events and returns a check.ErrCanceled-matching
+// error when canceled, so even a pathologically long replication can
+// be abandoned promptly.
+func RunCtx(ctx context.Context, cfg Config) (*RunResult, error) {
 	if cfg.Net == nil {
-		return nil, errors.New("sim: nil network")
+		return nil, check.Invalid("sim: nil network")
 	}
 	if err := cfg.Net.Validate(); err != nil {
 		return nil, err
 	}
 	if cfg.K < 1 || cfg.N < 1 {
-		return nil, fmt.Errorf("sim: K=%d N=%d, want both >= 1", cfg.K, cfg.N)
+		return nil, check.Invalid("sim: K=%d N=%d, want both >= 1", cfg.K, cfg.N)
 	}
 	net := cfg.Net
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -149,9 +169,20 @@ func Run(cfg Config) (*RunResult, error) {
 		enter()
 	}
 
+	processed := 0
 	for len(departed) < cfg.N {
+		if processed%cancelCheckInterval == 0 {
+			if err := check.Canceled(ctx); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.MaxEvents > 0 && processed >= cfg.MaxEvents {
+			return nil, fmt.Errorf("sim: %d of %d tasks done after %d events (tasks may never exit): %w",
+				len(departed), cfg.N, processed, check.ErrNotConverged)
+		}
+		processed++
 		if events.Len() == 0 {
-			return nil, errors.New("sim: event list empty before workload finished (deadlocked network?)")
+			return nil, check.Invalid("sim: event list empty before workload finished (deadlocked network?)")
 		}
 		ev := heap.Pop(&events).(event)
 		now = ev.time
@@ -251,64 +282,43 @@ func (r *Replicated) TotalQuantile(p float64) float64 {
 // depends only on its own seed, so the partitioning over workers
 // cannot change the outcome.
 func Replicate(cfg Config, reps int) (*Replicated, error) {
+	return ReplicateCtx(context.Background(), cfg, reps)
+}
+
+// ReplicateCtx is Replicate under a context. The replication fan-out
+// runs through par.ForErr, so cancellation stops claiming new
+// replications (and in-flight ones observe ctx inside RunCtx), every
+// worker goroutine has exited before it returns, and a worker panic
+// comes back as a wrapped error instead of killing the process.
+func ReplicateCtx(ctx context.Context, cfg Config, reps int) (*Replicated, error) {
 	if reps < 2 {
-		return nil, fmt.Errorf("sim: need at least 2 replications, got %d", reps)
+		return nil, check.Invalid("sim: need at least 2 replications, got %d", reps)
 	}
 	totals := make([]float64, reps)
 	epochSums := make([]float64, cfg.N)
 	depSums := make([]float64, cfg.N)
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > reps {
-		workers = reps
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	next := int64(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			localEpochs := make([]float64, cfg.N)
-			localDeps := make([]float64, cfg.N)
-			for {
-				r := atomic.AddInt64(&next, 1)
-				if r >= int64(reps) {
-					break
-				}
-				c := cfg
-				c.Seed = cfg.Seed + r
-				res, err := Run(c)
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
-					return
-				}
-				totals[r] = res.Total
-				prev := 0.0
-				for i, d := range res.Departures {
-					localEpochs[i] += d - prev
-					localDeps[i] += d
-					prev = d
-				}
-			}
-			mu.Lock()
-			for i := range localEpochs {
-				epochSums[i] += localEpochs[i]
-				depSums[i] += localDeps[i]
-			}
-			mu.Unlock()
-		}()
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	var mu sync.Mutex
+	err := par.ForErr(ctx, reps, func(r int) error {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)
+		res, err := RunCtx(ctx, c)
+		if err != nil {
+			return err
+		}
+		totals[r] = res.Total
+		mu.Lock()
+		prev := 0.0
+		for i, d := range res.Departures {
+			epochSums[i] += d - prev
+			depSums[i] += d
+			prev = d
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	var mean, ss float64
 	for _, v := range totals {

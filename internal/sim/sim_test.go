@@ -27,7 +27,7 @@ func TestRunValidation(t *testing.T) {
 	if _, err := Run(Config{}); err == nil {
 		t.Fatal("accepted nil network")
 	}
-	n := singleStation(statespace.Queue, phase.Expo(1))
+	n := singleStation(statespace.Queue, phase.MustExpo(1))
 	if _, err := Run(Config{Net: n, K: 0, N: 1}); err == nil {
 		t.Fatal("accepted K=0")
 	}
@@ -37,7 +37,7 @@ func TestRunValidation(t *testing.T) {
 }
 
 func TestRunDeterministicPerSeed(t *testing.T) {
-	n := singleStation(statespace.Queue, phase.HyperExpFit(1, 5))
+	n := singleStation(statespace.Queue, phase.MustHyperExpFit(1, 5))
 	a, err := Run(Config{Net: n, K: 2, N: 20, Seed: 99})
 	if err != nil {
 		t.Fatal(err)
@@ -58,7 +58,7 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 // Replicate's result must not depend on how replications are
 // partitioned over workers.
 func TestReplicateDeterministicUnderParallelism(t *testing.T) {
-	n := singleStation(statespace.Queue, phase.HyperExpFit(1, 8))
+	n := singleStation(statespace.Queue, phase.MustHyperExpFit(1, 8))
 	a, err := Replicate(Config{Net: n, K: 2, N: 15, Seed: 7}, 64)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +100,7 @@ func TestDeparturesSortedAndCounted(t *testing.T) {
 
 // Sequential single queue: E(T) = N·E(S) for any distribution.
 func TestSimSingleQueueMean(t *testing.T) {
-	svc := phase.HyperExpFit(2, 8)
+	svc := phase.MustHyperExpFit(2, 8)
 	net := singleStation(statespace.Queue, svc)
 	rep, err := Replicate(Config{Net: net, K: 3, N: 10, Seed: 5}, 4000)
 	if err != nil {
@@ -115,7 +115,7 @@ func TestSimSingleQueueMean(t *testing.T) {
 // Delay station: harmonic draining formula.
 func TestSimDelayHarmonic(t *testing.T) {
 	mu := 1.25
-	net := singleStation(statespace.Delay, phase.Expo(mu))
+	net := singleStation(statespace.Delay, phase.MustExpo(mu))
 	k, n := 4, 12
 	rep, err := Replicate(Config{Net: net, K: k, N: n, Seed: 11}, 4000)
 	if err != nil {
@@ -201,7 +201,7 @@ func TestSimEpochSeriesMatchesAnalytic(t *testing.T) {
 // Sampler overrides: a constant-service override must produce the
 // deterministic sequential total on a single queue.
 func TestSamplerOverride(t *testing.T) {
-	net := singleStation(statespace.Queue, phase.Expo(1))
+	net := singleStation(statespace.Queue, phase.MustExpo(1))
 	const d = 0.75
 	cfg := Config{
 		Net: net, K: 2, N: 6, Seed: 1,
@@ -217,7 +217,7 @@ func TestSamplerOverride(t *testing.T) {
 }
 
 func TestTotalQuantile(t *testing.T) {
-	net := singleStation(statespace.Queue, phase.HyperExpFit(1, 6))
+	net := singleStation(statespace.Queue, phase.MustHyperExpFit(1, 6))
 	rep, err := Replicate(Config{Net: net, K: 1, N: 5, Seed: 2}, 2000)
 	if err != nil {
 		t.Fatal(err)

@@ -1,15 +1,24 @@
 package sparse
 
 import (
-	"errors"
+	"fmt"
 	"math"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 )
 
 // ErrNoConvergence is returned when an iterative solve fails to reach
-// the requested tolerance within its iteration budget.
-var ErrNoConvergence = errors.New("sparse: iterative solve did not converge")
+// the requested tolerance within its iteration budget. It is the same
+// value as check.ErrNotConverged, so callers can match either
+// sentinel.
+var ErrNoConvergence = check.ErrNotConverged
+
+// DenseFallbackLimit is the largest system the iterative path will
+// densify when BiCGSTAB fails: below it a dense robust LU solve is a
+// few hundred megabytes at worst and always terminates, above it the
+// typed iterative error is returned instead.
+const DenseFallbackLimit = 4096
 
 // Options controls the iterative solvers.
 type Options struct {
@@ -32,13 +41,25 @@ func (o Options) withDefaults(n int) Options {
 }
 
 // BiCGSTAB solves A·x = b where A is given as a matrix-vector product
-// callback, using the (optionally Jacobi-preconditioned)
-// stabilized bi-conjugate gradient method. It suits the transient
-// solver's systems (I−P), which are nonsymmetric M-matrix-like and
-// well conditioned after Jacobi scaling.
+// callback, using the (optionally Jacobi-preconditioned) stabilized
+// bi-conjugate gradient method. It suits the transient solver's
+// systems (I−P), which are nonsymmetric M-matrix-like and well
+// conditioned after Jacobi scaling.
+//
+// Breakdowns (ρ = 0, ω = 0, or a NaN anywhere in the recurrence) no
+// longer abort the solve outright: the method restarts once from its
+// current iterate with a fresh residual, and only if the restarted
+// sweep also stalls does it return a typed error —
+// check.ErrNotConverged with the final relative residual in the
+// message.
 func BiCGSTAB(mulVec func([]float64) []float64, b []float64, opts Options) ([]float64, error) {
 	n := len(b)
 	opts = opts.withDefaults(n)
+	for _, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("sparse: non-finite right-hand side: %w", check.ErrNumeric)
+		}
+	}
 	apply := func(x []float64) []float64 {
 		if opts.Precond == nil {
 			return mulVec(x)
@@ -52,24 +73,60 @@ func BiCGSTAB(mulVec func([]float64) []float64, b []float64, opts Options) ([]fl
 	}
 
 	x := make([]float64, n)
-	r := append([]float64(nil), b...) // r = b − A·0
-	rHat := append([]float64(nil), r...)
 	normB := matrix.Norm2(b)
 	if normB == 0 {
 		return x, nil
 	}
+	const restarts = 1
+	var relres float64
+	for attempt := 0; attempt <= restarts; attempt++ {
+		var ok bool
+		relres, ok = bicgstabSweep(apply, b, x, normB, opts)
+		if ok {
+			return unprecondition(x, opts), nil
+		}
+		if !isFinite(relres) {
+			// The iterate itself degenerated; restarting from it would
+			// propagate NaNs, so start the retry from zero again.
+			for i := range x {
+				x[i] = 0
+			}
+		}
+	}
+	return nil, fmt.Errorf("sparse: BiCGSTAB stalled at relative residual %.3g after %d iterations and a restart: %w",
+		relres, opts.MaxIter, ErrNoConvergence)
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+// bicgstabSweep runs one BiCGSTAB sweep from the current iterate x
+// (updated in place, in the preconditioned basis) and reports the
+// final relative residual and whether the tolerance was met. A
+// breakdown ends the sweep with ok = false so the caller can restart.
+func bicgstabSweep(apply func([]float64) []float64, b, x []float64, normB float64, opts Options) (relres float64, ok bool) {
+	n := len(b)
+	r := apply(x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	relres = matrix.Norm2(r) / normB
+	if relres < opts.Tol {
+		return relres, true
+	}
+	rHat := append([]float64(nil), r...)
 	var (
 		rho, alpha, omega float64 = 1, 1, 1
 		v, p                      = make([]float64, n), make([]float64, n)
 	)
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		rhoNext := matrix.Dot(rHat, r)
-		if rhoNext == 0 {
-			// Breakdown: restart with the current residual.
+		if rhoNext == 0 || !isFinite(rhoNext) {
+			// Breakdown: re-anchor the shadow residual and retry once
+			// inside this sweep before giving up to the outer restart.
 			copy(rHat, r)
 			rhoNext = matrix.Dot(rHat, r)
-			if rhoNext == 0 {
-				break
+			if rhoNext == 0 || !isFinite(rhoNext) {
+				return relres, false
 			}
 		}
 		beta := (rhoNext / rho) * (alpha / omega)
@@ -78,35 +135,44 @@ func BiCGSTAB(mulVec func([]float64) []float64, b []float64, opts Options) ([]fl
 			p[i] = r[i] + beta*(p[i]-omega*v[i])
 		}
 		v = apply(p)
-		alpha = rho / matrix.Dot(rHat, v)
+		denom := matrix.Dot(rHat, v)
+		if denom == 0 || !isFinite(denom) {
+			return relres, false
+		}
+		alpha = rho / denom
 		s := make([]float64, n)
 		for i := 0; i < n; i++ {
 			s[i] = r[i] - alpha*v[i]
 		}
-		if matrix.Norm2(s)/normB < opts.Tol {
+		if sres := matrix.Norm2(s) / normB; sres < opts.Tol {
 			for i := 0; i < n; i++ {
 				x[i] += alpha * p[i]
 			}
-			return unprecondition(x, opts), nil
+			return sres, true
 		}
 		t := apply(s)
 		tt := matrix.Dot(t, t)
-		if tt == 0 {
-			return nil, ErrNoConvergence
+		if tt == 0 || !isFinite(tt) {
+			for i := 0; i < n; i++ {
+				x[i] += alpha * p[i]
+			}
+			copy(r, s)
+			return matrix.Norm2(s) / normB, false
 		}
 		omega = matrix.Dot(t, s) / tt
 		for i := 0; i < n; i++ {
 			x[i] += alpha*p[i] + omega*s[i]
 			r[i] = s[i] - omega*t[i]
 		}
-		if matrix.Norm2(r)/normB < opts.Tol {
-			return unprecondition(x, opts), nil
+		relres = matrix.Norm2(r) / normB
+		if relres < opts.Tol {
+			return relres, true
 		}
-		if omega == 0 || math.IsNaN(omega) {
-			return nil, ErrNoConvergence
+		if omega == 0 || !isFinite(omega) || !isFinite(relres) {
+			return relres, false
 		}
 	}
-	return nil, ErrNoConvergence
+	return relres, false
 }
 
 func unprecondition(x []float64, opts Options) []float64 {
@@ -122,13 +188,20 @@ func unprecondition(x []float64, opts Options) []float64 {
 // SolveIMinusP solves x·(I−P) = b (left system) or (I−P)·x = b (right
 // system) for a substochastic CSR matrix P, with Jacobi
 // preconditioning derived from the system's diagonal.
+//
+// When the iterative solve fails — breakdown plus a failed restart —
+// and the system is no larger than DenseFallbackLimit, the system is
+// densified and handed to the dense robust LU ladder (refinement,
+// equilibrated retry) as a last resort. Only if that also fails does
+// the caller see an error, and it is always errors.Is-matchable
+// against the check sentinels.
 func SolveIMinusP(p *CSR, b []float64, left bool, opts Options) ([]float64, error) {
 	n := p.Rows()
 	diag := p.Diagonal()
 	pre := make([]float64, n)
 	for i := range pre {
 		d := 1 - diag[i]
-		if d <= 0 {
+		if d <= 0 || math.IsNaN(d) {
 			d = 1
 		}
 		pre[i] = 1 / d
@@ -147,5 +220,25 @@ func SolveIMinusP(p *CSR, b []float64, left bool, opts Options) ([]float64, erro
 		}
 		return out
 	}
-	return BiCGSTAB(mul, b, opts)
+	x, err := BiCGSTAB(mul, b, opts)
+	if err == nil {
+		return x, nil
+	}
+	if p.Rows() != p.Cols() || n > DenseFallbackLimit {
+		return nil, err
+	}
+	a := matrix.Identity(n).Sub(p.Dense())
+	var (
+		xd   []float64
+		derr error
+	)
+	if left {
+		xd, _, derr = matrix.SolveLeftRobust(a, b)
+	} else {
+		xd, _, derr = matrix.SolveRobust(a, b)
+	}
+	if derr != nil {
+		return nil, fmt.Errorf("sparse: iterative solve failed (%v); dense fallback: %w", err, derr)
+	}
+	return xd, nil
 }

@@ -1,11 +1,13 @@
 package sparse
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"finwl/internal/check"
 	"finwl/internal/matrix"
 )
 
@@ -189,14 +191,43 @@ func TestBiCGSTABZeroRHS(t *testing.T) {
 }
 
 func TestBiCGSTABNoConvergenceBudget(t *testing.T) {
-	// A hard system with an absurdly small budget must error, not hang.
+	// An absurdly small iteration budget must surface as the typed
+	// non-convergence error from the raw iterative method …
 	r := rand.New(rand.NewSource(3))
 	p := substochasticP(r, 40)
 	b := make([]float64, 40)
 	for i := range b {
 		b[i] = r.NormFloat64()
 	}
-	if _, err := SolveIMinusP(p, b, false, Options{MaxIter: 1, Tol: 1e-15}); err == nil {
+	mul := func(x []float64) []float64 {
+		px := p.MulVec(x)
+		out := make([]float64, len(x))
+		for i := range out {
+			out[i] = x[i] - px[i]
+		}
+		return out
+	}
+	_, err := BiCGSTAB(mul, b, Options{MaxIter: 1, Tol: 1e-15})
+	if err == nil {
 		t.Fatal("expected ErrNoConvergence with MaxIter=1")
+	}
+	if !errors.Is(err, ErrNoConvergence) || !errors.Is(err, check.ErrNotConverged) {
+		t.Fatalf("err = %v, want typed ErrNoConvergence", err)
+	}
+
+	// … while the full pipeline rescues the same system through the
+	// dense LU fallback and returns the correct solution.
+	x, err := SolveIMinusP(p, b, false, Options{MaxIter: 1, Tol: 1e-15})
+	if err != nil {
+		t.Fatalf("dense fallback should have rescued the solve: %v", err)
+	}
+	want, err := SolveIMinusP(p, b, false, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-8 {
+			t.Fatalf("fallback x[%d] = %v, want %v", i, x[i], want[i])
+		}
 	}
 }

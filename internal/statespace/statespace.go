@@ -26,6 +26,7 @@ package statespace
 
 import (
 	"fmt"
+	"math"
 	"math/big"
 )
 
@@ -317,6 +318,7 @@ func (l *Level) MustIndex(state []int) int {
 
 // Compositions returns C(m+k−1, k), the number of ways to place k
 // indistinguishable customers at m stations — the paper's D_RP(k).
+// Counts beyond int64 range saturate at math.MaxInt64.
 func Compositions(m, k int) int {
 	return int(binomial(m+k-1, k))
 }
@@ -334,7 +336,77 @@ func binomial(n, k int) int64 {
 	}
 	b := big.NewInt(0).Binomial(int64(n), int64(k))
 	if !b.IsInt64() {
-		panic("statespace: composition count overflows int64")
+		return math.MaxInt64
 	}
 	return b.Int64()
+}
+
+// satAdd and satMul are int64 arithmetic saturating at math.MaxInt64,
+// so size estimates of absurd state spaces stay ordered instead of
+// wrapping around.
+func satAdd(a, b int64) int64 {
+	if a > math.MaxInt64-b {
+		return math.MaxInt64
+	}
+	return a + b
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > math.MaxInt64/b {
+		return math.MaxInt64
+	}
+	return a * b
+}
+
+// stationWays returns the number of distinct station states holding
+// exactly n customers: compositions over the phases for a delay
+// station, (count, in-service phase) pairs for a queue, and a bare
+// count for a multi-server station.
+func (s *Space) stationWays(st, n int) int64 {
+	sh := s.shapes[st]
+	switch sh.Kind {
+	case Delay:
+		return binomial(n+sh.Phases-1, sh.Phases-1)
+	case Queue:
+		if n == 0 {
+			return 1
+		}
+		return int64(sh.Phases)
+	default: // Multi
+		return 1
+	}
+}
+
+// LevelSize returns D(k), the exact number of states at population k,
+// computed by a convolution over stations without enumerating anything
+// — the O(stations·k²) counting pass that lets callers reject a state
+// space that would exhaust memory before allocating any of it. Counts
+// beyond int64 range saturate at math.MaxInt64.
+func (s *Space) LevelSize(k int) int64 {
+	if k < 0 {
+		return 0
+	}
+	dp := make([]int64, k+1)
+	dp[0] = 1
+	next := make([]int64, k+1)
+	for st := range s.shapes {
+		for n := range next {
+			next[n] = 0
+		}
+		for have := 0; have <= k; have++ {
+			if dp[have] == 0 {
+				continue
+			}
+			for add := 0; have+add <= k; add++ {
+				if w := s.stationWays(st, add); w != 0 {
+					next[have+add] = satAdd(next[have+add], satMul(dp[have], w))
+				}
+			}
+		}
+		dp, next = next, dp
+	}
+	return dp[k]
 }

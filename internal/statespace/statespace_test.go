@@ -1,6 +1,7 @@
 package statespace
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -265,5 +266,45 @@ func TestEnumerateUniqueProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property: LevelSize prices a level exactly — it must equal the count
+// of an actual enumeration for every shape mix it prices.
+func TestLevelSizeMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nSt := 1 + r.Intn(4)
+		shapes := make([]StationShape, nSt)
+		for i := range shapes {
+			switch r.Intn(3) {
+			case 0:
+				shapes[i] = StationShape{Kind: Delay, Phases: 1 + r.Intn(3)}
+			case 1:
+				shapes[i] = StationShape{Kind: Queue, Phases: 1 + r.Intn(3)}
+			default:
+				shapes[i] = StationShape{Kind: Multi, Phases: 1, Servers: 1 + r.Intn(4)}
+			}
+		}
+		sp := NewSpace(shapes)
+		k := r.Intn(6)
+		return sp.LevelSize(k) == int64(sp.Enumerate(k).Count())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLevelSizeSaturates(t *testing.T) {
+	// 8 delay stations with 8 phases each: level 200 has an
+	// astronomically large count; LevelSize must clamp, not overflow.
+	shapes := make([]StationShape, 8)
+	for i := range shapes {
+		shapes[i] = StationShape{Kind: Delay, Phases: 8}
+	}
+	sp := NewSpace(shapes)
+	got := sp.LevelSize(200)
+	if got != math.MaxInt64 {
+		t.Fatalf("LevelSize(200) = %d, want saturation at MaxInt64", got)
 	}
 }

@@ -47,7 +47,7 @@ func TestLognormalMean(t *testing.T) {
 
 func TestFromPH(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	d := phase.ErlangMean(3, 2)
+	d := phase.MustErlangMean(3, 2)
 	s := FromPH(rng, d, 200000)
 	sum, err := Summarize(s)
 	if err != nil {

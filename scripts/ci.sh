@@ -25,4 +25,34 @@ go test -race ./...
 echo "== bench smoke (1 iteration) =="
 go test -run '^$' -bench . -benchtime 1x ./internal/matrix ./internal/core .
 
+echo "== fuzz seed smoke =="
+# Each target's seed corpus runs as ordinary tests; a short -fuzz burst
+# per target catches regressions the fixed seeds miss.
+for target in FuzzNetworkPipeline FuzzPHFit FuzzRobustSolve; do
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/faultcheck
+done
+
+echo "== cmd exit-code smoke =="
+bindir=$(mktemp -d)
+trap 'rm -rf "$bindir"' EXIT
+go build -o "$bindir/" ./cmd/...
+
+expect_exit() { # expected-status description command...
+    local want=$1 what=$2; shift 2
+    local got=0
+    "$@" >/dev/null 2>&1 || got=$?
+    if [ "$got" -ne "$want" ]; then
+        echo "cmd smoke: $what: exit $got, want $want" >&2
+        exit 1
+    fi
+}
+expect_exit 0 "sweep ok"           "$bindir/sweep" -arch central -k 3 -var n -from 5 -to 10 -steps 2
+expect_exit 0 "phfit ok"           "$bindir/phfit" -family h2 -mean 12 -cv2 10
+expect_exit 0 "clustersim ok"      "$bindir/clustersim" -k 2 -n 6 -reps 50 -quiet
+expect_exit 0 "finwl ok"           "$bindir/finwl" -exp fig3
+expect_exit 2 "sweep bad arch"     "$bindir/sweep" -arch nope
+expect_exit 2 "phfit bad family"   "$bindir/phfit" -family nope
+expect_exit 2 "finwl bad exp"      "$bindir/finwl" -exp nope
+expect_exit 1 "finwl timeout"      "$bindir/finwl" -exp tbl-sim -timeout 5ms
+
 echo "CI OK"
