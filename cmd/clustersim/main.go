@@ -7,8 +7,9 @@
 //	clustersim -arch central -k 5 -n 30 -remote-cv2 10 -reps 5000
 //	clustersim -arch distributed -k 3 -n 20 -cpu-cv2 0.5 -timeout 1m
 //
-// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
-// command-line misuse.
+// Exit status: 0 on success, 1 on a runtime failure, timeout or
+// interrupt (Ctrl-C / SIGTERM cancels the solver context cleanly), 2
+// on command-line misuse.
 package main
 
 import (

@@ -8,8 +8,9 @@
 //	finwl -exp all          run every experiment in paper order
 //	finwl -exp all -timeout 2m
 //
-// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
-// command-line misuse.
+// Exit status: 0 on success, 1 on a runtime failure, timeout or
+// interrupt (Ctrl-C / SIGTERM cancels the solver context cleanly), 2
+// on command-line misuse.
 package main
 
 import (

@@ -1,0 +1,106 @@
+// Command finwld serves the finite-workload solver over HTTP with the
+// full resilience stack from internal/serve: priced admission control,
+// retry with backoff, per-model-class circuit breakers, a graceful-
+// degradation ladder (exact → checkpoint → steady-state → bounds,
+// every response tagged with its fidelity), a deduplicated result
+// cache, and graceful drain on SIGTERM/SIGINT.
+//
+// Usage:
+//
+//	finwld -addr 127.0.0.1:8080
+//	curl -s -X POST -d '{"arch":"central","k":3,"n":10}' localhost:8080/solve
+//
+// Endpoints: POST /solve, GET /healthz, GET /stats.
+//
+// Exit status: 0 after a graceful drain (SIGINT/SIGTERM stops
+// admitting, cancels queued work, and finishes in-flight solves within
+// -drain; a second signal hard-kills), 1 on a startup or serve
+// failure, 2 on command-line misuse.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"finwl/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "127.0.0.1:8080", "listen address (host:port, port 0 picks a free port)")
+		budget     = flag.Int64("budget", 0, "admission budget in state-space units (0 = default)")
+		queue      = flag.Int("queue", 0, "max queued requests (0 = default)")
+		cacheSize  = flag.Int("cache", 0, "result-cache entries (0 = default, <0 disables)")
+		maxTimeout = flag.Duration("max-timeout", 0, "cap on per-request deadlines (0 = default 60s)")
+		cooldown   = flag.Duration("breaker-cooldown", 0, "circuit-breaker open → half-open delay (0 = default 5s)")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "finwld: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if err := run(*addr, serve.Config{
+		Budget:          *budget,
+		MaxQueue:        *queue,
+		CacheSize:       *cacheSize,
+		MaxTimeout:      *maxTimeout,
+		BreakerCooldown: *cooldown,
+	}, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+	srv := serve.New(cfg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The startup line is the machine-readable handshake the CI smoke
+	// test (and port-0 users) scrape for the bound address.
+	fmt.Printf("finwld listening on %s\n", ln.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		fmt.Printf("finwld: %v received, draining (deadline %v)\n", s, drainTimeout)
+		signal.Stop(sig) // a second signal kills the process
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	// Drain first — stop admitting, cancel queued work, wait for
+	// in-flight solves — then close the listener and idle connections.
+	// A busted drain deadline force-cancels in-flight work; that is
+	// still an orderly exit, so it stays exit 0.
+	if err := srv.Drain(drainCtx); err != nil {
+		fmt.Printf("finwld: %v\n", err)
+	}
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		httpSrv.Close()
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	fmt.Println("finwld: drained, exiting")
+	return nil
+}

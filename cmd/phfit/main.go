@@ -12,8 +12,9 @@
 //	phfit -family h2 -mean 12 -cv2 10 -f0 0.5     (pdf(0)-fit, §5.4.2)
 //	phfit -fit-csv trace.csv -branches 3          (EM fit from a trace)
 //
-// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
-// command-line misuse.
+// Exit status: 0 on success, 1 on a runtime failure, timeout or
+// interrupt (Ctrl-C / SIGTERM cancels the solver context cleanly), 2
+// on command-line misuse.
 package main
 
 import (

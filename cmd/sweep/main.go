@@ -10,8 +10,9 @@
 //	sweep -var k -from 1 -to 10 -steps 10 -n 100 -low-contention > speedup.csv
 //	sweep -var n -from 10 -to 200 -steps 10 -k 5 -timeout 30s
 //
-// Exit status: 0 on success, 1 on a runtime failure or timeout, 2 on
-// command-line misuse.
+// Exit status: 0 on success, 1 on a runtime failure, timeout or
+// interrupt (Ctrl-C / SIGTERM cancels the solver context cleanly), 2
+// on command-line misuse.
 package main
 
 import (

@@ -18,6 +18,12 @@
 //	ErrCanceled     — the caller's context was canceled or its deadline
 //	                  expired; also matches context.Canceled /
 //	                  context.DeadlineExceeded via Unwrap.
+//	ErrOverloaded   — admission control rejected the request: cost
+//	                  beyond the remaining budget, queue full, or the
+//	                  server draining; retry later or shrink the model.
+//	ErrDegraded     — the result was served by a cheaper approximation
+//	                  tier because the exact path was unavailable; the
+//	                  response is usable but not exact.
 //
 // check imports only the standard library so every package — including
 // internal/matrix at the bottom of the stack — can use it.
@@ -49,6 +55,18 @@ var ErrNumeric = errors.New("non-finite numerical result")
 // ErrCanceled is returned when a context is canceled or its deadline
 // expires mid-computation.
 var ErrCanceled = errors.New("computation canceled")
+
+// ErrOverloaded is returned when admission control rejects a request:
+// its state-space cost exceeds the remaining capacity budget, the job
+// queue is full, or the server has stopped admitting work. Retrying
+// later, or with a smaller model, can help.
+var ErrOverloaded = errors.New("server overloaded")
+
+// ErrDegraded marks a result computed by a cheaper approximation tier
+// because the exact path was unavailable (breaker open, deadline too
+// tight, or a numerical failure). It accompanies a usable response —
+// callers that need exact numbers must check for it.
+var ErrDegraded = errors.New("result degraded to an approximation")
 
 // canceledError wraps a context error so that errors.Is matches both
 // ErrCanceled and the underlying context sentinel.

@@ -3,6 +3,7 @@ package check
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math"
 	"testing"
 	"time"
@@ -77,5 +78,36 @@ func TestScreens(t *testing.T) {
 		if c.bad && !errors.Is(c.err, ErrInvalidModel) {
 			t.Errorf("%s: %v does not match ErrInvalidModel", c.name, c.err)
 		}
+	}
+}
+
+func TestSentinelsDistinct(t *testing.T) {
+	sentinels := []error{
+		ErrInvalidModel, ErrSingular, ErrNotConverged,
+		ErrNumeric, ErrCanceled, ErrOverloaded, ErrDegraded,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if got := errors.Is(a, b); got != (i == j) {
+				t.Errorf("errors.Is(%v, %v) = %v", a, b, got)
+			}
+		}
+	}
+}
+
+func TestOverloadedAndDegradedWrap(t *testing.T) {
+	over := fmt.Errorf("queue full (8 waiting): %w", ErrOverloaded)
+	if !errors.Is(over, ErrOverloaded) {
+		t.Errorf("%v does not match ErrOverloaded", over)
+	}
+	if errors.Is(over, ErrCanceled) || errors.Is(over, ErrInvalidModel) {
+		t.Errorf("%v matches an unrelated sentinel", over)
+	}
+	deg := fmt.Errorf("served bounds after exact tier failed: %w: %w", ErrDegraded, ErrSingular)
+	if !errors.Is(deg, ErrDegraded) {
+		t.Errorf("%v does not match ErrDegraded", deg)
+	}
+	if !errors.Is(deg, ErrSingular) {
+		t.Errorf("%v lost its cause sentinel", deg)
 	}
 }

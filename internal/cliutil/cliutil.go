@@ -1,9 +1,9 @@
 // Package cliutil carries the shared plumbing of the cmd/ binaries:
-// the run()-returns-error main wrapper with distinct exit codes, and
-// the -timeout flag's context construction. Every command exits 0 on
-// success, 1 on a runtime failure (solver error, I/O, timeout), and 2
-// on command-line misuse — with a one-line message on stderr, never a
-// panic or a stack trace.
+// the run()-returns-error main wrapper with distinct exit codes, the
+// -timeout flag's context construction, and interrupt wiring. Every
+// command exits 0 on success, 1 on a runtime failure (solver error,
+// I/O, timeout, interrupt), and 2 on command-line misuse — with a
+// one-line message on stderr, never a panic or a stack trace.
 package cliutil
 
 import (
@@ -11,7 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
+
+	"finwl/internal/check"
 )
 
 // UsageError marks command-line misuse; Main exits 2 for it.
@@ -25,16 +29,26 @@ func Usagef(format string, args ...any) error {
 }
 
 // Main runs run under a context honoring timeout (0 = no limit) and
-// converts its error into the exit-code contract above. It does not
-// return on failure.
+// SIGINT/SIGTERM, and converts its error into the exit-code contract
+// above. A first signal cancels the context, so Ctrl-C takes the same
+// typed check.ErrCanceled path as -timeout and exits 1 after cleanup;
+// a second signal falls through to the runtime's default hard kill.
+// Main does not return on failure.
 func Main(name string, timeout time.Duration, run func(ctx context.Context) error) {
-	ctx := context.Background()
-	cancel := context.CancelFunc(func() {})
+	ctx, cancel := context.WithCancel(context.Background())
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+		signal.Stop(sig) // a second signal kills the process
+	}()
 	err := run(ctx)
 	cancel()
+	signal.Stop(sig)
 	if err == nil {
 		return
 	}
@@ -46,11 +60,12 @@ func Main(name string, timeout time.Duration, run func(ctx context.Context) erro
 	os.Exit(1)
 }
 
-// Await runs fn concurrently and returns its result, or the context's
-// error if the deadline lands first. It exists to put legacy
-// synchronous call trees (which cannot observe ctx themselves) under
-// the -timeout contract: an abandoned fn keeps running, but Main is
-// about to exit the process anyway.
+// Await runs fn concurrently and returns its result, or a typed
+// check.ErrCanceled-matching error if the deadline or an interrupt
+// lands first. It exists to put legacy synchronous call trees (which
+// cannot observe ctx themselves) under the -timeout contract: an
+// abandoned fn keeps running, but Main is about to exit the process
+// anyway.
 func Await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
 	type result struct {
 		v   T
@@ -66,6 +81,6 @@ func Await[T any](ctx context.Context, fn func() (T, error)) (T, error) {
 		return r.v, r.err
 	case <-ctx.Done():
 		var zero T
-		return zero, fmt.Errorf("timed out: %w", ctx.Err())
+		return zero, check.Canceled(ctx)
 	}
 }

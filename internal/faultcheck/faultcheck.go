@@ -41,7 +41,7 @@ func Typed(err error) bool {
 	}
 	for _, sentinel := range []error{
 		check.ErrInvalidModel, check.ErrSingular, check.ErrNotConverged,
-		check.ErrNumeric, check.ErrCanceled,
+		check.ErrNumeric, check.ErrCanceled, check.ErrOverloaded, check.ErrDegraded,
 	} {
 		if errors.Is(err, sentinel) {
 			return true

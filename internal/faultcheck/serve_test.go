@@ -1,0 +1,49 @@
+package faultcheck
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"finwl/internal/serve"
+)
+
+// TestServeCampaign pushes all degenerate-input classes through a real
+// HTTP round trip and asserts the serve-mode contract: every class is
+// refused with a mapped 4xx/5xx status and a typed error body — zero
+// panics, zero 200s, zero untyped 500s.
+func TestServeCampaign(t *testing.T) {
+	srv := serve.New(serve.Config{Seed: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	outcomes, err := ServeCampaign(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatalf("campaign transport failure: %v", err)
+	}
+	if len(outcomes) != len(Classes()) {
+		t.Fatalf("campaign covered %d classes, want %d", len(outcomes), len(Classes()))
+	}
+	for _, o := range outcomes {
+		if err := o.Check(); err != nil {
+			t.Errorf("%v", err)
+		}
+		t.Logf("%-24s -> %d %s", o.Class, o.Status, o.Code)
+	}
+
+	// Spot-check the two mapping regimes: validation failures are 400s
+	// and the structurally-valid-but-singular class exhausts the whole
+	// degradation ladder into a 503.
+	want := map[string]int{
+		"nan-routing":          http.StatusBadRequest,
+		"oversized-population": http.StatusBadRequest,
+		"zero-population":      http.StatusBadRequest,
+		"absorbing-phase":      http.StatusBadRequest,
+		"trapped-tasks":        http.StatusServiceUnavailable,
+	}
+	for _, o := range outcomes {
+		if w, ok := want[o.Class]; ok && o.Status != w {
+			t.Errorf("class %s: status %d, want %d (body %s)", o.Class, o.Status, w, o.Body)
+		}
+	}
+}

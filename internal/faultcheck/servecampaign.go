@@ -1,0 +1,106 @@
+package faultcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"finwl/internal/serve"
+)
+
+// serveCodes is the closed set of machine-readable error codes the
+// serve boundary may emit for a degenerate input. "panic" and
+// "internal" are deliberately absent: their appearance is a contract
+// violation, exactly like an escaped panic in the in-process harness.
+var serveCodes = map[string]bool{
+	"invalid_model": true,
+	"overloaded":    true,
+	"draining":      true,
+	"canceled":      true,
+	"singular":      true,
+	"numeric":       true,
+	"not_converged": true,
+	"degraded":      true,
+}
+
+// serveStatuses is the closed set of HTTP statuses a degenerate input
+// may map to: 400 (model rejected), 429 (admission rejected), 503
+// (draining, or a numerical failure that survived the whole
+// degradation ladder), 504 (deadline).
+var serveStatuses = map[int]bool{
+	http.StatusBadRequest:         true,
+	http.StatusTooManyRequests:    true,
+	http.StatusServiceUnavailable: true,
+	http.StatusGatewayTimeout:     true,
+}
+
+// ServeOutcome records how the HTTP serve surface disposed of one
+// degenerate-input class.
+type ServeOutcome struct {
+	Class  string
+	Status int
+	Code   string // machine-readable code from the error body
+	Body   string // raw response body, for diagnostics
+}
+
+// Check enforces the serve-mode robustness contract on one outcome: a
+// degenerate input must be refused with a mapped status and a typed
+// error body — never a 200, a 500, or a panic.
+func (o ServeOutcome) Check() error {
+	if !serveStatuses[o.Status] {
+		return &Violation{
+			Stage: "serve:" + o.Class,
+			Err:   fmt.Errorf("HTTP status %d outside the degenerate-input contract (body %s)", o.Status, o.Body),
+		}
+	}
+	if !serveCodes[o.Code] {
+		return &Violation{
+			Stage: "serve:" + o.Class,
+			Err:   fmt.Errorf("error code %q is not a typed serve code (body %s)", o.Code, o.Body),
+		}
+	}
+	return nil
+}
+
+// ServeCampaign pushes every degenerate-input class of the catalogue
+// through a live HTTP serve surface (POST baseURL/solve) and returns
+// one outcome per class. It is the HTTP-boundary twin of Exercise:
+// the request bodies travel as JSON — including NaN/∞ values, which
+// the serve wire format round-trips on purpose — so the full decode →
+// build → validate → ladder path is what gets tested. Callers run
+// Check on each outcome (or assert exact statuses themselves).
+func ServeCampaign(baseURL string, client *http.Client) ([]ServeOutcome, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	classes := Classes()
+	outcomes := make([]ServeOutcome, 0, len(classes))
+	for _, c := range classes {
+		net, k, n := c.Build()
+		req := serve.Request{K: k, N: n, Network: serve.SpecFromNetwork(net)}
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: class %s: marshal request: %w", c.Name, err)
+		}
+		resp, err := client.Post(baseURL+"/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: class %s: POST /solve: %w", c.Name, err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: class %s: read response: %w", c.Name, err)
+		}
+		var eb serve.ErrorBody
+		_ = json.Unmarshal(raw, &eb) // non-error bodies leave Code empty
+		outcomes = append(outcomes, ServeOutcome{
+			Class:  c.Name,
+			Status: resp.StatusCode,
+			Code:   eb.Code,
+			Body:   string(bytes.TrimSpace(raw)),
+		})
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+
+	"finwl/internal/check"
+	"finwl/internal/statespace"
+)
+
+// chainPrice is the admission cost of an exact solve: the dense-chain
+// entry count Σ_k (d_k² + 2·d_k·d_{k−1} + d_k), priced by the
+// statespace.LevelSize DP before anything is allocated — the same
+// quantity the construction-time memory guard bounds. Saturates at
+// maxPrice.
+const maxPrice = int64(1) << 62
+
+func chainPrice(space *statespace.Space, maxK int) int64 {
+	var total float64
+	prev := float64(space.LevelSize(0))
+	for k := 1; k <= maxK; k++ {
+		d := float64(space.LevelSize(k))
+		total += d*d + 2*d*prev + d
+		prev = d
+	}
+	if total >= float64(maxPrice) {
+		return maxPrice
+	}
+	return int64(total)
+}
+
+// admission is a bounded, budget-priced job queue. A request acquires
+// its state-space cost before solving and releases it after; requests
+// that do not fit wait FIFO up to maxQueue deep, and anything beyond
+// that — or priced over the whole budget — is rejected with a typed
+// check.ErrOverloaded. close cancels every waiter (typed
+// check.ErrCanceled) and rejects all future acquires, which is the
+// drain path.
+type admission struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	maxQueue int
+	queue    []*waiter
+	closed   bool
+	inflight sync.WaitGroup // one unit per granted acquire
+}
+
+type waiter struct {
+	price   int64
+	ready   chan struct{} // closed on grant
+	granted bool
+	err     error // set instead of grant on close
+}
+
+func newAdmission(budget int64, maxQueue int) *admission {
+	return &admission{budget: budget, maxQueue: maxQueue}
+}
+
+// acquire blocks until price units of budget are available, the
+// context ends, or the admission is closed. A nil return means the
+// caller owns price units (and one inflight token) and must release.
+func (a *admission) acquire(done <-chan struct{}, price int64) error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return fmt.Errorf("serve: draining, not admitting work: %w", check.ErrOverloaded)
+	}
+	if price > a.budget {
+		a.mu.Unlock()
+		return fmt.Errorf("serve: model costs %d state-space units, budget is %d: %w", price, a.budget, check.ErrOverloaded)
+	}
+	if a.used+price <= a.budget && len(a.queue) == 0 {
+		a.grantLocked(price)
+		a.mu.Unlock()
+		return nil
+	}
+	if len(a.queue) >= a.maxQueue {
+		n := len(a.queue)
+		a.mu.Unlock()
+		return fmt.Errorf("serve: job queue full (%d waiting): %w", n, check.ErrOverloaded)
+	}
+	w := &waiter{price: price, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			return w.err
+		}
+		return nil
+	case <-done:
+		a.mu.Lock()
+		if w.granted {
+			// Lost the race: the grant landed while we were cancelling.
+			a.releaseLocked(price)
+			a.mu.Unlock()
+			return fmt.Errorf("serve: canceled while queued: %w", check.ErrCanceled)
+		}
+		a.removeLocked(w)
+		a.mu.Unlock()
+		return fmt.Errorf("serve: canceled while queued: %w", check.ErrCanceled)
+	}
+}
+
+// grantLocked charges the budget and takes an inflight token.
+func (a *admission) grantLocked(price int64) {
+	a.used += price
+	a.inflight.Add(1)
+}
+
+// release returns price units and promotes FIFO waiters that now fit.
+func (a *admission) release(price int64) {
+	a.mu.Lock()
+	a.releaseLocked(price)
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked(price int64) {
+	a.used -= price
+	a.inflight.Done()
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if a.used+w.price > a.budget {
+			break
+		}
+		a.queue = a.queue[1:]
+		w.granted = true
+		a.grantLocked(w.price)
+		close(w.ready)
+	}
+}
+
+func (a *admission) removeLocked(target *waiter) {
+	for i, w := range a.queue {
+		if w == target {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// close stops admitting: every queued waiter fails typed as canceled,
+// and future acquires are rejected as overloaded. In-flight work is
+// untouched; callers drain it via wait.
+func (a *admission) close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return
+	}
+	a.closed = true
+	for _, w := range a.queue {
+		w.err = fmt.Errorf("serve: queued work canceled by drain: %w", check.ErrCanceled)
+		close(w.ready)
+	}
+	a.queue = nil
+}
+
+// wait blocks until all granted work has released.
+func (a *admission) wait() { a.inflight.Wait() }
+
+// stats returns the current budget occupancy and queue depth.
+func (a *admission) snapshot() (used, budget int64, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used, a.budget, len(a.queue)
+}

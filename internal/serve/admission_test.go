@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"finwl/internal/check"
+)
+
+func TestAdmissionGrantAndRelease(t *testing.T) {
+	a := newAdmission(100, 4)
+	if err := a.acquire(nil, 60); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	if err := a.acquire(nil, 40); err != nil {
+		t.Fatalf("second acquire filling budget: %v", err)
+	}
+	used, budget, queued := a.snapshot()
+	if used != 100 || budget != 100 || queued != 0 {
+		t.Fatalf("snapshot = (%d, %d, %d), want (100, 100, 0)", used, budget, queued)
+	}
+	a.release(60)
+	a.release(40)
+	if used, _, _ := a.snapshot(); used != 0 {
+		t.Fatalf("used after release = %d, want 0", used)
+	}
+	a.wait() // must not block once everything released
+}
+
+func TestAdmissionRejectsOverBudgetPrice(t *testing.T) {
+	a := newAdmission(100, 4)
+	err := a.acquire(nil, 101)
+	if !errors.Is(err, check.ErrOverloaded) {
+		t.Fatalf("over-budget price: err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestAdmissionQueueFullRejects(t *testing.T) {
+	a := newAdmission(100, 1)
+	if err := a.acquire(nil, 100); err != nil {
+		t.Fatalf("filler acquire: %v", err)
+	}
+	// One waiter fits in the queue...
+	firstQueued := make(chan error, 1)
+	go func() { firstQueued <- a.acquire(make(chan struct{}), 10) }()
+	waitForQueue(t, a, 1)
+	// ...the next is rejected.
+	if err := a.acquire(nil, 10); !errors.Is(err, check.ErrOverloaded) {
+		t.Fatalf("queue-full acquire: err = %v, want ErrOverloaded", err)
+	}
+	a.release(100) // promotes the queued waiter
+	if err := <-firstQueued; err != nil {
+		t.Fatalf("promoted waiter: %v", err)
+	}
+	a.release(10)
+}
+
+func TestAdmissionFIFOPromotion(t *testing.T) {
+	a := newAdmission(100, 8)
+	if err := a.acquire(nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	// Waiter 1 (price 90) queues first, waiter 2 (price 50) second.
+	// When the filler releases, strict FIFO grants the head — and only
+	// the head, since 90+50 exceeds the budget: the cheaper latecomer
+	// must not bypass it.
+	grants := make(chan int, 2)
+	for i, price := range []int64{90, 50} {
+		i, price := i+1, price
+		go func() {
+			if err := a.acquire(make(chan struct{}), price); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+			}
+			grants <- i
+		}()
+		waitForQueue(t, a, i)
+	}
+	a.release(100)
+	if first := <-grants; first != 1 {
+		t.Fatalf("first grant went to waiter %d, want the FIFO head 1", first)
+	}
+	if _, _, queued := a.snapshot(); queued != 1 {
+		t.Fatalf("queue depth = %d, want waiter 2 still blocked behind the head", queued)
+	}
+	a.release(90)
+	if second := <-grants; second != 2 {
+		t.Fatalf("second grant went to waiter %d, want 2", second)
+	}
+	a.release(50)
+	a.wait()
+}
+
+func TestAdmissionCancelWhileQueued(t *testing.T) {
+	a := newAdmission(100, 4)
+	if err := a.acquire(nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.acquire(done, 10) }()
+	waitForQueue(t, a, 1)
+	close(done)
+	if err := <-errCh; !errors.Is(err, check.ErrCanceled) {
+		t.Fatalf("canceled waiter: err = %v, want ErrCanceled", err)
+	}
+	if _, _, queued := a.snapshot(); queued != 0 {
+		t.Fatalf("queue depth after cancel = %d, want 0", queued)
+	}
+	a.release(100)
+}
+
+func TestAdmissionCloseCancelsQueueTyped(t *testing.T) {
+	a := newAdmission(100, 4)
+	if err := a.acquire(nil, 100); err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.acquire(make(chan struct{}), 10) }()
+	waitForQueue(t, a, 1)
+	a.close()
+	if err := <-errCh; !errors.Is(err, check.ErrCanceled) {
+		t.Fatalf("drained waiter: err = %v, want ErrCanceled", err)
+	}
+	if err := a.acquire(nil, 1); !errors.Is(err, check.ErrOverloaded) {
+		t.Fatalf("post-close acquire: err = %v, want ErrOverloaded", err)
+	}
+	a.release(100)
+	a.wait()
+}
+
+func waitForQueue(t *testing.T, a *admission, depth int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, queued := a.snapshot(); queued >= depth {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("queue never reached depth %d", depth)
+}

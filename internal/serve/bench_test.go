@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"finwl/internal/check"
+)
+
+// The serve perf trio: what a request costs when the cache absorbs it,
+// when the full exact pipeline runs, and when the degradation ladder
+// answers instead. bench.sh snapshots these into BENCH_n.json.
+
+func BenchmarkPerfServeCacheHit(b *testing.B) {
+	s := New(Config{Seed: 1})
+	req := &Request{Arch: "central", K: 3, N: 10}
+	if _, err := s.Solve(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !resp.Cached {
+			b.Fatal("expected a cache hit")
+		}
+	}
+}
+
+func BenchmarkPerfServeCacheMiss(b *testing.B) {
+	s := New(Config{Seed: 1, CacheSize: -1, SolverCacheSize: -1})
+	req := &Request{Arch: "central", K: 3, N: 10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Solve(context.Background(), req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.Fidelity != FidelityExact {
+			b.Fatalf("fidelity = %s, want exact", resp.Fidelity)
+		}
+	}
+}
+
+func BenchmarkPerfServeDegraded(b *testing.B) {
+	s := New(Config{Seed: 1, CacheSize: -1, SolverCacheSize: -1})
+	// 1ms of deadline against a ~25ms exact estimate: the ladder
+	// answers from the cheap end every iteration.
+	req := &Request{Arch: "central", K: 10, N: 50, TimeoutMS: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := s.Solve(context.Background(), req)
+		if !errors.Is(err, check.ErrDegraded) {
+			b.Fatalf("err = %v, want ErrDegraded", err)
+		}
+		if resp == nil || !resp.Degraded() {
+			b.Fatal("expected a degraded approximation")
+		}
+	}
+}

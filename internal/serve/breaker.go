@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// BreakerClosed: requests flow to the exact path.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: the exact path is short-circuited to the
+	// degradation ladder until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: one probe request may try the exact path; its
+	// outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker guards the exact solve path of one model class. It trips to
+// open after `threshold` consecutive tripping failures
+// (ErrSingular/ErrNumeric); after `cooldown` it admits a single
+// half-open probe whose success closes it and whose failure re-opens
+// it.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state    BreakerState
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether this request may take the exact path. probe is
+// true when the request is the single half-open probe; the caller must
+// report its outcome via onSuccess/onFailure.
+func (b *breaker) allow() (ok, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false, false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = false
+		fallthrough
+	default: // BreakerHalfOpen
+		if b.probing {
+			return false, false
+		}
+		b.probing = true
+		return true, true
+	}
+}
+
+// onSuccess records a successful exact solve: it closes a half-open
+// breaker and clears the failure streak.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = BreakerClosed
+	b.fails = 0
+	b.probing = false
+}
+
+// onFailure records a tripping failure: a half-open probe failure
+// re-opens immediately; in closed state the streak counts up to the
+// threshold.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.trip()
+	case BreakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.trip()
+		}
+	case BreakerOpen:
+		// Failures from requests admitted before the trip; stay open
+		// and restart the cooldown so a struggling class backs off.
+		b.trip()
+	}
+}
+
+func (b *breaker) trip() {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.probing = false
+}
+
+// snapshot returns the externally visible state (resolving an elapsed
+// open cooldown to half-open for reporting).
+func (b *breaker) snapshot() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		return BreakerHalfOpen
+	}
+	return b.state
+}

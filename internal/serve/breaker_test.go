@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock is a mutable time source for driving breaker cooldowns.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, clk.now)
+
+	if ok, probe := b.allow(); !ok || probe {
+		t.Fatalf("closed breaker: allow = (%v, %v), want (true, false)", ok, probe)
+	}
+	// Two failures stay closed, the third trips.
+	b.onFailure()
+	b.onFailure()
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("breaker tripped before threshold")
+	}
+	b.onFailure()
+	if ok, _ := b.allow(); ok {
+		t.Fatal("breaker still allowing after threshold failures")
+	}
+	if s := b.snapshot(); s != BreakerOpen {
+		t.Fatalf("state = %v, want open", s)
+	}
+
+	// Cooldown elapses: exactly one probe goes through.
+	clk.advance(time.Second)
+	if s := b.snapshot(); s != BreakerHalfOpen {
+		t.Fatalf("state after cooldown = %v, want half-open", s)
+	}
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("first half-open allow = (%v, %v), want (true, true)", ok, probe)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second caller allowed during an in-flight probe")
+	}
+
+	// Probe failure re-opens with a fresh cooldown.
+	b.onFailure()
+	if ok, _ := b.allow(); ok {
+		t.Fatal("allowed immediately after a failed probe")
+	}
+	clk.advance(time.Second)
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("probe after second cooldown = (%v, %v), want (true, true)", ok, probe)
+	}
+	// Probe success closes and clears the streak.
+	b.onSuccess()
+	if s := b.snapshot(); s != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", s)
+	}
+	b.onFailure()
+	b.onFailure()
+	if ok, _ := b.allow(); !ok {
+		t.Fatal("streak not cleared by success")
+	}
+}
+
+// TestBreakerHalfOpenRace hammers a half-open breaker from many
+// goroutines (run under -race in CI): exactly one caller may win the
+// probe slot per half-open window.
+func TestBreakerHalfOpenRace(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	for round := 0; round < 10; round++ {
+		b.onFailure() // trip
+		clk.advance(time.Second)
+
+		var probes, allows atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < 32; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				ok, probe := b.allow()
+				if probe {
+					probes.Add(1)
+				}
+				if ok {
+					allows.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if probes.Load() != 1 || allows.Load() != 1 {
+			t.Fatalf("round %d: %d probes, %d allows, want exactly 1 of each", round, probes.Load(), allows.Load())
+		}
+		b.onSuccess() // close for the next round
+	}
+}

@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lru is a small mutex-guarded LRU map. Zero or negative capacity
+// disables it (every get misses, every add is dropped).
+type lru[V any] struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type lruEntry[V any] struct {
+	key string
+	val V
+}
+
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lru[V]) get(key string) (V, bool) {
+	var zero V
+	if c.cap <= 0 {
+		return zero, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[key]
+	if !ok {
+		return zero, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry[V]).val, true
+}
+
+func (c *lru[V]) add(key string, val V) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		el.Value.(*lruEntry[V]).val = val
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: val})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry[V]).key)
+	}
+}
+
+func (c *lru[V]) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// flightGroup deduplicates concurrent identical work: the first
+// caller for a key runs fn, later callers for the same key block and
+// share the leader's result. Unlike a cache, entries live only while
+// the leader is running.
+type flightGroup[V any] struct {
+	mu sync.Mutex
+	m  map[string]*flightCall[V]
+}
+
+type flightCall[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+func newFlightGroup[V any]() *flightGroup[V] {
+	return &flightGroup[V]{m: make(map[string]*flightCall[V])}
+}
+
+// do runs fn for key, or joins an in-flight run. shared reports
+// whether the result came from another caller's run. A joining caller
+// whose done channel fires first abandons the flight (the leader
+// keeps running) and returns abandoned = true.
+func (g *flightGroup[V]) do(done <-chan struct{}, key string, fn func() (V, error)) (val V, err error, shared, abandoned bool) {
+	g.mu.Lock()
+	if call, ok := g.m[key]; ok {
+		g.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.val, call.err, true, false
+		case <-done:
+			var zero V
+			return zero, nil, true, true
+		}
+	}
+	call := &flightCall[V]{done: make(chan struct{})}
+	g.m[key] = call
+	g.mu.Unlock()
+
+	call.val, call.err = fn()
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(call.done)
+	return call.val, call.err, false, false
+}

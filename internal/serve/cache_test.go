@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := newLRU[int](2)
+	c.add("a", 1)
+	c.add("b", 2)
+	c.get("a") // refresh a; b is now least recent
+	c.add("c", 3)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b survived eviction, want it dropped")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.get(k); !ok {
+			t.Fatalf("%s missing after eviction", k)
+		}
+	}
+	if c.len() != 2 {
+		t.Fatalf("len = %d, want 2", c.len())
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRU[int](-1)
+	c.add("a", 1)
+	if _, ok := c.get("a"); ok {
+		t.Fatal("disabled cache returned a hit")
+	}
+	if c.len() != 0 {
+		t.Fatalf("disabled cache len = %d, want 0", c.len())
+	}
+}
+
+func TestLRUUpdateExisting(t *testing.T) {
+	c := newLRU[int](2)
+	c.add("a", 1)
+	c.add("a", 9)
+	if v, _ := c.get("a"); v != 9 {
+		t.Fatalf("a = %d, want updated value 9", v)
+	}
+	if c.len() != 1 {
+		t.Fatalf("len = %d, want 1", c.len())
+	}
+}
+
+func TestFlightGroupDeduplicates(t *testing.T) {
+	g := newFlightGroup[int]()
+	var calls atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	leaderDone := make(chan struct{})
+	var leaderVal int
+	var leaderShared bool
+	go func() {
+		defer close(leaderDone)
+		leaderVal, _, leaderShared, _ = g.do(nil, "k", func() (int, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+
+	const joiners = 8
+	var wg sync.WaitGroup
+	var entered atomic.Int64
+	shared := make([]bool, joiners)
+	vals := make([]int, joiners)
+	for i := 0; i < joiners; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			entered.Add(1)
+			vals[i], _, shared[i], _ = g.do(nil, "k", func() (int, error) {
+				calls.Add(1)
+				return -1, nil
+			})
+		}()
+	}
+	// Release the leader only once every joiner is at (or inside) its
+	// do call, so they all join the in-flight computation.
+	for entered.Load() < joiners {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	<-leaderDone
+
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls.Load())
+	}
+	if leaderVal != 42 || leaderShared {
+		t.Fatalf("leader got (%d, shared=%v), want (42, false)", leaderVal, leaderShared)
+	}
+	for i := 0; i < joiners; i++ {
+		if vals[i] != 42 || !shared[i] {
+			t.Fatalf("joiner %d got (%d, shared=%v), want (42, true)", i, vals[i], shared[i])
+		}
+	}
+}
+
+func TestFlightGroupAbandon(t *testing.T) {
+	g := newFlightGroup[int]()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go g.do(nil, "k", func() (int, error) {
+		close(started)
+		<-release
+		return 1, errors.New("x")
+	})
+	<-started
+
+	done := make(chan struct{})
+	close(done) // joiner's context already over
+	_, _, _, abandoned := g.do(done, "k", func() (int, error) { return 0, nil })
+	if !abandoned {
+		t.Fatal("joiner with an expired context did not abandon the flight")
+	}
+	close(release) // leader finishes normally
+}

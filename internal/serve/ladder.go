@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Fidelity tags how a response was computed — the rungs of the
+// graceful-degradation ladder, best first.
+type Fidelity string
+
+const (
+	// FidelityExact: full transient solve (chain construction +
+	// per-level factorization + epoch recursion).
+	FidelityExact Fidelity = "exact"
+	// FidelityCheckpoint: exact numbers via the incremental sweep path
+	// over a cached, already-factored solver — no construction cost.
+	FidelityCheckpoint Fidelity = "checkpoint"
+	// FidelitySteady: the steady-state/product-form approximation —
+	// feeding epochs costed at the product-form interdeparture time.
+	FidelitySteady Fidelity = "steady-state"
+	// FidelityBounds: the operational-analysis bounds envelope, O(M).
+	FidelityBounds Fidelity = "bounds"
+)
+
+// rungBelow returns the next-cheaper rung.
+func rungBelow(f Fidelity) Fidelity {
+	switch f {
+	case FidelityExact, FidelityCheckpoint:
+		return FidelitySteady
+	default:
+		return FidelityBounds
+	}
+}
+
+// noDeadline is the "remaining time" of a request without a deadline.
+const noDeadline = time.Duration(math.MaxInt64)
+
+// estimates predicts the wall-clock cost of each ladder rung for one
+// request.
+type estimates struct {
+	exact      time.Duration
+	checkpoint time.Duration
+	steady     time.Duration
+}
+
+// selectTier picks the best affordable rung. The ladder:
+//
+//	exact      — needs a closed (or probing half-open) breaker and
+//	             enough deadline for construction + solve;
+//	checkpoint — same result, cheaper: preferred whenever a factored
+//	             solver is already cached;
+//	steady     — product-form approximation when the exact tiers are
+//	             unaffordable or the breaker is open;
+//	bounds     — the envelope of last resort; always affordable.
+//
+// It is a pure function so the (deadline × breaker-state) matrix is
+// directly table-testable.
+func selectTier(breakerOpen, haveSolver bool, remaining time.Duration, est estimates) Fidelity {
+	if !breakerOpen {
+		if haveSolver && remaining >= est.checkpoint {
+			return FidelityCheckpoint
+		}
+		if remaining >= est.exact {
+			return FidelityExact
+		}
+	}
+	if remaining >= est.steady {
+		return FidelitySteady
+	}
+	return FidelityBounds
+}
+
+// estimator predicts rung costs per model class from an EWMA of
+// observed (duration / state-space price) ratios, seeded with
+// conservative defaults so a cold server still degrades sanely under
+// tight deadlines.
+type estimator struct {
+	mu      sync.Mutex
+	classes map[string]*classEst
+
+	defExactNsPerUnit float64
+	defCheckpointFrac float64
+	defSteadyNs       float64
+}
+
+type classEst struct {
+	exactNsPerUnit      float64
+	checkpointNsPerUnit float64
+	steadyNs            float64
+}
+
+const ewmaAlpha = 0.3
+
+func newEstimator(exactNsPerUnit, checkpointFrac, steadyNs float64) *estimator {
+	return &estimator{
+		classes:           make(map[string]*classEst),
+		defExactNsPerUnit: exactNsPerUnit,
+		defCheckpointFrac: checkpointFrac,
+		defSteadyNs:       steadyNs,
+	}
+}
+
+func (e *estimator) classFor(class string) *classEst {
+	c, ok := e.classes[class]
+	if !ok {
+		c = &classEst{
+			exactNsPerUnit:      e.defExactNsPerUnit,
+			checkpointNsPerUnit: e.defExactNsPerUnit * e.defCheckpointFrac,
+			steadyNs:            e.defSteadyNs,
+		}
+		e.classes[class] = c
+	}
+	return c
+}
+
+// estimate prices the rungs of one request of `price` state-space
+// units against the class's learned coefficients.
+func (e *estimator) estimate(class string, price int64) estimates {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.classFor(class)
+	p := float64(price)
+	return estimates{
+		exact:      time.Duration(c.exactNsPerUnit * p),
+		checkpoint: time.Duration(c.checkpointNsPerUnit * p),
+		steady:     time.Duration(c.steadyNs),
+	}
+}
+
+// observe feeds a measured rung duration back into the class EWMA.
+func (e *estimator) observe(class string, tier Fidelity, price int64, d time.Duration) {
+	if price <= 0 || d <= 0 {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	c := e.classFor(class)
+	blend := func(old, sample float64) float64 {
+		return (1-ewmaAlpha)*old + ewmaAlpha*sample
+	}
+	switch tier {
+	case FidelityExact:
+		c.exactNsPerUnit = blend(c.exactNsPerUnit, float64(d)/float64(price))
+	case FidelityCheckpoint:
+		c.checkpointNsPerUnit = blend(c.checkpointNsPerUnit, float64(d)/float64(price))
+	case FidelitySteady:
+		c.steadyNs = blend(c.steadyNs, float64(d))
+	}
+}

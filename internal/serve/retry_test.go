@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"finwl/internal/check"
+)
+
+func TestWithRetryTransientSucceeds(t *testing.T) {
+	jit := newLockedRand(1)
+	attempts, retries := 0, 0
+	err := withRetry(context.Background(), 3, time.Microsecond, jit,
+		func() { retries++ },
+		func() error {
+			attempts++
+			if attempts < 3 {
+				return fmt.Errorf("wobble: %w", check.ErrNotConverged)
+			}
+			return nil
+		})
+	if err != nil {
+		t.Fatalf("err = %v, want success on third attempt", err)
+	}
+	if attempts != 3 || retries != 2 {
+		t.Fatalf("attempts = %d, retries = %d, want 3 and 2", attempts, retries)
+	}
+}
+
+func TestWithRetryNonTransientFailsFast(t *testing.T) {
+	attempts := 0
+	err := withRetry(context.Background(), 3, time.Microsecond, newLockedRand(1), nil,
+		func() error {
+			attempts++
+			return fmt.Errorf("pivot: %w", check.ErrSingular)
+		})
+	if !errors.Is(err, check.ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (ErrSingular is final)", attempts)
+	}
+}
+
+func TestWithRetryExhaustsBudget(t *testing.T) {
+	attempts := 0
+	err := withRetry(context.Background(), 2, time.Microsecond, newLockedRand(1), nil,
+		func() error {
+			attempts++
+			return fmt.Errorf("wobble: %w", check.ErrNumeric)
+		})
+	if !errors.Is(err, check.ErrNumeric) {
+		t.Fatalf("err = %v, want the last ErrNumeric", err)
+	}
+	if attempts != 3 {
+		t.Fatalf("attempts = %d, want 1 + 2 retries", attempts)
+	}
+}
+
+// TestWithRetrySkipsSleepItCannotAfford: when the backoff would not
+// fit in the remaining deadline, withRetry returns the transient error
+// immediately so the degradation ladder gets the leftover time.
+func TestWithRetrySkipsSleepItCannotAfford(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	attempts := 0
+	start := time.Now()
+	err := withRetry(ctx, 5, time.Hour, newLockedRand(1), nil,
+		func() error {
+			attempts++
+			return fmt.Errorf("wobble: %w", check.ErrNotConverged)
+		})
+	if !errors.Is(err, check.ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+	if attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", attempts)
+	}
+	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
+		t.Fatalf("withRetry blocked %v waiting for an unaffordable backoff", elapsed)
+	}
+}
+
+func TestWithRetryCanceledDuringBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	err := withRetry(ctx, 1, time.Hour, newLockedRand(1), nil,
+		func() error { return fmt.Errorf("wobble: %w", check.ErrNumeric) })
+	if !errors.Is(err, check.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled from a canceled backoff", err)
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	jit := newLockedRand(7)
+	for i := 0; i < 1000; i++ {
+		d := jit.jitter(time.Millisecond)
+		if d < 0 || d >= time.Millisecond {
+			t.Fatalf("jitter = %v, want [0, 1ms)", d)
+		}
+	}
+	if jit.jitter(0) != 0 {
+		t.Fatal("jitter(0) != 0")
+	}
+}

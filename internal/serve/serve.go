@@ -1,0 +1,723 @@
+// Package serve is the resilient request-processing layer in front of
+// the solver pipeline — what turns the one-shot CLI solvers into a
+// long-running service that survives bursts, numerical failures and
+// shutdowns:
+//
+//   - admission control: a bounded FIFO job queue priced by the
+//     statespace.LevelSize DP, so a request's state-space cost is
+//     charged against a capacity budget before anything is allocated
+//     (reject → check.ErrOverloaded → HTTP 429);
+//   - retry with exponential backoff + jitter for transient failures
+//     (ErrNotConverged, ErrNumeric), riding the dense-fallback ladder
+//     underneath;
+//   - a per-model-class circuit breaker that trips after repeated
+//     ErrSingular/ErrNumeric failures and short-circuits to the
+//     degradation path, with half-open probes to recover;
+//   - a graceful-degradation ladder — exact transient solve →
+//     incremental sweep over a cached factored solver → product-form
+//     steady-state approximation → operational-analysis bounds — with
+//     every response carrying an explicit fidelity tag;
+//   - a singleflight-deduplicated LRU result cache keyed by the
+//     canonicalized model; and
+//   - graceful drain: stop admitting, cancel queued work (typed
+//     check.ErrCanceled), finish in-flight solves within a deadline.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finwl/internal/bounds"
+	"finwl/internal/check"
+	"finwl/internal/core"
+	"finwl/internal/network"
+	"finwl/internal/productform"
+	"finwl/internal/statespace"
+)
+
+// ErrDraining marks rejections issued while the server is shutting
+// down; it additionally matches check.ErrOverloaded and maps to HTTP
+// 503 (rather than 429) so clients know not to retry this instance.
+var ErrDraining = errors.New("server draining")
+
+func errDraining() error {
+	return fmt.Errorf("%w: %w", ErrDraining, check.ErrOverloaded)
+}
+
+// Config tunes the serving layer. Zero values take the defaults
+// below; negative cache sizes disable the cache.
+type Config struct {
+	Budget           int64         // admission budget, state-space units (default 1<<27)
+	MaxQueue         int           // max queued (waiting) requests (default 64)
+	CacheSize        int           // result-cache entries (default 512, <0 disables)
+	SolverCacheSize  int           // factored-solver cache entries (default 4, <0 disables)
+	BreakerThreshold int           // consecutive failures to trip (default 5)
+	BreakerCooldown  time.Duration // open → half-open delay (default 5s)
+	Retries          int           // extra attempts for transient failures (default 2, <0 disables)
+	RetryBase        time.Duration // first backoff (default 50ms)
+	MaxTimeout       time.Duration // cap and default for per-request deadlines (default 60s)
+
+	// Cold-start cost model for the degradation ladder; the per-class
+	// EWMA estimator refines these from observed solves.
+	ExactNsPerUnit float64       // exact-tier ns per state-space unit (default 50)
+	CheckpointFrac float64       // checkpoint cost as a fraction of exact (default 0.125)
+	SteadyEstimate time.Duration // steady-tier cost guess (default 2ms)
+
+	Seed int64            // jitter seed (default: wall clock)
+	Now  func() time.Time // test hook for breaker clocks
+}
+
+func (c Config) withDefaults() Config {
+	def := func(v *int64, d int64) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Budget, 1<<27)
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	if c.SolverCacheSize == 0 {
+		c.SolverCacheSize = 4
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = 2
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 50 * time.Millisecond
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.ExactNsPerUnit == 0 {
+		c.ExactNsPerUnit = 50
+	}
+	if c.CheckpointFrac == 0 {
+		c.CheckpointFrac = 0.125
+	}
+	if c.SteadyEstimate == 0 {
+		c.SteadyEstimate = 2 * time.Millisecond
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Response is the client-visible result of one solve.
+type Response struct {
+	Fidelity Fidelity `json:"fidelity"`
+	K        int      `json:"k"`
+	N        int      `json:"n"`
+
+	// TotalTime is E(T), the mean time to complete the workload —
+	// exact for the exact/checkpoint tiers, approximate for steady,
+	// and the bracket midpoint for bounds.
+	TotalTime float64 `json:"total_time"`
+	// Bounds-tier envelope (zero otherwise).
+	TotalTimeLower  float64 `json:"total_time_lower,omitempty"`
+	TotalTimeUpper  float64 `json:"total_time_upper,omitempty"`
+	ThroughputLower float64 `json:"x_lower,omitempty"`
+	ThroughputUpper float64 `json:"x_upper,omitempty"`
+
+	Epochs       int     `json:"epochs,omitempty"`        // exact tiers: epochs computed (= N)
+	Price        int64   `json:"price"`                   // admission cost charged
+	Breaker      string  `json:"breaker,omitempty"`       // model-class breaker state
+	DegradedFrom string  `json:"degraded_from,omitempty"` // why fidelity < exact
+	Cached       bool    `json:"cached,omitempty"`
+	Deduplicated bool    `json:"deduplicated,omitempty"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+}
+
+// Degraded reports whether the response came from an approximation
+// tier rather than an exact one.
+func (r *Response) Degraded() bool {
+	return r.Fidelity != FidelityExact && r.Fidelity != FidelityCheckpoint
+}
+
+// DegradedError accompanies a usable degraded Response; it matches
+// check.ErrDegraded so callers can branch with errors.Is while still
+// consuming the approximation.
+type DegradedError struct {
+	Fidelity Fidelity
+	Reason   string
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("served %s approximation (%s)", e.Fidelity, e.Reason)
+}
+
+func (e *DegradedError) Unwrap() error { return check.ErrDegraded }
+
+// Stats are monotonic service counters, exposed at /stats.
+type Stats struct {
+	Requests     int64 `json:"requests"`
+	CacheHits    int64 `json:"cache_hits"`
+	Deduplicated int64 `json:"deduplicated"`
+	Rejected     int64 `json:"rejected"` // admission rejections (429/503)
+	Invalid      int64 `json:"invalid"`  // model rejections (400)
+	Canceled     int64 `json:"canceled"` // 504s
+	Retries      int64 `json:"retries"`
+	Degraded     int64 `json:"degraded"` // responses with fidelity below exact tiers
+	Failures     int64 `json:"failures"` // ladder exhausted (503)
+	Exact        int64 `json:"exact"`
+	Checkpoint   int64 `json:"checkpoint"`
+	Steady       int64 `json:"steady_state"`
+	Bounds       int64 `json:"bounds"`
+}
+
+type statCounters struct {
+	requests, cacheHits, deduped, rejected, invalid, canceled atomic.Int64
+	retries, degraded, failures                               atomic.Int64
+	exact, checkpoint, steady, bounds                         atomic.Int64
+}
+
+func (c *statCounters) tier(f Fidelity) *atomic.Int64 {
+	switch f {
+	case FidelityExact:
+		return &c.exact
+	case FidelityCheckpoint:
+		return &c.checkpoint
+	case FidelitySteady:
+		return &c.steady
+	default:
+		return &c.bounds
+	}
+}
+
+// Server is the resilient solver service. Create with New; it is safe
+// for concurrent use.
+type Server struct {
+	cfg     Config
+	adm     *admission
+	cache   *lru[*Response]
+	solvers *lru[*core.Solver]
+	flight  *flightGroup[*Response]
+	est     *estimator
+	rand    *lockedRand
+
+	bmu      sync.Mutex
+	breakers map[string]*breaker
+
+	draining   atomic.Bool
+	workCtx    context.Context
+	workCancel context.CancelFunc
+
+	stats statCounters
+}
+
+// New builds a Server from cfg (zero value = all defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	workCtx, workCancel := context.WithCancel(context.Background())
+	return &Server{
+		cfg:        cfg,
+		adm:        newAdmission(cfg.Budget, cfg.MaxQueue),
+		cache:      newLRU[*Response](cfg.CacheSize),
+		solvers:    newLRU[*core.Solver](cfg.SolverCacheSize),
+		flight:     newFlightGroup[*Response](),
+		est:        newEstimator(cfg.ExactNsPerUnit, cfg.CheckpointFrac, float64(cfg.SteadyEstimate)),
+		rand:       newLockedRand(cfg.Seed),
+		breakers:   make(map[string]*breaker),
+		workCtx:    workCtx,
+		workCancel: workCancel,
+	}
+}
+
+// classKey identifies a model class for the circuit breakers and the
+// cost estimator: the station-shape signature plus the population.
+func classKey(space *statespace.Space, k int) string {
+	var b strings.Builder
+	for i := 0; i < space.Stations(); i++ {
+		sh := space.Shape(i)
+		fmt.Fprintf(&b, "%s:%d:%d|", sh.Kind, sh.Phases, sh.Servers)
+	}
+	fmt.Fprintf(&b, "K=%d", k)
+	return b.String()
+}
+
+func (s *Server) breakerFor(class string) *breaker {
+	s.bmu.Lock()
+	defer s.bmu.Unlock()
+	br, ok := s.breakers[class]
+	if !ok {
+		br = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now)
+		s.breakers[class] = br
+	}
+	return br
+}
+
+// Solve runs one request through the full resilience pipeline. On a
+// degraded result both return values are non-nil: a usable Response
+// plus a *DegradedError matching check.ErrDegraded. Every other error
+// matches a check sentinel.
+func (s *Server) Solve(ctx context.Context, req *Request) (*Response, error) {
+	s.stats.requests.Add(1)
+	if s.draining.Load() {
+		s.stats.rejected.Add(1)
+		return nil, errDraining()
+	}
+	net, err := req.BuildNetwork()
+	if err != nil {
+		s.stats.invalid.Add(1)
+		return nil, err
+	}
+
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	// A drain deadline cuts in-flight work by cancelling every
+	// request's context.
+	stop := context.AfterFunc(s.workCtx, cancel)
+	defer stop()
+
+	netKey := networkKey(net)
+	key := fmt.Sprintf("%s|k=%d|n=%d", netKey, req.K, req.N)
+	if cached, ok := s.cache.get(key); ok {
+		s.stats.cacheHits.Add(1)
+		cp := *cached
+		cp.Cached = true
+		return &cp, nil
+	}
+
+	solverKey := fmt.Sprintf("%s|K=%d", netKey, req.K)
+	resp, err, shared, abandoned := s.flight.do(ctx.Done(), key, func() (*Response, error) {
+		return s.process(ctx, net, req.K, req.N, key, solverKey)
+	})
+	if abandoned {
+		s.stats.canceled.Add(1)
+		return nil, check.Canceled(ctx)
+	}
+	if shared {
+		s.stats.deduped.Add(1)
+		if resp != nil {
+			cp := *resp
+			cp.Deduplicated = true
+			resp = &cp
+		}
+	}
+	if err != nil && errors.Is(err, check.ErrCanceled) {
+		s.stats.canceled.Add(1)
+	}
+	return resp, err
+}
+
+// process is the admission → breaker → ladder core of one solve; it
+// runs once per singleflight key.
+func (s *Server) process(ctx context.Context, net *network.Network, k, n int, key, solverKey string) (*Response, error) {
+	space := net.Space()
+	price := chainPrice(space, k)
+	if err := s.adm.acquire(ctx.Done(), price); err != nil {
+		if errors.Is(err, check.ErrOverloaded) {
+			s.stats.rejected.Add(1)
+		}
+		return nil, err
+	}
+	defer s.adm.release(price)
+
+	class := classKey(space, k)
+	br := s.breakerFor(class)
+	allowed, probe := br.allow()
+	est := s.est.estimate(class, price)
+	remaining := noDeadline
+	if dl, ok := ctx.Deadline(); ok {
+		remaining = time.Until(dl)
+	}
+	_, haveSolver := s.solvers.get(solverKey)
+	tier := selectTier(!allowed, haveSolver, remaining, est)
+
+	var reasons []string
+	if tier == FidelitySteady || tier == FidelityBounds {
+		if !allowed {
+			reasons = append(reasons, "breaker "+br.snapshot().String())
+		} else {
+			reasons = append(reasons, fmt.Sprintf("deadline %v below exact estimate %v", remaining.Round(time.Millisecond), est.exact.Round(time.Millisecond)))
+		}
+	}
+
+	for rung := tier; ; rung = rungBelow(rung) {
+		start := time.Now()
+		var resp *Response
+		err := withRetry(ctx, s.cfg.Retries, s.cfg.RetryBase, s.rand, func() { s.stats.retries.Add(1) }, func() error {
+			var e error
+			resp, e = s.runTier(ctx, rung, net, k, n, solverKey)
+			return e
+		})
+		if err == nil {
+			s.est.observe(class, resp.Fidelity, price, time.Since(start))
+			s.stats.tier(resp.Fidelity).Add(1)
+			resp.K, resp.N, resp.Price = k, n, price
+			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+			if !resp.Degraded() {
+				if probe || allowed {
+					br.onSuccess()
+				}
+				resp.Breaker = br.snapshot().String()
+				s.cache.add(key, resp)
+				return resp, nil
+			}
+			resp.Breaker = br.snapshot().String()
+			resp.DegradedFrom = strings.Join(reasons, "; ")
+			s.stats.degraded.Add(1)
+			return resp, &DegradedError{Fidelity: resp.Fidelity, Reason: resp.DegradedFrom}
+		}
+		if errors.Is(err, check.ErrCanceled) {
+			return nil, err
+		}
+		if (rung == FidelityExact || rung == FidelityCheckpoint) &&
+			(errors.Is(err, check.ErrSingular) || errors.Is(err, check.ErrNumeric)) {
+			br.onFailure()
+		}
+		if rung == FidelityBounds {
+			// Ladder exhausted: nothing cheaper to fall to.
+			s.stats.failures.Add(1)
+			return nil, err
+		}
+		reasons = append(reasons, fmt.Sprintf("%s tier failed: %v", rung, err))
+	}
+}
+
+// runTier executes one ladder rung. The returned Response carries the
+// fidelity actually delivered (a checkpoint request whose cached
+// solver was evicted builds a fresh one and reports exact).
+func (s *Server) runTier(ctx context.Context, rung Fidelity, net *network.Network, k, n int, solverKey string) (*Response, error) {
+	switch rung {
+	case FidelityExact, FidelityCheckpoint:
+		solver, ok := s.solvers.get(solverKey)
+		if !ok {
+			var err error
+			solver, err = core.NewSolverCtx(ctx, net, k)
+			if err != nil {
+				return nil, err
+			}
+			s.solvers.add(solverKey, solver)
+			rung = FidelityExact
+		}
+		var res *core.Result
+		if rung == FidelityCheckpoint {
+			// The incremental sweep path: one feeding pass over the
+			// already-factored chain with a drain checkpoint at n.
+			rs, err := solver.SolveSweepCtx(ctx, []int{n})
+			if err != nil {
+				return nil, err
+			}
+			res = rs[0]
+		} else {
+			var err error
+			res, err = solver.SolveCtx(ctx, n)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Response{Fidelity: rung, TotalTime: res.TotalTime, Epochs: len(res.Epochs)}, nil
+
+	case FidelitySteady:
+		return steadyApprox(net, k, n)
+
+	default: // FidelityBounds
+		return boundsEnvelope(net, n)
+	}
+}
+
+// steadyApprox is the product-form steady-state approximation of
+// E(T): drain epochs costed at the product-form interdeparture time
+// of each population 1..min(n,K), and the n−K feeding epochs at the
+// level-K rate — the paper's steady-state stand-in for the transient.
+func steadyApprox(net *network.Network, k, n int) (*Response, error) {
+	m, err := productform.FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	if err := typedOr(m.Validate(), check.ErrInvalidModel); err != nil {
+		return nil, err
+	}
+	var total float64
+	kTop := min(n, k)
+	var xK float64
+	for kk := 1; kk <= kTop; kk++ {
+		x := m.ThroughputBuzen(kk)
+		if !(x > 0) {
+			return nil, fmt.Errorf("serve: product-form throughput X(%d) = %v: %w", kk, x, check.ErrNumeric)
+		}
+		total += 1 / x
+		xK = x
+	}
+	if n > k {
+		total += float64(n-k) / xK
+	}
+	if err := check.Finite("serve: steady-state total time", total); err != nil {
+		return nil, fmt.Errorf("%v: %w", err, check.ErrNumeric)
+	}
+	return &Response{Fidelity: FidelitySteady, TotalTime: total}, nil
+}
+
+// boundsEnvelope is the last rung: the operational-analysis bounds
+// bracket, O(stations) and deadline-proof.
+func boundsEnvelope(net *network.Network, n int) (*Response, error) {
+	m, err := productform.FromNetwork(net)
+	if err != nil {
+		return nil, err
+	}
+	b, err := bounds.FromModel(m, n)
+	if err != nil {
+		return nil, typedOr(err, check.ErrInvalidModel)
+	}
+	if !(b.XUpperBJB > 0) || !(b.XLowerBJB > 0) {
+		return nil, fmt.Errorf("serve: degenerate throughput bounds [%v, %v]: %w", b.XLowerBJB, b.XUpperBJB, check.ErrNumeric)
+	}
+	lower := float64(n) / b.XUpperBJB
+	upper := float64(n) / b.XLowerBJB
+	return &Response{
+		Fidelity:        FidelityBounds,
+		TotalTime:       (lower + upper) / 2,
+		TotalTimeLower:  lower,
+		TotalTimeUpper:  upper,
+		ThroughputLower: b.XLowerBJB,
+		ThroughputUpper: b.XUpperBJB,
+	}, nil
+}
+
+// typedOr passes through nil and already-typed errors, and wraps
+// anything else with the given sentinel so the serve boundary never
+// leaks an untyped failure.
+func typedOr(err, sentinel error) error {
+	if err == nil {
+		return nil
+	}
+	for _, s := range []error{
+		check.ErrInvalidModel, check.ErrSingular, check.ErrNotConverged,
+		check.ErrNumeric, check.ErrCanceled, check.ErrOverloaded, check.ErrDegraded,
+	} {
+		if errors.Is(err, s) {
+			return err
+		}
+	}
+	return fmt.Errorf("%v: %w", err, sentinel)
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the service down: stop admitting (new
+// requests fail 503-draining), cancel all queued work (typed
+// check.ErrCanceled), and wait for in-flight solves. If ctx expires
+// first, in-flight work is force-canceled (the solvers poll their
+// contexts and unwind promptly) and Drain reports it; either way,
+// when Drain returns no request is still running.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.adm.close()
+	done := make(chan struct{})
+	go func() {
+		s.adm.wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.workCancel()
+		<-done
+		return fmt.Errorf("serve: drain deadline expired, in-flight work canceled: %w", check.ErrCanceled)
+	}
+}
+
+// Snapshot returns the current counters.
+func (s *Server) Snapshot() Stats {
+	c := &s.stats
+	return Stats{
+		Requests:     c.requests.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		Deduplicated: c.deduped.Load(),
+		Rejected:     c.rejected.Load(),
+		Invalid:      c.invalid.Load(),
+		Canceled:     c.canceled.Load(),
+		Retries:      c.retries.Load(),
+		Degraded:     c.degraded.Load(),
+		Failures:     c.failures.Load(),
+		Exact:        c.exact.Load(),
+		Checkpoint:   c.checkpoint.Load(),
+		Steady:       c.steady.Load(),
+		Bounds:       c.bounds.Load(),
+	}
+}
+
+// StatusOf maps an error from Solve to its HTTP status code. The
+// serve contract: 400 for model problems, 429 for overload, 503 for
+// draining and for numerical failures that survived the whole ladder,
+// 504 for deadlines/cancellation, 200 otherwise (including degraded
+// results).
+func StatusOf(err error) int {
+	switch {
+	case err == nil, errors.Is(err, check.ErrDegraded):
+		return http.StatusOK
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, check.ErrInvalidModel):
+		return http.StatusBadRequest
+	case errors.Is(err, check.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, check.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, check.ErrSingular), errors.Is(err, check.ErrNumeric),
+		errors.Is(err, check.ErrNotConverged):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// CodeOf maps an error to the machine-readable code carried in error
+// bodies.
+func CodeOf(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrDraining):
+		return "draining"
+	case errors.Is(err, check.ErrInvalidModel):
+		return "invalid_model"
+	case errors.Is(err, check.ErrOverloaded):
+		return "overloaded"
+	case errors.Is(err, check.ErrCanceled):
+		return "canceled"
+	case errors.Is(err, check.ErrSingular):
+		return "singular"
+	case errors.Is(err, check.ErrNumeric):
+		return "numeric"
+	case errors.Is(err, check.ErrNotConverged):
+		return "not_converged"
+	case errors.Is(err, check.ErrDegraded):
+		return "degraded"
+	default:
+		return "internal"
+	}
+}
+
+// ErrorBody is the JSON error payload.
+type ErrorBody struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+// maxBodyBytes bounds a request body; a 4-station spec is ~2 KB, so
+// 1 MiB leaves room for very wide raw networks without letting a
+// client exhaust memory.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the HTTP surface: POST /solve, GET /healthz, GET
+// /stats. A recover middleware turns any escaped panic into a 500
+// with code "panic" — the fault-injection campaign asserts it never
+// fires.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/stats", s.handleStats)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				writeJSON(w, http.StatusInternalServerError, ErrorBody{
+					Error: fmt.Sprintf("panic: %v", p),
+					Code:  "panic",
+				})
+			}
+		}()
+		mux.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "POST only", Code: "method"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		werr := check.Invalid("serve: bad request body: %v", err)
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: werr.Error(), Code: CodeOf(werr)})
+		return
+	}
+	resp, err := s.Solve(r.Context(), &req)
+	if resp != nil && (err == nil || errors.Is(err, check.ErrDegraded)) {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: "draining", Code: "draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// statsBody is the /stats payload.
+type statsBody struct {
+	Stats      Stats             `json:"stats"`
+	BudgetUsed int64             `json:"budget_used"`
+	Budget     int64             `json:"budget"`
+	Queued     int               `json:"queued"`
+	CacheLen   int               `json:"cache_len"`
+	SolverLen  int               `json:"solver_cache_len"`
+	Breakers   map[string]string `json:"breakers"`
+	Draining   bool              `json:"draining"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	used, budget, queued := s.adm.snapshot()
+	body := statsBody{
+		Stats:      s.Snapshot(),
+		BudgetUsed: used,
+		Budget:     budget,
+		Queued:     queued,
+		CacheLen:   s.cache.len(),
+		SolverLen:  s.solvers.len(),
+		Breakers:   make(map[string]string),
+		Draining:   s.draining.Load(),
+	}
+	s.bmu.Lock()
+	for class, br := range s.breakers {
+		body.Breakers[class] = br.snapshot().String()
+	}
+	s.bmu.Unlock()
+	writeJSON(w, http.StatusOK, body)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -13,7 +13,7 @@ benchtime="${BENCHTIME:-2s}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Perf' -benchmem -benchtime "$benchtime" ./internal/matrix . | tee "$tmp"
+go test -run '^$' -bench 'Perf' -benchmem -benchtime "$benchtime" ./internal/matrix ./internal/serve . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go env GOVERSION)" \

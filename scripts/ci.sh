@@ -22,8 +22,14 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== serve resilience (-race, uncached) =="
+# The serving layer is concurrency-heavy (admission queue, breakers,
+# singleflight, drain); run its suite explicitly and uncached so the
+# race detector sees it on every CI pass.
+go test -race -count=1 ./internal/serve
+
 echo "== bench smoke (1 iteration) =="
-go test -run '^$' -bench . -benchtime 1x ./internal/matrix ./internal/core .
+go test -run '^$' -bench . -benchtime 1x ./internal/matrix ./internal/core ./internal/serve .
 
 echo "== fuzz seed smoke =="
 # Each target's seed corpus runs as ordinary tests; a short -fuzz burst
@@ -54,5 +60,40 @@ expect_exit 2 "sweep bad arch"     "$bindir/sweep" -arch nope
 expect_exit 2 "phfit bad family"   "$bindir/phfit" -family nope
 expect_exit 2 "finwl bad exp"      "$bindir/finwl" -exp nope
 expect_exit 1 "finwl timeout"      "$bindir/finwl" -exp tbl-sim -timeout 5ms
+
+echo "== finwld serve smoke =="
+# Boot the daemon on an ephemeral port, solve once over HTTP, assert a
+# full-fidelity answer, then SIGTERM and require a clean drain (exit 0).
+"$bindir/finwld" -addr 127.0.0.1:0 >"$bindir/finwld.log" 2>&1 &
+finwld_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^finwld listening on //p' "$bindir/finwld.log")
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "finwld smoke: daemon never reported its address" >&2
+    cat "$bindir/finwld.log" >&2
+    exit 1
+fi
+body=$(curl -s -X POST -d '{"arch":"central","k":3,"n":10}' "http://$addr/solve")
+if ! echo "$body" | grep -q '"fidelity":"exact"'; then
+    echo "finwld smoke: unexpected /solve body: $body" >&2
+    exit 1
+fi
+degraded=$(curl -s -X POST -d '{"arch":"central","k":10,"n":50,"timeout_ms":1}' "http://$addr/solve")
+if ! echo "$degraded" | grep -q '"degraded_from"'; then
+    echo "finwld smoke: degradation ladder did not tag: $degraded" >&2
+    exit 1
+fi
+kill -TERM "$finwld_pid"
+rc=0
+wait "$finwld_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "finwld smoke: exit $rc after SIGTERM, want a clean drain (0)" >&2
+    cat "$bindir/finwld.log" >&2
+    exit 1
+fi
 
 echo "CI OK"
