@@ -80,6 +80,18 @@ func (b *breaker) allow() (ok, probe bool) {
 	}
 }
 
+// abortProbe releases the half-open probe token without recording an
+// outcome — the probe request was canceled, failed with a non-tripping
+// error, or never reached an exact rung at all (tight deadline). The
+// breaker stays half-open so the next request can claim a fresh probe;
+// without this release a lost probe would pin probing=true forever and
+// permanently short-circuit the class.
+func (b *breaker) abortProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
 // onSuccess records a successful exact solve: it closes a half-open
 // breaker and clears the failure streak.
 func (b *breaker) onSuccess() {

@@ -80,6 +80,34 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 }
 
+// TestBreakerAbortProbeReleasesToken: a probe abandoned without an
+// outcome (canceled, degraded away from the exact rungs) must free the
+// token for the next caller instead of pinning probing=true forever.
+func TestBreakerAbortProbeReleasesToken(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, clk.now)
+	b.onFailure() // trip
+	clk.advance(time.Second)
+	if ok, probe := b.allow(); !ok || !probe {
+		t.Fatalf("half-open allow = (%v, %v), want (true, true)", ok, probe)
+	}
+	if ok, _ := b.allow(); ok {
+		t.Fatal("second caller allowed during an in-flight probe")
+	}
+	b.abortProbe()
+	if s := b.snapshot(); s != BreakerHalfOpen {
+		t.Fatalf("state after abort = %v, want half-open", s)
+	}
+	ok, probe := b.allow()
+	if !ok || !probe {
+		t.Fatalf("allow after abort = (%v, %v), want a fresh probe", ok, probe)
+	}
+	b.onSuccess()
+	if s := b.snapshot(); s != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", s)
+	}
+}
+
 // TestBreakerHalfOpenRace hammers a half-open breaker from many
 // goroutines (run under -race in CI): exactly one caller may win the
 // probe slot per half-open window.

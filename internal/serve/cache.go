@@ -57,6 +57,41 @@ func (c *lru[V]) add(key string, val V) {
 	}
 }
 
+// getOrCreate returns the value for key, atomically creating and
+// retaining mk()'s value on a miss (evicting the LRU entry past
+// capacity). With a non-positive capacity the fresh value is returned
+// unretained.
+func (c *lru[V]) getOrCreate(key string, mk func() V) V {
+	if c.cap <= 0 {
+		return mk()
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[key]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*lruEntry[V]).val
+	}
+	v := mk()
+	c.m[key] = c.ll.PushFront(&lruEntry[V]{key: key, val: v})
+	for c.ll.Len() > c.cap {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.m, last.Value.(*lruEntry[V]).key)
+	}
+	return v
+}
+
+// each calls fn for every entry, most recent first, holding the lock;
+// fn must not call back into the lru.
+func (c *lru[V]) each(fn func(key string, val V)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*lruEntry[V])
+		fn(e.key, e.val)
+	}
+}
+
 func (c *lru[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()

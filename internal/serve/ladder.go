@@ -75,10 +75,13 @@ func selectTier(breakerOpen, haveSolver bool, remaining time.Duration, est estim
 // estimator predicts rung costs per model class from an EWMA of
 // observed (duration / state-space price) ratios, seeded with
 // conservative defaults so a cold server still degrades sanely under
-// tight deadlines.
+// tight deadlines. The class table is LRU-bounded — the key is
+// client-controlled, and an evicted class just restarts from the
+// defaults. mu guards all classEst field access; the lru's own lock
+// only orders storage (always acquired under mu, never the reverse).
 type estimator struct {
 	mu      sync.Mutex
-	classes map[string]*classEst
+	classes *lru[*classEst]
 
 	defExactNsPerUnit float64
 	defCheckpointFrac float64
@@ -93,9 +96,9 @@ type classEst struct {
 
 const ewmaAlpha = 0.3
 
-func newEstimator(exactNsPerUnit, checkpointFrac, steadyNs float64) *estimator {
+func newEstimator(exactNsPerUnit, checkpointFrac, steadyNs float64, maxClasses int) *estimator {
 	return &estimator{
-		classes:           make(map[string]*classEst),
+		classes:           newLRU[*classEst](maxClasses),
 		defExactNsPerUnit: exactNsPerUnit,
 		defCheckpointFrac: checkpointFrac,
 		defSteadyNs:       steadyNs,
@@ -103,16 +106,13 @@ func newEstimator(exactNsPerUnit, checkpointFrac, steadyNs float64) *estimator {
 }
 
 func (e *estimator) classFor(class string) *classEst {
-	c, ok := e.classes[class]
-	if !ok {
-		c = &classEst{
+	return e.classes.getOrCreate(class, func() *classEst {
+		return &classEst{
 			exactNsPerUnit:      e.defExactNsPerUnit,
 			checkpointNsPerUnit: e.defExactNsPerUnit * e.defCheckpointFrac,
 			steadyNs:            e.defSteadyNs,
 		}
-		e.classes[class] = c
-	}
-	return c
+	})
 }
 
 // estimate prices the rungs of one request of `price` state-space

@@ -68,7 +68,7 @@ func TestRungBelow(t *testing.T) {
 }
 
 func TestEstimatorLearns(t *testing.T) {
-	e := newEstimator(50, 0.125, float64(2*time.Millisecond))
+	e := newEstimator(50, 0.125, float64(2*time.Millisecond), 256)
 	const class, price = "c", int64(1000)
 
 	cold := e.estimate(class, price)

@@ -30,7 +30,6 @@ import (
 	"fmt"
 	"net/http"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -60,6 +59,7 @@ type Config struct {
 	SolverCacheSize  int           // factored-solver cache entries (default 4, <0 disables)
 	BreakerThreshold int           // consecutive failures to trip (default 5)
 	BreakerCooldown  time.Duration // open → half-open delay (default 5s)
+	ClassCacheSize   int           // per-model-class breaker/estimator entries (default 256; <1 takes the default)
 	Retries          int           // extra attempts for transient failures (default 2, <0 disables)
 	RetryBase        time.Duration // first backoff (default 50ms)
 	MaxTimeout       time.Duration // cap and default for per-request deadlines (default 60s)
@@ -95,6 +95,11 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BreakerCooldown == 0 {
 		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.ClassCacheSize < 1 {
+		// Unlike the result caches this one cannot be disabled: an
+		// unretained breaker would never accumulate a failure streak.
+		c.ClassCacheSize = 256
 	}
 	if c.Retries == 0 {
 		c.Retries = 2
@@ -217,8 +222,10 @@ type Server struct {
 	est     *estimator
 	rand    *lockedRand
 
-	bmu      sync.Mutex
-	breakers map[string]*breaker
+	// breakers is LRU-bounded (ClassCacheSize): the class key is
+	// client-controlled, so an unbounded map would let a diverse
+	// workload leak memory. An evicted class simply starts over closed.
+	breakers *lru[*breaker]
 
 	draining   atomic.Bool
 	workCtx    context.Context
@@ -237,9 +244,9 @@ func New(cfg Config) *Server {
 		cache:      newLRU[*Response](cfg.CacheSize),
 		solvers:    newLRU[*core.Solver](cfg.SolverCacheSize),
 		flight:     newFlightGroup[*Response](),
-		est:        newEstimator(cfg.ExactNsPerUnit, cfg.CheckpointFrac, float64(cfg.SteadyEstimate)),
+		est:        newEstimator(cfg.ExactNsPerUnit, cfg.CheckpointFrac, float64(cfg.SteadyEstimate), cfg.ClassCacheSize),
 		rand:       newLockedRand(cfg.Seed),
-		breakers:   make(map[string]*breaker),
+		breakers:   newLRU[*breaker](cfg.ClassCacheSize),
 		workCtx:    workCtx,
 		workCancel: workCancel,
 	}
@@ -258,14 +265,9 @@ func classKey(space *statespace.Space, k int) string {
 }
 
 func (s *Server) breakerFor(class string) *breaker {
-	s.bmu.Lock()
-	defer s.bmu.Unlock()
-	br, ok := s.breakers[class]
-	if !ok {
-		br = newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now)
-		s.breakers[class] = br
-	}
-	return br
+	return s.breakers.getOrCreate(class, func() *breaker {
+		return newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now)
+	})
 }
 
 // Solve runs one request through the full resilience pipeline. On a
@@ -344,6 +346,19 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 	class := classKey(space, k)
 	br := s.breakerFor(class)
 	allowed, probe := br.allow()
+	// A half-open probe token must be released on every exit path.
+	// Cancellation, a non-tripping exact failure, or a tier choice that
+	// never attempts an exact rung report neither onSuccess nor
+	// onFailure; without the abort the breaker would stay probing
+	// forever and short-circuit the class until restart.
+	probeSettled := false
+	if probe {
+		defer func() {
+			if !probeSettled {
+				br.abortProbe()
+			}
+		}()
+	}
 	est := s.est.estimate(class, price)
 	remaining := noDeadline
 	if dl, ok := ctx.Deadline(); ok {
@@ -377,6 +392,7 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 			if !resp.Degraded() {
 				if probe || allowed {
 					br.onSuccess()
+					probeSettled = true
 				}
 				resp.Breaker = br.snapshot().String()
 				s.cache.add(key, resp)
@@ -393,6 +409,7 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 		if (rung == FidelityExact || rung == FidelityCheckpoint) &&
 			(errors.Is(err, check.ErrSingular) || errors.Is(err, check.ErrNumeric)) {
 			br.onFailure()
+			probeSettled = true
 		}
 		if rung == FidelityBounds {
 			// Ladder exhausted: nothing cheaper to fall to.
@@ -708,11 +725,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Breakers:   make(map[string]string),
 		Draining:   s.draining.Load(),
 	}
-	s.bmu.Lock()
-	for class, br := range s.breakers {
+	s.breakers.each(func(class string, br *breaker) {
 		body.Breakers[class] = br.snapshot().String()
-	}
-	s.bmu.Unlock()
+	})
 	writeJSON(w, http.StatusOK, body)
 }
 

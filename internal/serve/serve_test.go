@@ -127,6 +127,71 @@ func TestBreakerForcesDegradedFidelity(t *testing.T) {
 	}
 }
 
+// TestHalfOpenProbeReleasedWithoutOutcome is the regression test for
+// the probe-token leak: a request that wins the half-open probe but
+// never reports an outcome — here because its deadline keeps
+// selectTier away from the exact rungs — must release the token, or
+// every later request sees allow() = (false, false) and the class is
+// stuck degraded until restart.
+func TestHalfOpenProbeReleasedWithoutOutcome(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	s := New(Config{
+		Seed:             1,
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Second,
+		Now:              clk.now,
+		// ~0.1s per state-space unit puts the exact estimate in the
+		// seconds for the two-station class: far above a 500ms request
+		// deadline, far below the 60s default cap.
+		ExactNsPerUnit: 1e8,
+	})
+	ctx := context.Background()
+
+	// One singular failure trips the class breaker (threshold 1).
+	if _, err := s.Solve(ctx, &Request{K: 3, N: 5, Network: trappedTwoStation()}); !errors.Is(err, check.ErrSingular) {
+		t.Fatalf("trapped solve: err = %v, want ErrSingular", err)
+	}
+	clk.advance(time.Second) // open → half-open
+
+	// This request claims the probe token, but its 500ms deadline is
+	// below the exact estimate, so no exact rung runs and the probe
+	// outcome is never reported.
+	resp, err := s.Solve(ctx, &Request{K: 3, N: 5, Network: healthyTwoStation(), TimeoutMS: 500})
+	if !errors.Is(err, check.ErrDegraded) {
+		t.Fatalf("probe-claiming solve: err = %v (resp %+v), want ErrDegraded", err, resp)
+	}
+
+	// The next deadline-free request of the class must get a fresh
+	// probe, run exact, and close the breaker.
+	resp, err = s.Solve(ctx, &Request{K: 3, N: 6, Network: healthyTwoStation()})
+	if err != nil {
+		t.Fatalf("recovery solve: %v", err)
+	}
+	if resp.Fidelity != FidelityExact {
+		t.Fatalf("recovery fidelity = %s, want exact (leaked probe token?)", resp.Fidelity)
+	}
+	if resp.Breaker != BreakerClosed.String() {
+		t.Fatalf("breaker after successful probe = %q, want closed", resp.Breaker)
+	}
+}
+
+// TestClassStateBounded: breaker and estimator tables are keyed by a
+// client-controlled class and must not grow without bound.
+func TestClassStateBounded(t *testing.T) {
+	s := New(Config{Seed: 1, ClassCacheSize: 2})
+	for k := 1; k <= 4; k++ { // four distinct classes (class key includes K)
+		if _, err := s.Solve(context.Background(), &Request{Arch: "central", K: k, N: 10}); err != nil {
+			t.Fatalf("K=%d: %v", k, err)
+		}
+	}
+	if n := s.breakers.len(); n > 2 {
+		t.Fatalf("breaker classes = %d, want ≤ 2 (LRU-bounded)", n)
+	}
+	if n := s.est.classes.len(); n > 2 {
+		t.Fatalf("estimator classes = %d, want ≤ 2 (LRU-bounded)", n)
+	}
+}
+
 func TestDeadlineDegrades(t *testing.T) {
 	s := New(Config{Seed: 1})
 	// A model whose exact-tier estimate is far above a 1ms deadline.
