@@ -23,6 +23,7 @@ import (
 	"finwl/internal/cluster"
 	"finwl/internal/core"
 	"finwl/internal/network"
+	"finwl/internal/obs"
 	"finwl/internal/sim"
 	"finwl/internal/workload"
 )
@@ -50,8 +51,14 @@ func main() {
 	flag.BoolVar(&opts.lowCont, "low-contention", false, "use the low-contention workload")
 	flag.BoolVar(&opts.quiet, "quiet", false, "suppress the per-epoch table")
 	flag.DurationVar(&timeout, "timeout", 0, "abort after this long (0 = no limit)")
+	metricsAddr := cliutil.MetricsAddrFlag()
 	flag.Parse()
 	cliutil.Main("clustersim", timeout, func(ctx context.Context) error {
+		admin, err := cliutil.StartAdmin(*metricsAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
 		return run(ctx, opts)
 	})
 }

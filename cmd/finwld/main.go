@@ -22,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -29,6 +30,8 @@ import (
 	"syscall"
 	"time"
 
+	"finwl/internal/cliutil"
+	"finwl/internal/obs"
 	"finwl/internal/serve"
 )
 
@@ -41,25 +44,31 @@ func main() {
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on per-request deadlines (0 = default 60s)")
 		cooldown   = flag.Duration("breaker-cooldown", 0, "circuit-breaker open → half-open delay (0 = default 5s)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
+		metrics    = cliutil.MetricsAddrFlag()
+		quiet      = flag.Bool("quiet", false, "disable per-request structured logging")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "finwld: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	if err := run(*addr, serve.Config{
+	cfg := serve.Config{
 		Budget:          *budget,
 		MaxQueue:        *queue,
 		CacheSize:       *cacheSize,
 		MaxTimeout:      *maxTimeout,
 		BreakerCooldown: *cooldown,
-	}, *drain); err != nil {
+	}
+	if !*quiet {
+		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	}
+	if err := run(*addr, *metrics, cfg, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
+func run(addr, metricsAddr string, cfg serve.Config, drainTimeout time.Duration) error {
 	srv := serve.New(cfg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -68,6 +77,19 @@ func run(addr string, cfg serve.Config, drainTimeout time.Duration) error {
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Admin listener: /metrics joins the server's own registry with the
+	// process-wide solver-stage metrics. Nil when -metrics-addr is
+	// unset; a nil Admin's Close is a no-op.
+	admin, err := cliutil.StartAdmin(metricsAddr, srv.Metrics(), obs.Default)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	defer admin.Close()
+	if admin != nil {
+		fmt.Printf("finwld admin listening on %s\n", admin.Addr())
 	}
 
 	// The startup line is the machine-readable handshake the CI smoke

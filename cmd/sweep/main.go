@@ -25,6 +25,7 @@ import (
 	"finwl/internal/cluster"
 	"finwl/internal/core"
 	"finwl/internal/network"
+	"finwl/internal/obs"
 	"finwl/internal/workload"
 )
 
@@ -53,8 +54,14 @@ func main() {
 	flag.IntVar(&opts.n, "n", 30, "tasks")
 	flag.BoolVar(&opts.lowCont, "low-contention", false, "use the low-contention workload")
 	flag.DurationVar(&timeout, "timeout", 0, "abort after this long (0 = no limit)")
+	metricsAddr := cliutil.MetricsAddrFlag()
 	flag.Parse()
 	cliutil.Main("sweep", timeout, func(ctx context.Context) error {
+		admin, err := cliutil.StartAdmin(*metricsAddr, obs.Default)
+		if err != nil {
+			return err
+		}
+		defer admin.Close()
 		return run(ctx, opts)
 	})
 }

@@ -25,8 +25,9 @@
 //	                  tier because the exact path was unavailable; the
 //	                  response is usable but not exact.
 //
-// check imports only the standard library so every package — including
-// internal/matrix at the bottom of the stack — can use it.
+// check imports only the standard library plus internal/obs (itself
+// stdlib-only) so every package — including internal/matrix at the
+// bottom of the stack — can use it.
 package check
 
 import (
@@ -34,6 +35,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"finwl/internal/obs"
 )
 
 // ErrInvalidModel is returned when an input fails structural
@@ -69,10 +72,20 @@ var ErrOverloaded = errors.New("server overloaded")
 var ErrDegraded = errors.New("result degraded to an approximation")
 
 // canceledError wraps a context error so that errors.Is matches both
-// ErrCanceled and the underlying context sentinel.
-type canceledError struct{ cause error }
+// ErrCanceled and the underlying context sentinel. When the context
+// carries an obs request ID, the message names the request that died
+// so a cancellation deep in the solver is attributable in the logs.
+type canceledError struct {
+	cause error
+	reqID string
+}
 
-func (e *canceledError) Error() string { return "computation canceled: " + e.cause.Error() }
+func (e *canceledError) Error() string {
+	if e.reqID != "" {
+		return "computation canceled (request " + e.reqID + "): " + e.cause.Error()
+	}
+	return "computation canceled: " + e.cause.Error()
+}
 func (e *canceledError) Unwrap() error { return e.cause }
 func (e *canceledError) Is(target error) bool {
 	return target == ErrCanceled
@@ -83,7 +96,7 @@ func (e *canceledError) Is(target error) bool {
 // returns nil when the context is still live.
 func Canceled(ctx context.Context) error {
 	if err := ctx.Err(); err != nil {
-		return &canceledError{cause: err}
+		return &canceledError{cause: err, reqID: obs.RequestIDFrom(ctx)}
 	}
 	return nil
 }

@@ -1,0 +1,86 @@
+package cliutil
+
+import (
+	"expvar"
+	"flag"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"finwl/internal/obs"
+)
+
+// MetricsAddrFlag registers the -metrics-addr flag every long-running
+// command shares; pass its value to StartAdmin after flag.Parse.
+func MetricsAddrFlag() *string {
+	return flag.String("metrics-addr", "",
+		"admin listener address for /metrics, /debug/vars and /debug/pprof (empty disables)")
+}
+
+// Admin is the opt-in operational listener shared by the long-running
+// commands (-metrics-addr): GET /metrics in Prometheus text form,
+// /debug/vars (expvar), and the /debug/pprof profiling surface. It is
+// a separate listener from any service traffic so profiling and
+// scraping can be firewalled independently — bind it to loopback (the
+// default commands use) unless the network is trusted; pprof exposes
+// heap contents and CPU profiles to anyone who can reach it.
+type Admin struct {
+	ln  net.Listener
+	srv *http.Server
+	err chan error
+}
+
+// StartAdmin binds addr and serves the admin endpoints from the given
+// registries until Close. An empty addr disables the listener and
+// returns (nil, nil); a nil *Admin's methods are no-ops, so callers
+// can wire the flag through unconditionally.
+func StartAdmin(addr string, regs ...*obs.Registry) (*Admin, error) {
+	if addr == "" {
+		return nil, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	obs.PublishExpvar("finwl_metrics", regs...)
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(regs...))
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	a := &Admin{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 10 * time.Second,
+		},
+		err: make(chan error, 1),
+	}
+	go func() { a.err <- a.srv.Serve(ln) }()
+	return a, nil
+}
+
+// Addr returns the bound address, or nil when the listener is
+// disabled.
+func (a *Admin) Addr() net.Addr {
+	if a == nil {
+		return nil
+	}
+	return a.ln.Addr()
+}
+
+// Close stops the admin listener and waits for Serve to return.
+func (a *Admin) Close() error {
+	if a == nil {
+		return nil
+	}
+	err := a.srv.Close()
+	<-a.err
+	return err
+}

@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"finwl/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStartAdminDisabled(t *testing.T) {
+	a, err := StartAdmin("")
+	if err != nil || a != nil {
+		t.Fatalf("StartAdmin(\"\") = %v, %v, want nil, nil", a, err)
+	}
+	// Nil-receiver methods must be safe so callers can wire the flag
+	// through unconditionally.
+	if a.Addr() != nil {
+		t.Errorf("nil Admin Addr = %v, want nil", a.Addr())
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("nil Admin Close = %v, want nil", err)
+	}
+}
+
+func TestStartAdminEndpoints(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("finwl_admin_test_total", "test counter").Inc()
+
+	a, err := StartAdmin("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatalf("StartAdmin: %v", err)
+	}
+	defer a.Close()
+	base := "http://" + a.Addr().String()
+
+	status, body := get(t, base+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics status = %d", status)
+	}
+	if !strings.Contains(body, "finwl_admin_test_total 1") {
+		t.Errorf("/metrics missing counter sample:\n%s", body)
+	}
+
+	status, body = get(t, base+"/debug/vars")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/vars status = %d", status)
+	}
+	if !strings.Contains(body, "cmdline") {
+		t.Errorf("/debug/vars missing expvar builtin:\n%.200s", body)
+	}
+
+	status, _ = get(t, base+"/debug/pprof/")
+	if status != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", status)
+	}
+}

@@ -80,6 +80,57 @@ func BenchmarkFeedEpochIntoK8(b *testing.B) {
 	}
 }
 
+// BenchmarkPerfFeedEpochIntoK8 is BenchmarkFeedEpochIntoK8 under the
+// Perf harness naming so the CI bench snapshot records it: the epoch
+// kernel plus its epoch-counter instrumentation must stay 0 allocs/op
+// (the counter bump is one atomic add).
+func BenchmarkPerfFeedEpochIntoK8(b *testing.B) {
+	s := benchNet(b, 8, cluster.Dists{Remote: cluster.WithCV2(10)})
+	ws := s.getWS()
+	defer s.putWS(ws)
+	d := s.d(8)
+	pi := ws.cur[:d]
+	copy(pi, s.EntryVector(8))
+	out := ws.next[:d]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.EpochTime(8, pi)
+		_ = t
+		mEpochs.Inc() // what SolveCtx adds per epoch
+		s.feedInto(out, 8, pi, ws)
+		pi, out = out, pi
+	}
+}
+
+// TestFeedEpochAllocFree is the hard gate behind the benchmark above:
+// the instrumented epoch kernel may not allocate at all.
+func TestFeedEpochAllocFree(t *testing.T) {
+	app := workload.Default(30)
+	net, err := cluster.Central(8, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := s.getWS()
+	defer s.putWS(ws)
+	d := s.d(8)
+	pi := ws.cur[:d]
+	copy(pi, s.EntryVector(8))
+	out := ws.next[:d]
+	if n := testing.AllocsPerRun(100, func() {
+		_ = s.EpochTime(8, pi)
+		mEpochs.Inc()
+		s.feedInto(out, 8, pi, ws)
+		pi, out = out, pi
+	}); n != 0 {
+		t.Fatalf("instrumented epoch kernel allocates %v allocs/op, want 0", n)
+	}
+}
+
 func BenchmarkSolveN100K8(b *testing.B) {
 	s := benchNet(b, 8, cluster.Dists{})
 	b.ReportAllocs()

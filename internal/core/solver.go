@@ -114,7 +114,9 @@ func NewSolverFromChainCtx(ctx context.Context, chain *network.Chain) (*Solver, 
 		lvl := chain.Levels[k]
 		d := lvl.States.Count()
 		a := matrix.Identity(d).Sub(lvl.P)
+		span := mLevelFactor.Start()
 		fact, err := matrix.Factor(a)
+		span.End()
 		if err != nil {
 			return fmt.Errorf("core: level %d: I−P_k singular (tasks can avoid departing): %w", k, err)
 		}
@@ -259,6 +261,7 @@ func (s *Solver) SolveCtx(ctx context.Context, n int) (*Result, error) {
 	if kStart > s.K {
 		kStart = s.K
 	}
+	mSolves.Inc()
 	res := &Result{N: n, K: kStart, Epochs: make([]float64, 0, n), Departures: make([]float64, 0, n)}
 	ws := s.getWS()
 	defer s.putWS(ws)
@@ -271,6 +274,7 @@ func (s *Solver) SolveCtx(ctx context.Context, n int) (*Result, error) {
 		if err := check.Canceled(ctx); err != nil {
 			return nil, err
 		}
+		mEpochs.Inc()
 		t := matrix.Dot(pi, s.levels[k].tau)
 		clock += t
 		res.Epochs = append(res.Epochs, t)
@@ -362,6 +366,7 @@ func (s *Solver) SolveSweepCtx(ctx context.Context, ns []int) ([]*Result, error)
 			if err := check.Canceled(ctx); err != nil {
 				return nil, err
 			}
+			mEpochs.Inc()
 			t := matrix.Dot(pi, s.levels[K].tau)
 			feedTimes = append(feedTimes, t)
 			out := nxt[:dK]
@@ -371,6 +376,7 @@ func (s *Solver) SolveSweepCtx(ctx context.Context, ns []int) ([]*Result, error)
 			feeds++
 		}
 		// Replay the shared feeding prefix into this result …
+		mSweepCheckpoints.Inc()
 		res := &Result{N: n, K: K, Epochs: make([]float64, 0, n), Departures: make([]float64, 0, n)}
 		var clock float64
 		for _, t := range feedTimes[:n-K] {
@@ -386,6 +392,7 @@ func (s *Solver) SolveSweepCtx(ctx context.Context, ns []int) ([]*Result, error)
 			if err := check.Canceled(ctx); err != nil {
 				return nil, err
 			}
+			mEpochs.Inc()
 			t := matrix.Dot(dpi, s.levels[k].tau)
 			clock += t
 			res.Epochs = append(res.Epochs, t)
@@ -505,6 +512,7 @@ func (s *Solver) steadyPower(ctx context.Context, k int) ([]float64, error) {
 				return nil, err
 			}
 		}
+		mPowerIters.Inc()
 		s.feedInto(nxt, k, pi, ws)
 		matrix.Normalize1(nxt) // guard against round-off drift
 		if diff = matrix.VecMaxAbsDiff(nxt, pi); diff < tol {
@@ -555,6 +563,7 @@ func (s *Solver) TimeStationaryCtx(ctx context.Context) ([]float64, error) {
 				return nil, err
 			}
 		}
+		mPowerIters.Inc()
 		lvl.P.VecMulInto(next, nu)
 		lvl.Q.VecMulInto(ws.t[:dPrev], nu)
 		lvl.R.VecMulInto(hop, ws.t[:dPrev])

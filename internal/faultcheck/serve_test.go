@@ -46,4 +46,32 @@ func TestServeCampaign(t *testing.T) {
 			t.Errorf("class %s: status %d, want %d (body %s)", o.Class, o.Status, w, o.Body)
 		}
 	}
+
+	// The rejections must land in the right observability counters:
+	// every class reaches Solve (degenerate values travel as JSON on
+	// purpose), each invalid_model refusal bumps the invalid counter,
+	// and every structurally-valid-but-doomed class burns down the
+	// whole degradation ladder into the failures counter.
+	invalid, failed := 0, 0
+	for _, o := range outcomes {
+		switch o.Code {
+		case "invalid_model":
+			invalid++
+		case "singular", "numeric", "not_converged":
+			failed++
+		}
+	}
+	st := srv.Snapshot()
+	if st.Requests != int64(len(outcomes)) {
+		t.Errorf("requests counter = %d, want %d (one per campaign class)", st.Requests, len(outcomes))
+	}
+	if st.Invalid != int64(invalid) {
+		t.Errorf("invalid counter = %d, want %d (one per invalid_model refusal)", st.Invalid, invalid)
+	}
+	if st.Failures != int64(failed) {
+		t.Errorf("failures counter = %d, want %d (one per ladder exhaustion)", st.Failures, failed)
+	}
+	if failed == 0 {
+		t.Error("campaign produced no ladder exhaustion; the failures-counter assertion is vacuous")
+	}
 }

@@ -5,12 +5,25 @@ import (
 	"math"
 
 	"finwl/internal/check"
+	"finwl/internal/obs"
 )
 
 // ErrSingular is returned when a factorization or solve encounters a
 // numerically singular matrix. It is the same value as
 // check.ErrSingular, so callers can match either sentinel.
 var ErrSingular = check.ErrSingular
+
+// Factorization metrics: count and wall time of every dense LU, the
+// dominant cost of solver construction. The solve kernels themselves
+// are deliberately uninstrumented here — internal/core counts epochs,
+// and a per-solve timer would put two clock reads on a sub-µs path.
+var (
+	mFactors = obs.Default.Counter("finwl_lu_factor_total",
+		"Dense LU factorizations performed.")
+	mFactorTime = obs.Default.Histogram("finwl_lu_factor_seconds",
+		"Wall time of dense LU factorizations.",
+		obs.ExpBounds(10_000, 4, 14), 1e-9) // 10µs .. ~2.7s
+)
 
 // LU is an LU factorization with partial pivoting: P·A = L·U, where L
 // is unit lower triangular and U is upper triangular. A single
@@ -45,6 +58,8 @@ func Factor(a *Matrix) (*LU, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("matrix: Factor requires a square matrix, got %dx%d", a.rows, a.cols)
 	}
+	mFactors.Inc()
+	defer mFactorTime.Start().End()
 	n := a.rows
 	lu := a.Clone()
 	perm := make([]int, n)

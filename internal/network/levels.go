@@ -6,9 +6,17 @@ import (
 
 	"finwl/internal/check"
 	"finwl/internal/matrix"
+	"finwl/internal/obs"
 	"finwl/internal/par"
 	"finwl/internal/statespace"
 )
+
+// mChainBuild times full chain constructions (validation, level
+// enumeration, matrix generation) — the state-space-sized front half
+// of every exact solve.
+var mChainBuild = obs.Default.Histogram("finwl_chain_build_seconds",
+	"Wall time of level-chain construction (enumeration + matrix generation).",
+	obs.ExpBounds(100_000, 4, 13), 1e-9) // 100µs .. ~6.7s
 
 // Level holds the paper's per-population matrices for k active tasks:
 //
@@ -114,6 +122,7 @@ func NewChain(net *Network, maxK int) (*Chain, error) {
 // Workers claim the largest levels first and write into their own
 // slot, keeping assembly deterministic.
 func NewChainCtx(ctx context.Context, net *Network, maxK int) (*Chain, error) {
+	defer mChainBuild.Start().End()
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}

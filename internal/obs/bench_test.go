@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// The Perf benchmarks are picked up by scripts/bench.sh and the CI
+// bench smoke; their allocs/op columns are the instrumentation-cost
+// contract: observing any metric must be allocation-free so the
+// solver's epoch kernels keep 0 allocs/op.
+
+func BenchmarkPerfObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench_total", "c")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkPerfObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench_hist", "h", ExpBounds(1000, 4, 12), 1e-9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i) & 0xffff)
+	}
+}
+
+func BenchmarkPerfObsSpan(b *testing.B) {
+	h := NewRegistry().Histogram("bench_span", "h", ExpBounds(1000, 4, 12), 1e-9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := h.Start()
+		sp.End()
+	}
+}
+
+// TestObserveAllocFree pins the alloc-free property as a plain test so
+// it fails fast even when benchmarks are not run.
+func TestObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("allocfree_total", "c")
+	g := r.Gauge("allocfree_gauge", "g")
+	h := r.Histogram("allocfree_hist", "h", ExpBounds(1, 2, 10), 1)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(7)
+		h.ObserveDuration(time.Microsecond)
+	}); n != 0 {
+		t.Fatalf("observe path allocates %v objects/op, want 0", n)
+	}
+}

@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution of int64 observations.
+// Observations land in the first bucket whose upper bound is >= the
+// value; everything above the last bound lands in the implicit +Inf
+// bucket. Observe is three atomic adds and never allocates, so
+// histograms are safe on the solver's hot paths.
+//
+// Internally values are raw int64 units (typically nanoseconds or
+// element counts); Unit scales them for exposition — a duration
+// histogram stores ns and exposes seconds with Unit = 1e-9.
+type Histogram struct {
+	metricMeta
+	bounds  []int64 // ascending upper bounds, len >= 1
+	unit    float64 // exposition multiplier (0 treated as 1)
+	buckets []atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+// Histogram registers (or returns the existing) histogram with the
+// given ascending bucket upper bounds. unit scales raw values for
+// exposition (pass 1 for dimensionless sizes, 1e-9 for ns → s).
+// Panics on empty or unsorted bounds — a registration-time programming
+// error.
+func (r *Registry) Histogram(name, help string, bounds []int64, unit float64, labels ...Label) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram " + name + " needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s bounds not ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{
+		metricMeta: metricMeta{name: name, help: help, kind: kindHistogram, labels: renderLabels(labels)},
+		bounds:     append([]int64(nil), bounds...),
+		unit:       unit,
+		buckets:    make([]atomic.Int64, len(bounds)+1), // +1: +Inf overflow
+	}
+	return r.register(h).(*Histogram)
+}
+
+// ExpBounds builds n ascending bounds starting at start, each factor
+// times the previous (rounded up so bounds stay strictly ascending
+// even for small factors).
+func ExpBounds(start int64, factor float64, n int) []int64 {
+	if start < 1 {
+		start = 1
+	}
+	bounds := make([]int64, n)
+	v := float64(start)
+	for i := range bounds {
+		b := int64(v)
+		if i > 0 && b <= bounds[i-1] {
+			b = bounds[i-1] + 1
+		}
+		bounds[i] = b
+		v *= factor
+	}
+	return bounds
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[h.bucketIdx(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+func (h *Histogram) bucketIdx(v int64) int {
+	// Linear scan: bucket counts are small (≤ ~20) and the early
+	// buckets are the hot ones, so this beats binary search in practice
+	// and keeps the code branch-predictable.
+	for i, b := range h.bounds {
+		if v <= b {
+			return i
+		}
+	}
+	return len(h.bounds)
+}
+
+// ObserveDuration records d in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Span is an in-flight timer over a histogram. It is a value type: Start
+// and End allocate nothing.
+type Span struct {
+	h  *Histogram
+	t0 time.Time
+}
+
+// Start begins a span whose End observes the elapsed nanoseconds.
+func (h *Histogram) Start() Span { return Span{h: h, t0: time.Now()} }
+
+// End observes the span's elapsed time and returns it. A zero Span is
+// a no-op returning 0.
+func (s Span) End() time.Duration {
+	if s.h == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	s.h.ObserveDuration(d)
+	return d
+}
+
+// HistSnapshot is a consistent-enough copy of a histogram's state:
+// each field is read atomically, so totals can be off by in-flight
+// observations but never corrupt. Snapshots from histograms with the
+// same bounds merge additively (shard-and-merge aggregation).
+type HistSnapshot struct {
+	Bounds []int64 `json:"bounds"`
+	Counts []int64 `json:"counts"` // per-bucket (non-cumulative), len(Bounds)+1 with +Inf last
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+// Snapshot copies the current bucket counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Bounds: h.bounds, // immutable after registration
+		Counts: make([]int64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// Merge returns the additive combination of two snapshots. It panics
+// if the bucket layouts differ — merging is only defined across
+// shards of the same histogram shape.
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if len(s.Bounds) != len(o.Bounds) {
+		panic("obs: merging histogram snapshots with different bucket layouts")
+	}
+	for i := range s.Bounds {
+		if s.Bounds[i] != o.Bounds[i] {
+			panic("obs: merging histogram snapshots with different bucket bounds")
+		}
+	}
+	out := HistSnapshot{
+		Bounds: s.Bounds,
+		Counts: make([]int64, len(s.Counts)),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+func (h *Histogram) writeProm(b *strings.Builder) {
+	unit := h.unit
+	if unit == 0 {
+		unit = 1
+	}
+	var cum int64
+	for i, bound := range h.bounds {
+		cum += h.buckets[i].Load()
+		writeSample(b, h.name+"_bucket", h.labels,
+			fmt.Sprintf("le=%q", formatFloat(float64(bound)*unit)), fmt.Sprintf("%d", cum))
+	}
+	cum += h.buckets[len(h.bounds)].Load()
+	writeSample(b, h.name+"_bucket", h.labels, `le="+Inf"`, fmt.Sprintf("%d", cum))
+	writeSample(b, h.name+"_sum", h.labels, "", formatFloat(float64(h.sum.Load())*unit))
+	// _count is the +Inf cumulative rather than the count field: the
+	// two can differ transiently under concurrent observes, and the
+	// exposition must keep the histogram invariant count == +Inf.
+	writeSample(b, h.name+"_count", h.labels, "", fmt.Sprintf("%d", cum))
+}
+
+func (h *Histogram) value() any { return h.Snapshot() }

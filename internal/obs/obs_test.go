@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "a counter")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 42 {
+		t.Fatalf("Value = %d, want 42", got)
+	}
+}
+
+func TestCounterReregistrationReturnsSame(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "first")
+	b := r.Counter("dup_total", "second help ignored")
+	if a != b {
+		t.Fatal("re-registering the same counter must return the original")
+	}
+	lbl := r.Counter("dup_total", "labeled", L("x", "1"))
+	if lbl == a {
+		t.Fatal("different labels must yield a distinct family member")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict", "counter")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering conflict as a gauge should panic")
+		}
+	}()
+	r.Gauge("conflict", "gauge")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "a gauge")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("Value = %d, want 4", got)
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	v := 1.5
+	r.GaugeFunc("computed", "scrape-time gauge", func() float64 { return v })
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "computed 1.5\n") {
+		t.Fatalf("exposition missing computed gauge:\n%s", b.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latencies", []int64{10, 100, 1000}, 1)
+	for _, v := range []int64{5, 10, 11, 500, 5000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := []int64{2, 1, 1, 1} // ≤10: {5,10}; ≤100: {11}; ≤1000: {500}; +Inf: {5000}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (snapshot %+v)", i, s.Counts[i], w, s)
+		}
+	}
+	if s.Count != 5 || s.Sum != 5+10+11+500+5000 {
+		t.Fatalf("count/sum = %d/%d, want 5/%d", s.Count, s.Sum, 5+10+11+500+5000)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("shard_a", "h", []int64{1, 2}, 1)
+	b := r.Histogram("shard_b", "h", []int64{1, 2}, 1)
+	a.Observe(1)
+	a.Observe(3)
+	b.Observe(2)
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 3 || m.Sum != 6 {
+		t.Fatalf("merged count/sum = %d/%d, want 3/6", m.Count, m.Sum)
+	}
+	if m.Counts[0] != 1 || m.Counts[1] != 1 || m.Counts[2] != 1 {
+		t.Fatalf("merged counts = %v, want [1 1 1]", m.Counts)
+	}
+}
+
+func TestHistogramMergeLayoutMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("layout_a", "h", []int64{1, 2}, 1)
+	b := r.Histogram("layout_b", "h", []int64{1, 3}, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched layouts should panic")
+		}
+	}()
+	a.Snapshot().Merge(b.Snapshot())
+}
+
+func TestExpBounds(t *testing.T) {
+	b := ExpBounds(1000, 4, 5)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending: %v", b)
+		}
+	}
+	if b[0] != 1000 || b[4] != 256000 {
+		t.Fatalf("unexpected bounds %v", b)
+	}
+	// Degenerate factor still yields strictly ascending bounds.
+	d := ExpBounds(1, 1.0, 4)
+	for i := 1; i < len(d); i++ {
+		if d[i] <= d[i-1] {
+			t.Fatalf("degenerate bounds not ascending: %v", d)
+		}
+	}
+}
+
+func TestSpan(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("span_ns", "span", ExpBounds(1, 10, 8), 1e-9)
+	sp := h.Start()
+	time.Sleep(time.Millisecond)
+	if d := sp.End(); d < time.Millisecond {
+		t.Fatalf("span measured %v, want >= 1ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("histogram count = %d, want 1", h.Count())
+	}
+	var zero Span
+	if zero.End() != 0 {
+		t.Fatal("zero span must be a no-op")
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Fatalf("request IDs must be unique and non-empty: %q, %q", a, b)
+	}
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestIDFrom(ctx); got != a {
+		t.Fatalf("RequestIDFrom = %q, want %q", got, a)
+	}
+	if got := RequestIDFrom(context.Background()); got != "" {
+		t.Fatalf("RequestIDFrom(empty) = %q, want \"\"", got)
+	}
+}
+
+func TestExpvarPublish(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("expvar_test_total", "c").Add(3)
+	PublishExpvar("obs_test_metrics", r)
+	PublishExpvar("obs_test_metrics", r) // must not panic on republish
+	m := r.Expvar()().(map[string]any)
+	if m["expvar_test_total"] != int64(3) {
+		t.Fatalf("expvar map = %v, want expvar_test_total=3", m)
+	}
+}

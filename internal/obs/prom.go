@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// writeSample emits one exposition line: name{labels,extra} value.
+func writeSample(b *strings.Builder, name, labels, extra, value string) {
+	b.WriteString(name)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// formatFloat renders a float the way the Prometheus text format
+// expects: shortest round-trip representation, +Inf/-Inf/NaN spelled
+// out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteProm writes the registry's metrics in the Prometheus text
+// exposition format (version 0.0.4): one # HELP / # TYPE header per
+// metric family, then every family member's samples.
+func (r *Registry) WriteProm(w io.Writer) error {
+	r.mu.RLock()
+	order := make([]metric, len(r.order))
+	copy(order, r.order)
+	help := make(map[string]string, len(r.helpFor))
+	for k, v := range r.helpFor {
+		help[k] = v
+	}
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	lastFamily := ""
+	for _, m := range order {
+		mm := m.meta()
+		if mm.name != lastFamily {
+			if h := help[mm.name]; h != "" {
+				fmt.Fprintf(&b, "# HELP %s %s\n", mm.name, escapeHelp(h))
+			}
+			fmt.Fprintf(&b, "# TYPE %s %s\n", mm.name, mm.kind)
+			lastFamily = mm.name
+		}
+		m.writeProm(&b)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// PromContentType is the exposition content type served by Handler.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler serves the given registries (in order) as one Prometheus
+// text exposition page. Registries must not share metric family names.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			if err := r.WriteProm(w); err != nil {
+				return // client went away; nothing useful to do
+			}
+		}
+	})
+}
+
+// Expvar returns an expvar.Func that renders the registry as a
+// name{labels} → value map — counters and gauges as numbers,
+// histograms as HistSnapshot objects.
+func (r *Registry) Expvar() expvar.Func {
+	return func() any {
+		r.mu.RLock()
+		defer r.mu.RUnlock()
+		out := make(map[string]any, len(r.order))
+		for _, m := range r.order {
+			mm := m.meta()
+			key := mm.name
+			if mm.labels != "" {
+				key += "{" + mm.labels + "}"
+			}
+			out[key] = m.value()
+		}
+		return out
+	}
+}
+
+// PublishExpvar publishes the registries under the given expvar name
+// (idempotent: republishing the same name is a no-op, so tests and
+// restarted components do not trip expvar's duplicate panic).
+func PublishExpvar(name string, regs ...*Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		out := make(map[string]any, len(regs))
+		for _, r := range regs {
+			if r == nil {
+				continue
+			}
+			m := r.Expvar()().(map[string]any)
+			for k, v := range m {
+				out[k] = v
+			}
+		}
+		return out
+	}))
+}

@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// sampleLine matches one Prometheus text-format sample:
+// name{label="v",...} value
+var sampleLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+var headerLine = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+
+// ValidateProm parses a text exposition and returns the set of sample
+// names seen, failing the test on any malformed line. Shared with the
+// serve package's golden scrape test via copy — kept here so the
+// format rules live next to the writer.
+func validateProm(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !headerLine.MatchString(line) {
+				t.Fatalf("malformed header line: %q", line)
+			}
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		names[name] = true
+	}
+	return names
+}
+
+func TestWritePromFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fmt_requests_total", "requests served").Add(3)
+	r.Counter("fmt_tier_total", "per tier", L("tier", "exact")).Add(2)
+	r.Counter("fmt_tier_total", "per tier", L("tier", "bounds")).Inc()
+	r.Gauge("fmt_depth", "queue depth").Set(-4)
+	h := r.Histogram("fmt_latency_seconds", "latency", ExpBounds(1000, 10, 4), 1e-9)
+	h.Observe(500)
+	h.Observe(2_000_000)
+
+	var b strings.Builder
+	if err := r.WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	names := validateProm(t, body)
+	for _, want := range []string{
+		"fmt_requests_total", "fmt_tier_total", "fmt_depth",
+		"fmt_latency_seconds_bucket", "fmt_latency_seconds_sum", "fmt_latency_seconds_count",
+	} {
+		if !names[want] {
+			t.Errorf("exposition missing %s:\n%s", want, body)
+		}
+	}
+	// One HELP/TYPE block per family even with two labeled members.
+	if n := strings.Count(body, "# TYPE fmt_tier_total counter"); n != 1 {
+		t.Errorf("fmt_tier_total TYPE header appears %d times, want 1:\n%s", n, body)
+	}
+	if !strings.Contains(body, `fmt_tier_total{tier="exact"} 2`) {
+		t.Errorf("missing labeled sample:\n%s", body)
+	}
+	// Histogram invariants: cumulative buckets, +Inf == count.
+	if !strings.Contains(body, `fmt_latency_seconds_bucket{le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket wrong:\n%s", body)
+	}
+	if !strings.Contains(body, "fmt_latency_seconds_count 2") {
+		t.Errorf("histogram count wrong:\n%s", body)
+	}
+}
+
+func TestHandlerMergesRegistries(t *testing.T) {
+	a, b := NewRegistry(), NewRegistry()
+	a.Counter("merge_a_total", "a").Inc()
+	b.Counter("merge_b_total", "b").Inc()
+	rec := httptest.NewRecorder()
+	Handler(a, nil, b).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != PromContentType {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	body := rec.Body.String()
+	names := validateProm(t, body)
+	if !names["merge_a_total"] || !names["merge_b_total"] {
+		t.Fatalf("merged exposition missing a registry:\n%s", body)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1.5: "1.5",
+		0:   "0",
+	}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+	for _, s := range []string{formatFloat(inf()), formatFloat(-inf())} {
+		if s != "+Inf" && s != "-Inf" {
+			t.Errorf("inf formatting = %q", s)
+		}
+	}
+}
+
+func inf() float64 { var z float64; return 1 / z }
+
+func ExampleRegistry_WriteProm() {
+	r := NewRegistry()
+	r.Counter("example_total", "an example").Add(7)
+	var b strings.Builder
+	_ = r.WriteProm(&b)
+	fmt.Print(b.String())
+	// Output:
+	// # HELP example_total an example
+	// # TYPE example_total counter
+	// example_total 7
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentObserveVsSnapshot hammers every metric type from
+// writer goroutines while readers scrape and snapshot concurrently.
+// Run under -race (scripts/ci.sh does) this is the data-race gate for
+// the whole registry.
+func TestConcurrentObserveVsSnapshot(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("race_total", "c")
+	g := r.Gauge("race_gauge", "g")
+	h := r.Histogram("race_hist", "h", ExpBounds(1, 4, 8), 1)
+	r.GaugeFunc("race_func", "f", func() float64 { return float64(c.Value()) })
+
+	const writers, readers, iters = 8, 4, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(seed + int64(i)%1000)
+				// Late registration must also be safe against scrapes.
+				if i == iters/2 {
+					r.Counter("race_late_total", "late", L("w", string(rune('a'+seed)))).Inc()
+				}
+			}
+		}(int64(w))
+	}
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters/10; i++ {
+				if err := r.WriteProm(io.Discard); err != nil {
+					t.Errorf("WriteProm: %v", err)
+					return
+				}
+				_ = h.Snapshot()
+				_ = r.Expvar()()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := c.Value(); got != writers*iters {
+		t.Fatalf("counter = %d, want %d", got, writers*iters)
+	}
+	s := h.Snapshot()
+	if s.Count != writers*iters {
+		t.Fatalf("histogram count = %d, want %d", s.Count, writers*iters)
+	}
+	var cum int64
+	for _, n := range s.Counts {
+		cum += n
+	}
+	if cum != s.Count {
+		t.Fatalf("bucket total %d != count %d", cum, s.Count)
+	}
+}

@@ -1,0 +1,38 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+)
+
+// reqIDKey is the private context key for request IDs.
+type reqIDKey struct{}
+
+// reqSeq distinguishes requests within a process; the random prefix
+// distinguishes processes, so IDs stay unique across restarts without
+// needing crypto randomness.
+var (
+	reqSeq    atomic.Uint64
+	reqPrefix = fmt.Sprintf("%08x", rand.Uint32())
+)
+
+// NewRequestID returns a fresh process-unique request ID, e.g.
+// "a1b2c3d4-0000002a".
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%08x", reqPrefix, reqSeq.Add(1))
+}
+
+// WithRequestID attaches a request ID to ctx. The ID travels with the
+// context through the solver pipeline and is picked up by
+// check.Canceled so cancellation errors name the request that died.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, reqIDKey{}, id)
+}
+
+// RequestIDFrom returns the request ID attached to ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(reqIDKey{}).(string)
+	return id
+}

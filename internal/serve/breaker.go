@@ -41,6 +41,10 @@ type breaker struct {
 	threshold int
 	cooldown  time.Duration
 	now       func() time.Time
+	// onTransition (optional) observes every state change, called with
+	// the state entered while the breaker lock is held — keep it to an
+	// atomic bump (the serve metrics hook is exactly that).
+	onTransition func(to BreakerState)
 
 	state    BreakerState
 	fails    int
@@ -48,11 +52,24 @@ type breaker struct {
 	probing  bool
 }
 
-func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onTransition func(to BreakerState)) *breaker {
 	if now == nil {
 		now = time.Now
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onTransition: onTransition}
+}
+
+// setState records a state change, notifying the transition hook only
+// on an actual change (an open→open cooldown restart is not a
+// transition).
+func (b *breaker) setState(to BreakerState) {
+	if b.state == to {
+		return
+	}
+	b.state = to
+	if b.onTransition != nil {
+		b.onTransition(to)
+	}
 }
 
 // allow reports whether this request may take the exact path. probe is
@@ -68,7 +85,7 @@ func (b *breaker) allow() (ok, probe bool) {
 		if b.now().Sub(b.openedAt) < b.cooldown {
 			return false, false
 		}
-		b.state = BreakerHalfOpen
+		b.setState(BreakerHalfOpen)
 		b.probing = false
 		fallthrough
 	default: // BreakerHalfOpen
@@ -97,7 +114,7 @@ func (b *breaker) abortProbe() {
 func (b *breaker) onSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = BreakerClosed
+	b.setState(BreakerClosed)
 	b.fails = 0
 	b.probing = false
 }
@@ -124,7 +141,7 @@ func (b *breaker) onFailure() {
 }
 
 func (b *breaker) trip() {
-	b.state = BreakerOpen
+	b.setState(BreakerOpen)
 	b.openedAt = b.now()
 	b.fails = 0
 	b.probing = false

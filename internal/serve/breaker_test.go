@@ -27,7 +27,7 @@ func (c *fakeClock) advance(d time.Duration) {
 
 func TestBreakerLifecycle(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	b := newBreaker(3, time.Second, clk.now)
+	b := newBreaker(3, time.Second, clk.now, nil)
 
 	if ok, probe := b.allow(); !ok || probe {
 		t.Fatalf("closed breaker: allow = (%v, %v), want (true, false)", ok, probe)
@@ -85,7 +85,7 @@ func TestBreakerLifecycle(t *testing.T) {
 // token for the next caller instead of pinning probing=true forever.
 func TestBreakerAbortProbeReleasesToken(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	b := newBreaker(1, time.Second, clk.now)
+	b := newBreaker(1, time.Second, clk.now, nil)
 	b.onFailure() // trip
 	clk.advance(time.Second)
 	if ok, probe := b.allow(); !ok || !probe {
@@ -113,7 +113,7 @@ func TestBreakerAbortProbeReleasesToken(t *testing.T) {
 // probe slot per half-open window.
 func TestBreakerHalfOpenRace(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	b := newBreaker(1, time.Second, clk.now)
+	b := newBreaker(1, time.Second, clk.now, nil)
 	for round := 0; round < 10; round++ {
 		b.onFailure() // trip
 		clk.advance(time.Second)

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"finwl/internal/obs"
+)
+
+// serveMetrics is the registry-backed heart of the server's
+// observability: every counter the old hand-rolled Stats struct
+// carried, re-homed on a per-Server obs.Registry so /stats stays
+// wire-compatible while /metrics exposes the same state (plus
+// histograms and gauges the JSON snapshot never had) in Prometheus
+// text form.
+//
+// The registry is per-Server rather than process-global so tests and
+// embedders get isolated counters; finwld's /metrics page concatenates
+// this registry with obs.Default (the solver-stage metrics).
+type serveMetrics struct {
+	requests    *obs.Counter
+	cacheHits   *obs.Counter
+	cacheMisses *obs.Counter
+	deduped     *obs.Counter
+	rejected    *obs.Counter
+	invalid     *obs.Counter
+	canceled    *obs.Counter
+	retries     *obs.Counter
+	degraded    *obs.Counter
+	failures    *obs.Counter
+
+	// tier is indexed by Fidelity via tierCounter.
+	exact      *obs.Counter
+	checkpoint *obs.Counter
+	steady     *obs.Counter
+	bounds     *obs.Counter
+
+	// Breaker state transitions, labeled by the state entered.
+	brClosed   *obs.Counter
+	brOpen     *obs.Counter
+	brHalfOpen *obs.Counter
+
+	queueWait         *obs.Histogram // admission wait, ns
+	solveTime         *obs.Histogram // ladder time after admission, ns
+	deadlineRemaining *obs.Histogram // remaining deadline at tier choice, ns
+}
+
+// Histogram bucket rationale (documented in DESIGN.md §11): serve-path
+// latencies span ~100µs cache misses to the 60s default deadline cap,
+// so 14 exponential buckets ×4 from 100µs cover 100µs..~27min; queue
+// waits start finer (10µs) because an uncontended acquire is
+// sub-millisecond and the interesting signal is the onset of queueing.
+var (
+	solveBounds = obs.ExpBounds(100_000, 4, 14)
+	queueBounds = obs.ExpBounds(10_000, 4, 14)
+)
+
+func newServeMetrics(reg *obs.Registry) *serveMetrics {
+	c := func(name, help string, labels ...obs.Label) *obs.Counter {
+		return reg.Counter(name, help, labels...)
+	}
+	tier := func(f Fidelity) *obs.Counter {
+		return c("finwld_tier_total", "Successful responses by fidelity tier.", obs.L("tier", string(f)))
+	}
+	br := func(state BreakerState) *obs.Counter {
+		return c("finwld_breaker_transitions_total", "Circuit-breaker state transitions, labeled by the state entered.",
+			obs.L("state", state.String()))
+	}
+	return &serveMetrics{
+		requests:    c("finwld_requests_total", "Solve requests received."),
+		cacheHits:   c("finwld_cache_hits_total", "Requests answered from the result cache."),
+		cacheMisses: c("finwld_cache_misses_total", "Requests that missed the result cache."),
+		deduped:     c("finwld_dedup_total", "Requests that shared another request's in-flight solve."),
+		rejected:    c("finwld_rejected_total", "Admission rejections (overload or draining)."),
+		invalid:     c("finwld_invalid_total", "Requests rejected for an invalid model."),
+		canceled:    c("finwld_canceled_total", "Requests canceled or past their deadline."),
+		retries:     c("finwld_retries_total", "Transient-failure retry attempts."),
+		degraded:    c("finwld_degraded_total", "Responses served below the exact tiers."),
+		failures:    c("finwld_failures_total", "Requests that exhausted the whole degradation ladder."),
+
+		exact:      tier(FidelityExact),
+		checkpoint: tier(FidelityCheckpoint),
+		steady:     tier(FidelitySteady),
+		bounds:     tier(FidelityBounds),
+
+		brClosed:   br(BreakerClosed),
+		brOpen:     br(BreakerOpen),
+		brHalfOpen: br(BreakerHalfOpen),
+
+		queueWait: reg.Histogram("finwld_queue_wait_seconds",
+			"Time spent waiting in the admission queue.", queueBounds, 1e-9),
+		solveTime: reg.Histogram("finwld_solve_seconds",
+			"Time from admission to a ladder verdict.", solveBounds, 1e-9),
+		deadlineRemaining: reg.Histogram("finwld_deadline_remaining_seconds",
+			"Deadline remaining at degradation-ladder tier choice.", solveBounds, 1e-9),
+	}
+}
+
+// registerGauges exposes the admission queue's live state and the
+// cache occupancies as scrape-time gauges. Separate from
+// newServeMetrics because the admission queue and caches are built
+// alongside the metrics in New.
+func registerGauges(reg *obs.Registry, s *Server) {
+	reg.GaugeFunc("finwld_queue_depth", "Requests waiting in the admission queue.", func() float64 {
+		_, _, queued := s.adm.snapshot()
+		return float64(queued)
+	})
+	reg.GaugeFunc("finwld_budget_used", "Admission budget currently charged, state-space units.", func() float64 {
+		used, _, _ := s.adm.snapshot()
+		return float64(used)
+	})
+	reg.GaugeFunc("finwld_budget_total", "Configured admission budget, state-space units.", func() float64 {
+		_, budget, _ := s.adm.snapshot()
+		return float64(budget)
+	})
+	reg.GaugeFunc("finwld_cache_entries", "Result-cache entries resident.", func() float64 {
+		return float64(s.cache.len())
+	})
+	reg.GaugeFunc("finwld_solver_cache_entries", "Factored solvers resident.", func() float64 {
+		return float64(s.solvers.len())
+	})
+	reg.GaugeFunc("finwld_draining", "1 while the server is draining.", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+}
+
+// tierCounter maps a fidelity to its counter.
+func (m *serveMetrics) tierCounter(f Fidelity) *obs.Counter {
+	switch f {
+	case FidelityExact:
+		return m.exact
+	case FidelityCheckpoint:
+		return m.checkpoint
+	case FidelitySteady:
+		return m.steady
+	default:
+		return m.bounds
+	}
+}
+
+// breakerTransition is the hook handed to every breaker.
+func (m *serveMetrics) breakerTransition(to BreakerState) {
+	switch to {
+	case BreakerClosed:
+		m.brClosed.Inc()
+	case BreakerOpen:
+		m.brOpen.Inc()
+	case BreakerHalfOpen:
+		m.brHalfOpen.Inc()
+	}
+}

@@ -1,0 +1,290 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"finwl/internal/check"
+	"finwl/internal/obs"
+)
+
+// Prometheus text-format line validators — copied from internal/obs's
+// prom_test so the HTTP-boundary scrape is checked against the same
+// grammar the writer is tested with.
+var (
+	sampleLine = regexp.MustCompile(
+		`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+	headerLine = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]*( .*)?$`)
+)
+
+// validateProm fails the test on any malformed exposition line and
+// returns the set of sample names seen.
+func validateProm(t *testing.T, body string) map[string]bool {
+	t.Helper()
+	names := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !headerLine.MatchString(line) {
+				t.Fatalf("malformed header line: %q", line)
+			}
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(name, "{ "); i >= 0 {
+			name = name[:i]
+		}
+		names[name] = true
+	}
+	return names
+}
+
+// TestMetricsScrapeGolden drives the server through every counter
+// category — exact solve, cache hit, invalid model, deadline
+// degradation, singular ladder exhaustion with a breaker trip — then
+// scrapes GET /metrics and checks the exposition is well-formed and
+// carries the full metric surface.
+func TestMetricsScrapeGolden(t *testing.T) {
+	s := New(Config{Seed: 1, BreakerThreshold: 2})
+	ctx := context.Background()
+
+	if _, err := s.Solve(ctx, &Request{Arch: "central", K: 3, N: 10}); err != nil {
+		t.Fatalf("exact solve: %v", err)
+	}
+	if _, err := s.Solve(ctx, &Request{Arch: "central", K: 3, N: 10}); err != nil {
+		t.Fatalf("cached solve: %v", err)
+	}
+	if _, err := s.Solve(ctx, &Request{Arch: "central", K: 0, N: 10}); !errors.Is(err, check.ErrInvalidModel) {
+		t.Fatalf("invalid solve: err = %v, want ErrInvalidModel", err)
+	}
+	if _, err := s.Solve(ctx, &Request{Arch: "central", K: 10, N: 50, TimeoutMS: 1}); !errors.Is(err, check.ErrDegraded) {
+		t.Fatalf("degraded solve: err = %v, want ErrDegraded", err)
+	}
+	for i := 0; i < 2; i++ { // two singular failures trip the class breaker
+		if _, err := s.Solve(ctx, &Request{K: 3, N: 5 + i, Network: trappedTwoStation()}); !errors.Is(err, check.ErrSingular) {
+			t.Fatalf("trapped solve %d: err = %v, want ErrSingular", i, err)
+		}
+	}
+
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, obs.PromContentType)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	names := validateProm(t, body)
+
+	// The full surface: serve-layer counters/histograms/gauges plus the
+	// process-wide solver-stage metrics, one exposition page.
+	want := []string{
+		// serve counters
+		"finwld_requests_total", "finwld_cache_hits_total", "finwld_cache_misses_total",
+		"finwld_dedup_total", "finwld_rejected_total", "finwld_invalid_total",
+		"finwld_canceled_total", "finwld_retries_total", "finwld_degraded_total",
+		"finwld_failures_total", "finwld_tier_total", "finwld_breaker_transitions_total",
+		// serve histograms
+		"finwld_queue_wait_seconds_bucket", "finwld_queue_wait_seconds_sum", "finwld_queue_wait_seconds_count",
+		"finwld_solve_seconds_bucket", "finwld_deadline_remaining_seconds_bucket",
+		// serve gauges
+		"finwld_queue_depth", "finwld_budget_used", "finwld_budget_total",
+		"finwld_cache_entries", "finwld_solver_cache_entries", "finwld_draining",
+		// solver-stage metrics (obs.Default)
+		"finwl_solves_total", "finwl_epochs_total", "finwl_lu_factor_total",
+		"finwl_lu_factor_seconds_bucket", "finwl_chain_build_seconds_bucket",
+		"finwl_statespace_levels_total", "finwl_statespace_level_states_bucket",
+	}
+	for _, n := range want {
+		if !names[n] {
+			t.Errorf("exposition missing %s", n)
+		}
+	}
+
+	// Value spot-checks tied to the request mix above.
+	for _, line := range []string{
+		`finwld_cache_hits_total 1`,
+		`finwld_invalid_total 1`,
+		`finwld_degraded_total 1`,
+		`finwld_failures_total 2`,
+		`finwld_tier_total{tier="exact"} 1`,
+		`finwld_breaker_transitions_total{state="open"} 1`,
+	} {
+		if !strings.Contains(body, line+"\n") {
+			t.Errorf("exposition missing sample %q", line)
+		}
+	}
+
+	distinct := 0
+	for n := range names {
+		if strings.HasPrefix(n, "finwl") {
+			distinct++
+		}
+	}
+	if distinct < 12 {
+		t.Fatalf("only %d distinct finwl metrics exposed, want >= 12:\n%s", distinct, body)
+	}
+}
+
+// TestSnapshotMatchesRegistry: /stats must stay wire-compatible — the
+// JSON counters are now read from the registry, so the snapshot and
+// the scrape must agree.
+func TestSnapshotMatchesRegistry(t *testing.T) {
+	s := New(Config{Seed: 1})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, err := s.Solve(ctx, &Request{Arch: "central", K: 3, N: 10 + i%2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Snapshot()
+	// N=10 solves exact; the repeat is a cache hit; N=11 reuses the
+	// factored solver via the checkpoint tier.
+	if st.Requests != 3 || st.CacheHits != 1 || st.Exact+st.Checkpoint != 2 {
+		t.Fatalf("snapshot = %+v, want requests=3 cache_hits=1 exact+checkpoint=2", st)
+	}
+	var b strings.Builder
+	if err := s.Metrics().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "finwld_requests_total 3\n") {
+		t.Fatalf("registry disagrees with snapshot:\n%s", b.String())
+	}
+}
+
+// TestTimingsBreakdown: every fresh /solve response carries the
+// queue/solve/encode stage breakdown, a cache hit reports zero queue
+// and solve time, and the request ID round-trips via X-Request-Id.
+func TestTimingsBreakdown(t *testing.T) {
+	s := New(Config{Seed: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	post := func(reqID string) (*http.Response, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/solve",
+			bytes.NewBufferString(`{"arch":"central","k":3,"n":10}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if reqID != "" {
+			req.Header.Set("X-Request-Id", reqID)
+		}
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		return resp, m
+	}
+
+	resp, body := post("probe-42")
+	if got := resp.Header.Get("X-Request-Id"); got != "probe-42" {
+		t.Errorf("client-supplied request ID not echoed: got %q", got)
+	}
+	tm, ok := body["timings"].(map[string]any)
+	if !ok {
+		t.Fatalf("fresh response has no timings object: %v", body)
+	}
+	for _, k := range []string{"queue_ms", "solve_ms", "encode_ms"} {
+		v, ok := tm[k].(float64)
+		if !ok || v < 0 {
+			t.Errorf("timings[%s] = %v, want a non-negative number", k, tm[k])
+		}
+	}
+	if tm["solve_ms"].(float64) <= 0 {
+		t.Errorf("fresh solve_ms = %v, want > 0", tm["solve_ms"])
+	}
+
+	resp, body = post("")
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("server did not assign a request ID")
+	}
+	if body["cached"] != true {
+		t.Fatalf("second solve not cached: %v", body)
+	}
+	tm, ok = body["timings"].(map[string]any)
+	if !ok {
+		t.Fatalf("cached response has no timings object: %v", body)
+	}
+	if tm["queue_ms"].(float64) != 0 || tm["solve_ms"].(float64) != 0 {
+		t.Errorf("cache hit reports queue/solve work: %v", tm)
+	}
+}
+
+// TestRequestLogging: with a Logger configured, each request emits one
+// structured line carrying the request ID and status.
+func TestRequestLogging(t *testing.T) {
+	var buf syncBuffer
+	s := New(Config{Seed: 1, Logger: newTestLogger(&buf)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/solve",
+		bytes.NewBufferString(`{"arch":"central","k":3,"n":10}`))
+	req.Header.Set("X-Request-Id", "log-probe")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	line := buf.String()
+	for _, want := range []string{`"request_id":"log-probe"`, `"status":200`, `"path":"/solve"`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("log line missing %s:\n%s", want, line)
+		}
+	}
+}
+
+// syncBuffer is a mutex-guarded buffer: the HTTP server logs from its
+// connection goroutines.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func newTestLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil))
+}

@@ -28,6 +28,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"sync/atomic"
@@ -37,6 +38,7 @@ import (
 	"finwl/internal/check"
 	"finwl/internal/core"
 	"finwl/internal/network"
+	"finwl/internal/obs"
 	"finwl/internal/productform"
 	"finwl/internal/statespace"
 )
@@ -72,6 +74,10 @@ type Config struct {
 
 	Seed int64            // jitter seed (default: wall clock)
 	Now  func() time.Time // test hook for breaker clocks
+
+	// Logger receives one structured line per HTTP request (request
+	// ID, method, path, status, elapsed). nil disables request logging.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -153,6 +159,31 @@ type Response struct {
 	Cached       bool    `json:"cached,omitempty"`
 	Deduplicated bool    `json:"deduplicated,omitempty"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
+
+	// Timings breaks the request's wall time into its pipeline stages;
+	// EncodeMS is filled by the HTTP handler just before the final
+	// serialization. PR-3 clients that ignore unknown fields are
+	// unaffected.
+	Timings *Timings `json:"timings,omitempty"`
+}
+
+// Timings is the per-response stage breakdown.
+type Timings struct {
+	QueueMS  float64 `json:"queue_ms"`  // admission-queue wait
+	SolveMS  float64 `json:"solve_ms"`  // ladder time after admission
+	EncodeMS float64 `json:"encode_ms"` // response JSON serialization
+}
+
+// clone copies a Response deeply enough that mutating the copy's
+// flags or timings cannot race with other holders of the original
+// (the result cache, concurrent dedup followers).
+func (r *Response) clone() *Response {
+	cp := *r
+	if r.Timings != nil {
+		t := *r.Timings
+		cp.Timings = &t
+	}
+	return &cp
 }
 
 // Degraded reports whether the response came from an approximation
@@ -192,25 +223,6 @@ type Stats struct {
 	Bounds       int64 `json:"bounds"`
 }
 
-type statCounters struct {
-	requests, cacheHits, deduped, rejected, invalid, canceled atomic.Int64
-	retries, degraded, failures                               atomic.Int64
-	exact, checkpoint, steady, bounds                         atomic.Int64
-}
-
-func (c *statCounters) tier(f Fidelity) *atomic.Int64 {
-	switch f {
-	case FidelityExact:
-		return &c.exact
-	case FidelityCheckpoint:
-		return &c.checkpoint
-	case FidelitySteady:
-		return &c.steady
-	default:
-		return &c.bounds
-	}
-}
-
 // Server is the resilient solver service. Create with New; it is safe
 // for concurrent use.
 type Server struct {
@@ -231,14 +243,16 @@ type Server struct {
 	workCtx    context.Context
 	workCancel context.CancelFunc
 
-	stats statCounters
+	reg *obs.Registry
+	m   *serveMetrics
 }
 
 // New builds a Server from cfg (zero value = all defaults).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	workCtx, workCancel := context.WithCancel(context.Background())
-	return &Server{
+	reg := obs.NewRegistry()
+	s := &Server{
 		cfg:        cfg,
 		adm:        newAdmission(cfg.Budget, cfg.MaxQueue),
 		cache:      newLRU[*Response](cfg.CacheSize),
@@ -249,8 +263,16 @@ func New(cfg Config) *Server {
 		breakers:   newLRU[*breaker](cfg.ClassCacheSize),
 		workCtx:    workCtx,
 		workCancel: workCancel,
+		reg:        reg,
+		m:          newServeMetrics(reg),
 	}
+	registerGauges(reg, s)
+	return s
 }
+
+// Metrics returns the server's metric registry, for embedding into a
+// combined /metrics page (finwld concatenates it with obs.Default).
+func (s *Server) Metrics() *obs.Registry { return s.reg }
 
 // classKey identifies a model class for the circuit breakers and the
 // cost estimator: the station-shape signature plus the population.
@@ -266,7 +288,7 @@ func classKey(space *statespace.Space, k int) string {
 
 func (s *Server) breakerFor(class string) *breaker {
 	return s.breakers.getOrCreate(class, func() *breaker {
-		return newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now)
+		return newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now, s.m.breakerTransition)
 	})
 }
 
@@ -275,14 +297,14 @@ func (s *Server) breakerFor(class string) *breaker {
 // plus a *DegradedError matching check.ErrDegraded. Every other error
 // matches a check sentinel.
 func (s *Server) Solve(ctx context.Context, req *Request) (*Response, error) {
-	s.stats.requests.Add(1)
+	s.m.requests.Inc()
 	if s.draining.Load() {
-		s.stats.rejected.Add(1)
+		s.m.rejected.Inc()
 		return nil, errDraining()
 	}
 	net, err := req.BuildNetwork()
 	if err != nil {
-		s.stats.invalid.Add(1)
+		s.m.invalid.Inc()
 		return nil, err
 	}
 
@@ -302,30 +324,32 @@ func (s *Server) Solve(ctx context.Context, req *Request) (*Response, error) {
 	netKey := networkKey(net)
 	key := fmt.Sprintf("%s|k=%d|n=%d", netKey, req.K, req.N)
 	if cached, ok := s.cache.get(key); ok {
-		s.stats.cacheHits.Add(1)
-		cp := *cached
+		s.m.cacheHits.Inc()
+		cp := cached.clone()
 		cp.Cached = true
-		return &cp, nil
+		cp.Timings = &Timings{} // a hit does no queueing or solving
+		return cp, nil
 	}
+	s.m.cacheMisses.Inc()
 
 	solverKey := fmt.Sprintf("%s|K=%d", netKey, req.K)
 	resp, err, shared, abandoned := s.flight.do(ctx.Done(), key, func() (*Response, error) {
 		return s.process(ctx, net, req.K, req.N, key, solverKey)
 	})
 	if abandoned {
-		s.stats.canceled.Add(1)
+		s.m.canceled.Inc()
 		return nil, check.Canceled(ctx)
 	}
 	if shared {
-		s.stats.deduped.Add(1)
+		s.m.deduped.Inc()
 		if resp != nil {
-			cp := *resp
+			cp := resp.clone()
 			cp.Deduplicated = true
-			resp = &cp
+			resp = cp
 		}
 	}
 	if err != nil && errors.Is(err, check.ErrCanceled) {
-		s.stats.canceled.Add(1)
+		s.m.canceled.Inc()
 	}
 	return resp, err
 }
@@ -335,12 +359,15 @@ func (s *Server) Solve(ctx context.Context, req *Request) (*Response, error) {
 func (s *Server) process(ctx context.Context, net *network.Network, k, n int, key, solverKey string) (*Response, error) {
 	space := net.Space()
 	price := chainPrice(space, k)
+	queueSpan := s.m.queueWait.Start()
 	if err := s.adm.acquire(ctx.Done(), price); err != nil {
+		queueSpan.End()
 		if errors.Is(err, check.ErrOverloaded) {
-			s.stats.rejected.Add(1)
+			s.m.rejected.Inc()
 		}
 		return nil, err
 	}
+	queueWait := queueSpan.End()
 	defer s.adm.release(price)
 
 	class := classKey(space, k)
@@ -363,6 +390,12 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 	remaining := noDeadline
 	if dl, ok := ctx.Deadline(); ok {
 		remaining = time.Until(dl)
+		if remaining > 0 {
+			// Only bounded requests are observable here: noDeadline
+			// would park every unbounded request in the +Inf bucket and
+			// drown the signal (how close requests run to their budget).
+			s.m.deadlineRemaining.ObserveDuration(remaining)
+		}
 	}
 	_, haveSolver := s.solvers.get(solverKey)
 	tier := selectTier(!allowed, haveSolver, remaining, est)
@@ -379,16 +412,22 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 	for rung := tier; ; rung = rungBelow(rung) {
 		start := time.Now()
 		var resp *Response
-		err := withRetry(ctx, s.cfg.Retries, s.cfg.RetryBase, s.rand, func() { s.stats.retries.Add(1) }, func() error {
+		err := withRetry(ctx, s.cfg.Retries, s.cfg.RetryBase, s.rand, func() { s.m.retries.Inc() }, func() error {
 			var e error
 			resp, e = s.runTier(ctx, rung, net, k, n, solverKey)
 			return e
 		})
 		if err == nil {
-			s.est.observe(class, resp.Fidelity, price, time.Since(start))
-			s.stats.tier(resp.Fidelity).Add(1)
+			solveTime := time.Since(start)
+			s.est.observe(class, resp.Fidelity, price, solveTime)
+			s.m.tierCounter(resp.Fidelity).Inc()
+			s.m.solveTime.ObserveDuration(solveTime)
 			resp.K, resp.N, resp.Price = k, n, price
-			resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+			resp.ElapsedMS = float64(solveTime.Microseconds()) / 1000
+			resp.Timings = &Timings{
+				QueueMS: float64(queueWait.Microseconds()) / 1000,
+				SolveMS: float64(solveTime.Microseconds()) / 1000,
+			}
 			if !resp.Degraded() {
 				if probe || allowed {
 					br.onSuccess()
@@ -400,7 +439,7 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 			}
 			resp.Breaker = br.snapshot().String()
 			resp.DegradedFrom = strings.Join(reasons, "; ")
-			s.stats.degraded.Add(1)
+			s.m.degraded.Inc()
 			return resp, &DegradedError{Fidelity: resp.Fidelity, Reason: resp.DegradedFrom}
 		}
 		if errors.Is(err, check.ErrCanceled) {
@@ -413,7 +452,7 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 		}
 		if rung == FidelityBounds {
 			// Ladder exhausted: nothing cheaper to fall to.
-			s.stats.failures.Add(1)
+			s.m.failures.Inc()
 			return nil, err
 		}
 		reasons = append(reasons, fmt.Sprintf("%s tier failed: %v", rung, err))
@@ -565,23 +604,25 @@ func (s *Server) Drain(ctx context.Context) error {
 	}
 }
 
-// Snapshot returns the current counters.
+// Snapshot returns the current counters, read from the same
+// registry-backed metrics /metrics scrapes — the JSON shape is
+// unchanged from PR 3 so /stats consumers keep working.
 func (s *Server) Snapshot() Stats {
-	c := &s.stats
+	m := s.m
 	return Stats{
-		Requests:     c.requests.Load(),
-		CacheHits:    c.cacheHits.Load(),
-		Deduplicated: c.deduped.Load(),
-		Rejected:     c.rejected.Load(),
-		Invalid:      c.invalid.Load(),
-		Canceled:     c.canceled.Load(),
-		Retries:      c.retries.Load(),
-		Degraded:     c.degraded.Load(),
-		Failures:     c.failures.Load(),
-		Exact:        c.exact.Load(),
-		Checkpoint:   c.checkpoint.Load(),
-		Steady:       c.steady.Load(),
-		Bounds:       c.bounds.Load(),
+		Requests:     m.requests.Value(),
+		CacheHits:    m.cacheHits.Value(),
+		Deduplicated: m.deduped.Value(),
+		Rejected:     m.rejected.Value(),
+		Invalid:      m.invalid.Value(),
+		Canceled:     m.canceled.Value(),
+		Retries:      m.retries.Value(),
+		Degraded:     m.degraded.Value(),
+		Failures:     m.failures.Value(),
+		Exact:        m.exact.Value(),
+		Checkpoint:   m.checkpoint.Value(),
+		Steady:       m.steady.Value(),
+		Bounds:       m.bounds.Value(),
 	}
 }
 
@@ -649,25 +690,68 @@ type ErrorBody struct {
 const maxBodyBytes = 1 << 20
 
 // Handler returns the HTTP surface: POST /solve, GET /healthz, GET
-// /stats. A recover middleware turns any escaped panic into a 500
-// with code "panic" — the fault-injection campaign asserts it never
-// fires.
+// /stats, GET /metrics (this server's registry concatenated with the
+// process-wide solver-stage metrics). A recover middleware turns any
+// escaped panic into a 500 with code "panic" — the fault-injection
+// campaign asserts it never fires. The outer middleware also assigns
+// each request an ID (honoring a client-supplied X-Request-Id),
+// threads it through the context so solver cancellation errors can
+// name the request, echoes it on the response, and emits one slog
+// line per request when Config.Logger is set.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", obs.Handler(s.reg, obs.Default))
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
 		defer func() {
 			if p := recover(); p != nil {
-				writeJSON(w, http.StatusInternalServerError, ErrorBody{
+				writeJSON(sw, http.StatusInternalServerError, ErrorBody{
 					Error: fmt.Sprintf("panic: %v", p),
 					Code:  "panic",
 				})
 			}
+			if s.cfg.Logger != nil {
+				s.cfg.Logger.Info("request",
+					"request_id", reqID,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", sw.status,
+					"elapsed_ms", float64(time.Since(start).Microseconds())/1000,
+				)
+			}
 		}()
-		mux.ServeHTTP(w, r)
+		mux.ServeHTTP(sw, r)
 	})
+}
+
+// statusWriter captures the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
@@ -686,6 +770,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Solve(r.Context(), &req)
 	if resp != nil && (err == nil || errors.Is(err, check.ErrDegraded)) {
+		// Measure serialization with a first marshal, record it in the
+		// timings, and encode again — on a copy, because the original
+		// pointer may be shared with the result cache.
+		resp = resp.clone()
+		encStart := time.Now()
+		if _, merr := json.Marshal(resp); merr == nil && resp.Timings != nil {
+			resp.Timings.EncodeMS = float64(time.Since(encStart).Microseconds()) / 1000
+		}
 		writeJSON(w, http.StatusOK, resp)
 		return
 	}

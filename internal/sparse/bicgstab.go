@@ -6,6 +6,20 @@ import (
 
 	"finwl/internal/check"
 	"finwl/internal/matrix"
+	"finwl/internal/obs"
+)
+
+// Iterative-solver metrics: iteration volume is the paper-level cost
+// driver of the sparse path, restarts flag numerically marginal
+// systems before they become errors, and dense fallbacks mark systems
+// the iterative path gave up on entirely.
+var (
+	mIterations = obs.Default.Counter("finwl_bicgstab_iterations_total",
+		"BiCGSTAB iterations across all sweeps.")
+	mRestarts = obs.Default.Counter("finwl_bicgstab_restarts_total",
+		"BiCGSTAB breakdown restarts (fresh sweep from the current iterate).")
+	mDenseFallbacks = obs.Default.Counter("finwl_bicgstab_dense_fallbacks_total",
+		"Iterative solves that fell back to the dense robust LU ladder.")
 )
 
 // ErrNoConvergence is returned when an iterative solve fails to reach
@@ -80,6 +94,9 @@ func BiCGSTAB(mulVec func([]float64) []float64, b []float64, opts Options) ([]fl
 	const restarts = 1
 	var relres float64
 	for attempt := 0; attempt <= restarts; attempt++ {
+		if attempt > 0 {
+			mRestarts.Inc()
+		}
 		var ok bool
 		relres, ok = bicgstabSweep(apply, b, x, normB, opts)
 		if ok {
@@ -119,6 +136,7 @@ func bicgstabSweep(apply func([]float64) []float64, b, x []float64, normB float6
 		v, p                      = make([]float64, n), make([]float64, n)
 	)
 	for iter := 0; iter < opts.MaxIter; iter++ {
+		mIterations.Inc()
 		rhoNext := matrix.Dot(rHat, r)
 		if rhoNext == 0 || !isFinite(rhoNext) {
 			// Breakdown: re-anchor the shadow residual and retry once
@@ -227,6 +245,7 @@ func SolveIMinusP(p *CSR, b []float64, left bool, opts Options) ([]float64, erro
 	if p.Rows() != p.Cols() || n > DenseFallbackLimit {
 		return nil, err
 	}
+	mDenseFallbacks.Inc()
 	a := matrix.Identity(n).Sub(p.Dense())
 	var (
 		xd   []float64

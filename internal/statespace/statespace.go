@@ -28,6 +28,19 @@ import (
 	"fmt"
 	"math"
 	"math/big"
+
+	"finwl/internal/obs"
+)
+
+// Enumeration metrics: level count and size are the paper's
+// state-space cost drivers — D_RP(k) is what every downstream matrix
+// is quadratic in — so both are observable without re-deriving the DP.
+var (
+	mLevels = obs.Default.Counter("finwl_statespace_levels_total",
+		"Population levels enumerated.")
+	mLevelStates = obs.Default.Histogram("finwl_statespace_level_states",
+		"States per enumerated population level (the paper's D_RP(k)).",
+		obs.ExpBounds(1, 4, 14), 1) // 1 .. ~67M states
 )
 
 // Kind distinguishes the two station state layouts.
@@ -227,6 +240,8 @@ func (s *Space) Enumerate(k int) *Level {
 	l := &Level{Space: s, K: k, index: make(map[string]int)}
 	state := make([]int, s.width)
 	l.enumerate(state, 0, k)
+	mLevels.Inc()
+	mLevelStates.Observe(int64(len(l.states)))
 	return l
 }
 

@@ -13,7 +13,8 @@ benchtime="${BENCHTIME:-2s}"
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
-go test -run '^$' -bench 'Perf' -benchmem -benchtime "$benchtime" ./internal/matrix ./internal/serve . | tee "$tmp"
+go test -run '^$' -bench 'Perf' -benchmem -benchtime "$benchtime" \
+    ./internal/matrix ./internal/core ./internal/obs ./internal/serve . | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v goversion="$(go env GOVERSION)" \

@@ -1,0 +1,134 @@
+#!/usr/bin/env bash
+# Compares a fresh perf run against a committed benchmark snapshot and
+# exits non-zero on regressions:
+#
+#   scripts/bench_diff.sh [baseline.json] [fresh.json]
+#   scripts/bench_diff.sh --self-test
+#
+# With no baseline argument the newest committed BENCH_*.json is used;
+# with no fresh argument scripts/bench.sh runs one (BENCHTIME applies).
+#
+# A benchmark regresses when its ns/op grows more than NS_TOL_PCT
+# (default 20%), or its allocs/op grows more than ALLOC_TOL_PCT
+# (default 20%) — except alloc-free baselines (the epoch kernels),
+# which must stay at exactly 0 allocs/op. Benchmarks present on only
+# one side are reported but never fail the diff, so adding or retiring
+# a benchmark does not break CI. Wall-clock comparisons across
+# different machines are noisy — CI runs this as an advisory job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ns_tol="${NS_TOL_PCT:-20}"
+alloc_tol="${ALLOC_TOL_PCT:-20}"
+
+compare() { # baseline.json fresh.json
+    awk -v ns_tol="$ns_tol" -v alloc_tol="$alloc_tol" '
+    function parse(line) {
+        match(line, /"name": "[^"]*"/)
+        name = substr(line, RSTART + 9, RLENGTH - 10)
+        match(line, /"ns_per_op": [0-9.eE+-]+/)
+        ns = substr(line, RSTART + 13, RLENGTH - 13)
+        allocs = "null"
+        if (match(line, /"allocs_per_op": [0-9]+/))
+            allocs = substr(line, RSTART + 17, RLENGTH - 17)
+    }
+    FNR == NR {
+        if (/"name":/) { parse($0); base_ns[name] = ns; base_allocs[name] = allocs }
+        next
+    }
+    /"name":/ {
+        parse($0)
+        seen[name] = 1
+        if (!(name in base_ns)) {
+            printf "  new  %-36s ns/op %s (no baseline)\n", name, ns
+            next
+        }
+        bns = base_ns[name] + 0
+        lim = bns * (1 + ns_tol / 100)
+        if (ns + 0 > lim) {
+            printf "REGRESSION %-28s ns/op %d -> %d (limit +%s%%)\n", name, bns, ns, ns_tol
+            bad = 1
+        } else {
+            printf "  ok   %-36s ns/op %d -> %d\n", name, bns, ns
+        }
+        ba = base_allocs[name]
+        if (ba != "null" && allocs != "null") {
+            if (ba + 0 == 0) {
+                if (allocs + 0 > 0) {
+                    printf "REGRESSION %-28s allocs/op 0 -> %s (alloc-free kernel must stay alloc-free)\n", name, allocs
+                    bad = 1
+                }
+            } else if (allocs + 0 > (ba + 0) * (1 + alloc_tol / 100)) {
+                printf "REGRESSION %-28s allocs/op %s -> %s (limit +%s%%)\n", name, ba, allocs, alloc_tol
+                bad = 1
+            }
+        }
+    }
+    END {
+        for (n in base_ns) if (!(n in seen))
+            printf "  gone %-36s (in baseline only)\n", n
+        exit bad
+    }' "$1" "$2"
+}
+
+self_test() {
+    local dir rc
+    dir=$(mktemp -d)
+    trap 'rm -rf "$dir"' RETURN
+
+    cat > "$dir/base.json" <<'EOF'
+{
+  "benchmarks": [
+    {"name": "BenchmarkPerfSteady", "iters": 10, "ns_per_op": 1000, "bytes_per_op": 0, "allocs_per_op": 0},
+    {"name": "BenchmarkPerfAllocy", "iters": 10, "ns_per_op": 5000, "bytes_per_op": 64, "allocs_per_op": 10}
+  ]
+}
+EOF
+    # Unchanged results must pass.
+    if ! compare "$dir/base.json" "$dir/base.json" > /dev/null; then
+        echo "bench_diff self-test: identical snapshots flagged as regression" >&2
+        return 1
+    fi
+    # A +50% ns/op regression must fail.
+    sed 's/"ns_per_op": 1000/"ns_per_op": 1500/' "$dir/base.json" > "$dir/slow.json"
+    rc=0; compare "$dir/base.json" "$dir/slow.json" > /dev/null || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "bench_diff self-test: +50% ns/op regression not caught" >&2
+        return 1
+    fi
+    # An alloc-free kernel growing allocations must fail.
+    sed 's/"allocs_per_op": 0}/"allocs_per_op": 2}/' "$dir/base.json" > "$dir/allocs.json"
+    rc=0; compare "$dir/base.json" "$dir/allocs.json" > /dev/null || rc=$?
+    if [ "$rc" -eq 0 ]; then
+        echo "bench_diff self-test: 0 -> 2 allocs/op regression not caught" >&2
+        return 1
+    fi
+    # Within-tolerance drift (+10% ns/op) must pass.
+    sed 's/"ns_per_op": 1000/"ns_per_op": 1100/' "$dir/base.json" > "$dir/drift.json"
+    if ! compare "$dir/base.json" "$dir/drift.json" > /dev/null; then
+        echo "bench_diff self-test: +10% drift flagged despite 20% tolerance" >&2
+        return 1
+    fi
+    echo "bench_diff self-test OK"
+}
+
+if [ "${1:-}" = "--self-test" ]; then
+    self_test
+    exit
+fi
+
+baseline="${1:-$(ls BENCH_*.json 2> /dev/null | sort -V | tail -1)}"
+if [ -z "$baseline" ] || [ ! -f "$baseline" ]; then
+    echo "bench_diff: no baseline snapshot found (expected BENCH_*.json)" >&2
+    exit 1
+fi
+
+fresh="${2:-}"
+if [ -z "$fresh" ]; then
+    fresh=$(mktemp --suffix=.json)
+    trap 'rm -f "$fresh"' EXIT
+    scripts/bench.sh "$fresh"
+fi
+
+echo "== bench diff: $baseline vs $fresh (ns/op +${ns_tol}%, allocs/op +${alloc_tol}%, alloc-free pinned) =="
+compare "$baseline" "$fresh"

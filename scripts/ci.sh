@@ -19,8 +19,22 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
-echo "== go test -race =="
-go test -race ./...
+echo "== go test -race + coverage =="
+# One instrumented run feeds both gates: the race detector over the
+# full suite, and the coverage ratchet against scripts/coverage_floor.txt
+# (raise the floor when coverage rises; it must never fall below it).
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+go test -race -covermode=atomic -coverprofile="$scratch/cover.out" ./...
+
+echo "== coverage floor =="
+floor=$(cat scripts/coverage_floor.txt)
+total=$(go tool cover -func="$scratch/cover.out" | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+echo "total coverage ${total}% (floor ${floor}%)"
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
+    echo "coverage ${total}% fell below the floor ${floor}%" >&2
+    exit 1
+fi
 
 echo "== serve resilience (-race, uncached) =="
 # The serving layer is concurrency-heavy (admission queue, breakers,
@@ -29,7 +43,15 @@ echo "== serve resilience (-race, uncached) =="
 go test -race -count=1 ./internal/serve
 
 echo "== bench smoke (1 iteration) =="
-go test -run '^$' -bench . -benchtime 1x ./internal/matrix ./internal/core ./internal/serve .
+# Discover every benchmark-bearing package instead of hand-listing
+# them, so a new package's benchmarks cannot be silently skipped.
+benchpkgs=$(grep -rl --include='*_test.go' -E '^func Benchmark' . \
+    | xargs -n1 dirname | sort -u)
+echo "benchmark packages:" $benchpkgs
+go test -run '^$' -bench . -benchtime 1x $benchpkgs
+
+echo "== bench_diff self-test =="
+scripts/bench_diff.sh --self-test
 
 echo "== fuzz seed smoke =="
 # Each target's seed corpus runs as ordinary tests; a short -fuzz burst
@@ -39,8 +61,8 @@ for target in FuzzNetworkPipeline FuzzPHFit FuzzRobustSolve; do
 done
 
 echo "== cmd exit-code smoke =="
-bindir=$(mktemp -d)
-trap 'rm -rf "$bindir"' EXIT
+bindir="$scratch/bin"
+mkdir -p "$bindir"
 go build -o "$bindir/" ./cmd/...
 
 expect_exit() { # expected-status description command...
@@ -62,10 +84,14 @@ expect_exit 2 "finwl bad exp"      "$bindir/finwl" -exp nope
 expect_exit 1 "finwl timeout"      "$bindir/finwl" -exp tbl-sim -timeout 5ms
 
 echo "== finwld serve smoke =="
-# Boot the daemon on an ephemeral port, solve once over HTTP, assert a
-# full-fidelity answer, then SIGTERM and require a clean drain (exit 0).
-"$bindir/finwld" -addr 127.0.0.1:0 >"$bindir/finwld.log" 2>&1 &
+# Boot the daemon (admin listener on) on ephemeral ports, solve once
+# over HTTP, assert a full-fidelity answer with a timings breakdown,
+# scrape /metrics on both surfaces, then SIGTERM and require a clean
+# drain (exit 0).
+"$bindir/finwld" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 >"$bindir/finwld.log" 2>&1 &
 finwld_pid=$!
+# A failed assertion below must not leave an orphan daemon behind.
+trap 'kill "$finwld_pid" 2>/dev/null; rm -rf "$scratch"' EXIT
 addr=""
 for _ in $(seq 1 100); do
     addr=$(sed -n 's/^finwld listening on //p' "$bindir/finwld.log")
@@ -77,9 +103,57 @@ if [ -z "$addr" ]; then
     cat "$bindir/finwld.log" >&2
     exit 1
 fi
+admin_addr=$(sed -n 's/^finwld admin listening on //p' "$bindir/finwld.log")
+if [ -z "$admin_addr" ]; then
+    echo "finwld smoke: daemon never reported its admin address" >&2
+    cat "$bindir/finwld.log" >&2
+    exit 1
+fi
 body=$(curl -s -X POST -d '{"arch":"central","k":3,"n":10}' "http://$addr/solve")
-if ! echo "$body" | grep -q '"fidelity":"exact"'; then
+if ! grep -q '"fidelity":"exact"' <<< "$body"; then
     echo "finwld smoke: unexpected /solve body: $body" >&2
+    exit 1
+fi
+if ! grep -q '"timings"' <<< "$body"; then
+    echo "finwld smoke: /solve body carries no timings breakdown: $body" >&2
+    exit 1
+fi
+# The request log is structured: the solve above must appear as one
+# JSON slog line carrying its request ID and status.
+if ! grep -q '"msg":"request".*"status":200' "$bindir/finwld.log"; then
+    echo "finwld smoke: no structured request-log line for the solve" >&2
+    cat "$bindir/finwld.log" >&2
+    exit 1
+fi
+# Both metric surfaces serve the same exposition: the admin listener
+# and the service /metrics route; serve- and solver-stage families
+# must be present and the request counter populated.
+# (grep -q never sits downstream of curl here: under pipefail the
+# early grep exit would EPIPE curl and flake the pipeline.)
+for murl in "http://$admin_addr/metrics" "http://$addr/metrics"; do
+    page=$(curl -s --retry 2 "$murl")
+    for family in finwld_requests_total finwld_tier_total finwl_solves_total finwl_lu_factor_seconds_bucket; do
+        if ! grep -q "^$family" <<< "$page"; then
+            echo "finwld smoke: $murl missing metric family $family" >&2
+            head -40 <<< "$page" >&2
+            exit 1
+        fi
+    done
+    if ! grep -q '^finwld_requests_total 1' <<< "$page"; then
+        echo "finwld smoke: $murl request counter did not count the solve:" >&2
+        grep '^finwld_requests_total' <<< "$page" >&2
+        exit 1
+    fi
+done
+# pprof and expvar ride the admin listener only.
+vars=$(curl -s "http://$admin_addr/debug/vars")
+if ! grep -q '"cmdline"' <<< "$vars"; then
+    echo "finwld smoke: /debug/vars not serving expvar" >&2
+    exit 1
+fi
+pprof_status=$(curl -s -o /dev/null -w '%{http_code}' "http://$admin_addr/debug/pprof/")
+if [ "$pprof_status" != 200 ]; then
+    echo "finwld smoke: /debug/pprof/ status $pprof_status, want 200" >&2
     exit 1
 fi
 # A 1ms deadline either degrades (deadline below the exact-tier
@@ -88,7 +162,7 @@ fi
 # end-to-end. The full (deadline × breaker) fidelity matrix is covered
 # deterministically by the serve package tests.
 degraded=$(curl -s -X POST -d '{"arch":"central","k":10,"n":50,"timeout_ms":1}' "http://$addr/solve")
-if ! echo "$degraded" | grep -Eq '"degraded_from"|"code":"canceled"'; then
+if ! grep -Eq '"degraded_from"|"code":"canceled"' <<< "$degraded"; then
     echo "finwld smoke: 1ms deadline neither degraded nor canceled: $degraded" >&2
     exit 1
 fi
