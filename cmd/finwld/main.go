@@ -9,8 +9,12 @@
 //
 //	finwld -addr 127.0.0.1:8080
 //	curl -s -X POST -d '{"arch":"central","k":3,"n":10}' localhost:8080/solve
+//	curl -s -X POST -d '[{"k":3,"n":10},{"k":3,"n":20}]' localhost:8080/batch
+//	curl -s -X POST -d '[{"k":3,"n":10}]' localhost:8080/jobs   # then GET /jobs/{id}
 //
-// Endpoints: POST /solve, GET /healthz, GET /stats.
+// Endpoints: POST /solve, POST /batch (shared-chain batch solving),
+// POST /jobs + GET /jobs/{id} (async batches with polled progress),
+// GET /healthz, GET /stats, GET /metrics.
 //
 // Exit status: 0 after a graceful drain (SIGINT/SIGTERM stops
 // admitting, cancels queued work, and finishes in-flight solves within
@@ -43,6 +47,10 @@ func main() {
 		cacheSize  = flag.Int("cache", 0, "result-cache entries (0 = default, <0 disables)")
 		maxTimeout = flag.Duration("max-timeout", 0, "cap on per-request deadlines (0 = default 60s)")
 		cooldown   = flag.Duration("breaker-cooldown", 0, "circuit-breaker open → half-open delay (0 = default 5s)")
+		maxBatch   = flag.Int("max-batch", 0, "max jobs in one /batch or /jobs submission (0 = default 256)")
+		jobStore   = flag.Int("job-store", 0, "async job records held at once (0 = default 64)")
+		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished async job results (0 = default 10m)")
+		asyncWk    = flag.Int("async-workers", 0, "concurrent async batch runs (0 = default 4)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 		metrics    = cliutil.MetricsAddrFlag()
 		quiet      = flag.Bool("quiet", false, "disable per-request structured logging")
@@ -58,6 +66,10 @@ func main() {
 		CacheSize:       *cacheSize,
 		MaxTimeout:      *maxTimeout,
 		BreakerCooldown: *cooldown,
+		MaxBatchJobs:    *maxBatch,
+		JobStoreSize:    *jobStore,
+		JobTTL:          *jobTTL,
+		AsyncWorkers:    *asyncWk,
 	}
 	if !*quiet {
 		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))

@@ -9,6 +9,14 @@
 //	sweep -var cv2 -component remote -from 1 -to 100 -steps 12 -k 8 -n 30
 //	sweep -var k -from 1 -to 10 -steps 10 -n 100 -low-contention > speedup.csv
 //	sweep -var n -from 10 -to 200 -steps 10 -k 5 -timeout 30s
+//	sweep -var n -from 10 -to 200 -steps 10 -k 5 -server http://localhost:8080
+//
+// With -server the sweep is not solved in-process: every point becomes
+// one job in a single POST /batch to a running finwld, whose scheduler
+// groups the jobs by network — an N-sweep is one chain build and one
+// sweep server-side. The remote CSV replaces the local-only columns
+// (steady-state, epoch endpoints) with the response's fidelity tag and
+// server-side solve time.
 //
 // Exit status: 0 on success, 1 on a runtime failure, timeout or
 // interrupt (Ctrl-C / SIGTERM cancels the solver context cleanly), 2
@@ -19,6 +27,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"finwl/internal/cliutil"
@@ -26,6 +35,7 @@ import (
 	"finwl/internal/core"
 	"finwl/internal/network"
 	"finwl/internal/obs"
+	"finwl/internal/serve"
 	"finwl/internal/workload"
 )
 
@@ -37,6 +47,7 @@ type options struct {
 	steps     int
 	k, n      int
 	lowCont   bool
+	server    string
 }
 
 func main() {
@@ -53,6 +64,7 @@ func main() {
 	flag.IntVar(&opts.k, "k", 5, "workstations")
 	flag.IntVar(&opts.n, "n", 30, "tasks")
 	flag.BoolVar(&opts.lowCont, "low-contention", false, "use the low-contention workload")
+	flag.StringVar(&opts.server, "server", "", "finwld base URL: solve the sweep remotely via POST /batch")
 	flag.DurationVar(&timeout, "timeout", 0, "abort after this long (0 = no limit)")
 	metricsAddr := cliutil.MetricsAddrFlag()
 	flag.Parse()
@@ -76,6 +88,10 @@ func run(ctx context.Context, opts options) error {
 		if opts.steps > 1 {
 			xs[i] += (opts.to - opts.from) * float64(i) / float64(opts.steps-1)
 		}
+	}
+
+	if opts.server != "" {
+		return sweepRemote(ctx, xs, opts)
 	}
 
 	fmt.Println("x,total_time,speedup,tss,first_epoch,last_epoch")
@@ -144,6 +160,81 @@ func buildNet(arch string, k int, app workload.App, dists cluster.Dists) (*netwo
 	default:
 		return nil, cliutil.Usagef("unknown arch %q", arch)
 	}
+}
+
+// appSpec pins every workload field in the wire form so the server
+// solves exactly the app the local mode would have built.
+func appSpec(app workload.App) *serve.AppSpec {
+	return &serve.AppSpec{
+		X: &app.X, C: &app.C, Y: &app.Y, B: &app.B,
+		Cycles: &app.Cycles, RemoteFrac: &app.RemoteFrac,
+	}
+}
+
+// sweepRemote expresses each sweep point as one cluster-form request
+// and submits them all in a single POST /batch. Points sharing a
+// network (always true for -var n) share one chain build server-side.
+// Speedup is still computed locally from the workload's serial time;
+// per-job failures are reported together after the successful rows.
+func sweepRemote(ctx context.Context, xs []float64, opts options) error {
+	reqs := make([]*serve.Request, len(xs))
+	apps := make([]workload.App, len(xs))
+	for i, x := range xs {
+		app := workload.Default(opts.n)
+		if opts.lowCont {
+			app = workload.LowContention(opts.n)
+		}
+		kk, nn := opts.k, opts.n
+		var cv2 *serve.CV2Spec
+		switch opts.variable {
+		case "k":
+			kk = int(x + 0.5)
+		case "n":
+			nn = int(x + 0.5)
+			app.N = nn
+		case "cv2":
+			cv2 = &serve.CV2Spec{}
+			if opts.component == "cpu" {
+				cv2.CPU = x
+			} else {
+				cv2.Remote = x
+			}
+		case "cycles":
+			app.Cycles = x
+		case "remotefrac":
+			app.RemoteFrac = x
+		default:
+			return cliutil.Usagef("unknown sweep variable %q", opts.variable)
+		}
+		apps[i] = app
+		reqs[i] = &serve.Request{Arch: opts.arch, K: kk, N: nn, App: appSpec(app), CV2: cv2}
+	}
+
+	var items []serve.BatchItem
+	url := strings.TrimSuffix(opts.server, "/") + "/batch"
+	if _, err := cliutil.PostJSON(ctx, nil, url, reqs, &items); err != nil {
+		return err
+	}
+	if len(items) != len(reqs) {
+		return fmt.Errorf("sweep: server returned %d items for %d jobs", len(items), len(reqs))
+	}
+
+	fmt.Println("x,total_time,speedup,fidelity,epochs,solve_ms")
+	var failed []string
+	for i, it := range items {
+		if it.Response == nil {
+			failed = append(failed, fmt.Sprintf("x=%g: %s (%s)", xs[i], it.Error, it.Code))
+			continue
+		}
+		r := it.Response
+		fmt.Printf("%g,%g,%g,%s,%d,%g\n",
+			xs[i], r.TotalTime, apps[i].SerialTime()/r.TotalTime, r.Fidelity, r.Epochs, r.ElapsedMS)
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("sweep: %d of %d remote jobs failed:\n  %s",
+			len(failed), len(items), strings.Join(failed, "\n  "))
+	}
+	return nil
 }
 
 // sweepN prints the CSV rows of an N-sweep using one solver and one

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"finwl/internal/serve"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it printed. The CSV writer prints straight to stdout,
+// so the remote path is tested through the same surface users see.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(r); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), runErr
+}
+
+// TestSweepRemoteNSweep drives an N-sweep through a real in-process
+// finwld handler: one POST /batch, every row full fidelity, and the
+// server's batch counters confirm the points shared a single group.
+func TestSweepRemoteNSweep(t *testing.T) {
+	s := serve.New(serve.Config{Seed: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	opts := options{
+		variable: "n", arch: "central", k: 3, n: 10,
+		from: 10, to: 30, steps: 3, server: ts.URL,
+	}
+	xs := []float64{10, 20, 30}
+	out, err := captureStdout(t, func() error {
+		return sweepRemote(context.Background(), xs, opts)
+	})
+	if err != nil {
+		t.Fatalf("sweepRemote: %v", err)
+	}
+
+	var rows []string
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		if sc.Text() != "" {
+			rows = append(rows, sc.Text())
+		}
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d lines, want header + 3 rows:\n%s", len(rows), out)
+	}
+	if rows[0] != "x,total_time,speedup,fidelity,epochs,solve_ms" {
+		t.Fatalf("header = %q", rows[0])
+	}
+	for _, row := range rows[1:] {
+		f := strings.Split(row, ",")
+		if len(f) != 6 {
+			t.Fatalf("row %q has %d fields, want 6", row, len(f))
+		}
+		if f[3] != "exact" && f[3] != "checkpoint" {
+			t.Errorf("row %q fidelity = %q, want exact or checkpoint", row, f[3])
+		}
+	}
+
+	st := s.Snapshot()
+	if st.BatchJobs != 3 || st.BatchGroups != 1 || st.BatchChainReuse != 2 {
+		t.Fatalf("batch stats = jobs %d, groups %d, reuse %d; want 3, 1, 2",
+			st.BatchJobs, st.BatchGroups, st.BatchChainReuse)
+	}
+}
+
+// TestSweepRemotePartialFailure: a k-sweep whose first point is k=0 is
+// rejected per-job server-side; the healthy rows still print and the
+// command reports the failure.
+func TestSweepRemotePartialFailure(t *testing.T) {
+	s := serve.New(serve.Config{Seed: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	opts := options{
+		variable: "k", arch: "central", k: 3, n: 10, server: ts.URL,
+	}
+	xs := []float64{0, 2, 3}
+	out, err := captureStdout(t, func() error {
+		return sweepRemote(context.Background(), xs, opts)
+	})
+	if err == nil {
+		t.Fatal("sweepRemote with an invalid point succeeded")
+	}
+	if !strings.Contains(err.Error(), "1 of 3 remote jobs failed") {
+		t.Fatalf("error does not report the failed count: %v", err)
+	}
+	if !strings.Contains(err.Error(), "invalid_model") {
+		t.Fatalf("error does not carry the typed code: %v", err)
+	}
+	if got := strings.Count(out, "\n"); got != 3 { // header + 2 healthy rows
+		t.Fatalf("printed %d lines, want 3:\n%s", got, out)
+	}
+}
+
+// TestSweepRemoteServerError: a whole-batch rejection (undecodable URL
+// / connection refused here) surfaces as a command error, not a panic.
+func TestSweepRemoteServerError(t *testing.T) {
+	opts := options{variable: "n", arch: "central", k: 3, n: 10,
+		server: "http://127.0.0.1:1"}
+	_, err := captureStdout(t, func() error {
+		return sweepRemote(context.Background(), []float64{10}, opts)
+	})
+	if err == nil {
+		t.Fatal("sweepRemote against a dead server succeeded")
+	}
+}

@@ -1,0 +1,369 @@
+// Package batch is the shared-chain job scheduler behind /batch: it
+// accepts a set of solve jobs, groups them by canonical network key,
+// builds and factors each distinct chain exactly once (through the
+// caller's solver cache), runs every group through one incremental
+// sweep over the union of its requested populations, and fans results
+// back per job. The paper's figure sweeps are exactly this workload —
+// many populations over one network — and SolveSweep's prefix-reuse
+// property makes a group of J same-network jobs cost one chain plus J
+// drain checkpoints instead of J chains.
+//
+// The scheduler owns grouping, group-level admission pricing
+// (statespace.SweepPrice), bounded concurrency over internal/par,
+// cross-call deduplication of identical in-flight groups, and
+// partial-failure semantics: one bad job fails typed without
+// poisoning its group. Everything environment-shaped — admission,
+// the solver cache, metrics — is injected through Hooks so the
+// package depends only on the solver pipeline, not on the serving
+// layer that wraps it.
+package batch
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finwl/internal/check"
+	"finwl/internal/core"
+	"finwl/internal/network"
+	"finwl/internal/par"
+)
+
+// Job is one solve request. Key is the caller's canonical identity of
+// (network, K) — jobs with equal keys are assumed to describe the
+// same chain and are solved as one group; an empty Key isolates the
+// job in a group of its own.
+type Job struct {
+	Key string
+	Net *network.Network
+	K   int
+	N   int
+}
+
+// Outcome is the per-job result. Exactly one of Result, Err is
+// non-nil. The group-level fields are repeated on every member so a
+// caller can account for sharing without reconstructing the grouping.
+type Outcome struct {
+	Result *core.Result
+	Err    error
+
+	// Reused reports that the group's solver came out of the caller's
+	// cache (or from a concurrent builder) — no fresh chain
+	// construction happened for this group at all.
+	Reused bool
+	// Shared reports that the whole group was deduplicated against an
+	// identical in-flight group from another Run call: this job rode
+	// along as a follower and did no work of its own.
+	Shared bool
+	// GroupJobs is the size of this job's group within this Run call.
+	GroupJobs int
+	// Price is the group's admission price (charged once per group,
+	// reported on every member).
+	Price int64
+
+	Wait    time.Duration // admission-queue wait of the group
+	Elapsed time.Duration // group wall time after admission
+}
+
+// Hooks inject the caller's environment. Acquire/Release bracket a
+// group's admission (Acquire returning an error fails the whole
+// group, typed); SolverFor resolves the factored solver for a group
+// key, reporting whether it was reused from cache rather than freshly
+// built. OnGroupDone fires once per solved group (not for dedup
+// followers) with the group size, whether the chain was reused, and
+// the group-level error if the group never solved. Any nil hook is
+// skipped (Acquire nil = unlimited admission).
+type Hooks struct {
+	Acquire     func(done <-chan struct{}, price int64) error
+	Release     func(price int64)
+	SolverFor   func(ctx context.Context, key string, net *network.Network, k int) (*core.Solver, bool, error)
+	OnGroupDone func(jobs int, reused bool, err error)
+}
+
+// Progress receives scheduling milestones; any nil field is skipped.
+// Callbacks run on scheduler goroutines and must be cheap.
+type Progress struct {
+	// OnPlan fires once before solving starts, with the job count and
+	// the size of every group (groups are solved in first-appearance
+	// order of their keys, but complete in any order).
+	OnPlan func(jobs int, groupJobs []int)
+	// OnGroupStart / OnGroupDone fire per group index.
+	OnGroupStart func(group int)
+	OnGroupDone  func(group int)
+	// OnJobDone fires after every job settles with the running count.
+	OnJobDone func(done, total int)
+}
+
+// Scheduler groups and runs batches. Safe for concurrent use; a
+// single Scheduler should front a solver cache so concurrent batches
+// share chains.
+type Scheduler struct {
+	hooks  Hooks
+	flight flightGroup
+}
+
+// New builds a Scheduler around the given hooks.
+func New(hooks Hooks) *Scheduler {
+	return &Scheduler{hooks: hooks, flight: flightGroup{m: make(map[string]*flightCall)}}
+}
+
+// groupResult is what one solved group shares with its jobs — and,
+// through the flight group, with identical concurrent groups.
+type groupResult struct {
+	byN    map[int]*core.Result
+	errByN map[int]error
+	err    error // group-level failure (admission, solver build)
+	reused bool
+	price  int64
+	wait   time.Duration
+	solved time.Duration
+}
+
+// Run solves jobs and returns one Outcome per job, in order. It never
+// returns an error: every failure is typed into its job's Outcome. A
+// canceled ctx settles all unfinished jobs with check.ErrCanceled.
+func (s *Scheduler) Run(ctx context.Context, jobs []Job, prog *Progress) []Outcome {
+	outcomes := make([]Outcome, len(jobs))
+	if len(jobs) == 0 {
+		return outcomes
+	}
+	// Group by key, preserving first-appearance order.
+	type group struct {
+		key  string
+		idxs []int
+	}
+	byKey := make(map[string]int)
+	var groups []*group
+	for i, j := range jobs {
+		key := j.Key
+		if key == "" {
+			// An unkeyed job cannot be proven identical to anything;
+			// isolate it.
+			key = fmt.Sprintf("\x00unkeyed-%d", i)
+		}
+		gi, ok := byKey[key]
+		if !ok {
+			gi = len(groups)
+			byKey[key] = gi
+			groups = append(groups, &group{key: key})
+		}
+		groups[gi].idxs = append(groups[gi].idxs, i)
+	}
+	if prog != nil && prog.OnPlan != nil {
+		sizes := make([]int, len(groups))
+		for gi, g := range groups {
+			sizes[gi] = len(g.idxs)
+		}
+		prog.OnPlan(len(jobs), sizes)
+	}
+
+	var done atomic.Int64
+	settle := func(i int, o Outcome) {
+		outcomes[i] = o
+		if prog != nil && prog.OnJobDone != nil {
+			prog.OnJobDone(int(done.Add(1)), len(jobs))
+		}
+	}
+
+	// Groups run across the bounded worker pool; the fn never returns
+	// an error (failures settle per job), so ForErr only stops early on
+	// cancellation.
+	_ = par.ForErr(ctx, len(groups), func(gi int) error {
+		g := groups[gi]
+		if prog != nil && prog.OnGroupStart != nil {
+			prog.OnGroupStart(gi)
+		}
+		s.runGroup(ctx, g.key, jobs, g.idxs, settle)
+		if prog != nil && prog.OnGroupDone != nil {
+			prog.OnGroupDone(gi)
+		}
+		return nil
+	})
+
+	// Groups skipped by cancellation never settled their jobs.
+	for i := range outcomes {
+		if outcomes[i].Result == nil && outcomes[i].Err == nil {
+			err := check.Canceled(ctx)
+			if err == nil {
+				err = fmt.Errorf("batch: job %d never scheduled: %w", i, check.ErrCanceled)
+			}
+			settle(i, Outcome{Err: err})
+		}
+	}
+	return outcomes
+}
+
+// runGroup solves one group and settles every member's outcome.
+func (s *Scheduler) runGroup(ctx context.Context, key string, jobs []Job, idxs []int, settle func(int, Outcome)) {
+	// Per-job validation first: a structurally broken job fails alone,
+	// and the group solves from the survivors.
+	live := idxs[:0:0]
+	for _, i := range idxs {
+		j := jobs[i]
+		switch {
+		case j.Net == nil:
+			settle(i, Outcome{Err: check.Invalid("batch: job %d has no network", i), GroupJobs: len(idxs)})
+		case j.K < 1:
+			settle(i, Outcome{Err: check.Invalid("batch: job %d population K is %d, want >= 1", i, j.K), GroupJobs: len(idxs)})
+		default:
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return
+	}
+	// All live jobs share one key, hence one network and K; bad N
+	// values stay in the union and fail individually inside the sweep.
+	first := jobs[live[0]]
+	ns := make([]int, 0, len(live))
+	seen := make(map[int]bool, len(live))
+	for _, i := range live {
+		if n := jobs[i].N; !seen[n] {
+			seen[n] = true
+			ns = append(ns, n)
+		}
+	}
+	sort.Ints(ns)
+
+	// Identical concurrent groups (same chain, same population union)
+	// collapse onto one leader; followers share its results.
+	sig := flightKey(key, ns)
+	res, shared, abandoned := s.flight.do(ctx.Done(), sig, func() *groupResult {
+		return s.solveGroup(ctx, key, first, ns, len(live))
+	})
+	if abandoned {
+		err := check.Canceled(ctx)
+		if err == nil {
+			err = fmt.Errorf("batch: group abandoned: %w", check.ErrCanceled)
+		}
+		for _, i := range live {
+			settle(i, Outcome{Err: err, GroupJobs: len(idxs)})
+		}
+		return
+	}
+	for _, i := range live {
+		o := Outcome{
+			Reused:    res.reused,
+			Shared:    shared,
+			GroupJobs: len(idxs),
+			Price:     res.price,
+			Wait:      res.wait,
+			Elapsed:   res.solved,
+		}
+		switch {
+		case res.err != nil:
+			o.Err = res.err
+		case res.errByN[jobs[i].N] != nil:
+			o.Err = res.errByN[jobs[i].N]
+		default:
+			o.Result = res.byN[jobs[i].N]
+		}
+		settle(i, o)
+	}
+}
+
+// solveGroup is the leader path: price → admit → solver → one sweep.
+func (s *Scheduler) solveGroup(ctx context.Context, key string, j Job, ns []int, jobs int) *groupResult {
+	res := &groupResult{}
+	res.price = j.Net.Space().SweepPrice(j.K, len(ns))
+	start := time.Now()
+	if s.hooks.Acquire != nil {
+		if err := s.hooks.Acquire(ctx.Done(), res.price); err != nil {
+			res.err = err
+			s.groupDone(jobs, res)
+			return res
+		}
+		defer s.hooks.Release(res.price)
+	}
+	res.wait = time.Since(start)
+
+	solveStart := time.Now()
+	solver, reused, err := s.resolveSolver(ctx, key, j)
+	if err != nil {
+		res.err = err
+		s.groupDone(jobs, res)
+		return res
+	}
+	res.reused = reused
+
+	results, errs := solver.SolveSweepEachCtx(ctx, ns)
+	res.byN = make(map[int]*core.Result, len(ns))
+	res.errByN = make(map[int]error, len(ns))
+	for i, n := range ns {
+		if errs[i] != nil {
+			res.errByN[n] = errs[i]
+		} else {
+			res.byN[n] = results[i]
+		}
+	}
+	res.solved = time.Since(solveStart)
+	s.groupDone(jobs, res)
+	return res
+}
+
+func (s *Scheduler) groupDone(jobs int, res *groupResult) {
+	if s.hooks.OnGroupDone != nil {
+		s.hooks.OnGroupDone(jobs, res.reused, res.err)
+	}
+}
+
+func (s *Scheduler) resolveSolver(ctx context.Context, key string, j Job) (*core.Solver, bool, error) {
+	if s.hooks.SolverFor != nil {
+		return s.hooks.SolverFor(ctx, key, j.Net, j.K)
+	}
+	solver, err := core.NewSolverCtx(ctx, j.Net, j.K)
+	return solver, false, err
+}
+
+func flightKey(key string, ns []int) string {
+	var b strings.Builder
+	b.WriteString(key)
+	for _, n := range ns {
+		fmt.Fprintf(&b, "|%d", n)
+	}
+	return b.String()
+}
+
+// flightGroup collapses identical concurrent group solves: the first
+// caller runs fn, followers block on the same call and share its
+// result. Unlike a result cache this holds nothing after the call
+// completes — persistent reuse is the caller's cache, via SolverFor.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	res  *groupResult
+}
+
+// do returns fn's result, whether this caller was a follower, and
+// whether it abandoned the wait because done closed first (the leader
+// still completes; an abandoned follower gets no result).
+func (f *flightGroup) do(done <-chan struct{}, key string, fn func() *groupResult) (res *groupResult, shared, abandoned bool) {
+	f.mu.Lock()
+	if c, ok := f.m[key]; ok {
+		f.mu.Unlock()
+		select {
+		case <-c.done:
+			return c.res, true, false
+		case <-done:
+			return nil, true, true
+		}
+	}
+	c := &flightCall{done: make(chan struct{})}
+	f.m[key] = c
+	f.mu.Unlock()
+
+	c.res = fn()
+	f.mu.Lock()
+	delete(f.m, key)
+	f.mu.Unlock()
+	close(c.done)
+	return c.res, false, false
+}

@@ -1,0 +1,234 @@
+package batch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"finwl/internal/check"
+)
+
+// State is an async job record's lifecycle phase.
+type State string
+
+const (
+	StateQueued  State = "queued"  // accepted, not yet scheduled
+	StateRunning State = "running" // solving
+	StateDone    State = "done"    // finished (results or error)
+)
+
+// GroupProgress is the per-group slice of a record's progress view.
+type GroupProgress struct {
+	Jobs  int   `json:"jobs"`
+	State State `json:"state"`
+}
+
+// Record is a point-in-time snapshot of one async batch. Results and
+// Err are set only in StateDone; Results entries are immutable once
+// published, so holders may read them without the store's lock.
+type Record[R any] struct {
+	ID        string
+	State     State
+	JobsTotal int
+	JobsDone  int
+	Groups    []GroupProgress
+	Results   []R
+	Err       error
+	Created   time.Time
+	Finished  time.Time
+}
+
+// Store is a size-bounded TTL store of async batch records. Capacity
+// bounds the number of records held at once: new submissions are
+// rejected (typed check.ErrOverloaded) while active records fill the
+// store, and completed records are retained — fetchable — until they
+// expire, are evicted as the oldest done record by a new submission,
+// or the process exits. All methods are safe for concurrent use.
+type Store[R any] struct {
+	mu   sync.Mutex
+	cap  int
+	ttl  time.Duration
+	now  func() time.Time
+	recs map[string]*Record[R]
+	// order holds record IDs oldest-first, for done-record eviction.
+	order []string
+}
+
+// NewStore builds a Store holding at most capacity records, expiring
+// done records ttl after they finish. now is a test hook (nil = wall
+// clock). capacity < 1 and ttl <= 0 take minimal working defaults.
+func NewStore[R any](capacity int, ttl time.Duration, now func() time.Time) *Store[R] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Store[R]{cap: capacity, ttl: ttl, now: now, recs: make(map[string]*Record[R])}
+}
+
+// Add registers a new queued record. It fails typed as overloaded
+// when every slot is held by a still-active (queued/running) record;
+// done records are evicted oldest-first to make room.
+func (s *Store[R]) Add(id string, jobsTotal int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	if _, ok := s.recs[id]; ok {
+		return check.Invalid("batch: duplicate job id %q", id)
+	}
+	for len(s.recs) >= s.cap {
+		if !s.evictOldestDoneLocked() {
+			return fmt.Errorf("batch: job store full (%d active): %w", len(s.recs), check.ErrOverloaded)
+		}
+	}
+	s.recs[id] = &Record[R]{ID: id, State: StateQueued, JobsTotal: jobsTotal, Created: s.now()}
+	s.order = append(s.order, id)
+	return nil
+}
+
+// Get returns a snapshot of the record, or false if it is unknown or
+// has expired.
+func (s *Store[R]) Get(id string) (Record[R], bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	r, ok := s.recs[id]
+	if !ok {
+		return Record[R]{}, false
+	}
+	return snapshotLocked(r), true
+}
+
+// Start moves a queued record to running.
+func (s *Store[R]) Start(id string) {
+	s.withLocked(id, func(r *Record[R]) {
+		if r.State == StateQueued {
+			r.State = StateRunning
+		}
+	})
+}
+
+// Plan records the group layout once the scheduler has grouped the
+// batch.
+func (s *Store[R]) Plan(id string, jobsTotal int, groupJobs []int) {
+	s.withLocked(id, func(r *Record[R]) {
+		r.JobsTotal = jobsTotal
+		r.Groups = make([]GroupProgress, len(groupJobs))
+		for i, jobs := range groupJobs {
+			r.Groups[i] = GroupProgress{Jobs: jobs, State: StateQueued}
+		}
+	})
+}
+
+// GroupState updates one group's phase.
+func (s *Store[R]) GroupState(id string, group int, state State) {
+	s.withLocked(id, func(r *Record[R]) {
+		if group >= 0 && group < len(r.Groups) {
+			r.Groups[group].State = state
+		}
+	})
+}
+
+// JobsDone updates the settled-job count.
+func (s *Store[R]) JobsDone(id string, done int) {
+	s.withLocked(id, func(r *Record[R]) {
+		if done > r.JobsDone {
+			r.JobsDone = done
+		}
+	})
+}
+
+// Finish completes a record with its results or a batch-level error.
+// Finished results stay fetchable until TTL expiry or eviction.
+func (s *Store[R]) Finish(id string, results []R, err error) {
+	s.withLocked(id, func(r *Record[R]) {
+		if r.State == StateDone {
+			return
+		}
+		r.State = StateDone
+		r.Results = results
+		r.Err = err
+		r.Finished = s.now()
+		if err == nil {
+			r.JobsDone = r.JobsTotal
+		}
+	})
+}
+
+// DrainQueued fails every still-queued record with err (typically a
+// typed check.ErrCanceled): the drain contract is that work which
+// never started reports canceled while finished results remain
+// fetchable.
+func (s *Store[R]) DrainQueued(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.recs {
+		if r.State == StateQueued {
+			r.State = StateDone
+			r.Err = err
+			r.Finished = s.now()
+		}
+	}
+}
+
+// Len returns the held and active (non-done) record counts.
+func (s *Store[R]) Len() (held, active int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	for _, r := range s.recs {
+		if r.State != StateDone {
+			active++
+		}
+	}
+	return len(s.recs), active
+}
+
+func (s *Store[R]) withLocked(id string, fn func(*Record[R])) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.recs[id]; ok {
+		fn(r)
+	}
+}
+
+// expireLocked drops done records past their TTL.
+func (s *Store[R]) expireLocked() {
+	cutoff := s.now().Add(-s.ttl)
+	kept := s.order[:0]
+	for _, id := range s.order {
+		r, ok := s.recs[id]
+		if !ok {
+			continue
+		}
+		if r.State == StateDone && r.Finished.Before(cutoff) {
+			delete(s.recs, id)
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// evictOldestDoneLocked removes the oldest completed record, if any.
+func (s *Store[R]) evictOldestDoneLocked() bool {
+	for i, id := range s.order {
+		if r, ok := s.recs[id]; ok && r.State == StateDone {
+			delete(s.recs, id)
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func snapshotLocked[R any](r *Record[R]) Record[R] {
+	cp := *r
+	cp.Groups = append([]GroupProgress(nil), r.Groups...)
+	cp.Results = append([]R(nil), r.Results...)
+	return cp
+}

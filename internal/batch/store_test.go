@@ -1,0 +1,124 @@
+package batch
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"finwl/internal/check"
+)
+
+func fakeClock(start time.Time) (func() time.Time, func(time.Duration)) {
+	now := start
+	return func() time.Time { return now }, func(d time.Duration) { now = now.Add(d) }
+}
+
+func TestStoreLifecycle(t *testing.T) {
+	now, _ := fakeClock(time.Unix(1000, 0))
+	st := NewStore[string](4, time.Minute, now)
+	if err := st.Add("j1", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add("j1", 3); !errors.Is(err, check.ErrInvalidModel) {
+		t.Fatalf("duplicate id: %v, want ErrInvalidModel", err)
+	}
+	r, ok := st.Get("j1")
+	if !ok || r.State != StateQueued || r.JobsTotal != 3 {
+		t.Fatalf("fresh record: %+v ok=%v", r, ok)
+	}
+	st.Start("j1")
+	st.Plan("j1", 3, []int{2, 1})
+	st.GroupState("j1", 0, StateRunning)
+	st.JobsDone("j1", 2)
+	r, _ = st.Get("j1")
+	if r.State != StateRunning || r.JobsDone != 2 || len(r.Groups) != 2 || r.Groups[0].State != StateRunning {
+		t.Fatalf("mid-flight record: %+v", r)
+	}
+	st.Finish("j1", []string{"a", "b", "c"}, nil)
+	r, _ = st.Get("j1")
+	if r.State != StateDone || len(r.Results) != 3 || r.JobsDone != 3 || r.Err != nil {
+		t.Fatalf("done record: %+v", r)
+	}
+	// A second Finish (e.g. a drain racing completion) must not clobber.
+	st.Finish("j1", nil, check.ErrCanceled)
+	r, _ = st.Get("j1")
+	if r.Err != nil || len(r.Results) != 3 {
+		t.Fatalf("refinished record clobbered: %+v", r)
+	}
+	if held, active := st.Len(); held != 1 || active != 0 {
+		t.Fatalf("len: held=%d active=%d", held, active)
+	}
+}
+
+func TestStoreCapacityAndEviction(t *testing.T) {
+	now, _ := fakeClock(time.Unix(1000, 0))
+	st := NewStore[int](2, time.Minute, now)
+	if err := st.Add("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Add("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Both active: a third submission is rejected typed.
+	if err := st.Add("c", 1); !errors.Is(err, check.ErrOverloaded) {
+		t.Fatalf("full store: %v, want ErrOverloaded", err)
+	}
+	// Once a record completes it is evictable and the submission fits.
+	st.Finish("a", []int{1}, nil)
+	if err := st.Add("c", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get("a"); ok {
+		t.Fatal("oldest done record survived eviction")
+	}
+	if _, ok := st.Get("b"); !ok {
+		t.Fatal("active record evicted")
+	}
+}
+
+func TestStoreTTL(t *testing.T) {
+	now, advance := fakeClock(time.Unix(1000, 0))
+	st := NewStore[int](4, time.Minute, now)
+	if err := st.Add("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	st.Finish("a", []int{42}, nil)
+	advance(59 * time.Second)
+	if _, ok := st.Get("a"); !ok {
+		t.Fatal("record expired before its TTL")
+	}
+	advance(2 * time.Second)
+	if _, ok := st.Get("a"); ok {
+		t.Fatal("record survived past its TTL")
+	}
+	// Active records never expire.
+	if err := st.Add("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	advance(time.Hour)
+	if _, ok := st.Get("b"); !ok {
+		t.Fatal("active record expired")
+	}
+}
+
+func TestStoreDrainQueued(t *testing.T) {
+	now, _ := fakeClock(time.Unix(1000, 0))
+	st := NewStore[int](8, time.Minute, now)
+	for _, id := range []string{"queued", "running", "done"} {
+		if err := st.Add(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Start("running")
+	st.Finish("done", []int{7}, nil)
+	st.DrainQueued(check.ErrCanceled)
+	if r, _ := st.Get("queued"); r.State != StateDone || !errors.Is(r.Err, check.ErrCanceled) {
+		t.Fatalf("queued record after drain: %+v", r)
+	}
+	if r, _ := st.Get("running"); r.State != StateRunning || r.Err != nil {
+		t.Fatalf("running record perturbed by drain: %+v", r)
+	}
+	if r, _ := st.Get("done"); r.Err != nil || len(r.Results) != 1 {
+		t.Fatalf("done record perturbed by drain: %+v", r)
+	}
+}

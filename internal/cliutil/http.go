@@ -1,0 +1,69 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// PostJSON sends in as a JSON body to url and decodes the 2xx response
+// into out (skipped when out is nil). A non-2xx status becomes an
+// error carrying the status and a snippet of the body — finwld's typed
+// error JSON is short, so the snippet is usually the whole story. The
+// HTTP status is returned either way so callers can distinguish, e.g.,
+// a 429 from a 503.
+func PostJSON(ctx context.Context, client *http.Client, url string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: encode request: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return doJSON(client, req, out)
+}
+
+// GetJSON fetches url and decodes the 2xx JSON response into out, with
+// the same non-2xx error shape as PostJSON.
+func GetJSON(ctx context.Context, client *http.Client, url string, out any) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, fmt.Errorf("cliutil: build request: %w", err)
+	}
+	return doJSON(client, req, out)
+}
+
+func doJSON(client *http.Client, req *http.Request, out any) (int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return resp.StatusCode, fmt.Errorf("cliutil: read response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		snippet := strings.TrimSpace(string(raw))
+		if len(snippet) > 256 {
+			snippet = snippet[:256] + "..."
+		}
+		return resp.StatusCode, fmt.Errorf("cliutil: %s: HTTP %d: %s", req.URL, resp.StatusCode, snippet)
+	}
+	if out == nil {
+		return resp.StatusCode, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return resp.StatusCode, fmt.Errorf("cliutil: decode response: %w", err)
+	}
+	return resp.StatusCode, nil
+}

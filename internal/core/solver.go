@@ -411,6 +411,115 @@ func (s *Solver) SolveSweepCtx(ctx context.Context, ns []int) ([]*Result, error)
 	return results, nil
 }
 
+// SolveSweepEach is SolveSweepEachCtx with a background context.
+func (s *Solver) SolveSweepEach(ns []int) ([]*Result, []error) {
+	return s.SolveSweepEachCtx(context.Background(), ns)
+}
+
+// SolveSweepEachCtx runs the same shared feeding pass as SolveSweepCtx
+// but reports success or failure per workload instead of failing the
+// whole sweep: an invalid ns[i] records a typed error at index i
+// without touching its neighbours, a numerical failure at one drain
+// checkpoint poisons only that checkpoint, and a cancellation (or any
+// feeding-pass failure) fails the current and every remaining larger
+// workload while already-completed checkpoints keep their results.
+// This is the batch scheduler's contract: one bad job in a group must
+// not discard the group's work. Both slices are parallel to ns;
+// exactly one of results[i], errs[i] is non-nil for every i.
+func (s *Solver) SolveSweepEachCtx(ctx context.Context, ns []int) ([]*Result, []error) {
+	results := make([]*Result, len(ns))
+	errs := make([]error, len(ns))
+	targets := make([]int, 0, len(ns)) // indices into ns with ns[i] ≥ K
+	for i, n := range ns {
+		if err := check.Count("core: workload size", n, 1); err != nil {
+			errs[i] = err
+			continue
+		}
+		if n < s.K {
+			results[i], errs[i] = s.SolveCtx(ctx, n)
+			continue
+		}
+		targets = append(targets, i)
+	}
+	if len(targets) == 0 {
+		return results, errs
+	}
+	sort.Slice(targets, func(a, b int) bool { return ns[targets[a]] < ns[targets[b]] })
+	// failFrom marks the ti-th and all later (larger) targets failed:
+	// once the shared feeding state is unusable nothing downstream of
+	// it can be computed, but everything already checkpointed stands.
+	failFrom := func(ti int, err error) {
+		for _, idx := range targets[ti:] {
+			errs[idx] = err
+		}
+	}
+
+	ws := s.getWS()
+	defer s.putWS(ws)
+	K := s.K
+	dK := s.d(K)
+	cur, nxt := ws.cur, ws.next
+	pi := cur[:dK]
+	copy(pi, s.Chain.EntryVector(K))
+	feeds := 0
+	feedTimes := make([]float64, 0, ns[targets[len(targets)-1]]-K)
+	for ti, idx := range targets {
+		n := ns[idx]
+		// Advance the shared feeding pass to this workload's checkpoint.
+		for feeds < n-K {
+			if err := check.Canceled(ctx); err != nil {
+				failFrom(ti, err)
+				return results, errs
+			}
+			mEpochs.Inc()
+			t := matrix.Dot(pi, s.levels[K].tau)
+			feedTimes = append(feedTimes, t)
+			out := nxt[:dK]
+			s.feedInto(out, K, pi, ws)
+			pi = out
+			cur, nxt = nxt, cur
+			feeds++
+		}
+		// Replay the shared feeding prefix into this result …
+		mSweepCheckpoints.Inc()
+		res := &Result{N: n, K: K, Epochs: make([]float64, 0, n), Departures: make([]float64, 0, n)}
+		var clock float64
+		for _, t := range feedTimes[:n-K] {
+			clock += t
+			res.Epochs = append(res.Epochs, t)
+			res.Departures = append(res.Departures, clock)
+		}
+		// … then drain from a copy, leaving the pass ready to continue.
+		dpi := ws.dcur[:dK]
+		copy(dpi, pi)
+		dcur, dnxt := ws.dcur, ws.dnxt
+		for k := K; k >= 1; k-- {
+			if err := check.Canceled(ctx); err != nil {
+				failFrom(ti, err)
+				return results, errs
+			}
+			mEpochs.Inc()
+			t := matrix.Dot(dpi, s.levels[k].tau)
+			clock += t
+			res.Epochs = append(res.Epochs, t)
+			res.Departures = append(res.Departures, clock)
+			out := dnxt[:s.d(k-1)]
+			s.departInto(out, k, dpi, ws.y)
+			dpi = out
+			dcur, dnxt = dnxt, dcur
+		}
+		res.TotalTime = clock
+		if err := finiteResult("total time", clock); err != nil {
+			// The drain ran on copies; the feeding state is intact, so
+			// only this checkpoint is poisoned.
+			errs[idx] = err
+			continue
+		}
+		results[idx] = res
+	}
+	return results, errs
+}
+
 // TotalTimeSweep returns E(T) for every workload in ns via one
 // SolveSweep pass, in the order of ns.
 func (s *Solver) TotalTimeSweep(ns []int) ([]float64, error) {

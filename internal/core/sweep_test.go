@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"finwl/internal/check"
 	"finwl/internal/cluster"
 	"finwl/internal/workload"
 )
@@ -119,6 +122,83 @@ func TestTotalTimeSweep(t *testing.T) {
 		}
 		if !closeRel(totals[i], want, 1e-13) {
 			t.Fatalf("N=%d: %v, want %v", n, totals[i], want)
+		}
+	}
+}
+
+// SolveSweepEach must agree with per-N Solve on every healthy
+// workload and confine each bad workload to its own slot: the batch
+// scheduler depends on one poisoned job not discarding its group.
+func TestSolveSweepEachIsolatesFailures(t *testing.T) {
+	const relTol = 1e-13
+	app := workload.Default(30)
+	net, err := cluster.Central(4, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := []int{50, 0, 2, -3, 4, 120, 50}
+	bad := map[int]bool{1: true, 3: true}
+	results, errs := s.SolveSweepEach(ns)
+	if len(results) != len(ns) || len(errs) != len(ns) {
+		t.Fatalf("got %d results, %d errs for %d workloads", len(results), len(errs), len(ns))
+	}
+	for i, n := range ns {
+		if bad[i] {
+			if !errors.Is(errs[i], check.ErrInvalidModel) {
+				t.Fatalf("ns[%d]=%d: err %v, want ErrInvalidModel", i, n, errs[i])
+			}
+			if results[i] != nil {
+				t.Fatalf("ns[%d]=%d: got a result alongside the error", i, n)
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("ns[%d]=%d: unexpected error %v", i, n, errs[i])
+		}
+		want, err := s.Solve(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := results[i]
+		if r == nil || r.N != n || len(r.Epochs) != n {
+			t.Fatalf("ns[%d]=%d: malformed result %+v", i, n, r)
+		}
+		if !closeRel(r.TotalTime, want.TotalTime, relTol) {
+			t.Fatalf("ns[%d]=%d: TotalTime %v, want %v", i, n, r.TotalTime, want.TotalTime)
+		}
+		for j := range want.Epochs {
+			if !closeRel(r.Epochs[j], want.Epochs[j], relTol) {
+				t.Fatalf("ns[%d]=%d: epoch %d = %v, want %v", i, n, j, r.Epochs[j], want.Epochs[j])
+			}
+		}
+	}
+}
+
+// Under a dead context every workload fails typed as canceled — the
+// sweep must not return half-filled slots with nil errors.
+func TestSolveSweepEachCanceled(t *testing.T) {
+	app := workload.Default(10)
+	net, err := cluster.Central(3, app, cluster.Dists{}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(net, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, errs := s.SolveSweepEachCtx(ctx, []int{2, 5, 20})
+	for i := range errs {
+		if !errors.Is(errs[i], check.ErrCanceled) {
+			t.Fatalf("ns[%d]: err %v, want ErrCanceled", i, errs[i])
+		}
+		if results[i] != nil {
+			t.Fatalf("ns[%d]: got a result from a canceled sweep", i)
 		}
 	}
 }

@@ -1,0 +1,222 @@
+package faultcheck
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"finwl/internal/serve"
+)
+
+// BatchOutcome records how one degenerate-input class was disposed of
+// inside a shared-chain batch submission: the contract is per-job —
+// a typed error item for the degenerate job, never a panic, a 500, or
+// a sunk batch.
+type BatchOutcome struct {
+	Class string
+	Code  string // machine-readable code from the job's error item
+	Error string
+	Item  serve.BatchItem
+}
+
+// Check enforces the batch-mode robustness contract on one outcome: a
+// degenerate job must fail individually with a typed code and must not
+// smuggle out a successful response.
+func (o BatchOutcome) Check() error {
+	if o.Item.Response != nil {
+		return &Violation{
+			Stage: "batch:" + o.Class,
+			Err:   fmt.Errorf("degenerate input produced a successful response: %+v", o.Item.Response),
+		}
+	}
+	if !serveCodes[o.Code] {
+		return &Violation{
+			Stage: "batch:" + o.Class,
+			Err:   fmt.Errorf("error code %q is not a typed serve code (error %q)", o.Code, o.Error),
+		}
+	}
+	return nil
+}
+
+// BatchReport pairs the degenerate outcomes with the healthy control
+// jobs interleaved into the same submission.
+type BatchReport struct {
+	Outcomes []BatchOutcome
+	Valid    []serve.BatchItem
+}
+
+// CheckValid asserts the mixed-batch half of the contract: every
+// healthy control job must come back as a real solve despite sharing
+// the submission (and its scheduler run) with every degenerate class.
+func (r *BatchReport) CheckValid() error {
+	for i, it := range r.Valid {
+		if it.Response == nil {
+			return &Violation{
+				Stage: "batch:valid",
+				Err:   fmt.Errorf("healthy control job %d failed alongside degenerate neighbors: %s (%s)", i, it.Error, it.Code),
+			}
+		}
+		if !(it.Response.TotalTime > 0) {
+			return &Violation{
+				Stage: "batch:valid",
+				Err:   fmt.Errorf("healthy control job %d returned a non-positive total time %v", i, it.Response.TotalTime),
+			}
+		}
+	}
+	return nil
+}
+
+// campaignBatch interleaves every degenerate class with one healthy
+// cluster job apiece. The controls share one network at distinct
+// workload sizes, so they collapse into a single sweep group that the
+// scheduler runs alongside the degenerate jobs — the strongest mixed-
+// batch shape: a poisoned job in the array must not take the healthy
+// group (or the batch) with it.
+func campaignBatch() (reqs []*serve.Request, classIdx, validIdx []int) {
+	for i, c := range Classes() {
+		reqs = append(reqs, &serve.Request{Arch: "central", K: 3, N: 10 + i})
+		validIdx = append(validIdx, len(reqs)-1)
+		net, k, n := c.Build()
+		reqs = append(reqs, &serve.Request{K: k, N: n, Network: serve.SpecFromNetwork(net)})
+		classIdx = append(classIdx, len(reqs)-1)
+	}
+	return reqs, classIdx, validIdx
+}
+
+func batchReport(items []serve.BatchItem, classIdx, validIdx []int) *BatchReport {
+	classes := Classes()
+	rep := &BatchReport{}
+	for i, idx := range classIdx {
+		it := items[idx]
+		rep.Outcomes = append(rep.Outcomes, BatchOutcome{
+			Class: classes[i].Name,
+			Code:  it.Code,
+			Error: it.Error,
+			Item:  it,
+		})
+	}
+	for _, idx := range validIdx {
+		rep.Valid = append(rep.Valid, items[idx])
+	}
+	return rep
+}
+
+// BatchCampaign pushes every degenerate-input class of the catalogue
+// through POST /batch as one mixed submission (healthy control jobs
+// interleaved) and maps the per-job items back to their classes. The
+// HTTP status must be 200 — batch failures are per-item by contract —
+// so any other status is a transport-level error here.
+func BatchCampaign(baseURL string, client *http.Client) (*BatchReport, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	reqs, classIdx, validIdx := campaignBatch()
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: marshal batch: %w", err)
+	}
+	resp, err := client.Post(baseURL+"/batch", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: POST /batch: %w", err)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: read batch response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("faultcheck: POST /batch: HTTP %d (body %s)", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var items []serve.BatchItem
+	if err := json.Unmarshal(raw, &items); err != nil {
+		return nil, fmt.Errorf("faultcheck: decode batch response: %w", err)
+	}
+	if len(items) != len(reqs) {
+		return nil, fmt.Errorf("faultcheck: batch returned %d items for %d jobs", len(items), len(reqs))
+	}
+	return batchReport(items, classIdx, validIdx), nil
+}
+
+// AsyncBatchCampaign submits the same mixed batch through the async
+// API — POST /jobs, then GET /jobs/{id} polling until the record is
+// done — and maps the stored results exactly like BatchCampaign. It
+// additionally proves the job lifecycle itself survives degenerate
+// payloads: acceptance, progress polling, and result retention all
+// happen with the catalogue in flight.
+func AsyncBatchCampaign(ctx context.Context, baseURL string, client *http.Client) (*BatchReport, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	reqs, classIdx, validIdx := campaignBatch()
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: marshal batch: %w", err)
+	}
+	resp, err := client.Post(baseURL+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: POST /jobs: %w", err)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: read submit response: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return nil, fmt.Errorf("faultcheck: POST /jobs: HTTP %d (body %s)", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var acc struct {
+		ID   string `json:"id"`
+		Poll string `json:"poll"`
+	}
+	if err := json.Unmarshal(raw, &acc); err != nil || acc.ID == "" {
+		return nil, fmt.Errorf("faultcheck: bad submit body %s: %v", bytes.TrimSpace(raw), err)
+	}
+
+	var job struct {
+		State   string            `json:"state"`
+		Results []serve.BatchItem `json:"results"`
+		Error   string            `json:"error"`
+		Code    string            `json:"code"`
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+acc.Poll, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: poll %s: %w", acc.Poll, err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: read poll response: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("faultcheck: poll %s: HTTP %d (body %s)", acc.Poll, resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		job.Results = nil
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return nil, fmt.Errorf("faultcheck: decode poll response: %w", err)
+		}
+		if job.State == "done" {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("faultcheck: job %s still %q: %w", acc.ID, job.State, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	if job.Error != "" {
+		return nil, fmt.Errorf("faultcheck: async batch failed as a whole: %s (%s)", job.Error, job.Code)
+	}
+	if len(job.Results) != len(reqs) {
+		return nil, fmt.Errorf("faultcheck: async batch returned %d items for %d jobs", len(job.Results), len(reqs))
+	}
+	return batchReport(job.Results, classIdx, validIdx), nil
+}

@@ -1,0 +1,102 @@
+package faultcheck
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"finwl/internal/serve"
+)
+
+// checkBatchReport asserts the shared contract of both batch
+// campaigns: full class coverage, a typed per-job refusal for every
+// degenerate class, healthy controls unharmed, and both error regimes
+// (rejected at validation, failed inside the solver) represented.
+func checkBatchReport(t *testing.T, rep *BatchReport, label string) {
+	t.Helper()
+	if len(rep.Outcomes) != len(Classes()) {
+		t.Fatalf("%s covered %d classes, want %d", label, len(rep.Outcomes), len(Classes()))
+	}
+	invalid, solverFailed := 0, 0
+	for _, o := range rep.Outcomes {
+		if err := o.Check(); err != nil {
+			t.Errorf("%v", err)
+		}
+		switch o.Code {
+		case "invalid_model":
+			invalid++
+		case "singular", "numeric", "not_converged":
+			solverFailed++
+		}
+		t.Logf("%-24s -> %s", o.Class, o.Code)
+	}
+	if invalid == 0 {
+		t.Errorf("%s produced no validation refusals; the typed-code assertion is weak", label)
+	}
+	if solverFailed == 0 {
+		t.Errorf("%s produced no in-solver failures; structurally-valid classes never reached the chain", label)
+	}
+	if err := rep.CheckValid(); err != nil {
+		t.Errorf("%s: %v", label, err)
+	}
+	if len(rep.Valid) != len(Classes()) {
+		t.Fatalf("%s carried %d control jobs, want %d", label, len(rep.Valid), len(Classes()))
+	}
+}
+
+// TestBatchCampaign pushes all degenerate-input classes through one
+// mixed POST /batch: the submission returns 200 with a typed error
+// item per degenerate job, and the interleaved healthy jobs — which
+// share a single sweep group — all solve.
+func TestBatchCampaign(t *testing.T) {
+	srv := serve.New(serve.Config{Seed: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := BatchCampaign(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatalf("campaign transport failure: %v", err)
+	}
+	checkBatchReport(t, rep, "batch campaign")
+
+	// The controls share one network, so the scheduler must have run
+	// them as one group: 15 jobs, 14 chain reuses at minimum.
+	st := srv.Snapshot()
+	wantJobs := int64(2 * len(Classes()))
+	if st.BatchJobs != wantJobs {
+		t.Errorf("batch jobs counter = %d, want %d", st.BatchJobs, wantJobs)
+	}
+	if st.BatchChainReuse < int64(len(Classes())-1) {
+		t.Errorf("chain reuse counter = %d, want >= %d (controls share one group)",
+			st.BatchChainReuse, len(Classes())-1)
+	}
+}
+
+// TestAsyncBatchCampaign runs the same mixed submission through the
+// async lifecycle — accept, poll to done, fetch retained results —
+// proving the job store and progress plumbing survive the degenerate
+// catalogue too, with identical per-job typing.
+func TestAsyncBatchCampaign(t *testing.T) {
+	srv := serve.New(serve.Config{Seed: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	rep, err := AsyncBatchCampaign(ctx, ts.URL, ts.Client())
+	if err != nil {
+		t.Fatalf("campaign transport failure: %v", err)
+	}
+	checkBatchReport(t, rep, "async campaign")
+
+	// Finished results stay fetchable: a second campaign under the same
+	// server must not collide with the retained record.
+	rep2, err := AsyncBatchCampaign(ctx, ts.URL, ts.Client())
+	if err != nil {
+		t.Fatalf("second campaign transport failure: %v", err)
+	}
+	if err := rep2.CheckValid(); err != nil {
+		t.Errorf("second campaign: %v", err)
+	}
+}

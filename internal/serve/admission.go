@@ -8,25 +8,13 @@ import (
 	"finwl/internal/statespace"
 )
 
-// chainPrice is the admission cost of an exact solve: the dense-chain
-// entry count Σ_k (d_k² + 2·d_k·d_{k−1} + d_k), priced by the
-// statespace.LevelSize DP before anything is allocated — the same
-// quantity the construction-time memory guard bounds. Saturates at
-// maxPrice.
-const maxPrice = int64(1) << 62
+// chainPrice is the admission cost of an exact solve, delegated to
+// statespace.ChainPrice so the serve and batch layers price against
+// the same scale. Saturates at maxPrice.
+const maxPrice = statespace.MaxPrice
 
 func chainPrice(space *statespace.Space, maxK int) int64 {
-	var total float64
-	prev := float64(space.LevelSize(0))
-	for k := 1; k <= maxK; k++ {
-		d := float64(space.LevelSize(k))
-		total += d*d + 2*d*prev + d
-		prev = d
-	}
-	if total >= float64(maxPrice) {
-		return maxPrice
-	}
-	return int64(total)
+	return space.ChainPrice(maxK)
 }
 
 // admission is a bounded, budget-priced job queue. A request acquires

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"finwl/internal/batch"
+	"finwl/internal/check"
+	"finwl/internal/obs"
+)
+
+// BatchItem is one element of a /batch (or finished async job)
+// response: a full Response on success, an error body otherwise.
+type BatchItem struct {
+	Response *Response `json:"response,omitempty"`
+	Error    string    `json:"error,omitempty"`
+	Code     string    `json:"code,omitempty"`
+}
+
+func errItem(err error) BatchItem {
+	return BatchItem{Error: err.Error(), Code: CodeOf(err)}
+}
+
+// maxBatchBodyBytes bounds a batch submission body: room for
+// MaxBatchJobs fully-specified raw networks.
+const maxBatchBodyBytes = 8 << 20
+
+// SolveBatch runs a set of requests through the shared-chain batch
+// scheduler and returns one item per request, in order. It never
+// fails as a whole: per-job errors are typed into their items. Jobs
+// over the same network share one chain build and one sweep; per-job
+// TimeoutMS is ignored — the whole batch runs under MaxTimeout.
+func (s *Server) SolveBatch(ctx context.Context, reqs []*Request) []BatchItem {
+	return s.solveBatch(ctx, reqs, nil)
+}
+
+func (s *Server) solveBatch(ctx context.Context, reqs []*Request, prog *batch.Progress) []BatchItem {
+	span := s.m.batchSeconds.Start()
+	defer span.End()
+	s.m.batchJobs.Add(int64(len(reqs)))
+	items := make([]BatchItem, len(reqs))
+	if s.draining.Load() {
+		err := errDraining()
+		s.m.rejected.Add(int64(len(reqs)))
+		for i := range items {
+			items[i] = errItem(err)
+		}
+		return items
+	}
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.MaxTimeout)
+	defer cancel()
+	stop := context.AfterFunc(s.workCtx, cancel)
+	defer stop()
+
+	// Settle what needs no solving — invalid models and cache hits —
+	// and hand the rest to the scheduler as keyed jobs.
+	jobs := make([]batch.Job, 0, len(reqs))
+	jobIdx := make([]int, 0, len(reqs))
+	cacheKeys := make([]string, len(reqs))
+	for i, req := range reqs {
+		if req == nil {
+			s.m.invalid.Inc()
+			items[i] = errItem(check.Invalid("serve: batch job %d is null", i))
+			continue
+		}
+		net, err := req.BuildNetwork()
+		if err != nil {
+			s.m.invalid.Inc()
+			items[i] = errItem(err)
+			continue
+		}
+		netKey := networkKey(net)
+		cacheKeys[i] = fmt.Sprintf("%s|k=%d|n=%d", netKey, req.K, req.N)
+		if cached, ok := s.cache.get(cacheKeys[i]); ok {
+			s.m.cacheHits.Inc()
+			cp := cached.clone()
+			cp.Cached = true
+			cp.Timings = &Timings{}
+			items[i] = BatchItem{Response: cp}
+			continue
+		}
+		s.m.cacheMisses.Inc()
+		jobs = append(jobs, batch.Job{
+			Key: fmt.Sprintf("%s|K=%d", netKey, req.K),
+			Net: net,
+			K:   req.K,
+			N:   req.N,
+		})
+		jobIdx = append(jobIdx, i)
+	}
+
+	outcomes := s.sched.Run(ctx, jobs, prog)
+	for oi, o := range outcomes {
+		i := jobIdx[oi]
+		if o.Shared {
+			s.m.deduped.Inc()
+			// A dedup follower rode a group from another submission: no
+			// chain work of its own, whatever the leader paid for.
+			s.m.batchChainReuse.Inc()
+		}
+		if o.Err != nil {
+			if errors.Is(o.Err, check.ErrCanceled) {
+				s.m.canceled.Inc()
+			}
+			items[i] = errItem(o.Err)
+			continue
+		}
+		// Both tiers are full fidelity; the tag records whether this
+		// group ran on a freshly built chain (exact) or swept a cached
+		// factored one (checkpoint).
+		fid := FidelityExact
+		if o.Reused {
+			fid = FidelityCheckpoint
+		}
+		resp := &Response{
+			Fidelity:     fid,
+			K:            reqs[i].K,
+			N:            reqs[i].N,
+			TotalTime:    o.Result.TotalTime,
+			Epochs:       len(o.Result.Epochs),
+			Price:        o.Price,
+			Deduplicated: o.Shared,
+			ElapsedMS:    durMS(o.Elapsed),
+			Timings: &Timings{
+				QueueMS: durMS(o.Wait),
+				SolveMS: durMS(o.Elapsed),
+			},
+		}
+		s.m.tierCounter(fid).Inc()
+		s.m.solveTime.ObserveDuration(o.Elapsed)
+		s.cache.add(cacheKeys[i], resp)
+		items[i] = BatchItem{Response: resp.clone()}
+	}
+	return items
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// decodeBatch reads a JSON array of requests, enforcing the body and
+// job-count limits; on failure it writes the error response itself.
+func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]*Request, bool) {
+	var reqs []*Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reqs); err != nil {
+		werr := check.Invalid("serve: bad batch body: %v", err)
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: werr.Error(), Code: CodeOf(werr)})
+		return nil, false
+	}
+	if len(reqs) > s.cfg.MaxBatchJobs {
+		err := fmt.Errorf("serve: batch of %d jobs exceeds limit %d: %w", len(reqs), s.cfg.MaxBatchJobs, check.ErrOverloaded)
+		s.m.rejected.Inc()
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+		return nil, false
+	}
+	return reqs, true
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqs, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	if s.draining.Load() {
+		err := errDraining()
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.solveBatch(r.Context(), reqs, nil))
+}
+
+// jobAccepted is the POST /jobs response.
+type jobAccepted struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	Poll string `json:"poll"`
+}
+
+// jobBody is the GET /jobs/{id} response: progress while the batch
+// runs, results (or the batch-level error) once done.
+type jobBody struct {
+	ID         string                `json:"id"`
+	State      string                `json:"state"`
+	JobsTotal  int                   `json:"jobs_total"`
+	JobsDone   int                   `json:"jobs_done"`
+	Groups     []batch.GroupProgress `json:"groups,omitempty"`
+	Results    []BatchItem           `json:"results,omitempty"`
+	Error      string                `json:"error,omitempty"`
+	Code       string                `json:"code,omitempty"`
+	CreatedAt  time.Time             `json:"created_at"`
+	FinishedAt *time.Time            `json:"finished_at,omitempty"`
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	reqs, ok := s.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	if s.draining.Load() {
+		err := errDraining()
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+		return
+	}
+	id := obs.NewRequestID()
+	if err := s.jobs.Add(id, len(reqs)); err != nil {
+		if errors.Is(err, check.ErrOverloaded) {
+			s.m.rejected.Inc()
+		}
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+		return
+	}
+	s.asyncWG.Add(1)
+	go s.runAsync(id, reqs)
+	writeJSON(w, http.StatusAccepted, jobAccepted{ID: id, Jobs: len(reqs), Poll: "/jobs/" + id})
+}
+
+// runAsync executes one accepted async batch. Queued work that drain
+// reaches before a worker slot does fails typed as canceled; once
+// running, the batch holds admission like any synchronous one and
+// drain waits for it (or force-cancels it at the drain deadline).
+func (s *Server) runAsync(id string, reqs []*Request) {
+	defer s.asyncWG.Done()
+	select {
+	case s.asyncSem <- struct{}{}:
+		defer func() { <-s.asyncSem }()
+	case <-s.drainCh:
+		s.jobs.Finish(id, nil, errDrainCanceled())
+		return
+	}
+	if s.draining.Load() {
+		// Drain won the race for the worker slot.
+		s.jobs.Finish(id, nil, errDrainCanceled())
+		return
+	}
+	s.jobs.Start(id)
+	// Progress flows into the store as the scheduler reports it; jobs
+	// settled before scheduling (cache hits, invalid models) are folded
+	// in at plan time.
+	var preSettled int
+	prog := &batch.Progress{
+		OnPlan: func(jobs int, groupJobs []int) {
+			preSettled = len(reqs) - jobs
+			s.jobs.Plan(id, len(reqs), groupJobs)
+			s.jobs.JobsDone(id, preSettled)
+		},
+		OnGroupStart: func(g int) { s.jobs.GroupState(id, g, batch.StateRunning) },
+		OnGroupDone:  func(g int) { s.jobs.GroupState(id, g, batch.StateDone) },
+		OnJobDone:    func(done, total int) { s.jobs.JobsDone(id, preSettled+done) },
+	}
+	items := s.solveBatch(s.workCtx, reqs, prog)
+	s.jobs.Finish(id, items, nil)
+}
+
+func errDrainCanceled() error {
+	return fmt.Errorf("serve: queued batch canceled by drain: %w", check.ErrCanceled)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.jobs.Get(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorBody{
+			Error: fmt.Sprintf("serve: unknown or expired job %q", id),
+			Code:  "not_found",
+		})
+		return
+	}
+	body := jobBody{
+		ID:        rec.ID,
+		State:     string(rec.State),
+		JobsTotal: rec.JobsTotal,
+		JobsDone:  rec.JobsDone,
+		Groups:    rec.Groups,
+		CreatedAt: rec.Created,
+	}
+	if rec.State == batch.StateDone {
+		f := rec.Finished
+		body.FinishedAt = &f
+		if rec.Err != nil {
+			body.Error = rec.Err.Error()
+			body.Code = CodeOf(rec.Err)
+		} else {
+			body.Results = rec.Results
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
+}

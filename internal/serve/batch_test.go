@@ -1,0 +1,486 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"finwl/internal/matrix"
+	"finwl/internal/network"
+	"finwl/internal/obs"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+)
+
+// uniqueTwoStation returns a healthy two-station network spec with a
+// caller-chosen CPU rate, so tests that count process-global chain
+// builds get a network no other test has ever solved.
+func uniqueTwoStation(rate float64) *NetworkSpec {
+	route := matrix.New(2, 2)
+	route.Set(0, 1, 0.5)
+	route.Set(1, 0, 1)
+	return SpecFromNetwork(&network.Network{
+		Stations: []network.Station{
+			{Name: "cpu", Kind: statespace.Delay, Service: phase.MustExpo(rate)},
+			{Name: "io", Kind: statespace.Queue, Service: phase.MustExpo(3)},
+		},
+		Route: route,
+		Exit:  []float64{0.5, 0},
+		Entry: []float64{1, 0},
+	})
+}
+
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// chainBuilds reads the process-global chain-construction count; the
+// registry returns the already-registered histogram for an existing
+// name, so this observes the same instance network.NewChain times.
+func chainBuilds() int64 {
+	return obs.Default.Histogram("finwl_chain_build_seconds",
+		"Wall time of level-chain construction.", obs.ExpBounds(100_000, 4, 13), 1e-9).Count()
+}
+
+// The tentpole acceptance: a batch of J jobs over one network performs
+// exactly one chain construction, reports J−1 jobs as chain reuse, and
+// every result matches the corresponding single solve to 1e-13.
+func TestBatchBuildsChainOnceAndMatchesSolve(t *testing.T) {
+	spec := uniqueTwoStation(2.625) // rate unique to this test
+	ns := []int{12, 3, 30, 7, 30, 18}
+	reqs := make([]*Request, len(ns))
+	for i, n := range ns {
+		reqs[i] = &Request{K: 2, N: n, Network: spec}
+	}
+
+	// Reference answers from an independent server (its chain build
+	// lands before the measured window).
+	ref := New(Config{Seed: 1})
+	want := make([]float64, len(ns))
+	for i, req := range reqs {
+		resp, err := ref.Solve(context.Background(), req)
+		if err != nil {
+			t.Fatalf("reference solve N=%d: %v", req.N, err)
+		}
+		want[i] = resp.TotalTime
+	}
+
+	s := New(Config{Seed: 2})
+	before := chainBuilds()
+	items := s.SolveBatch(context.Background(), reqs)
+	if got := chainBuilds() - before; got != 1 {
+		t.Fatalf("batch of %d jobs built %d chains, want exactly 1", len(ns), got)
+	}
+	for i, item := range items {
+		if item.Response == nil {
+			t.Fatalf("job %d failed: %s (%s)", i, item.Error, item.Code)
+		}
+		r := item.Response
+		if r.Fidelity != FidelityExact || r.N != ns[i] || r.K != 2 || r.Price <= 0 || r.Timings == nil {
+			t.Fatalf("job %d: malformed response %+v", i, r)
+		}
+		if !relClose(r.TotalTime, want[i], 1e-13) {
+			t.Fatalf("job %d (N=%d): TotalTime %v, want %v", i, ns[i], r.TotalTime, want[i])
+		}
+	}
+	if got := s.m.batchChainReuse.Value(); got != int64(len(ns)-1) {
+		t.Fatalf("chain reuse %d, want %d (all jobs but the builder)", got, len(ns)-1)
+	}
+	if s.m.batchGroups.Value() != 1 || s.m.batchJobs.Value() != int64(len(ns)) {
+		t.Fatalf("groups %d jobs %d, want 1 group of %d", s.m.batchGroups.Value(), s.m.batchJobs.Value(), len(ns))
+	}
+
+	// A repeat batch is answered wholly from the result cache: zero
+	// further chain builds, every item flagged cached.
+	before = chainBuilds()
+	again := s.SolveBatch(context.Background(), reqs)
+	if got := chainBuilds() - before; got != 0 {
+		t.Fatalf("repeat batch built %d chains, want 0", got)
+	}
+	for i, item := range again {
+		if item.Response == nil || !item.Response.Cached {
+			t.Fatalf("repeat job %d not served from cache: %+v", i, item)
+		}
+	}
+
+	// A new population over the same network sweeps the cached factored
+	// solver: checkpoint fidelity, no fresh build, whole group reused.
+	more := []*Request{{K: 2, N: 60, Network: spec}, {K: 2, N: 45, Network: spec}}
+	before = chainBuilds()
+	reuse := s.m.batchChainReuse.Value()
+	extra := s.SolveBatch(context.Background(), more)
+	if got := chainBuilds() - before; got != 0 {
+		t.Fatalf("cached-solver batch built %d chains, want 0", got)
+	}
+	for i, item := range extra {
+		if item.Response == nil || item.Response.Fidelity != FidelityCheckpoint {
+			t.Fatalf("cached-solver job %d: %+v, want checkpoint fidelity", i, item)
+		}
+	}
+	if got := s.m.batchChainReuse.Value() - reuse; got != int64(len(more)) {
+		t.Fatalf("cached-solver batch reuse %d, want %d", got, len(more))
+	}
+}
+
+// Satellite: concurrent identical /batch submissions collapse onto one
+// in-flight group — the leader solves, the follower's jobs ride along
+// and are counted by finwld_dedup_total.
+func TestBatchConcurrentIdenticalSubmissionsDedup(t *testing.T) {
+	s := New(Config{Seed: 3})
+	// Heavy enough that the leader is still solving when the follower
+	// arrives (the follower is launched only once the leader holds
+	// admission budget).
+	reqs := []*Request{
+		{Arch: "central", K: 12, N: 200},
+		{Arch: "central", K: 12, N: 150},
+	}
+	var wg sync.WaitGroup
+	results := make([][]BatchItem, 2)
+	wg.Add(1)
+	go func() { defer wg.Done(); results[0] = s.SolveBatch(context.Background(), reqs) }()
+	waitFor(t, func() bool { used, _, _ := s.adm.snapshot(); return used > 0 })
+	wg.Add(1)
+	go func() { defer wg.Done(); results[1] = s.SolveBatch(context.Background(), reqs) }()
+	wg.Wait()
+
+	for ri, items := range results {
+		for i, item := range items {
+			if item.Response == nil {
+				t.Fatalf("submission %d job %d failed: %s (%s)", ri, i, item.Error, item.Code)
+			}
+		}
+	}
+	if got := s.m.deduped.Value(); got != int64(len(reqs)) {
+		t.Fatalf("finwld_dedup_total = %d, want %d (one whole submission deduplicated)", got, len(reqs))
+	}
+	deduplicated := 0
+	for _, items := range results {
+		for _, item := range items {
+			if item.Response.Deduplicated {
+				deduplicated++
+			}
+		}
+	}
+	if deduplicated != len(reqs) {
+		t.Fatalf("%d responses flagged deduplicated, want %d", deduplicated, len(reqs))
+	}
+	// One group solved once; the follower's jobs reused its chain.
+	if got := s.m.batchGroups.Value(); got != 1 {
+		t.Fatalf("batch groups %d, want 1", got)
+	}
+	if got := s.m.batchChainReuse.Value(); got != int64(2*len(reqs)-1) {
+		t.Fatalf("chain reuse %d, want %d (leader group %d−1, follower %d)",
+			got, 2*len(reqs)-1, len(reqs), len(reqs))
+	}
+	// Both results agree bit-for-bit: they are the same solve.
+	for i := range reqs {
+		if results[0][i].Response.TotalTime != results[1][i].Response.TotalTime {
+			t.Fatalf("job %d: leader %v != follower %v", i,
+				results[0][i].Response.TotalTime, results[1][i].Response.TotalTime)
+		}
+	}
+}
+
+// A mixed batch over HTTP: per-job typed errors, valid jobs solved,
+// top-level 200.
+func TestBatchHTTPMixed(t *testing.T) {
+	s := New(Config{Seed: 4, MaxBatchJobs: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal([]*Request{
+		{Network: healthyTwoStation(), K: 2, N: 8},
+		{Network: trappedTwoStation(), K: 2, N: 8},
+		{Network: healthyTwoStation(), K: 2, N: 0},
+	})
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("mixed batch status %d, want 200", resp.StatusCode)
+	}
+	var items []BatchItem
+	if err := json.NewDecoder(resp.Body).Decode(&items); err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 3 {
+		t.Fatalf("%d items, want 3", len(items))
+	}
+	if items[0].Response == nil || items[0].Response.TotalTime <= 0 {
+		t.Fatalf("valid job failed: %+v", items[0])
+	}
+	if items[1].Code != "singular" || items[1].Response != nil {
+		t.Fatalf("trapped job: %+v, want singular", items[1])
+	}
+	if items[2].Code != "invalid_model" {
+		t.Fatalf("zero-population job: %+v, want invalid_model", items[2])
+	}
+
+	// Oversized submissions are rejected whole, typed overloaded.
+	big, _ := json.Marshal(make([]*Request, 5))
+	resp2, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(string(big)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("oversized batch status %d, want 429", resp2.StatusCode)
+	}
+
+	// Undecodable bodies are a 400.
+	resp3, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status %d, want 400", resp3.StatusCode)
+	}
+}
+
+func postJobs(t *testing.T, url string, reqs []*Request) jobAccepted {
+	t.Helper()
+	body, _ := json.Marshal(reqs)
+	resp, err := http.Post(url+"/jobs", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs status %d, want 202", resp.StatusCode)
+	}
+	var acc jobAccepted
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID == "" || acc.Poll != "/jobs/"+acc.ID {
+		t.Fatalf("malformed acceptance %+v", acc)
+	}
+	return acc
+}
+
+func getJob(t *testing.T, url, id string) (jobBody, int) {
+	t.Helper()
+	resp, err := http.Get(url + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body jobBody
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return body, resp.StatusCode
+}
+
+// The async API end to end: submit, poll to completion, fetch results.
+func TestAsyncJobLifecycle(t *testing.T) {
+	s := New(Config{Seed: 5})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqs := []*Request{
+		{Network: healthyTwoStation(), K: 2, N: 10},
+		{Network: healthyTwoStation(), K: 2, N: 25},
+		{Arch: "central", K: 3, N: 12},
+	}
+	acc := postJobs(t, ts.URL, reqs)
+	if acc.Jobs != len(reqs) {
+		t.Fatalf("accepted %d jobs, want %d", acc.Jobs, len(reqs))
+	}
+	var final jobBody
+	waitFor(t, func() bool {
+		body, status := getJob(t, ts.URL, acc.ID)
+		if status != http.StatusOK {
+			return false
+		}
+		final = body
+		return body.State == "done"
+	})
+	if final.JobsDone != len(reqs) || final.JobsTotal != len(reqs) {
+		t.Fatalf("done record jobs %d/%d, want %d/%d", final.JobsDone, final.JobsTotal, len(reqs), len(reqs))
+	}
+	if len(final.Groups) != 2 {
+		t.Fatalf("%d groups, want 2 (two distinct networks)", len(final.Groups))
+	}
+	for gi, g := range final.Groups {
+		if g.State != "done" {
+			t.Fatalf("group %d state %q, want done", gi, g.State)
+		}
+	}
+	if len(final.Results) != len(reqs) {
+		t.Fatalf("%d results, want %d", len(final.Results), len(reqs))
+	}
+	for i, item := range final.Results {
+		if item.Response == nil || item.Response.TotalTime <= 0 || item.Response.N != reqs[i].N {
+			t.Fatalf("result %d malformed: %+v", i, item)
+		}
+	}
+	if final.FinishedAt == nil {
+		t.Fatal("done record carries no finish time")
+	}
+
+	// Results stay fetchable on repeat polls, and unknown IDs are 404.
+	if _, status := getJob(t, ts.URL, acc.ID); status != http.StatusOK {
+		t.Fatalf("repeat poll status %d, want 200", status)
+	}
+	if _, status := getJob(t, ts.URL, "no-such-job"); status != http.StatusNotFound {
+		t.Fatalf("unknown job status %d, want 404", status)
+	}
+}
+
+// The drain acceptance: a running async batch completes and stays
+// fetchable, a queued one fails typed as canceled, and no goroutines
+// leak.
+func TestAsyncDrainTypedOutcomes(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	s := New(Config{Seed: 6, AsyncWorkers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// A quick batch that finishes before the drain starts.
+	finished := postJobs(t, ts.URL, []*Request{{Network: healthyTwoStation(), K: 2, N: 6}})
+	waitFor(t, func() bool {
+		body, _ := getJob(t, ts.URL, finished.ID)
+		return body.State == "done"
+	})
+
+	// A heavy batch that is mid-solve when the drain starts…
+	running := postJobs(t, ts.URL, []*Request{{Arch: "central", K: 12, N: 220}})
+	waitFor(t, func() bool {
+		used, _, _ := s.adm.snapshot()
+		body, _ := getJob(t, ts.URL, running.ID)
+		return body.State == "running" && used > 0
+	})
+	// …and one parked behind the single worker slot.
+	queued := postJobs(t, ts.URL, []*Request{{Network: healthyTwoStation(), K: 2, N: 9}})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("graceful drain failed: %v", err)
+	}
+
+	// Running work was waited for; its results are fetchable post-drain.
+	body, status := getJob(t, ts.URL, running.ID)
+	if status != http.StatusOK || body.State != "done" || len(body.Results) != 1 || body.Results[0].Response == nil {
+		t.Fatalf("running batch after drain: status %d body %+v", status, body)
+	}
+	// Queued work failed typed without ever starting.
+	body, status = getJob(t, ts.URL, queued.ID)
+	if status != http.StatusOK || body.State != "done" || body.Code != "canceled" || len(body.Results) != 0 {
+		t.Fatalf("queued batch after drain: status %d body %+v", status, body)
+	}
+	// Finished-before-drain results remain fetchable.
+	body, status = getJob(t, ts.URL, finished.ID)
+	if status != http.StatusOK || len(body.Results) != 1 {
+		t.Fatalf("pre-drain batch after drain: status %d body %+v", status, body)
+	}
+	// New submissions are rejected while draining.
+	raw, _ := json.Marshal([]*Request{{Network: healthyTwoStation(), K: 2, N: 4}})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submission while draining: status %d, want 503", resp.StatusCode)
+	}
+	resp2, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("/batch while draining: status %d, want 503", resp2.StatusCode)
+	}
+
+	ts.Close()
+	waitForGoroutines(t, baseline)
+}
+
+// The job store rejects submissions once every slot holds active work.
+func TestAsyncStoreOverload(t *testing.T) {
+	s := New(Config{Seed: 7, AsyncWorkers: 1, JobStoreSize: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Fill both slots: one running heavy batch, one queued behind it.
+	postJobs(t, ts.URL, []*Request{{Arch: "central", K: 12, N: 200}})
+	waitFor(t, func() bool { used, _, _ := s.adm.snapshot(); return used > 0 })
+	postJobs(t, ts.URL, []*Request{{Network: healthyTwoStation(), K: 2, N: 5}})
+
+	raw, _ := json.Marshal([]*Request{{Network: healthyTwoStation(), K: 2, N: 6}})
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overfull job store: status %d, want 429", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if err := json.NewDecoder(resp.Body).Decode(&eb); err != nil || eb.Code != "overloaded" {
+		t.Fatalf("overfull job store body: %+v err %v", eb, err)
+	}
+	// Let the work finish so the test tears down cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = s.Drain(ctx)
+}
+
+// Exercising the store TTL through the server clock hook: finished
+// records expire, in-flight ones never do.
+func TestAsyncResultTTL(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	s := New(Config{Seed: 8, JobTTL: time.Minute, Now: clock})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	acc := postJobs(t, ts.URL, []*Request{{Network: healthyTwoStation(), K: 2, N: 5}})
+	waitFor(t, func() bool {
+		body, _ := getJob(t, ts.URL, acc.ID)
+		return body.State == "done"
+	})
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+	if _, status := getJob(t, ts.URL, acc.ID); status != http.StatusNotFound {
+		t.Fatalf("expired job status %d, want 404", status)
+	}
+}
+
+// Batch counters surface on /stats alongside the PR-3 shape.
+func TestStatsCarriesBatchCounters(t *testing.T) {
+	s := New(Config{Seed: 9})
+	items := s.SolveBatch(context.Background(), []*Request{
+		{Network: healthyTwoStation(), K: 2, N: 7},
+		{Network: healthyTwoStation(), K: 2, N: 11},
+	})
+	for i, item := range items {
+		if item.Response == nil {
+			t.Fatalf("job %d: %s", i, item.Error)
+		}
+	}
+	st := s.Snapshot()
+	if st.BatchJobs != 2 || st.BatchGroups != 1 || st.BatchChainReuse != 1 {
+		t.Fatalf("stats %+v, want 2 jobs / 1 group / 1 reuse", st)
+	}
+}

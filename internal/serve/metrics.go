@@ -40,6 +40,14 @@ type serveMetrics struct {
 	queueWait         *obs.Histogram // admission wait, ns
 	solveTime         *obs.Histogram // ladder time after admission, ns
 	deadlineRemaining *obs.Histogram // remaining deadline at tier choice, ns
+
+	// Batch scheduler families: how much chain-build sharing the
+	// grouping actually delivers.
+	batchJobs       *obs.Counter
+	batchGroups     *obs.Counter
+	batchChainReuse *obs.Counter
+	batchGroupJobs  *obs.Histogram // jobs per solved group
+	batchSeconds    *obs.Histogram // whole-batch wall time, ns
 }
 
 // Histogram bucket rationale (documented in DESIGN.md §11): serve-path
@@ -90,6 +98,14 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"Time from admission to a ladder verdict.", solveBounds, 1e-9),
 		deadlineRemaining: reg.Histogram("finwld_deadline_remaining_seconds",
 			"Deadline remaining at degradation-ladder tier choice.", solveBounds, 1e-9),
+
+		batchJobs:       c("finwld_batch_jobs_total", "Jobs submitted through the batch scheduler (sync and async)."),
+		batchGroups:     c("finwld_batch_groups_total", "Distinct network groups solved by the batch scheduler."),
+		batchChainReuse: c("finwld_batch_chain_reuse_total", "Batched jobs served without a fresh chain construction."),
+		batchGroupJobs: reg.Histogram("finwld_batch_group_jobs",
+			"Jobs per solved batch group.", obs.ExpBounds(1, 2, 10), 1),
+		batchSeconds: reg.Histogram("finwld_batch_seconds",
+			"Wall time of one whole batch, submission to fan-in.", solveBounds, 1e-9),
 	}
 }
 
@@ -121,6 +137,14 @@ func registerGauges(reg *obs.Registry, s *Server) {
 			return 1
 		}
 		return 0
+	})
+	reg.GaugeFunc("finwld_batch_store_records", "Async job records resident (active + retained results).", func() float64 {
+		held, _ := s.jobs.Len()
+		return float64(held)
+	})
+	reg.GaugeFunc("finwld_batch_store_active", "Async job records still queued or running.", func() float64 {
+		_, active := s.jobs.Len()
+		return float64(active)
 	})
 }
 

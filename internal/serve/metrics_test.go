@@ -112,9 +112,13 @@ func TestMetricsScrapeGolden(t *testing.T) {
 		// serve histograms
 		"finwld_queue_wait_seconds_bucket", "finwld_queue_wait_seconds_sum", "finwld_queue_wait_seconds_count",
 		"finwld_solve_seconds_bucket", "finwld_deadline_remaining_seconds_bucket",
+		// batch scheduler families
+		"finwld_batch_jobs_total", "finwld_batch_groups_total", "finwld_batch_chain_reuse_total",
+		"finwld_batch_group_jobs_bucket", "finwld_batch_seconds_bucket",
 		// serve gauges
 		"finwld_queue_depth", "finwld_budget_used", "finwld_budget_total",
 		"finwld_cache_entries", "finwld_solver_cache_entries", "finwld_draining",
+		"finwld_batch_store_records", "finwld_batch_store_active",
 		// solver-stage metrics (obs.Default)
 		"finwl_solves_total", "finwl_epochs_total", "finwl_lu_factor_total",
 		"finwl_lu_factor_seconds_bucket", "finwl_chain_build_seconds_bucket",

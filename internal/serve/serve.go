@@ -31,9 +31,11 @@ import (
 	"log/slog"
 	"net/http"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"finwl/internal/batch"
 	"finwl/internal/bounds"
 	"finwl/internal/check"
 	"finwl/internal/core"
@@ -65,6 +67,12 @@ type Config struct {
 	Retries          int           // extra attempts for transient failures (default 2, <0 disables)
 	RetryBase        time.Duration // first backoff (default 50ms)
 	MaxTimeout       time.Duration // cap and default for per-request deadlines (default 60s)
+
+	// Batch and async-job tuning.
+	MaxBatchJobs int           // max jobs in one /batch or /jobs submission (default 256)
+	JobStoreSize int           // async job records held at once (default 64)
+	JobTTL       time.Duration // retention of finished async results (default 10m)
+	AsyncWorkers int           // concurrent async batch runs (default 4)
 
 	// Cold-start cost model for the degradation ladder; the per-class
 	// EWMA estimator refines these from observed solves.
@@ -117,6 +125,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxTimeout == 0 {
 		c.MaxTimeout = 60 * time.Second
+	}
+	if c.MaxBatchJobs == 0 {
+		c.MaxBatchJobs = 256
+	}
+	if c.JobStoreSize == 0 {
+		c.JobStoreSize = 64
+	}
+	if c.JobTTL == 0 {
+		c.JobTTL = 10 * time.Minute
+	}
+	if c.AsyncWorkers < 1 {
+		c.AsyncWorkers = 4
 	}
 	if c.ExactNsPerUnit == 0 {
 		c.ExactNsPerUnit = 50
@@ -221,6 +241,11 @@ type Stats struct {
 	Checkpoint   int64 `json:"checkpoint"`
 	Steady       int64 `json:"steady_state"`
 	Bounds       int64 `json:"bounds"`
+
+	// Batch scheduler counters (additive to the PR-3 shape).
+	BatchJobs       int64 `json:"batch_jobs"`
+	BatchGroups     int64 `json:"batch_groups"`
+	BatchChainReuse int64 `json:"batch_chain_reuse"`
 }
 
 // Server is the resilient solver service. Create with New; it is safe
@@ -239,7 +264,18 @@ type Server struct {
 	// workload leak memory. An evicted class simply starts over closed.
 	breakers *lru[*breaker]
 
+	// Batch surface: the shared-chain scheduler, a singleflight around
+	// fresh chain construction (so concurrent groups over one network
+	// build it once), and the async job store plus its worker gate.
+	sched        *batch.Scheduler
+	solverFlight *flightGroup[*core.Solver]
+	jobs         *batch.Store[BatchItem]
+	asyncSem     chan struct{}
+	asyncWG      sync.WaitGroup
+
 	draining   atomic.Bool
+	drainCh    chan struct{} // closed when Drain starts; parks no new async work
+	drainOnce  sync.Once
 	workCtx    context.Context
 	workCancel context.CancelFunc
 
@@ -253,21 +289,73 @@ func New(cfg Config) *Server {
 	workCtx, workCancel := context.WithCancel(context.Background())
 	reg := obs.NewRegistry()
 	s := &Server{
-		cfg:        cfg,
-		adm:        newAdmission(cfg.Budget, cfg.MaxQueue),
-		cache:      newLRU[*Response](cfg.CacheSize),
-		solvers:    newLRU[*core.Solver](cfg.SolverCacheSize),
-		flight:     newFlightGroup[*Response](),
-		est:        newEstimator(cfg.ExactNsPerUnit, cfg.CheckpointFrac, float64(cfg.SteadyEstimate), cfg.ClassCacheSize),
-		rand:       newLockedRand(cfg.Seed),
-		breakers:   newLRU[*breaker](cfg.ClassCacheSize),
-		workCtx:    workCtx,
-		workCancel: workCancel,
-		reg:        reg,
-		m:          newServeMetrics(reg),
+		cfg:          cfg,
+		adm:          newAdmission(cfg.Budget, cfg.MaxQueue),
+		cache:        newLRU[*Response](cfg.CacheSize),
+		solvers:      newLRU[*core.Solver](cfg.SolverCacheSize),
+		flight:       newFlightGroup[*Response](),
+		est:          newEstimator(cfg.ExactNsPerUnit, cfg.CheckpointFrac, float64(cfg.SteadyEstimate), cfg.ClassCacheSize),
+		rand:         newLockedRand(cfg.Seed),
+		breakers:     newLRU[*breaker](cfg.ClassCacheSize),
+		solverFlight: newFlightGroup[*core.Solver](),
+		jobs:         batch.NewStore[BatchItem](cfg.JobStoreSize, cfg.JobTTL, cfg.Now),
+		asyncSem:     make(chan struct{}, cfg.AsyncWorkers),
+		drainCh:      make(chan struct{}),
+		workCtx:      workCtx,
+		workCancel:   workCancel,
+		reg:          reg,
+		m:            newServeMetrics(reg),
 	}
+	s.sched = batch.New(batch.Hooks{
+		Acquire: func(done <-chan struct{}, price int64) error {
+			err := s.adm.acquire(done, price)
+			if err != nil && errors.Is(err, check.ErrOverloaded) {
+				s.m.rejected.Inc()
+			}
+			return err
+		},
+		Release:   s.adm.release,
+		SolverFor: s.solverFor,
+		OnGroupDone: func(jobs int, reused bool, err error) {
+			s.m.batchGroups.Inc()
+			s.m.batchGroupJobs.Observe(int64(jobs))
+			// Chain-reuse accounting: a cached (or concurrently built)
+			// solver means no member of the group triggered a fresh
+			// chain; a fresh build is shared by everyone but the builder.
+			switch {
+			case reused:
+				s.m.batchChainReuse.Add(int64(jobs))
+			case err == nil:
+				s.m.batchChainReuse.Add(int64(jobs - 1))
+			}
+		},
+	})
 	registerGauges(reg, s)
 	return s
+}
+
+// solverFor resolves the factored solver for solverKey, building it at
+// most once across concurrent callers: the solver cache answers
+// repeats, and the singleflight collapses simultaneous first builds of
+// the same chain (two batch groups, or a batch racing /solve). The
+// bool reports reuse — the caller did not pay for a chain
+// construction.
+func (s *Server) solverFor(ctx context.Context, solverKey string, net *network.Network, k int) (*core.Solver, bool, error) {
+	if solver, ok := s.solvers.get(solverKey); ok {
+		return solver, true, nil
+	}
+	solver, err, shared, abandoned := s.solverFlight.do(ctx.Done(), solverKey, func() (*core.Solver, error) {
+		sv, err := core.NewSolverCtx(ctx, net, k)
+		if err != nil {
+			return nil, err
+		}
+		s.solvers.add(solverKey, sv)
+		return sv, nil
+	})
+	if abandoned {
+		return nil, false, check.Canceled(ctx)
+	}
+	return solver, shared, err
 }
 
 // Metrics returns the server's metric registry, for embedding into a
@@ -465,14 +553,11 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 func (s *Server) runTier(ctx context.Context, rung Fidelity, net *network.Network, k, n int, solverKey string) (*Response, error) {
 	switch rung {
 	case FidelityExact, FidelityCheckpoint:
-		solver, ok := s.solvers.get(solverKey)
-		if !ok {
-			var err error
-			solver, err = core.NewSolverCtx(ctx, net, k)
-			if err != nil {
-				return nil, err
-			}
-			s.solvers.add(solverKey, solver)
+		solver, reused, err := s.solverFor(ctx, solverKey, net, k)
+		if err != nil {
+			return nil, err
+		}
+		if !reused {
 			rung = FidelityExact
 		}
 		var res *core.Result
@@ -588,18 +673,30 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 // when Drain returns no request is still running.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.drainOnce.Do(func() { close(s.drainCh) })
 	s.adm.close()
 	done := make(chan struct{})
 	go func() {
 		s.adm.wait()
+		// Async batches not yet holding admission: queued ones fail
+		// typed off drainCh, running ones unwind through their (now
+		// rejecting) acquires.
+		s.asyncWG.Wait()
 		close(done)
 	}()
+	finish := func() {
+		// Belt and braces: any record still queued after the workers
+		// unwound reports canceled, and finished results stay fetchable.
+		s.jobs.DrainQueued(errDrainCanceled())
+	}
 	select {
 	case <-done:
+		finish()
 		return nil
 	case <-ctx.Done():
 		s.workCancel()
 		<-done
+		finish()
 		return fmt.Errorf("serve: drain deadline expired, in-flight work canceled: %w", check.ErrCanceled)
 	}
 }
@@ -623,6 +720,10 @@ func (s *Server) Snapshot() Stats {
 		Checkpoint:   m.checkpoint.Value(),
 		Steady:       m.steady.Value(),
 		Bounds:       m.bounds.Value(),
+
+		BatchJobs:       m.batchJobs.Value(),
+		BatchGroups:     m.batchGroups.Value(),
+		BatchChainReuse: m.batchChainReuse.Value(),
 	}
 }
 
@@ -701,6 +802,9 @@ const maxBodyBytes = 1 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", s.handleSolve)
+	mux.HandleFunc("POST /batch", s.handleBatch)
+	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.Handle("/metrics", obs.Handler(s.reg, obs.Default))

@@ -376,6 +376,52 @@ func satMul(a, b int64) int64 {
 	return a * b
 }
 
+// ChainPrice is the admission cost of one exact transient solve over
+// this space: the dense-chain entry count Σ_k (d_k² + 2·d_k·d_{k−1} +
+// d_k) for populations 1..maxK, computed from the LevelSize DP before
+// anything is allocated. It saturates at MaxPrice so absurd models
+// stay ordered instead of overflowing.
+func (s *Space) ChainPrice(maxK int) int64 {
+	var total float64
+	prev := float64(s.LevelSize(0))
+	for k := 1; k <= maxK; k++ {
+		d := float64(s.LevelSize(k))
+		total += d*d + 2*d*prev + d
+		prev = d
+	}
+	if total >= float64(MaxPrice) {
+		return MaxPrice
+	}
+	return int64(total)
+}
+
+// SweepPrice is the group admission cost of a batched sweep over this
+// space: one chain (ChainPrice — built and factored exactly once for
+// the whole group) plus, for every drain checkpoint beyond the first,
+// the Σ_k d_k states a drain pass walks with the already-factored
+// levels. The chain term dominates by a factor of d, reflecting that
+// adding a population to an existing group is far cheaper than
+// admitting a new network — which is exactly the sharing the batch
+// scheduler exists to exploit.
+func (s *Space) SweepPrice(maxK, checkpoints int) int64 {
+	price := s.ChainPrice(maxK)
+	if checkpoints <= 1 {
+		return price
+	}
+	var drain int64
+	for k := 1; k <= maxK; k++ {
+		drain = satAdd(drain, s.LevelSize(k))
+	}
+	extra := satMul(int64(checkpoints-1), drain)
+	if price > MaxPrice-extra {
+		return MaxPrice
+	}
+	return price + extra
+}
+
+// MaxPrice is the saturation bound of ChainPrice and SweepPrice.
+const MaxPrice = int64(1) << 62
+
 // stationWays returns the number of distinct station states holding
 // exactly n customers: compositions over the phases for a delay
 // station, (count, in-service phase) pairs for a queue, and a bare

@@ -308,3 +308,46 @@ func TestLevelSizeSaturates(t *testing.T) {
 		t.Fatalf("LevelSize(200) = %d, want saturation at MaxInt64", got)
 	}
 }
+
+// ChainPrice is the reference Σ_k d_k²+2·d_k·d_{k−1}+d_k sum, and
+// SweepPrice adds one Σ_k d_k drain walk per extra checkpoint on top
+// of the shared chain — never a whole extra chain.
+func TestChainAndSweepPrice(t *testing.T) {
+	sp := allDelayExp(4)
+	var want float64
+	prev := float64(sp.LevelSize(0))
+	var drain int64
+	for k := 1; k <= 6; k++ {
+		d := float64(sp.LevelSize(k))
+		want += d*d + 2*d*prev + d
+		prev = d
+		drain += sp.LevelSize(k)
+	}
+	got := sp.ChainPrice(6)
+	if got != int64(want) {
+		t.Fatalf("ChainPrice(6) = %d, want %d", got, int64(want))
+	}
+	for _, checkpoints := range []int{0, 1} {
+		if p := sp.SweepPrice(6, checkpoints); p != got {
+			t.Fatalf("SweepPrice(6,%d) = %d, want ChainPrice %d", checkpoints, p, got)
+		}
+	}
+	if p := sp.SweepPrice(6, 5); p != got+4*drain {
+		t.Fatalf("SweepPrice(6,5) = %d, want %d", p, got+4*drain)
+	}
+	// Sharing must be visibly cheaper than separate admissions: J jobs
+	// priced as one sweep cost less than J priced chains.
+	if j := int64(5); sp.SweepPrice(6, 5) >= j*got {
+		t.Fatalf("SweepPrice(6,5) = %d not cheaper than 5 chains %d", sp.SweepPrice(6, 5), j*got)
+	}
+}
+
+func TestPriceSaturates(t *testing.T) {
+	sp := allDelayExp(24)
+	if got := sp.ChainPrice(200); got != MaxPrice {
+		t.Fatalf("huge ChainPrice = %d, want MaxPrice", got)
+	}
+	if got := sp.SweepPrice(200, 1_000_000); got != MaxPrice {
+		t.Fatalf("huge SweepPrice = %d, want MaxPrice", got)
+	}
+}

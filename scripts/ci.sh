@@ -35,6 +35,18 @@ if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t < f) }'; then
     echo "coverage ${total}% fell below the floor ${floor}%" >&2
     exit 1
 fi
+# Ratchet nudge: when coverage clears the floor by more than 2 points,
+# suggest raising the floor so the slack cannot silently erode. This
+# never fails the build — raising the floor is a reviewed change.
+if awk -v t="$total" -v f="$floor" 'BEGIN { exit !(t > f + 2) }'; then
+    suggest=$(awk -v t="$total" 'BEGIN { printf "%.1f", t - 1 }')
+    msg="coverage ${total}% is more than 2 points above the floor ${floor}%: consider raising scripts/coverage_floor.txt to ${suggest}"
+    echo "$msg"
+    if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+        echo "### Coverage ratchet" >> "$GITHUB_STEP_SUMMARY"
+        echo "$msg" >> "$GITHUB_STEP_SUMMARY"
+    fi
+fi
 
 echo "== serve resilience (-race, uncached) =="
 # The serving layer is concurrency-heavy (admission queue, breakers,
@@ -154,6 +166,42 @@ fi
 pprof_status=$(curl -s -o /dev/null -w '%{http_code}' "http://$admin_addr/debug/pprof/")
 if [ "$pprof_status" != 200 ]; then
     echo "finwld smoke: /debug/pprof/ status $pprof_status, want 200" >&2
+    exit 1
+fi
+# Batch smoke: three same-network jobs through POST /batch must come
+# back fully solved in one submission, and the batch counters must
+# show the jobs shared a single chain (3 jobs, 1 group, 2 reuses).
+batch=$(curl -s -X POST -d '[{"arch":"central","k":4,"n":12},{"arch":"central","k":4,"n":14},{"arch":"central","k":4,"n":16}]' "http://$addr/batch")
+if [ "$(grep -o '"total_time":' <<< "$batch" | wc -l)" -ne 3 ]; then
+    echo "finwld smoke: /batch did not solve all three jobs: $batch" >&2
+    exit 1
+fi
+stats=$(curl -s "http://$addr/stats")
+if ! grep -q '"batch_jobs":3' <<< "$stats" || ! grep -q '"batch_groups":1' <<< "$stats" \
+    || ! grep -q '"batch_chain_reuse":2' <<< "$stats"; then
+    echo "finwld smoke: batch counters disagree with one shared-chain group: $stats" >&2
+    exit 1
+fi
+# Async smoke: submit the same shape through POST /jobs, poll the
+# returned id to completion, and require all results retained.
+accepted=$(curl -s -X POST -d '[{"arch":"central","k":4,"n":18},{"arch":"central","k":4,"n":20}]' "http://$addr/jobs")
+poll=$(sed -n 's/.*"poll":"\([^"]*\)".*/\1/p' <<< "$accepted")
+if [ -z "$poll" ]; then
+    echo "finwld smoke: /jobs submission not accepted: $accepted" >&2
+    exit 1
+fi
+job=""
+for _ in $(seq 1 100); do
+    job=$(curl -s "http://$addr$poll")
+    grep -q '"state":"done"' <<< "$job" && break
+    sleep 0.1
+done
+if ! grep -q '"state":"done"' <<< "$job"; then
+    echo "finwld smoke: async job never finished: $job" >&2
+    exit 1
+fi
+if [ "$(grep -o '"total_time":' <<< "$job" | wc -l)" -ne 2 ]; then
+    echo "finwld smoke: async job results incomplete: $job" >&2
     exit 1
 fi
 # A 1ms deadline either degrades (deadline below the exact-tier
