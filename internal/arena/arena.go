@@ -1,0 +1,59 @@
+// Package arena provides pooled, size-elastic scratch workspaces for
+// the construction hot paths. The chain builder allocates the same
+// family of buffers for every level it generates — state scratch
+// vectors, CSR row builders — and a naive build pays for them again at
+// each level and each chain. An arena.Pool keeps one workspace object
+// per concurrent builder and hands it back for the next level (and the
+// next chain), so steady-state construction allocates only what
+// escapes into the result.
+//
+// The helpers deliberately do not hold memory themselves: a Pool is a
+// typed veneer over sync.Pool, so workspaces are still reclaimable
+// under memory pressure and safe across goroutines.
+package arena
+
+import "sync"
+
+// Pool is a typed sync.Pool of workspace objects. The zero value with
+// New set is ready to use.
+type Pool[T any] struct {
+	// New constructs a fresh workspace when the pool is empty.
+	New func() *T
+	p   sync.Pool
+}
+
+// Get returns a pooled workspace, constructing one if none is idle.
+func (p *Pool[T]) Get() *T {
+	if v := p.p.Get(); v != nil {
+		return v.(*T)
+	}
+	return p.New()
+}
+
+// Put returns a workspace for reuse. The caller must not retain it.
+func (p *Pool[T]) Put(x *T) { p.p.Put(x) }
+
+// Ints returns a zeroed []int of length n, reusing buf's storage when
+// it is large enough. The idiom is `ws.buf = arena.Ints(ws.buf, n)`.
+func Ints(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// Floats is Ints for []float64.
+func Floats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}

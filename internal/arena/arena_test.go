@@ -1,0 +1,93 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+type ws struct{ buf []int }
+
+func TestPoolReusesWorkspaces(t *testing.T) {
+	made := 0
+	p := Pool[ws]{New: func() *ws { made++; return &ws{} }}
+	a := p.Get()
+	a.buf = make([]int, 64)
+	p.Put(a)
+	b := p.Get()
+	if b != a {
+		// sync.Pool may drop entries under GC pressure; a fresh object
+		// is legal, but in a quiet single-goroutine test reuse is the
+		// overwhelmingly expected path — flag it so a plumbing bug
+		// (Put discarding, Get always constructing) cannot hide.
+		t.Logf("pool returned a fresh workspace (made=%d)", made)
+	}
+	if made < 1 || made > 2 {
+		t.Fatalf("constructor ran %d times, want 1 (or 2 under GC)", made)
+	}
+}
+
+func TestPoolConcurrentSafety(t *testing.T) {
+	p := Pool[ws]{New: func() *ws { return &ws{} }}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				w := p.Get()
+				w.buf = Ints(w.buf, 32)
+				w.buf[7] = i
+				p.Put(w)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestIntsSemantics(t *testing.T) {
+	// Growth: too-small buffers are replaced.
+	small := make([]int, 2)
+	grown := Ints(small, 10)
+	if len(grown) != 10 {
+		t.Fatalf("len = %d, want 10", len(grown))
+	}
+	// Reuse: a large-enough buffer keeps its storage and is zeroed.
+	big := make([]int, 16)
+	for i := range big {
+		big[i] = 9
+	}
+	reused := Ints(big, 8)
+	if len(reused) != 8 || cap(reused) != 16 {
+		t.Fatalf("len/cap = %d/%d, want 8/16", len(reused), cap(reused))
+	}
+	if &reused[0] != &big[0] {
+		t.Fatal("reuse path reallocated")
+	}
+	for i, v := range reused {
+		if v != 0 {
+			t.Fatalf("slot %d not zeroed: %d", i, v)
+		}
+	}
+	if got := Ints(nil, 0); len(got) != 0 {
+		t.Fatalf("Ints(nil, 0) len = %d", len(got))
+	}
+}
+
+func TestFloatsSemantics(t *testing.T) {
+	big := make([]float64, 12)
+	for i := range big {
+		big[i] = 3.5
+	}
+	reused := Floats(big, 5)
+	if len(reused) != 5 || &reused[0] != &big[0] {
+		t.Fatal("Floats did not reuse a large-enough buffer")
+	}
+	for _, v := range reused {
+		if v != 0 {
+			t.Fatal("Floats did not zero the reused prefix")
+		}
+	}
+	if grown := Floats(reused, 40); len(grown) != 40 {
+		t.Fatalf("growth len = %d, want 40", len(grown))
+	}
+}

@@ -23,4 +23,10 @@ var (
 	mLevelFactor = obs.Default.Histogram("finwl_level_factor_seconds",
 		"Per-level LU factorization time of A_k = I - P_k during solver construction.",
 		obs.ExpBounds(10_000, 4, 14), 1e-9) // 10µs .. ~2.7s
+	mSparseFactors = obs.Default.Counter("finwl_level_factorizations_total",
+		"Level factorizations of A_k = I - P_k, by elimination path.",
+		obs.L("path", "sparse"))
+	mDenseFactors = obs.Default.Counter("finwl_level_factorizations_total",
+		"Level factorizations of A_k = I - P_k, by elimination path.",
+		obs.L("path", "dense"))
 )

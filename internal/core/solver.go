@@ -38,6 +38,7 @@ import (
 	"finwl/internal/matrix"
 	"finwl/internal/network"
 	"finwl/internal/par"
+	"finwl/internal/sparse"
 )
 
 // finiteResult screens a scalar result boundary: a NaN/Inf mean time
@@ -60,10 +61,21 @@ type Solver struct {
 	ws     sync.Pool      // *workspace scratch, so solves never share state
 }
 
+// factorization is the per-level solve capability the epoch kernels
+// need: right and left solves off one factorization of A_k = I − P_k,
+// plus the condition estimate that gates admission. Both the sparse
+// no-pivot M-matrix LU and the pivoted blocked dense LU satisfy it.
+type factorization interface {
+	Solve(b []float64) []float64
+	SolveInto(dst, b []float64) []float64
+	SolveLeftInto(dst, b []float64) []float64
+	Cond1Est() float64
+}
+
 type levelSolver struct {
 	lvl  *network.Level
-	fact *matrix.LU // LU of A_k = I − P_k
-	tau  []float64  // τ'_k
+	fact factorization // factorization of A_k = I − P_k
+	tau  []float64     // τ'_k
 }
 
 // workspace is the per-solve scratch memory: every buffer is sized to
@@ -103,34 +115,39 @@ func NewSolverFromChain(chain *network.Chain) (*Solver, error) {
 
 // NewSolverFromChainCtx factors an already-built chain under a
 // context. The per-level factorizations are independent, so they run
-// across a worker pool; results land in per-level slots, worker panics
-// come back as wrapped errors, and a singular or numerically hopeless
-// level reports a check.ErrSingular-matching error naming the level.
+// across a worker pool when the modeled work justifies it; results
+// land in per-level slots, worker panics come back as wrapped errors,
+// and a singular or numerically hopeless level reports a
+// check.ErrSingular-matching error naming the level.
 func NewSolverFromChainCtx(ctx context.Context, chain *network.Chain) (*Solver, error) {
 	K := len(chain.Levels) - 1
 	s := &Solver{Chain: chain, K: K, levels: make([]*levelSolver, K+1)}
-	err := par.ForErr(ctx, K, func(i int) error {
-		k := K - i // biggest level first, for load balance
-		lvl := chain.Levels[k]
-		d := lvl.States.Count()
-		a := matrix.Identity(d).Sub(lvl.P)
-		span := mLevelFactor.Start()
-		fact, err := matrix.Factor(a)
-		span.End()
-		if err != nil {
-			return fmt.Errorf("core: level %d: I−P_k singular (tasks can avoid departing): %w", k, err)
-		}
-		if cond := fact.Cond1Est(); cond > matrix.CondLimit {
-			return fmt.Errorf("core: level %d: I−P_k has condition estimate %.3g (limit %.3g): %w",
-				k, cond, matrix.CondLimit, check.ErrSingular)
-		}
-		minvEps := make([]float64, d)
-		for i := 0; i < d; i++ {
-			minvEps[i] = 1 / lvl.MDiag[i]
-		}
-		s.levels[k] = &levelSolver{lvl: lvl, fact: fact, tau: fact.Solve(minvEps)}
-		return nil
-	})
+	err := par.ForCost(ctx, K,
+		func(i int) int64 {
+			// Factorization cost scales with the level's d² accumulator
+			// scans (sparse path) up to d³ (dense fallback); d² in
+			// ForCost's tens-of-ns units is the conservative model.
+			d := int64(chain.Levels[K-i].States.Count())
+			if d > 1<<20 {
+				return par.MaxCost
+			}
+			return d * d
+		},
+		func(i int) error {
+			k := K - i // biggest level first, for load balance
+			lvl := chain.Levels[k]
+			d := lvl.States.Count()
+			fact, err := factorLevel(k, lvl)
+			if err != nil {
+				return err
+			}
+			minvEps := make([]float64, d)
+			for i := 0; i < d; i++ {
+				minvEps[i] = 1 / lvl.MDiag[i]
+			}
+			s.levels[k] = &levelSolver{lvl: lvl, fact: fact, tau: fact.Solve(minvEps)}
+			return nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -150,6 +167,43 @@ func NewSolverFromChainCtx(ctx context.Context, chain *network.Chain) (*Solver, 
 		}
 	}
 	return s, nil
+}
+
+// sparseWorthwhile decides whether a level's A_k = I − P_k should be
+// attempted with the sparse no-pivot LU: tiny systems are faster in
+// the dense ladder's cache-friendly kernels, and a level whose P is
+// already a quarter dense will only densify further under elimination.
+func sparseWorthwhile(d, nnz int) bool {
+	return d >= 16 && nnz*4 <= d*d
+}
+
+// factorLevel produces the level-k factorization, preferring the
+// structured sparse elimination and falling back to the pivoted dense
+// ladder whenever sparsity, stability, or conditioning runs out. The
+// dense path owns error reporting, so the failure modes (and their
+// typed errors and messages) are exactly the historical dense ones.
+func factorLevel(k int, lvl *network.Level) (factorization, error) {
+	span := mLevelFactor.Start()
+	defer span.End()
+	d := lvl.States.Count()
+	if sparseWorthwhile(d, lvl.P.NNZ()) {
+		if f, err := sparse.FactorIMinusP(lvl.P); err == nil {
+			if f.Cond1Est() <= matrix.CondLimit {
+				mSparseFactors.Inc()
+				return f, nil
+			}
+		}
+	}
+	fact, err := matrix.Factor(lvl.P.IMinusDense())
+	if err != nil {
+		return nil, fmt.Errorf("core: level %d: I−P_k singular (tasks can avoid departing): %w", k, err)
+	}
+	if cond := fact.Cond1Est(); cond > matrix.CondLimit {
+		return nil, fmt.Errorf("core: level %d: I−P_k has condition estimate %.3g (limit %.3g): %w",
+			k, cond, matrix.CondLimit, check.ErrSingular)
+	}
+	mDenseFactors.Inc()
+	return fact, nil
 }
 
 func (s *Solver) getWS() *workspace  { return s.ws.Get().(*workspace) }

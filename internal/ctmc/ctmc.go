@@ -89,7 +89,7 @@ func (c *Chain) MeanAbsorptionTime() (float64, error) {
 			hop := lvl.Q.MulVec(projectHop(c, d, next))
 			rhs = matrix.VecAdd(rhs, hop)
 		}
-		a := matrix.Identity(dk).Sub(lvl.P)
+		a := lvl.P.IMinusDense()
 		t, err := matrix.Solve(a, rhs)
 		if err != nil {
 			return 0, fmt.Errorf("ctmc: block %d solve: %w", d, err)

@@ -1,0 +1,36 @@
+// Equivalence of the structured builder with the dense reference over
+// the degenerate-input corpus. This lives in the external test package
+// because faultcheck imports network: the production package cannot
+// see the corpus, but its test binary can.
+package network_test
+
+import (
+	"testing"
+
+	"finwl/internal/faultcheck"
+	"finwl/internal/network"
+)
+
+// TestStructuredMatchesReferenceOnCorpus runs every degenerate class
+// through both the structured builder and the dense reference build:
+// they must agree on rejection (same validation runs first in both)
+// and, when a chain is produced at all, on every matrix to 1e-12.
+// Typed-error behaviour of the full pipelines over the same corpus is
+// asserted separately by the faultcheck package's own tests.
+func TestStructuredMatchesReferenceOnCorpus(t *testing.T) {
+	for _, c := range faultcheck.Classes() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			net, k, _ := c.Build()
+			ref, refErr := network.BuildDenseReference(net, k)
+			chain, err := network.NewChain(net, k)
+			if (refErr == nil) != (err == nil) {
+				t.Fatalf("reference err = %v, structured err = %v", refErr, err)
+			}
+			if err != nil {
+				return
+			}
+			network.CompareChainToDenseReference(t, chain, ref, 1e-12)
+		})
+	}
+}

@@ -3,11 +3,13 @@ package network
 import (
 	"context"
 	"fmt"
+	"runtime"
 
+	"finwl/internal/arena"
 	"finwl/internal/check"
-	"finwl/internal/matrix"
 	"finwl/internal/obs"
 	"finwl/internal/par"
+	"finwl/internal/sparse"
 	"finwl/internal/statespace"
 )
 
@@ -17,6 +19,37 @@ import (
 var mChainBuild = obs.Default.Histogram("finwl_chain_build_seconds",
 	"Wall time of level-chain construction (enumeration + matrix generation).",
 	obs.ExpBounds(100_000, 4, 13), 1e-9) // 100µs .. ~6.7s
+
+// Allocation gauges for the most recent chain construction, sampled
+// from the runtime's heap counters. The counters are process-global,
+// so concurrent builds inflate each other's deltas — the gauges are a
+// regression tripwire, not an exact attribution.
+var (
+	mChainBuildObjects = obs.Default.Gauge("finwl_chain_build_allocs",
+		"Heap allocations during the most recent chain construction.",
+		obs.L("unit", "objects"))
+	mChainBuildBytes = obs.Default.Gauge("finwl_chain_build_allocs",
+		"Heap allocations during the most recent chain construction.",
+		obs.L("unit", "bytes"))
+)
+
+// heapAllocCounters reads the runtime's cumulative heap allocation
+// counters. runtime.ReadMemStats is used rather than runtime/metrics
+// because the latter's heap counters lag behind per-P allocation
+// caches, reporting zero deltas for builds small enough to fit in
+// already-cached spans; the stop-the-world here is a few microseconds,
+// noise against any chain construction.
+func heapAllocCounters() (objects, bytes uint64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.Mallocs, m.TotalAlloc
+}
+
+// ChainBuildStats returns the heap allocation cost (objects, bytes)
+// of the most recent chain construction in this process.
+func ChainBuildStats() (objects, bytes int64) {
+	return mChainBuildObjects.Value(), mChainBuildBytes.Value()
+}
 
 // Level holds the paper's per-population matrices for k active tasks:
 //
@@ -29,13 +62,18 @@ var mChainBuild = obs.Default.Histogram("finwl_chain_build_seconds",
 //	        system is in state i of level k−1 puts it in state j.
 //
 // Rows of P_k + Q_k sum to one, as do rows of R_k.
+//
+// The matrices are CSR: each state has one outgoing entry per active
+// service phase times routing fan-out, so the natural representation
+// is sparse at every scale. Consumers that need the dense per-level
+// system A_k = I − P_k materialize it with sparse.CSR.IMinusDense.
 type Level struct {
 	K      int
 	States *statespace.Level
 	MDiag  []float64
-	P      *matrix.Matrix
-	Q      *matrix.Matrix // D(k) × D(k−1)
-	R      *matrix.Matrix // D(k−1) × D(k)
+	P      *sparse.CSR
+	Q      *sparse.CSR // D(k) × D(k−1)
+	R      *sparse.CSR // D(k−1) × D(k)
 }
 
 // Chain is the full ladder of level matrices for populations 1..K,
@@ -60,9 +98,10 @@ const maxPhaseIndex = 255
 // Memory guards: the level-count DP (statespace.LevelSize) prices a
 // chain before anything is allocated, so a model that would exhaust
 // memory is rejected with ErrInvalidModel instead of dying in the
-// allocator. Dense chains are bounded by total matrix entries
-// (Σ d_k² + 2·d_k·d_{k−1} float64s ≈ 2 GiB); sparse chains by total
-// enumerated states.
+// allocator. NewChain keeps the stricter entry budget because its
+// solver path may densify per-level factorizations
+// (Σ d_k² + 2·d_k·d_{k−1} float64s ≈ 2 GiB); NewSparseChain is bounded
+// by total enumerated states only.
 const (
 	maxDenseEntries = float64(1 << 28) // 268M float64s ≈ 2 GiB
 	maxSparseStates = float64(1 << 24) // ~16.8M states
@@ -111,51 +150,84 @@ func NewChain(net *Network, maxK int) (*Chain, error) {
 }
 
 // NewChainCtx is NewChain under a context: construction checks ctx
-// between levels and returns a check.ErrCanceled-matching error as
+// between work items and returns a check.ErrCanceled-matching error as
 // soon as cancellation or a deadline is observed.
-//
-// Construction is parallel: the per-population state spaces are
-// enumerated first (each level's enumeration is independent), then the
-// level matrices are generated across a worker pool — level k only
-// reads the network, the space layout, and the immutable state lists
-// of levels k−1 and k, so the levels are embarrassingly parallel.
-// Workers claim the largest levels first and write into their own
-// slot, keeping assembly deterministic.
 func NewChainCtx(ctx context.Context, net *Network, maxK int) (*Chain, error) {
+	return newChainCtx(ctx, net, maxK, true, "chain construction")
+}
+
+// newChainCtx builds the level ladder shared by NewChainCtx and
+// NewSparseChainCtx; the two differ only in the admission budget
+// (planChain) and the error label.
+//
+// Construction is parallel when it pays: the per-population state
+// spaces are enumerated first (each level's enumeration is
+// independent), then the level matrices are generated across a worker
+// pool — level k only reads the network, the space layout, and the
+// immutable state lists of levels k−1 and k, so the levels are
+// embarrassingly parallel. par.ForCost drives the serial/parallel
+// cutover from the planner's per-level state counts and schedules the
+// largest levels first; small chains never pay the pool overhead.
+func newChainCtx(ctx context.Context, net *Network, maxK int, dense bool, label string) (*Chain, error) {
 	defer mChainBuild.Start().End()
+	allocObjects, allocBytes := heapAllocCounters()
+	defer func() {
+		o, b := heapAllocCounters()
+		mChainBuildObjects.Set(int64(o - allocObjects))
+		mChainBuildBytes.Set(int64(b - allocBytes))
+	}()
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
 	space := net.Space()
-	if _, err := planChain(space, maxK, true); err != nil {
+	sizes, err := planChain(space, maxK, dense)
+	if err != nil {
 		return nil, err
 	}
 	c := &Chain{Net: net, Space: space, Levels: make([]*Level, maxK+1)}
-	states, err := enumerateLevels(ctx, space, maxK)
+	states, err := enumerateLevels(ctx, space, maxK, sizes)
 	if err != nil {
 		return nil, err
 	}
 	c.Levels[0] = &Level{K: 0, States: states[0]}
-	err = par.ForErr(ctx, maxK, func(i int) error {
-		k := maxK - i // largest state spaces first, for load balance
-		c.Levels[k] = buildLevel(net, space, k, states[k-1], states[k])
-		return nil
-	})
+	err = par.ForCost(ctx, maxK,
+		func(i int) int64 { return levelBuildCost(sizes, i+1) },
+		func(i int) error {
+			k := i + 1
+			c.Levels[k] = buildLevel(net, space, k, states[k-1], states[k])
+			return nil
+		})
 	if err != nil {
-		return nil, fmt.Errorf("network: chain construction: %w", err)
+		return nil, fmt.Errorf("network: %s: %w", label, err)
 	}
 	return c, nil
 }
 
+// levelBuildCost models the matrix-generation work of level k from the
+// planner's state counts: every level-k state is visited with a
+// handful of events, each costing a state copy plus a binary-search
+// index lookup, and every level-(k−1) state seeds the arrival matrix.
+// The constants put the unit near ForCost's "tens of ns" convention;
+// they only need to be right within a small factor for the cutover.
+func levelBuildCost(sizes []int64, k int) int64 {
+	c := sizes[k]*96 + sizes[k-1]*32
+	if c < 0 || c > par.MaxCost {
+		return par.MaxCost
+	}
+	return c
+}
+
 // enumerateLevels lists the states of every population 0..maxK in
-// parallel; the enumerations share nothing but the read-only layout.
-func enumerateLevels(ctx context.Context, space *statespace.Space, maxK int) ([]*statespace.Level, error) {
+// parallel when the chain is large enough to pay for it; the
+// enumerations share nothing but the read-only layout.
+func enumerateLevels(ctx context.Context, space *statespace.Space, maxK int, sizes []int64) ([]*statespace.Level, error) {
 	states := make([]*statespace.Level, maxK+1)
-	err := par.ForErr(ctx, maxK+1, func(i int) error {
-		k := maxK - i
-		states[k] = space.Enumerate(k)
-		return nil
-	})
+	err := par.ForCost(ctx, maxK+1,
+		func(i int) int64 { return sizes[i] * 16 },
+		func(i int) error {
+			states[i] = space.Enumerate(i)
+			return nil
+		})
 	if err != nil {
 		return nil, fmt.Errorf("network: state enumeration: %w", err)
 	}
@@ -176,8 +248,12 @@ func (c *Chain) EntryVector(k int) []float64 {
 }
 
 // levelSink receives the transition weights of one level as they are
-// generated; dense and sparse chains share the construction logic and
-// differ only in the sink.
+// generated. The production sink assembles CSR directly; tests plug in
+// a dense sink to hold the structured build to the dense reference.
+// Every generator loop walks destination rows in non-decreasing order
+// (the R pass iterates level-(k−1) states ascending, the M/P/Q pass
+// iterates level-k states ascending), which is the contract that lets
+// the CSR sink stream rows without a global sort.
 type levelSink interface {
 	setM(i int, rate float64)
 	addP(i, j int, w float64)
@@ -185,38 +261,78 @@ type levelSink interface {
 	addR(iPrev, j int, w float64)
 }
 
-// denseSink writes into a dense Level.
-type denseSink struct{ lvl *Level }
+// csrSink streams one level's weights into row-ordered CSR builders.
+type csrSink struct {
+	m       []float64
+	p, q, r *sparse.RowBuilder
+}
 
-func (s denseSink) setM(i int, rate float64) { s.lvl.MDiag[i] = rate }
-func (s denseSink) addP(i, j int, w float64) { s.lvl.P.Inc(i, j, w) }
-func (s denseSink) addQ(i, j int, w float64) { s.lvl.Q.Inc(i, j, w) }
-func (s denseSink) addR(i, j int, w float64) { s.lvl.R.Inc(i, j, w) }
+func (s *csrSink) setM(i int, rate float64) { s.m[i] = rate }
+func (s *csrSink) addP(i, j int, w float64) { s.p.Add(i, j, w) }
+func (s *csrSink) addQ(i, j int, w float64) { s.q.Add(i, j, w) }
+func (s *csrSink) addR(i, j int, w float64) { s.r.Add(i, j, w) }
+
+// buildWS is the per-builder scratch a level generation needs: two
+// state-width vectors and three CSR row builders. Workspaces are
+// pooled — each concurrent builder checks one out, generates any
+// number of levels with it, and returns it — so steady-state chain
+// construction allocates only what escapes into the finished Level.
+type buildWS struct {
+	scratch, depart []int
+	p, q, r         *sparse.RowBuilder
+}
+
+var buildPool = arena.Pool[buildWS]{New: func() *buildWS { return &buildWS{} }}
+
+// prepare sizes the workspace for a d×dPrev level over states of the
+// given width, reusing prior storage where it fits.
+func (ws *buildWS) prepare(width, d, dPrev int) {
+	ws.scratch = arena.Ints(ws.scratch, width)
+	ws.depart = arena.Ints(ws.depart, width)
+	if ws.p == nil {
+		ws.p = sparse.NewRowBuilder(d, d)
+		ws.q = sparse.NewRowBuilder(d, dPrev)
+		ws.r = sparse.NewRowBuilder(dPrev, d)
+		return
+	}
+	ws.p.Reset(d, d)
+	ws.q.Reset(d, dPrev)
+	ws.r.Reset(dPrev, d)
+}
 
 func buildLevel(net *Network, space *statespace.Space, k int, prev, cur *statespace.Level) *Level {
 	d := cur.Count()
 	dPrev := prev.Count()
+	ws := buildPool.Get()
+	ws.prepare(space.Width(), d, dPrev)
 	lvl := &Level{
 		K:      k,
 		States: cur,
 		MDiag:  make([]float64, d),
-		P:      matrix.New(d, d),
-		Q:      matrix.New(d, dPrev),
-		R:      matrix.New(dPrev, d),
 	}
-	emitLevel(net, space, prev, cur, denseSink{lvl})
+	emitLevel(net, space, prev, cur,
+		&csrSink{m: lvl.MDiag, p: ws.p, q: ws.q, r: ws.r},
+		ws.scratch, ws.depart)
+	lvl.P = ws.p.Build()
+	lvl.Q = ws.q.Build()
+	lvl.R = ws.r.Build()
+	buildPool.Put(ws)
 	return lvl
 }
 
 // emitLevel generates every M/P/Q/R weight of one population level.
-func emitLevel(net *Network, space *statespace.Space, prev, cur *statespace.Level, sink levelSink) {
+// scratch and depart are caller-provided state-width work vectors
+// (distinct, content ignored); nothing passed to the sink outlives the
+// call. Weights for the same (row, column) pair are emitted in a fixed
+// order, so accumulating sinks agree bitwise whatever their storage.
+func emitLevel(net *Network, space *statespace.Space, prev, cur *statespace.Level, sink levelSink, scratch, depart []int) {
 	d := cur.Count()
 	dPrev := prev.Count()
-	scratch := make([]int, space.Width())
 
 	// addArrival distributes weight w over the states reached when a
 	// task arrives at station dst with the system in `state`, calling
-	// emit for each target state.
+	// emit for each target state. It builds targets in scratch and
+	// never writes state, so callers may pass the depart buffer.
 	addArrival := func(state []int, dst int, w float64, emit func(target []int, w float64)) {
 		st := net.Stations[dst]
 		switch st.Kind {
@@ -266,20 +382,26 @@ func emitLevel(net *Network, space *statespace.Space, prev, cur *statespace.Leve
 		}
 	}
 
-	// M_k, P_k, Q_k: events out of level k states.
-	depart := make([]int, space.Width())
+	// M_k, P_k, Q_k: events out of level k states. The active units of a
+	// state are walked once into a reusable buffer — the total rate
+	// accumulates in the same visit order as a second walk would use, so
+	// the division by total stays bitwise identical — and the emission
+	// loop then replays the buffer.
+	units := make([]activeUnit, 0, maxActiveUnits(net))
 	for si := 0; si < d; si++ {
 		state := cur.State(si)
 
-		// First pass: total event rate.
 		var total float64
+		units = units[:0]
 		forEachActiveUnit(net, space, state, func(st, ph int, rate float64) {
+			units = append(units, activeUnit{st: st, ph: ph, rate: rate})
 			total += rate
 		})
 		sink.setM(si, total)
 
-		forEachActiveUnit(net, space, state, func(st, ph int, rate float64) {
-			w0 := rate / total
+		for _, u := range units {
+			st, ph := u.st, u.ph
+			w0 := u.rate / total
 			svc := net.Stations[st].Service
 
 			// Internal phase movement within the station.
@@ -294,30 +416,52 @@ func emitLevel(net *Network, space *statespace.Space, prev, cur *statespace.Leve
 
 			done := svc.ExitProb(ph)
 			if done == 0 {
-				return
+				continue
 			}
 			// Remove the completing customer from the station; for a
 			// queue with waiting customers the successor's starting
-			// phase fans out over the entry vector.
+			// phase fans out over the entry vector. base is the depart
+			// buffer, which addArrival leaves untouched.
 			forEachPostCompletion(net, space, state, st, ph, depart, func(base []int, bw float64) {
-				baseCopy := append([]int(nil), base...)
 				// Route to the next station …
 				for dst := 0; dst < len(net.Stations); dst++ {
 					r := net.Route.At(st, dst)
 					if r == 0 {
 						continue
 					}
-					addArrival(baseCopy, dst, w0*done*bw*r, func(target []int, w float64) {
+					addArrival(base, dst, w0*done*bw*r, func(target []int, w float64) {
 						sink.addP(si, cur.MustIndex(target), w)
 					})
 				}
 				// … or leave the system.
 				if e := net.Exit[st]; e > 0 {
-					sink.addQ(si, prev.MustIndex(baseCopy), w0*done*bw*e)
+					sink.addQ(si, prev.MustIndex(base), w0*done*bw*e)
 				}
 			})
-		})
+		}
 	}
+}
+
+// activeUnit is one independently-completing exponential phase of a
+// state, as visited by forEachActiveUnit.
+type activeUnit struct {
+	st, ph int
+	rate   float64
+}
+
+// maxActiveUnits bounds how many units forEachActiveUnit can visit in
+// any state: every phase of each delay station, one unit per queue or
+// multi-server station.
+func maxActiveUnits(net *Network) int {
+	n := 0
+	for _, st := range net.Stations {
+		if st.Kind == statespace.Delay {
+			n += st.Service.Dim()
+		} else {
+			n++
+		}
+	}
+	return n
 }
 
 // forEachActiveUnit visits every independently-completing exponential

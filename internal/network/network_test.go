@@ -157,17 +157,18 @@ func checkChainStochastic(t *testing.T, c *Chain, tol float64) {
 	for k := 1; k < len(c.Levels); k++ {
 		lvl := c.Levels[k]
 		d := lvl.States.Count()
+		pSums, qSums := lvl.P.RowSums(), lvl.Q.RowSums()
 		for i := 0; i < d; i++ {
 			if lvl.MDiag[i] <= 0 {
 				t.Fatalf("level %d: MDiag[%d] = %v", k, i, lvl.MDiag[i])
 			}
-			rowSum := matrix.VecSum(lvl.P.Row(i)) + matrix.VecSum(lvl.Q.Row(i))
-			if math.Abs(rowSum-1) > tol {
+			if rowSum := pSums[i] + qSums[i]; math.Abs(rowSum-1) > tol {
 				t.Fatalf("level %d: (P+Q) row %d sums to %v", k, i, rowSum)
 			}
 		}
+		rSums := lvl.R.RowSums()
 		for i := 0; i < c.Levels[k-1].States.Count(); i++ {
-			if s := matrix.VecSum(lvl.R.Row(i)); math.Abs(s-1) > tol {
+			if s := rSums[i]; math.Abs(s-1) > tol {
 				t.Fatalf("level %d: R row %d sums to %v", k, i, s)
 			}
 		}
@@ -286,9 +287,9 @@ func TestChainStochasticProperty(t *testing.T) {
 		}
 		for k := 1; k < len(c.Levels); k++ {
 			lvl := c.Levels[k]
+			pSums, qSums := lvl.P.RowSums(), lvl.Q.RowSums()
 			for i := 0; i < lvl.States.Count(); i++ {
-				rowSum := matrix.VecSum(lvl.P.Row(i)) + matrix.VecSum(lvl.Q.Row(i))
-				if math.Abs(rowSum-1) > 1e-9 {
+				if rowSum := pSums[i] + qSums[i]; math.Abs(rowSum-1) > 1e-9 {
 					return false
 				}
 			}

@@ -1,44 +1,23 @@
 package network
 
-import (
-	"context"
-	"fmt"
+import "context"
 
-	"finwl/internal/par"
-	"finwl/internal/sparse"
-	"finwl/internal/statespace"
-)
+// The dense and sparse chains used to be distinct types built by
+// distinct sinks; the structured builder now assembles CSR for both,
+// so SparseLevel and SparseChain survive as aliases. The constructors
+// keep their own admission budgets: NewChain prices the chain as if
+// every level may densify (its solver path factors A_k = I − P_k
+// densely when sparsity runs out), while NewSparseChain only bounds
+// the total state count.
 
-// SparseLevel is a population level's matrices in CSR form, for state
-// spaces too large to factor densely. The semantics are identical to
-// Level.
-type SparseLevel struct {
-	K      int
-	States *statespace.Level
-	MDiag  []float64
-	P      *sparse.CSR
-	Q      *sparse.CSR // D(k) × D(k−1)
-	R      *sparse.CSR // D(k−1) × D(k)
-}
+// SparseLevel is a population level's matrices in CSR form. Since the
+// structured builder, every Level is CSR; the name remains for the
+// large-state-space call sites.
+type SparseLevel = Level
 
-// SparseChain is the CSR counterpart of Chain, built by the same
-// transition-generation code.
-type SparseChain struct {
-	Net    *Network
-	Space  *statespace.Space
-	Levels []*SparseLevel
-}
-
-// sparseSink accumulates one level into CSR builders.
-type sparseSink struct {
-	m       []float64
-	p, q, r *sparse.Builder
-}
-
-func (s *sparseSink) setM(i int, rate float64) { s.m[i] = rate }
-func (s *sparseSink) addP(i, j int, w float64) { s.p.Add(i, j, w) }
-func (s *sparseSink) addQ(i, j int, w float64) { s.q.Add(i, j, w) }
-func (s *sparseSink) addR(i, j int, w float64) { s.r.Add(i, j, w) }
+// SparseChain is the admission-relaxed counterpart of Chain, built by
+// the same generator.
+type SparseChain = Chain
 
 // NewSparseChain validates the network and builds CSR level matrices
 // for populations 1..maxK. See NewSparseChainCtx.
@@ -46,60 +25,11 @@ func NewSparseChain(net *Network, maxK int) (*SparseChain, error) {
 	return NewSparseChainCtx(context.Background(), net, maxK)
 }
 
-// NewSparseChainCtx is NewSparseChain under a context. Like NewChain,
-// the levels are generated in parallel once the state spaces exist;
-// each worker owns its level's builders, so no synchronization is
-// needed beyond the final join. Cancellation surfaces as a
-// check.ErrCanceled-matching error.
+// NewSparseChainCtx is NewChainCtx without the dense-entry admission
+// budget: it accepts any model whose total enumerated state count
+// fits, for consumers (the iterative sparse solver) that never
+// densify a level. Cancellation surfaces as a check.ErrCanceled-
+// matching error.
 func NewSparseChainCtx(ctx context.Context, net *Network, maxK int) (*SparseChain, error) {
-	if err := net.Validate(); err != nil {
-		return nil, err
-	}
-	space := net.Space()
-	if _, err := planChain(space, maxK, false); err != nil {
-		return nil, err
-	}
-	c := &SparseChain{Net: net, Space: space, Levels: make([]*SparseLevel, maxK+1)}
-	states, err := enumerateLevels(ctx, space, maxK)
-	if err != nil {
-		return nil, err
-	}
-	c.Levels[0] = &SparseLevel{K: 0, States: states[0]}
-	err = par.ForErr(ctx, maxK, func(i int) error {
-		k := maxK - i
-		prev, cur := states[k-1], states[k]
-		d, dPrev := cur.Count(), prev.Count()
-		sink := &sparseSink{
-			m: make([]float64, d),
-			p: sparse.NewBuilder(d, d),
-			q: sparse.NewBuilder(d, dPrev),
-			r: sparse.NewBuilder(dPrev, d),
-		}
-		emitLevel(net, space, prev, cur, sink)
-		c.Levels[k] = &SparseLevel{
-			K:      k,
-			States: cur,
-			MDiag:  sink.m,
-			P:      sink.p.Build(),
-			Q:      sink.q.Build(),
-			R:      sink.r.Build(),
-		}
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("network: sparse chain construction: %w", err)
-	}
-	return c, nil
-}
-
-// D returns the number of states at level k.
-func (c *SparseChain) D(k int) int { return c.Levels[k].States.Count() }
-
-// EntryVector returns p_k = e₀·R₁···R_k.
-func (c *SparseChain) EntryVector(k int) []float64 {
-	pi := []float64{1}
-	for j := 1; j <= k; j++ {
-		pi = c.Levels[j].R.VecMul(pi)
-	}
-	return pi
+	return newChainCtx(ctx, net, maxK, false, "sparse chain construction")
 }

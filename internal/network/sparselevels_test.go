@@ -4,17 +4,13 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
-
-	"finwl/internal/matrix"
-	"finwl/internal/phase"
 )
 
-// The sparse chain must contain exactly the dense chain's matrices —
-// both are produced by the same emitter through different sinks.
-func TestSparseChainMatchesDense(t *testing.T) {
-	n := paperCentralNet(0.1, 0.5, 0.5, 1, 2, 3, 4)
-	n.Stations[3].Service = phase.MustHyperExpFit(1, 8)
-	dense, err := NewChain(n, 3)
+// NewSparseChain and NewChain now share the structured CSR builder;
+// both must match the dense reference build exactly.
+func TestSparseChainMatchesDenseReference(t *testing.T) {
+	n := gridNet(2)
+	ref, err := BuildDenseReference(n, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,34 +18,16 @@ func TestSparseChainMatchesDense(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k := 1; k <= 3; k++ {
-		dl, sl := dense.Levels[k], sp.Levels[k]
-		if matrix.VecMaxAbsDiff(dl.MDiag, sl.MDiag) > 1e-14 {
-			t.Fatalf("level %d: MDiag differs", k)
-		}
-		if sl.P.Dense().MaxAbsDiff(dl.P) > 1e-14 {
-			t.Fatalf("level %d: P differs", k)
-		}
-		if sl.Q.Dense().MaxAbsDiff(dl.Q) > 1e-14 {
-			t.Fatalf("level %d: Q differs", k)
-		}
-		if sl.R.Dense().MaxAbsDiff(dl.R) > 1e-14 {
-			t.Fatalf("level %d: R differs", k)
-		}
-	}
-	// Entry vectors agree too.
-	if matrix.VecMaxAbsDiff(dense.EntryVector(3), sp.EntryVector(3)) > 1e-14 {
-		t.Fatal("entry vectors differ")
-	}
+	CompareChainToDenseReference(t, sp, ref, 1e-14)
 }
 
-// Property: agreement on random networks.
+// Property: agreement with the dense reference on random networks.
 func TestSparseChainMatchesDenseProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
 		n := randomExpNetwork(r, 1+r.Intn(3))
 		k := 1 + r.Intn(3)
-		dense, err := NewChain(n, k)
+		ref, err := BuildDenseReference(n, k)
 		if err != nil {
 			return false
 		}
@@ -58,10 +36,10 @@ func TestSparseChainMatchesDenseProperty(t *testing.T) {
 			return false
 		}
 		for lvl := 1; lvl <= k; lvl++ {
-			if sp.Levels[lvl].P.Dense().MaxAbsDiff(dense.Levels[lvl].P) > 1e-13 {
+			if sp.Levels[lvl].P.Dense().MaxAbsDiff(ref.Levels[lvl].P) > 1e-13 {
 				return false
 			}
-			if sp.Levels[lvl].R.Dense().MaxAbsDiff(dense.Levels[lvl].R) > 1e-13 {
+			if sp.Levels[lvl].R.Dense().MaxAbsDiff(ref.Levels[lvl].R) > 1e-13 {
 				return false
 			}
 		}

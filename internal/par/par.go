@@ -14,6 +14,7 @@ package par
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -52,6 +53,79 @@ func (e *PanicError) Error() string {
 func For(n int, fn func(i int)) error {
 	return ForErr(nil, n, func(i int) error { fn(i); return nil })
 }
+
+// minParallelCost is the ForCost cutover: total modeled work below it
+// runs serially. The unit is the callers' state-space cost model
+// (≈ matrix entries touched, tens of ns each), so the threshold sits
+// where the work is a few goroutine lifetimes — below it the pool's
+// spawn/join overhead is the dominant term and parallel construction
+// loses to a plain loop, which is exactly the regression the perf
+// harness caught on small chains.
+const minParallelCost = int64(1) << 16
+
+// ForCost is ForErr with a per-item cost model driving both the
+// serial/parallel cutover and the claim order. cost(i) is the modeled
+// work of item i in arbitrary consistent units (the chain builders
+// feed it the statespace.LevelSize/ChainPrice entry counts):
+//
+//   - when the total modeled cost is below minParallelCost, or only
+//     one processor is available, the loop runs serially in index
+//     order with zero goroutines;
+//   - otherwise workers claim items from a descending-cost schedule in
+//     chunks, so the largest levels start first (load balance) and the
+//     tail of tiny levels is taken in batches instead of one atomic
+//     claim each.
+//
+// Failure handling matches ForErr — panics become *PanicError values,
+// the first failure stops unclaimed work, cancellation surfaces as
+// check.ErrCanceled — except that "first" means first in the
+// deterministic descending-cost schedule rather than index order.
+func ForCost(ctx Ctx, n int, cost func(i int) int64, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var total int64
+	order := make([]int, n)
+	costs := make([]int64, n)
+	for i := range order {
+		order[i] = i
+		c := cost(i)
+		if c < 0 {
+			c = 0
+		}
+		costs[i] = c
+		if total < MaxCost-c {
+			total += c
+		} else {
+			total = MaxCost
+		}
+	}
+	if total < minParallelCost || runtime.GOMAXPROCS(0) <= 1 || n <= 1 {
+		return ForErr(ctx, n, fn)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return costs[order[a]] > costs[order[b]] })
+	chunk := n / (runtime.GOMAXPROCS(0) * 4)
+	if chunk < 1 {
+		chunk = 1
+	}
+	chunks := (n + chunk - 1) / chunk
+	return ForErr(ctx, chunks, func(ci int) error {
+		lo := ci * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		for _, i := range order[lo:hi] {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// MaxCost is the saturation bound of ForCost's cost accumulation.
+const MaxCost = int64(1) << 62
 
 // ForErr is For with per-iteration errors and optional cancellation:
 // ctx may be nil (never canceled) or a context.Context. The first

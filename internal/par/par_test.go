@@ -172,3 +172,104 @@ func TestForErrNoGoroutineLeak(t *testing.T) {
 	}
 	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
 }
+
+// ForCost below the cutover must run serially in index order on the
+// calling goroutine — no pool overhead for small chains.
+func TestForCostSerialBelowCutover(t *testing.T) {
+	var order []int
+	err := ForCost(nil, 8,
+		func(i int) int64 { return 10 }, // total 80 ≪ minParallelCost
+		func(i int) error { order = append(order, i); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial path visited %v, want ascending index order", order)
+		}
+	}
+	if len(order) != 8 {
+		t.Fatalf("visited %d items, want 8", len(order))
+	}
+}
+
+// Above the cutover every index still runs exactly once, whatever the
+// descending-cost chunk schedule does.
+func TestForCostParallelCoversEveryIndexOnce(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	const n = 100
+	var counts [n]atomic.Int32
+	err := ForCost(nil, n,
+		func(i int) int64 { return int64(1+i) * 1 << 12 },
+		func(i int) error { counts[i].Add(1); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("index %d ran %d times", i, c)
+		}
+	}
+}
+
+// Degenerate cost models must not break the cutover: negative costs
+// clamp to zero and a cost function at MaxCost saturates instead of
+// overflowing the total.
+func TestForCostDegenerateCosts(t *testing.T) {
+	var ran atomic.Int32
+	if err := ForCost(nil, 4,
+		func(i int) int64 { return -5 },
+		func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 4 {
+		t.Fatalf("negative costs: ran %d, want 4", ran.Load())
+	}
+	ran.Store(0)
+	if err := ForCost(nil, 3,
+		func(i int) int64 { return MaxCost },
+		func(i int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != 3 {
+		t.Fatalf("saturating costs: ran %d, want 3", ran.Load())
+	}
+}
+
+// A pre-canceled context stops ForCost with the typed cancellation
+// error on the parallel path, matching ForErr's contract.
+func TestForCostPreCanceled(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := ForCost(ctx, 50,
+		func(i int) int64 { return 1 << 14 },
+		func(i int) error { return nil })
+	if err == nil || !errors.Is(err, check.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+// An iteration error surfaces and stops the remaining work.
+func TestForCostErrorStops(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	err := ForCost(nil, 64,
+		func(i int) int64 { return 1 << 12 },
+		func(i int) error {
+			if ran.Add(1) == 3 {
+				return boom
+			}
+			return nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if ran.Load() == 64 {
+		t.Fatal("error did not stop unclaimed work")
+	}
+}

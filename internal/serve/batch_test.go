@@ -142,7 +142,7 @@ func TestBatchConcurrentIdenticalSubmissionsDedup(t *testing.T) {
 	// arrives (the follower is launched only once the leader holds
 	// admission budget).
 	reqs := []*Request{
-		{Arch: "central", K: 12, N: 200},
+		{Arch: "central", K: 12, N: 5000},
 		{Arch: "central", K: 12, N: 150},
 	}
 	var wg sync.WaitGroup
@@ -361,7 +361,7 @@ func TestAsyncDrainTypedOutcomes(t *testing.T) {
 	})
 
 	// A heavy batch that is mid-solve when the drain starts…
-	running := postJobs(t, ts.URL, []*Request{{Arch: "central", K: 12, N: 220}})
+	running := postJobs(t, ts.URL, []*Request{{Arch: "central", K: 16, N: 2000}})
 	waitFor(t, func() bool {
 		used, _, _ := s.adm.snapshot()
 		body, _ := getJob(t, ts.URL, running.ID)
@@ -421,7 +421,7 @@ func TestAsyncStoreOverload(t *testing.T) {
 	defer ts.Close()
 
 	// Fill both slots: one running heavy batch, one queued behind it.
-	postJobs(t, ts.URL, []*Request{{Arch: "central", K: 12, N: 200}})
+	postJobs(t, ts.URL, []*Request{{Arch: "central", K: 16, N: 2000}})
 	waitFor(t, func() bool { used, _, _ := s.adm.snapshot(); return used > 0 })
 	postJobs(t, ts.URL, []*Request{{Network: healthyTwoStation(), K: 2, N: 5}})
 

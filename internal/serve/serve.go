@@ -24,6 +24,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -251,9 +252,13 @@ type Stats struct {
 // Server is the resilient solver service. Create with New; it is safe
 // for concurrent use.
 type Server struct {
-	cfg     Config
-	adm     *admission
-	cache   *lru[*Response]
+	cfg   Config
+	adm   *admission
+	cache *lru[*Response]
+	// reqKeys maps a request's wire identity (deadline stripped) to its
+	// result-cache key, so repeat requests skip network construction
+	// and canonicalization on the hit path.
+	reqKeys *lru[string]
 	solvers *lru[*core.Solver]
 	flight  *flightGroup[*Response]
 	est     *estimator
@@ -292,6 +297,7 @@ func New(cfg Config) *Server {
 		cfg:          cfg,
 		adm:          newAdmission(cfg.Budget, cfg.MaxQueue),
 		cache:        newLRU[*Response](cfg.CacheSize),
+		reqKeys:      newLRU[string](cfg.CacheSize),
 		solvers:      newLRU[*core.Solver](cfg.SolverCacheSize),
 		flight:       newFlightGroup[*Response](),
 		est:          newEstimator(cfg.ExactNsPerUnit, cfg.CheckpointFrac, float64(cfg.SteadyEstimate), cfg.ClassCacheSize),
@@ -374,6 +380,21 @@ func classKey(space *statespace.Space, k int) string {
 	return b.String()
 }
 
+// requestIdentity is the canonical wire form of a request with its
+// deadline stripped — a deadline never changes which result is
+// correct, only how long the caller waits for it. It returns "" when
+// the request cannot marshal (never for requests the API can express),
+// which simply disables the fast path for that call.
+func requestIdentity(req *Request) string {
+	r := *req
+	r.TimeoutMS = 0
+	b, err := json.Marshal(&r)
+	if err != nil {
+		return ""
+	}
+	return string(b)
+}
+
 func (s *Server) breakerFor(class string) *breaker {
 	return s.breakers.getOrCreate(class, func() *breaker {
 		return newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now, s.m.breakerTransition)
@@ -389,6 +410,23 @@ func (s *Server) Solve(ctx context.Context, req *Request) (*Response, error) {
 	if s.draining.Load() {
 		s.m.rejected.Inc()
 		return nil, errDraining()
+	}
+	// Request-identity fast path: a repeat of a request already seen
+	// maps straight to its result-cache key, skipping network
+	// construction and canonicalization entirely. The mapping is
+	// populated only after a successful BuildNetwork, so it can never
+	// vouch for an invalid request.
+	rid := requestIdentity(req)
+	if rid != "" {
+		if key, ok := s.reqKeys.get(rid); ok {
+			if cached, ok := s.cache.get(key); ok {
+				s.m.cacheHits.Inc()
+				cp := cached.clone()
+				cp.Cached = true
+				cp.Timings = &Timings{} // a hit does no queueing or solving
+				return cp, nil
+			}
+		}
 	}
 	net, err := req.BuildNetwork()
 	if err != nil {
@@ -411,6 +449,9 @@ func (s *Server) Solve(ctx context.Context, req *Request) (*Response, error) {
 
 	netKey := networkKey(net)
 	key := fmt.Sprintf("%s|k=%d|n=%d", netKey, req.K, req.N)
+	if rid != "" {
+		s.reqKeys.add(rid, key)
+	}
 	if cached, ok := s.cache.get(key); ok {
 		s.m.cacheHits.Inc()
 		cp := cached.clone()
@@ -874,13 +915,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Solve(r.Context(), &req)
 	if resp != nil && (err == nil || errors.Is(err, check.ErrDegraded)) {
-		// Measure serialization with a first marshal, record it in the
-		// timings, and encode again — on a copy, because the original
-		// pointer may be shared with the result cache.
-		resp = resp.clone()
-		encStart := time.Now()
-		if _, merr := json.Marshal(resp); merr == nil && resp.Timings != nil {
-			resp.Timings.EncodeMS = float64(time.Since(encStart).Microseconds()) / 1000
+		// A cache hit is already a private clone with zeroed timings;
+		// re-measuring its serialization would only report the cost of
+		// this handler, so it goes straight to the encoder. Fresh
+		// results measure serialization with a first marshal, record it
+		// in the timings, and encode again — on a copy, because the
+		// original pointer may be shared with the result cache.
+		if !resp.Cached {
+			resp = resp.clone()
+			encStart := time.Now()
+			if _, merr := json.Marshal(resp); merr == nil && resp.Timings != nil {
+				resp.Timings.EncodeMS = float64(time.Since(encStart).Microseconds()) / 1000
+			}
 		}
 		writeJSON(w, http.StatusOK, resp)
 		return
@@ -907,19 +953,27 @@ type statsBody struct {
 	SolverLen  int               `json:"solver_cache_len"`
 	Breakers   map[string]string `json:"breakers"`
 	Draining   bool              `json:"draining"`
+	// Heap cost of the most recent chain construction in this process
+	// (the finwl_chain_build_allocs gauges) — the regression tripwire
+	// for the structured sparse build path.
+	ChainBuildAllocs int64 `json:"chain_build_allocs"`
+	ChainBuildBytes  int64 `json:"chain_build_bytes"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	used, budget, queued := s.adm.snapshot()
+	buildObjects, buildBytes := network.ChainBuildStats()
 	body := statsBody{
-		Stats:      s.Snapshot(),
-		BudgetUsed: used,
-		Budget:     budget,
-		Queued:     queued,
-		CacheLen:   s.cache.len(),
-		SolverLen:  s.solvers.len(),
-		Breakers:   make(map[string]string),
-		Draining:   s.draining.Load(),
+		Stats:            s.Snapshot(),
+		BudgetUsed:       used,
+		Budget:           budget,
+		Queued:           queued,
+		CacheLen:         s.cache.len(),
+		SolverLen:        s.solvers.len(),
+		Breakers:         make(map[string]string),
+		Draining:         s.draining.Load(),
+		ChainBuildAllocs: buildObjects,
+		ChainBuildBytes:  buildBytes,
 	}
 	s.breakers.each(func(class string, br *breaker) {
 		body.Breakers[class] = br.snapshot().String()
@@ -927,8 +981,24 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// jsonBufPool recycles encode buffers across responses; oversized
+// buffers (past 64 KiB) are dropped rather than pinned in the pool.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Response types marshal by construction; surface any
+		// programming error instead of sending a half-written body.
+		jsonBufPool.Put(buf)
+		http.Error(w, `{"error":"encode failure","code":"internal"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= 1<<16 {
+		jsonBufPool.Put(buf)
+	}
 }

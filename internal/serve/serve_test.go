@@ -271,7 +271,7 @@ func TestHTTPFidelityRoundTrip(t *testing.T) {
 func TestDrainUnderLoad(t *testing.T) {
 	before := runtime.NumGoroutine()
 
-	inflightReq := &Request{Arch: "central", K: 14, N: 300}
+	inflightReq := &Request{Arch: "central", K: 16, N: 2000}
 	net, err := inflightReq.BuildNetwork()
 	if err != nil {
 		t.Fatal(err)
@@ -285,7 +285,7 @@ func TestDrainUnderLoad(t *testing.T) {
 	resps := make([]*Response, 2)
 	for i := 0; i < 2; i++ {
 		i := i
-		req := &Request{Arch: "central", K: 14, N: 300 + i}
+		req := &Request{Arch: "central", K: 16, N: 2000 + i}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -426,4 +426,59 @@ func waitForGoroutines(t *testing.T, baseline int) {
 	buf := make([]byte, 1<<20)
 	n := runtime.Stack(buf, true)
 	t.Fatalf("goroutine leak: %d before, %d after\n%s", baseline, runtime.NumGoroutine(), buf[:n])
+}
+
+// TestStatsChainBuildAllocs: /stats surfaces the heap cost of the most
+// recent chain construction (the finwl_chain_build_allocs gauges) once
+// a solve has built one.
+func TestStatsChainBuildAllocs(t *testing.T) {
+	s := New(Config{Seed: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if _, err := s.Solve(context.Background(), &Request{Arch: "central", K: 3, N: 10}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body statsBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ChainBuildAllocs <= 0 || body.ChainBuildBytes <= 0 {
+		t.Fatalf("chain build stats = (%d objects, %d bytes), want both positive",
+			body.ChainBuildAllocs, body.ChainBuildBytes)
+	}
+}
+
+// TestRequestIdentityFastPath: a repeated request is served from the
+// result cache via the request-identity mapping — without rebuilding
+// the network — and deadline changes do not split the identity.
+func TestRequestIdentityFastPath(t *testing.T) {
+	s := New(Config{Seed: 1})
+	ctx := context.Background()
+	first, err := s.Solve(ctx, &Request{Arch: "central", K: 3, N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cached {
+		t.Fatal("first solve must miss")
+	}
+	// Same request with a different deadline: still one identity.
+	hit, err := s.Solve(ctx, &Request{Arch: "central", K: 3, N: 10, TimeoutMS: 60000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Fatal("repeat solve must hit the cache")
+	}
+	if hit.TotalTime != first.TotalTime {
+		t.Fatalf("cached TotalTime = %v, want %v", hit.TotalTime, first.TotalTime)
+	}
+	if got := s.Snapshot().CacheHits; got != 1 {
+		t.Fatalf("cache hits = %d, want 1", got)
+	}
 }

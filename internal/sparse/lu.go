@@ -1,0 +1,291 @@
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"finwl/internal/matrix"
+)
+
+// The level systems A_k = I − P_k are weakly row-diagonally-dominant
+// M-matrices: P_k is substochastic (non-negative entries, row sums
+// ≤ 1), so A_k has a unit-bounded diagonal and non-positive
+// off-diagonals whose magnitudes the diagonal dominates. Gaussian
+// elimination preserves that structure, which is what makes an LU
+// without pivoting stable here — the property the dense path buys with
+// partial pivoting. FactorIMinusP checks the precondition explicitly
+// and refuses anything else, so a caller can always fall back to the
+// pivoted dense ladder.
+var (
+	// ErrNotSubstochastic reports a matrix outside the factorization's
+	// stability domain (negative, non-finite, or row sums above one).
+	ErrNotSubstochastic = errors.New("sparse: matrix is not substochastic")
+	// ErrFill reports a factorization abandoned because fill-in passed
+	// the point where the dense path is the better tool.
+	ErrFill = errors.New("sparse: LU fill-in exceeds sparse budget")
+)
+
+// LU is a sparse LU factorization of A = I − P without pivoting:
+// A = L·U with L unit lower triangular and U upper triangular, both
+// stored by rows. Like the dense matrix.LU it serves right solves
+// (A·x = b) and left solves (x·A = b) from one factorization, which is
+// all the transient solver needs per level.
+type LU struct {
+	n int
+	// L's strictly lower part by rows; the unit diagonal is implicit.
+	lp []int
+	li []int
+	lx []float64
+	// U's strictly upper part by rows, plus its diagonal.
+	up []int
+	ui []int
+	ux []float64
+	ud []float64
+
+	anorm float64 // ‖A‖₁, for Cond1Est
+}
+
+// FactorIMinusP factors A = I − P for a square substochastic CSR
+// matrix P. It returns ErrNotSubstochastic when P is outside the
+// no-pivot stability domain, matrix.ErrSingular on an exactly zero
+// pivot, and ErrFill when the factors densify past the budget where
+// dense elimination wins; on any error the caller is expected to fall
+// back to the dense ladder.
+func FactorIMinusP(p *CSR) (*LU, error) {
+	n := p.rows
+	if p.cols != n {
+		return nil, fmt.Errorf("sparse: FactorIMinusP requires a square matrix, got %dx%d", p.rows, p.cols)
+	}
+	// Validate the stability precondition and accumulate the column
+	// absolute sums of A = I − P for the 1-norm in one pass.
+	colAbs := make([]float64, n)
+	diag := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var rowSum float64
+		for q := p.rowPtr[i]; q < p.rowPtr[i+1]; q++ {
+			v := p.vals[q]
+			if !(v >= 0) { // negative or NaN
+				return nil, ErrNotSubstochastic
+			}
+			rowSum += v
+			if j := p.colIdx[q]; j == i {
+				diag[i] = v
+			} else {
+				colAbs[j] += v
+			}
+		}
+		if rowSum > 1+1e-9 {
+			return nil, ErrNotSubstochastic
+		}
+	}
+	var anorm float64
+	for j := 0; j < n; j++ {
+		if a := math.Abs(1-diag[j]) + colAbs[j]; a > anorm {
+			anorm = a
+		}
+	}
+	// Beyond a quarter of the dense entry count the blocked dense LU is
+	// faster than chasing fill, so the sparse attempt resigns.
+	budget := n * n / 4
+	if min := 16*p.NNZ() + 4*n; budget < min {
+		budget = min
+	}
+	if nn := n * n; budget > nn {
+		budget = nn
+	}
+
+	// Pre-size each factor side near the fill budget's floor: growth by
+	// doubling would land in the same ballpark anyway, but with a dozen
+	// intermediate copies per side for the garbage collector to chase.
+	est := 8*p.NNZ() + 2*n
+	if est > budget {
+		est = budget
+	}
+	f := &LU{
+		n:     n,
+		anorm: anorm,
+		lp:    make([]int, n+1),
+		up:    make([]int, n+1),
+		ud:    make([]float64, n),
+		li:    make([]int, 0, est),
+		lx:    make([]float64, 0, est),
+		ui:    make([]int, 0, est),
+		ux:    make([]float64, 0, est),
+	}
+	// Row-wise (up-looking) elimination with a dense accumulator: row i
+	// of A is scattered into w, rows k < i are applied in ascending
+	// order (fill from step k lands strictly right of k, so a single
+	// ascending scan of w sees every contribution), and the surviving
+	// entries are gathered into L and U, re-zeroing w for the next row.
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = 1
+		for q := p.rowPtr[i]; q < p.rowPtr[i+1]; q++ {
+			w[p.colIdx[q]] -= p.vals[q]
+		}
+		for k := 0; k < i; k++ {
+			piv := w[k]
+			if piv == 0 {
+				continue
+			}
+			m := piv / f.ud[k]
+			w[k] = 0
+			f.li = append(f.li, k)
+			f.lx = append(f.lx, m)
+			ui, ux := f.ui[f.up[k]:f.up[k+1]], f.ux[f.up[k]:f.up[k+1]]
+			for q, j := range ui {
+				w[j] -= m * ux[q]
+			}
+		}
+		f.lp[i+1] = len(f.lx)
+		uii := w[i]
+		w[i] = 0
+		if uii == 0 {
+			return nil, matrix.ErrSingular
+		}
+		f.ud[i] = uii
+		for j := i + 1; j < n; j++ {
+			if v := w[j]; v != 0 {
+				f.ui = append(f.ui, j)
+				f.ux = append(f.ux, v)
+				w[j] = 0
+			}
+		}
+		f.up[i+1] = len(f.ux)
+		if len(f.lx)+len(f.ux) > budget {
+			return nil, ErrFill
+		}
+	}
+	return f, nil
+}
+
+// N returns the dimension of the factored matrix.
+func (f *LU) N() int { return f.n }
+
+// NNZ returns the stored entry count of L and U combined (including
+// U's diagonal).
+func (f *LU) NNZ() int { return len(f.lx) + len(f.ux) + f.n }
+
+// Solve solves A·x = b and returns x. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveInto(make([]float64, f.n), b)
+}
+
+// SolveInto solves A·x = b into dst and returns dst. dst must have
+// length N; it may alias b. It performs no allocations.
+func (f *LU) SolveInto(dst, b []float64) []float64 {
+	n := f.n
+	if len(b) != n {
+		panic(fmt.Sprintf("sparse: Solve length %d, want %d", len(b), n))
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("sparse: SolveInto dst length %d, want %d", len(dst), n))
+	}
+	x := dst
+	if &x[0] != &b[0] {
+		copy(x, b)
+	}
+	// Forward substitution with unit lower triangular L.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		li, lx := f.li[f.lp[i]:f.lp[i+1]], f.lx[f.lp[i]:f.lp[i+1]]
+		for q, j := range li {
+			s -= lx[q] * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		ui, ux := f.ui[f.up[i]:f.up[i+1]], f.ux[f.up[i]:f.up[i+1]]
+		for q, j := range ui {
+			s -= ux[q] * x[j]
+		}
+		x[i] = s / f.ud[i]
+	}
+	return x
+}
+
+// SolveLeft solves x·A = b and returns x. b is not modified.
+func (f *LU) SolveLeft(b []float64) []float64 {
+	return f.SolveLeftInto(make([]float64, f.n), b)
+}
+
+// SolveLeftInto solves x·A = b into dst and returns dst. dst must
+// have length N; it may alias b. It performs no allocations.
+//
+// Aᵀ = Uᵀ·Lᵀ, and both transposed solves run in scatter form off the
+// row-stored factors: Uᵀ (lower triangular) forward with each finished
+// component pushed into the rows to its right, Lᵀ (unit upper
+// triangular) backward the same way.
+func (f *LU) SolveLeftInto(dst, b []float64) []float64 {
+	n := f.n
+	if len(b) != n {
+		panic(fmt.Sprintf("sparse: SolveLeft length %d, want %d", len(b), n))
+	}
+	if len(dst) != n {
+		panic(fmt.Sprintf("sparse: SolveLeftInto dst length %d, want %d", len(dst), n))
+	}
+	z := dst
+	if &z[0] != &b[0] {
+		copy(z, b)
+	}
+	for i := 0; i < n; i++ {
+		zi := z[i] / f.ud[i]
+		z[i] = zi
+		if zi != 0 {
+			ui, ux := f.ui[f.up[i]:f.up[i+1]], f.ux[f.up[i]:f.up[i+1]]
+			for q, j := range ui {
+				z[j] -= ux[q] * zi
+			}
+		}
+	}
+	for i := n - 1; i >= 1; i-- {
+		zi := z[i]
+		if zi == 0 {
+			continue
+		}
+		li, lx := f.li[f.lp[i]:f.lp[i+1]], f.lx[f.lp[i]:f.lp[i+1]]
+		for q, j := range li {
+			z[j] -= lx[q] * zi
+		}
+	}
+	return z
+}
+
+// Cond1Est returns κ₁(A) = ‖A‖₁·‖A⁻¹‖₁. Where the dense matrix.LU
+// must estimate ‖A⁻¹‖₁ with Hager's power method (ten solves), the
+// M-matrix structure this factorization requires makes it exact in
+// one: a nonsingular M-matrix has an entrywise non-negative inverse,
+// so ‖A⁻¹‖₁ = max_j Σ_i |A⁻¹_ij| = max_j (1ᵀ·A⁻¹)_j — a single left
+// solve with the all-ones vector. The result upper-bounds what Hager
+// would report (an estimator never exceeds the true norm), so gating
+// it against matrix.CondLimit is at least as strict as the dense gate.
+func (f *LU) Cond1Est() float64 {
+	z := make([]float64, f.n)
+	for i := range z {
+		z[i] = 1
+	}
+	f.SolveLeftInto(z, z)
+	if !finiteVec(z) {
+		return math.Inf(1)
+	}
+	var inv float64
+	for _, v := range z {
+		// |·| guards the tiny negative entries round-off can leave.
+		if a := math.Abs(v); a > inv {
+			inv = a
+		}
+	}
+	return inv * f.anorm
+}
+
+func finiteVec(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,110 @@
+package sparse
+
+import "fmt"
+
+// RowBuilder assembles a CSR matrix from entries emitted in
+// non-decreasing row order — the natural order of the level-matrix
+// generators, whose state loops walk rows ascending. Unlike Builder it
+// never buys a global sort or per-entry coordinate storage: entries
+// land directly in CSR layout, duplicates within the open row are
+// merged in place (in emission order, reproducing dense accumulation
+// bitwise), and closing a row insertion-sorts its short column list.
+//
+// A RowBuilder is reusable: Reset reinitializes it for a new matrix
+// while keeping the backing arrays, which is what lets the chain
+// builder pool one workspace across every level it constructs.
+type RowBuilder struct {
+	rows, cols int
+	cur        int // the open (lowest still-appendable) row
+	rowPtr     []int
+	colIdx     []int
+	vals       []float64
+}
+
+// NewRowBuilder returns a RowBuilder for a rows×cols matrix.
+func NewRowBuilder(rows, cols int) *RowBuilder {
+	b := &RowBuilder{}
+	b.Reset(rows, cols)
+	return b
+}
+
+// Reset reinitializes the builder for a new rows×cols matrix, reusing
+// the backing storage of previous builds.
+func (b *RowBuilder) Reset(rows, cols int) {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("sparse: invalid dimensions %dx%d", rows, cols))
+	}
+	b.rows, b.cols, b.cur = rows, cols, 0
+	if cap(b.rowPtr) < rows+1 {
+		b.rowPtr = make([]int, 1, rows+1)
+	} else {
+		b.rowPtr = b.rowPtr[:1]
+	}
+	b.rowPtr[0] = 0
+	b.colIdx = b.colIdx[:0]
+	b.vals = b.vals[:0]
+}
+
+// Add accumulates v at (i, j). Rows must be visited in non-decreasing
+// order of i; within a row, columns may arrive in any order and
+// duplicates are summed as they arrive.
+func (b *RowBuilder) Add(i, j int, v float64) {
+	if i < 0 || i >= b.rows || j < 0 || j >= b.cols {
+		panic(fmt.Sprintf("sparse: index (%d,%d) out of range for %dx%d", i, j, b.rows, b.cols))
+	}
+	if i < b.cur {
+		panic(fmt.Sprintf("sparse: RowBuilder row %d after row %d was closed", i, b.cur))
+	}
+	for b.cur < i {
+		b.closeRow()
+	}
+	// Merge duplicates within the open row; level-matrix rows are a
+	// handful of entries, so the linear scan beats any index structure.
+	start := b.rowPtr[len(b.rowPtr)-1]
+	for p := len(b.colIdx) - 1; p >= start; p-- {
+		if b.colIdx[p] == j {
+			b.vals[p] += v
+			return
+		}
+	}
+	if v == 0 {
+		return
+	}
+	b.colIdx = append(b.colIdx, j)
+	b.vals = append(b.vals, v)
+}
+
+// closeRow finalizes the open row: its column list is insertion-sorted
+// (values travel with their columns) so the finished CSR has the
+// ascending-column layout every kernel iterates in.
+func (b *RowBuilder) closeRow() {
+	start := b.rowPtr[len(b.rowPtr)-1]
+	ci, vs := b.colIdx[start:], b.vals[start:]
+	for i := 1; i < len(ci); i++ {
+		c, v := ci[i], vs[i]
+		j := i - 1
+		for j >= 0 && ci[j] > c {
+			ci[j+1], vs[j+1] = ci[j], vs[j]
+			j--
+		}
+		ci[j+1], vs[j+1] = c, v
+	}
+	b.rowPtr = append(b.rowPtr, len(b.colIdx))
+	b.cur++
+}
+
+// Build closes the remaining rows and returns the finished CSR. The
+// builder may be Reset and reused afterwards; the returned matrix owns
+// fresh exact-length storage.
+func (b *RowBuilder) Build() *CSR {
+	for b.cur < b.rows {
+		b.closeRow()
+	}
+	return &CSR{
+		rows:   b.rows,
+		cols:   b.cols,
+		rowPtr: append([]int(nil), b.rowPtr...),
+		colIdx: append([]int(nil), b.colIdx...),
+		vals:   append([]float64(nil), b.vals...),
+	}
+}

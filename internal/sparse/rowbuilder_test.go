@@ -1,0 +1,125 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+
+	"finwl/internal/matrix"
+)
+
+// RowBuilder must agree with the sorting Builder for any emission that
+// respects its row-order contract — same entries, same merged values,
+// same CSR layout.
+func TestRowBuilderMatchesBuilder(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 25; trial++ {
+		rows, cols := 1+r.Intn(12), 1+r.Intn(12)
+		rb := NewRowBuilder(rows, cols)
+		cb := NewBuilder(rows, cols)
+		for i := 0; i < rows; i++ {
+			for e := r.Intn(6); e > 0; e-- {
+				j, v := r.Intn(cols), r.NormFloat64()
+				rb.Add(i, j, v)
+				cb.Add(i, j, v)
+			}
+		}
+		got, want := rb.Build().Dense(), cb.Build().Dense()
+		if d := got.MaxAbsDiff(want); d != 0 {
+			t.Fatalf("trial %d: RowBuilder diverges from Builder by %g", trial, d)
+		}
+	}
+}
+
+// In-row duplicates merge in emission order (bitwise-reproducing dense
+// accumulation), columns sort on row close, and explicit zeros on
+// first emission are dropped.
+func TestRowBuilderMergeAndSort(t *testing.T) {
+	b := NewRowBuilder(2, 4)
+	b.Add(0, 3, 1.5)
+	b.Add(0, 1, 2.0)
+	b.Add(0, 3, 0.25) // duplicate: merges into the live entry
+	b.Add(0, 2, 0.0)  // zero: dropped
+	b.Add(1, 0, 1.0)
+	m := b.Build()
+	if got := m.NNZ(); got != 3 {
+		t.Fatalf("nnz = %d, want 3", got)
+	}
+	d := m.Dense()
+	if d.At(0, 3) != 1.75 || d.At(0, 1) != 2.0 || d.At(1, 0) != 1.0 {
+		t.Fatalf("unexpected entries: %v", d)
+	}
+}
+
+// Reset reuses the backing arrays: a pooled builder must produce
+// identical matrices across generations with no cross-talk.
+func TestRowBuilderReset(t *testing.T) {
+	b := NewRowBuilder(3, 3)
+	b.Add(0, 0, 1)
+	b.Add(2, 1, 2)
+	first := b.Build()
+	b.Reset(2, 5)
+	b.Add(1, 4, 3)
+	second := b.Build()
+	if first.NNZ() != 2 || second.NNZ() != 1 {
+		t.Fatalf("nnz = %d, %d, want 2, 1", first.NNZ(), second.NNZ())
+	}
+	if r, c := second.Rows(), second.Cols(); r != 2 || c != 5 {
+		t.Fatalf("second dims = %dx%d, want 2x5", r, c)
+	}
+	if second.Dense().At(1, 4) != 3 {
+		t.Fatal("entry lost across Reset")
+	}
+	// The first build owns its storage: mutating the builder afterwards
+	// must not corrupt it.
+	if first.Dense().At(2, 1) != 2 {
+		t.Fatal("first build shares storage with the reset builder")
+	}
+}
+
+// The row-order contract is enforced: revisiting a closed row panics
+// rather than silently corrupting the layout.
+func TestRowBuilderPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("closed row", func() {
+		b := NewRowBuilder(3, 3)
+		b.Add(2, 0, 1)
+		b.Add(1, 0, 1)
+	})
+	mustPanic("out of range", func() {
+		NewRowBuilder(2, 2).Add(0, 5, 1)
+	})
+	mustPanic("bad dims", func() { NewRowBuilder(0, 3) })
+}
+
+// A build through RowBuilder must round-trip through MulVec the same
+// as a dense multiply — the layout invariants (sorted columns, exact
+// row pointers) are what the kernels rely on.
+func TestRowBuilderKernelLayout(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	rb := NewRowBuilder(8, 6)
+	d := matrix.New(8, 6)
+	for i := 0; i < 8; i++ {
+		for e := 0; e < 3; e++ {
+			j, v := r.Intn(6), r.NormFloat64()
+			rb.Add(i, j, v)
+			d.Inc(i, j, v)
+		}
+	}
+	m := rb.Build()
+	x := make([]float64, 6)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	got, want := m.MulVec(x), d.MulVec(x)
+	if matrix.NormInf(matrix.VecSub(got, want)) > 1e-12 {
+		t.Fatalf("MulVec diverges: %v vs %v", got, want)
+	}
+}

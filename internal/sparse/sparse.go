@@ -106,36 +106,74 @@ func (m *CSR) At(i, j int) float64 {
 
 // MulVec returns A·x.
 func (m *CSR) MulVec(x []float64) []float64 {
+	return m.MulVecInto(make([]float64, m.rows), x)
+}
+
+// MulVecInto computes A·x into dst and returns dst. dst must have
+// length Rows and must not alias x. It performs no allocations.
+func (m *CSR) MulVecInto(dst, x []float64) []float64 {
 	if len(x) != m.cols {
 		panic(fmt.Sprintf("sparse: MulVec length %d, want %d", len(x), m.cols))
 	}
-	out := make([]float64, m.rows)
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("sparse: MulVecInto dst length %d, want %d", len(dst), m.rows))
+	}
 	for i := 0; i < m.rows; i++ {
 		var s float64
 		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
 			s += m.vals[p] * x[m.colIdx[p]]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // VecMul returns x·A (x treated as a row vector).
 func (m *CSR) VecMul(x []float64) []float64 {
+	return m.VecMulInto(make([]float64, m.cols), x)
+}
+
+// VecMulInto computes x·A into dst and returns dst. dst must have
+// length Cols and must not alias x. It performs no allocations.
+func (m *CSR) VecMulInto(dst, x []float64) []float64 {
 	if len(x) != m.rows {
 		panic(fmt.Sprintf("sparse: VecMul length %d, want %d", len(x), m.rows))
 	}
-	out := make([]float64, m.cols)
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("sparse: VecMulInto dst length %d, want %d", len(dst), m.cols))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < m.rows; i++ {
 		xv := x[i]
 		if xv == 0 {
 			continue
 		}
 		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
-			out[m.colIdx[p]] += xv * m.vals[p]
+			dst[m.colIdx[p]] += xv * m.vals[p]
 		}
 	}
-	return out
+	return dst
+}
+
+// IMinusDense returns I − A as a dense matrix: the per-level system
+// A_k = I − P_k in the form the dense factorization ladder consumes.
+// The entry values are identical to matrix.Identity(n).Sub(dense P):
+// absent entries stay at the exact identity values and stored entries
+// are the same one subtraction.
+func (m *CSR) IMinusDense() *matrix.Matrix {
+	if m.rows != m.cols {
+		panic(fmt.Sprintf("sparse: IMinusDense requires a square matrix, got %dx%d", m.rows, m.cols))
+	}
+	d := matrix.Identity(m.rows)
+	for i := 0; i < m.rows; i++ {
+		row := d.RawRow(i)
+		for p := m.rowPtr[i]; p < m.rowPtr[i+1]; p++ {
+			row[m.colIdx[p]] -= m.vals[p]
+		}
+	}
+	return d
 }
 
 // RowSums returns the vector of row sums.

@@ -224,34 +224,92 @@ func (s *Space) Key(state []int) string {
 }
 
 // Level is the enumerated set of states holding exactly K customers.
+// The states live in one contiguous slab in lexicographically
+// ascending order — an invariant of the enumeration recursion that
+// Enumerate verifies — so lookups are allocation-free binary searches
+// instead of string-keyed map probes.
 type Level struct {
 	Space  *Space
 	K      int
+	slab   []int // all state vectors, row-major, lexicographic order
 	states [][]int
-	index  map[string]int
+	// keys packs each state into one uint64 (big-endian, one byte per
+	// slot) when the layout permits — slot values are then comparable
+	// as single integers and Index degenerates to a binary search over
+	// machine words. nil when width > 8 or a slot value exceeds 255.
+	keys []uint64
 }
 
-// Enumerate lists every state with exactly k customers, in a
-// deterministic order, and builds the index map.
+// packState folds a state into its order-preserving uint64 key: one
+// big-endian byte per slot, so uint64 comparison equals lexicographic
+// slot comparison. Only valid when every slot fits a byte and the
+// width fits the word.
+func packState(state []int) uint64 {
+	var k uint64
+	for _, v := range state {
+		k = k<<8 | uint64(v)
+	}
+	return k
+}
+
+// Enumerate lists every state with exactly k customers, in
+// lexicographically ascending order.
 func (s *Space) Enumerate(k int) *Level {
 	if k < 0 {
 		panic("statespace: negative population")
 	}
-	l := &Level{Space: s, K: k, index: make(map[string]int)}
+	l := &Level{Space: s, K: k}
+	// LevelSize is exact, so the slab never reallocates mid-append and
+	// the row headers can be cut once, after the recursion.
+	if n := s.LevelSize(k); satMul(n, int64(s.width)) < int64(1)<<40 {
+		l.slab = make([]int, 0, int(n)*s.width)
+	}
 	state := make([]int, s.width)
 	l.enumerate(state, 0, k)
+	n := len(l.slab) / s.width
+	l.states = make([][]int, n)
+	packable := s.width <= 8 && k <= 255
+	for _, sh := range s.shapes {
+		if sh.Phases > 256 {
+			packable = false
+		}
+	}
+	if packable {
+		l.keys = make([]uint64, n)
+	}
+	for i := range l.states {
+		l.states[i] = l.slab[i*s.width : (i+1)*s.width : (i+1)*s.width]
+		if i > 0 && compareStates(l.states[i-1], l.states[i]) >= 0 {
+			panic(fmt.Sprintf("statespace: enumeration order broken at level %d, state %d", k, i))
+		}
+		if packable {
+			l.keys[i] = packState(l.states[i])
+		}
+	}
 	mLevels.Inc()
 	mLevelStates.Observe(int64(len(l.states)))
 	return l
+}
+
+// compareStates is the lexicographic order the enumeration emits
+// states in; Index binary-searches against it.
+func compareStates(a, b []int) int {
+	for i, av := range a {
+		if av != b[i] {
+			if av < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 func (l *Level) enumerate(state []int, st, remaining int) {
 	s := l.Space
 	if st == len(s.shapes) {
 		if remaining == 0 {
-			cp := append([]int(nil), state...)
-			l.index[s.Key(cp)] = len(l.states)
-			l.states = append(l.states, cp)
+			l.slab = append(l.slab, state...)
 		}
 		return
 	}
@@ -313,10 +371,40 @@ func (l *Level) Count() int { return len(l.states) }
 func (l *Level) State(i int) []int { return l.states[i] }
 
 // Index returns the position of a state, or −1 if it is not a state
-// of this level.
+// of this level. It is an allocation-free binary search over the
+// lexicographically sorted state slab — the hot lookup of level-matrix
+// construction, called once per generated transition.
 func (l *Level) Index(state []int) int {
-	if i, ok := l.index[l.Space.Key(state)]; ok {
-		return i
+	if l.keys != nil {
+		// Packed fast path: one word comparison per probe instead of a
+		// slot-by-slot slice walk.
+		key := packState(state)
+		keys := l.keys
+		lo, hi := 0, len(keys)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if keys[mid] < key {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(keys) && keys[lo] == key {
+			return lo
+		}
+		return -1
+	}
+	lo, hi := 0, len(l.states)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if compareStates(l.states[mid], state) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(l.states) && compareStates(l.states[lo], state) == 0 {
+		return lo
 	}
 	return -1
 }

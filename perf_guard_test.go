@@ -1,0 +1,79 @@
+// Perf guard: bench-backed regression tests that run with the normal
+// suite (skipped under -short). Where perf_bench_test.go only records
+// numbers, these tests enforce the two contracts the structured sparse
+// build makes: the parallel construction path never loses to serial
+// beyond noise, and construction allocation stays within budget.
+package finwl_test
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"finwl/internal/cluster"
+	"finwl/internal/core"
+	"finwl/internal/workload"
+)
+
+// newSolverAllocBudget is the construction allocation ceiling for the
+// K=8 H2 benchmark model, overridable via NEWSOLVER_ALLOC_BUDGET (the
+// same knob scripts/bench_diff.sh gates on).
+func newSolverAllocBudget(t *testing.T) int64 {
+	budget := int64(1500)
+	if v := os.Getenv("NEWSOLVER_ALLOC_BUDGET"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || n <= 0 {
+			t.Fatalf("NEWSOLVER_ALLOC_BUDGET=%q: want a positive integer", v)
+		}
+		budget = n
+	}
+	return budget
+}
+
+// TestPerfParallelConstructionGuard holds the re-tuned parallel
+// cutover to its contract at K ≥ 8: building a solver with the default
+// GOMAXPROCS must never be slower than the forced-serial build beyond
+// measurement noise. On a single-core host the cost model keeps both
+// paths serial and they coincide; on multi-core hosts a cutover
+// regression that drags the parallel path below serial trips the
+// guard. The same measurement enforces the construction allocation
+// budget, so an alloc regression fails a plain `go test` run, not just
+// the bench-diff gate.
+func TestPerfParallelConstructionGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing guard skipped in -short mode")
+	}
+	app := workload.Default(30)
+	net, err := cluster.Central(8, app, cluster.Dists{Remote: cluster.WithCV2(10)}, cluster.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.NewSolver(net, 8); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	parRes := testing.Benchmark(build)
+	old := runtime.GOMAXPROCS(1)
+	serRes := testing.Benchmark(build)
+	runtime.GOMAXPROCS(old)
+
+	// 1.6x absorbs scheduler jitter and benchmark variance on loaded
+	// CI hosts; a real cutover regression (parallel overhead paid where
+	// it cannot win) shows up well past 2x on small levels.
+	const noise = 1.6
+	p, s := float64(parRes.NsPerOp()), float64(serRes.NsPerOp())
+	t.Logf("NewSolver K=8: parallel %.3f ms/op, serial %.3f ms/op, %d allocs/op",
+		p/1e6, s/1e6, parRes.AllocsPerOp())
+	if p > s*noise {
+		t.Fatalf("parallel NewSolver %.3f ms/op lost to serial %.3f ms/op beyond the %.1fx noise allowance",
+			p/1e6, s/1e6, noise)
+	}
+	if budget := newSolverAllocBudget(t); parRes.AllocsPerOp() > budget {
+		t.Fatalf("NewSolver allocates %d objects/op, budget %d", parRes.AllocsPerOp(), budget)
+	}
+}

@@ -6,12 +6,19 @@
 #   scripts/bench_diff.sh --self-test
 #
 # With no baseline argument the newest committed BENCH_*.json is used;
-# with no fresh argument scripts/bench.sh runs one (BENCHTIME applies).
+# with no fresh argument scripts/bench.sh runs one (BENCHTIME and
+# BENCHCOUNT apply — the fresh run inherits bench.sh's min-of-N
+# sampling, which is what makes the relative gates meaningful on
+# hosts whose noise windows exceed the tolerances).
 #
 # Gate contract: a BenchmarkPerf* benchmark regresses when its ns/op
 # grows more than NS_TOL_PCT (default 25%), or its allocs/op grows more
 # than ALLOC_TOL_PCT (default 25%) — except alloc-free baselines (the
-# epoch kernels), which must stay at exactly 0 allocs/op. Benchmarks
+# epoch kernels), which must stay at exactly 0 allocs/op. On top of the
+# relative gates, BenchmarkPerfNewSolver* carries a hard allocs/op
+# budget (NEWSOLVER_ALLOC_BUDGET, default 1500): solver construction
+# through the structured sparse build must stay within it in absolute
+# terms, baseline or not. Benchmarks
 # outside the BenchmarkPerf* harness are advisory: drift is reported
 # but never fails the gate (they have no pinned snapshot discipline).
 # Benchmarks present on only one side are reported but never fail the
@@ -29,9 +36,10 @@ cd "$(dirname "$0")/.."
 
 ns_tol="${NS_TOL_PCT:-25}"
 alloc_tol="${ALLOC_TOL_PCT:-25}"
+newsolver_budget="${NEWSOLVER_ALLOC_BUDGET:-1500}"
 
 compare() { # baseline.json fresh.json
-    awk -v ns_tol="$ns_tol" -v alloc_tol="$alloc_tol" '
+    awk -v ns_tol="$ns_tol" -v alloc_tol="$alloc_tol" -v ns_budget="$newsolver_budget" '
     function parse(line) {
         match(line, /"name": "[^"]*"/)
         name = substr(line, RSTART + 9, RLENGTH - 10)
@@ -51,6 +59,13 @@ compare() { # baseline.json fresh.json
     /"name":/ {
         parse($0)
         seen[name] = 1
+        # Hard absolute budget on solver construction allocations —
+        # enforced on the fresh run alone, so it bites even for a
+        # benchmark with no baseline entry yet.
+        if (name ~ /^BenchmarkPerfNewSolver/ && allocs != "null" && allocs + 0 > ns_budget + 0) {
+            printf "REGRESSION %-28s allocs/op %s exceeds hard budget %s (NEWSOLVER_ALLOC_BUDGET)\n", name, allocs, ns_budget
+            bad = 1
+        }
         if (!(name in base_ns)) {
             printf "  new  %-36s ns/op %s (no baseline)\n", name, ns
             next
@@ -151,6 +166,32 @@ EOF
         echo "$out" >&2
         return 1
     fi
+    # The hard NewSolver alloc budget: a construction benchmark over
+    # NEWSOLVER_ALLOC_BUDGET must fail even with a matching (equally
+    # bloated) baseline, and one within budget must pass. The fixtures
+    # carry allocs/op exactly as `go test -benchmem` reports them —
+    # this is the -benchmem-based budget path end to end.
+    local saved_budget="$newsolver_budget"
+    newsolver_budget=1500
+    cat > "$dir/solver_base.json" <<'EOF'
+{
+  "benchmarks": [
+    {"name": "BenchmarkPerfNewSolverK8H2", "iters": 10, "ns_per_op": 2000000, "bytes_per_op": 1200000, "allocs_per_op": 1100}
+  ]
+}
+EOF
+    if ! compare "$dir/solver_base.json" "$dir/solver_base.json" > /dev/null; then
+        echo "bench_diff self-test: within-budget NewSolver allocs flagged as regression" >&2
+        return 1
+    fi
+    sed 's/"allocs_per_op": 1100/"allocs_per_op": 2000/' "$dir/solver_base.json" > "$dir/solver_fat.json"
+    rc=0; compare "$dir/solver_fat.json" "$dir/solver_fat.json" > /dev/null || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "bench_diff self-test: NewSolver allocs over hard budget exit $rc, want 1" >&2
+        return 1
+    fi
+    newsolver_budget="$saved_budget"
+
     # A benchmark present in the baseline only must never fail the diff.
     grep -v 'BenchmarkPerfAllocy' "$dir/base.json" > "$dir/gone.json"
     local gone_out
@@ -185,7 +226,12 @@ fresh="${2:-}"
 if [ -z "$fresh" ]; then
     fresh=$(mktemp --suffix=.json)
     trap 'rm -f "$fresh"' EXIT
-    scripts/bench.sh "$fresh"
+    # The fresh side gets more min-merged passes than the default
+    # snapshot (5 vs 3): the committed baseline is a fixed draw, so
+    # giving the fresh run extra chances to hit an unloaded window
+    # biases the comparison against false regressions without ever
+    # hiding a real one (a code regression is slow in every window).
+    BENCHCOUNT="${BENCHCOUNT:-5}" scripts/bench.sh "$fresh"
 fi
 
 echo "== bench diff: $baseline vs $fresh (BenchmarkPerf* gate: ns/op +${ns_tol}%, allocs/op +${alloc_tol}%, alloc-free pinned) =="
