@@ -16,6 +16,15 @@
 // POST /jobs + GET /jobs/{id} (async batches with polled progress),
 // GET /healthz, GET /stats, GET /metrics.
 //
+// Fleet mode: -router turns this process into a health-aware router
+// over a comma-separated list of replica finwld URLs — each request
+// consistent-hashes to the replica whose caches are warm for its
+// model, with failover along the ring and load-aware spillover:
+//
+//	finwld -addr 127.0.0.1:8081 &
+//	finwld -addr 127.0.0.1:8082 &
+//	finwld -addr 127.0.0.1:8080 -router http://127.0.0.1:8081,http://127.0.0.1:8082
+//
 // Exit status: 0 after a graceful drain (SIGINT/SIGTERM stops
 // admitting, cancels queued work, and finishes in-flight solves within
 // -drain; a second signal hard-kills), 1 on a startup or serve
@@ -31,13 +40,23 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"finwl/internal/cliutil"
+	"finwl/internal/fleet"
 	"finwl/internal/obs"
 	"finwl/internal/serve"
 )
+
+// service is what run needs from either mode: the embedded solver
+// (*serve.Server) or the fleet router (*fleet.Router).
+type service interface {
+	Handler() http.Handler
+	Metrics() *obs.Registry
+	Drain(ctx context.Context) error
+}
 
 func main() {
 	var (
@@ -54,34 +73,59 @@ func main() {
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 		metrics    = cliutil.MetricsAddrFlag()
 		quiet      = flag.Bool("quiet", false, "disable per-request structured logging")
+
+		// Fleet-router mode.
+		router        = flag.String("router", "", "comma-separated replica URLs; turns this instance into a fleet router")
+		probeInterval = flag.Duration("probe-interval", 0, "router: replica health-probe interval (0 = default 2s)")
+		spillFactor   = flag.Float64("spill-factor", 0, "router: weighted-load ratio that diverts off a saturated owner (0 = default 2.0, <0 disables)")
+		spillDepth    = flag.Int("spill-depth", 0, "router: owner outstanding depth before spillover is considered (0 = default 4)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "finwld: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
 	}
-	cfg := serve.Config{
-		Budget:          *budget,
-		MaxQueue:        *queue,
-		CacheSize:       *cacheSize,
-		MaxTimeout:      *maxTimeout,
-		BreakerCooldown: *cooldown,
-		MaxBatchJobs:    *maxBatch,
-		JobStoreSize:    *jobStore,
-		JobTTL:          *jobTTL,
-		AsyncWorkers:    *asyncWk,
-	}
+	var logger *slog.Logger
 	if !*quiet {
-		cfg.Logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
-	if err := run(*addr, *metrics, cfg, *drain); err != nil {
+	var svc service
+	if *router != "" {
+		rt, err := fleet.New(fleet.Config{
+			Replicas:      strings.Split(*router, ","),
+			ProbeInterval: *probeInterval,
+			SpillFactor:   *spillFactor,
+			SpillDepth:    *spillDepth,
+			MaxTimeout:    *maxTimeout,
+			MaxBatchJobs:  *maxBatch,
+			Logger:        logger,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
+			os.Exit(2)
+		}
+		svc = rt
+	} else {
+		svc = serve.New(serve.Config{
+			Budget:          *budget,
+			MaxQueue:        *queue,
+			CacheSize:       *cacheSize,
+			MaxTimeout:      *maxTimeout,
+			BreakerCooldown: *cooldown,
+			MaxBatchJobs:    *maxBatch,
+			JobStoreSize:    *jobStore,
+			JobTTL:          *jobTTL,
+			AsyncWorkers:    *asyncWk,
+			Logger:          logger,
+		})
+	}
+	if err := run(*addr, *metrics, svc, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, metricsAddr string, cfg serve.Config, drainTimeout time.Duration) error {
-	srv := serve.New(cfg)
+func run(addr, metricsAddr string, srv service, drainTimeout time.Duration) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err

@@ -6,42 +6,93 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
+
+	"finwl/internal/obs"
 )
+
+// DefaultClient is the HTTP client the cmd/ binaries and the fleet
+// router share when the caller passes nil: connection-pooled (so a
+// router hop reuses its replica connections instead of paying a
+// handshake per request) and bounded by a default timeout —
+// http.DefaultClient has none, and a single unreachable peer could
+// otherwise hang a hop forever. Per-request deadlines still come from
+// the context; the client timeout is the outer safety net, sized
+// above serve's 60s MaxTimeout default.
+var DefaultClient = &http.Client{
+	Timeout: 2 * time.Minute,
+	Transport: &http.Transport{
+		Proxy: http.ProxyFromEnvironment,
+		DialContext: (&net.Dialer{
+			Timeout:   10 * time.Second,
+			KeepAlive: 30 * time.Second,
+		}).DialContext,
+		MaxIdleConns:          128,
+		MaxIdleConnsPerHost:   32,
+		IdleConnTimeout:       90 * time.Second,
+		TLSHandshakeTimeout:   10 * time.Second,
+		ExpectContinueTimeout: time.Second,
+	},
+}
+
+// NewJSONRequest builds an HTTP request carrying in as a JSON body
+// (nil for bodyless methods), with Content-Type set and — when ctx
+// carries an obs request ID — the X-Request-Id header propagated, so
+// a hop made on behalf of an inbound request correlates router →
+// replica in both sides' structured logs.
+func NewJSONRequest(ctx context.Context, method, url string, in any) (*http.Request, error) {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return nil, fmt.Errorf("cliutil: encode request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, fmt.Errorf("cliutil: build request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if id := obs.RequestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
+	return req, nil
+}
 
 // PostJSON sends in as a JSON body to url and decodes the 2xx response
 // into out (skipped when out is nil). A non-2xx status becomes an
 // error carrying the status and a snippet of the body — finwld's typed
 // error JSON is short, so the snippet is usually the whole story. The
 // HTTP status is returned either way so callers can distinguish, e.g.,
-// a 429 from a 503.
+// a 429 from a 503. A nil client uses DefaultClient.
 func PostJSON(ctx context.Context, client *http.Client, url string, in, out any) (int, error) {
-	body, err := json.Marshal(in)
+	req, err := NewJSONRequest(ctx, http.MethodPost, url, in)
 	if err != nil {
-		return 0, fmt.Errorf("cliutil: encode request: %w", err)
+		return 0, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return 0, fmt.Errorf("cliutil: build request: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
 	return doJSON(client, req, out)
 }
 
 // GetJSON fetches url and decodes the 2xx JSON response into out, with
-// the same non-2xx error shape as PostJSON.
+// the same non-2xx error shape as PostJSON. A nil client uses
+// DefaultClient.
 func GetJSON(ctx context.Context, client *http.Client, url string, out any) (int, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	req, err := NewJSONRequest(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, fmt.Errorf("cliutil: build request: %w", err)
+		return 0, err
 	}
 	return doJSON(client, req, out)
 }
 
 func doJSON(client *http.Client, req *http.Request, out any) (int, error) {
 	if client == nil {
-		client = http.DefaultClient
+		client = DefaultClient
 	}
 	resp, err := client.Do(req)
 	if err != nil {

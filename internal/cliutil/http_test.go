@@ -1,0 +1,99 @@
+package cliutil
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"finwl/internal/obs"
+)
+
+// TestRequestIDPropagation: a context carrying an obs request ID
+// stamps X-Request-Id on outgoing hops, so router → replica log lines
+// correlate; a bare context sends no header.
+func TestRequestIDPropagation(t *testing.T) {
+	var got []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got = append(got, r.Header.Get("X-Request-Id"))
+		w.Write([]byte(`{}`))
+	}))
+	defer ts.Close()
+
+	ctx := obs.WithRequestID(context.Background(), "req-deadbeef")
+	if _, err := PostJSON(ctx, nil, ts.URL, map[string]int{"x": 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GetJSON(context.Background(), nil, ts.URL, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("server saw %d requests, want 2", len(got))
+	}
+	if got[0] != "req-deadbeef" {
+		t.Errorf("propagated X-Request-Id = %q, want req-deadbeef", got[0])
+	}
+	if got[1] != "" {
+		t.Errorf("bare context sent X-Request-Id %q, want none", got[1])
+	}
+}
+
+// TestNewJSONRequestHeaders: JSON bodies get a Content-Type; bodyless
+// requests get neither body nor the header.
+func TestNewJSONRequestHeaders(t *testing.T) {
+	req, err := NewJSONRequest(context.Background(), http.MethodPost, "http://example/solve", map[string]int{"k": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if req.Body == nil {
+		t.Error("expected a body")
+	}
+
+	req, err = NewJSONRequest(context.Background(), http.MethodGet, "http://example/stats", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		t.Errorf("bodyless Content-Type = %q, want empty", ct)
+	}
+	if req.Body != nil {
+		t.Error("unexpected body on GET")
+	}
+}
+
+// TestDoJSONErrorSnippet: non-2xx responses surface status and body
+// snippet; the status is returned either way so callers can branch.
+func TestDoJSONErrorSnippet(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"queue full","code":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	status, err := GetJSON(context.Background(), nil, ts.URL, nil)
+	if status != http.StatusTooManyRequests {
+		t.Errorf("status = %d, want 429", status)
+	}
+	if err == nil || !strings.Contains(err.Error(), "queue full") {
+		t.Errorf("err = %v, want body snippet", err)
+	}
+}
+
+// TestDefaultClientConfigured: the shared client is pooled and
+// bounded — the properties the fleet router relies on.
+func TestDefaultClientConfigured(t *testing.T) {
+	if DefaultClient.Timeout <= 0 {
+		t.Error("DefaultClient has no timeout")
+	}
+	tr, ok := DefaultClient.Transport.(*http.Transport)
+	if !ok {
+		t.Fatalf("DefaultClient transport is %T", DefaultClient.Transport)
+	}
+	if tr.MaxIdleConnsPerHost < 2 {
+		t.Errorf("MaxIdleConnsPerHost = %d; router hops need connection reuse", tr.MaxIdleConnsPerHost)
+	}
+}

@@ -1,0 +1,205 @@
+package faultcheck
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"finwl/internal/fleet"
+	"finwl/internal/fleet/chaos"
+	"finwl/internal/serve"
+)
+
+// testFleet boots n replica engines behind chaos injectors and a
+// router over them, all on live HTTP.
+type fleetHarness struct {
+	router    *fleet.Router
+	routerSrv *httptest.Server
+	replicas  []*httptest.Server
+	injectors []*chaos.Injector
+}
+
+func bootFleet(t *testing.T, n int, mut func(*fleet.Config)) *fleetHarness {
+	t.Helper()
+	h := &fleetHarness{}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		srv := serve.New(serve.Config{Seed: int64(i) + 1})
+		inj := chaos.New(srv.Handler(), int64(i)+7)
+		ts := httptest.NewServer(inj)
+		h.injectors = append(h.injectors, inj)
+		h.replicas = append(h.replicas, ts)
+		urls[i] = ts.URL
+	}
+	cfg := fleet.Config{
+		Replicas:  urls,
+		Seed:      1,
+		RetryBase: time.Millisecond,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	rt, err := fleet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.router = rt
+	h.routerSrv = httptest.NewServer(rt.Handler())
+	t.Cleanup(func() {
+		h.routerSrv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt.Drain(ctx)
+		for _, ts := range h.replicas {
+			ts.Close()
+		}
+	})
+	return h
+}
+
+// postSolve sends one request through the router and returns the
+// status, decoded response (zero on errors), and error body.
+func (h *fleetHarness) postSolve(t *testing.T, req *serve.Request) (int, serve.Response, serve.ErrorBody) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(h.routerSrv.URL+"/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /solve through router: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out serve.Response
+	var eb serve.ErrorBody
+	if resp.StatusCode == http.StatusOK {
+		if err := json.Unmarshal(raw, &out); err != nil {
+			t.Fatalf("decode response: %v (%s)", err, raw)
+		}
+	} else {
+		_ = json.Unmarshal(raw, &eb)
+	}
+	return resp.StatusCode, out, eb
+}
+
+// replicaIndex resolves a routed_via tag to the replica slot.
+func (h *fleetHarness) replicaIndex(t *testing.T, via string) int {
+	t.Helper()
+	for i, ts := range h.replicas {
+		if strings.HasSuffix(via, ts.URL) {
+			return i
+		}
+	}
+	t.Fatalf("routed_via %q names no replica", via)
+	return -1
+}
+
+// TestFleetCampaign: every degenerate-input class through a healthy
+// 3-replica fleet keeps the typed-error contract, and — because typed
+// refusals must pass through unretried — burns zero failover hops.
+func TestFleetCampaign(t *testing.T) {
+	h := bootFleet(t, 3, nil)
+	report, err := FleetCampaign(h.routerSrv.URL, h.routerSrv.Client())
+	if err != nil {
+		t.Fatalf("campaign transport failure: %v", err)
+	}
+	if len(report.Outcomes) != len(Classes()) {
+		t.Fatalf("campaign covered %d classes, want %d", len(report.Outcomes), len(Classes()))
+	}
+	for _, o := range report.Outcomes {
+		if err := o.CheckFleet(); err != nil {
+			t.Errorf("%v", err)
+		}
+		t.Logf("%-24s -> %d %s", o.Class, o.Status, o.Code)
+	}
+	if report.FailoverDelta != 0 {
+		t.Errorf("degenerate inputs burned %d failover hops; typed refusals must not be retried", report.FailoverDelta)
+	}
+}
+
+// TestFleetChaosMatrix: with the request's owner replica killed,
+// slowed, or partitioned, the router still returns the correct answer
+// with a 200 — zero 5xx from router-side failures — and the failover
+// counter records the reroute for the fault modes that need one.
+func TestFleetChaosMatrix(t *testing.T) {
+	cases := []struct {
+		name         string
+		fault        chaos.Fault
+		wantFailover bool // must the answer come from a non-owner replica?
+	}{
+		{"owner-down", chaos.Fault{Mode: chaos.Drop}, true},
+		{"owner-slow", chaos.Fault{Mode: chaos.Delay, Delay: 75 * time.Millisecond}, false},
+		{"owner-partitioned", chaos.Fault{Mode: chaos.Partition}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := bootFleet(t, 3, func(c *fleet.Config) {
+				c.HopTimeout = 500 * time.Millisecond // partition detection well under the request deadline
+			})
+			req := &serve.Request{Arch: "central", K: 4, N: 30}
+
+			// Reference answer and owner discovery on the healthy fleet.
+			status, healthy, eb := h.postSolve(t, req)
+			if status != http.StatusOK {
+				t.Fatalf("healthy solve: HTTP %d (%s %s)", status, eb.Code, eb.Error)
+			}
+			owner := h.replicaIndex(t, healthy.RoutedVia)
+
+			before, err := routerFailovers(h.routerSrv.URL, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h.injectors[owner].Set(tc.fault)
+
+			// A fresh population dodges every replica's result cache, so
+			// the faulted owner must actually be routed around (or
+			// through, for the slow case), not papered over by a hit.
+			req2 := &serve.Request{Arch: "central", K: 4, N: 31}
+			status, got, eb := h.postSolve(t, req2)
+			if status != http.StatusOK {
+				t.Fatalf("solve under %s: HTTP %d (%s %s)", tc.name, status, eb.Code, eb.Error)
+			}
+			want := directReference(t, req2)
+			if math.Abs(got.TotalTime-want) > 1e-13 {
+				t.Errorf("answer under %s: %v, want %v", tc.name, got.TotalTime, want)
+			}
+			if got.RoutedVia == "" {
+				t.Error("response missing routed_via")
+			}
+			after, err := routerFailovers(h.routerSrv.URL, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tc.wantFailover {
+				if h.replicaIndex(t, got.RoutedVia) == owner {
+					t.Errorf("answer under %s came via the faulted owner (%q)", tc.name, got.RoutedVia)
+				}
+				if after <= before {
+					t.Errorf("failover counter did not move under %s (%d -> %d)", tc.name, before, after)
+				}
+			}
+		})
+	}
+}
+
+// directReference computes the expected E(T) on a private engine.
+func directReference(t *testing.T, req *serve.Request) float64 {
+	t.Helper()
+	s := serve.New(serve.Config{Seed: 123})
+	resp, err := s.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("reference solve: %v", err)
+	}
+	return resp.TotalTime
+}

@@ -1,0 +1,98 @@
+package faultcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// fleetCodes is the closed set of typed error codes a fleet router may
+// emit for a degenerate input: everything a replica can say, plus
+// "unavailable" (every candidate replica refused or was down). "panic",
+// "internal" and "chaos" are deliberately absent — a chaos-injected
+// replica fault must be absorbed by failover, never forwarded to the
+// client.
+var fleetCodes = map[string]bool{
+	"invalid_model": true,
+	"overloaded":    true,
+	"draining":      true,
+	"unavailable":   true,
+	"canceled":      true,
+	"singular":      true,
+	"numeric":       true,
+	"not_converged": true,
+	"degraded":      true,
+}
+
+// CheckFleet enforces the router-mode robustness contract on one
+// outcome: same as Check, with the router's own typed refusals
+// ("unavailable") also admitted.
+func (o ServeOutcome) CheckFleet() error {
+	if !serveStatuses[o.Status] {
+		return &Violation{
+			Stage: "fleet:" + o.Class,
+			Err:   fmt.Errorf("HTTP status %d outside the degenerate-input contract (body %s)", o.Status, o.Body),
+		}
+	}
+	if !fleetCodes[o.Code] {
+		return &Violation{
+			Stage: "fleet:" + o.Class,
+			Err:   fmt.Errorf("error code %q is not a typed fleet code (body %s)", o.Code, o.Body),
+		}
+	}
+	return nil
+}
+
+// FleetReport is the result of one router-mode campaign: the per-class
+// outcomes plus how many failover hops the campaign cost the router.
+// Deterministic 4xx refusals must not burn failover retries, so a
+// campaign of purely degenerate inputs against a healthy fleet must
+// report FailoverDelta == 0.
+type FleetReport struct {
+	Outcomes      []ServeOutcome
+	FailoverDelta int64
+}
+
+// FleetCampaign pushes every degenerate-input class through a live
+// fleet router (POST baseURL/solve) and brackets the sweep with reads
+// of the router's failover counter from GET /stats.
+func FleetCampaign(baseURL string, client *http.Client) (*FleetReport, error) {
+	before, err := routerFailovers(baseURL, client)
+	if err != nil {
+		return nil, err
+	}
+	outcomes, err := ServeCampaign(baseURL, client)
+	if err != nil {
+		return nil, err
+	}
+	after, err := routerFailovers(baseURL, client)
+	if err != nil {
+		return nil, err
+	}
+	return &FleetReport{Outcomes: outcomes, FailoverDelta: after - before}, nil
+}
+
+// routerFailovers reads the "failovers" counter from the router's
+// /stats payload.
+func routerFailovers(baseURL string, client *http.Client) (int64, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(baseURL + "/stats")
+	if err != nil {
+		return 0, fmt.Errorf("faultcheck: GET /stats: %w", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, fmt.Errorf("faultcheck: read /stats: %w", err)
+	}
+	var body struct {
+		Failovers int64 `json:"failovers"`
+	}
+	if err := json.Unmarshal(raw, &body); err != nil {
+		return 0, fmt.Errorf("faultcheck: decode /stats: %w", err)
+	}
+	return body.Failovers, nil
+}

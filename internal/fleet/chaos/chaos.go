@@ -1,0 +1,159 @@
+// Package chaos is the fault injector for fleet testing: an
+// http.Handler wrapper that makes a replica misbehave on demand —
+// dropped connections, added latency, injected 5xx, or a partition
+// that swallows requests — deterministically, so the campaigns in
+// internal/faultcheck and the fleet tests reproduce bit-for-bit from
+// a seed.
+package chaos
+
+import (
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Mode selects the fault a replica injects.
+type Mode int
+
+const (
+	// None passes every request through untouched.
+	None Mode = iota
+	// Drop closes the connection without writing a response — the
+	// client sees a transport error (EOF / connection reset), the
+	// signature of a crashed or SIGKILLed replica.
+	Drop
+	// Delay adds Fault.Delay before serving normally — a slow replica,
+	// the failover walk's latency-vs-correctness case.
+	Delay
+	// Error responds Fault.Status (default 500) with a JSON error body
+	// carrying code "chaos" — an untyped replica fault the router must
+	// treat as retryable.
+	Error
+	// Partition hangs without responding until the client gives up —
+	// the network partition case: the replica is reachable at the TCP
+	// level but no bytes ever come back.
+	Partition
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Error:
+		return "error"
+	case Partition:
+		return "partition"
+	}
+	return "unknown"
+}
+
+// Fault describes what to inject. Rate is the probability in [0,1]
+// that a given request is affected (0 means 1.0: every request);
+// sub-1 rates model a flapping replica.
+type Fault struct {
+	Mode   Mode
+	Delay  time.Duration // Delay mode: added latency
+	Status int           // Error mode: status to inject (default 500)
+	Rate   float64       // fraction of requests affected; 0 = all
+}
+
+// Injector wraps a replica's handler and applies the currently
+// configured Fault. Safe for concurrent use; Set swaps the fault at
+// runtime so a test can break and heal a replica mid-campaign.
+type Injector struct {
+	next http.Handler
+
+	mu    sync.Mutex
+	fault Fault
+	rng   *rand.Rand
+	hits  int64 // requests the fault actually affected
+}
+
+// New wraps next with a pass-through injector. seed fixes the
+// Rate-draw sequence so flapping patterns are reproducible.
+func New(next http.Handler, seed int64) *Injector {
+	return &Injector{next: next, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Set swaps the active fault.
+func (in *Injector) Set(f Fault) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.fault = f
+}
+
+// Hits reports how many requests the injector has affected.
+func (in *Injector) Hits() int64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits
+}
+
+// draw decides whether this request is affected and returns the fault
+// to apply.
+func (in *Injector) draw() (Fault, bool) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	f := in.fault
+	if f.Mode == None {
+		return f, false
+	}
+	if f.Rate > 0 && f.Rate < 1 && in.rng.Float64() >= f.Rate {
+		return f, false
+	}
+	in.hits++
+	return f, true
+}
+
+func (in *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	f, hit := in.draw()
+	if !hit {
+		in.next.ServeHTTP(w, r)
+		return
+	}
+	switch f.Mode {
+	case Drop:
+		// A hard connection teardown; when the writer cannot hijack
+		// (HTTP/2, test recorders) panic with the sentinel the net/http
+		// server maps to an aborted connection — either way the client
+		// sees a transport error, never a status.
+		if hj, ok := w.(http.Hijacker); ok {
+			if conn, _, err := hj.Hijack(); err == nil {
+				conn.Close()
+				return
+			}
+		}
+		panic(http.ErrAbortHandler)
+	case Delay:
+		select {
+		case <-time.After(f.Delay):
+		case <-r.Context().Done():
+			return
+		}
+		in.next.ServeHTTP(w, r)
+	case Error:
+		status := f.Status
+		if status == 0 {
+			status = http.StatusInternalServerError
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		w.Write([]byte(`{"error":"chaos: injected fault","code":"chaos"}`))
+	case Partition:
+		// Hold the request open until the client abandons it; no bytes
+		// are ever written. The body must be drained first: the net/http
+		// server only watches for a client disconnect once the request
+		// body has hit EOF, so an unread body would leave this handler —
+		// and any Server.Close waiting on it — parked forever.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+	default:
+		in.next.ServeHTTP(w, r)
+	}
+}

@@ -1,0 +1,103 @@
+package fleet
+
+import (
+	"finwl/internal/obs"
+	"finwl/internal/serve"
+)
+
+// fleetMetrics is the router's registry-backed instrument set. Names
+// use the finwl_fleet_ prefix (the routing fabric, as opposed to the
+// finwld_ serving counters a replica carries): failover and spillover
+// totals are the acceptance signals for the chaos harness, the hop
+// histogram is the router's added latency, and the per-replica gauges
+// registered in registerReplicaMetrics expose each backend's health.
+type fleetMetrics struct {
+	requests    *obs.Counter
+	invalid     *obs.Counter
+	failovers   *obs.Counter
+	spillovers  *obs.Counter
+	faults      *obs.Counter // replica-fault hops (transport error / untyped 5xx)
+	unavailable *obs.Counter // requests that exhausted every candidate
+	canceled    *obs.Counter
+
+	// Passive-health breaker transitions across all replicas, labeled
+	// by the state entered.
+	brClosed   *obs.Counter
+	brOpen     *obs.Counter
+	brHalfOpen *obs.Counter
+
+	hopSeconds *obs.Histogram // successful forwarded-hop latency, ns
+}
+
+func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
+	br := func(state serve.BreakerState) *obs.Counter {
+		return reg.Counter("finwl_fleet_breaker_transitions_total",
+			"Per-replica passive-health breaker transitions, labeled by the state entered.",
+			obs.L("state", state.String()))
+	}
+	return &fleetMetrics{
+		requests:    reg.Counter("finwl_fleet_requests_total", "Requests received by the router."),
+		invalid:     reg.Counter("finwl_fleet_invalid_total", "Requests rejected at the router for an invalid model (never forwarded)."),
+		failovers:   reg.Counter("finwl_fleet_failover_total", "Hops forwarded to a replica other than the request's first choice."),
+		spillovers:  reg.Counter("finwl_fleet_spillover_total", "Requests diverted off a saturated owner by the weighted-load rule."),
+		faults:      reg.Counter("finwl_fleet_replica_faults_total", "Forwarding attempts that hit a transport error or untyped replica failure."),
+		unavailable: reg.Counter("finwl_fleet_unavailable_total", "Requests that exhausted every candidate replica."),
+		canceled:    reg.Counter("finwl_fleet_canceled_total", "Requests canceled or past their deadline at the router."),
+
+		brClosed:   br(serve.BreakerClosed),
+		brOpen:     br(serve.BreakerOpen),
+		brHalfOpen: br(serve.BreakerHalfOpen),
+
+		hopSeconds: reg.Histogram("finwl_fleet_hop_seconds",
+			"Latency of successful forwarded hops.", obs.ExpBounds(100_000, 4, 14), 1e-9),
+	}
+}
+
+// breakerTransition is the hook handed to every replica's breaker.
+func (m *fleetMetrics) breakerTransition(to serve.BreakerState) {
+	switch to {
+	case serve.BreakerClosed:
+		m.brClosed.Inc()
+	case serve.BreakerOpen:
+		m.brOpen.Inc()
+	case serve.BreakerHalfOpen:
+		m.brHalfOpen.Inc()
+	}
+}
+
+// registerReplicaMetrics exposes each replica's live health view as
+// labeled scrape-time gauges, plus its probe-failure counter.
+func registerReplicaMetrics(reg *obs.Registry, reps []*replica) {
+	for _, rep := range reps {
+		rep := rep
+		l := obs.L("replica", rep.url)
+		reg.GaugeFunc("finwl_fleet_replica_healthy",
+			"1 while the replica's active health probe passes.", func() float64 {
+				if rep.healthy.Load() {
+					return 1
+				}
+				return 0
+			}, l)
+		reg.GaugeFunc("finwl_fleet_replica_breaker_open",
+			"1 while the replica's passive-health breaker is open.", func() float64 {
+				if rep.br.State() == serve.BreakerOpen {
+					return 1
+				}
+				return 0
+			}, l)
+		reg.GaugeFunc("finwl_fleet_replica_ewma_seconds",
+			"EWMA latency of hops to the replica.", func() float64 {
+				return float64(rep.ewmaNs.Load()) / 1e9
+			}, l)
+		reg.GaugeFunc("finwl_fleet_replica_inflight",
+			"Hops the router currently has outstanding against the replica.", func() float64 {
+				return float64(rep.inflight.Load())
+			}, l)
+		reg.GaugeFunc("finwl_fleet_replica_queued",
+			"Replica admission-queue depth from its last /stats scrape.", func() float64 {
+				return float64(rep.queued.Load())
+			}, l)
+		rep.probeFailC = reg.Counter("finwl_fleet_probe_failures_total",
+			"Failed active health probes.", l)
+	}
+}

@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"sync/atomic"
+
+	"finwl/internal/obs"
+	"finwl/internal/serve"
+)
+
+// replica is the router's live view of one finwld backend: its
+// address, the active-probe verdict, the passive-health breaker fed by
+// forwarding outcomes, and the load signals the WWTA spillover rule
+// weighs (router-side in-flight hops, the replica's own admission
+// queue depth from /stats, and an EWMA of hop latency).
+type replica struct {
+	url string
+	br  *serve.Breaker // passive health: trips on transport faults / untyped 5xx
+
+	healthy    atomic.Bool  // active-probe verdict; optimistic true at start
+	probeFails atomic.Int64 // consecutive failed probes
+	inflight   atomic.Int64 // hops this router currently has outstanding
+	queued     atomic.Int64 // replica admission-queue depth, last /stats scrape
+	ewmaNs     atomic.Int64 // EWMA hop latency in ns; 0 = no sample yet
+
+	probeFailC *obs.Counter // finwl_fleet_probe_failures_total{replica=...}
+}
+
+func newReplica(url string, br *serve.Breaker) *replica {
+	r := &replica{url: url, br: br}
+	// Optimistic until the first probe: a router booting alongside its
+	// fleet should not 503 every request for one probe interval.
+	r.healthy.Store(true)
+	return r
+}
+
+// observe folds one hop latency into the EWMA. A CAS loop rather than
+// a mutex: hops on different goroutines race here on every request.
+func (r *replica) observe(ns int64, alpha float64) {
+	for {
+		old := r.ewmaNs.Load()
+		next := ns
+		if old != 0 {
+			next = int64(alpha*float64(ns) + (1-alpha)*float64(old))
+		}
+		if r.ewmaNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// depth is the outstanding-work count the spillover gate checks:
+// what this router has in flight plus what the replica itself reports
+// queued for admission.
+func (r *replica) depth() int64 {
+	return r.inflight.Load() + r.queued.Load()
+}
+
+// load is the WWTA weight — outstanding work times expected per-hop
+// service time — so a slow replica with a short queue can still lose
+// to a fast replica with a longer one. An unsampled EWMA degenerates
+// to plain depth comparison.
+func (r *replica) load() float64 {
+	ewma := float64(r.ewmaNs.Load())
+	if ewma <= 0 {
+		ewma = 1
+	}
+	return float64(r.depth()) * ewma
+}
+
+// routable reports whether the planner should consider this replica at
+// all: actively healthy and passive breaker not open. The failover
+// walk re-checks via Breaker.Allow so a half-open breaker admits its
+// single probe hop.
+func (r *replica) routable() bool {
+	return r.healthy.Load() && r.br.State() != serve.BreakerOpen
+}

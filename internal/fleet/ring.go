@@ -1,0 +1,91 @@
+// Package fleet is the horizontal scaling layer for finwld: a
+// health-aware router that consistent-hashes each request's canonical
+// model identity (serve.ShardKey) onto a ring of replica daemons, so
+// the replica that answers is the one whose solver/chain caches are
+// warm for that model — cache-affinity sharding, with failover to the
+// next replica on the ring when the owner is down or tripped, and
+// WWTA-style load-aware spillover when the owner is healthy but
+// saturated.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// contributes vnodes virtual points so that (a) load spreads evenly
+// and (b) adding or removing one replica of R moves only ~1/R of the
+// key space — the property test in ring_test.go pins this down.
+type ring struct {
+	points   []ringPoint // sorted by hash
+	replicas int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// defaultVnodes balances placement smoothness against sequence-walk
+// cost; 64 points per replica keeps the owner-share spread within a
+// few percent for small fleets.
+const defaultVnodes = 64
+
+func newRing(replicas, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = defaultVnodes
+	}
+	r := &ring{
+		points:   make([]ringPoint, 0, replicas*vnodes),
+		replicas: replicas,
+	}
+	for rep := 0; rep < replicas; rep++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("replica-%d#%d", rep, v)),
+				replica: rep,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// sequence returns every replica index in ring order starting at
+// key's position: element 0 is the owner, and the rest are the
+// failover candidates in the order a router should try them.
+func (r *ring) sequence(key string) []int {
+	seq := make([]int, 0, r.replicas)
+	if len(r.points) == 0 {
+		return seq
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make([]bool, r.replicas)
+	for i := 0; i < len(r.points) && len(seq) < r.replicas; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			seq = append(seq, p.replica)
+		}
+	}
+	return seq
+}
+
+// owner returns the replica index owning key's shard.
+func (r *ring) owner(key string) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	return r.points[i%len(r.points)].replica
+}

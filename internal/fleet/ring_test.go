@@ -1,0 +1,96 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+// testKeys generates deterministic pseudo-shard keys.
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("net-spec-%d|K=%d", i, i%7+1)
+	}
+	return keys
+}
+
+// TestRingSequenceCoversAllReplicas: the failover sequence visits
+// every replica exactly once, starting at the owner.
+func TestRingSequenceCoversAllReplicas(t *testing.T) {
+	r := newRing(5, 0)
+	for _, key := range testKeys(100) {
+		seq := r.sequence(key)
+		if len(seq) != 5 {
+			t.Fatalf("sequence(%q) = %v, want 5 distinct replicas", key, seq)
+		}
+		if seq[0] != r.owner(key) {
+			t.Fatalf("sequence(%q)[0] = %d, owner = %d", key, seq[0], r.owner(key))
+		}
+		seen := make(map[int]bool)
+		for _, idx := range seq {
+			if seen[idx] {
+				t.Fatalf("sequence(%q) repeats replica %d: %v", key, idx, seq)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+// TestRingSpread: with vnodes, no replica owns a wildly
+// disproportionate share of the key space.
+func TestRingSpread(t *testing.T) {
+	const replicas, keys = 4, 8000
+	r := newRing(replicas, 0)
+	counts := make([]int, replicas)
+	for _, key := range testKeys(keys) {
+		counts[r.owner(key)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.45 {
+			t.Errorf("replica %d owns %.1f%% of keys (counts %v); want roughly balanced", i, 100*share, counts)
+		}
+	}
+}
+
+// TestRingConsistency is the consistent-hashing property the
+// cache-affinity design depends on: removing one replica of R moves
+// only that replica's keys (everyone else's owner is unchanged), and
+// adding a replica moves only ~1/(R+1) of the keys.
+func TestRingConsistency(t *testing.T) {
+	const keys = 8000
+	small := newRing(3, 0) // replicas 0,1,2
+	big := newRing(4, 0)   // replicas 0,1,2,3 — same vnode points for 0..2
+
+	// Removal direction: keys big maps to 0..2 must keep their owner in
+	// small (only replica 3's keys may move).
+	for _, key := range testKeys(keys) {
+		if o := big.owner(key); o != 3 && small.owner(key) != o {
+			t.Fatalf("key %q moved %d → %d when replica 3 was removed", key, o, small.owner(key))
+		}
+	}
+
+	// Addition direction: going 3 → 4 replicas moves about 1/4 of keys
+	// (those replica 3 claims). Allow generous slack for hash variance.
+	moved := 0
+	for _, key := range testKeys(keys) {
+		if small.owner(key) != big.owner(key) {
+			moved++
+		}
+	}
+	frac := float64(moved) / keys
+	if frac < 0.10 || frac > 0.45 {
+		t.Errorf("adding a 4th replica moved %.1f%% of keys; want ~25%%", 100*frac)
+	}
+}
+
+// TestRingEmpty: a ring with no points degrades safely.
+func TestRingEmpty(t *testing.T) {
+	r := &ring{}
+	if got := r.owner("x"); got != -1 {
+		t.Errorf("empty ring owner = %d, want -1", got)
+	}
+	if seq := r.sequence("x"); len(seq) != 0 {
+		t.Errorf("empty ring sequence = %v, want empty", seq)
+	}
+}

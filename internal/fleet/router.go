@@ -1,0 +1,757 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finwl/internal/check"
+	"finwl/internal/cliutil"
+	"finwl/internal/obs"
+	"finwl/internal/serve"
+)
+
+// Config tunes the fleet router. Zero values take the defaults noted
+// below.
+type Config struct {
+	Replicas []string // replica base URLs (required, ≥1)
+	Vnodes   int      // virtual nodes per replica on the ring (default 64)
+
+	// Active health: /healthz polled every ProbeInterval with a
+	// ProbeTimeout budget; ProbeFails consecutive failures mark the
+	// replica down until a probe passes again.
+	ProbeInterval time.Duration // default 2s
+	ProbeTimeout  time.Duration // default 1s
+	ProbeFails    int           // default 2
+
+	// Passive health: each replica's breaker trips after
+	// BreakerThreshold consecutive replica faults (transport errors,
+	// untyped 5xx) and half-opens after BreakerCooldown.
+	BreakerThreshold int           // default 3
+	BreakerCooldown  time.Duration // default 2s
+
+	// Failover: up to Retries additional replicas are tried after the
+	// first choice, with exponential backoff + jitter between attempts.
+	// 0 = try every remaining replica; negative disables failover.
+	Retries    int
+	RetryBase  time.Duration // first failover backoff (default 25ms)
+	MaxTimeout time.Duration // cap and default for request deadlines (default 60s)
+	// HopTimeout bounds a single forwarding attempt, so a partitioned
+	// replica (reachable but never answering) burns one hop budget, not
+	// the whole request deadline, before failover (default 15s).
+	HopTimeout time.Duration
+
+	// Spillover: divert off a healthy owner when its outstanding depth
+	// reaches SpillDepth and its weighted load (depth × EWMA latency)
+	// exceeds SpillFactor times the least-loaded healthy replica's.
+	// SpillFactor ≤ 0 disables spillover.
+	SpillFactor float64 // default 2.0
+	SpillDepth  int     // default 4
+	EWMAAlpha   float64 // hop-latency EWMA smoothing (default 0.3)
+
+	MaxBatchJobs int // max jobs per /batch submission (default 256)
+
+	Client *http.Client     // forwarding client (default cliutil.DefaultClient)
+	Seed   int64            // backoff-jitter seed (default: wall clock)
+	Now    func() time.Time // test hook for breaker clocks
+	Logger *slog.Logger     // request + health-transition log; nil disables
+}
+
+func (c Config) withDefaults() Config {
+	if c.Vnodes == 0 {
+		c.Vnodes = defaultVnodes
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout == 0 {
+		c.ProbeTimeout = time.Second
+	}
+	if c.ProbeFails == 0 {
+		c.ProbeFails = 2
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown == 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Retries == 0 {
+		c.Retries = len(c.Replicas) - 1
+	} else if c.Retries < 0 {
+		c.Retries = 0
+	}
+	if c.RetryBase == 0 {
+		c.RetryBase = 25 * time.Millisecond
+	}
+	if c.MaxTimeout == 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.HopTimeout == 0 {
+		c.HopTimeout = 15 * time.Second
+	}
+	if c.SpillFactor == 0 {
+		c.SpillFactor = 2.0
+	}
+	if c.SpillDepth == 0 {
+		c.SpillDepth = 4
+	}
+	if c.EWMAAlpha == 0 {
+		c.EWMAAlpha = 0.3
+	}
+	if c.MaxBatchJobs == 0 {
+		c.MaxBatchJobs = 256
+	}
+	if c.Client == nil {
+		c.Client = cliutil.DefaultClient
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Router forwards each request to the replica owning its model's
+// shard, failing over along the ring when the owner is down and
+// spilling to the least-loaded healthy replica when the owner is
+// saturated. It implements serve.Service, so serve.NewFront gives it
+// the same HTTP surface (and wire contract) as an embedded server.
+type Router struct {
+	cfg  Config
+	reps []*replica
+	ring *ring
+	rand *lockedRand
+
+	draining atomic.Bool
+	wg       sync.WaitGroup // in-flight Solve/SolveBatch calls
+
+	workCtx     context.Context // canceled when a drain deadline expires
+	workCancel  context.CancelFunc
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+
+	reg *obs.Registry
+	m   *fleetMetrics
+}
+
+// New builds a Router over cfg.Replicas and starts its health-probe
+// loop; call Drain to stop it.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, check.Invalid("fleet: no replicas configured")
+	}
+	cfg = cfg.withDefaults()
+	workCtx, workCancel := context.WithCancel(context.Background())
+	probeCtx, probeCancel := context.WithCancel(context.Background())
+	reg := obs.NewRegistry()
+	rt := &Router{
+		cfg:         cfg,
+		rand:        &lockedRand{r: rand.New(rand.NewSource(cfg.Seed))},
+		workCtx:     workCtx,
+		workCancel:  workCancel,
+		probeCancel: probeCancel,
+		probeDone:   make(chan struct{}),
+		reg:         reg,
+		m:           newFleetMetrics(reg),
+	}
+	for _, url := range cfg.Replicas {
+		url = strings.TrimRight(strings.TrimSpace(url), "/")
+		if url == "" {
+			return nil, check.Invalid("fleet: empty replica URL")
+		}
+		br := serve.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now, rt.m.breakerTransition)
+		rt.reps = append(rt.reps, newReplica(url, br))
+	}
+	rt.ring = newRing(len(rt.reps), cfg.Vnodes)
+	registerReplicaMetrics(reg, rt.reps)
+	go rt.probeLoop(probeCtx)
+	return rt, nil
+}
+
+// Metrics returns the router's metric registry, for embedding into a
+// combined /metrics page.
+func (rt *Router) Metrics() *obs.Registry { return rt.reg }
+
+// Handler returns the router's HTTP surface: the shared serve.Front
+// with no /jobs routes (async job IDs are replica-local).
+func (rt *Router) Handler() http.Handler {
+	return serve.NewFront(rt, nil, serve.FrontConfig{
+		Logger:       rt.cfg.Logger,
+		MaxBatchJobs: rt.cfg.MaxBatchJobs,
+		Registries:   []*obs.Registry{rt.reg, obs.Default},
+	}).Handler()
+}
+
+// Draining reports whether Drain has been called (serve.Service).
+func (rt *Router) Draining() bool { return rt.draining.Load() }
+
+func draining() error {
+	return fmt.Errorf("%w: %w", serve.ErrDraining, check.ErrOverloaded)
+}
+
+// Solve forwards one request to the replica owning its shard, walking
+// the failover plan on replica faults (serve.Service). A degraded
+// replica answer returns both the usable Response and an error
+// matching check.ErrDegraded, exactly like an embedded server; the
+// response's RoutedVia names the replica that answered and why it was
+// chosen (owner, spillover, failover, last-resort).
+func (rt *Router) Solve(ctx context.Context, req *serve.Request) (*serve.Response, error) {
+	rt.m.requests.Inc()
+	rt.wg.Add(1)
+	defer rt.wg.Done()
+	if rt.draining.Load() {
+		return nil, draining()
+	}
+	// Building the network locally both computes the shard key and
+	// rejects invalid models at the router with zero hops — a typed 400
+	// must never burn failover retries.
+	net, err := req.BuildNetwork()
+	if err != nil {
+		rt.m.invalid.Inc()
+		return nil, err
+	}
+	key := serve.ShardKey(net, req.K)
+
+	timeout := rt.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	stop := context.AfterFunc(rt.workCtx, cancel)
+	defer stop()
+
+	plan, spilled := rt.plan(key)
+	if spilled {
+		rt.m.spillovers.Inc()
+	}
+	resp, via, err := walk(rt, ctx, plan, spilled, func(ctx context.Context, rep *replica) (*serve.Response, error) {
+		return rt.forwardSolve(ctx, rep, req)
+	})
+	if err != nil {
+		if errors.Is(err, check.ErrCanceled) {
+			rt.m.canceled.Inc()
+		}
+		return nil, err
+	}
+	resp.RoutedVia = via
+	if resp.Degraded() {
+		return resp, &serve.DegradedError{Fidelity: resp.Fidelity, Reason: resp.DegradedFrom}
+	}
+	return resp, nil
+}
+
+// SolveBatch scatter-gathers a batch: jobs are grouped by the replica
+// owning their shard (preserving the chain-sharing the replica's own
+// batch scheduler performs within each group), groups forward
+// concurrently with the same failover walk as single solves, and
+// per-group failures are typed into their items (serve.Service).
+func (rt *Router) SolveBatch(ctx context.Context, reqs []*serve.Request) []serve.BatchItem {
+	rt.wg.Add(1)
+	defer rt.wg.Done()
+	items := make([]serve.BatchItem, len(reqs))
+	if rt.draining.Load() {
+		err := draining()
+		for i := range items {
+			items[i] = errBatchItem(err)
+		}
+		return items
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.MaxTimeout)
+	defer cancel()
+	stop := context.AfterFunc(rt.workCtx, cancel)
+	defer stop()
+
+	// Group by ring owner; the first job of each group donates the
+	// failover plan (all members share seq[0], the owner).
+	groups := make(map[int][]int)
+	plans := make(map[int][]int)
+	for i, req := range reqs {
+		if req == nil {
+			items[i] = errBatchItem(check.Invalid("fleet: batch job %d is null", i))
+			continue
+		}
+		net, err := req.BuildNetwork()
+		if err != nil {
+			rt.m.invalid.Inc()
+			items[i] = errBatchItem(err)
+			continue
+		}
+		key := serve.ShardKey(net, req.K)
+		owner := rt.ring.owner(key)
+		if _, ok := plans[owner]; !ok {
+			plans[owner] = rt.ring.sequence(key)
+		}
+		groups[owner] = append(groups[owner], i)
+	}
+
+	var wg sync.WaitGroup
+	for owner, idxs := range groups {
+		wg.Add(1)
+		go func(plan, idxs []int) {
+			defer wg.Done()
+			sub := make([]*serve.Request, len(idxs))
+			for j, i := range idxs {
+				sub[j] = reqs[i]
+			}
+			res, via, err := walk(rt, ctx, plan, false, func(ctx context.Context, rep *replica) ([]serve.BatchItem, error) {
+				return rt.forwardBatch(ctx, rep, sub)
+			})
+			if err != nil && res == nil {
+				for _, i := range idxs {
+					items[i] = errBatchItem(err)
+				}
+				return
+			}
+			for j, i := range idxs {
+				if j < len(res) {
+					if res[j].Response != nil {
+						res[j].Response.RoutedVia = via
+					}
+					items[i] = res[j]
+				} else {
+					items[i] = errBatchItem(fmt.Errorf("fleet: replica returned %d items for %d jobs: %w", len(res), len(idxs), check.ErrNumeric))
+				}
+			}
+		}(plans[owner], idxs)
+	}
+	wg.Wait()
+	return items
+}
+
+func errBatchItem(err error) serve.BatchItem {
+	return serve.BatchItem{Error: err.Error(), Code: serve.CodeOf(err)}
+}
+
+// plan returns the candidate replicas for key in try order: the ring
+// sequence, except that a healthy-but-saturated owner is demoted
+// behind the least-loaded healthy replica (spillover). A down or
+// tripped owner is left in place — the failover walk skips it without
+// charging the spillover counter.
+func (rt *Router) plan(key string) (seq []int, spilled bool) {
+	seq = rt.ring.sequence(key)
+	if len(seq) < 2 || rt.cfg.SpillFactor <= 0 {
+		return seq, false
+	}
+	owner := rt.reps[seq[0]]
+	if !owner.routable() || owner.depth() < int64(rt.cfg.SpillDepth) {
+		return seq, false
+	}
+	best := -1
+	var bestLoad float64
+	for _, idx := range seq[1:] {
+		r := rt.reps[idx]
+		if !r.routable() {
+			continue
+		}
+		if l := r.load(); best == -1 || l < bestLoad {
+			best, bestLoad = idx, l
+		}
+	}
+	if best == -1 || owner.load() < rt.cfg.SpillFactor*bestLoad {
+		return seq, false
+	}
+	out := make([]int, 0, len(seq))
+	out = append(out, best, seq[0])
+	for _, idx := range seq[1:] {
+		if idx != best {
+			out = append(out, idx)
+		}
+	}
+	return out, true
+}
+
+// hopVerdict classifies one forwarding attempt's outcome for the walk.
+type hopVerdict int
+
+const (
+	hopOK          hopVerdict = iota
+	hopPassThrough            // typed, deterministic: return to caller unretried
+	hopCanceled               // caller's deadline/cancel: stop, budget is spent
+	hopBusy                   // replica alive but refusing (429/503): retry elsewhere
+	hopFault                  // transport error or untyped failure: replica fault
+)
+
+func classify(err error) hopVerdict {
+	switch {
+	case err == nil:
+		return hopOK
+	case errors.Is(err, check.ErrCanceled):
+		return hopCanceled
+	case errors.Is(err, check.ErrInvalidModel),
+		errors.Is(err, check.ErrSingular),
+		errors.Is(err, check.ErrNumeric),
+		errors.Is(err, check.ErrNotConverged),
+		errors.Is(err, check.ErrDegraded):
+		// Deterministic verdicts about the model, not the replica; a
+		// second replica would compute the same answer.
+		return hopPassThrough
+	case errors.Is(err, check.ErrOverloaded):
+		return hopBusy
+	default:
+		return hopFault
+	}
+}
+
+// walk tries the candidate replicas in plan order until one yields a
+// usable outcome. Each attempt settles the replica's passive-health
+// breaker: success and coherent typed answers count as health, faults
+// trip it, and cancellation aborts a half-open probe without verdict.
+// Replicas marked down by the active prober or with an open breaker
+// are skipped; if that skips everyone, the first candidate gets one
+// last-resort attempt (probe state can be stale). The returned via
+// string records which replica answered and why it was chosen.
+func walk[T any](rt *Router, ctx context.Context, plan []int, spilled bool, do func(ctx context.Context, rep *replica) (T, error)) (T, string, error) {
+	var zero T
+	var lastErr error
+	attempts := 0
+	for i, idx := range plan {
+		if attempts > rt.cfg.Retries {
+			break
+		}
+		rep := rt.reps[idx]
+		if !rep.healthy.Load() {
+			lastErr = fmt.Errorf("fleet: replica %s marked down", rep.url)
+			continue
+		}
+		allowed, probe := rep.br.Allow()
+		if !allowed {
+			lastErr = fmt.Errorf("fleet: replica %s breaker open", rep.url)
+			continue
+		}
+		if attempts > 0 {
+			if err := rt.backoff(ctx, attempts); err != nil {
+				if probe {
+					rep.br.AbortProbe()
+				}
+				return zero, "", err
+			}
+		}
+		attempts++
+		if i > 0 {
+			rt.m.failovers.Inc()
+		}
+		out, elapsed, err := boundedAttempt(rt, ctx, rep, do)
+		switch classify(err) {
+		case hopOK:
+			rep.br.OnSuccess()
+			rep.observe(int64(elapsed), rt.cfg.EWMAAlpha)
+			rt.m.hopSeconds.ObserveDuration(elapsed)
+			return out, via(rep, i, spilled), nil
+		case hopPassThrough:
+			rep.br.OnSuccess()
+			rep.observe(int64(elapsed), rt.cfg.EWMAAlpha)
+			return zero, "", err
+		case hopCanceled:
+			if probe {
+				rep.br.AbortProbe()
+			}
+			return zero, "", err
+		case hopBusy:
+			rep.br.OnSuccess()
+			lastErr = err
+		case hopFault:
+			rep.br.OnFailure()
+			rt.m.faults.Inc()
+			lastErr = err
+			if rt.cfg.Logger != nil {
+				rt.cfg.Logger.Warn("replica fault", "replica", rep.url, "error", err)
+			}
+		}
+	}
+	if attempts == 0 && len(plan) > 0 {
+		// Every candidate was skipped on recorded state; probes run on
+		// an interval and breakers on a cooldown, so the state may be
+		// stale. One unguarded attempt at the owner beats returning 503
+		// on what might be a recovered fleet.
+		rep := rt.reps[plan[0]]
+		out, elapsed, err := boundedAttempt(rt, ctx, rep, do)
+		switch classify(err) {
+		case hopOK:
+			rep.br.OnSuccess()
+			rep.observe(int64(elapsed), rt.cfg.EWMAAlpha)
+			rt.m.hopSeconds.ObserveDuration(elapsed)
+			return out, via(rep, -1, false), nil
+		case hopPassThrough, hopCanceled:
+			return zero, "", err
+		default:
+			lastErr = err
+		}
+	}
+	rt.m.unavailable.Inc()
+	return zero, "", serve.Unavailable(lastErr)
+}
+
+// boundedAttempt cannot be a Router method (methods take no type
+// parameters), so it hangs off the router by convention: one hop under
+// the per-hop deadline, with in-flight accounting and timing. A hop
+// that exhausted its own budget while the request is still alive —
+// the signature of a partitioned or hung replica — is rewritten from
+// "canceled" to an untyped fault so the walk retries it elsewhere
+// instead of passing a 504 to the caller.
+func boundedAttempt[T any](rt *Router, ctx context.Context, rep *replica, do func(ctx context.Context, rep *replica) (T, error)) (T, time.Duration, error) {
+	hopCtx, cancel := context.WithTimeout(ctx, rt.cfg.HopTimeout)
+	defer cancel()
+	rep.inflight.Add(1)
+	start := time.Now()
+	out, err := do(hopCtx, rep)
+	elapsed := time.Since(start)
+	rep.inflight.Add(-1)
+	if err != nil && errors.Is(err, check.ErrCanceled) && hopCtx.Err() != nil && ctx.Err() == nil {
+		err = fmt.Errorf("fleet: replica %s: no answer within hop budget %v", rep.url, rt.cfg.HopTimeout)
+	}
+	return out, elapsed, err
+}
+
+// via renders the RoutedVia tag: why this replica, then its address.
+func via(rep *replica, planIdx int, spilled bool) string {
+	reason := "owner"
+	switch {
+	case planIdx < 0:
+		reason = "last-resort"
+	case planIdx > 0:
+		reason = "failover"
+	case spilled:
+		reason = "spillover"
+	}
+	return reason + " " + rep.url
+}
+
+// backoff sleeps the exponential failover delay with jitter in
+// [d, 2d), honoring cancellation.
+func (rt *Router) backoff(ctx context.Context, attempt int) error {
+	d := rt.cfg.RetryBase << (attempt - 1)
+	if limit := time.Second; d > limit {
+		d = limit
+	}
+	d += time.Duration(rt.rand.Int63n(int64(d) + 1))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return check.Canceled(ctx)
+	case <-timer.C:
+		return nil
+	}
+}
+
+// forwardSolve POSTs one request to rep's /solve and reconstructs the
+// typed outcome: 2xx decodes to a Response (degraded answers included
+// — they are 200s on the wire), anything else round-trips through
+// serve.ErrorFromWire back to the sentinel the replica raised.
+func (rt *Router) forwardSolve(ctx context.Context, rep *replica, req *serve.Request) (*serve.Response, error) {
+	var out serve.Response
+	if err := rt.roundTrip(ctx, rep, "/solve", req, maxSolveRespBytes, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// forwardBatch POSTs a job group to rep's /batch. The items arrive
+// with per-job errors already typed by the replica; only whole-batch
+// failures (transport, 400/429/503) surface as an error here.
+func (rt *Router) forwardBatch(ctx context.Context, rep *replica, reqs []*serve.Request) ([]serve.BatchItem, error) {
+	var out []serve.BatchItem
+	if err := rt.roundTrip(ctx, rep, "/batch", reqs, maxBatchRespBytes, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+const (
+	maxSolveRespBytes = 1 << 20
+	maxBatchRespBytes = 32 << 20
+)
+
+func (rt *Router) roundTrip(ctx context.Context, rep *replica, path string, in any, limit int64, out any) error {
+	httpReq, err := cliutil.NewJSONRequest(ctx, http.MethodPost, rep.url+path, in)
+	if err != nil {
+		return err
+	}
+	res, err := rt.cfg.Client.Do(httpReq)
+	if err != nil {
+		if ctx.Err() != nil {
+			return check.Canceled(ctx)
+		}
+		return fmt.Errorf("fleet: replica %s: %w", rep.url, err)
+	}
+	defer res.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(res.Body, limit))
+	if err != nil {
+		if ctx.Err() != nil {
+			return check.Canceled(ctx)
+		}
+		return fmt.Errorf("fleet: replica %s: read response: %w", rep.url, err)
+	}
+	if res.StatusCode >= 200 && res.StatusCode <= 299 {
+		if err := json.Unmarshal(raw, out); err != nil {
+			// An untyped failure: a 2xx that does not parse is a replica
+			// fault and the walk will retry elsewhere.
+			return fmt.Errorf("fleet: replica %s: bad response body: %v", rep.url, err)
+		}
+		return nil
+	}
+	var body serve.ErrorBody
+	_ = json.Unmarshal(raw, &body) // non-JSON bodies (proxy, chaos) stay untyped
+	return serve.ErrorFromWire(res.StatusCode, body)
+}
+
+// probeLoop is the active health prober: every ProbeInterval each
+// replica's /healthz is checked (2xx = alive and not draining) and its
+// /stats queue depth scraped for the spillover weight.
+func (rt *Router) probeLoop(ctx context.Context) {
+	defer close(rt.probeDone)
+	rt.probeAll(ctx)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.probeAll(ctx)
+		}
+	}
+}
+
+func (rt *Router) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, rep := range rt.reps {
+		wg.Add(1)
+		go func(rep *replica) {
+			defer wg.Done()
+			rt.probe(ctx, rep)
+		}(rep)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) probe(ctx context.Context, rep *replica) {
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.ProbeTimeout)
+	defer cancel()
+	status, err := cliutil.GetJSON(ctx, rt.cfg.Client, rep.url+"/healthz", nil)
+	if err != nil || status != http.StatusOK {
+		if rep.probeFailC != nil {
+			rep.probeFailC.Inc()
+		}
+		if rep.probeFails.Add(1) >= int64(rt.cfg.ProbeFails) {
+			if rep.healthy.Swap(false) && rt.cfg.Logger != nil {
+				rt.cfg.Logger.Warn("replica down", "replica", rep.url, "error", err, "status", status)
+			}
+		}
+		return
+	}
+	rep.probeFails.Store(0)
+	if !rep.healthy.Swap(true) && rt.cfg.Logger != nil {
+		rt.cfg.Logger.Info("replica up", "replica", rep.url)
+	}
+	var st struct {
+		Queued int `json:"queued"`
+	}
+	if s, err := cliutil.GetJSON(ctx, rt.cfg.Client, rep.url+"/stats", &st); err == nil && s == http.StatusOK {
+		rep.queued.Store(int64(st.Queued))
+	}
+}
+
+// Drain gracefully shuts the router down: new requests fail typed
+// 503-draining, the probe loop stops, and in-flight hops get until ctx
+// to finish before being force-canceled. When Drain returns no router
+// goroutine is still running.
+func (rt *Router) Drain(ctx context.Context) error {
+	rt.draining.Store(true)
+	rt.probeCancel()
+	done := make(chan struct{})
+	go func() {
+		rt.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		rt.workCancel()
+		<-done
+		err = fmt.Errorf("fleet: drain deadline expired, in-flight hops canceled: %w", check.ErrCanceled)
+	}
+	<-rt.probeDone
+	rt.workCancel()
+	return err
+}
+
+// replicaStats is one backend's entry in the /stats payload.
+type replicaStats struct {
+	URL        string  `json:"url"`
+	Healthy    bool    `json:"healthy"`
+	Breaker    string  `json:"breaker"`
+	EWMAMS     float64 `json:"ewma_ms"`
+	Inflight   int64   `json:"inflight"`
+	Queued     int64   `json:"queued"`
+	ProbeFails int64   `json:"probe_fails"` // consecutive
+}
+
+// statsBody is the router's GET /stats payload.
+type statsBody struct {
+	Mode        string         `json:"mode"`
+	Requests    int64          `json:"requests"`
+	Invalid     int64          `json:"invalid"`
+	Failovers   int64          `json:"failovers"`
+	Spillovers  int64          `json:"spillovers"`
+	Faults      int64          `json:"replica_faults"`
+	Unavailable int64          `json:"unavailable"`
+	Canceled    int64          `json:"canceled"`
+	Draining    bool           `json:"draining"`
+	Replicas    []replicaStats `json:"replicas"`
+}
+
+// StatsPayload is the GET /stats response body (serve.Service).
+func (rt *Router) StatsPayload() any {
+	body := statsBody{
+		Mode:        "router",
+		Requests:    rt.m.requests.Value(),
+		Invalid:     rt.m.invalid.Value(),
+		Failovers:   rt.m.failovers.Value(),
+		Spillovers:  rt.m.spillovers.Value(),
+		Faults:      rt.m.faults.Value(),
+		Unavailable: rt.m.unavailable.Value(),
+		Canceled:    rt.m.canceled.Value(),
+		Draining:    rt.draining.Load(),
+	}
+	for _, rep := range rt.reps {
+		body.Replicas = append(body.Replicas, replicaStats{
+			URL:        rep.url,
+			Healthy:    rep.healthy.Load(),
+			Breaker:    rep.br.State().String(),
+			EWMAMS:     float64(rep.ewmaNs.Load()) / 1e6,
+			Inflight:   rep.inflight.Load(),
+			Queued:     rep.queued.Load(),
+			ProbeFails: rep.probeFails.Load(),
+		})
+	}
+	return body
+}
+
+// lockedRand is a mutex-guarded rand source for backoff jitter.
+type lockedRand struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func (l *lockedRand) Int63n(n int64) int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.r.Int63n(n)
+}

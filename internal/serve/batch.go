@@ -2,10 +2,8 @@ package serve
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
 	"time"
 
 	"finwl/internal/batch"
@@ -24,10 +22,6 @@ type BatchItem struct {
 func errItem(err error) BatchItem {
 	return BatchItem{Error: err.Error(), Code: CodeOf(err)}
 }
-
-// maxBatchBodyBytes bounds a batch submission body: room for
-// MaxBatchJobs fully-specified raw networks.
-const maxBatchBodyBytes = 8 << 20
 
 // SolveBatch runs a set of requests through the shared-chain batch
 // scheduler and returns one item per request, in order. It never
@@ -142,46 +136,6 @@ func durMS(d time.Duration) float64 {
 	return float64(d.Microseconds()) / 1000
 }
 
-// decodeBatch reads a JSON array of requests, enforcing the body and
-// job-count limits; on failure it writes the error response itself.
-func (s *Server) decodeBatch(w http.ResponseWriter, r *http.Request) ([]*Request, bool) {
-	var reqs []*Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&reqs); err != nil {
-		werr := check.Invalid("serve: bad batch body: %v", err)
-		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: werr.Error(), Code: CodeOf(werr)})
-		return nil, false
-	}
-	if len(reqs) > s.cfg.MaxBatchJobs {
-		err := fmt.Errorf("serve: batch of %d jobs exceeds limit %d: %w", len(reqs), s.cfg.MaxBatchJobs, check.ErrOverloaded)
-		s.m.rejected.Inc()
-		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
-		return nil, false
-	}
-	return reqs, true
-}
-
-func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	reqs, ok := s.decodeBatch(w, r)
-	if !ok {
-		return
-	}
-	if s.draining.Load() {
-		err := errDraining()
-		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
-		return
-	}
-	writeJSON(w, http.StatusOK, s.solveBatch(r.Context(), reqs, nil))
-}
-
-// jobAccepted is the POST /jobs response.
-type jobAccepted struct {
-	ID   string `json:"id"`
-	Jobs int    `json:"jobs"`
-	Poll string `json:"poll"`
-}
-
 // jobBody is the GET /jobs/{id} response: progress while the batch
 // runs, results (or the batch-level error) once done.
 type jobBody struct {
@@ -197,27 +151,24 @@ type jobBody struct {
 	FinishedAt *time.Time            `json:"finished_at,omitempty"`
 }
 
-func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
-	reqs, ok := s.decodeBatch(w, r)
-	if !ok {
-		return
-	}
+// SubmitJob accepts an async batch (JobRunner interface): it records
+// the job and runs it on the bounded async worker pool. Every failure
+// is typed (ErrOverloaded while draining or when the job store is
+// full).
+func (s *Server) SubmitJob(reqs []*Request) (string, error) {
 	if s.draining.Load() {
-		err := errDraining()
-		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
-		return
+		return "", errDraining()
 	}
 	id := obs.NewRequestID()
 	if err := s.jobs.Add(id, len(reqs)); err != nil {
 		if errors.Is(err, check.ErrOverloaded) {
 			s.m.rejected.Inc()
 		}
-		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
-		return
+		return "", err
 	}
 	s.asyncWG.Add(1)
 	go s.runAsync(id, reqs)
-	writeJSON(w, http.StatusAccepted, jobAccepted{ID: id, Jobs: len(reqs), Poll: "/jobs/" + id})
+	return id, nil
 }
 
 // runAsync executes one accepted async batch. Queued work that drain
@@ -261,15 +212,12 @@ func errDrainCanceled() error {
 	return fmt.Errorf("serve: queued batch canceled by drain: %w", check.ErrCanceled)
 }
 
-func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// JobPayload returns the GET /jobs/{id} body for id, or ok=false for
+// an unknown or expired job (JobRunner interface).
+func (s *Server) JobPayload(id string) (any, bool) {
 	rec, ok := s.jobs.Get(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorBody{
-			Error: fmt.Sprintf("serve: unknown or expired job %q", id),
-			Code:  "not_found",
-		})
-		return
+		return nil, false
 	}
 	body := jobBody{
 		ID:        rec.ID,
@@ -289,5 +237,5 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 			body.Results = rec.Results
 		}
 	}
-	writeJSON(w, http.StatusOK, body)
+	return body, true
 }

@@ -31,12 +31,13 @@ func (s BreakerState) String() string {
 	return "unknown"
 }
 
-// breaker guards the exact solve path of one model class. It trips to
-// open after `threshold` consecutive tripping failures
-// (ErrSingular/ErrNumeric); after `cooldown` it admits a single
-// half-open probe whose success closes it and whose failure re-opens
-// it.
-type breaker struct {
+// Breaker is the three-state circuit breaker guarding a fallible
+// path: the exact solve path of one model class here, and the
+// passive-health view of one replica in internal/fleet. It trips to
+// open after `threshold` consecutive failures reported via OnFailure;
+// after `cooldown` it admits a single half-open probe whose success
+// closes it and whose failure re-opens it.
+type Breaker struct {
 	mu        sync.Mutex
 	threshold int
 	cooldown  time.Duration
@@ -52,17 +53,19 @@ type breaker struct {
 	probing  bool
 }
 
-func newBreaker(threshold int, cooldown time.Duration, now func() time.Time, onTransition func(to BreakerState)) *breaker {
+// NewBreaker builds a closed breaker. now defaults to time.Time's
+// clock; onTransition (optional) observes each state change.
+func NewBreaker(threshold int, cooldown time.Duration, now func() time.Time, onTransition func(to BreakerState)) *Breaker {
 	if now == nil {
 		now = time.Now
 	}
-	return &breaker{threshold: threshold, cooldown: cooldown, now: now, onTransition: onTransition}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: now, onTransition: onTransition}
 }
 
 // setState records a state change, notifying the transition hook only
 // on an actual change (an open→open cooldown restart is not a
 // transition).
-func (b *breaker) setState(to BreakerState) {
+func (b *Breaker) setState(to BreakerState) {
 	if b.state == to {
 		return
 	}
@@ -72,10 +75,10 @@ func (b *breaker) setState(to BreakerState) {
 	}
 }
 
-// allow reports whether this request may take the exact path. probe is
-// true when the request is the single half-open probe; the caller must
-// report its outcome via onSuccess/onFailure.
-func (b *breaker) allow() (ok, probe bool) {
+// Allow reports whether this request may take the guarded path. probe
+// is true when the request is the single half-open probe; the caller
+// must settle its outcome via OnSuccess/OnFailure/AbortProbe.
+func (b *Breaker) Allow() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -97,21 +100,21 @@ func (b *breaker) allow() (ok, probe bool) {
 	}
 }
 
-// abortProbe releases the half-open probe token without recording an
+// AbortProbe releases the half-open probe token without recording an
 // outcome — the probe request was canceled, failed with a non-tripping
 // error, or never reached an exact rung at all (tight deadline). The
 // breaker stays half-open so the next request can claim a fresh probe;
 // without this release a lost probe would pin probing=true forever and
 // permanently short-circuit the class.
-func (b *breaker) abortProbe() {
+func (b *Breaker) AbortProbe() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.probing = false
 }
 
-// onSuccess records a successful exact solve: it closes a half-open
+// OnSuccess records a successful exact solve: it closes a half-open
 // breaker and clears the failure streak.
-func (b *breaker) onSuccess() {
+func (b *Breaker) OnSuccess() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.setState(BreakerClosed)
@@ -119,10 +122,10 @@ func (b *breaker) onSuccess() {
 	b.probing = false
 }
 
-// onFailure records a tripping failure: a half-open probe failure
+// OnFailure records a tripping failure: a half-open probe failure
 // re-opens immediately; in closed state the streak counts up to the
 // threshold.
-func (b *breaker) onFailure() {
+func (b *Breaker) OnFailure() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -140,16 +143,16 @@ func (b *breaker) onFailure() {
 	}
 }
 
-func (b *breaker) trip() {
+func (b *Breaker) trip() {
 	b.setState(BreakerOpen)
 	b.openedAt = b.now()
 	b.fails = 0
 	b.probing = false
 }
 
-// snapshot returns the externally visible state (resolving an elapsed
+// State returns the externally visible state (resolving an elapsed
 // open cooldown to half-open for reporting).
-func (b *breaker) snapshot() BreakerState {
+func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {

@@ -27,55 +27,55 @@ func (c *fakeClock) advance(d time.Duration) {
 
 func TestBreakerLifecycle(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	b := newBreaker(3, time.Second, clk.now, nil)
+	b := NewBreaker(3, time.Second, clk.now, nil)
 
-	if ok, probe := b.allow(); !ok || probe {
+	if ok, probe := b.Allow(); !ok || probe {
 		t.Fatalf("closed breaker: allow = (%v, %v), want (true, false)", ok, probe)
 	}
 	// Two failures stay closed, the third trips.
-	b.onFailure()
-	b.onFailure()
-	if ok, _ := b.allow(); !ok {
+	b.OnFailure()
+	b.OnFailure()
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("breaker tripped before threshold")
 	}
-	b.onFailure()
-	if ok, _ := b.allow(); ok {
+	b.OnFailure()
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("breaker still allowing after threshold failures")
 	}
-	if s := b.snapshot(); s != BreakerOpen {
+	if s := b.State(); s != BreakerOpen {
 		t.Fatalf("state = %v, want open", s)
 	}
 
 	// Cooldown elapses: exactly one probe goes through.
 	clk.advance(time.Second)
-	if s := b.snapshot(); s != BreakerHalfOpen {
+	if s := b.State(); s != BreakerHalfOpen {
 		t.Fatalf("state after cooldown = %v, want half-open", s)
 	}
-	ok, probe := b.allow()
+	ok, probe := b.Allow()
 	if !ok || !probe {
 		t.Fatalf("first half-open allow = (%v, %v), want (true, true)", ok, probe)
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("second caller allowed during an in-flight probe")
 	}
 
 	// Probe failure re-opens with a fresh cooldown.
-	b.onFailure()
-	if ok, _ := b.allow(); ok {
+	b.OnFailure()
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("allowed immediately after a failed probe")
 	}
 	clk.advance(time.Second)
-	if ok, probe := b.allow(); !ok || !probe {
+	if ok, probe := b.Allow(); !ok || !probe {
 		t.Fatalf("probe after second cooldown = (%v, %v), want (true, true)", ok, probe)
 	}
 	// Probe success closes and clears the streak.
-	b.onSuccess()
-	if s := b.snapshot(); s != BreakerClosed {
+	b.OnSuccess()
+	if s := b.State(); s != BreakerClosed {
 		t.Fatalf("state after probe success = %v, want closed", s)
 	}
-	b.onFailure()
-	b.onFailure()
-	if ok, _ := b.allow(); !ok {
+	b.OnFailure()
+	b.OnFailure()
+	if ok, _ := b.Allow(); !ok {
 		t.Fatal("streak not cleared by success")
 	}
 }
@@ -85,25 +85,25 @@ func TestBreakerLifecycle(t *testing.T) {
 // token for the next caller instead of pinning probing=true forever.
 func TestBreakerAbortProbeReleasesToken(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	b := newBreaker(1, time.Second, clk.now, nil)
-	b.onFailure() // trip
+	b := NewBreaker(1, time.Second, clk.now, nil)
+	b.OnFailure() // trip
 	clk.advance(time.Second)
-	if ok, probe := b.allow(); !ok || !probe {
+	if ok, probe := b.Allow(); !ok || !probe {
 		t.Fatalf("half-open allow = (%v, %v), want (true, true)", ok, probe)
 	}
-	if ok, _ := b.allow(); ok {
+	if ok, _ := b.Allow(); ok {
 		t.Fatal("second caller allowed during an in-flight probe")
 	}
-	b.abortProbe()
-	if s := b.snapshot(); s != BreakerHalfOpen {
+	b.AbortProbe()
+	if s := b.State(); s != BreakerHalfOpen {
 		t.Fatalf("state after abort = %v, want half-open", s)
 	}
-	ok, probe := b.allow()
+	ok, probe := b.Allow()
 	if !ok || !probe {
 		t.Fatalf("allow after abort = (%v, %v), want a fresh probe", ok, probe)
 	}
-	b.onSuccess()
-	if s := b.snapshot(); s != BreakerClosed {
+	b.OnSuccess()
+	if s := b.State(); s != BreakerClosed {
 		t.Fatalf("state after probe success = %v, want closed", s)
 	}
 }
@@ -113,9 +113,9 @@ func TestBreakerAbortProbeReleasesToken(t *testing.T) {
 // probe slot per half-open window.
 func TestBreakerHalfOpenRace(t *testing.T) {
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	b := newBreaker(1, time.Second, clk.now, nil)
+	b := NewBreaker(1, time.Second, clk.now, nil)
 	for round := 0; round < 10; round++ {
-		b.onFailure() // trip
+		b.OnFailure() // trip
 		clk.advance(time.Second)
 
 		var probes, allows atomic.Int64
@@ -124,7 +124,7 @@ func TestBreakerHalfOpenRace(t *testing.T) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				ok, probe := b.allow()
+				ok, probe := b.Allow()
 				if probe {
 					probes.Add(1)
 				}
@@ -137,6 +137,6 @@ func TestBreakerHalfOpenRace(t *testing.T) {
 		if probes.Load() != 1 || allows.Load() != 1 {
 			t.Fatalf("round %d: %d probes, %d allows, want exactly 1 of each", round, probes.Load(), allows.Load())
 		}
-		b.onSuccess() // close for the next round
+		b.OnSuccess() // close for the next round
 	}
 }

@@ -1,0 +1,292 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"finwl/internal/check"
+	"finwl/internal/obs"
+)
+
+// Service is the request-facing surface the HTTP front serves. Two
+// implementations exist: *Server (the embedded solve engine) and
+// fleet.Router (which forwards each request to the replica owning its
+// shard). The split is what makes router, replica and embedded modes
+// share one wire contract — decode limits, error mapping, request-ID
+// propagation and panic recovery live in the Front, not in either
+// implementation.
+type Service interface {
+	// Solve runs one request; a degraded result returns both a usable
+	// Response and an error matching check.ErrDegraded.
+	Solve(ctx context.Context, req *Request) (*Response, error)
+	// SolveBatch runs a set of requests, returning one item per
+	// request in order; per-job failures are typed into their items.
+	SolveBatch(ctx context.Context, reqs []*Request) []BatchItem
+	// Draining reports whether the service has begun shutting down.
+	Draining() bool
+	// StatsPayload is the GET /stats response body.
+	StatsPayload() any
+}
+
+// JobRunner is the optional async-batch surface (POST /jobs, GET
+// /jobs/{id}). *Server implements it; the fleet router does not (job
+// IDs are replica-local), so its front simply has no /jobs routes.
+type JobRunner interface {
+	SubmitJob(reqs []*Request) (id string, err error)
+	JobPayload(id string) (payload any, ok bool)
+}
+
+// rejectionCounter lets the front report protocol-level rejections
+// (batch over the job limit) back into an implementation's metrics
+// without widening the Service interface.
+type rejectionCounter interface{ noteRejected() }
+
+// FrontConfig tunes the HTTP front.
+type FrontConfig struct {
+	Logger       *slog.Logger    // one structured line per request; nil disables
+	MaxBatchJobs int             // max jobs per /batch or /jobs submission (default 256)
+	Registries   []*obs.Registry // concatenated on GET /metrics
+}
+
+// Front is the HTTP boundary: it owns request decoding (body limits,
+// NaN/±Inf round-trip), the error → status/code mapping, request-ID
+// assignment and echo, panic recovery, and per-request logging —
+// everything between the wire and a Service.
+type Front struct {
+	svc  Service
+	jobs JobRunner // nil disables the /jobs routes
+	cfg  FrontConfig
+}
+
+// NewFront wires a Service (and optionally a JobRunner) behind the
+// standard HTTP surface. jobs may be nil.
+func NewFront(svc Service, jobs JobRunner, cfg FrontConfig) *Front {
+	if cfg.MaxBatchJobs == 0 {
+		cfg.MaxBatchJobs = 256
+	}
+	return &Front{svc: svc, jobs: jobs, cfg: cfg}
+}
+
+// maxBodyBytes bounds a request body; a 4-station spec is ~2 KB, so
+// 1 MiB leaves room for very wide raw networks without letting a
+// client exhaust memory.
+const maxBodyBytes = 1 << 20
+
+// maxBatchBodyBytes bounds a batch submission body: room for
+// MaxBatchJobs fully-specified raw networks.
+const maxBatchBodyBytes = 8 << 20
+
+// Handler returns the HTTP surface: POST /solve, POST /batch, POST
+// /jobs + GET /jobs/{id} (when a JobRunner is wired), GET /healthz,
+// GET /stats, GET /metrics. A recover middleware turns any escaped
+// panic into a 500 with code "panic" — the fault-injection campaigns
+// assert it never fires. The outer middleware also assigns each
+// request an ID (honoring a client-supplied X-Request-Id), threads it
+// through the context so downstream hops and solver cancellation
+// errors can name the request, echoes it on the response, and emits
+// one slog line per request when FrontConfig.Logger is set.
+func (f *Front) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/solve", f.handleSolve)
+	mux.HandleFunc("POST /batch", f.handleBatch)
+	if f.jobs != nil {
+		mux.HandleFunc("POST /jobs", f.handleJobSubmit)
+		mux.HandleFunc("GET /jobs/{id}", f.handleJobGet)
+	}
+	mux.HandleFunc("/healthz", f.handleHealth)
+	mux.HandleFunc("/stats", f.handleStats)
+	mux.Handle("/metrics", obs.Handler(f.cfg.Registries...))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
+		w.Header().Set("X-Request-Id", reqID)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				writeJSON(sw, http.StatusInternalServerError, ErrorBody{
+					Error: fmt.Sprintf("panic: %v", p),
+					Code:  "panic",
+				})
+			}
+			if f.cfg.Logger != nil {
+				f.cfg.Logger.Info("request",
+					"request_id", reqID,
+					"method", r.Method,
+					"path", r.URL.Path,
+					"status", sw.status,
+					"elapsed_ms", float64(time.Since(start).Microseconds())/1000,
+				)
+			}
+		}()
+		mux.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter captures the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if !w.wrote {
+		w.status = status
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (f *Front) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "POST only", Code: "method"})
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		werr := check.Invalid("serve: bad request body: %v", err)
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: werr.Error(), Code: CodeOf(werr)})
+		return
+	}
+	resp, err := f.svc.Solve(r.Context(), &req)
+	if resp != nil && (err == nil || errors.Is(err, check.ErrDegraded)) {
+		// A cache hit is already a private clone with zeroed timings;
+		// re-measuring its serialization would only report the cost of
+		// this handler, so it goes straight to the encoder. Fresh
+		// results measure serialization with a first marshal, record it
+		// in the timings, and encode again — on a copy, because the
+		// original pointer may be shared with the result cache.
+		if !resp.Cached {
+			resp = resp.clone()
+			encStart := time.Now()
+			if _, merr := json.Marshal(resp); merr == nil && resp.Timings != nil {
+				resp.Timings.EncodeMS = float64(time.Since(encStart).Microseconds()) / 1000
+			}
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+}
+
+// decodeBatch reads a JSON array of requests, enforcing the body and
+// job-count limits; on failure it writes the error response itself.
+func (f *Front) decodeBatch(w http.ResponseWriter, r *http.Request) ([]*Request, bool) {
+	var reqs []*Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&reqs); err != nil {
+		werr := check.Invalid("serve: bad batch body: %v", err)
+		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: werr.Error(), Code: CodeOf(werr)})
+		return nil, false
+	}
+	if len(reqs) > f.cfg.MaxBatchJobs {
+		err := fmt.Errorf("serve: batch of %d jobs exceeds limit %d: %w", len(reqs), f.cfg.MaxBatchJobs, check.ErrOverloaded)
+		if rc, ok := f.svc.(rejectionCounter); ok {
+			rc.noteRejected()
+		}
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+		return nil, false
+	}
+	return reqs, true
+}
+
+func (f *Front) handleBatch(w http.ResponseWriter, r *http.Request) {
+	reqs, ok := f.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	if f.svc.Draining() {
+		err := errDraining()
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, f.svc.SolveBatch(r.Context(), reqs))
+}
+
+// jobAccepted is the POST /jobs response.
+type jobAccepted struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	Poll string `json:"poll"`
+}
+
+func (f *Front) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	reqs, ok := f.decodeBatch(w, r)
+	if !ok {
+		return
+	}
+	id, err := f.jobs.SubmitJob(reqs)
+	if err != nil {
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobAccepted{ID: id, Jobs: len(reqs), Poll: "/jobs/" + id})
+}
+
+func (f *Front) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	payload, ok := f.jobs.JobPayload(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorBody{
+			Error: fmt.Sprintf("serve: unknown or expired job %q", id),
+			Code:  "not_found",
+		})
+		return
+	}
+	writeJSON(w, http.StatusOK, payload)
+}
+
+func (f *Front) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if f.svc.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: "draining", Code: "draining"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (f *Front) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, f.svc.StatsPayload())
+}
+
+// jsonBufPool recycles encode buffers across responses; oversized
+// buffers (past 64 KiB) are dropped rather than pinned in the pool.
+var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf := jsonBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		// Response types marshal by construction; surface any
+		// programming error instead of sending a half-written body.
+		jsonBufPool.Put(buf)
+		http.Error(w, `{"error":"encode failure","code":"internal"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(buf.Bytes())
+	if buf.Cap() <= 1<<16 {
+		jsonBufPool.Put(buf)
+	}
+}

@@ -24,7 +24,6 @@
 package serve
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -53,6 +52,22 @@ var ErrDraining = errors.New("server draining")
 
 func errDraining() error {
 	return fmt.Errorf("%w: %w", ErrDraining, check.ErrOverloaded)
+}
+
+// ErrUnavailable marks a fleet-router failure to place a request on
+// any replica: every candidate was down, partitioned, or refused the
+// work. It additionally matches check.ErrOverloaded (retrying later
+// can help) and maps to HTTP 503 so clients can tell it from their
+// own model being rejected.
+var ErrUnavailable = errors.New("no replica available")
+
+// Unavailable wraps cause (the last per-replica failure, may be nil)
+// into an ErrUnavailable-matching error.
+func Unavailable(cause error) error {
+	if cause == nil {
+		return fmt.Errorf("%w: %w", ErrUnavailable, check.ErrOverloaded)
+	}
+	return fmt.Errorf("%w: %w: last error: %w", ErrUnavailable, check.ErrOverloaded, cause)
 }
 
 // Config tunes the serving layer. Zero values take the defaults
@@ -177,6 +192,7 @@ type Response struct {
 	Price        int64   `json:"price"`                   // admission cost charged
 	Breaker      string  `json:"breaker,omitempty"`       // model-class breaker state
 	DegradedFrom string  `json:"degraded_from,omitempty"` // why fidelity < exact
+	RoutedVia    string  `json:"routed_via,omitempty"`    // fleet router: which replica answered, and why
 	Cached       bool    `json:"cached,omitempty"`
 	Deduplicated bool    `json:"deduplicated,omitempty"`
 	ElapsedMS    float64 `json:"elapsed_ms"`
@@ -267,7 +283,7 @@ type Server struct {
 	// breakers is LRU-bounded (ClassCacheSize): the class key is
 	// client-controlled, so an unbounded map would let a diverse
 	// workload leak memory. An evicted class simply starts over closed.
-	breakers *lru[*breaker]
+	breakers *lru[*Breaker]
 
 	// Batch surface: the shared-chain scheduler, a singleflight around
 	// fresh chain construction (so concurrent groups over one network
@@ -302,7 +318,7 @@ func New(cfg Config) *Server {
 		flight:       newFlightGroup[*Response](),
 		est:          newEstimator(cfg.ExactNsPerUnit, cfg.CheckpointFrac, float64(cfg.SteadyEstimate), cfg.ClassCacheSize),
 		rand:         newLockedRand(cfg.Seed),
-		breakers:     newLRU[*breaker](cfg.ClassCacheSize),
+		breakers:     newLRU[*Breaker](cfg.ClassCacheSize),
 		solverFlight: newFlightGroup[*core.Solver](),
 		jobs:         batch.NewStore[BatchItem](cfg.JobStoreSize, cfg.JobTTL, cfg.Now),
 		asyncSem:     make(chan struct{}, cfg.AsyncWorkers),
@@ -395,9 +411,9 @@ func requestIdentity(req *Request) string {
 	return string(b)
 }
 
-func (s *Server) breakerFor(class string) *breaker {
-	return s.breakers.getOrCreate(class, func() *breaker {
-		return newBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now, s.m.breakerTransition)
+func (s *Server) breakerFor(class string) *Breaker {
+	return s.breakers.getOrCreate(class, func() *Breaker {
+		return NewBreaker(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown, s.cfg.Now, s.m.breakerTransition)
 	})
 }
 
@@ -461,7 +477,7 @@ func (s *Server) Solve(ctx context.Context, req *Request) (*Response, error) {
 	}
 	s.m.cacheMisses.Inc()
 
-	solverKey := fmt.Sprintf("%s|K=%d", netKey, req.K)
+	solverKey := fmt.Sprintf("%s|K=%d", netKey, req.K) // == ShardKey(net, req.K)
 	resp, err, shared, abandoned := s.flight.do(ctx.Done(), key, func() (*Response, error) {
 		return s.process(ctx, net, req.K, req.N, key, solverKey)
 	})
@@ -501,17 +517,17 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 
 	class := classKey(space, k)
 	br := s.breakerFor(class)
-	allowed, probe := br.allow()
+	allowed, probe := br.Allow()
 	// A half-open probe token must be released on every exit path.
 	// Cancellation, a non-tripping exact failure, or a tier choice that
-	// never attempts an exact rung report neither onSuccess nor
+	// never attempts an exact rung report neither OnSuccess nor
 	// onFailure; without the abort the breaker would stay probing
 	// forever and short-circuit the class until restart.
 	probeSettled := false
 	if probe {
 		defer func() {
 			if !probeSettled {
-				br.abortProbe()
+				br.AbortProbe()
 			}
 		}()
 	}
@@ -532,7 +548,7 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 	var reasons []string
 	if tier == FidelitySteady || tier == FidelityBounds {
 		if !allowed {
-			reasons = append(reasons, "breaker "+br.snapshot().String())
+			reasons = append(reasons, "breaker "+br.State().String())
 		} else {
 			reasons = append(reasons, fmt.Sprintf("deadline %v below exact estimate %v", remaining.Round(time.Millisecond), est.exact.Round(time.Millisecond)))
 		}
@@ -559,14 +575,14 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 			}
 			if !resp.Degraded() {
 				if probe || allowed {
-					br.onSuccess()
+					br.OnSuccess()
 					probeSettled = true
 				}
-				resp.Breaker = br.snapshot().String()
+				resp.Breaker = br.State().String()
 				s.cache.add(key, resp)
 				return resp, nil
 			}
-			resp.Breaker = br.snapshot().String()
+			resp.Breaker = br.State().String()
 			resp.DegradedFrom = strings.Join(reasons, "; ")
 			s.m.degraded.Inc()
 			return resp, &DegradedError{Fidelity: resp.Fidelity, Reason: resp.DegradedFrom}
@@ -576,7 +592,7 @@ func (s *Server) process(ctx context.Context, net *network.Network, k, n int, ke
 		}
 		if (rung == FidelityExact || rung == FidelityCheckpoint) &&
 			(errors.Is(err, check.ErrSingular) || errors.Is(err, check.ErrNumeric)) {
-			br.onFailure()
+			br.OnFailure()
 			probeSettled = true
 		}
 		if rung == FidelityBounds {
@@ -770,14 +786,14 @@ func (s *Server) Snapshot() Stats {
 
 // StatusOf maps an error from Solve to its HTTP status code. The
 // serve contract: 400 for model problems, 429 for overload, 503 for
-// draining and for numerical failures that survived the whole ladder,
-// 504 for deadlines/cancellation, 200 otherwise (including degraded
-// results).
+// draining, fleet unavailability and numerical failures that survived
+// the whole ladder, 504 for deadlines/cancellation, 200 otherwise
+// (including degraded results).
 func StatusOf(err error) int {
 	switch {
 	case err == nil, errors.Is(err, check.ErrDegraded):
 		return http.StatusOK
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, check.ErrInvalidModel):
 		return http.StatusBadRequest
@@ -801,6 +817,8 @@ func CodeOf(err error) string {
 		return ""
 	case errors.Is(err, ErrDraining):
 		return "draining"
+	case errors.Is(err, ErrUnavailable):
+		return "unavailable"
 	case errors.Is(err, check.ErrInvalidModel):
 		return "invalid_model"
 	case errors.Is(err, check.ErrOverloaded):
@@ -826,122 +844,21 @@ type ErrorBody struct {
 	Code  string `json:"code"`
 }
 
-// maxBodyBytes bounds a request body; a 4-station spec is ~2 KB, so
-// 1 MiB leaves room for very wide raw networks without letting a
-// client exhaust memory.
-const maxBodyBytes = 1 << 20
-
-// Handler returns the HTTP surface: POST /solve, GET /healthz, GET
-// /stats, GET /metrics (this server's registry concatenated with the
-// process-wide solver-stage metrics). A recover middleware turns any
-// escaped panic into a 500 with code "panic" — the fault-injection
-// campaign asserts it never fires. The outer middleware also assigns
-// each request an ID (honoring a client-supplied X-Request-Id),
-// threads it through the context so solver cancellation errors can
-// name the request, echoes it on the response, and emits one slog
-// line per request when Config.Logger is set.
+// Handler returns the standard HTTP surface for this server — the
+// reusable Front wired to the embedded solve engine and its async job
+// store, exposing this server's registry concatenated with the
+// process-wide solver-stage metrics on /metrics.
 func (s *Server) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/solve", s.handleSolve)
-	mux.HandleFunc("POST /batch", s.handleBatch)
-	mux.HandleFunc("POST /jobs", s.handleJobSubmit)
-	mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	mux.HandleFunc("/healthz", s.handleHealth)
-	mux.HandleFunc("/stats", s.handleStats)
-	mux.Handle("/metrics", obs.Handler(s.reg, obs.Default))
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		reqID := r.Header.Get("X-Request-Id")
-		if reqID == "" {
-			reqID = obs.NewRequestID()
-		}
-		r = r.WithContext(obs.WithRequestID(r.Context(), reqID))
-		w.Header().Set("X-Request-Id", reqID)
-		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
-		start := time.Now()
-		defer func() {
-			if p := recover(); p != nil {
-				writeJSON(sw, http.StatusInternalServerError, ErrorBody{
-					Error: fmt.Sprintf("panic: %v", p),
-					Code:  "panic",
-				})
-			}
-			if s.cfg.Logger != nil {
-				s.cfg.Logger.Info("request",
-					"request_id", reqID,
-					"method", r.Method,
-					"path", r.URL.Path,
-					"status", sw.status,
-					"elapsed_ms", float64(time.Since(start).Microseconds())/1000,
-				)
-			}
-		}()
-		mux.ServeHTTP(sw, r)
-	})
+	return NewFront(s, s, FrontConfig{
+		Logger:       s.cfg.Logger,
+		MaxBatchJobs: s.cfg.MaxBatchJobs,
+		Registries:   []*obs.Registry{s.reg, obs.Default},
+	}).Handler()
 }
 
-// statusWriter captures the status code for the request log.
-type statusWriter struct {
-	http.ResponseWriter
-	status int
-	wrote  bool
-}
-
-func (w *statusWriter) WriteHeader(status int) {
-	if !w.wrote {
-		w.status = status
-		w.wrote = true
-	}
-	w.ResponseWriter.WriteHeader(status)
-}
-
-func (w *statusWriter) Write(b []byte) (int, error) {
-	w.wrote = true
-	return w.ResponseWriter.Write(b)
-}
-
-func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		w.Header().Set("Allow", http.MethodPost)
-		writeJSON(w, http.StatusMethodNotAllowed, ErrorBody{Error: "POST only", Code: "method"})
-		return
-	}
-	var req Request
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		werr := check.Invalid("serve: bad request body: %v", err)
-		writeJSON(w, http.StatusBadRequest, ErrorBody{Error: werr.Error(), Code: CodeOf(werr)})
-		return
-	}
-	resp, err := s.Solve(r.Context(), &req)
-	if resp != nil && (err == nil || errors.Is(err, check.ErrDegraded)) {
-		// A cache hit is already a private clone with zeroed timings;
-		// re-measuring its serialization would only report the cost of
-		// this handler, so it goes straight to the encoder. Fresh
-		// results measure serialization with a first marshal, record it
-		// in the timings, and encode again — on a copy, because the
-		// original pointer may be shared with the result cache.
-		if !resp.Cached {
-			resp = resp.clone()
-			encStart := time.Now()
-			if _, merr := json.Marshal(resp); merr == nil && resp.Timings != nil {
-				resp.Timings.EncodeMS = float64(time.Since(encStart).Microseconds()) / 1000
-			}
-		}
-		writeJSON(w, http.StatusOK, resp)
-		return
-	}
-	writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
-}
-
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, ErrorBody{Error: "draining", Code: "draining"})
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, `{"status":"ok"}`)
-}
+// noteRejected lets the Front charge protocol-level rejections (batch
+// over the job limit) to this server's admission-rejection counter.
+func (s *Server) noteRejected() { s.m.rejected.Inc() }
 
 // statsBody is the /stats payload.
 type statsBody struct {
@@ -960,7 +877,8 @@ type statsBody struct {
 	ChainBuildBytes  int64 `json:"chain_build_bytes"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// StatsPayload is the GET /stats response body (Service interface).
+func (s *Server) StatsPayload() any {
 	used, budget, queued := s.adm.snapshot()
 	buildObjects, buildBytes := network.ChainBuildStats()
 	body := statsBody{
@@ -975,30 +893,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ChainBuildAllocs: buildObjects,
 		ChainBuildBytes:  buildBytes,
 	}
-	s.breakers.each(func(class string, br *breaker) {
-		body.Breakers[class] = br.snapshot().String()
+	s.breakers.each(func(class string, br *Breaker) {
+		body.Breakers[class] = br.State().String()
 	})
-	writeJSON(w, http.StatusOK, body)
-}
-
-// jsonBufPool recycles encode buffers across responses; oversized
-// buffers (past 64 KiB) are dropped rather than pinned in the pool.
-var jsonBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	buf := jsonBufPool.Get().(*bytes.Buffer)
-	buf.Reset()
-	if err := json.NewEncoder(buf).Encode(v); err != nil {
-		// Response types marshal by construction; surface any
-		// programming error instead of sending a half-written body.
-		jsonBufPool.Put(buf)
-		http.Error(w, `{"error":"encode failure","code":"internal"}`, http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	_, _ = w.Write(buf.Bytes())
-	if buf.Cap() <= 1<<16 {
-		jsonBufPool.Put(buf)
-	}
+	return body
 }

@@ -386,6 +386,17 @@ func CacheKey(net *network.Network, k, n int) string {
 	return fmt.Sprintf("%s|k=%d|n=%d", networkKey(net), k, n)
 }
 
+// ShardKey is the canonical identity of a factored chain: the
+// resolved network plus the population K, with the workload size n
+// excluded — every n over the same chain reuses one factorization.
+// It keys the server's solver cache, the batch scheduler's grouping,
+// and the fleet router's consistent-hash placement, so the replica a
+// request hashes to is exactly the replica whose caches are warm for
+// its model.
+func ShardKey(net *network.Network, k int) string {
+	return fmt.Sprintf("%s|K=%d", networkKey(net), k)
+}
+
 // networkKey is the canonical JSON of the network's wire form.
 func networkKey(net *network.Network) string {
 	b, err := json.Marshal(SpecFromNetwork(net))

@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+
+	"finwl/internal/check"
+)
+
+// ErrorFromWire is the reverse of the StatusOf/CodeOf mapping: it
+// reconstructs the typed sentinel from a replica's JSON error body so
+// a router (or any HTTP client of finwld) can branch with errors.Is
+// instead of matching status codes or message strings. The returned
+// error keeps the replica's message and matches exactly the sentinels
+// the originating error did — a 503 "draining" round-trips back to
+// ErrDraining ∧ check.ErrOverloaded, a 504 "canceled" to
+// check.ErrCanceled, and so on (the forward table lives in DESIGN.md
+// §9).
+//
+// Unknown codes fall back on the status class: 400 → ErrInvalidModel,
+// 429 → ErrOverloaded, 503 → ErrOverloaded (the replica refused the
+// work for a reason this build does not know; retrying elsewhere can
+// help), 504 → ErrCanceled. Anything else — including chaos-injected
+// or proxy-generated 5xx — stays untyped, which router retry policy
+// treats as a replica fault.
+func ErrorFromWire(status int, body ErrorBody) error {
+	msg := body.Error
+	if msg == "" {
+		msg = fmt.Sprintf("HTTP %d", status)
+	}
+	switch body.Code {
+	case "invalid_model":
+		return fmt.Errorf("%s: %w", msg, check.ErrInvalidModel)
+	case "overloaded":
+		return fmt.Errorf("%s: %w", msg, check.ErrOverloaded)
+	case "draining":
+		return fmt.Errorf("%s: %w: %w", msg, ErrDraining, check.ErrOverloaded)
+	case "unavailable":
+		return fmt.Errorf("%s: %w: %w", msg, ErrUnavailable, check.ErrOverloaded)
+	case "canceled":
+		return fmt.Errorf("%s: %w", msg, check.ErrCanceled)
+	case "singular":
+		return fmt.Errorf("%s: %w", msg, check.ErrSingular)
+	case "numeric":
+		return fmt.Errorf("%s: %w", msg, check.ErrNumeric)
+	case "not_converged":
+		return fmt.Errorf("%s: %w", msg, check.ErrNotConverged)
+	case "degraded":
+		return fmt.Errorf("%s: %w", msg, check.ErrDegraded)
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return fmt.Errorf("%s: %w", msg, check.ErrInvalidModel)
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return fmt.Errorf("%s: %w", msg, check.ErrOverloaded)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("%s: %w", msg, check.ErrCanceled)
+	}
+	return fmt.Errorf("serve: replica error: %s (HTTP %d, code %q)", msg, status, body.Code)
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+
+	"finwl/internal/check"
+)
+
+// TestErrorWireRoundTrip: every sentinel the serve boundary can emit
+// survives the status/code → JSON → ErrorFromWire round trip, so a
+// router branches on exactly the error the replica raised.
+func TestErrorWireRoundTrip(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want []error // every sentinel the reconstruction must match
+	}{
+		{"invalid", check.Invalid("bad station"), []error{check.ErrInvalidModel}},
+		{"overloaded", fmt.Errorf("queue full: %w", check.ErrOverloaded), []error{check.ErrOverloaded}},
+		{"draining", errDraining(), []error{ErrDraining, check.ErrOverloaded}},
+		{"unavailable", Unavailable(nil), []error{ErrUnavailable, check.ErrOverloaded}},
+		{"canceled", fmt.Errorf("deadline: %w", check.ErrCanceled), []error{check.ErrCanceled}},
+		{"singular", fmt.Errorf("pivot: %w", check.ErrSingular), []error{check.ErrSingular}},
+		{"numeric", fmt.Errorf("overflow: %w", check.ErrNumeric), []error{check.ErrNumeric}},
+		{"not_converged", fmt.Errorf("stalled: %w", check.ErrNotConverged), []error{check.ErrNotConverged}},
+		{"degraded", &DegradedError{Fidelity: FidelityBounds, Reason: "x"}, []error{check.ErrDegraded}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, code := StatusOf(tc.err), CodeOf(tc.err)
+			back := ErrorFromWire(status, ErrorBody{Error: tc.err.Error(), Code: code})
+			for _, sentinel := range tc.want {
+				if !errors.Is(back, sentinel) {
+					t.Errorf("round trip of %v (status %d code %q) lost sentinel %v; got %v",
+						tc.err, status, code, sentinel, back)
+				}
+			}
+			if back.Error() == "" {
+				t.Error("reconstructed error has empty message")
+			}
+			// The reconstruction must map back to the same status, so a
+			// router re-serving the error keeps the wire contract.
+			if got := StatusOf(back); got != status {
+				t.Errorf("reconstructed error maps to status %d, was %d", got, status)
+			}
+		})
+	}
+}
+
+// TestErrorFromWireStatusFallback: unknown codes classify by status
+// class, and everything else stays untyped (a replica fault for the
+// router's retry policy).
+func TestErrorFromWireStatusFallback(t *testing.T) {
+	if err := ErrorFromWire(http.StatusBadRequest, ErrorBody{Error: "x", Code: "mystery"}); !errors.Is(err, check.ErrInvalidModel) {
+		t.Errorf("unknown-code 400 = %v, want ErrInvalidModel", err)
+	}
+	if err := ErrorFromWire(http.StatusTooManyRequests, ErrorBody{}); !errors.Is(err, check.ErrOverloaded) {
+		t.Errorf("bare 429 = %v, want ErrOverloaded", err)
+	}
+	if err := ErrorFromWire(http.StatusServiceUnavailable, ErrorBody{}); !errors.Is(err, check.ErrOverloaded) {
+		t.Errorf("bare 503 = %v, want ErrOverloaded", err)
+	}
+	if err := ErrorFromWire(http.StatusGatewayTimeout, ErrorBody{}); !errors.Is(err, check.ErrCanceled) {
+		t.Errorf("bare 504 = %v, want ErrCanceled", err)
+	}
+
+	// Chaos-injected and proxy-generated failures stay untyped.
+	for _, status := range []int{http.StatusInternalServerError, http.StatusBadGateway} {
+		err := ErrorFromWire(status, ErrorBody{Error: "injected", Code: "chaos"})
+		if err == nil {
+			t.Fatalf("status %d returned nil", status)
+		}
+		for _, sentinel := range []error{
+			check.ErrInvalidModel, check.ErrOverloaded, check.ErrCanceled,
+			check.ErrSingular, check.ErrNumeric, check.ErrNotConverged, check.ErrDegraded,
+		} {
+			if errors.Is(err, sentinel) {
+				t.Errorf("untyped status %d matched sentinel %v", status, sentinel)
+			}
+		}
+	}
+}

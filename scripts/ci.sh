@@ -223,4 +223,86 @@ if [ "$rc" -ne 0 ]; then
     exit 1
 fi
 
+echo "== finwld fleet smoke =="
+# Boot two replica daemons plus a router over them, solve through the
+# router, SIGKILL whichever replica answered, and require the repeat
+# request (same model, fresh population, so the same shard but a cold
+# result cache) to come back correct via failover — then a clean
+# SIGTERM drain of the router.
+scrape_addr() { # logfile
+    local a=""
+    for _ in $(seq 1 100); do
+        a=$(sed -n 's/^finwld listening on //p' "$1")
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    if [ -z "$a" ]; then
+        echo "fleet smoke: daemon behind $1 never reported its address" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    echo "$a"
+}
+"$bindir/finwld" -addr 127.0.0.1:0 -quiet >"$bindir/rep1.log" 2>&1 &
+rep1_pid=$!
+"$bindir/finwld" -addr 127.0.0.1:0 -quiet >"$bindir/rep2.log" 2>&1 &
+rep2_pid=$!
+trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
+rep1_url="http://$(scrape_addr "$bindir/rep1.log")"
+rep2_url="http://$(scrape_addr "$bindir/rep2.log")"
+"$bindir/finwld" -addr 127.0.0.1:0 -router "$rep1_url,$rep2_url" \
+    -probe-interval 200ms >"$bindir/router.log" 2>&1 &
+router_pid=$!
+router_addr=$(scrape_addr "$bindir/router.log")
+body=$(curl -s -X POST -d '{"arch":"central","k":3,"n":10}' "http://$router_addr/solve")
+via=$(sed -n 's/.*"routed_via":"\([^"]*\)".*/\1/p' <<< "$body")
+if [ -z "$via" ]; then
+    echo "fleet smoke: routed solve carries no routed_via: $body" >&2
+    exit 1
+fi
+owner_url=${via##* }
+case "$owner_url" in
+"$rep1_url") victim=$rep1_pid; survivor_url=$rep2_url ;;
+"$rep2_url") victim=$rep2_pid; survivor_url=$rep1_url ;;
+*)  echo "fleet smoke: routed_via $via names neither replica" >&2
+    exit 1 ;;
+esac
+kill -KILL "$victim"
+wait "$victim" 2>/dev/null || true
+body=$(curl -s -X POST -d '{"arch":"central","k":3,"n":11}' "http://$router_addr/solve")
+via=$(sed -n 's/.*"routed_via":"\([^"]*\)".*/\1/p' <<< "$body")
+if ! grep -q '"total_time":' <<< "$body" || [ "${via##* }" != "$survivor_url" ]; then
+    echo "fleet smoke: solve after SIGKILL of $owner_url did not fail over: $body" >&2
+    cat "$bindir/router.log" >&2
+    exit 1
+fi
+page=$(curl -s "http://$router_addr/metrics")
+if ! grep -Eq '^finwl_fleet_failover_total [1-9]' <<< "$page"; then
+    echo "fleet smoke: failover counter did not move:" >&2
+    grep '^finwl_fleet' <<< "$page" >&2
+    exit 1
+fi
+for rep_url in "$rep1_url" "$rep2_url"; do
+    if ! grep -qF "finwl_fleet_replica_healthy{replica=\"$rep_url\"}" <<< "$page"; then
+        echo "fleet smoke: /metrics missing health gauge for $rep_url" >&2
+        grep '^finwl_fleet' <<< "$page" >&2
+        exit 1
+    fi
+done
+stats=$(curl -s "http://$router_addr/stats")
+if ! grep -q '"mode":"router"' <<< "$stats" \
+    || ! grep -Eq '"failovers":[1-9]' <<< "$stats"; then
+    echo "fleet smoke: router /stats incoherent: $stats" >&2
+    exit 1
+fi
+kill -TERM "$router_pid"
+rc=0
+wait "$router_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "fleet smoke: router exit $rc after SIGTERM, want a clean drain (0)" >&2
+    cat "$bindir/router.log" >&2
+    exit 1
+fi
+kill -TERM "$rep1_pid" "$rep2_pid" 2>/dev/null || true
+
 echo "CI OK"
