@@ -16,6 +16,13 @@
 // POST /jobs + GET /jobs/{id} (async batches with polled progress),
 // GET /healthz, GET /stats, GET /metrics.
 //
+// Durability: -journal DIR appends every async-job transition to an
+// append-only JSONL journal, so a crash-restart over the same
+// directory re-enqueues unfinished batches, keeps finished results
+// fetchable under their old IDs, and replays Idempotency-Keys to the
+// same job. -fsync picks the always/interval/never tradeoff. A corrupt
+// journal refuses to boot (exit 1): repair or remove it explicitly.
+//
 // Fleet mode: -router turns this process into a health-aware router
 // over a comma-separated list of replica finwld URLs — each request
 // consistent-hashes to the replica whose caches are warm for its
@@ -70,6 +77,9 @@ func main() {
 		jobStore   = flag.Int("job-store", 0, "async job records held at once (0 = default 64)")
 		jobTTL     = flag.Duration("job-ttl", 0, "retention of finished async job results (0 = default 10m)")
 		asyncWk    = flag.Int("async-workers", 0, "concurrent async batch runs (0 = default 4)")
+		journalDir = flag.String("journal", "", "durability journal directory; async jobs survive a crash-restart (empty = in-memory only)")
+		fsync      = flag.String("fsync", "", "journal fsync policy: always|interval|never (default interval)")
+		replicaID  = flag.String("replica-id", "", "stable job-ID prefix for fleet routing (default: generated and persisted in the journal dir)")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful-drain deadline on shutdown")
 		metrics    = cliutil.MetricsAddrFlag()
 		quiet      = flag.Bool("quiet", false, "disable per-request structured logging")
@@ -98,6 +108,8 @@ func main() {
 			SpillDepth:    *spillDepth,
 			MaxTimeout:    *maxTimeout,
 			MaxBatchJobs:  *maxBatch,
+			JournalDir:    *journalDir,
+			Fsync:         *fsync,
 			Logger:        logger,
 		})
 		if err != nil {
@@ -106,7 +118,10 @@ func main() {
 		}
 		svc = rt
 	} else {
-		svc = serve.New(serve.Config{
+		// NewRecovered (not New): a corrupt journal must refuse to boot
+		// rather than silently shed durability — the operator decides
+		// whether to repair or discard it.
+		s, err := serve.NewRecovered(serve.Config{
 			Budget:          *budget,
 			MaxQueue:        *queue,
 			CacheSize:       *cacheSize,
@@ -116,8 +131,16 @@ func main() {
 			JobStoreSize:    *jobStore,
 			JobTTL:          *jobTTL,
 			AsyncWorkers:    *asyncWk,
+			JournalDir:      *journalDir,
+			Fsync:           *fsync,
+			ReplicaID:       *replicaID,
 			Logger:          logger,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
+			os.Exit(1)
+		}
+		svc = s
 	}
 	if err := run(*addr, *metrics, svc, *drain); err != nil {
 		fmt.Fprintf(os.Stderr, "finwld: %v\n", err)

@@ -91,9 +91,21 @@ type Progress struct {
 	// the size of every group (groups are solved in first-appearance
 	// order of their keys, but complete in any order).
 	OnPlan func(jobs int, groupJobs []int)
+	// OnPlanGroups fires alongside OnPlan with each group's member job
+	// indices — the detail a durability journal needs to checkpoint
+	// groups by the caller's own indexing.
+	OnPlanGroups func(groups [][]int)
 	// OnGroupStart / OnGroupDone fire per group index.
 	OnGroupStart func(group int)
-	OnGroupDone  func(group int)
+	// OnGroupDone fires after every member of the group has settled
+	// (OnJobSettled included), so a checkpoint taken here sees the
+	// group's final outcomes.
+	OnGroupDone func(group int)
+	// OnJobSettled fires as each job's outcome lands, with the job's
+	// index into the Run slice — the streaming view of the []Outcome
+	// that Run returns. Settles for different jobs may run concurrently
+	// on scheduler goroutines.
+	OnJobSettled func(job int, o Outcome)
 	// OnJobDone fires after every job settles with the running count.
 	OnJobDone func(done, total int)
 }
@@ -160,10 +172,20 @@ func (s *Scheduler) Run(ctx context.Context, jobs []Job, prog *Progress) []Outco
 		}
 		prog.OnPlan(len(jobs), sizes)
 	}
+	if prog != nil && prog.OnPlanGroups != nil {
+		members := make([][]int, len(groups))
+		for gi, g := range groups {
+			members[gi] = append([]int(nil), g.idxs...)
+		}
+		prog.OnPlanGroups(members)
+	}
 
 	var done atomic.Int64
 	settle := func(i int, o Outcome) {
 		outcomes[i] = o
+		if prog != nil && prog.OnJobSettled != nil {
+			prog.OnJobSettled(i, o)
+		}
 		if prog != nil && prog.OnJobDone != nil {
 			prog.OnJobDone(int(done.Add(1)), len(jobs))
 		}

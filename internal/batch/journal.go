@@ -1,0 +1,427 @@
+package batch
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"finwl/internal/check"
+)
+
+// FsyncPolicy selects how eagerly journal appends reach the disk.
+type FsyncPolicy string
+
+const (
+	// FsyncAlways fsyncs after every append: a record is durable before
+	// its caller sees the submit acknowledged. Highest latency.
+	FsyncAlways FsyncPolicy = "always"
+	// FsyncInterval batches fsyncs on a background ticker (default
+	// 100ms): a crash loses at most one interval of appends. The
+	// replayer treats whatever survived as the truth, so the only cost
+	// is re-running work whose submit record was lost.
+	FsyncInterval FsyncPolicy = "interval"
+	// FsyncNever leaves flushing to the OS page cache — durable across
+	// process crashes but not across power loss.
+	FsyncNever FsyncPolicy = "never"
+)
+
+// ParseFsyncPolicy validates a policy string (the -fsync flag).
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch FsyncPolicy(s) {
+	case "", FsyncInterval:
+		return FsyncInterval, nil
+	case FsyncAlways:
+		return FsyncAlways, nil
+	case FsyncNever:
+		return FsyncNever, nil
+	}
+	return "", check.Invalid("batch: fsync policy %q, want always|interval|never", s)
+}
+
+// Journal entry ops. A job's life on disk is one OpSubmit, zero or
+// more OpGroup checkpoints, and exactly one of OpDone / OpCancel; the
+// fleet router additionally journals OpRedispatch when it moves an
+// orphaned job to a ring successor. Unknown ops are skipped on replay
+// so a journal written by a newer build still rehydrates what this
+// one understands.
+const (
+	OpSubmit     = "submit"
+	OpGroup      = "group"
+	OpDone       = "done"
+	OpCancel     = "cancel"
+	OpRedispatch = "redispatch"
+)
+
+// Entry is one journal record. Fields beyond Op/ID are op-specific;
+// payloads (the submitted requests, a checkpoint group's settled
+// items) stay raw JSON so the journal does not depend on the serving
+// layer's types.
+type Entry struct {
+	Op string    `json:"op"`
+	ID string    `json:"id"`
+	T  time.Time `json:"t,omitempty"`
+
+	// OpSubmit
+	IdemKey   string          `json:"idem_key,omitempty"`
+	JobsTotal int             `json:"jobs_total,omitempty"`
+	Reqs      json.RawMessage `json:"reqs,omitempty"`
+	Owner     string          `json:"owner,omitempty"` // router journal: owning replica URL
+	Key       string          `json:"key,omitempty"`   // router journal: dominant shard key
+
+	// OpGroup (one solved group's checkpoint) and OpDone (final items).
+	Group  int             `json:"group,omitempty"`
+	Idx    []int           `json:"idx,omitempty"` // request indices settled by Items
+	Groups []int           `json:"groups,omitempty"`
+	Items  json.RawMessage `json:"items,omitempty"`
+
+	// OpCancel / OpDone with a batch-level error.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+
+	// OpRedispatch
+	NewID string `json:"new_id,omitempty"`
+
+	// ReqsV/ItemsV are lazy variants of Reqs/Items: writeEntry
+	// marshals them at write time — on the flush goroutine under the
+	// interval policy — so submit/settle hot paths never pay for
+	// payload serialization. Never populated on replayed entries.
+	ReqsV  any `json:"-"`
+	ItemsV any `json:"-"`
+}
+
+// JournalHooks intercept the journal's file writes and fsyncs, for
+// fault injection (chaos.DiskFaults) and tests. A nil hook passes
+// through. Hooks run under the journal's lock and must not call back
+// into it.
+type JournalHooks struct {
+	Write func(b []byte, next func([]byte) (int, error)) (int, error)
+	Sync  func(next func() error) error
+}
+
+// JournalConfig opens a Journal.
+type JournalConfig struct {
+	Path     string
+	Fsync    FsyncPolicy   // default FsyncInterval
+	Interval time.Duration // FsyncInterval period (default 100ms)
+	Hooks    JournalHooks
+	Logger   *slog.Logger     // torn-tail and write-failure warnings; nil discards
+	Now      func() time.Time // entry timestamps (nil = wall clock)
+}
+
+// Journal is an append-only JSONL log of async-job state transitions.
+// Appends are serialized under one mutex; replay happens once, in
+// OpenJournal, before any append.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	w      *bufio.Writer
+	hooks  JournalHooks
+	policy FsyncPolicy
+	now    func() time.Time
+	logger *slog.Logger
+
+	dirty  bool // appended since last sync (interval policy)
+	closed bool
+
+	writeFails atomic.Int64
+
+	// Interval policy: Append hands the entry to the flush goroutine
+	// instead of marshaling and writing on the caller — the policy
+	// already tolerates losing an interval of appends on a crash, so
+	// the handoff costs nothing in guarantees and keeps the submit
+	// path's latency within a hair of the journal-less one.
+	appendQ   chan Entry
+	stopOnce  sync.Once
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// OpenJournal opens (creating if needed) the journal at cfg.Path,
+// replays every complete record already in it, and returns the entries
+// oldest-first. A partial last record — the signature of a crash mid-
+// append — is truncated away with a warning; a malformed record
+// anywhere else fails typed check.ErrJournalCorrupt, because silently
+// skipping it could resurrect or lose jobs.
+func OpenJournal(cfg JournalConfig) (*Journal, []Entry, error) {
+	if cfg.Fsync == "" {
+		cfg.Fsync = FsyncInterval
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 100 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	f, err := os.OpenFile(cfg.Path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("batch: open journal: %w", err)
+	}
+	entries, keep, err := replay(f, cfg.Path)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if end, serr := f.Seek(0, io.SeekEnd); serr == nil && keep < end {
+		if cfg.Logger != nil {
+			cfg.Logger.Warn("journal: truncating torn tail",
+				"path", cfg.Path, "kept_bytes", keep, "torn_bytes", end-keep)
+		}
+		if err := f.Truncate(keep); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("batch: truncate torn journal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("batch: seek journal: %w", err)
+	}
+	j := &Journal{
+		f:      f,
+		w:      bufio.NewWriter(f),
+		hooks:  cfg.Hooks,
+		policy: cfg.Fsync,
+		now:    cfg.Now,
+		logger: cfg.Logger,
+	}
+	if j.policy == FsyncInterval {
+		j.appendQ = make(chan Entry, 1024)
+		j.flushStop = make(chan struct{})
+		j.flushDone = make(chan struct{})
+		go j.flushLoop(cfg.Interval)
+	}
+	return j, entries, nil
+}
+
+// replay decodes every complete record and returns the byte offset of
+// the last good newline-terminated entry, so the caller can truncate a
+// torn tail.
+func replay(f *os.File, path string) (entries []Entry, keep int64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, fmt.Errorf("batch: seek journal: %w", err)
+	}
+	r := bufio.NewReader(f)
+	line := 0
+	for {
+		raw, rerr := r.ReadBytes('\n')
+		complete := rerr == nil
+		if len(raw) > 0 {
+			line++
+			var e Entry
+			if derr := json.Unmarshal(raw, &e); derr != nil || e.Op == "" || e.ID == "" {
+				if !complete {
+					// Torn tail: the crash interrupted this append.
+					return entries, keep, nil
+				}
+				// A complete-but-broken record mid-file: flag, don't guess.
+				return nil, 0, fmt.Errorf("batch: journal %s record %d: %v: %w",
+					path, line, derr, check.ErrJournalCorrupt)
+			}
+			if !complete {
+				// Parses but lost its newline — the final flush died after
+				// the payload, before the terminator. The record is whole;
+				// keep it and let the truncation re-align to its end.
+				entries = append(entries, e)
+				keep += int64(len(raw))
+				return entries, keep, nil
+			}
+			entries = append(entries, e)
+			keep += int64(len(raw))
+		}
+		if rerr != nil {
+			if rerr == io.EOF {
+				return entries, keep, nil
+			}
+			return nil, 0, fmt.Errorf("batch: read journal: %w", rerr)
+		}
+	}
+}
+
+// Append writes one entry. Failures are absorbed: the journal logs,
+// counts them (WriteFailures), and the in-memory path keeps serving —
+// durability degrades rather than availability. The entry's timestamp
+// is stamped here if unset. Under the interval policy the entry is
+// queued to the flush goroutine and lands within one interval; the
+// other policies write (and, for always, fsync) before returning.
+func (j *Journal) Append(e Entry) {
+	if j == nil {
+		return
+	}
+	if e.T.IsZero() {
+		e.T = j.now()
+	}
+	if j.policy == FsyncInterval {
+		select {
+		case j.appendQ <- e:
+		case <-j.flushStop:
+			// Closing: the entry joins the (at most one interval of)
+			// appends the policy already declares losable.
+		}
+		return
+	}
+	j.writeEntry(e)
+}
+
+// writeEntry marshals and writes one entry, applying the policy's
+// flush behavior. Runs on the caller for always/never, on the flush
+// goroutine for interval.
+func (j *Journal) writeEntry(e Entry) {
+	if e.Reqs == nil && e.ReqsV != nil {
+		raw, err := json.Marshal(e.ReqsV)
+		if err != nil {
+			j.fail("marshal", err)
+			return
+		}
+		e.Reqs, e.ReqsV = raw, nil
+	}
+	if e.Items == nil && e.ItemsV != nil {
+		raw, err := json.Marshal(e.ItemsV)
+		if err != nil {
+			j.fail("marshal", err)
+			return
+		}
+		e.Items, e.ItemsV = raw, nil
+	}
+	b, err := json.Marshal(&e)
+	if err != nil {
+		j.fail("marshal", err)
+		return
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	write := j.w.Write
+	if j.hooks.Write != nil {
+		prev := write
+		write = func(p []byte) (int, error) { return j.hooks.Write(p, prev) }
+	}
+	if n, err := write(b); err != nil || n < len(b) {
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		j.fail("write", err)
+		return
+	}
+	switch j.policy {
+	case FsyncAlways:
+		if err := j.syncLocked(); err != nil {
+			j.fail("sync", err)
+		}
+	case FsyncInterval:
+		j.dirty = true
+	case FsyncNever:
+		if err := j.w.Flush(); err != nil {
+			j.fail("flush", err)
+		}
+	}
+}
+
+// Sync flushes buffered appends and fsyncs the file.
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	sync := j.f.Sync
+	if j.hooks.Sync != nil {
+		prev := sync
+		sync = func() error { return j.hooks.Sync(prev) }
+	}
+	if err := sync(); err != nil {
+		return err
+	}
+	j.dirty = false
+	return nil
+}
+
+// WriteFailures reports how many appends or syncs have failed since
+// open — the degraded-durability tripwire surfaced as a metric.
+func (j *Journal) WriteFailures() int64 {
+	if j == nil {
+		return 0
+	}
+	return j.writeFails.Load()
+}
+
+func (j *Journal) fail(stage string, err error) {
+	j.writeFails.Add(1)
+	if j.logger != nil {
+		j.logger.Warn("journal: append failed, continuing without durability",
+			"stage", stage, "error", err)
+	}
+}
+
+func (j *Journal) flushLoop(interval time.Duration) {
+	defer close(j.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case e := <-j.appendQ:
+			j.writeEntry(e)
+		case <-t.C:
+			j.mu.Lock()
+			if j.dirty && !j.closed {
+				if err := j.syncLocked(); err != nil {
+					j.fail("sync", err)
+				}
+			}
+			j.mu.Unlock()
+		case <-j.flushStop:
+			// Drain what made it into the queue before the stop signal,
+			// then let Close take the final sync.
+			for {
+				select {
+				case e := <-j.appendQ:
+					j.writeEntry(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Close drains queued appends, performs a final sync and releases the
+// file. Safe to call twice; appends after Close are dropped.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	if j.flushStop != nil {
+		j.stopOnce.Do(func() { close(j.flushStop) })
+		<-j.flushDone
+	}
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	err := j.syncLocked()
+	j.closed = true
+	f := j.f
+	j.mu.Unlock()
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,0 +1,191 @@
+package batch
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"finwl/internal/check"
+)
+
+func openTestJournal(t *testing.T, path string, hooks JournalHooks) (*Journal, []Entry) {
+	t.Helper()
+	j, entries, err := OpenJournal(JournalConfig{Path: path, Fsync: FsyncAlways, Hooks: hooks})
+	if err != nil {
+		t.Fatalf("OpenJournal(%s): %v", path, err)
+	}
+	return j, entries
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, entries := openTestJournal(t, path, JournalHooks{})
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal replayed %d entries", len(entries))
+	}
+	j.Append(Entry{Op: OpSubmit, ID: "a", JobsTotal: 2, IdemKey: "k1", Reqs: json.RawMessage(`[{"k":3}]`)})
+	j.Append(Entry{Op: OpGroup, ID: "a", Group: 0, Idx: []int{0, 1}, Items: json.RawMessage(`[{},{}]`)})
+	j.Append(Entry{Op: OpDone, ID: "a", Items: json.RawMessage(`[{},{}]`)})
+	if err := j.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	j2, entries := openTestJournal(t, path, JournalHooks{})
+	defer j2.Close()
+	if len(entries) != 3 {
+		t.Fatalf("replayed %d entries, want 3", len(entries))
+	}
+	if entries[0].Op != OpSubmit || entries[0].ID != "a" || entries[0].IdemKey != "k1" || entries[0].JobsTotal != 2 {
+		t.Fatalf("submit entry mangled: %+v", entries[0])
+	}
+	if entries[1].Op != OpGroup || len(entries[1].Idx) != 2 {
+		t.Fatalf("group entry mangled: %+v", entries[1])
+	}
+	if entries[0].T.IsZero() {
+		t.Fatal("entry timestamp not stamped")
+	}
+}
+
+func TestJournalTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _ := openTestJournal(t, path, JournalHooks{})
+	j.Append(Entry{Op: OpSubmit, ID: "a"})
+	j.Append(Entry{Op: OpSubmit, ID: "b"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a partial record with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"done","id":"b","it`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	for round := 0; round < 2; round++ { // replay must be idempotent
+		j2, entries := openTestJournal(t, path, JournalHooks{})
+		if err := j2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 2 || entries[0].ID != "a" || entries[1].ID != "b" {
+			t.Fatalf("round %d: replayed %+v, want the 2 complete records", round, entries)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"it`) {
+		t.Fatalf("torn tail not truncated: %q", raw)
+	}
+}
+
+func TestJournalMidFileCorruptionTyped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	body := `{"op":"submit","id":"a"}` + "\n" + `{"op":garbage}` + "\n" + `{"op":"done","id":"a"}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := OpenJournal(JournalConfig{Path: path})
+	if !errors.Is(err, check.ErrJournalCorrupt) {
+		t.Fatalf("mid-file corruption: %v, want ErrJournalCorrupt", err)
+	}
+}
+
+func TestJournalLastRecordMissingNewlineKept(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	body := `{"op":"submit","id":"a"}` + "\n" + `{"op":"done","id":"a"}` // no trailing \n
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries := openTestJournal(t, path, JournalHooks{})
+	defer j.Close()
+	if len(entries) != 2 || entries[1].Op != OpDone {
+		t.Fatalf("replayed %+v, want both records (last parses despite missing newline)", entries)
+	}
+}
+
+func TestJournalWriteFaultsAbsorbed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	fail := true
+	hooks := JournalHooks{
+		Write: func(b []byte, next func([]byte) (int, error)) (int, error) {
+			if fail {
+				return 0, fmt.Errorf("disk on fire")
+			}
+			return next(b)
+		},
+		Sync: func(next func() error) error {
+			if fail {
+				return fmt.Errorf("fsync on fire")
+			}
+			return next()
+		},
+	}
+	j, _ := openTestJournal(t, path, hooks)
+	j.Append(Entry{Op: OpSubmit, ID: "lost"})
+	if j.WriteFailures() == 0 {
+		t.Fatal("write failure not counted")
+	}
+	fail = false
+	j.Append(Entry{Op: OpSubmit, ID: "kept"})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, entries := openTestJournal(t, path, JournalHooks{})
+	if len(entries) != 1 || entries[0].ID != "kept" {
+		t.Fatalf("replayed %+v, want only the record written after the fault cleared", entries)
+	}
+}
+
+func TestJournalIntervalPolicyFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	j, _, err := OpenJournal(JournalConfig{Path: path, Fsync: FsyncInterval, Interval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Entry{Op: OpSubmit, ID: "a"})
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		raw, _ := os.ReadFile(path)
+		if strings.Contains(string(raw), `"id":"a"`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("interval flusher never wrote the entry")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseFsyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want FsyncPolicy
+		ok   bool
+	}{
+		{"", FsyncInterval, true},
+		{"interval", FsyncInterval, true},
+		{"always", FsyncAlways, true},
+		{"never", FsyncNever, true},
+		{"sometimes", "", false},
+	} {
+		got, err := ParseFsyncPolicy(tc.in)
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if !tc.ok && !errors.Is(err, check.ErrInvalidModel) {
+			t.Fatalf("ParseFsyncPolicy(%q): %v, want ErrInvalidModel", tc.in, err)
+		}
+	}
+}

@@ -52,6 +52,17 @@ type Store[R any] struct {
 	recs map[string]*Record[R]
 	// order holds record IDs oldest-first, for done-record eviction.
 	order []string
+	// nextExpiry is the earliest instant any done record can expire
+	// (zero = none can), so the O(held) expiry scan runs only when it
+	// can actually remove something instead of on every operation.
+	nextExpiry time.Time
+
+	// Gone tracking (TrackGone): IDs of records that once existed but
+	// were expired or evicted, so Lookup can tell "expired" (410 Gone)
+	// from "never seen" (404). Bounded FIFO; disabled when goneCap = 0.
+	goneCap   int
+	gone      map[string]bool
+	goneOrder []string
 }
 
 // NewStore builds a Store holding at most capacity records, expiring
@@ -88,6 +99,99 @@ func (s *Store[R]) Add(id string, jobsTotal int) error {
 	s.recs[id] = &Record[R]{ID: id, State: StateQueued, JobsTotal: jobsTotal, Created: s.now()}
 	s.order = append(s.order, id)
 	return nil
+}
+
+// TrackGone enables tombstone tracking of up to capacity expired or
+// evicted record IDs, so Lookup can distinguish a once-valid ID from a
+// never-seen one. Off by default: without a journal the distinction
+// does not survive a restart anyway, and the pre-durability wire
+// behavior (404 for both) is preserved bit-for-bit.
+func (s *Store[R]) TrackGone(capacity int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if capacity < 1 {
+		capacity = 1
+	}
+	s.goneCap = capacity
+	if s.gone == nil {
+		s.gone = make(map[string]bool)
+	}
+}
+
+// MarkGone records id as once-valid-now-expired without it ever
+// entering the live map — the recovery path uses this for journaled
+// jobs that finished beyond the TTL before the restart.
+func (s *Store[R]) MarkGone(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.markGoneLocked(id)
+}
+
+func (s *Store[R]) markGoneLocked(id string) {
+	if s.goneCap <= 0 || s.gone[id] {
+		return
+	}
+	s.gone[id] = true
+	s.goneOrder = append(s.goneOrder, id)
+	for len(s.goneOrder) > s.goneCap {
+		delete(s.gone, s.goneOrder[0])
+		s.goneOrder = s.goneOrder[1:]
+	}
+}
+
+// LookupStatus is Lookup's verdict on a record ID.
+type LookupStatus int
+
+const (
+	// LookupMiss: never seen (or seen so long ago the tombstone itself
+	// was evicted) — the HTTP layer's 404.
+	LookupMiss LookupStatus = iota
+	// LookupGone: once valid, since expired or evicted — 410.
+	LookupGone
+	// LookupHit: live record returned.
+	LookupHit
+)
+
+// Lookup is Get plus the gone/never-seen distinction.
+func (s *Store[R]) Lookup(id string) (Record[R], LookupStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.expireLocked()
+	if r, ok := s.recs[id]; ok {
+		return snapshotLocked(r), LookupHit
+	}
+	if s.gone[id] {
+		return Record[R]{}, LookupGone
+	}
+	return Record[R]{}, LookupMiss
+}
+
+// Restore re-inserts a record rehydrated from the journal, preserving
+// its original timestamps and state. Replay idempotency: an ID already
+// present is left untouched (reported false). Unlike Add, Restore
+// never fails on a full store — journaled work survived a crash and
+// must not be dropped by a capacity race — though it still evicts done
+// records first to make room.
+func (s *Store[R]) Restore(rec Record[R]) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.recs[rec.ID]; ok {
+		return false
+	}
+	for len(s.recs) >= s.cap {
+		if !s.evictOldestDoneLocked() {
+			break
+		}
+	}
+	cp := rec
+	cp.Groups = append([]GroupProgress(nil), rec.Groups...)
+	cp.Results = append([]R(nil), rec.Results...)
+	s.recs[rec.ID] = &cp
+	s.order = append(s.order, rec.ID)
+	if cp.State == StateDone && !cp.Finished.IsZero() {
+		s.noteFinishedLocked(cp.Finished)
+	}
+	return true
 }
 
 // Get returns a snapshot of the record, or false if it is unknown or
@@ -153,6 +257,7 @@ func (s *Store[R]) Finish(id string, results []R, err error) {
 		r.Results = results
 		r.Err = err
 		r.Finished = s.now()
+		s.noteFinishedLocked(r.Finished)
 		if err == nil {
 			r.JobsDone = r.JobsTotal
 		}
@@ -171,6 +276,7 @@ func (s *Store[R]) DrainQueued(err error) {
 			r.State = StateDone
 			r.Err = err
 			r.Finished = s.now()
+			s.noteFinishedLocked(r.Finished)
 		}
 	}
 }
@@ -196,22 +302,45 @@ func (s *Store[R]) withLocked(id string, fn func(*Record[R])) {
 	}
 }
 
-// expireLocked drops done records past their TTL.
+// noteFinishedLocked folds a newly finished record into the expiry
+// horizon.
+func (s *Store[R]) noteFinishedLocked(finished time.Time) {
+	exp := finished.Add(s.ttl)
+	if s.nextExpiry.IsZero() || exp.Before(s.nextExpiry) {
+		s.nextExpiry = exp
+	}
+}
+
+// expireLocked drops done records past their TTL. The scan is
+// amortized: it runs only once the earliest possible expiry has
+// arrived, and recomputes the horizon as it goes.
 func (s *Store[R]) expireLocked() {
-	cutoff := s.now().Add(-s.ttl)
+	now := s.now()
+	if s.nextExpiry.IsZero() || now.Before(s.nextExpiry) {
+		return
+	}
+	cutoff := now.Add(-s.ttl)
+	var next time.Time
 	kept := s.order[:0]
 	for _, id := range s.order {
 		r, ok := s.recs[id]
 		if !ok {
 			continue
 		}
-		if r.State == StateDone && r.Finished.Before(cutoff) {
-			delete(s.recs, id)
-			continue
+		if r.State == StateDone {
+			if r.Finished.Before(cutoff) {
+				delete(s.recs, id)
+				s.markGoneLocked(id)
+				continue
+			}
+			if exp := r.Finished.Add(s.ttl); next.IsZero() || exp.Before(next) {
+				next = exp
+			}
 		}
 		kept = append(kept, id)
 	}
 	s.order = kept
+	s.nextExpiry = next
 }
 
 // evictOldestDoneLocked removes the oldest completed record, if any.
@@ -219,6 +348,7 @@ func (s *Store[R]) evictOldestDoneLocked() bool {
 	for i, id := range s.order {
 		if r, ok := s.recs[id]; ok && r.State == StateDone {
 			delete(s.recs, id)
+			s.markGoneLocked(id)
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			return true
 		}

@@ -2,6 +2,8 @@ package batch
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -121,4 +123,152 @@ func TestStoreDrainQueued(t *testing.T) {
 	if r, _ := st.Get("done"); r.Err != nil || len(r.Results) != 1 {
 		t.Fatalf("done record perturbed by drain: %+v", r)
 	}
+}
+
+func TestStoreGoneTracking(t *testing.T) {
+	now, advance := fakeClock(time.Unix(1000, 0))
+	st := NewStore[int](2, time.Minute, now)
+	st.TrackGone(8)
+	if _, status := st.Lookup("never"); status != LookupMiss {
+		t.Fatalf("unknown id: %v, want LookupMiss", status)
+	}
+	if err := st.Add("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, status := st.Lookup("a"); status != LookupHit {
+		t.Fatal("live record not a hit")
+	}
+	st.Finish("a", []int{1}, nil)
+	advance(2 * time.Minute)
+	if _, status := st.Lookup("a"); status != LookupGone {
+		t.Fatal("TTL-expired record not marked gone")
+	}
+	// Capacity eviction marks gone too.
+	if err := st.Add("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	st.Finish("b", []int{2}, nil)
+	for _, id := range []string{"c", "d"} {
+		if err := st.Add(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, status := st.Lookup("b"); status != LookupGone {
+		t.Fatal("evicted record not marked gone")
+	}
+	// MarkGone for a record that never entered the live map.
+	st.MarkGone("replayed-stale")
+	if _, status := st.Lookup("replayed-stale"); status != LookupGone {
+		t.Fatal("MarkGone id not gone")
+	}
+}
+
+func TestStoreGoneDisabledByDefault(t *testing.T) {
+	now, advance := fakeClock(time.Unix(1000, 0))
+	st := NewStore[int](2, time.Minute, now)
+	if err := st.Add("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	st.Finish("a", []int{1}, nil)
+	advance(2 * time.Minute)
+	if _, status := st.Lookup("a"); status != LookupMiss {
+		t.Fatal("gone tracking active without TrackGone; the journal-off path must keep 404 semantics")
+	}
+}
+
+func TestStoreGoneBounded(t *testing.T) {
+	now, _ := fakeClock(time.Unix(1000, 0))
+	st := NewStore[int](2, time.Minute, now)
+	st.TrackGone(2)
+	for _, id := range []string{"g1", "g2", "g3"} {
+		st.MarkGone(id)
+	}
+	if _, status := st.Lookup("g1"); status != LookupMiss {
+		t.Fatal("oldest tombstone survived past gone capacity")
+	}
+	if _, status := st.Lookup("g3"); status != LookupGone {
+		t.Fatal("newest tombstone lost")
+	}
+}
+
+func TestStoreRestore(t *testing.T) {
+	now, _ := fakeClock(time.Unix(5000, 0))
+	st := NewStore[string](2, time.Minute, now)
+	created := time.Unix(4000, 0)
+	finished := time.Unix(4970, 0) // within TTL of the clock's 5000
+	rec := Record[string]{
+		ID: "r1", State: StateDone, JobsTotal: 2, JobsDone: 2,
+		Results: []string{"x", "y"}, Created: created, Finished: finished,
+	}
+	if !st.Restore(rec) {
+		t.Fatal("first restore rejected")
+	}
+	if st.Restore(rec) {
+		t.Fatal("duplicate restore accepted; replay would double-insert")
+	}
+	got, ok := st.Get("r1")
+	if !ok || !got.Created.Equal(created) || !got.Finished.Equal(finished) || len(got.Results) != 2 {
+		t.Fatalf("restored record: %+v ok=%v", got, ok)
+	}
+	// Store-full + journal-replay interaction: restores beyond capacity
+	// evict done records first, and when only active records remain the
+	// restore still lands — journaled work is never dropped.
+	if err := st.Add("active1", 1); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Restore(Record[string]{ID: "r2", State: StateQueued, JobsTotal: 1, Created: created}) {
+		t.Fatal("restore over capacity rejected")
+	}
+	if _, ok := st.Get("r1"); ok {
+		t.Fatal("done record not evicted to make room for a restore")
+	}
+	if !st.Restore(Record[string]{ID: "r3", State: StateQueued, JobsTotal: 1, Created: created}) {
+		t.Fatal("restore with only active records rejected")
+	}
+	if held, active := st.Len(); held != 3 || active != 3 {
+		t.Fatalf("after over-capacity restore: held=%d active=%d, want 3/3", held, active)
+	}
+}
+
+// TestStoreConcurrentAccess exercises Put/Get/evict/expire under the
+// race detector with the fake clock advancing concurrently.
+func TestStoreConcurrentAccess(t *testing.T) {
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	st := NewStore[int](8, 50*time.Millisecond, clock)
+	st.TrackGone(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if err := st.Add(id, 1); err == nil {
+					st.Start(id)
+					st.JobsDone(id, 1)
+					st.Finish(id, []int{i}, nil)
+				}
+				st.Get(id)
+				st.Lookup(id)
+				st.Restore(Record[int]{ID: id + "-r", State: StateDone, JobsTotal: 1, Created: clock(), Finished: clock()})
+				st.Len()
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			mu.Lock()
+			now = now.Add(10 * time.Millisecond)
+			mu.Unlock()
+		}
+	}()
+	wg.Wait()
 }

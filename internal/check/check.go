@@ -24,6 +24,9 @@
 //	ErrDegraded     — the result was served by a cheaper approximation
 //	                  tier because the exact path was unavailable; the
 //	                  response is usable but not exact.
+//	ErrJournalCorrupt — a durability journal failed its integrity check
+//	                  on replay (boot-time only; a torn last record is
+//	                  truncated with a warning instead).
 //
 // check imports only the standard library plus internal/obs (itself
 // stdlib-only) so every package — including internal/matrix at the
@@ -70,6 +73,14 @@ var ErrOverloaded = errors.New("server overloaded")
 // tight, or a numerical failure). It accompanies a usable response —
 // callers that need exact numbers must check for it.
 var ErrDegraded = errors.New("result degraded to an approximation")
+
+// ErrJournalCorrupt is returned when a durability journal fails its
+// integrity check on replay: a record in the middle of the file does
+// not parse. (A partial *last* record is the ordinary signature of a
+// crash mid-append and is truncated with a warning, not an error.)
+// Recovery requires operator action — inspect or move the journal —
+// so this is raised at boot, never on a request path.
+var ErrJournalCorrupt = errors.New("journal corrupt")
 
 // canceledError wraps a context error so that errors.Is matches both
 // ErrCanceled and the underlying context sentinel. When the context

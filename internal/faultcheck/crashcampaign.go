@@ -1,0 +1,216 @@
+package faultcheck
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"finwl/internal/serve"
+)
+
+// CrashReport is the outcome of a JobsCrashCampaign: the mixed-batch
+// disposition polled to done before the crash, the same job's record as
+// the recovered server serves it, and whether a replayed
+// Idempotency-Key still maps to the pre-crash job.
+type CrashReport struct {
+	JobID      string
+	IdemStable bool
+	Before     *BatchReport
+	After      *BatchReport
+}
+
+// Check folds the whole crash contract: the recovered record must pass
+// the per-class and control checks on its own AND agree with the
+// pre-crash run — same typed code per degenerate class, bit-identical
+// totals per healthy control, same job for the replayed key.
+func (r *CrashReport) Check() error {
+	if !r.IdemStable {
+		return &Violation{Stage: "crash:idempotency",
+			Err: fmt.Errorf("replayed Idempotency-Key minted a new job after recovery")}
+	}
+	if len(r.After.Outcomes) != len(r.Before.Outcomes) {
+		return &Violation{Stage: "crash:shape",
+			Err: fmt.Errorf("recovered %d class outcomes, pre-crash had %d", len(r.After.Outcomes), len(r.Before.Outcomes))}
+	}
+	for i := range r.After.Outcomes {
+		b, a := r.Before.Outcomes[i], r.After.Outcomes[i]
+		if err := a.Check(); err != nil {
+			return err
+		}
+		if a.Code != b.Code {
+			return &Violation{Stage: "crash:" + a.Class,
+				Err: fmt.Errorf("recovery changed the typed code: %q before, %q after", b.Code, a.Code)}
+		}
+	}
+	if err := r.After.CheckValid(); err != nil {
+		return err
+	}
+	for i := range r.After.Valid {
+		b, a := r.Before.Valid[i], r.After.Valid[i]
+		if b.Response == nil || a.Response == nil {
+			return &Violation{Stage: "crash:valid",
+				Err: fmt.Errorf("control job %d lost its response across the crash", i)}
+		}
+		if a.Response.TotalTime != b.Response.TotalTime {
+			return &Violation{Stage: "crash:valid",
+				Err: fmt.Errorf("control job %d: recovered total %v != pre-crash %v", i, a.Response.TotalTime, b.Response.TotalTime)}
+		}
+	}
+	return nil
+}
+
+// JobsCrashCampaign runs the durability robustness campaign in dir:
+// boot a journal-backed server (fsync always), push the full
+// degenerate-class catalogue through POST /jobs under an
+// Idempotency-Key, poll it to done, then kill the server the hard way —
+// listener torn down, no Drain, the journal is all recovery gets — and
+// boot a second server over the same directory. The recovered server
+// must serve the job's results from its ID, agree with the pre-crash
+// run, and map the replayed key back to the same job.
+func JobsCrashCampaign(ctx context.Context, dir string) (*CrashReport, error) {
+	cfg := serve.Config{Seed: 13, JournalDir: dir, Fsync: "always"}
+	s1, err := serve.NewRecovered(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: boot pre-crash server: %w", err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+
+	reqs, classIdx, validIdx := campaignBatch()
+	body, err := json.Marshal(reqs)
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: marshal batch: %w", err)
+	}
+	const idemKey = "crash-campaign"
+	id, poll, err := submitJobOnce(ctx, ts1.URL, body, idemKey)
+	if err != nil {
+		return nil, err
+	}
+	pre, err := pollJobDone(ctx, ts1.URL, poll)
+	if err != nil {
+		return nil, err
+	}
+	if len(pre.Results) != len(reqs) {
+		return nil, fmt.Errorf("faultcheck: pre-crash job has %d results for %d jobs", len(pre.Results), len(reqs))
+	}
+	before := batchReport(pre.Results, classIdx, validIdx)
+
+	// SIGKILL stand-in: tear the listener down mid-conversation and
+	// never Drain — no flush, no clean close, the fsynced journal is the
+	// only state recovery gets.
+	ts1.CloseClientConnections()
+	ts1.Close()
+
+	s2, err := serve.NewRecovered(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("faultcheck: recover post-crash server: %w", err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer func() {
+		ts2.Close()
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = s2.Drain(sctx)
+		_ = s1.Drain(sctx) // post-campaign tidy-up; the crash already happened
+	}()
+
+	post, err := pollJobDone(ctx, ts2.URL, "/jobs/"+id)
+	if err != nil {
+		return nil, err
+	}
+	if len(post.Results) != len(reqs) {
+		return nil, fmt.Errorf("faultcheck: recovered job has %d results for %d jobs", len(post.Results), len(reqs))
+	}
+	again, _, err := submitJobOnce(ctx, ts2.URL, body, idemKey)
+	if err != nil {
+		return nil, err
+	}
+	return &CrashReport{
+		JobID:      id,
+		IdemStable: again == id,
+		Before:     before,
+		After:      batchReport(post.Results, classIdx, validIdx),
+	}, nil
+}
+
+// submitJobOnce POSTs one async batch and returns the accepted job ID
+// and poll path.
+func submitJobOnce(ctx context.Context, baseURL string, body []byte, idemKey string) (id, poll string, err error) {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/jobs", bytes.NewReader(body))
+	if err != nil {
+		return "", "", err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	if idemKey != "" {
+		httpReq.Header.Set("Idempotency-Key", idemKey)
+	}
+	resp, err := http.DefaultClient.Do(httpReq)
+	if err != nil {
+		return "", "", fmt.Errorf("faultcheck: POST /jobs: %w", err)
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	resp.Body.Close()
+	if err != nil {
+		return "", "", fmt.Errorf("faultcheck: read submit response: %w", err)
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return "", "", fmt.Errorf("faultcheck: POST /jobs: HTTP %d (body %s)", resp.StatusCode, bytes.TrimSpace(raw))
+	}
+	var acc struct {
+		ID   string `json:"id"`
+		Poll string `json:"poll"`
+	}
+	if err := json.Unmarshal(raw, &acc); err != nil || acc.ID == "" {
+		return "", "", fmt.Errorf("faultcheck: bad submit body %s: %v", bytes.TrimSpace(raw), err)
+	}
+	return acc.ID, acc.Poll, nil
+}
+
+// jobRecord is the slice of the GET /jobs/{id} body the campaigns read.
+type jobRecord struct {
+	State   string            `json:"state"`
+	Results []serve.BatchItem `json:"results"`
+	Error   string            `json:"error"`
+	Code    string            `json:"code"`
+}
+
+// pollJobDone polls GET {baseURL}{poll} until the job reports done.
+func pollJobDone(ctx context.Context, baseURL, poll string) (*jobRecord, error) {
+	for {
+		httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+poll, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: poll %s: %w", poll, err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: read poll response: %w", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("faultcheck: poll %s: HTTP %d (body %s)", poll, resp.StatusCode, bytes.TrimSpace(raw))
+		}
+		var job jobRecord
+		if err := json.Unmarshal(raw, &job); err != nil {
+			return nil, fmt.Errorf("faultcheck: decode poll response: %w", err)
+		}
+		if job.Error != "" {
+			return nil, fmt.Errorf("faultcheck: job failed as a whole: %s (%s)", job.Error, job.Code)
+		}
+		if job.State == "done" {
+			return &job, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("faultcheck: job still %q: %w", job.State, ctx.Err())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package faultcheck
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestJobsCrashCampaign: the full degenerate-class catalogue goes
+// through a journal-backed /jobs submission, the server dies without
+// draining, and the recovered server must reproduce every disposition —
+// all 15 classes typed, every control job intact, the idempotency
+// window still mapping the replayed key to the pre-crash job.
+func TestJobsCrashCampaign(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := JobsCrashCampaign(ctx, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(rep.After.Outcomes), len(Classes()); got != want {
+		t.Fatalf("campaign covered %d classes, catalogue has %d", got, want)
+	}
+	for _, o := range rep.After.Outcomes {
+		if err := o.Check(); err != nil {
+			t.Error(err)
+		}
+	}
+	if err := rep.After.CheckValid(); err != nil {
+		t.Error(err)
+	}
+	if err := rep.Check(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,9 +1,15 @@
 package faultcheck
 
 import (
+	"bytes"
+	"encoding/json"
+	"errors"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
 
+	"finwl/internal/batch"
 	"finwl/internal/check"
 	"finwl/internal/matrix"
 	"finwl/internal/network"
@@ -211,6 +217,49 @@ func FuzzRobustSolve(f *testing.F) {
 		}
 		if err := ExerciseSolve(a, b); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzJournalReplay drives the durability journal's replay path with
+// arbitrary file contents: any input must either replay cleanly (with a
+// possible torn-tail truncation) or fail typed ErrJournalCorrupt —
+// never panic — and a clean open must be idempotent: closing and
+// re-opening the repaired file yields identical entries.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"op\":\"submit\",\"id\":\"a\",\"jobs_total\":1}\n"))
+	f.Add([]byte("{\"op\":\"submit\",\"id\":\"a\"}\n{\"op\":\"done\",\"id\":\"a\"}\n{\"op\":\"gr"))
+	f.Add([]byte("{\"op\":broken}\n{\"op\":\"done\",\"id\":\"a\"}\n"))
+	f.Add([]byte("\x00\x01\x02"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "jobs.jsonl")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		j1, entries1, err := batch.OpenJournal(batch.JournalConfig{Path: path, Fsync: batch.FsyncNever})
+		if err != nil {
+			if !errors.Is(err, check.ErrJournalCorrupt) {
+				t.Fatalf("open: untyped error %v", err)
+			}
+			return
+		}
+		if err := j1.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		j2, entries2, err := batch.OpenJournal(batch.JournalConfig{Path: path, Fsync: batch.FsyncNever})
+		if err != nil {
+			t.Fatalf("reopen after torn-tail repair: %v", err)
+		}
+		defer j2.Close()
+		b1, err1 := json.Marshal(entries1)
+		b2, err2 := json.Marshal(entries2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal entries: %v / %v", err1, err2)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("replay not idempotent:\nfirst  (%d) %s\nsecond (%d) %s",
+				len(entries1), b1, len(entries2), b2)
 		}
 	})
 }

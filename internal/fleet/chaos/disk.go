@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+
+	"finwl/internal/batch"
+)
+
+// DiskFault configures the journal-level fault rates a Disk injects.
+// Each rate is the probability in [0,1] that the corresponding
+// operation misbehaves; zero disables that fault.
+type DiskFault struct {
+	WriteFail  float64 // append's write errors before touching disk
+	ShortWrite float64 // only a prefix of the record is written (torn tail)
+	SyncFail   float64 // fsync reports failure
+}
+
+// Disk is the durability counterpart of Injector: seeded write/sync
+// faults delivered through a batch.Journal's hook points, so the
+// crash campaigns can prove a server keeps serving — and keeps its
+// in-memory truth — while its disk misbehaves underneath it.
+type Disk struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	fault DiskFault
+
+	writeFails  int64
+	shortWrites int64
+	syncFails   int64
+}
+
+// NewDisk builds a disk-fault injector; seed fixes the draw sequence.
+func NewDisk(seed int64, f DiskFault) *Disk {
+	return &Disk{rng: rand.New(rand.NewSource(seed)), fault: f}
+}
+
+// Set swaps the active fault rates, so a test can break and heal the
+// disk mid-run.
+func (d *Disk) Set(f DiskFault) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.fault = f
+}
+
+// Counts reports how many operations each fault class has affected.
+func (d *Disk) Counts() (writeFails, shortWrites, syncFails int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.writeFails, d.shortWrites, d.syncFails
+}
+
+// Hooks returns the journal hook pair wired to this injector; pass it
+// as JournalHooks in the serve or fleet config.
+func (d *Disk) Hooks() batch.JournalHooks {
+	return batch.JournalHooks{Write: d.write, Sync: d.sync}
+}
+
+func (d *Disk) write(b []byte, next func([]byte) (int, error)) (int, error) {
+	d.mu.Lock()
+	f := d.fault
+	// Always burn both draws so the sequence is independent of the
+	// configured rates: same seed, same faulted operations.
+	failDraw, shortDraw := d.rng.Float64(), d.rng.Float64()
+	torn := false
+	switch {
+	case failDraw < f.WriteFail:
+		d.writeFails++
+		d.mu.Unlock()
+		return 0, errors.New("chaos: injected write failure")
+	case shortDraw < f.ShortWrite:
+		d.shortWrites++
+		torn = true
+	}
+	d.mu.Unlock()
+	if torn {
+		// Persist only a prefix — the torn tail a crash mid-write
+		// leaves. The short count makes the journal record the failure.
+		return next(b[:len(b)/2])
+	}
+	return next(b)
+}
+
+func (d *Disk) sync(next func() error) error {
+	d.mu.Lock()
+	fail := d.rng.Float64() < d.fault.SyncFail
+	if fail {
+		d.syncFails++
+	}
+	d.mu.Unlock()
+	if fail {
+		return errors.New("chaos: injected fsync failure")
+	}
+	return next()
+}

@@ -1,0 +1,463 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"finwl/internal/batch"
+	"finwl/internal/check"
+	"finwl/internal/obs"
+	"finwl/internal/serve"
+)
+
+// The router's async-job fabric. A submitted batch is forwarded whole
+// to the replica owning its dominant shard key (so the replica's batch
+// scheduler keeps its chain-sharing), and the router remembers which
+// replica owns which job ID. That memory — journaled when a JournalDir
+// is configured — is what makes orphan takeover possible: when the
+// active prober marks a replica down, every job it still owned is
+// re-dispatched to its ring successor under the same idempotency key,
+// so a redelivery race (or a router restart mid-takeover) cannot run
+// the work twice on one replica.
+
+// trackCap bounds the router's job memory; oldest finished jobs are
+// evicted first, falling back to ID-prefix routing for their GETs.
+const trackCap = 4096
+
+// fleetJob is the router's record of one routed async job.
+type fleetJob struct {
+	id      string          // job ID minted by the owning replica
+	idemKey string          // idempotency key (generated when the client sent none)
+	key     string          // dominant shard key, for the takeover successor walk
+	owner   string          // URL of the replica currently running the job
+	reqs    json.RawMessage // submitted payload, kept until done for redispatch
+	newID   string          // post-takeover job ID on the successor ("" before)
+	done    bool
+	taken   bool // takeover claimed (exactly-once guard)
+}
+
+// jobTracker is the mutex-guarded job memory.
+type jobTracker struct {
+	mu    sync.Mutex
+	byID  map[string]*fleetJob
+	byKey map[string]string // idemKey → job ID
+	order []string          // insertion order, for done-eviction
+}
+
+func newJobTracker() *jobTracker {
+	return &jobTracker{byID: make(map[string]*fleetJob), byKey: make(map[string]string)}
+}
+
+// add inserts a job record; an ID already present (journal replay, a
+// replica deduplicating a replayed key) is left untouched.
+func (t *jobTracker) add(job *fleetJob) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.byID[job.id]; ok {
+		return false
+	}
+	for len(t.byID) >= trackCap {
+		if !t.evictOldestDoneLocked() {
+			break
+		}
+	}
+	t.byID[job.id] = job
+	t.order = append(t.order, job.id)
+	if job.idemKey != "" {
+		t.byKey[job.idemKey] = job.id
+	}
+	return true
+}
+
+func (t *jobTracker) evictOldestDoneLocked() bool {
+	for i, id := range t.order {
+		if job, ok := t.byID[id]; ok && job.done {
+			delete(t.byID, id)
+			if job.idemKey != "" && t.byKey[job.idemKey] == id {
+				delete(t.byKey, job.idemKey)
+			}
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// get returns a snapshot of the record for id (copied so readers never
+// hold the lock while forwarding).
+func (t *jobTracker) get(id string) (fleetJob, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if job, ok := t.byID[id]; ok {
+		return *job, true
+	}
+	return fleetJob{}, false
+}
+
+func (t *jobTracker) byIdemKey(key string) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	id, ok := t.byKey[key]
+	return id, ok
+}
+
+// markDone records a terminal observation and drops the payload the
+// record no longer needs.
+func (t *jobTracker) markDone(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	job, ok := t.byID[id]
+	if !ok || job.done {
+		return false
+	}
+	job.done = true
+	job.reqs = nil
+	return true
+}
+
+// claimOrphans atomically claims every unfinished job owned by the
+// dead replica for takeover. The claim is the exactly-once guard: a
+// concurrent down-transition (or a re-probe) finds nothing left.
+func (t *jobTracker) claimOrphans(deadURL string) []fleetJob {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var orphans []fleetJob
+	for _, id := range t.order {
+		job, ok := t.byID[id]
+		if !ok || job.done || job.taken || job.owner != deadURL {
+			continue
+		}
+		job.taken = true
+		orphans = append(orphans, *job)
+	}
+	return orphans
+}
+
+// redirect records a completed takeover.
+func (t *jobTracker) redirect(id, newID, newOwner string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if job, ok := t.byID[id]; ok {
+		job.newID = newID
+		job.owner = newOwner
+	}
+}
+
+// release un-claims a job whose takeover found no healthy successor,
+// so a later down-transition retries it.
+func (t *jobTracker) release(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if job, ok := t.byID[id]; ok {
+		job.taken = false
+	}
+}
+
+// openJournal opens JournalDir/router.jsonl and rehydrates the job
+// tracker from it, so takeover claims survive a router restart.
+func (rt *Router) openJournal(cfg Config) error {
+	policy, err := batch.ParseFsyncPolicy(cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+		return fmt.Errorf("fleet: create journal dir: %w", err)
+	}
+	journal, entries, err := batch.OpenJournal(batch.JournalConfig{
+		Path:   filepath.Join(cfg.JournalDir, "router.jsonl"),
+		Fsync:  policy,
+		Hooks:  cfg.JournalHooks,
+		Logger: cfg.Logger,
+		Now:    cfg.Now,
+	})
+	if err != nil {
+		return err
+	}
+	rt.journal = journal
+	for _, e := range entries {
+		switch e.Op {
+		case batch.OpSubmit:
+			rt.jobs.add(&fleetJob{id: e.ID, idemKey: e.IdemKey, key: e.Key, owner: e.Owner, reqs: e.Reqs})
+		case batch.OpRedispatch:
+			rt.jobs.redirect(e.ID, e.NewID, e.Owner)
+		case batch.OpDone:
+			rt.jobs.markDone(e.ID)
+		default:
+			// Unknown (or replica-journal) ops: a newer build's records
+			// must not wedge this one.
+		}
+	}
+	return nil
+}
+
+func (rt *Router) closeJournal() {
+	if rt.journal != nil {
+		if err := rt.journal.Close(); err != nil && rt.cfg.Logger != nil {
+			rt.cfg.Logger.Warn("router journal close failed", "error", err)
+		}
+	}
+}
+
+// dominantKey is the shard key most of the batch hashes to — the
+// replica whose caches serve the largest share of the jobs. Invalid
+// members don't vote (the owning replica types them into their items).
+func (rt *Router) dominantKey(reqs []*serve.Request) string {
+	counts := make(map[string]int)
+	best, bestN := "", 0
+	for _, req := range reqs {
+		if req == nil {
+			continue
+		}
+		net, err := req.BuildNetwork()
+		if err != nil {
+			continue
+		}
+		key := serve.ShardKey(net, req.K)
+		counts[key]++
+		if counts[key] > bestN {
+			best, bestN = key, counts[key]
+		}
+	}
+	return best
+}
+
+const maxSubmitRespBytes = 1 << 16
+
+// submitOutcome carries the accepted job ID together with the replica
+// that took it, which the walk's via string alone cannot.
+type submitOutcome struct {
+	id    string
+	owner string
+}
+
+// SubmitJob forwards an async batch to the replica owning its dominant
+// shard key (serve.JobRunner), walking the failover plan like a solve.
+// The job is recorded — and journaled — as owned by the replica that
+// accepted it, keyed by an idempotency key: the client's when supplied,
+// a generated one otherwise, so takeover redispatch is always safe to
+// repeat.
+func (rt *Router) SubmitJob(ctx context.Context, reqs []*serve.Request, idemKey string) (string, error) {
+	rt.wg.Add(1)
+	defer rt.wg.Done()
+	if rt.draining.Load() {
+		return "", draining()
+	}
+	if idemKey != "" {
+		if id, ok := rt.jobs.byIdemKey(idemKey); ok {
+			return id, nil
+		}
+	} else {
+		// Every routed job gets a key even when the client sent none:
+		// the takeover redispatch depends on it to stay exactly-once.
+		idemKey = "fleet-" + obs.NewRequestID()
+	}
+	raw, err := json.Marshal(reqs)
+	if err != nil {
+		return "", check.Invalid("fleet: marshal job submission: %v", err)
+	}
+	key := rt.dominantKey(reqs)
+
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.MaxTimeout)
+	defer cancel()
+	stop := context.AfterFunc(rt.workCtx, cancel)
+	defer stop()
+
+	plan, spilled := rt.plan(key)
+	if spilled {
+		rt.m.spillovers.Inc()
+	}
+	out, _, err := walk(rt, ctx, plan, spilled, func(ctx context.Context, rep *replica) (submitOutcome, error) {
+		id, err := rt.forwardSubmit(ctx, rep, raw, idemKey)
+		return submitOutcome{id: id, owner: rep.url}, err
+	})
+	if err != nil {
+		if errors.Is(err, check.ErrCanceled) {
+			rt.m.canceled.Inc()
+		}
+		return "", err
+	}
+	if rt.jobs.add(&fleetJob{id: out.id, idemKey: idemKey, key: key, owner: out.owner, reqs: raw}) {
+		rt.journal.Append(batch.Entry{Op: batch.OpSubmit, ID: out.id, IdemKey: idemKey, Owner: out.owner, Key: key, Reqs: raw})
+	}
+	return out.id, nil
+}
+
+func (rt *Router) forwardSubmit(ctx context.Context, rep *replica, raw json.RawMessage, idemKey string) (string, error) {
+	var acc struct {
+		ID string `json:"id"`
+	}
+	hdr := http.Header{"Idempotency-Key": []string{idemKey}}
+	if err := rt.roundTrip(ctx, rep, "/jobs", raw, hdr, maxSubmitRespBytes, &acc); err != nil {
+		return "", err
+	}
+	if acc.ID == "" {
+		return "", fmt.Errorf("fleet: replica %s accepted a job without an id", rep.url)
+	}
+	return acc.ID, nil
+}
+
+// JobPayload fetches GET /jobs/{id} from the replica running the job
+// (serve.JobRunner): by the router's own record when it has one,
+// falling back to the ID's replica prefix for jobs the tracker has
+// forgotten. Taken-over jobs are fetched under their successor ID and
+// decorated with routed_via "takeover". Replica verdicts (404, 410)
+// pass through typed.
+func (rt *Router) JobPayload(ctx context.Context, id string) (any, error) {
+	rt.wg.Add(1)
+	defer rt.wg.Done()
+	if rt.draining.Load() {
+		return nil, draining()
+	}
+	ctx, cancel := context.WithTimeout(ctx, rt.cfg.MaxTimeout)
+	defer cancel()
+	stop := context.AfterFunc(rt.workCtx, cancel)
+	defer stop()
+
+	fetchID := id
+	var rep *replica
+	var tookOver bool
+	if job, ok := rt.jobs.get(id); ok {
+		if job.newID != "" {
+			fetchID, tookOver = job.newID, true
+		}
+		rep = rt.repByURL(job.owner)
+	} else {
+		rep = rt.repByPrefix(id)
+	}
+	if rep == nil {
+		return nil, fmt.Errorf("fleet: no replica known for job %q: %w", id, serve.ErrJobUnknown)
+	}
+
+	var body map[string]any
+	if err := rt.getJSON(ctx, rep, "/jobs/"+fetchID, maxBatchRespBytes, &body); err != nil {
+		if classify(err) == hopFault {
+			// The owner is unreachable; if the prober agrees, takeover
+			// will move the job and a re-poll finds it.
+			return nil, serve.Unavailable(err)
+		}
+		return nil, err
+	}
+	if tookOver {
+		// The client polled the original ID; keep it coherent and tag
+		// the provenance like a failover solve does.
+		body["id"] = id
+		body["routed_via"] = "takeover"
+	}
+	if state, _ := body["state"].(string); state == "done" {
+		if rt.jobs.markDone(id) {
+			rt.journal.Append(batch.Entry{Op: batch.OpDone, ID: id})
+		}
+	}
+	return body, nil
+}
+
+func (rt *Router) repByURL(url string) *replica {
+	for _, rep := range rt.reps {
+		if rep.url == url {
+			return rep
+		}
+	}
+	return nil
+}
+
+// repByPrefix routes a "replica/uuid" job ID by the replica-id prefix
+// each backend publishes in its /stats (scraped by the prober).
+func (rt *Router) repByPrefix(id string) *replica {
+	prefix, _, ok := strings.Cut(id, "/")
+	if !ok {
+		return nil
+	}
+	for _, rep := range rt.reps {
+		if rep.replicaID() == prefix {
+			return rep
+		}
+	}
+	return nil
+}
+
+// takeover re-dispatches every unfinished job owned by a replica the
+// prober just marked down. Each orphan goes to the first healthy
+// replica on its shard's ring sequence, under the same idempotency key
+// the original submit carried — so if the "dead" owner actually
+// accepted work, or a router restart replays a half-finished takeover,
+// the successor's dedup window absorbs the repeat instead of running
+// the batch twice.
+func (rt *Router) takeover(deadURL string) {
+	orphans := rt.jobs.claimOrphans(deadURL)
+	for i := range orphans {
+		rt.redispatch(&orphans[i], deadURL)
+	}
+}
+
+func (rt *Router) redispatch(job *fleetJob, deadURL string) {
+	ctx, cancel := context.WithTimeout(rt.workCtx, rt.cfg.HopTimeout)
+	defer cancel()
+	for _, idx := range rt.ring.sequence(job.key) {
+		rep := rt.reps[idx]
+		if rep.url == deadURL || !rep.routable() {
+			continue
+		}
+		newID, err := rt.forwardSubmit(ctx, rep, job.reqs, job.idemKey)
+		if err != nil {
+			if rt.cfg.Logger != nil {
+				rt.cfg.Logger.Warn("job takeover hop failed", "job", job.id, "successor", rep.url, "error", err)
+			}
+			continue
+		}
+		rt.jobs.redirect(job.id, newID, rep.url)
+		rt.journal.Append(batch.Entry{Op: batch.OpRedispatch, ID: job.id, NewID: newID, IdemKey: job.idemKey, Key: job.key, Owner: rep.url})
+		rt.m.takeovers.Inc()
+		if rt.cfg.Logger != nil {
+			rt.cfg.Logger.Info("job taken over", "job", job.id, "from", deadURL, "to", rep.url, "new_id", newID)
+		}
+		return
+	}
+	// No healthy successor right now: release the claim so the next
+	// down-transition (or a later probe round) can retry.
+	rt.jobs.release(job.id)
+	if rt.cfg.Logger != nil {
+		rt.cfg.Logger.Warn("job orphaned: no healthy successor", "job", job.id, "owner", deadURL)
+	}
+}
+
+// noteFailover queues a solve answered away from its healthy-cache
+// owner for cache write-back: when the owner's probe passes again, the
+// queued requests are replayed against it so its result cache is warm
+// before the ring routes traffic back.
+func (rt *Router) noteFailover(key string, via string, req *serve.Request) {
+	if !strings.HasPrefix(via, "failover ") && !strings.HasPrefix(via, "last-resort ") {
+		return
+	}
+	owner := rt.ring.owner(key)
+	if owner < 0 {
+		return
+	}
+	rt.reps[owner].queueWarm(req)
+}
+
+// warmPeer replays the requests answered elsewhere while rep was down,
+// fire-and-forget, so its caches are warm before the ring sends it
+// traffic again. Runs synchronously on the probe goroutine — each POST
+// is bounded by the hop timeout and the queue is small.
+func (rt *Router) warmPeer(rep *replica) {
+	reqs := rep.drainWarm()
+	for _, req := range reqs {
+		if rt.draining.Load() {
+			return
+		}
+		ctx, cancel := context.WithTimeout(rt.workCtx, rt.cfg.HopTimeout)
+		var out serve.Response
+		err := rt.roundTrip(ctx, rep, "/solve", req, nil, maxSolveRespBytes, &out)
+		cancel()
+		if err == nil {
+			rt.m.cacheWarm.Inc()
+		}
+	}
+}

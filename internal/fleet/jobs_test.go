@@ -1,0 +1,350 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"finwl/internal/fleet/chaos"
+	"finwl/internal/serve"
+)
+
+// waitFleetJobDone polls the router's JobPayload until the job reports
+// done, absorbing transient unavailability (a takeover in flight).
+func waitFleetJobDone(t *testing.T, rt *Router, id string) map[string]any {
+	t.Helper()
+	var body map[string]any
+	waitFor(t, func() bool {
+		payload, err := rt.JobPayload(context.Background(), id)
+		if err != nil {
+			return false
+		}
+		body = payload.(map[string]any)
+		state, _ := body["state"].(string)
+		return state == "done"
+	})
+	return body
+}
+
+// resultTotalTimes extracts each result's total_time from the wire-shape
+// job body the router returns.
+func resultTotalTimes(t *testing.T, body map[string]any) []float64 {
+	t.Helper()
+	results, ok := body["results"].([]any)
+	if !ok {
+		t.Fatalf("job body has no results: %v", body)
+	}
+	out := make([]float64, len(results))
+	for i, raw := range results {
+		item, _ := raw.(map[string]any)
+		resp, _ := item["response"].(map[string]any)
+		tt, ok := resp["total_time"].(float64)
+		if !ok {
+			t.Fatalf("result %d missing response.total_time: %v", i, item)
+		}
+		out[i] = tt
+	}
+	return out
+}
+
+// TestRouterJobSubmitPoll: a batch submitted through the router lands
+// whole on one replica, polls to done with answers matching a direct
+// solve, and a repeat submit under the same idempotency key returns the
+// same job rather than a new one.
+func TestRouterJobSubmitPoll(t *testing.T) {
+	f := newTestFleet(t, 3, nil)
+	reqs := []*serve.Request{testRequest(10), testRequest(20), testRequest(31)}
+
+	id, err := f.router.SubmitJob(context.Background(), reqs, "idem-poll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := f.router.SubmitJob(context.Background(), reqs, "idem-poll")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != id {
+		t.Errorf("idempotent re-submit minted a new job: %q then %q", id, again)
+	}
+
+	body := waitFleetJobDone(t, f.router, id)
+	if got, _ := body["id"].(string); got != id {
+		t.Errorf("job body id = %q, want %q", got, id)
+	}
+	times := resultTotalTimes(t, body)
+	if len(times) != len(reqs) {
+		t.Fatalf("got %d results for %d jobs", len(times), len(reqs))
+	}
+	for i, req := range reqs {
+		want := directSolve(t, req).TotalTime
+		if math.Abs(times[i]-want) > 1e-13 {
+			t.Errorf("job %d: total_time %v, want %v", i, times[i], want)
+		}
+	}
+}
+
+// TestRouterJobTakeover: when the prober marks the replica owning a
+// pending job down, the router re-dispatches it to a ring successor
+// under the same idempotency key; the client's poll on the original ID
+// keeps working, tagged routed_via takeover, and the takeover counter
+// moves exactly once.
+func TestRouterJobTakeover(t *testing.T) {
+	f := newTestFleet(t, 3, func(c *Config) {
+		c.ProbeInterval = 10 * time.Millisecond
+		c.ProbeTimeout = 200 * time.Millisecond
+		c.ProbeFails = 2
+	})
+	req := testRequest(25)
+	want := directSolve(t, req)
+
+	id, err := f.router.SubmitJob(context.Background(), []*serve.Request{req}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, ok := f.router.jobs.get(id)
+	if !ok {
+		t.Fatalf("router does not track its own job %q", id)
+	}
+	if job.idemKey == "" {
+		t.Error("routed job has no idempotency key; takeover redispatch would not be idempotent")
+	}
+	owner := f.repIndex(t, job.owner)
+	f.servers[owner].CloseClientConnections()
+	f.servers[owner].Close() // SIGKILL stand-in
+
+	waitFor(t, func() bool { return f.router.m.takeovers.Value() == 1 })
+
+	body := waitFleetJobDone(t, f.router, id)
+	if got, _ := body["id"].(string); got != id {
+		t.Errorf("post-takeover poll id = %q, want original %q", got, id)
+	}
+	if via, _ := body["routed_via"].(string); via != "takeover" {
+		t.Errorf("routed_via = %q, want takeover", via)
+	}
+	times := resultTotalTimes(t, body)
+	if len(times) != 1 || math.Abs(times[0]-want.TotalTime) > 1e-13 {
+		t.Errorf("taken-over result %v, want %v", times, want.TotalTime)
+	}
+	// The dead owner keeps failing probes; the down transition must not
+	// re-fire the takeover.
+	time.Sleep(50 * time.Millisecond)
+	if got := f.router.m.takeovers.Value(); got != 1 {
+		t.Errorf("finwl_fleet_job_takeover_total = %d, want exactly 1", got)
+	}
+}
+
+// TestRouterJournalReplay: a second router opened on the same journal
+// remembers which replica owns which job — polls keep working and the
+// idempotency window survives the restart.
+func TestRouterJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	urls := make([]string, 2)
+	for i := range urls {
+		ts := httptest.NewServer(serve.New(serve.Config{Seed: int64(i) + 1}).Handler())
+		defer ts.Close()
+		urls[i] = ts.URL
+	}
+	cfg := Config{
+		Replicas:      urls,
+		Seed:          1,
+		ProbeInterval: time.Hour,
+		ProbeFails:    1000,
+		RetryBase:     time.Millisecond,
+		JournalDir:    dir,
+		Fsync:         "always",
+	}
+	rt1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := []*serve.Request{testRequest(14)}
+	id, err := rt1.SubmitJob(context.Background(), reqs, "replay-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFleetJobDone(t, rt1, id)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt1.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	rt2, err := New(cfg)
+	if err != nil {
+		t.Fatalf("reopen on the same journal: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = rt2.Drain(ctx)
+	})
+	again, err := rt2.SubmitJob(context.Background(), reqs, "replay-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != id {
+		t.Errorf("restart re-ran the batch: %q then %q", id, again)
+	}
+	body := waitFleetJobDone(t, rt2, id)
+	want := directSolve(t, reqs[0]).TotalTime
+	if times := resultTotalTimes(t, body); len(times) != 1 || math.Abs(times[0]-want) > 1e-13 {
+		t.Errorf("replayed poll result %v, want %v", times, want)
+	}
+}
+
+// TestRouterCacheWriteBack: a solve answered by a failover peer while
+// its owner was down is replayed against the owner once its probe
+// recovers, so the first post-recovery request is already a cache hit.
+func TestRouterCacheWriteBack(t *testing.T) {
+	f := newTestFleet(t, 2, func(c *Config) {
+		c.ProbeInterval = 10 * time.Millisecond
+		c.ProbeTimeout = 200 * time.Millisecond
+		c.ProbeFails = 2
+	})
+	req := testRequest(18)
+	net, err := req.BuildNetwork()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := f.router.ring.owner(serve.ShardKey(net, req.K))
+
+	f.injector[owner].Set(chaos.Fault{Mode: chaos.Error, Status: http.StatusInternalServerError})
+	waitFor(t, func() bool { return !f.router.reps[owner].healthy.Load() })
+
+	resp, err := f.router.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatalf("solve with owner down: %v", err)
+	}
+	if got := f.repIndex(t, resp.RoutedVia); got == owner {
+		t.Fatalf("solve answered by the downed owner (%q)", resp.RoutedVia)
+	}
+
+	f.injector[owner].Set(chaos.Fault{Mode: chaos.None})
+	waitFor(t, func() bool {
+		return f.router.reps[owner].healthy.Load() && f.router.m.cacheWarm.Value() >= 1
+	})
+
+	warmed, err := f.router.Solve(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.repIndex(t, warmed.RoutedVia); got != owner {
+		t.Errorf("post-recovery solve routed via %q, want owner", warmed.RoutedVia)
+	}
+	if !warmed.Cached {
+		t.Error("owner's cache was not warmed: post-recovery solve recomputed")
+	}
+}
+
+// TestRouterJobsHTTP drives the async-job flow through the router's
+// HTTP front: the Idempotency-Key header dedups, the poll URL (with its
+// replica-prefixed, slash-bearing ID) round-trips.
+func TestRouterJobsHTTP(t *testing.T) {
+	f := newTestFleet(t, 2, nil)
+	ts := httptest.NewServer(f.router.Handler())
+	defer ts.Close()
+
+	payload, err := json.Marshal([]*serve.Request{testRequest(12)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	post := func() jobAcceptedWire {
+		t.Helper()
+		httpReq, err := http.NewRequest(http.MethodPost, ts.URL+"/jobs", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		httpReq.Header.Set("Idempotency-Key", "http-key")
+		resp, err := http.DefaultClient.Do(httpReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("POST /jobs status = %d, want 202", resp.StatusCode)
+		}
+		var acc jobAcceptedWire
+		if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+			t.Fatal(err)
+		}
+		return acc
+	}
+	first, second := post(), post()
+	if first.ID == "" || first.ID != second.ID {
+		t.Fatalf("Idempotency-Key ignored over HTTP: %q then %q", first.ID, second.ID)
+	}
+
+	waitFor(t, func() bool {
+		resp, err := http.Get(ts.URL + first.Poll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s status = %d", first.Poll, resp.StatusCode)
+		}
+		var body struct {
+			State string `json:"state"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+		return body.State == "done"
+	})
+}
+
+type jobAcceptedWire struct {
+	ID   string `json:"id"`
+	Jobs int    `json:"jobs"`
+	Poll string `json:"poll"`
+}
+
+// TestJobTracker exercises the tracker's exactly-once claim contract
+// directly: duplicate adds no-op, a claim is handed out once, release
+// re-arms it, and done jobs are never claimed.
+func TestJobTracker(t *testing.T) {
+	tr := newJobTracker()
+	add := func(i int, owner string) string {
+		id := fmt.Sprintf("job-%d", i)
+		if !tr.add(&fleetJob{id: id, idemKey: "k" + id, owner: owner}) {
+			t.Fatalf("add(%s) refused", id)
+		}
+		return id
+	}
+	a, b := add(1, "dead"), add(2, "dead")
+	c := add(3, "alive")
+	if tr.add(&fleetJob{id: a, owner: "other"}) {
+		t.Error("duplicate add accepted")
+	}
+	if id, ok := tr.byIdemKey("k" + a); !ok || id != a {
+		t.Errorf("byIdemKey = %q, %v", id, ok)
+	}
+	if !tr.markDone(b) || tr.markDone(b) {
+		t.Error("markDone must report the transition exactly once")
+	}
+
+	claimed := tr.claimOrphans("dead")
+	if len(claimed) != 1 || claimed[0].id != a {
+		t.Fatalf("claimOrphans = %v, want just %s (done jobs and other owners excluded)", claimed, a)
+	}
+	if again := tr.claimOrphans("dead"); len(again) != 0 {
+		t.Errorf("second claim returned %v, want nothing", again)
+	}
+	tr.release(a)
+	if again := tr.claimOrphans("dead"); len(again) != 1 {
+		t.Error("released claim was not retryable")
+	}
+	if got := tr.claimOrphans("alive"); len(got) != 1 || got[0].id != c {
+		t.Errorf("claimOrphans(alive) = %v", got)
+	}
+	tr.redirect(c, "new-c", "successor")
+	if job, _ := tr.get(c); job.newID != "new-c" || job.owner != "successor" {
+		t.Errorf("redirect not recorded: %+v", job)
+	}
+}

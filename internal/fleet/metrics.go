@@ -19,6 +19,8 @@ type fleetMetrics struct {
 	faults      *obs.Counter // replica-fault hops (transport error / untyped 5xx)
 	unavailable *obs.Counter // requests that exhausted every candidate
 	canceled    *obs.Counter
+	takeovers   *obs.Counter // orphaned jobs re-dispatched to a ring successor
+	cacheWarm   *obs.Counter // write-back solves replayed at a recovered replica
 
 	// Passive-health breaker transitions across all replicas, labeled
 	// by the state entered.
@@ -43,6 +45,8 @@ func newFleetMetrics(reg *obs.Registry) *fleetMetrics {
 		faults:      reg.Counter("finwl_fleet_replica_faults_total", "Forwarding attempts that hit a transport error or untyped replica failure."),
 		unavailable: reg.Counter("finwl_fleet_unavailable_total", "Requests that exhausted every candidate replica."),
 		canceled:    reg.Counter("finwl_fleet_canceled_total", "Requests canceled or past their deadline at the router."),
+		takeovers:   reg.Counter("finwl_fleet_job_takeover_total", "Orphaned async jobs re-dispatched to a ring successor after their owner was marked down."),
+		cacheWarm:   reg.Counter("finwl_fleet_cache_warm_total", "Failover-answered solves replayed at the owning replica once its probe recovered."),
 
 		brClosed:   br(serve.BreakerClosed),
 		brOpen:     br(serve.BreakerOpen),

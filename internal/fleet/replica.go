@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"finwl/internal/obs"
@@ -22,7 +23,46 @@ type replica struct {
 	queued     atomic.Int64 // replica admission-queue depth, last /stats scrape
 	ewmaNs     atomic.Int64 // EWMA hop latency in ns; 0 = no sample yet
 
+	// repID is the replica's job-ID prefix from its /stats scrape
+	// (empty until first scraped, or for journal-less replicas); it
+	// routes GET /jobs/{id} for jobs the router's tracker has forgotten.
+	repID atomic.Value // string
+
+	// warmQ holds solve requests answered by a failover peer while this
+	// replica was down; a passing probe drains it to pre-warm the
+	// replica's result cache before the ring routes traffic back.
+	warmMu sync.Mutex
+	warmQ  []*serve.Request
+
 	probeFailC *obs.Counter // finwl_fleet_probe_failures_total{replica=...}
+}
+
+// maxWarmQueue bounds the write-back backlog per replica; beyond it
+// the oldest entries drop — warming is an optimization, not a promise.
+const maxWarmQueue = 64
+
+func (r *replica) setReplicaID(id string) { r.repID.Store(id) }
+
+func (r *replica) replicaID() string {
+	id, _ := r.repID.Load().(string)
+	return id
+}
+
+func (r *replica) queueWarm(req *serve.Request) {
+	r.warmMu.Lock()
+	defer r.warmMu.Unlock()
+	if len(r.warmQ) >= maxWarmQueue {
+		r.warmQ = r.warmQ[1:]
+	}
+	r.warmQ = append(r.warmQ, req)
+}
+
+func (r *replica) drainWarm() []*serve.Request {
+	r.warmMu.Lock()
+	defer r.warmMu.Unlock()
+	q := r.warmQ
+	r.warmQ = nil
+	return q
 }
 
 func newReplica(url string, br *serve.Breaker) *replica {

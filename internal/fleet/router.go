@@ -14,6 +14,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"finwl/internal/batch"
 	"finwl/internal/check"
 	"finwl/internal/cliutil"
 	"finwl/internal/obs"
@@ -59,6 +60,16 @@ type Config struct {
 	EWMAAlpha   float64 // hop-latency EWMA smoothing (default 0.3)
 
 	MaxBatchJobs int // max jobs per /batch submission (default 256)
+
+	// Durability: a non-empty JournalDir journals every routed /jobs
+	// submission (and its takeover/done transitions) to
+	// JournalDir/router.jsonl, replayed at boot so orphan takeover
+	// survives a router restart. Fsync follows batch.ParseFsyncPolicy
+	// (always|interval|never, default interval); JournalHooks inject
+	// disk faults for chaos testing.
+	JournalDir   string
+	Fsync        string
+	JournalHooks batch.JournalHooks
 
 	Client *http.Client     // forwarding client (default cliutil.DefaultClient)
 	Seed   int64            // backoff-jitter seed (default: wall clock)
@@ -142,6 +153,11 @@ type Router struct {
 	probeCancel context.CancelFunc
 	probeDone   chan struct{}
 
+	// Async-job routing: which replica owns which routed job, journaled
+	// (nil journal = memory only) so takeover survives a restart.
+	jobs    *jobTracker
+	journal *batch.Journal
+
 	reg *obs.Registry
 	m   *fleetMetrics
 }
@@ -163,6 +179,7 @@ func New(cfg Config) (*Router, error) {
 		workCancel:  workCancel,
 		probeCancel: probeCancel,
 		probeDone:   make(chan struct{}),
+		jobs:        newJobTracker(),
 		reg:         reg,
 		m:           newFleetMetrics(reg),
 	}
@@ -176,6 +193,13 @@ func New(cfg Config) (*Router, error) {
 	}
 	rt.ring = newRing(len(rt.reps), cfg.Vnodes)
 	registerReplicaMetrics(reg, rt.reps)
+	if cfg.JournalDir != "" {
+		if err := rt.openJournal(cfg); err != nil {
+			workCancel()
+			probeCancel()
+			return nil, err
+		}
+	}
 	go rt.probeLoop(probeCtx)
 	return rt, nil
 }
@@ -185,9 +209,10 @@ func New(cfg Config) (*Router, error) {
 func (rt *Router) Metrics() *obs.Registry { return rt.reg }
 
 // Handler returns the router's HTTP surface: the shared serve.Front
-// with no /jobs routes (async job IDs are replica-local).
+// with the async /jobs routes forwarded to the replica owning each
+// job (the Router implements serve.JobRunner).
 func (rt *Router) Handler() http.Handler {
-	return serve.NewFront(rt, nil, serve.FrontConfig{
+	return serve.NewFront(rt, rt, serve.FrontConfig{
 		Logger:       rt.cfg.Logger,
 		MaxBatchJobs: rt.cfg.MaxBatchJobs,
 		Registries:   []*obs.Registry{rt.reg, obs.Default},
@@ -249,6 +274,7 @@ func (rt *Router) Solve(ctx context.Context, req *serve.Request) (*serve.Respons
 		return nil, err
 	}
 	resp.RoutedVia = via
+	rt.noteFailover(key, via, req)
 	if resp.Degraded() {
 		return resp, &serve.DegradedError{Fidelity: resp.Fidelity, Reason: resp.DegradedFrom}
 	}
@@ -555,7 +581,7 @@ func (rt *Router) backoff(ctx context.Context, attempt int) error {
 // serve.ErrorFromWire back to the sentinel the replica raised.
 func (rt *Router) forwardSolve(ctx context.Context, rep *replica, req *serve.Request) (*serve.Response, error) {
 	var out serve.Response
-	if err := rt.roundTrip(ctx, rep, "/solve", req, maxSolveRespBytes, &out); err != nil {
+	if err := rt.roundTrip(ctx, rep, "/solve", req, nil, maxSolveRespBytes, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -566,10 +592,20 @@ func (rt *Router) forwardSolve(ctx context.Context, rep *replica, req *serve.Req
 // failures (transport, 400/429/503) surface as an error here.
 func (rt *Router) forwardBatch(ctx context.Context, rep *replica, reqs []*serve.Request) ([]serve.BatchItem, error) {
 	var out []serve.BatchItem
-	if err := rt.roundTrip(ctx, rep, "/batch", reqs, maxBatchRespBytes, &out); err != nil {
+	if err := rt.roundTrip(ctx, rep, "/batch", reqs, rt.idemHeader(ctx), maxBatchRespBytes, &out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// idemHeader propagates a client-supplied Idempotency-Key through a
+// forwarded /batch hop, so the owning replica's dedup window — not
+// just the router's — absorbs redeliveries.
+func (rt *Router) idemHeader(ctx context.Context) http.Header {
+	if key := serve.IdempotencyKeyFrom(ctx); key != "" {
+		return http.Header{"Idempotency-Key": []string{key}}
+	}
+	return nil
 }
 
 const (
@@ -577,11 +613,28 @@ const (
 	maxBatchRespBytes = 32 << 20
 )
 
-func (rt *Router) roundTrip(ctx context.Context, rep *replica, path string, in any, limit int64, out any) error {
+func (rt *Router) roundTrip(ctx context.Context, rep *replica, path string, in any, hdr http.Header, limit int64, out any) error {
 	httpReq, err := cliutil.NewJSONRequest(ctx, http.MethodPost, rep.url+path, in)
 	if err != nil {
 		return err
 	}
+	for k, vs := range hdr {
+		httpReq.Header[k] = vs
+	}
+	return rt.do(ctx, rep, httpReq, limit, out)
+}
+
+// getJSON is roundTrip's GET twin (job polling): same decode limits,
+// same typed error reconstruction.
+func (rt *Router) getJSON(ctx context.Context, rep *replica, path string, limit int64, out any) error {
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodGet, rep.url+path, nil)
+	if err != nil {
+		return err
+	}
+	return rt.do(ctx, rep, httpReq, limit, out)
+}
+
+func (rt *Router) do(ctx context.Context, rep *replica, httpReq *http.Request, limit int64, out any) error {
 	res, err := rt.cfg.Client.Do(httpReq)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -649,8 +702,15 @@ func (rt *Router) probe(ctx context.Context, rep *replica) {
 			rep.probeFailC.Inc()
 		}
 		if rep.probeFails.Add(1) >= int64(rt.cfg.ProbeFails) {
-			if rep.healthy.Swap(false) && rt.cfg.Logger != nil {
-				rt.cfg.Logger.Warn("replica down", "replica", rep.url, "error", err, "status", status)
+			if rep.healthy.Swap(false) {
+				if rt.cfg.Logger != nil {
+					rt.cfg.Logger.Warn("replica down", "replica", rep.url, "error", err, "status", status)
+				}
+				// The down transition is the orphan-takeover trigger: every
+				// unfinished job this replica owned moves to its ring
+				// successor. Swap makes the transition fire exactly once
+				// per down episode.
+				rt.takeover(rep.url)
 			}
 		}
 		return
@@ -660,11 +720,19 @@ func (rt *Router) probe(ctx context.Context, rep *replica) {
 		rt.cfg.Logger.Info("replica up", "replica", rep.url)
 	}
 	var st struct {
-		Queued int `json:"queued"`
+		Queued    int    `json:"queued"`
+		ReplicaID string `json:"replica_id"`
 	}
 	if s, err := cliutil.GetJSON(ctx, rt.cfg.Client, rep.url+"/stats", &st); err == nil && s == http.StatusOK {
 		rep.queued.Store(int64(st.Queued))
+		if st.ReplicaID != "" {
+			rep.setReplicaID(st.ReplicaID)
+		}
 	}
+	// A passing probe also drains the replica's cache write-back queue:
+	// requests answered elsewhere while it was down replay against it
+	// so its caches are warm before the ring routes traffic back.
+	rt.warmPeer(rep)
 }
 
 // Drain gracefully shuts the router down: new requests fail typed
@@ -689,6 +757,7 @@ func (rt *Router) Drain(ctx context.Context) error {
 	}
 	<-rt.probeDone
 	rt.workCancel()
+	rt.closeJournal()
 	return err
 }
 
@@ -713,6 +782,8 @@ type statsBody struct {
 	Faults      int64          `json:"replica_faults"`
 	Unavailable int64          `json:"unavailable"`
 	Canceled    int64          `json:"canceled"`
+	Takeovers   int64          `json:"job_takeovers"`
+	CacheWarms  int64          `json:"cache_warms"`
 	Draining    bool           `json:"draining"`
 	Replicas    []replicaStats `json:"replicas"`
 }
@@ -728,6 +799,8 @@ func (rt *Router) StatsPayload() any {
 		Faults:      rt.m.faults.Value(),
 		Unavailable: rt.m.unavailable.Value(),
 		Canceled:    rt.m.canceled.Value(),
+		Takeovers:   rt.m.takeovers.Value(),
+		CacheWarms:  rt.m.cacheWarm.Value(),
 		Draining:    rt.draining.Load(),
 	}
 	for _, rep := range rt.reps {

@@ -23,16 +23,87 @@ func errItem(err error) BatchItem {
 	return BatchItem{Error: err.Error(), Code: CodeOf(err)}
 }
 
+// clone copies an item deeply enough that a holder mutating its
+// Response flags cannot race with other holders (the idempotency
+// cache, concurrent redeliveries).
+func (it BatchItem) clone() BatchItem {
+	if it.Response != nil {
+		it.Response = it.Response.clone()
+	}
+	return it
+}
+
+func cloneItems(items []BatchItem) []BatchItem {
+	out := make([]BatchItem, len(items))
+	for i, it := range items {
+		out[i] = it.clone()
+	}
+	return out
+}
+
 // SolveBatch runs a set of requests through the shared-chain batch
 // scheduler and returns one item per request, in order. It never
 // fails as a whole: per-job errors are typed into their items. Jobs
 // over the same network share one chain build and one sweep; per-job
 // TimeoutMS is ignored — the whole batch runs under MaxTimeout.
+//
+// A client-supplied Idempotency-Key (threaded through ctx by the
+// front) makes redelivery safe: concurrent submissions with the same
+// key collapse onto one run, and completed results are replayed from
+// a bounded window instead of re-solving.
 func (s *Server) SolveBatch(ctx context.Context, reqs []*Request) []BatchItem {
-	return s.solveBatch(ctx, reqs, nil)
+	key := IdempotencyKeyFrom(ctx)
+	if key == "" {
+		return s.solveBatch(ctx, reqs, nil, nil)
+	}
+	if items, ok := s.idemBatch.get(key); ok {
+		s.m.idemHits.Inc()
+		return cloneItems(items)
+	}
+	items, _, shared, abandoned := s.idemFlight.do(ctx.Done(), key, func() ([]BatchItem, error) {
+		items := s.solveBatch(ctx, reqs, nil, nil)
+		// A run cut short by cancellation must not pin canceled items in
+		// the window — the retry that redelivers this key wants a real
+		// answer, not a replay of the timeout.
+		if ctx.Err() == nil {
+			s.idemBatch.add(key, items)
+		}
+		return items, nil
+	})
+	if abandoned {
+		err := check.Canceled(ctx)
+		out := make([]BatchItem, len(reqs))
+		for i := range out {
+			out[i] = errItem(err)
+		}
+		return out
+	}
+	if shared {
+		s.m.idemHits.Inc()
+		return cloneItems(items)
+	}
+	return items
 }
 
-func (s *Server) solveBatch(ctx context.Context, reqs []*Request, prog *batch.Progress) []BatchItem {
+// jobRecorder carries one async job's durability state into
+// solveBatch: the journal to checkpoint into and the items already
+// settled by a pre-crash run (indexed by request position), which
+// skip scheduling entirely on the restarted run.
+type jobRecorder struct {
+	id      string
+	journal *batch.Journal
+	preset  map[int]BatchItem
+}
+
+func (rec *jobRecorder) presetItem(i int) (BatchItem, bool) {
+	if rec == nil || rec.preset == nil {
+		return BatchItem{}, false
+	}
+	it, ok := rec.preset[i]
+	return it, ok
+}
+
+func (s *Server) solveBatch(ctx context.Context, reqs []*Request, prog *batch.Progress, rec *jobRecorder) []BatchItem {
 	span := s.m.batchSeconds.Start()
 	defer span.End()
 	s.m.batchJobs.Add(int64(len(reqs)))
@@ -50,12 +121,19 @@ func (s *Server) solveBatch(ctx context.Context, reqs []*Request, prog *batch.Pr
 	stop := context.AfterFunc(s.workCtx, cancel)
 	defer stop()
 
-	// Settle what needs no solving — invalid models and cache hits —
-	// and hand the rest to the scheduler as keyed jobs.
+	// Settle what needs no solving — checkpointed items from a
+	// recovered run, invalid models and cache hits — and hand the rest
+	// to the scheduler as keyed jobs.
 	jobs := make([]batch.Job, 0, len(reqs))
 	jobIdx := make([]int, 0, len(reqs))
 	cacheKeys := make([]string, len(reqs))
 	for i, req := range reqs {
+		if it, ok := rec.presetItem(i); ok {
+			// Already solved before the crash; the journal checkpoint is
+			// the result (metrics were counted by the original run).
+			items[i] = it
+			continue
+		}
 		if req == nil {
 			s.m.invalid.Inc()
 			items[i] = errItem(check.Invalid("serve: batch job %d is null", i))
@@ -87,49 +165,106 @@ func (s *Server) solveBatch(ctx context.Context, reqs []*Request, prog *batch.Pr
 		jobIdx = append(jobIdx, i)
 	}
 
-	outcomes := s.sched.Run(ctx, jobs, prog)
-	for oi, o := range outcomes {
-		i := jobIdx[oi]
-		if o.Shared {
-			s.m.deduped.Inc()
-			// A dedup follower rode a group from another submission: no
-			// chain work of its own, whatever the leader paid for.
-			s.m.batchChainReuse.Inc()
-		}
-		if o.Err != nil {
-			if errors.Is(o.Err, check.ErrCanceled) {
-				s.m.canceled.Inc()
-			}
-			items[i] = errItem(o.Err)
-			continue
-		}
-		// Both tiers are full fidelity; the tag records whether this
-		// group ran on a freshly built chain (exact) or swept a cached
-		// factored one (checkpoint).
-		fid := FidelityExact
-		if o.Reused {
-			fid = FidelityCheckpoint
-		}
-		resp := &Response{
-			Fidelity:     fid,
-			K:            reqs[i].K,
-			N:            reqs[i].N,
-			TotalTime:    o.Result.TotalTime,
-			Epochs:       len(o.Result.Epochs),
-			Price:        o.Price,
-			Deduplicated: o.Shared,
-			ElapsedMS:    durMS(o.Elapsed),
-			Timings: &Timings{
-				QueueMS: durMS(o.Wait),
-				SolveMS: durMS(o.Elapsed),
-			},
-		}
-		s.m.tierCounter(fid).Inc()
-		s.m.solveTime.ObserveDuration(o.Elapsed)
-		s.cache.add(cacheKeys[i], resp)
-		items[i] = BatchItem{Response: resp.clone()}
-	}
+	s.sched.Run(ctx, jobs, s.batchProgress(prog, rec, reqs, items, jobIdx, cacheKeys))
 	return items
+}
+
+// batchProgress wraps the caller's Progress with the layer that turns
+// scheduler outcomes into response items as they settle (streaming,
+// so a crash checkpoint never waits for the whole batch) and — when a
+// recorder is attached — journals each solved group's items as a
+// checkpoint the restarted run can resume from.
+func (s *Server) batchProgress(prog *batch.Progress, rec *jobRecorder, reqs []*Request, items []BatchItem, jobIdx []int, cacheKeys []string) *batch.Progress {
+	// groups is written once, before any solving starts, on the Run
+	// caller's goroutine; OnGroupDone reads only its own group's
+	// members, all settled before it fires.
+	var groups [][]int
+	return &batch.Progress{
+		OnPlan: func(jobs int, groupJobs []int) {
+			if prog != nil && prog.OnPlan != nil {
+				prog.OnPlan(jobs, groupJobs)
+			}
+		},
+		OnPlanGroups: func(gs [][]int) {
+			groups = gs
+			if prog != nil && prog.OnPlanGroups != nil {
+				prog.OnPlanGroups(gs)
+			}
+		},
+		OnGroupStart: func(g int) {
+			if prog != nil && prog.OnGroupStart != nil {
+				prog.OnGroupStart(g)
+			}
+		},
+		OnJobSettled: func(job int, o batch.Outcome) {
+			i := jobIdx[job]
+			items[i] = s.itemFromOutcome(reqs[i], cacheKeys[i], o)
+			if prog != nil && prog.OnJobSettled != nil {
+				prog.OnJobSettled(job, o)
+			}
+		},
+		OnGroupDone: func(g int) {
+			if rec != nil && rec.journal != nil && g < len(groups) {
+				idx := make([]int, len(groups[g]))
+				checkpoint := make([]BatchItem, len(groups[g]))
+				for j, job := range groups[g] {
+					idx[j] = jobIdx[job]
+					checkpoint[j] = items[jobIdx[job]]
+				}
+				rec.journal.Append(batch.Entry{Op: batch.OpGroup, ID: rec.id, Group: g, Idx: idx, ItemsV: checkpoint})
+			}
+			if prog != nil && prog.OnGroupDone != nil {
+				prog.OnGroupDone(g)
+			}
+		},
+		OnJobDone: func(done, total int) {
+			if prog != nil && prog.OnJobDone != nil {
+				prog.OnJobDone(done, total)
+			}
+		},
+	}
+}
+
+// itemFromOutcome converts one scheduler outcome into its response
+// item, charging the serve metrics and feeding the result cache.
+func (s *Server) itemFromOutcome(req *Request, cacheKey string, o batch.Outcome) BatchItem {
+	if o.Shared {
+		s.m.deduped.Inc()
+		// A dedup follower rode a group from another submission: no
+		// chain work of its own, whatever the leader paid for.
+		s.m.batchChainReuse.Inc()
+	}
+	if o.Err != nil {
+		if errors.Is(o.Err, check.ErrCanceled) {
+			s.m.canceled.Inc()
+		}
+		return errItem(o.Err)
+	}
+	// Both tiers are full fidelity; the tag records whether this
+	// group ran on a freshly built chain (exact) or swept a cached
+	// factored one (checkpoint).
+	fid := FidelityExact
+	if o.Reused {
+		fid = FidelityCheckpoint
+	}
+	resp := &Response{
+		Fidelity:     fid,
+		K:            req.K,
+		N:            req.N,
+		TotalTime:    o.Result.TotalTime,
+		Epochs:       len(o.Result.Epochs),
+		Price:        o.Price,
+		Deduplicated: o.Shared,
+		ElapsedMS:    durMS(o.Elapsed),
+		Timings: &Timings{
+			QueueMS: durMS(o.Wait),
+			SolveMS: durMS(o.Elapsed),
+		},
+	}
+	s.m.tierCounter(fid).Inc()
+	s.m.solveTime.ObserveDuration(o.Elapsed)
+	s.cache.add(cacheKey, resp)
+	return BatchItem{Response: resp.clone()}
 }
 
 func durMS(d time.Duration) float64 {
@@ -147,27 +282,61 @@ type jobBody struct {
 	Results    []BatchItem           `json:"results,omitempty"`
 	Error      string                `json:"error,omitempty"`
 	Code       string                `json:"code,omitempty"`
+	RoutedVia  string                `json:"routed_via,omitempty"` // fleet router: takeover provenance
 	CreatedAt  time.Time             `json:"created_at"`
 	FinishedAt *time.Time            `json:"finished_at,omitempty"`
 }
 
+// newJobID mints an async job ID. With a replica identity (fleet or
+// journal mode) the ID is "replica/uuid" so a router can route a GET
+// back by prefix alone; without one it stays the bare PR-5 shape.
+func (s *Server) newJobID() string {
+	if s.replicaID != "" {
+		return s.replicaID + "/" + obs.NewRequestID()
+	}
+	return obs.NewRequestID()
+}
+
 // SubmitJob accepts an async batch (JobRunner interface): it records
-// the job and runs it on the bounded async worker pool. Every failure
-// is typed (ErrOverloaded while draining or when the job store is
-// full).
-func (s *Server) SubmitJob(reqs []*Request) (string, error) {
+// the job — durably, when a journal is configured — and runs it on
+// the bounded async worker pool. A non-empty idemKey makes the submit
+// idempotent: a redelivery inside the dedup window returns the
+// original job's ID instead of re-running the work. Every failure is
+// typed (ErrOverloaded while draining or when the job store is full).
+func (s *Server) SubmitJob(ctx context.Context, reqs []*Request, idemKey string) (string, error) {
 	if s.draining.Load() {
 		return "", errDraining()
 	}
-	id := obs.NewRequestID()
+	if idemKey != "" {
+		// The key window is read-modify-write atomic under idemMu so two
+		// concurrent submits with one key cannot both mint jobs.
+		s.idemMu.Lock()
+		defer s.idemMu.Unlock()
+		if id, ok := s.idemJobs.get(idemKey); ok {
+			// Only a live record answers a replayed key; a gone (expired)
+			// one lets the redelivery mint a fresh job — the documented
+			// recovery move after a 410.
+			if _, status := s.jobs.Lookup(id); status == batch.LookupHit {
+				s.m.idemHits.Inc()
+				return id, nil
+			}
+		}
+	}
+	id := s.newJobID()
 	if err := s.jobs.Add(id, len(reqs)); err != nil {
 		if errors.Is(err, check.ErrOverloaded) {
 			s.m.rejected.Inc()
 		}
 		return "", err
 	}
+	if s.journal != nil {
+		s.journal.Append(batch.Entry{Op: batch.OpSubmit, ID: id, IdemKey: idemKey, JobsTotal: len(reqs), ReqsV: reqs})
+	}
+	if idemKey != "" {
+		s.idemJobs.add(idemKey, id)
+	}
 	s.asyncWG.Add(1)
-	go s.runAsync(id, reqs)
+	go s.runAsync(id, reqs, nil)
 	return id, nil
 }
 
@@ -175,24 +344,26 @@ func (s *Server) SubmitJob(reqs []*Request) (string, error) {
 // reaches before a worker slot does fails typed as canceled; once
 // running, the batch holds admission like any synchronous one and
 // drain waits for it (or force-cancels it at the drain deadline).
-func (s *Server) runAsync(id string, reqs []*Request) {
+// preset carries checkpointed items from a recovered run (nil for
+// fresh submissions).
+func (s *Server) runAsync(id string, reqs []*Request, preset map[int]BatchItem) {
 	defer s.asyncWG.Done()
 	select {
 	case s.asyncSem <- struct{}{}:
 		defer func() { <-s.asyncSem }()
 	case <-s.drainCh:
-		s.jobs.Finish(id, nil, errDrainCanceled())
+		s.finishJob(id, nil, errDrainCanceled())
 		return
 	}
 	if s.draining.Load() {
 		// Drain won the race for the worker slot.
-		s.jobs.Finish(id, nil, errDrainCanceled())
+		s.finishJob(id, nil, errDrainCanceled())
 		return
 	}
 	s.jobs.Start(id)
 	// Progress flows into the store as the scheduler reports it; jobs
-	// settled before scheduling (cache hits, invalid models) are folded
-	// in at plan time.
+	// settled before scheduling (checkpointed items, cache hits,
+	// invalid models) are folded in at plan time.
 	var preSettled int
 	prog := &batch.Progress{
 		OnPlan: func(jobs int, groupJobs []int) {
@@ -204,20 +375,40 @@ func (s *Server) runAsync(id string, reqs []*Request) {
 		OnGroupDone:  func(g int) { s.jobs.GroupState(id, g, batch.StateDone) },
 		OnJobDone:    func(done, total int) { s.jobs.JobsDone(id, preSettled+done) },
 	}
-	items := s.solveBatch(s.workCtx, reqs, prog)
-	s.jobs.Finish(id, items, nil)
+	rec := &jobRecorder{id: id, journal: s.journal, preset: preset}
+	items := s.solveBatch(s.workCtx, reqs, prog, rec)
+	s.finishJob(id, items, nil)
+}
+
+// finishJob completes an async job, journaling its terminal
+// transition first so a crash between the two leaves the job
+// in-flight (re-run on recovery) rather than silently lost.
+func (s *Server) finishJob(id string, items []BatchItem, err error) {
+	if s.journal != nil {
+		if err != nil {
+			s.journal.Append(batch.Entry{Op: batch.OpCancel, ID: id, Error: err.Error(), Code: CodeOf(err)})
+		} else {
+			s.journal.Append(batch.Entry{Op: batch.OpDone, ID: id, ItemsV: items})
+		}
+	}
+	s.jobs.Finish(id, items, err)
 }
 
 func errDrainCanceled() error {
 	return fmt.Errorf("serve: queued batch canceled by drain: %w", check.ErrCanceled)
 }
 
-// JobPayload returns the GET /jobs/{id} body for id, or ok=false for
-// an unknown or expired job (JobRunner interface).
-func (s *Server) JobPayload(id string) (any, bool) {
-	rec, ok := s.jobs.Get(id)
-	if !ok {
-		return nil, false
+// JobPayload returns the GET /jobs/{id} body for id (JobRunner
+// interface). Unknown IDs fail typed ErrJobUnknown (404); IDs the
+// journal proves were once valid but whose records have expired fail
+// ErrJobGone (410).
+func (s *Server) JobPayload(ctx context.Context, id string) (any, error) {
+	rec, status := s.jobs.Lookup(id)
+	switch status {
+	case batch.LookupMiss:
+		return nil, jobUnknown(id)
+	case batch.LookupGone:
+		return nil, jobGone(id)
 	}
 	body := jobBody{
 		ID:        rec.ID,
@@ -237,5 +428,5 @@ func (s *Server) JobPayload(id string) (any, bool) {
 			body.Results = rec.Results
 		}
 	}
-	return body, true
+	return body, nil
 }

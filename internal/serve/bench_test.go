@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 
 	"finwl/internal/check"
@@ -60,4 +61,56 @@ func BenchmarkPerfServeDegraded(b *testing.B) {
 			b.Fatal("expected a degraded approximation")
 		}
 	}
+}
+
+// benchSubmit measures POST /jobs acceptance latency — the window the
+// fsync policy widens. Each submitted batch is a pre-warmed cache hit
+// so the async workers settle it almost instantly and the store never
+// fills; the measured cost is ID minting, store insert, and (in the
+// journal variants) the submit append under the configured policy.
+func benchSubmit(b *testing.B, cfg Config) {
+	cfg.Seed = 1
+	// Big enough that the submit loop never waits on the async workers:
+	// the measured cost is ID minting, the store insert, and (in the
+	// journal variants) the submit append under the configured policy.
+	cfg.JobStoreSize = 1 << 21
+	cfg.AsyncWorkers = 8
+	s := New(cfg)
+	defer s.Drain(context.Background())
+	req := &Request{Arch: "central", K: 3, N: 10}
+	if _, err := s.Solve(context.Background(), req); err != nil {
+		b.Fatal(err)
+	}
+	reqs := []*Request{req}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for {
+			_, err := s.SubmitJob(context.Background(), reqs, "")
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, check.ErrOverloaded) {
+				b.Fatal(err)
+			}
+			// The async workers fell behind the submit loop; steady-state
+			// backpressure is part of the measured latency.
+			runtime.Gosched()
+		}
+	}
+}
+
+// The durability perf acceptance pair: journal-interval submits must
+// stay within ~10% of the in-memory baseline (bench_diff.sh compares
+// them run over run).
+
+func BenchmarkPerfJobSubmitMemory(b *testing.B) {
+	benchSubmit(b, Config{})
+}
+
+func BenchmarkPerfJobSubmitJournalInterval(b *testing.B) {
+	benchSubmit(b, Config{JournalDir: b.TempDir(), Fsync: "interval"})
+}
+
+func BenchmarkPerfJobSubmitJournalAlways(b *testing.B) {
+	benchSubmit(b, Config{JournalDir: b.TempDir(), Fsync: "always"})
 }

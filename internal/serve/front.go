@@ -36,11 +36,14 @@ type Service interface {
 }
 
 // JobRunner is the optional async-batch surface (POST /jobs, GET
-// /jobs/{id}). *Server implements it; the fleet router does not (job
-// IDs are replica-local), so its front simply has no /jobs routes.
+// /jobs/{id}). *Server implements it against the local store and
+// journal; fleet.Router implements it by forwarding to the replica
+// owning the job. A non-empty idemKey (the Idempotency-Key header)
+// makes SubmitJob safe to redeliver. JobPayload's error is mapped
+// through StatusOf/CodeOf: ErrJobUnknown → 404, ErrJobGone → 410.
 type JobRunner interface {
-	SubmitJob(reqs []*Request) (id string, err error)
-	JobPayload(id string) (payload any, ok bool)
+	SubmitJob(ctx context.Context, reqs []*Request, idemKey string) (id string, err error)
+	JobPayload(ctx context.Context, id string) (payload any, err error)
 }
 
 // rejectionCounter lets the front report protocol-level rejections
@@ -98,7 +101,9 @@ func (f *Front) Handler() http.Handler {
 	mux.HandleFunc("POST /batch", f.handleBatch)
 	if f.jobs != nil {
 		mux.HandleFunc("POST /jobs", f.handleJobSubmit)
-		mux.HandleFunc("GET /jobs/{id}", f.handleJobGet)
+		// {id...} rather than {id}: fleet-era job IDs are
+		// "replica/uuid", and the prefix is what routes the GET.
+		mux.HandleFunc("GET /jobs/{id...}", f.handleJobGet)
 	}
 	mux.HandleFunc("/healthz", f.handleHealth)
 	mux.HandleFunc("/stats", f.handleStats)
@@ -220,7 +225,8 @@ func (f *Front) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
 		return
 	}
-	writeJSON(w, http.StatusOK, f.svc.SolveBatch(r.Context(), reqs))
+	ctx := WithIdempotencyKey(r.Context(), r.Header.Get("Idempotency-Key"))
+	writeJSON(w, http.StatusOK, f.svc.SolveBatch(ctx, reqs))
 }
 
 // jobAccepted is the POST /jobs response.
@@ -235,7 +241,7 @@ func (f *Front) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	id, err := f.jobs.SubmitJob(reqs)
+	id, err := f.jobs.SubmitJob(r.Context(), reqs, r.Header.Get("Idempotency-Key"))
 	if err != nil {
 		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
 		return
@@ -245,12 +251,9 @@ func (f *Front) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (f *Front) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	payload, ok := f.jobs.JobPayload(id)
-	if !ok {
-		writeJSON(w, http.StatusNotFound, ErrorBody{
-			Error: fmt.Sprintf("serve: unknown or expired job %q", id),
-			Code:  "not_found",
-		})
+	payload, err := f.jobs.JobPayload(r.Context(), id)
+	if err != nil {
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
 		return
 	}
 	writeJSON(w, http.StatusOK, payload)

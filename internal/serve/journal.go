@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"finwl/internal/batch"
+	"finwl/internal/obs"
+)
+
+// idemKeyCtx threads a client-supplied Idempotency-Key from the HTTP
+// front to SolveBatch without widening the Service interface.
+type idemKeyCtx struct{}
+
+// WithIdempotencyKey attaches an idempotency key to ctx; the front
+// calls this for /batch requests carrying an Idempotency-Key header.
+func WithIdempotencyKey(ctx context.Context, key string) context.Context {
+	if key == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, idemKeyCtx{}, key)
+}
+
+// IdempotencyKeyFrom returns the key attached by WithIdempotencyKey,
+// or "".
+func IdempotencyKeyFrom(ctx context.Context) string {
+	key, _ := ctx.Value(idemKeyCtx{}).(string)
+	return key
+}
+
+// openJournal opens (or creates) the durability journal under
+// cfg.JournalDir and rehydrates the async-job store from it: finished
+// results inside the TTL become fetchable done records, results past
+// the TTL leave 410-answering tombstones, and jobs that were queued
+// or running at the crash re-enqueue — running ones resume from their
+// last checkpointed group instead of from scratch. Only called from
+// NewRecovered, before the server is shared.
+func (s *Server) openJournal(cfg Config) error {
+	policy, err := batch.ParseFsyncPolicy(cfg.Fsync)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+		return fmt.Errorf("serve: create journal dir: %w", err)
+	}
+	if s.replicaID == "" {
+		id, err := loadOrCreateReplicaID(filepath.Join(cfg.JournalDir, "replica-id"))
+		if err != nil {
+			return err
+		}
+		s.replicaID = id
+	}
+	j, entries, err := batch.OpenJournal(batch.JournalConfig{
+		Path:     filepath.Join(cfg.JournalDir, "jobs.jsonl"),
+		Fsync:    policy,
+		Interval: cfg.FsyncInterval,
+		Hooks:    cfg.JournalHooks,
+		Logger:   cfg.Logger,
+		Now:      cfg.Now,
+	})
+	if err != nil {
+		return err
+	}
+	s.journal = j
+	// With durability on, the store can certify that an unknown ID was
+	// once valid — keep enough tombstones to cover several store
+	// generations of expiries.
+	s.jobs.TrackGone(8 * cfg.JobStoreSize)
+	s.recover(entries)
+	return nil
+}
+
+// loadOrCreateReplicaID persists this replica's job-ID prefix so IDs
+// handed out before a crash still carry the right prefix after it.
+func loadOrCreateReplicaID(path string) (string, error) {
+	if b, err := os.ReadFile(path); err == nil {
+		if id := strings.TrimSpace(string(b)); id != "" {
+			return id, nil
+		}
+	}
+	id := "r-" + obs.NewRequestID()
+	if err := os.WriteFile(path, []byte(id+"\n"), 0o644); err != nil {
+		return "", fmt.Errorf("serve: persist replica id: %w", err)
+	}
+	return id, nil
+}
+
+// jobReplay is one job's folded journal history.
+type jobReplay struct {
+	submit *batch.Entry
+	groups []batch.Entry
+	done   *batch.Entry
+	cancel *batch.Entry
+}
+
+// recover folds the replayed entries per job and rehydrates the
+// store. Replay is idempotent: Restore refuses duplicate IDs, so
+// re-running recovery over the same journal (or a journal extended by
+// this very boot) is a no-op for already-present records.
+func (s *Server) recover(entries []batch.Entry) {
+	byID := make(map[string]*jobReplay)
+	var order []string
+	for i := range entries {
+		e := &entries[i]
+		r, ok := byID[e.ID]
+		if !ok {
+			r = &jobReplay{}
+			byID[e.ID] = r
+			order = append(order, e.ID)
+		}
+		switch e.Op {
+		case batch.OpSubmit:
+			r.submit = e
+		case batch.OpGroup:
+			r.groups = append(r.groups, *e)
+		case batch.OpDone:
+			r.done = e
+		case batch.OpCancel:
+			r.cancel = e
+		}
+		// Unknown ops (a newer build's journal) are skipped.
+	}
+	now := s.cfg.Now()
+	for _, id := range order {
+		r := byID[id]
+		if r.submit == nil && r.done == nil && r.cancel == nil {
+			// An interval-policy crash can lose the submit record while
+			// keeping later ones; without the requests there is nothing
+			// to resume, and without a terminal record nothing to serve.
+			continue
+		}
+		recovered := false
+		switch {
+		case r.done != nil:
+			recovered = s.recoverTerminal(id, r, r.done, now)
+		case r.cancel != nil:
+			recovered = s.recoverTerminal(id, r, r.cancel, now)
+		default:
+			recovered = s.recoverInFlight(id, r)
+		}
+		if recovered {
+			s.m.jobsRecovered.Inc()
+		}
+		if r.submit != nil && r.submit.IdemKey != "" {
+			s.idemJobs.add(r.submit.IdemKey, id)
+		}
+	}
+}
+
+// recoverTerminal rehydrates a job whose terminal record (done or
+// cancel) survived: within the TTL the results become fetchable
+// again, past it the ID leaves a 410 tombstone.
+func (s *Server) recoverTerminal(id string, r *jobReplay, term *batch.Entry, now time.Time) bool {
+	if term.T.IsZero() || now.Sub(term.T) >= s.cfg.JobTTL {
+		s.jobs.MarkGone(id)
+		return false
+	}
+	rec := batch.Record[BatchItem]{
+		ID:       id,
+		State:    batch.StateDone,
+		Finished: term.T,
+	}
+	if r.submit != nil {
+		rec.Created = r.submit.T
+		rec.JobsTotal = r.submit.JobsTotal
+	} else {
+		rec.Created = term.T
+	}
+	if term.Op == batch.OpCancel {
+		rec.Err = ErrorFromWire(0, ErrorBody{Error: term.Error, Code: term.Code})
+	} else {
+		var items []BatchItem
+		if err := json.Unmarshal(term.Items, &items); err != nil {
+			s.warn("journal: done record undecodable, tombstoning", "id", id, "error", err)
+			s.jobs.MarkGone(id)
+			return false
+		}
+		rec.Results = items
+		if rec.JobsTotal == 0 {
+			rec.JobsTotal = len(items)
+		}
+		rec.JobsDone = rec.JobsTotal
+	}
+	return s.jobs.Restore(rec)
+}
+
+// recoverInFlight re-enqueues a job that was queued or running at the
+// crash. Group checkpoints journaled by the pre-crash run become
+// preset items, so only the unsolved remainder is re-run.
+func (s *Server) recoverInFlight(id string, r *jobReplay) bool {
+	var reqs []*Request
+	if err := json.Unmarshal(r.submit.Reqs, &reqs); err != nil {
+		s.warn("journal: submit record undecodable, tombstoning", "id", id, "error", err)
+		s.jobs.MarkGone(id)
+		return false
+	}
+	preset := make(map[int]BatchItem)
+	for _, g := range r.groups {
+		var items []BatchItem
+		if err := json.Unmarshal(g.Items, &items); err != nil || len(items) != len(g.Idx) {
+			s.warn("journal: group checkpoint undecodable, re-solving its jobs", "id", id, "group", g.Group)
+			continue
+		}
+		for j, idx := range g.Idx {
+			if idx >= 0 && idx < len(reqs) {
+				preset[idx] = items[j]
+			}
+		}
+	}
+	if !s.jobs.Restore(batch.Record[BatchItem]{
+		ID:        id,
+		State:     batch.StateQueued,
+		JobsTotal: len(reqs),
+		Created:   r.submit.T,
+	}) {
+		return false
+	}
+	s.asyncWG.Add(1)
+	go s.runAsync(id, reqs, preset)
+	return true
+}
+
+func (s *Server) warn(msg string, args ...any) {
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Warn(msg, args...)
+	}
+}

@@ -1,0 +1,403 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"finwl/internal/batch"
+	"finwl/internal/check"
+	"finwl/internal/fleet/chaos"
+)
+
+func journalConfig(dir string) Config {
+	return Config{Seed: 11, JournalDir: dir, Fsync: "always"}
+}
+
+func submitAndWait(t *testing.T, s *Server, reqs []*Request, idemKey string) (string, jobBody) {
+	t.Helper()
+	id, err := s.SubmitJob(context.Background(), reqs, idemKey)
+	if err != nil {
+		t.Fatalf("SubmitJob: %v", err)
+	}
+	return id, waitJobDone(t, s, id)
+}
+
+func waitJobDone(t *testing.T, s *Server, id string) jobBody {
+	t.Helper()
+	var body jobBody
+	waitFor(t, func() bool {
+		payload, err := s.JobPayload(context.Background(), id)
+		if err != nil {
+			return false
+		}
+		body = payload.(jobBody)
+		return body.State == "done"
+	})
+	return body
+}
+
+// The durability acceptance: results finished before a restart stay
+// fetchable from the same ID afterwards, identical to the no-crash
+// run, and a replayed Idempotency-Key maps back to the same job.
+func TestJournalRecoveryFinishedResults(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []*Request{
+		{Network: healthyTwoStation(), K: 2, N: 10},
+		{Network: healthyTwoStation(), K: 2, N: 25},
+	}
+
+	s1, err := NewRecovered(journalConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, before := submitAndWait(t, s1, reqs, "idem-done")
+	if err := s1.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := NewRecovered(journalConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Drain(context.Background())
+	payload, err := s2.JobPayload(context.Background(), id)
+	if err != nil {
+		t.Fatalf("recovered JobPayload(%s): %v", id, err)
+	}
+	after := payload.(jobBody)
+	if after.State != "done" || len(after.Results) != len(reqs) {
+		t.Fatalf("recovered record %+v, want done with %d results", after, len(reqs))
+	}
+	for i := range reqs {
+		b, a := before.Results[i].Response, after.Results[i].Response
+		if b == nil || a == nil || !relClose(a.TotalTime, b.TotalTime, 1e-13) {
+			t.Fatalf("result %d drifted across restart: %+v vs %+v", i, b, a)
+		}
+	}
+	if got := s2.m.jobsRecovered.Value(); got != 1 {
+		t.Fatalf("jobsRecovered = %d, want 1", got)
+	}
+	// The idempotency window survives too: redelivering the key returns
+	// the recovered job instead of minting a new one.
+	again, err := s2.SubmitJob(context.Background(), reqs, "idem-done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != id {
+		t.Fatalf("replayed key minted %q, want original %q", again, id)
+	}
+}
+
+func appendEntries(t *testing.T, dir string, entries ...batch.Entry) {
+	t.Helper()
+	f, err := os.OpenFile(filepath.Join(dir, "jobs.jsonl"), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	for _, e := range entries {
+		if e.T.IsZero() {
+			e.T = time.Now()
+		}
+		if err := enc.Encode(&e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// A job whose submit record survived but whose terminal record did not
+// — the signature of a crash mid-run — is re-enqueued at boot and
+// completes with the same answers the uninterrupted run would give.
+func TestJournalRecoveryInFlightReruns(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []*Request{{Network: healthyTwoStation(), K: 2, N: 10}}
+	raw, _ := json.Marshal(reqs)
+	appendEntries(t, dir, batch.Entry{Op: batch.OpSubmit, ID: "crashed/job-1", JobsTotal: 1, Reqs: raw})
+
+	s, err := NewRecovered(journalConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	body := waitJobDone(t, s, "crashed/job-1")
+	if len(body.Results) != 1 || body.Results[0].Response == nil {
+		t.Fatalf("recovered run results %+v", body.Results)
+	}
+
+	ref := New(Config{Seed: 3})
+	want, err := ref.Solve(context.Background(), reqs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !relClose(body.Results[0].Response.TotalTime, want.TotalTime, 1e-13) {
+		t.Fatalf("recovered TotalTime %v, want %v", body.Results[0].Response.TotalTime, want.TotalTime)
+	}
+}
+
+// A checkpointed group is not re-solved on recovery: its journaled
+// items pass through bit-for-bit, and only the unsolved remainder
+// runs.
+func TestJournalRecoveryCheckpointPreset(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []*Request{
+		{Network: healthyTwoStation(), K: 2, N: 10},
+		{Arch: "central", K: 3, N: 12},
+	}
+	rawReqs, _ := json.Marshal(reqs)
+	// The sentinel TotalTime could never come out of a real solve of
+	// this model, so result[0] carrying it proves the checkpoint was
+	// honored rather than recomputed.
+	checkpoint := []BatchItem{{Response: &Response{Fidelity: FidelityExact, K: 2, N: 10, TotalTime: 123456.789}}}
+	rawItems, _ := json.Marshal(checkpoint)
+	appendEntries(t, dir,
+		batch.Entry{Op: batch.OpSubmit, ID: "ckpt/job-1", JobsTotal: 2, Reqs: rawReqs},
+		batch.Entry{Op: batch.OpGroup, ID: "ckpt/job-1", Group: 0, Idx: []int{0}, Items: rawItems},
+	)
+
+	s, err := NewRecovered(journalConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	body := waitJobDone(t, s, "ckpt/job-1")
+	if len(body.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(body.Results))
+	}
+	if r := body.Results[0].Response; r == nil || r.TotalTime != 123456.789 {
+		t.Fatalf("checkpointed item re-solved: %+v", body.Results[0])
+	}
+	if r := body.Results[1].Response; r == nil || r.TotalTime <= 0 {
+		t.Fatalf("unsolved remainder not run: %+v", body.Results[1])
+	}
+}
+
+// Expired-but-once-valid IDs answer 410 Gone (not 404) when the
+// journal can certify they existed, and redelivering their
+// idempotency key mints a fresh job.
+func TestJournalExpiredJobGone(t *testing.T) {
+	dir := t.TempDir()
+	var mu sync.Mutex
+	now := time.Unix(1000, 0)
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	cfg := journalConfig(dir)
+	cfg.JobTTL = time.Minute
+	cfg.Now = clock
+	s, err := NewRecovered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	reqs := []*Request{{Network: healthyTwoStation(), K: 2, N: 5}}
+	id, _ := submitAndWait(t, s, reqs, "idem-ttl")
+	mu.Lock()
+	now = now.Add(2 * time.Minute)
+	mu.Unlock()
+
+	_, err = s.JobPayload(context.Background(), id)
+	if !errors.Is(err, ErrJobGone) {
+		t.Fatalf("expired job error %v, want ErrJobGone", err)
+	}
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusGone {
+		t.Fatalf("expired job HTTP %d, want 410", resp.StatusCode)
+	}
+	var eb ErrorBody
+	if json.NewDecoder(resp.Body).Decode(&eb); eb.Code != "gone" {
+		t.Fatalf("expired job code %q, want gone", eb.Code)
+	}
+	if !errors.Is(ErrorFromWire(http.StatusGone, eb), ErrJobGone) {
+		t.Fatal("410 body does not round-trip to ErrJobGone")
+	}
+	// Truly unknown IDs still 404.
+	if _, err := s.JobPayload(context.Background(), "never-seen"); !errors.Is(err, ErrJobUnknown) {
+		t.Fatalf("unknown job error %v, want ErrJobUnknown", err)
+	}
+	// A replayed key for an expired job re-runs rather than pointing at
+	// the tombstone.
+	fresh, err := s.SubmitJob(context.Background(), reqs, "idem-ttl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == id {
+		t.Fatal("replayed key returned the expired job instead of re-running")
+	}
+}
+
+// Replaying the same journal twice is a no-op: a second boot over the
+// journal the first boot extended sees identical state.
+func TestJournalReplayIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	reqs := []*Request{{Network: healthyTwoStation(), K: 2, N: 8}}
+	s1, err := NewRecovered(journalConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := submitAndWait(t, s1, reqs, "")
+	s1.Drain(context.Background())
+
+	var want float64
+	for round := 0; round < 2; round++ {
+		s, err := NewRecovered(journalConfig(dir))
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		payload, err := s.JobPayload(context.Background(), id)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		body := payload.(jobBody)
+		if body.State != "done" || len(body.Results) != 1 {
+			t.Fatalf("round %d: %+v", round, body)
+		}
+		if held, _ := s.jobs.Len(); held != 1 {
+			t.Fatalf("round %d: %d records, want 1 (replay duplicated)", round, held)
+		}
+		if round == 0 {
+			want = body.Results[0].Response.TotalTime
+		} else if body.Results[0].Response.TotalTime != want {
+			t.Fatalf("round 1 result %v != round 0 result %v", body.Results[0].Response.TotalTime, want)
+		}
+		s.Drain(context.Background())
+	}
+}
+
+// /batch idempotency: a redelivered key replays the window instead of
+// re-solving, and the handles are independent clones.
+func TestBatchIdempotencyKey(t *testing.T) {
+	s := New(Config{Seed: 12})
+	reqs := []*Request{{Network: healthyTwoStation(), K: 2, N: 9}}
+	ctx := WithIdempotencyKey(context.Background(), "batch-key")
+	first := s.SolveBatch(ctx, reqs)
+	if first[0].Response == nil {
+		t.Fatalf("first run failed: %+v", first[0])
+	}
+	hits := s.m.idemHits.Value()
+	second := s.SolveBatch(ctx, reqs)
+	if s.m.idemHits.Value() != hits+1 {
+		t.Fatal("redelivered key did not hit the idempotency window")
+	}
+	if second[0].Response == nil || second[0].Response.TotalTime != first[0].Response.TotalTime {
+		t.Fatalf("replayed items differ: %+v vs %+v", first[0], second[0])
+	}
+	if second[0].Response == first[0].Response {
+		t.Fatal("replayed item shares the cached Response pointer")
+	}
+	// A keyless batch never touches the window.
+	if s.SolveBatch(context.Background(), reqs); s.m.idemHits.Value() != hits+1 {
+		t.Fatal("keyless batch charged the idempotency window")
+	}
+}
+
+// SubmitJob idempotency under concurrency: many redeliveries of one
+// key mint exactly one job.
+func TestSubmitJobIdempotencyConcurrent(t *testing.T) {
+	s := New(Config{Seed: 13})
+	defer s.Drain(context.Background())
+	reqs := []*Request{{Network: healthyTwoStation(), K: 2, N: 6}}
+	ids := make([]string, 8)
+	var wg sync.WaitGroup
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id, err := s.SubmitJob(context.Background(), reqs, "one-key")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = id
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if id != ids[0] {
+			t.Fatalf("concurrent redeliveries minted distinct jobs: %v", ids)
+		}
+	}
+}
+
+// Without a journal the wire behavior is the pre-durability one:
+// bare job IDs and 404 (never 410) for expired records.
+func TestJournalDisabledKeepsLegacyShape(t *testing.T) {
+	s := New(Config{Seed: 14})
+	defer s.Drain(context.Background())
+	id, err := s.SubmitJob(context.Background(), []*Request{{Network: healthyTwoStation(), K: 2, N: 4}}, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range id {
+		if c == '/' {
+			t.Fatalf("journal-less job ID %q carries a replica prefix", id)
+		}
+	}
+}
+
+// A corrupt journal is a hard boot failure for NewRecovered and a
+// logged memory-only fallback for New.
+func TestJournalCorruptBootPaths(t *testing.T) {
+	dir := t.TempDir()
+	body := `{"op":"submit","id":"a","jobs_total":1}` + "\n" + `{"op":broken}` + "\n" + `{"op":"done","id":"a"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "jobs.jsonl"), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRecovered(journalConfig(dir)); !errors.Is(err, check.ErrJournalCorrupt) {
+		t.Fatalf("NewRecovered over corruption: %v, want ErrJournalCorrupt", err)
+	}
+	s := New(journalConfig(dir))
+	defer s.Drain(context.Background())
+	if s == nil || s.journal != nil {
+		t.Fatal("New over corruption should fall back to a journal-less server")
+	}
+	if _, err := s.SubmitJob(context.Background(), []*Request{{Network: healthyTwoStation(), K: 2, N: 3}}, ""); err != nil {
+		t.Fatalf("fallback server cannot serve: %v", err)
+	}
+}
+
+// The disk-fault acceptance: a journal whose writes and fsyncs fail
+// underneath the server must never surface into serving — the
+// in-memory store stays the source of truth, results stay correct,
+// and the failures are counted rather than returned.
+func TestJournalDiskFaultsAbsorbed(t *testing.T) {
+	disk := chaos.NewDisk(7, chaos.DiskFault{WriteFail: 0.3, ShortWrite: 0.3, SyncFail: 0.3})
+	cfg := journalConfig(t.TempDir())
+	cfg.JournalHooks = disk.Hooks()
+	s, err := NewRecovered(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Drain(context.Background())
+
+	for i := 0; i < 12; i++ {
+		req := &Request{Network: healthyTwoStation(), K: 2, N: 5 + i}
+		_, body := submitAndWait(t, s, []*Request{req}, "")
+		if len(body.Results) != 1 || body.Results[0].Response == nil {
+			t.Fatalf("job %d lost its result under disk faults: %+v", i, body)
+		}
+		if body.Results[0].Response.TotalTime <= 0 {
+			t.Fatalf("job %d: TotalTime %v", i, body.Results[0].Response.TotalTime)
+		}
+	}
+	wf, sw, sf := disk.Counts()
+	if wf == 0 || sw == 0 || sf == 0 {
+		t.Fatalf("injector fired (%d write, %d short, %d sync); every class should trip at these rates", wf, sw, sf)
+	}
+	if s.journal.WriteFailures() == 0 {
+		t.Fatal("journal counted no failures — the degraded-durability tripwire is dead")
+	}
+}

@@ -48,6 +48,10 @@ type serveMetrics struct {
 	batchChainReuse *obs.Counter
 	batchGroupJobs  *obs.Histogram // jobs per solved group
 	batchSeconds    *obs.Histogram // whole-batch wall time, ns
+
+	// Durability and idempotency families.
+	idemHits      *obs.Counter // submissions answered from the Idempotency-Key window
+	jobsRecovered *obs.Counter // journal-replayed jobs rehydrated at boot
 }
 
 // Histogram bucket rationale (documented in DESIGN.md §11): serve-path
@@ -106,6 +110,11 @@ func newServeMetrics(reg *obs.Registry) *serveMetrics {
 			"Jobs per solved batch group.", obs.ExpBounds(1, 2, 10), 1),
 		batchSeconds: reg.Histogram("finwld_batch_seconds",
 			"Wall time of one whole batch, submission to fan-in.", solveBounds, 1e-9),
+
+		idemHits: c("finwld_idempotent_hits_total",
+			"Submissions answered from the Idempotency-Key dedup window instead of re-running."),
+		jobsRecovered: c("finwld_jobs_recovered_total",
+			"Async jobs rehydrated from the durability journal at boot."),
 	}
 }
 
@@ -145,6 +154,9 @@ func registerGauges(reg *obs.Registry, s *Server) {
 	reg.GaugeFunc("finwld_batch_store_active", "Async job records still queued or running.", func() float64 {
 		_, active := s.jobs.Len()
 		return float64(active)
+	})
+	reg.GaugeFunc("finwld_journal_write_failures", "Journal appends or syncs that failed (degraded durability); 0 with the journal off.", func() float64 {
+		return float64(s.journal.WriteFailures()) // nil-safe: 0 without a journal
 	})
 }
 

@@ -61,6 +61,25 @@ func errDraining() error {
 // own model being rejected.
 var ErrUnavailable = errors.New("no replica available")
 
+// ErrJobUnknown marks a GET /jobs/{id} for an ID this server has never
+// seen; it maps to HTTP 404 (code "not_found").
+var ErrJobUnknown = errors.New("unknown job")
+
+// ErrJobGone marks a GET /jobs/{id} for an ID that was once valid but
+// whose record has since expired or been evicted — a distinction only
+// a journal-backed server can make. It maps to HTTP 410 (code "gone"):
+// re-polling cannot help, but re-submitting with the same idempotency
+// key safely re-runs the work.
+var ErrJobGone = errors.New("job expired")
+
+func jobUnknown(id string) error {
+	return fmt.Errorf("serve: unknown or expired job %q: %w", id, ErrJobUnknown)
+}
+
+func jobGone(id string) error {
+	return fmt.Errorf("serve: job %q expired; results no longer retained: %w", id, ErrJobGone)
+}
+
 // Unavailable wraps cause (the last per-replica failure, may be nil)
 // into an ErrUnavailable-matching error.
 func Unavailable(cause error) error {
@@ -89,6 +108,27 @@ type Config struct {
 	JobStoreSize int           // async job records held at once (default 64)
 	JobTTL       time.Duration // retention of finished async results (default 10m)
 	AsyncWorkers int           // concurrent async batch runs (default 4)
+
+	// Durability. A non-empty JournalDir enables the async-jobs
+	// journal: every /jobs transition is appended to
+	// JournalDir/jobs.jsonl and replayed at boot — queued and
+	// running-at-crash batches re-enqueue (running ones restart from
+	// their last checkpointed group), finished results within JobTTL
+	// stay fetchable, and expired-but-once-valid IDs answer 410 Gone.
+	// Empty (the default) keeps the purely in-memory PR-5 behavior.
+	JournalDir    string
+	Fsync         string             // journal fsync policy: always|interval|never (default interval)
+	FsyncInterval time.Duration      // interval-policy sync period (default 100ms)
+	JournalHooks  batch.JournalHooks // fault-injection hooks (chaos, tests)
+	// ReplicaID prefixes async job IDs ("replica/uuid") so a fleet
+	// router can route GET /jobs/{id} back by prefix alone. Empty with
+	// a journal: a generated ID is persisted in JournalDir/replica-id
+	// so the prefix survives restarts. Empty without a journal: IDs
+	// stay bare (the PR-5 wire shape).
+	ReplicaID string
+	// IdemWindow bounds the Idempotency-Key dedup LRU for /jobs and
+	// /batch (default 256; negative disables).
+	IdemWindow int
 
 	// Cold-start cost model for the degradation ladder; the per-class
 	// EWMA estimator refines these from observed solves.
@@ -153,6 +193,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.AsyncWorkers < 1 {
 		c.AsyncWorkers = 4
+	}
+	if c.IdemWindow == 0 {
+		c.IdemWindow = 256
 	}
 	if c.ExactNsPerUnit == 0 {
 		c.ExactNsPerUnit = 50
@@ -294,6 +337,19 @@ type Server struct {
 	asyncSem     chan struct{}
 	asyncWG      sync.WaitGroup
 
+	// Durability and idempotency: the append-only journal (nil when
+	// JournalDir is empty), this replica's job-ID prefix, and the
+	// bounded Idempotency-Key windows — idemJobs maps a key to its job
+	// ID under idemMu (submits must be read-modify-write atomic),
+	// idemBatch caches a keyed /batch's items with idemFlight
+	// collapsing concurrent redeliveries of the same key.
+	journal    *batch.Journal
+	replicaID  string
+	idemMu     sync.Mutex
+	idemJobs   *lru[string]
+	idemBatch  *lru[[]BatchItem]
+	idemFlight *flightGroup[[]BatchItem]
+
 	draining   atomic.Bool
 	drainCh    chan struct{} // closed when Drain starts; parks no new async work
 	drainOnce  sync.Once
@@ -304,8 +360,32 @@ type Server struct {
 	m   *serveMetrics
 }
 
-// New builds a Server from cfg (zero value = all defaults).
+// New builds a Server from cfg (zero value = all defaults). With a
+// JournalDir configured it additionally recovers journaled async jobs;
+// a journal that cannot be opened or replayed (including typed
+// check.ErrJournalCorrupt) is logged and the server runs without
+// durability — use NewRecovered when that must be a hard failure.
 func New(cfg Config) *Server {
+	s, err := NewRecovered(cfg)
+	if err != nil {
+		// Availability-first fallback: serve from memory only. The
+		// journal error was already logged by NewRecovered's caller
+		// contract below; strip the journal config and rebuild.
+		if cfg.Logger != nil {
+			cfg.Logger.Error("journal disabled: open/replay failed", "dir", cfg.JournalDir, "error", err)
+		}
+		bare := cfg
+		bare.JournalDir = ""
+		s, _ = NewRecovered(bare)
+	}
+	return s
+}
+
+// NewRecovered is New with journal failures surfaced: a JournalDir
+// that cannot be opened, or whose contents fail the integrity check
+// (typed check.ErrJournalCorrupt), returns the error instead of a
+// server. With an empty JournalDir it never fails.
+func NewRecovered(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	workCtx, workCancel := context.WithCancel(context.Background())
 	reg := obs.NewRegistry()
@@ -327,6 +407,11 @@ func New(cfg Config) *Server {
 		workCancel:   workCancel,
 		reg:          reg,
 		m:            newServeMetrics(reg),
+
+		replicaID:  cfg.ReplicaID,
+		idemJobs:   newLRU[string](cfg.IdemWindow),
+		idemBatch:  newLRU[[]BatchItem](cfg.IdemWindow),
+		idemFlight: newFlightGroup[[]BatchItem](),
 	}
 	s.sched = batch.New(batch.Hooks{
 		Acquire: func(done <-chan struct{}, price int64) error {
@@ -353,7 +438,12 @@ func New(cfg Config) *Server {
 		},
 	})
 	registerGauges(reg, s)
-	return s
+	if cfg.JournalDir != "" {
+		if err := s.openJournal(cfg); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // solverFor resolves the factored solver for solverKey, building it at
@@ -749,12 +839,24 @@ func (s *Server) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 		finish()
+		s.closeJournal()
 		return nil
 	case <-ctx.Done():
 		s.workCancel()
 		<-done
 		finish()
+		s.closeJournal()
 		return fmt.Errorf("serve: drain deadline expired, in-flight work canceled: %w", check.ErrCanceled)
+	}
+}
+
+// closeJournal syncs and closes the journal at the end of a drain; a
+// journal-less server no-ops.
+func (s *Server) closeJournal() {
+	if s.journal != nil {
+		if err := s.journal.Close(); err != nil && s.cfg.Logger != nil {
+			s.cfg.Logger.Warn("journal close failed", "error", err)
+		}
 	}
 }
 
@@ -795,6 +897,10 @@ func StatusOf(err error) int {
 		return http.StatusOK
 	case errors.Is(err, ErrDraining), errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrJobUnknown):
+		return http.StatusNotFound
+	case errors.Is(err, ErrJobGone):
+		return http.StatusGone
 	case errors.Is(err, check.ErrInvalidModel):
 		return http.StatusBadRequest
 	case errors.Is(err, check.ErrOverloaded):
@@ -819,6 +925,10 @@ func CodeOf(err error) string {
 		return "draining"
 	case errors.Is(err, ErrUnavailable):
 		return "unavailable"
+	case errors.Is(err, ErrJobUnknown):
+		return "not_found"
+	case errors.Is(err, ErrJobGone):
+		return "gone"
 	case errors.Is(err, check.ErrInvalidModel):
 		return "invalid_model"
 	case errors.Is(err, check.ErrOverloaded):
@@ -863,6 +973,7 @@ func (s *Server) noteRejected() { s.m.rejected.Inc() }
 // statsBody is the /stats payload.
 type statsBody struct {
 	Stats      Stats             `json:"stats"`
+	ReplicaID  string            `json:"replica_id,omitempty"` // job-ID prefix; routers scrape it
 	BudgetUsed int64             `json:"budget_used"`
 	Budget     int64             `json:"budget"`
 	Queued     int               `json:"queued"`
@@ -883,6 +994,7 @@ func (s *Server) StatsPayload() any {
 	buildObjects, buildBytes := network.ChainBuildStats()
 	body := statsBody{
 		Stats:            s.Snapshot(),
+		ReplicaID:        s.replicaID,
 		BudgetUsed:       used,
 		Budget:           budget,
 		Queued:           queued,

@@ -47,6 +47,10 @@ func ErrorFromWire(status int, body ErrorBody) error {
 		return fmt.Errorf("%s: %w", msg, check.ErrNotConverged)
 	case "degraded":
 		return fmt.Errorf("%s: %w", msg, check.ErrDegraded)
+	case "not_found":
+		return fmt.Errorf("%s: %w", msg, ErrJobUnknown)
+	case "gone":
+		return fmt.Errorf("%s: %w", msg, ErrJobGone)
 	}
 	switch status {
 	case http.StatusBadRequest:
@@ -55,6 +59,10 @@ func ErrorFromWire(status int, body ErrorBody) error {
 		return fmt.Errorf("%s: %w", msg, check.ErrOverloaded)
 	case http.StatusGatewayTimeout:
 		return fmt.Errorf("%s: %w", msg, check.ErrCanceled)
+	case http.StatusNotFound:
+		return fmt.Errorf("%s: %w", msg, ErrJobUnknown)
+	case http.StatusGone:
+		return fmt.Errorf("%s: %w", msg, ErrJobGone)
 	}
 	return fmt.Errorf("serve: replica error: %s (HTTP %d, code %q)", msg, status, body.Code)
 }

@@ -68,7 +68,7 @@ scripts/bench_diff.sh --self-test
 echo "== fuzz seed smoke =="
 # Each target's seed corpus runs as ordinary tests; a short -fuzz burst
 # per target catches regressions the fixed seeds miss.
-for target in FuzzNetworkPipeline FuzzPHFit FuzzRobustSolve; do
+for target in FuzzNetworkPipeline FuzzPHFit FuzzRobustSolve FuzzJournalReplay; do
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/faultcheck
 done
 
@@ -304,5 +304,58 @@ if [ "$rc" -ne 0 ]; then
     exit 1
 fi
 kill -TERM "$rep1_pid" "$rep2_pid" 2>/dev/null || true
+
+echo "== finwld crash-recovery smoke =="
+# Journal-backed daemon, a multi-group async batch submitted under an
+# Idempotency-Key, SIGKILL with no drain, then a restart over the same
+# journal directory: the job must reach done with every result intact,
+# and replaying the same key must map back to the same job ID.
+jdir="$scratch/journal"
+jobs_body='[{"arch":"central","k":9,"n":46},{"arch":"central","k":9,"n":48},{"arch":"central","k":10,"n":50}]'
+"$bindir/finwld" -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always >"$bindir/crash1.log" 2>&1 &
+crash_pid=$!
+trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" "${crash_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
+crash_addr=$(scrape_addr "$bindir/crash1.log")
+accepted=$(curl -s -X POST -H 'Idempotency-Key: ci-crash' -d "$jobs_body" "http://$crash_addr/jobs")
+job_id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<< "$accepted")
+if [ -z "$job_id" ]; then
+    echo "crash smoke: /jobs submission not accepted: $accepted" >&2
+    exit 1
+fi
+# SIGKILL immediately: the fsync-always journal is all the restart gets.
+kill -KILL "$crash_pid"
+wait "$crash_pid" 2>/dev/null || true
+"$bindir/finwld" -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always >"$bindir/crash2.log" 2>&1 &
+crash_pid=$!
+crash_addr=$(scrape_addr "$bindir/crash2.log")
+job=""
+for _ in $(seq 1 100); do
+    job=$(curl -s "http://$crash_addr/jobs/$job_id")
+    grep -q '"state":"done"' <<< "$job" && break
+    sleep 0.1
+done
+if ! grep -q '"state":"done"' <<< "$job"; then
+    echo "crash smoke: recovered job never finished: $job" >&2
+    cat "$bindir/crash2.log" >&2
+    exit 1
+fi
+if [ "$(grep -o '"total_time":' <<< "$job" | wc -l)" -ne 3 ]; then
+    echo "crash smoke: recovered job lost results: $job" >&2
+    exit 1
+fi
+again=$(curl -s -X POST -H 'Idempotency-Key: ci-crash' -d "$jobs_body" "http://$crash_addr/jobs")
+again_id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<< "$again")
+if [ "$again_id" != "$job_id" ]; then
+    echo "crash smoke: replayed Idempotency-Key minted a new job: $again_id vs $job_id" >&2
+    exit 1
+fi
+kill -TERM "$crash_pid"
+rc=0
+wait "$crash_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "crash smoke: exit $rc after SIGTERM, want a clean drain (0)" >&2
+    cat "$bindir/crash2.log" >&2
+    exit 1
+fi
 
 echo "CI OK"
