@@ -32,13 +32,26 @@
 //	finwld -addr 127.0.0.1:8082 &
 //	finwld -addr 127.0.0.1:8080 -router http://127.0.0.1:8081,http://127.0.0.1:8082
 //
+// Replay mode: -replay turns the binary into a load driver instead of
+// a server. The argument is either a workload spec (YAML/JSON, see
+// internal/spec) or a recorded trace (JSONL); a spec expands into a
+// deterministic seeded trace first. The trace fires at -target with
+// open-loop pacing and the run ends with a per-class SLO-attainment
+// report:
+//
+//	finwld -replay examples/spec-mixed.yaml -target http://127.0.0.1:8080
+//	finwld -replay spec.yaml -record trace.jsonl            # record only
+//	finwld -replay trace.jsonl -target URL -report out.json -gate
+//
 // Exit status: 0 after a graceful drain (SIGINT/SIGTERM stops
 // admitting, cancels queued work, and finishes in-flight solves within
-// -drain; a second signal hard-kills), 1 on a startup or serve
-// failure, 2 on command-line misuse.
+// -drain; a second signal hard-kills) or a completed replay, 1 on a
+// startup/serve/replay failure (including a missed SLO under -gate),
+// 2 on command-line misuse.
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -55,6 +68,8 @@ import (
 	"finwl/internal/fleet"
 	"finwl/internal/obs"
 	"finwl/internal/serve"
+	"finwl/internal/spec"
+	"finwl/internal/trace"
 )
 
 // service is what run needs from either mode: the embedded solver
@@ -89,11 +104,22 @@ func main() {
 		probeInterval = flag.Duration("probe-interval", 0, "router: replica health-probe interval (0 = default 2s)")
 		spillFactor   = flag.Float64("spill-factor", 0, "router: weighted-load ratio that diverts off a saturated owner (0 = default 2.0, <0 disables)")
 		spillDepth    = flag.Int("spill-depth", 0, "router: owner outstanding depth before spillover is considered (0 = default 4)")
+
+		// Replay (load-driver) mode.
+		replay     = flag.String("replay", "", "workload spec (YAML/JSON) or recorded trace (JSONL) to replay; turns this process into a load driver")
+		target     = flag.String("target", "", "replay: base URL of the finwld (or fleet router) to drive")
+		record     = flag.String("record", "", "replay: write the expanded event trace as JSONL to this path (without -target: record only)")
+		reportPath = flag.String("report", "", "replay: write the machine-readable SLO report as JSON to this path")
+		gate       = flag.Bool("gate", false, "replay: exit 1 unless every class meets its SLO target and zero untyped 5xx were observed")
+		timeScale  = flag.Float64("time-scale", 1, "replay: multiply recorded arrival offsets (0.5 replays twice as fast)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "finwld: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
+	}
+	if *replay != "" {
+		os.Exit(replayMain(*replay, *target, *record, *reportPath, *gate, *timeScale))
 	}
 	var logger *slog.Logger
 	if !*quiet {
@@ -204,4 +230,95 @@ func run(addr, metricsAddr string, srv service, drainTimeout time.Duration) erro
 	<-serveErr // Serve has returned http.ErrServerClosed
 	fmt.Println("finwld: drained, exiting")
 	return nil
+}
+
+// replayMain is the -replay entry point: load a spec or recorded
+// trace, optionally record the expanded trace, drive it at -target,
+// and write/print the SLO report. Returns the process exit code.
+func replayMain(path, target, record, reportPath string, gate bool, timeScale float64) int {
+	if target == "" && record == "" {
+		fmt.Fprintln(os.Stderr, "finwld: -replay needs -target (to drive) or -record (to record the trace)")
+		return 2
+	}
+	if timeScale < 0 {
+		fmt.Fprintf(os.Stderr, "finwld: -time-scale %v, want >= 0\n", timeScale)
+		return 2
+	}
+	tr, err := loadTrace(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
+		return 1
+	}
+	if record != "" {
+		f, err := os.Create(record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
+			return 1
+		}
+		err = tr.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "finwld: record %s: %v\n", record, err)
+			return 1
+		}
+		fmt.Printf("finwld: recorded %d events (%d requests) to %s\n",
+			len(tr.Events), tr.Header.Requests, record)
+	}
+	if target == "" {
+		return 0
+	}
+
+	// SIGINT/SIGTERM cancels the drive; outcomes collected so far are
+	// discarded (a partial replay cannot be scored against the SLO).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rep, err := trace.Drive(ctx, tr, target, trace.DriveOptions{TimeScale: timeScale})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "finwld: replay: %v\n", err)
+		return 1
+	}
+	fmt.Print(rep.Summary())
+	if reportPath != "" {
+		var w *os.File
+		if reportPath == "-" {
+			w = os.Stdout
+		} else {
+			f, err := os.Create(reportPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "finwld: %v\n", err)
+				return 1
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rep.WriteReport(w); err != nil {
+			fmt.Fprintf(os.Stderr, "finwld: report: %v\n", err)
+			return 1
+		}
+	}
+	if gate && (!rep.SLOMet || rep.Untyped5xx > 0) {
+		fmt.Fprintf(os.Stderr, "finwld: SLO gate failed (met=%v, untyped 5xx=%d)\n",
+			rep.SLOMet, rep.Untyped5xx)
+		return 1
+	}
+	return 0
+}
+
+// loadTrace reads path as a recorded trace (sniffed by the JSONL
+// header) or a workload spec expanded through the generator.
+func loadTrace(path string) (*trace.Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if trace.IsTrace(data) {
+		return trace.ReadJSONL(bytes.NewReader(data))
+	}
+	s, err := spec.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	return trace.Generate(s)
 }

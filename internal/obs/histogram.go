@@ -160,6 +160,52 @@ func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
 	return out
 }
 
+// Quantile estimates the p-quantile of the observations in the
+// snapshot's raw units by linear interpolation inside the containing
+// bucket (the standard Prometheus histogram_quantile estimator). p is
+// clamped to [0,1]; an empty snapshot returns 0. Mass in the +Inf
+// overflow bucket is attributed to the last finite bound — quantiles
+// there are lower bounds, which is the conservative direction for an
+// SLO report.
+func (s HistSnapshot) Quantile(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	var total int64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := p * float64(total)
+	var cum int64
+	for i, c := range s.Counts {
+		if float64(cum+c) < rank {
+			cum += c
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper edge to interpolate to.
+			return float64(s.Bounds[len(s.Bounds)-1])
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = float64(s.Bounds[i-1])
+		}
+		hi := float64(s.Bounds[i])
+		if c == 0 {
+			return hi
+		}
+		frac := (rank - float64(cum)) / float64(c)
+		return lo + (hi-lo)*frac
+	}
+	return float64(s.Bounds[len(s.Bounds)-1])
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistSnapshotQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_test", "", []int64{10, 20, 40}, 1)
+	// 10 observations in (0,10], 10 in (10,20].
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+	}
+	s := h.Snapshot()
+	// p50 lands exactly at the first bucket's upper edge.
+	if got := s.Quantile(0.5); got != 10 {
+		t.Fatalf("p50 = %v, want 10", got)
+	}
+	// p75 is halfway through the second bucket: 10 + (20-10)*0.5.
+	if got := s.Quantile(0.75); got != 15 {
+		t.Fatalf("p75 = %v, want 15", got)
+	}
+	if got := s.Quantile(1); got != 20 {
+		t.Fatalf("p100 = %v, want 20", got)
+	}
+	// Clamping.
+	if s.Quantile(-1) != s.Quantile(0) || s.Quantile(2) != s.Quantile(1) {
+		t.Fatal("p outside [0,1] not clamped")
+	}
+}
+
+func TestHistSnapshotQuantileEdges(t *testing.T) {
+	r := NewRegistry()
+	empty := r.Histogram("q_empty", "", []int64{10}, 1)
+	if got := empty.Snapshot().Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+
+	// All mass in the +Inf overflow bucket: the estimate degrades to
+	// the last finite bound — a lower bound, never an invention.
+	over := r.Histogram("q_over", "", []int64{10, 20}, 1)
+	over.Observe(1000)
+	over.Observe(2000)
+	if got := over.Snapshot().Quantile(0.99); got != 20 {
+		t.Fatalf("overflow quantile = %v, want 20 (last finite bound)", got)
+	}
+
+	// Quantiles are monotone in p.
+	r2 := NewRegistry()
+	h := r2.Histogram("q_mono", "", ExpBounds(1, 2, 12), 1)
+	for v := int64(1); v < 3000; v = v*3 + 1 {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		q := s.Quantile(p)
+		if q < prev {
+			t.Fatalf("quantile not monotone at p=%v: %v < %v", p, q, prev)
+		}
+		prev = q
+	}
+}
+
+func TestHistSnapshotQuantileMerged(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("q_a", "", []int64{10, 20}, 1)
+	b := r.Histogram("q_b", "", []int64{10, 20}, 1)
+	for i := 0; i < 4; i++ {
+		a.Observe(5)
+		b.Observe(15)
+	}
+	m := a.Snapshot().Merge(b.Snapshot())
+	if m.Count != 8 {
+		t.Fatalf("merged count %d", m.Count)
+	}
+	if got := m.Quantile(0.5); got != 10 {
+		t.Fatalf("merged p50 = %v, want 10", got)
+	}
+}

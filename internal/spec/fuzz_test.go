@@ -1,0 +1,42 @@
+package spec
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"finwl/internal/check"
+)
+
+// FuzzSpecParse holds the parser to its contract on arbitrary bytes:
+// never panic, and every failure is a typed check.ErrInvalidModel —
+// a spec file with a syntax error must look exactly like a spec file
+// with a semantic error to callers.
+func FuzzSpecParse(f *testing.F) {
+	if example, err := os.ReadFile("../../examples/spec-mixed.yaml"); err == nil {
+		f.Add(example)
+	}
+	f.Add([]byte(validYAML))
+	f.Add([]byte(`{"name":"j","seed":1,"requests":2,"rate":1,"classes":[{"name":"a","fraction":1,"arrival":{"process":"deterministic"},"slo":{"target":0},"model":{"k":1},"n":{"min":1,"max":1}}]}`))
+	f.Add([]byte("a:\n  - 1\n  - b: 2\n"))
+	f.Add([]byte("name: \"x\ty\"\nrate: [1, {\"k\": 2}]\n"))
+	f.Add([]byte("---\n# only a comment\n"))
+	f.Add([]byte("\t"))
+	f.Add([]byte("- -\n-  - ~\n"))
+	f.Add([]byte("a: 'b\nc: ''d'''))\n"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if !errors.Is(err, check.ErrInvalidModel) {
+				t.Fatalf("untyped parse error: %v", err)
+			}
+			return
+		}
+		// A spec that parses must also re-validate: Parse validates, so
+		// a second Validate over the same value cannot disagree.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a spec Validate rejects: %v", err)
+		}
+	})
+}

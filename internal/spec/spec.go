@@ -1,0 +1,319 @@
+// Package spec is the declarative workload layer: a YAML/JSON schema
+// describing a mix of named client classes — each with a traffic
+// fraction, an arrival process (deterministic, Poisson, or bursty via
+// the phase-type machinery), a model template that compiles onto
+// internal/workload + internal/cluster parameters, a workload-size
+// range, and an SLO class (deadline + attainment target).
+//
+// A Spec is the front door for scenario diversity: internal/trace
+// expands it into a deterministic, seeded event trace, and the finwld
+// -replay driver fires that trace at a live server (or fleet router)
+// and scores per-class SLO attainment. Every parse or validation
+// failure matches check.ErrInvalidModel — the fuzz target holds the
+// package to "no panics, typed errors only".
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+
+	"finwl/internal/check"
+	"finwl/internal/serve"
+)
+
+// Arrival processes.
+const (
+	ArrivalDeterministic = "deterministic"
+	ArrivalPoisson       = "poisson"
+	ArrivalBursty        = "bursty"
+)
+
+// Endpoints a class can target.
+const (
+	EndpointSolve = "solve"
+	EndpointBatch = "batch"
+	EndpointJobs  = "jobs"
+)
+
+// DefaultBurstCV2 is the squared coefficient of variation of
+// inter-arrival times for a bursty class that does not pick its own —
+// well into the heavy-burst regime the power-tail traces motivate.
+const DefaultBurstCV2 = 16.0
+
+// Spec is a complete workload specification.
+type Spec struct {
+	// Name labels the scenario in traces and reports.
+	Name string `json:"name"`
+	// Seed drives every random draw (arrival gaps, workload sizes);
+	// the same spec + seed always expands to the same trace.
+	Seed int64 `json:"seed"`
+	// Requests is the total number of solve requests across all
+	// classes (batch submissions count each job).
+	Requests int `json:"requests"`
+	// Rate is the aggregate arrival rate in requests per second; each
+	// class arrives at Rate × Fraction.
+	Rate float64 `json:"rate"`
+	// Classes are the client classes of the mix.
+	Classes []Class `json:"classes"`
+}
+
+// Class is one named client class.
+type Class struct {
+	Name string `json:"name"`
+	// Fraction is this class's share of Requests and of Rate; the
+	// fractions of a spec must sum to 1.
+	Fraction float64 `json:"fraction"`
+	Arrival  Arrival `json:"arrival"`
+	SLO      SLO     `json:"slo"`
+	// Endpoint picks the serving surface: "solve" (default, one
+	// request per arrival), "batch" (synchronous shared-chain batches)
+	// or "jobs" (async batches polled to completion).
+	Endpoint string `json:"endpoint,omitempty"`
+	// Batch is the number of jobs per batch/jobs submission (default
+	// 4; ignored for solve).
+	Batch int    `json:"batch,omitempty"`
+	Model Model  `json:"model"`
+	N     NRange `json:"n"`
+}
+
+// Arrival selects the inter-arrival process of a class.
+type Arrival struct {
+	// Process is deterministic | poisson | bursty.
+	Process string `json:"process"`
+	// CV2 is the squared coefficient of variation of bursty
+	// inter-arrival gaps, realized as a fitted H2/Coxian phase-type
+	// law (default DefaultBurstCV2; must exceed 1).
+	CV2 float64 `json:"cv2,omitempty"`
+}
+
+// SLO is a class's service-level objective.
+type SLO struct {
+	// DeadlineMS is the per-request latency budget; it is also sent as
+	// the request's server-side deadline, so a tight SLO exercises the
+	// degradation ladder. 0 means no deadline (attainment = success).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// Target is the required attainment fraction in [0,1]: the share
+	// of the class's requests that must succeed within the deadline.
+	Target float64 `json:"target"`
+}
+
+// Model is the per-class model template — the cluster form of
+// serve.Request, shared by every request of the class except for the
+// sampled workload size N.
+type Model struct {
+	Arch string         `json:"arch,omitempty"` // central (default) | distributed
+	K    int            `json:"k"`
+	App  *serve.AppSpec `json:"app,omitempty"`
+	CV2  *serve.CV2Spec `json:"cv2,omitempty"`
+}
+
+// NRange is the inclusive workload-size range a class samples
+// uniformly.
+type NRange struct {
+	Min int `json:"min"`
+	Max int `json:"max"`
+}
+
+// Parse decodes a workload spec from YAML or JSON (sniffed by the
+// first significant byte) and validates it. All errors match
+// check.ErrInvalidModel.
+func Parse(data []byte) (*Spec, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	jsonBytes := data
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		tree, err := parseYAML(data)
+		if err != nil {
+			return nil, err
+		}
+		jsonBytes, err = json.Marshal(tree)
+		if err != nil {
+			return nil, check.Invalid("spec: %v", err)
+		}
+	}
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(jsonBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, check.Invalid("spec: %v", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// ParseFile reads and parses a spec file.
+func ParseFile(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("spec: %w", err)
+	}
+	return Parse(data)
+}
+
+// Validate checks the spec's structural invariants and compiles each
+// class's model template through the serve/cluster/network validators,
+// so a spec that validates will build real requests.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return check.Invalid("spec: missing name")
+	}
+	if err := check.Count("spec: requests", s.Requests, 1); err != nil {
+		return err
+	}
+	if !(s.Rate > 0) || math.IsInf(s.Rate, 1) {
+		return check.Invalid("spec: rate %v, want a positive finite rate", s.Rate)
+	}
+	if len(s.Classes) == 0 {
+		return check.Invalid("spec: no classes")
+	}
+	seen := make(map[string]bool, len(s.Classes))
+	fracSum := 0.0
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		if err := c.validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return check.Invalid("spec: duplicate class %q", c.Name)
+		}
+		seen[c.Name] = true
+		fracSum += c.Fraction
+	}
+	if math.Abs(fracSum-1) > 1e-9 {
+		return check.Invalid("spec: class fractions sum to %v, want 1", fracSum)
+	}
+	return nil
+}
+
+func (c *Class) validate() error {
+	if c.Name == "" {
+		return check.Invalid("spec: class with no name")
+	}
+	if !(c.Fraction > 0) || c.Fraction > 1 {
+		return check.Invalid("spec: class %s: fraction %v, want in (0,1]", c.Name, c.Fraction)
+	}
+	switch c.Arrival.Process {
+	case ArrivalDeterministic, ArrivalPoisson:
+		if c.Arrival.CV2 != 0 {
+			return check.Invalid("spec: class %s: arrival cv2 only applies to the bursty process", c.Name)
+		}
+	case ArrivalBursty:
+		cv2 := c.Arrival.CV2
+		if cv2 == 0 {
+			cv2 = DefaultBurstCV2
+		}
+		if !(cv2 > 1) || math.IsInf(cv2, 1) || math.IsNaN(cv2) {
+			return check.Invalid("spec: class %s: bursty cv2 %v, want > 1", c.Name, c.Arrival.CV2)
+		}
+	default:
+		return check.Invalid("spec: class %s: unknown arrival process %q (want deterministic, poisson or bursty)", c.Name, c.Arrival.Process)
+	}
+	if c.SLO.DeadlineMS < 0 {
+		return check.Invalid("spec: class %s: deadline_ms %d, want >= 0", c.Name, c.SLO.DeadlineMS)
+	}
+	if c.SLO.Target < 0 || c.SLO.Target > 1 || math.IsNaN(c.SLO.Target) {
+		return check.Invalid("spec: class %s: slo target %v, want in [0,1]", c.Name, c.SLO.Target)
+	}
+	switch c.Endpoint {
+	case "", EndpointSolve:
+		if c.Batch != 0 {
+			return check.Invalid("spec: class %s: batch size only applies to batch/jobs endpoints", c.Name)
+		}
+	case EndpointBatch, EndpointJobs:
+		if c.Batch < 0 {
+			return check.Invalid("spec: class %s: batch %d, want >= 1", c.Name, c.Batch)
+		}
+	default:
+		return check.Invalid("spec: class %s: unknown endpoint %q (want solve, batch or jobs)", c.Name, c.Endpoint)
+	}
+	if c.N.Min < 1 || c.N.Max < c.N.Min {
+		return check.Invalid("spec: class %s: n range [%d,%d], want 1 <= min <= max", c.Name, c.N.Min, c.N.Max)
+	}
+	// Compile the template once at the range floor: a spec that
+	// validates must produce requests the server's own validators
+	// accept (modulo N, which only grows the workload, not the model).
+	if _, err := c.Request(c.N.Min).BuildNetwork(); err != nil {
+		return fmt.Errorf("spec: class %s: model: %w", c.Name, err)
+	}
+	return nil
+}
+
+// EndpointOrDefault resolves the class's serving surface.
+func (c *Class) EndpointOrDefault() string {
+	if c.Endpoint == "" {
+		return EndpointSolve
+	}
+	return c.Endpoint
+}
+
+// BatchOrDefault resolves the jobs-per-submission count for the
+// batch/jobs endpoints.
+func (c *Class) BatchOrDefault() int {
+	if c.Endpoint == EndpointBatch || c.Endpoint == EndpointJobs {
+		if c.Batch == 0 {
+			return 4
+		}
+		return c.Batch
+	}
+	return 1
+}
+
+// BurstCV2 resolves the bursty process's inter-arrival CV².
+func (c *Class) BurstCV2() float64 {
+	if c.Arrival.CV2 == 0 {
+		return DefaultBurstCV2
+	}
+	return c.Arrival.CV2
+}
+
+// Request instantiates the class's model template at workload size n.
+// The SLO deadline doubles as the server-side request deadline, so the
+// degradation ladder sees exactly the latency budget the class is
+// scored against.
+func (c *Class) Request(n int) *serve.Request {
+	return &serve.Request{
+		Arch:      c.Model.Arch,
+		K:         c.Model.K,
+		N:         n,
+		App:       c.Model.App,
+		CV2:       c.Model.CV2,
+		TimeoutMS: c.SLO.DeadlineMS,
+	}
+}
+
+// ClassCounts apportions the spec's total request count over the
+// classes by largest-remainder rounding of the fractions, so the
+// counts are exact, deterministic, and sum to Requests.
+func (s *Spec) ClassCounts() []int {
+	counts := make([]int, len(s.Classes))
+	type rem struct {
+		idx  int
+		frac float64
+	}
+	rems := make([]rem, len(s.Classes))
+	assigned := 0
+	for i := range s.Classes {
+		exact := float64(s.Requests) * s.Classes[i].Fraction
+		counts[i] = int(exact)
+		rems[i] = rem{idx: i, frac: exact - float64(counts[i])}
+		assigned += counts[i]
+	}
+	// Hand the leftover requests to the largest remainders; ties break
+	// by class order for determinism.
+	for assigned < s.Requests {
+		best := -1
+		for j := range rems {
+			if best == -1 || rems[j].frac > rems[best].frac {
+				best = j
+			}
+		}
+		counts[rems[best].idx]++
+		rems[best].frac = -1
+		assigned++
+	}
+	return counts
+}

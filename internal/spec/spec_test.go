@@ -1,0 +1,199 @@
+package spec
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"finwl/internal/check"
+)
+
+// validYAML is a minimal two-class spec used across the tests.
+const validYAML = `
+name: test-mix
+seed: 7
+requests: 10
+rate: 20
+classes:
+  - name: fast
+    fraction: 0.7
+    arrival:
+      process: poisson
+    slo:
+      deadline_ms: 1000
+      target: 0.9
+    model:
+      k: 2
+    n:
+      min: 4
+      max: 8
+  - name: slow
+    fraction: 0.3
+    arrival:
+      process: bursty
+    slo:
+      target: 0.5
+    endpoint: batch
+    model:
+      arch: distributed
+      k: 2
+    n:
+      min: 3
+      max: 3
+`
+
+func TestParseYAMLSpec(t *testing.T) {
+	s, err := Parse([]byte(validYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "test-mix" || s.Seed != 7 || s.Requests != 10 || s.Rate != 20 {
+		t.Fatalf("header fields: %+v", s)
+	}
+	if len(s.Classes) != 2 {
+		t.Fatalf("classes %d, want 2", len(s.Classes))
+	}
+	fast, slow := &s.Classes[0], &s.Classes[1]
+	if fast.EndpointOrDefault() != EndpointSolve || fast.BatchOrDefault() != 1 {
+		t.Fatalf("fast defaults: endpoint %q batch %d", fast.EndpointOrDefault(), fast.BatchOrDefault())
+	}
+	if slow.EndpointOrDefault() != EndpointBatch || slow.BatchOrDefault() != 4 {
+		t.Fatalf("slow defaults: endpoint %q batch %d", slow.EndpointOrDefault(), slow.BatchOrDefault())
+	}
+	if got := slow.BurstCV2(); got != DefaultBurstCV2 {
+		t.Fatalf("default burst cv2 %v, want %v", got, DefaultBurstCV2)
+	}
+	req := fast.Request(6)
+	if req.N != 6 || req.K != 2 || req.TimeoutMS != 1000 {
+		t.Fatalf("Request(6) = %+v", req)
+	}
+}
+
+// The YAML and JSON forms of the same spec must decode identically —
+// the YAML path re-marshals through JSON, so this pins the parity.
+func TestParseJSONParity(t *testing.T) {
+	yamlSpec, err := Parse([]byte(validYAML))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonSpec, err := Parse([]byte(`{
+		"name": "test-mix", "seed": 7, "requests": 10, "rate": 20,
+		"classes": [
+			{"name": "fast", "fraction": 0.7, "arrival": {"process": "poisson"},
+			 "slo": {"deadline_ms": 1000, "target": 0.9}, "model": {"k": 2},
+			 "n": {"min": 4, "max": 8}},
+			{"name": "slow", "fraction": 0.3, "arrival": {"process": "bursty"},
+			 "slo": {"target": 0.5}, "endpoint": "batch",
+			 "model": {"arch": "distributed", "k": 2}, "n": {"min": 3, "max": 3}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(yamlSpec, jsonSpec) {
+		t.Fatalf("YAML and JSON forms differ:\nyaml %+v\njson %+v", yamlSpec, jsonSpec)
+	}
+}
+
+// The committed example spec must stay valid — it is the README's
+// runnable example and the CI replay smoke's input.
+func TestParseExampleSpec(t *testing.T) {
+	s, err := ParseFile("../../examples/spec-mixed.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "mixed-demo" || len(s.Classes) != 3 {
+		t.Fatalf("example spec: name %q classes %d", s.Name, len(s.Classes))
+	}
+	endpoints := map[string]bool{}
+	for i := range s.Classes {
+		endpoints[s.Classes[i].EndpointOrDefault()] = true
+	}
+	for _, ep := range []string{EndpointSolve, EndpointBatch, EndpointJobs} {
+		if !endpoints[ep] {
+			t.Errorf("example spec no longer exercises the %s endpoint", ep)
+		}
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	edit := func(f func(*Spec)) *Spec {
+		s, err := Parse([]byte(validYAML))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(s)
+		return s
+	}
+	cases := map[string]*Spec{
+		"missing name":      edit(func(s *Spec) { s.Name = "" }),
+		"zero requests":     edit(func(s *Spec) { s.Requests = 0 }),
+		"zero rate":         edit(func(s *Spec) { s.Rate = 0 }),
+		"no classes":        edit(func(s *Spec) { s.Classes = nil }),
+		"duplicate class":   edit(func(s *Spec) { s.Classes[1].Name = "fast" }),
+		"fractions sum":     edit(func(s *Spec) { s.Classes[0].Fraction = 0.5 }),
+		"zero fraction":     edit(func(s *Spec) { s.Classes[0].Fraction = 0 }),
+		"unknown arrival":   edit(func(s *Spec) { s.Classes[0].Arrival.Process = "uniform" }),
+		"cv2 on poisson":    edit(func(s *Spec) { s.Classes[0].Arrival.CV2 = 4 }),
+		"bursty cv2 <= 1":   edit(func(s *Spec) { s.Classes[1].Arrival.CV2 = 0.5 }),
+		"negative deadline": edit(func(s *Spec) { s.Classes[0].SLO.DeadlineMS = -1 }),
+		"target > 1":        edit(func(s *Spec) { s.Classes[0].SLO.Target = 1.5 }),
+		"unknown endpoint":  edit(func(s *Spec) { s.Classes[0].Endpoint = "stream" }),
+		"batch on solve":    edit(func(s *Spec) { s.Classes[0].Batch = 2 }),
+		"negative batch":    edit(func(s *Spec) { s.Classes[1].Batch = -1 }),
+		"n min zero":        edit(func(s *Spec) { s.Classes[0].N.Min = 0 }),
+		"n max < min":       edit(func(s *Spec) { s.Classes[0].N.Max = 1 }),
+		"bad model k":       edit(func(s *Spec) { s.Classes[0].Model.K = 0 }),
+		"bad model arch":    edit(func(s *Spec) { s.Classes[0].Model.Arch = "mesh" }),
+	}
+	for name, s := range cases {
+		if err := s.Validate(); !errors.Is(err, check.ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", name, err)
+		}
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	in := strings.Replace(validYAML, "rate: 20", "rate: 20\nsurprise: 1", 1)
+	if _, err := Parse([]byte(in)); !errors.Is(err, check.ErrInvalidModel) {
+		t.Fatalf("unknown field: err = %v, want ErrInvalidModel", err)
+	}
+}
+
+// ClassCounts must be exact (sums to Requests), deterministic, and
+// follow largest-remainder rounding.
+func TestClassCounts(t *testing.T) {
+	mk := func(requests int, fracs ...float64) *Spec {
+		s := &Spec{Requests: requests}
+		for i, f := range fracs {
+			s.Classes = append(s.Classes, Class{Name: fmt.Sprintf("c%d", i), Fraction: f})
+		}
+		return s
+	}
+	cases := []struct {
+		s    *Spec
+		want []int
+	}{
+		{mk(10, 0.7, 0.3), []int{7, 3}},
+		{mk(10, 1.0/3, 1.0/3, 1.0/3), []int{4, 3, 3}},  // remainder tie → class order
+		{mk(1, 0.5, 0.5), []int{1, 0}},                 // single request to first tie
+		{mk(7, 0.5, 0.25, 0.25), []int{3, 2, 2}},       // remainders .5/.75/.75 → last two win
+		{mk(60, 0.5, 0.3, 0.2), []int{30, 18, 12}},     // exact split
+		{mk(100, 0.005, 0.005, 0.99), []int{1, 0, 99}}, // 0.5/0.5/99 remainders
+	}
+	for i, tc := range cases {
+		got := tc.s.ClassCounts()
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("case %d: counts %v, want %v", i, got, tc.want)
+		}
+		sum := 0
+		for _, c := range got {
+			sum += c
+		}
+		if sum != tc.s.Requests {
+			t.Errorf("case %d: counts sum %d, want %d", i, sum, tc.s.Requests)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package spec
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+
+	"finwl/internal/check"
+)
+
+// This file is a deliberately small YAML-subset reader — just enough
+// for workload specs, with every failure typed as check.ErrInvalidModel
+// and no panics on arbitrary input (FuzzSpecParse enforces both).
+//
+// Supported: indentation-nested mappings, block sequences ("- item",
+// including "- key: value" inline mapping starts), scalars (null/~,
+// booleans, integers, floats, bare and quoted strings), full-line and
+// trailing "#" comments, a leading "---" document marker, and inline
+// JSON flow collections ("[...]"/"{...}") as values. Not supported
+// (typed error, never a guess): tabs in indentation, anchors/aliases,
+// multi-document files, block scalars (| and >), and duplicate keys.
+
+// yamlLine is one significant line of input.
+type yamlLine struct {
+	num    int // 1-based source line for error messages
+	indent int
+	text   string // content with indentation and comments stripped
+}
+
+// yamlParser walks the significant lines recursively by indentation.
+type yamlParser struct {
+	lines []yamlLine
+	pos   int
+}
+
+// parseYAML decodes the subset above into nested map[string]any /
+// []any / scalar values.
+func parseYAML(data []byte) (any, error) {
+	lines, err := splitYAMLLines(string(data))
+	if err != nil {
+		return nil, err
+	}
+	if len(lines) == 0 {
+		return nil, check.Invalid("spec: empty document")
+	}
+	p := &yamlParser{lines: lines}
+	v, err := p.parseBlock(lines[0].indent)
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.lines) {
+		l := p.lines[p.pos]
+		return nil, check.Invalid("spec: line %d: unexpected indentation", l.num)
+	}
+	return v, nil
+}
+
+// splitYAMLLines strips comments and blanks and computes indents.
+func splitYAMLLines(s string) ([]yamlLine, error) {
+	var out []yamlLine
+	for num, raw := range strings.Split(s, "\n") {
+		line := strings.TrimSuffix(raw, "\r")
+		indent := 0
+		for indent < len(line) && line[indent] == ' ' {
+			indent++
+		}
+		if indent < len(line) && line[indent] == '\t' {
+			return nil, check.Invalid("spec: line %d: tab in indentation (use spaces)", num+1)
+		}
+		text := strings.TrimRight(stripComment(line[indent:]), " ")
+		if text == "" {
+			continue
+		}
+		if text == "---" && len(out) == 0 {
+			continue
+		}
+		out = append(out, yamlLine{num: num + 1, indent: indent, text: text})
+	}
+	return out, nil
+}
+
+// stripComment removes a trailing "# ..." comment, honoring quotes. A
+// '#' only opens a comment at the start of the content or after a
+// space, per YAML.
+func stripComment(s string) string {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			quote = c
+		case c == '#' && (i == 0 || s[i-1] == ' '):
+			return s[:i]
+		}
+	}
+	return s
+}
+
+// parseBlock parses the sequence or mapping whose items sit at exactly
+// indent, consuming lines until one at a shallower indent (or EOF).
+func (p *yamlParser) parseBlock(indent int) (any, error) {
+	if p.pos >= len(p.lines) {
+		return nil, check.Invalid("spec: unexpected end of document")
+	}
+	l := p.lines[p.pos]
+	if l.indent != indent {
+		return nil, check.Invalid("spec: line %d: unexpected indentation", l.num)
+	}
+	if isDashLine(l.text) {
+		return p.parseSequence(indent)
+	}
+	return p.parseMapping(indent)
+}
+
+func isDashLine(text string) bool {
+	return text == "-" || strings.HasPrefix(text, "- ")
+}
+
+func (p *yamlParser) parseSequence(indent int) (any, error) {
+	seq := []any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent || !isDashLine(l.text) {
+			if l.indent > indent {
+				return nil, check.Invalid("spec: line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		rest := strings.TrimPrefix(strings.TrimPrefix(l.text, "-"), " ")
+		if rest == "" {
+			// "-" alone: the item is the deeper block that follows.
+			p.pos++
+			if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+				seq = append(seq, nil)
+				continue
+			}
+			v, err := p.parseBlock(p.lines[p.pos].indent)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			continue
+		}
+		if !hasKeySep(rest) {
+			// Plain scalar item.
+			v, err := parseScalar(l.num, rest)
+			if err != nil {
+				return nil, err
+			}
+			seq = append(seq, v)
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				return nil, check.Invalid("spec: line %d: unexpected indentation", p.lines[p.pos].num)
+			}
+			continue
+		}
+		// Inline mapping start: rewrite "- rest" as a virtual line two
+		// columns deeper and parse a block there, so "- key: value"
+		// opens a mapping whose later keys align under "rest".
+		p.lines[p.pos] = yamlLine{num: l.num, indent: indent + 2, text: rest}
+		v, err := p.parseBlock(indent + 2)
+		if err != nil {
+			return nil, err
+		}
+		seq = append(seq, v)
+	}
+	return seq, nil
+}
+
+func (p *yamlParser) parseMapping(indent int) (any, error) {
+	m := map[string]any{}
+	for p.pos < len(p.lines) {
+		l := p.lines[p.pos]
+		if l.indent != indent {
+			if l.indent > indent {
+				return nil, check.Invalid("spec: line %d: unexpected indentation", l.num)
+			}
+			break
+		}
+		if isDashLine(l.text) {
+			return nil, check.Invalid("spec: line %d: sequence item inside a mapping", l.num)
+		}
+		key, rest, err := splitKey(l)
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := m[key]; dup {
+			return nil, check.Invalid("spec: line %d: duplicate key %q", l.num, key)
+		}
+		if rest != "" {
+			v, err := parseScalar(l.num, rest)
+			if err != nil {
+				return nil, err
+			}
+			m[key] = v
+			p.pos++
+			if p.pos < len(p.lines) && p.lines[p.pos].indent > indent {
+				return nil, check.Invalid("spec: line %d: unexpected indentation", p.lines[p.pos].num)
+			}
+			continue
+		}
+		// "key:" with nothing after — a nested block, or null.
+		p.pos++
+		if p.pos >= len(p.lines) || p.lines[p.pos].indent <= indent {
+			m[key] = nil
+			continue
+		}
+		v, err := p.parseBlock(p.lines[p.pos].indent)
+		if err != nil {
+			return nil, err
+		}
+		m[key] = v
+	}
+	return m, nil
+}
+
+// hasKeySep reports whether s contains a "key:"/"key: value"
+// separator outside quotes — i.e. whether it starts a mapping entry.
+func hasKeySep(s string) bool {
+	var quote byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case quote != 0:
+			if c == quote {
+				quote = 0
+			} else if c == '\\' && quote == '"' {
+				i++
+			}
+		case c == '"' || c == '\'':
+			// A quote mid-token (after the first byte) is just text.
+			if i == 0 {
+				quote = c
+			}
+		case c == ':' && (i+1 == len(s) || s[i+1] == ' '):
+			return true
+		}
+	}
+	return false
+}
+
+// splitKey splits "key: value" (or "key:") at the first unquoted
+// colon-space boundary.
+func splitKey(l yamlLine) (key, rest string, err error) {
+	s := l.text
+	for i := 0; i < len(s); i++ {
+		if s[i] != ':' {
+			continue
+		}
+		if i+1 == len(s) {
+			return strings.TrimSpace(s[:i]), "", nil
+		}
+		if s[i+1] == ' ' {
+			return strings.TrimSpace(s[:i]), strings.TrimSpace(s[i+1:]), nil
+		}
+	}
+	return "", "", check.Invalid("spec: line %d: expected \"key: value\", got %q", l.num, s)
+}
+
+// parseScalar types a scalar token: null, bool, int, float, quoted or
+// bare string, or an inline JSON flow collection.
+func parseScalar(num int, s string) (any, error) {
+	switch {
+	case s == "~" || strings.EqualFold(s, "null"):
+		return nil, nil
+	case strings.EqualFold(s, "true"):
+		return true, nil
+	case strings.EqualFold(s, "false"):
+		return false, nil
+	case s[0] == '"':
+		v, err := strconv.Unquote(s)
+		if err != nil {
+			return nil, check.Invalid("spec: line %d: bad quoted string %s", num, s)
+		}
+		return v, nil
+	case s[0] == '\'':
+		if len(s) < 2 || s[len(s)-1] != '\'' {
+			return nil, check.Invalid("spec: line %d: unterminated string %s", num, s)
+		}
+		return strings.ReplaceAll(s[1:len(s)-1], "''", "'"), nil
+	case s[0] == '[' || s[0] == '{':
+		var v any
+		if err := json.Unmarshal([]byte(s), &v); err != nil {
+			return nil, check.Invalid("spec: line %d: bad flow collection %q: %v", num, s, err)
+		}
+		return v, nil
+	}
+	if i, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return i, nil
+	}
+	if f, err := strconv.ParseFloat(s, 64); err == nil {
+		return f, nil
+	}
+	return s, nil
+}

@@ -1,0 +1,117 @@
+package spec
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"finwl/internal/check"
+)
+
+func TestYAMLScalars(t *testing.T) {
+	got, err := parseYAML([]byte(`
+name: demo
+count: 42
+rate: 2.5
+neg: -7
+on: true
+off: FALSE
+nothing: null
+tilde: ~
+quoted: "a: b # not a comment"
+single: 'it''s'
+bare: hello world
+flow_list: [1, 2, 3]
+flow_map: {"a": 1}
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"name": "demo", "count": int64(42), "rate": 2.5, "neg": int64(-7),
+		"on": true, "off": false, "nothing": nil, "tilde": nil,
+		"quoted": "a: b # not a comment", "single": "it's", "bare": "hello world",
+		"flow_list": []any{1.0, 2.0, 3.0}, "flow_map": map[string]any{"a": 1.0},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseYAML:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLNesting(t *testing.T) {
+	got, err := parseYAML([]byte(`---
+# top comment
+outer:
+  inner:
+    a: 1
+  b: two   # trailing comment
+list:
+  - 5
+  - name: x
+    deep:
+      c: 3
+  -
+    d: 4
+empty:
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{
+		"outer": map[string]any{"inner": map[string]any{"a": int64(1)}, "b": "two"},
+		"list": []any{
+			int64(5),
+			map[string]any{"name": "x", "deep": map[string]any{"c": int64(3)}},
+			map[string]any{"d": int64(4)},
+		},
+		"empty": nil,
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseYAML:\n got %#v\nwant %#v", got, want)
+	}
+}
+
+func TestYAMLTopLevelSequence(t *testing.T) {
+	got, err := parseYAML([]byte("- 1\n- 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []any{int64(1), int64(2)}) {
+		t.Fatalf("got %#v", got)
+	}
+}
+
+// Every rejected input must fail with a typed check.ErrInvalidModel —
+// the same contract FuzzSpecParse enforces over arbitrary bytes.
+func TestYAMLErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"only comments":     "# nothing\n\n",
+		"tab indent":        "a:\n\tb: 1\n",
+		"duplicate key":     "a: 1\na: 2\n",
+		"bad indent":        "a: 1\n  b: 2\n",
+		"dash in mapping":   "a: 1\n- b\n",
+		"missing colon":     "just a line\n",
+		"bad quoted":        `a: "unterminated` + "\n",
+		"bad single":        "a: 'unterminated\n",
+		"bad flow":          "a: [1, 2\n",
+		"scalar then deep":  "a: 1\n   b: 2\n",
+		"seq item too deep": "- 5\n   a: 1\n",
+	}
+	for name, in := range cases {
+		if _, err := parseYAML([]byte(in)); !errors.Is(err, check.ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", name, err)
+		}
+	}
+}
+
+func TestYAMLCommentHandling(t *testing.T) {
+	got, err := parseYAML([]byte("a: b#not-comment\nc: 'x # inside' # outside\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"a": "b#not-comment", "c": "x # inside"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %#v, want %#v", got, want)
+	}
+}

@@ -1,0 +1,545 @@
+package trace
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"finwl/internal/check"
+	"finwl/internal/cliutil"
+	"finwl/internal/obs"
+	"finwl/internal/serve"
+)
+
+// The load driver: fires a generated (or recorded) trace at a live
+// finwld — replica or fleet router — with open-loop pacing, collects
+// per-class latency/fidelity/error outcomes through internal/obs
+// histograms, and scores each class against its SLO.
+
+// DriveOptions tune a replay run.
+type DriveOptions struct {
+	// Client issues the HTTP requests (nil: cliutil.DefaultClient).
+	Client *http.Client
+	// Registry receives the driver's per-class latency and pacing-lag
+	// histograms (nil: a private registry; the report carries the
+	// derived quantiles either way).
+	Registry *obs.Registry
+	// TimeScale multiplies arrival offsets: 0.5 replays twice as fast
+	// as recorded, 0 (and 1) replay in real time.
+	TimeScale float64
+	// MaxInFlight is the open-loop safety valve: the driver never
+	// holds more than this many submissions in flight (default 512).
+	// When the cap binds, the loop is no longer strictly open — the
+	// report's MaxPacingLagMS exposes the stall.
+	MaxInFlight int
+	// PollInterval is the async-jobs completion poll period (default
+	// 25ms).
+	PollInterval time.Duration
+}
+
+func (o DriveOptions) withDefaults() DriveOptions {
+	if o.Client == nil {
+		o.Client = cliutil.DefaultClient
+	}
+	if o.Registry == nil {
+		o.Registry = obs.NewRegistry()
+	}
+	if o.TimeScale == 0 {
+		o.TimeScale = 1
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = 512
+	}
+	if o.PollInterval <= 0 {
+		o.PollInterval = 25 * time.Millisecond
+	}
+	return o
+}
+
+// Report is the machine-readable outcome of a replay: the SLO
+// attainment of every class plus driver health (pacing lag).
+type Report struct {
+	Spec      string  `json:"spec"`
+	Seed      int64   `json:"seed"`
+	Target    string  `json:"target"`
+	TimeScale float64 `json:"time_scale"`
+
+	Events    int     `json:"events"`
+	Requests  int     `json:"requests"`  // planned, from the trace
+	Completed int     `json:"completed"` // outcomes actually observed
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	// SLOMet is the gate verdict: every class at or above its target.
+	SLOMet bool `json:"slo_met"`
+	// Untyped5xx totals responses with a 5xx status that mapped to no
+	// typed error sentinel — crashes, panics, injected chaos.
+	Untyped5xx int `json:"untyped_5xx"`
+	// MaxPacingLagMS is the worst observed gap between an event's due
+	// time and its actual fire time — driver overhead, not server
+	// latency.
+	MaxPacingLagMS float64 `json:"max_pacing_lag_ms"`
+
+	Classes []ClassReport `json:"classes"`
+}
+
+// ClassReport is one class's slice of the report.
+type ClassReport struct {
+	Class    string `json:"class"`
+	Endpoint string `json:"endpoint"`
+
+	Requests  int `json:"requests"` // planned, from the trace
+	Sent      int `json:"sent"`
+	Completed int `json:"completed"`
+	OK        int `json:"ok"` // 2xx, including degraded results
+
+	Degraded         int     `json:"degraded"`
+	DegradedFraction float64 `json:"degraded_fraction"`
+
+	// Errors counts typed failures by wire code; untyped 5xx responses
+	// are counted separately — they indicate a server fault, not a
+	// policy outcome.
+	Errors     map[string]int `json:"errors,omitempty"`
+	Untyped5xx int            `json:"untyped_5xx"`
+
+	DeadlineMS int     `json:"deadline_ms,omitempty"`
+	Target     float64 `json:"target"`
+	// Attainment is the fraction of planned requests that succeeded
+	// within the deadline (missing outcomes count as misses).
+	Attainment float64 `json:"attainment"`
+	Met        bool    `json:"met"`
+
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// latencyBounds spans 0.5ms to ~2000s in ~17% steps — fine enough
+// that interpolated p50/p95/p99 are honest for the report.
+var latencyBounds = obs.ExpBounds(500_000, 1.17, 96)
+
+// collector aggregates one class's outcomes.
+type collector struct {
+	info ClassInfo
+
+	mu             sync.Mutex
+	sent           int
+	completed      int
+	ok             int
+	degraded       int
+	withinDeadline int
+	errors         map[string]int
+	untyped5xx     int
+
+	lat *obs.Histogram
+}
+
+// outcome records one request's fate. latency is the submission's
+// wall time (each request of a batch shares it).
+func (c *collector) outcome(latency time.Duration, ok, degraded, untyped bool, code string) {
+	c.lat.ObserveDuration(latency)
+	deadline := time.Duration(c.info.DeadlineMS) * time.Millisecond
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.completed++
+	if ok {
+		c.ok++
+		if degraded {
+			c.degraded++
+		}
+		if deadline <= 0 || latency <= deadline {
+			c.withinDeadline++
+		}
+		return
+	}
+	if untyped {
+		c.untyped5xx++
+	}
+	if code == "" {
+		code = "unknown"
+	}
+	c.errors[code]++
+}
+
+// Drive replays tr against the finwld (or fleet router) at target,
+// firing each event at its recorded offset without waiting for earlier
+// responses (open loop). It returns the SLO report; the error is
+// non-nil only for setup failures or a canceled context — per-request
+// failures are data, recorded in the report.
+func Drive(ctx context.Context, tr *Trace, target string, opts DriveOptions) (*Report, error) {
+	if tr == nil || len(tr.Events) == 0 {
+		return nil, check.Invalid("trace: drive: empty trace")
+	}
+	target = strings.TrimRight(target, "/")
+	if target == "" {
+		return nil, check.Invalid("trace: drive: no target URL")
+	}
+	opts = opts.withDefaults()
+
+	colls := make(map[string]*collector, len(tr.Header.Classes))
+	for _, ci := range tr.Header.Classes {
+		colls[ci.Name] = &collector{
+			info:   ci,
+			errors: map[string]int{},
+			lat: opts.Registry.Histogram("finwl_replay_latency_seconds",
+				"Per-class request latency observed by the replay driver.",
+				latencyBounds, 1e-9, obs.L("class", ci.Name)),
+		}
+	}
+	for _, ev := range tr.Events {
+		if colls[ev.Class] == nil {
+			return nil, check.Invalid("trace: drive: event %d references unknown class %q", ev.Seq, ev.Class)
+		}
+	}
+	lagHist := opts.Registry.Histogram("finwl_replay_pacing_lag_seconds",
+		"Gap between an event's due time and its actual fire time.",
+		latencyBounds, 1e-9)
+
+	d := &driver{opts: opts, target: target, lag: lagHist}
+	sem := make(chan struct{}, opts.MaxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+	var maxLag maxTracker
+loop:
+	for _, ev := range tr.Events {
+		due := start.Add(time.Duration(ev.AtMS * opts.TimeScale * float64(time.Millisecond)))
+		if wait := time.Until(due); wait > 0 {
+			timer := time.NewTimer(wait)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				break loop
+			case <-timer.C:
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			break loop
+		}
+		lag := time.Since(due)
+		if lag > 0 {
+			lagHist.ObserveDuration(lag)
+			maxLag.max(int64(lag))
+		}
+		coll := colls[ev.Class]
+		coll.mu.Lock()
+		coll.sent += len(ev.Requests)
+		coll.mu.Unlock()
+		wg.Add(1)
+		go func(ev *Event) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			d.fire(ctx, ev, coll)
+		}(ev)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := check.Canceled(ctx); err != nil {
+		return nil, err
+	}
+
+	rep := &Report{
+		Spec:           tr.Header.Spec,
+		Seed:           tr.Header.Seed,
+		Target:         target,
+		TimeScale:      opts.TimeScale,
+		Events:         len(tr.Events),
+		Requests:       tr.Header.Requests,
+		ElapsedMS:      durMS(elapsed),
+		SLOMet:         true,
+		MaxPacingLagMS: float64(maxLag.load()) / 1e6,
+	}
+	for _, ci := range tr.Header.Classes {
+		cr := colls[ci.Name].report()
+		rep.Completed += cr.Completed
+		rep.Untyped5xx += cr.Untyped5xx
+		if !cr.Met {
+			rep.SLOMet = false
+		}
+		rep.Classes = append(rep.Classes, cr)
+	}
+	return rep, nil
+}
+
+// report freezes a collector into its report slice.
+func (c *collector) report() ClassReport {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap := c.lat.Snapshot()
+	cr := ClassReport{
+		Class:      c.info.Name,
+		Endpoint:   c.info.Endpoint,
+		Requests:   c.info.Requests,
+		Sent:       c.sent,
+		Completed:  c.completed,
+		OK:         c.ok,
+		Degraded:   c.degraded,
+		Untyped5xx: c.untyped5xx,
+		DeadlineMS: c.info.DeadlineMS,
+		Target:     c.info.Target,
+		P50MS:      snap.Quantile(0.50) / 1e6,
+		P95MS:      snap.Quantile(0.95) / 1e6,
+		P99MS:      snap.Quantile(0.99) / 1e6,
+	}
+	if len(c.errors) > 0 {
+		cr.Errors = make(map[string]int, len(c.errors))
+		for k, v := range c.errors {
+			cr.Errors[k] = v
+		}
+	}
+	if c.ok > 0 {
+		cr.DegradedFraction = float64(c.degraded) / float64(c.ok)
+	}
+	if snap.Count > 0 {
+		cr.MeanMS = float64(snap.Sum) / float64(snap.Count) / 1e6
+	}
+	if c.info.Requests > 0 {
+		cr.Attainment = float64(c.withinDeadline) / float64(c.info.Requests)
+	}
+	cr.Met = cr.Attainment >= c.info.Target
+	return cr
+}
+
+// driver is the per-run firing state.
+type driver struct {
+	opts   DriveOptions
+	target string
+	lag    *obs.Histogram
+}
+
+// fire issues one event's submission and records every request's
+// outcome on the collector.
+func (d *driver) fire(ctx context.Context, ev *Event, coll *collector) {
+	start := time.Now()
+	switch ev.Endpoint {
+	case "batch":
+		var items []serve.BatchItem
+		status, body, err := d.post(ctx, "/batch", ev.Requests, &items)
+		latency := time.Since(start)
+		if err != nil || len(items) != len(ev.Requests) {
+			d.failAll(coll, len(ev.Requests), latency, status, body, err)
+			return
+		}
+		for _, it := range items {
+			recordItem(coll, latency, it)
+		}
+	case "jobs":
+		d.fireJobs(ctx, ev, coll, start)
+	default: // solve
+		for _, req := range ev.Requests {
+			var resp serve.Response
+			status, body, err := d.post(ctx, "/solve", req, &resp)
+			latency := time.Since(start)
+			if err != nil || status != http.StatusOK {
+				d.failAll(coll, 1, latency, status, body, err)
+				continue
+			}
+			coll.outcome(latency, true, resp.Degraded() || resp.DegradedFrom != "", false, "")
+		}
+	}
+}
+
+// fireJobs submits an async batch and polls it to completion; every
+// job in the submission shares the submit→done latency.
+func (d *driver) fireJobs(ctx context.Context, ev *Event, coll *collector, start time.Time) {
+	var accepted struct {
+		ID   string `json:"id"`
+		Poll string `json:"poll"`
+	}
+	status, body, err := d.post(ctx, "/jobs", ev.Requests, &accepted)
+	if err != nil || accepted.Poll == "" {
+		d.failAll(coll, len(ev.Requests), time.Since(start), status, body, err)
+		return
+	}
+	var job struct {
+		State   string            `json:"state"`
+		Results []serve.BatchItem `json:"results"`
+		Error   string            `json:"error"`
+		Code    string            `json:"code"`
+	}
+	for {
+		status, body, err = d.get(ctx, accepted.Poll, &job)
+		if err != nil {
+			d.failAll(coll, len(ev.Requests), time.Since(start), status, body, err)
+			return
+		}
+		if job.State == "done" {
+			break
+		}
+		timer := time.NewTimer(d.opts.PollInterval)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			d.failAll(coll, len(ev.Requests), time.Since(start), 0, serve.ErrorBody{}, ctx.Err())
+			return
+		case <-timer.C:
+		}
+	}
+	latency := time.Since(start)
+	if len(job.Results) != len(ev.Requests) {
+		// Batch-level failure: the job finished with an error instead
+		// of results.
+		code := job.Code
+		if code == "" {
+			code = "job_failed"
+		}
+		for range ev.Requests {
+			coll.outcome(latency, false, false, false, code)
+		}
+		return
+	}
+	for _, it := range job.Results {
+		recordItem(coll, latency, it)
+	}
+}
+
+// recordItem scores one batch/jobs item.
+func recordItem(coll *collector, latency time.Duration, it serve.BatchItem) {
+	if it.Response != nil && (it.Code == "" || it.Code == "degraded") {
+		degraded := it.Response.Degraded() || it.Response.DegradedFrom != ""
+		coll.outcome(latency, true, degraded, false, "")
+		return
+	}
+	code := it.Code
+	if code == "" {
+		code = "unknown"
+	}
+	coll.outcome(latency, false, false, false, code)
+}
+
+// failAll records a submission-level failure for every request it
+// carried, classifying the wire error as typed or untyped 5xx.
+func (d *driver) failAll(coll *collector, n int, latency time.Duration, status int, body serve.ErrorBody, err error) {
+	code, untyped := classify(status, body, err)
+	for i := 0; i < n; i++ {
+		coll.outcome(latency, false, false, untyped, code)
+	}
+}
+
+// classify maps a failed exchange to (error-code key, untyped-5xx?).
+// Typed means the reconstructed error matches one of the check/serve
+// sentinels; a 5xx that matches none is a server fault (panic, chaos,
+// proxy) and is what the CI gate holds to zero.
+func classify(status int, body serve.ErrorBody, err error) (string, bool) {
+	if status == 0 {
+		// No HTTP exchange completed: transport error or cancellation.
+		if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, check.ErrCanceled)) {
+			return "canceled", false
+		}
+		return "transport", false
+	}
+	wire := serve.ErrorFromWire(status, body)
+	typed := errors.Is(wire, check.ErrInvalidModel) ||
+		errors.Is(wire, check.ErrOverloaded) ||
+		errors.Is(wire, check.ErrCanceled) ||
+		errors.Is(wire, check.ErrSingular) ||
+		errors.Is(wire, check.ErrNumeric) ||
+		errors.Is(wire, check.ErrNotConverged) ||
+		errors.Is(wire, check.ErrDegraded) ||
+		errors.Is(wire, serve.ErrJobUnknown) ||
+		errors.Is(wire, serve.ErrJobGone)
+	code := body.Code
+	if code == "" {
+		code = fmt.Sprintf("http_%d", status)
+	}
+	return code, status >= 500 && !typed
+}
+
+// post sends a JSON body and decodes a 2xx response into out; on a
+// non-2xx it decodes the error body instead. status 0 means the
+// exchange itself failed.
+func (d *driver) post(ctx context.Context, path string, in, out any) (int, serve.ErrorBody, error) {
+	req, err := cliutil.NewJSONRequest(ctx, http.MethodPost, d.target+path, in)
+	if err != nil {
+		return 0, serve.ErrorBody{}, err
+	}
+	return d.do(req, out)
+}
+
+func (d *driver) get(ctx context.Context, path string, out any) (int, serve.ErrorBody, error) {
+	req, err := cliutil.NewJSONRequest(ctx, http.MethodGet, d.target+path, nil)
+	if err != nil {
+		return 0, serve.ErrorBody{}, err
+	}
+	return d.do(req, out)
+}
+
+func (d *driver) do(req *http.Request, out any) (int, serve.ErrorBody, error) {
+	resp, err := d.opts.Client.Do(req)
+	if err != nil {
+		return 0, serve.ErrorBody{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return 0, serve.ErrorBody{}, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb serve.ErrorBody
+		_ = json.Unmarshal(raw, &eb) // non-JSON bodies stay empty → untyped
+		return resp.StatusCode, eb, fmt.Errorf("trace: %s: HTTP %d", req.URL.Path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			return resp.StatusCode, serve.ErrorBody{}, fmt.Errorf("trace: decode %s response: %w", req.URL.Path, err)
+		}
+	}
+	return resp.StatusCode, serve.ErrorBody{}, nil
+}
+
+// WriteReport emits the report as indented JSON.
+func (r *Report) WriteReport(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Summary renders a short human-readable table for logs.
+func (r *Report) Summary() string {
+	var b strings.Builder
+	verdict := "MET"
+	if !r.SLOMet {
+		verdict = "MISSED"
+	}
+	fmt.Fprintf(&b, "replay %s → %s: %d/%d requests completed in %.0fms, SLO %s\n",
+		r.Spec, r.Target, r.Completed, r.Requests, r.ElapsedMS, verdict)
+	for _, c := range r.Classes {
+		status := "met"
+		if !c.Met {
+			status = "MISS"
+		}
+		fmt.Fprintf(&b, "  %-14s %-5s ok %d/%d att %.1f%% (target %.1f%%, %s) p50 %.1fms p95 %.1fms p99 %.1fms degraded %.1f%% untyped5xx %d\n",
+			c.Class, c.Endpoint, c.OK, c.Requests, 100*c.Attainment, 100*c.Target, status,
+			c.P50MS, c.P95MS, c.P99MS, 100*c.DegradedFraction, c.Untyped5xx)
+	}
+	return b.String()
+}
+
+func durMS(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+
+// maxTracker tracks the maximum of concurrent observations.
+type maxTracker struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *maxTracker) max(v int64) {
+	a.mu.Lock()
+	if v > a.v {
+		a.v = v
+	}
+	a.mu.Unlock()
+}
+
+func (a *maxTracker) load() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}

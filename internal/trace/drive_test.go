@@ -1,0 +1,250 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"finwl/internal/check"
+	"finwl/internal/serve"
+	"finwl/internal/spec"
+)
+
+// driveSpec is a fast three-surface mix for integration tests: every
+// endpoint, modest counts, generous deadlines, near-zero pacing via
+// TimeScale.
+const driveSpec = `
+name: drive-test
+seed: 11
+requests: 16
+rate: 100
+classes:
+  - name: points
+    fraction: 0.5
+    arrival:
+      process: poisson
+    slo:
+      deadline_ms: 30000
+      target: 0.9
+    model:
+      k: 2
+    n:
+      min: 4
+      max: 8
+  - name: batches
+    fraction: 0.25
+    arrival:
+      process: deterministic
+    slo:
+      target: 0.5
+    endpoint: batch
+    batch: 2
+    model:
+      k: 2
+    n:
+      min: 4
+      max: 6
+  - name: async
+    fraction: 0.25
+    arrival:
+      process: deterministic
+    slo:
+      deadline_ms: 30000
+      target: 0.5
+    endpoint: jobs
+    batch: 2
+    model:
+      k: 2
+    n:
+      min: 4
+      max: 6
+`
+
+// TestDriveAgainstServer replays a mixed trace against a real
+// serve.Server and checks the report accounts for every planned
+// request on every surface.
+func TestDriveAgainstServer(t *testing.T) {
+	s, err := spec.Parse([]byte(driveSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(serve.Config{Seed: 1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := Drive(context.Background(), tr, ts.URL+"/", DriveOptions{
+		TimeScale:    0.001,
+		PollInterval: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != s.Requests || rep.Completed != s.Requests {
+		t.Fatalf("report requests %d completed %d, want %d", rep.Requests, rep.Completed, s.Requests)
+	}
+	if rep.Untyped5xx != 0 {
+		t.Fatalf("untyped 5xx %d, want 0", rep.Untyped5xx)
+	}
+	if !rep.SLOMet {
+		t.Fatalf("SLO not met: %s", rep.Summary())
+	}
+	if rep.Events != len(tr.Events) {
+		t.Fatalf("report events %d, want %d", rep.Events, len(tr.Events))
+	}
+	counts := s.ClassCounts()
+	if len(rep.Classes) != len(s.Classes) {
+		t.Fatalf("class reports %d, want %d", len(rep.Classes), len(s.Classes))
+	}
+	for i, cr := range rep.Classes {
+		c := &s.Classes[i]
+		if cr.Class != c.Name || cr.Endpoint != c.EndpointOrDefault() {
+			t.Fatalf("class report %d is %s/%s, want %s/%s",
+				i, cr.Class, cr.Endpoint, c.Name, c.EndpointOrDefault())
+		}
+		if cr.Requests != counts[i] || cr.Sent != counts[i] || cr.Completed != counts[i] {
+			t.Fatalf("class %s: requests/sent/completed %d/%d/%d, want %d",
+				cr.Class, cr.Requests, cr.Sent, cr.Completed, counts[i])
+		}
+		if cr.OK != counts[i] || len(cr.Errors) != 0 {
+			t.Fatalf("class %s: ok %d errors %v, want all ok", cr.Class, cr.OK, cr.Errors)
+		}
+		if !cr.Met || cr.Attainment != 1 {
+			t.Fatalf("class %s: attainment %v met %v", cr.Class, cr.Attainment, cr.Met)
+		}
+		if cr.P50MS <= 0 || cr.P95MS < cr.P50MS || cr.P99MS < cr.P95MS {
+			t.Fatalf("class %s: quantiles out of order p50 %v p95 %v p99 %v",
+				cr.Class, cr.P50MS, cr.P95MS, cr.P99MS)
+		}
+	}
+	var sb bytes.Buffer
+	if err := rep.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var raw json.RawMessage
+	if err := json.Unmarshal(sb.Bytes(), &raw); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+}
+
+// TestDriveClassification pins the typed/untyped split: a 503 with a
+// typed wire code is a policy outcome; a 500 with an untyped body is a
+// server fault the CI gate holds to zero.
+func TestDriveClassification(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var one serve.Request
+		_ = json.NewDecoder(r.Body).Decode(&one)
+		switch one.K {
+		case 2: // typed rejection
+			w.WriteHeader(http.StatusServiceUnavailable)
+			json.NewEncoder(w).Encode(serve.ErrorBody{Error: "budget exhausted", Code: "overloaded"})
+		default: // untyped crash
+			w.WriteHeader(http.StatusInternalServerError)
+			w.Write([]byte("<html>panic</html>"))
+		}
+	}))
+	defer stub.Close()
+
+	s, err := spec.Parse([]byte(`{
+		"name": "classify", "seed": 3, "requests": 8, "rate": 1000,
+		"classes": [
+			{"name": "typed", "fraction": 0.5, "arrival": {"process": "deterministic"},
+			 "slo": {"target": 0.5}, "model": {"k": 2}, "n": {"min": 2, "max": 2}},
+			{"name": "untyped", "fraction": 0.5, "arrival": {"process": "deterministic"},
+			 "slo": {"target": 0}, "model": {"k": 3}, "n": {"min": 2, "max": 2}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Drive(context.Background(), tr, stub.URL, DriveOptions{TimeScale: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typed, untyped := rep.Classes[0], rep.Classes[1]
+	if typed.Errors["overloaded"] != typed.Requests || typed.Untyped5xx != 0 {
+		t.Fatalf("typed class: errors %v untyped %d, want all overloaded", typed.Errors, typed.Untyped5xx)
+	}
+	if typed.Met || typed.Attainment != 0 {
+		t.Fatalf("typed class met=%v attainment=%v, want a miss", typed.Met, typed.Attainment)
+	}
+	if untyped.Untyped5xx != untyped.Requests {
+		t.Fatalf("untyped class: untyped 5xx %d, want %d", untyped.Untyped5xx, untyped.Requests)
+	}
+	if rep.SLOMet {
+		t.Fatal("report claims SLO met with a 0%-attainment class")
+	}
+	if rep.Untyped5xx != untyped.Requests {
+		t.Fatalf("report untyped 5xx %d, want %d", rep.Untyped5xx, untyped.Requests)
+	}
+}
+
+// TestDriveErrors covers setup failures and cancellation.
+func TestDriveErrors(t *testing.T) {
+	tr, err := Generate(exampleSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drive(context.Background(), &Trace{}, "http://x", DriveOptions{}); !errors.Is(err, check.ErrInvalidModel) {
+		t.Fatalf("empty trace: err = %v", err)
+	}
+	if _, err := Drive(context.Background(), tr, "", DriveOptions{}); !errors.Is(err, check.ErrInvalidModel) {
+		t.Fatalf("no target: err = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Drive(ctx, tr, "http://127.0.0.1:1", DriveOptions{}); !errors.Is(err, check.ErrCanceled) {
+		t.Fatalf("canceled drive: err = %v", err)
+	}
+}
+
+// BenchmarkPerfReplayDrive measures driver overhead (pacing loop,
+// collectors, classification) against a stub backend with near-zero
+// service time, so the number tracks the driver, not a solver.
+func BenchmarkPerfReplayDrive(b *testing.B) {
+	resp, _ := json.Marshal(serve.Response{Fidelity: serve.FidelityExact})
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(resp)
+	}))
+	defer stub.Close()
+
+	s, err := spec.Parse([]byte(`{
+		"name": "bench", "seed": 5, "requests": 64, "rate": 1e6,
+		"classes": [
+			{"name": "load", "fraction": 1, "arrival": {"process": "poisson"},
+			 "slo": {"deadline_ms": 60000, "target": 0.5},
+			 "model": {"k": 2}, "n": {"min": 4, "max": 8}}
+		]
+	}`))
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := Generate(s)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := DriveOptions{TimeScale: 1e-6}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Drive(context.Background(), tr, stub.URL, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Completed != 64 {
+			b.Fatalf("completed %d", rep.Completed)
+		}
+	}
+}

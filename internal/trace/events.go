@@ -1,0 +1,306 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"finwl/internal/check"
+	"finwl/internal/phase"
+	"finwl/internal/serve"
+	"finwl/internal/spec"
+)
+
+// This file turns the package from a synthetic-sample stand-in into
+// the front door for scenario traffic: a workload spec expands into a
+// deterministic, seeded event trace — recordable as JSONL and
+// replayable bit-identically — that the driver in drive.go fires at a
+// live finwld.
+
+// TraceVersion is the JSONL format version carried in the header.
+const TraceVersion = 1
+
+// Header is the first JSONL line of a recorded trace. It makes a
+// recording self-contained: replaying needs no access to the spec the
+// trace was generated from.
+type Header struct {
+	// Version is the trace format version (the "finwl_trace" key also
+	// serves as the file-type sniff for finwld -replay).
+	Version int `json:"finwl_trace"`
+	// Spec names the originating workload spec.
+	Spec string `json:"spec"`
+	// Seed is the generator seed the event stream was drawn with.
+	Seed int64 `json:"seed"`
+	// Requests is the total request count across all events.
+	Requests int `json:"requests"`
+	// Classes carries each class's share and SLO so a replayed trace
+	// scores attainment identically to a fresh generation.
+	Classes []ClassInfo `json:"classes"`
+}
+
+// ClassInfo is the per-class slice of the header.
+type ClassInfo struct {
+	Name       string  `json:"name"`
+	Requests   int     `json:"requests"`
+	Endpoint   string  `json:"endpoint"`
+	DeadlineMS int     `json:"deadline_ms,omitempty"`
+	Target     float64 `json:"target"`
+}
+
+// Event is one arrival: a single request (solve) or one submission of
+// several (batch, jobs), due AtMS milliseconds after the drive starts.
+type Event struct {
+	Seq      int              `json:"seq"`
+	Class    string           `json:"class"`
+	AtMS     float64          `json:"at_ms"`
+	Endpoint string           `json:"endpoint"`
+	Requests []*serve.Request `json:"requests"`
+}
+
+// Trace is a fully expanded workload: the header plus the
+// time-ordered event stream.
+type Trace struct {
+	Header Header
+	Events []*Event
+}
+
+// classStream is the per-class intermediate before the merge.
+type classStream struct {
+	idx    int
+	events []*Event
+}
+
+// Generate expands a validated spec into its event trace. The
+// expansion is a pure function of (spec, spec.Seed): every arrival
+// gap and workload size comes from a per-class PRNG seeded from the
+// spec seed and the class index, so the same spec always yields a
+// byte-identical trace.
+func Generate(s *spec.Spec) (*Trace, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	counts := s.ClassCounts()
+	tr := &Trace{Header: Header{
+		Version:  TraceVersion,
+		Spec:     s.Name,
+		Seed:     s.Seed,
+		Requests: s.Requests,
+	}}
+	streams := make([]classStream, 0, len(s.Classes))
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		tr.Header.Classes = append(tr.Header.Classes, ClassInfo{
+			Name:       c.Name,
+			Requests:   counts[i],
+			Endpoint:   c.EndpointOrDefault(),
+			DeadlineMS: c.SLO.DeadlineMS,
+			Target:     c.SLO.Target,
+		})
+		st, err := expandClass(s, c, i, counts[i])
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, classStream{idx: i, events: st})
+	}
+	// Merge the class streams into one time-ordered stream. The sort
+	// must be deterministic under time ties, so the key is
+	// (time, class index, intra-class order).
+	type tagged struct {
+		ev       *Event
+		class, k int
+	}
+	var all []tagged
+	for _, st := range streams {
+		for k, ev := range st.events {
+			all = append(all, tagged{ev: ev, class: st.idx, k: k})
+		}
+	}
+	sort.SliceStable(all, func(a, b int) bool {
+		if all[a].ev.AtMS != all[b].ev.AtMS {
+			return all[a].ev.AtMS < all[b].ev.AtMS
+		}
+		if all[a].class != all[b].class {
+			return all[a].class < all[b].class
+		}
+		return all[a].k < all[b].k
+	})
+	tr.Events = make([]*Event, len(all))
+	for i, t := range all {
+		t.ev.Seq = i
+		tr.Events[i] = t.ev
+	}
+	return tr, nil
+}
+
+// classSeed derives a class's PRNG seed from the spec seed; the odd
+// multiplier (the 64-bit golden ratio) decorrelates adjacent classes.
+func classSeed(seed int64, class int) int64 {
+	return seed + int64(class+1)*-0x61c8864680b583eb
+}
+
+// expandClass draws the class's submissions: arrival gaps from its
+// process, workload sizes uniformly from its N range.
+func expandClass(s *spec.Spec, c *spec.Class, idx, count int) ([]*Event, error) {
+	rng := rand.New(rand.NewSource(classSeed(s.Seed, idx)))
+	batch := c.BatchOrDefault()
+	rate := s.Rate * c.Fraction // requests per second for this class
+	// Submissions arrive batch-times slower than requests, so the
+	// inter-submission gap scales the per-request mean by the batch
+	// size and the class still offers Rate × Fraction requests/s.
+	meanGapMS := 1000 * float64(batch) / rate
+
+	var gap func() float64
+	switch c.Arrival.Process {
+	case spec.ArrivalDeterministic:
+		gap = func() float64 { return meanGapMS }
+	case spec.ArrivalPoisson:
+		gap = func() float64 { return rng.ExpFloat64() * meanGapMS }
+	case spec.ArrivalBursty:
+		ph, err := phase.FitCV2(meanGapMS, c.BurstCV2())
+		if err != nil {
+			return nil, check.Invalid("trace: class %s: bursty arrival fit: %v", c.Name, err)
+		}
+		gap = func() float64 { return ph.Sample(rng) }
+	default:
+		return nil, check.Invalid("trace: class %s: unknown arrival process %q", c.Name, c.Arrival.Process)
+	}
+
+	var events []*Event
+	t := 0.0
+	for remaining := count; remaining > 0; {
+		jobs := batch
+		if jobs > remaining {
+			jobs = remaining
+		}
+		remaining -= jobs
+		t += gap()
+		reqs := make([]*serve.Request, jobs)
+		for j := range reqs {
+			n := c.N.Min + rng.Intn(c.N.Max-c.N.Min+1)
+			reqs[j] = c.Request(n)
+		}
+		events = append(events, &Event{
+			Class:    c.Name,
+			AtMS:     t,
+			Endpoint: c.EndpointOrDefault(),
+			Requests: reqs,
+		})
+	}
+	return events, nil
+}
+
+// RequestCount sums the requests across all events.
+func (tr *Trace) RequestCount() int {
+	n := 0
+	for _, ev := range tr.Events {
+		n += len(ev.Requests)
+	}
+	return n
+}
+
+// Class returns the header entry for a class name, or nil.
+func (tr *Trace) Class(name string) *ClassInfo {
+	for i := range tr.Header.Classes {
+		if tr.Header.Classes[i].Name == name {
+			return &tr.Header.Classes[i]
+		}
+	}
+	return nil
+}
+
+// WriteJSONL records the trace as one JSON line for the header plus
+// one per event. The encoding is canonical: recording a read-back
+// trace reproduces the original bytes exactly, which is what makes
+// "same spec + seed → byte-identical trace" a testable contract.
+func (tr *Trace) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(tr.Header); err != nil {
+		return fmt.Errorf("trace: encode header: %w", err)
+	}
+	for _, ev := range tr.Events {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("trace: encode event %d: %w", ev.Seq, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// IsTrace sniffs whether data looks like a recorded trace (first
+// significant line carries the finwl_trace header key) rather than a
+// workload spec.
+func IsTrace(data []byte) bool {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) == 0 || trimmed[0] != '{' {
+		return false
+	}
+	line, _, _ := bytes.Cut(trimmed, []byte("\n"))
+	return bytes.Contains(line, []byte(`"finwl_trace"`))
+}
+
+// ReadJSONL parses a recorded trace, validating the header version
+// and per-event invariants (ordered seqs, nondecreasing times, known
+// classes). All failures are typed check.ErrInvalidModel.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("trace: read header: %w", err)
+		}
+		return nil, check.Invalid("trace: empty trace file")
+	}
+	tr := &Trace{}
+	if err := strictUnmarshal(sc.Bytes(), &tr.Header); err != nil {
+		return nil, check.Invalid("trace: header: %v", err)
+	}
+	if tr.Header.Version != TraceVersion {
+		return nil, check.Invalid("trace: unsupported trace version %d (want %d)", tr.Header.Version, TraceVersion)
+	}
+	classes := make(map[string]bool, len(tr.Header.Classes))
+	for _, ci := range tr.Header.Classes {
+		classes[ci.Name] = true
+	}
+	prev := 0.0
+	for line := 2; sc.Scan(); line++ {
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			return nil, check.Invalid("trace: line %d: blank line inside trace", line)
+		}
+		ev := &Event{}
+		if err := strictUnmarshal(sc.Bytes(), ev); err != nil {
+			return nil, check.Invalid("trace: line %d: %v", line, err)
+		}
+		if ev.Seq != len(tr.Events) {
+			return nil, check.Invalid("trace: line %d: seq %d out of order (want %d)", line, ev.Seq, len(tr.Events))
+		}
+		if ev.AtMS < prev {
+			return nil, check.Invalid("trace: line %d: event time %v precedes %v", line, ev.AtMS, prev)
+		}
+		if !classes[ev.Class] {
+			return nil, check.Invalid("trace: line %d: unknown class %q", line, ev.Class)
+		}
+		if len(ev.Requests) == 0 {
+			return nil, check.Invalid("trace: line %d: event with no requests", line)
+		}
+		prev = ev.AtMS
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read events: %w", err)
+	}
+	if tr.RequestCount() != tr.Header.Requests {
+		return nil, check.Invalid("trace: header says %d requests, events carry %d", tr.Header.Requests, tr.RequestCount())
+	}
+	return tr, nil
+}
+
+// strictUnmarshal decodes one JSON value rejecting unknown fields.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}

@@ -1,0 +1,208 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"finwl/internal/check"
+	"finwl/internal/spec"
+)
+
+// exampleSpec loads the committed example — the same file the README
+// and the CI replay smoke use.
+func exampleSpec(t testing.TB) *spec.Spec {
+	t.Helper()
+	s, err := spec.ParseFile("../../examples/spec-mixed.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Same spec + same seed must expand to a byte-identical trace — the
+// determinism contract the whole record/replay design rests on.
+func TestGenerateDeterministic(t *testing.T) {
+	var bufs [2]bytes.Buffer
+	for i := range bufs {
+		tr, err := Generate(exampleSpec(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tr.WriteJSONL(&bufs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(bufs[0].Bytes(), bufs[1].Bytes()) {
+		t.Fatal("two generations of the same spec differ")
+	}
+	// A different seed must actually change the stream.
+	s := exampleSpec(t)
+	s.Seed++
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var other bytes.Buffer
+	if err := tr.WriteJSONL(&other); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(bufs[0].Bytes(), other.Bytes()) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+// Record → read → re-record must round-trip to the original bytes:
+// the JSONL encoding is canonical.
+func TestTraceRoundTrip(t *testing.T) {
+	tr, err := Generate(exampleSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first bytes.Buffer
+	if err := tr.WriteJSONL(&first); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := back.WriteJSONL(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("record → replay → re-record changed the bytes")
+	}
+}
+
+// The generated stream must honor the spec exactly: per-class counts
+// from largest-remainder apportioning, nondecreasing times, contiguous
+// seqs, and every request built from its class template.
+func TestGenerateInvariants(t *testing.T) {
+	s := exampleSpec(t)
+	tr, err := Generate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.RequestCount() != s.Requests || tr.Header.Requests != s.Requests {
+		t.Fatalf("trace carries %d requests (header %d), spec wants %d",
+			tr.RequestCount(), tr.Header.Requests, s.Requests)
+	}
+	counts := s.ClassCounts()
+	perClass := map[string]int{}
+	prev := 0.0
+	for i, ev := range tr.Events {
+		if ev.Seq != i {
+			t.Fatalf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.AtMS < prev {
+			t.Fatalf("event %d at %v precedes %v", i, ev.AtMS, prev)
+		}
+		prev = ev.AtMS
+		perClass[ev.Class] += len(ev.Requests)
+	}
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		if got := perClass[c.Name]; got != counts[i] {
+			t.Errorf("class %s: %d requests, want %d", c.Name, got, counts[i])
+		}
+		ci := tr.Class(c.Name)
+		if ci == nil || ci.Requests != counts[i] || ci.Endpoint != c.EndpointOrDefault() {
+			t.Errorf("class %s header entry %+v", c.Name, ci)
+		}
+	}
+	for _, ev := range tr.Events {
+		c := classByName(s, ev.Class)
+		if len(ev.Requests) > c.BatchOrDefault() {
+			t.Fatalf("event %d: %d requests exceeds class batch %d",
+				ev.Seq, len(ev.Requests), c.BatchOrDefault())
+		}
+		for _, req := range ev.Requests {
+			if req.N < c.N.Min || req.N > c.N.Max {
+				t.Fatalf("event %d: n %d outside [%d,%d]", ev.Seq, req.N, c.N.Min, c.N.Max)
+			}
+			if req.K != c.Model.K || req.TimeoutMS != c.SLO.DeadlineMS {
+				t.Fatalf("event %d: request %+v does not match class template", ev.Seq, req)
+			}
+		}
+	}
+}
+
+func classByName(s *spec.Spec, name string) *spec.Class {
+	for i := range s.Classes {
+		if s.Classes[i].Name == name {
+			return &s.Classes[i]
+		}
+	}
+	return nil
+}
+
+func TestIsTrace(t *testing.T) {
+	tr, err := Generate(exampleSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !IsTrace(buf.Bytes()) {
+		t.Fatal("recorded trace not sniffed as a trace")
+	}
+	raw, err := os.ReadFile("../../examples/spec-mixed.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsTrace(raw) {
+		t.Fatal("YAML spec sniffed as a trace")
+	}
+	if IsTrace([]byte(`{"name":"json spec"}`)) {
+		t.Fatal("JSON spec sniffed as a trace")
+	}
+}
+
+// Every malformed trace must be rejected with a typed error.
+func TestReadJSONLErrors(t *testing.T) {
+	tr, err := Generate(exampleSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(buf.String(), "\n")
+	header, ev1, ev2 := lines[0], lines[1], lines[2]
+
+	cases := map[string]string{
+		"empty":            "",
+		"bad version":      strings.Replace(header, `"finwl_trace":1`, `"finwl_trace":9`, 1) + ev1,
+		"unknown field":    header + strings.Replace(ev1, `"seq":0`, `"seq":0,"zz":1`, 1),
+		"seq out of order": header + ev2,
+		"duplicate seq":    header + ev1 + ev1,
+		"unknown class":    header + strings.Replace(ev1, tr.Events[0].Class, "nope", 1),
+		"count mismatch":   header + ev1,
+		"blank line":       header + ev1 + "\n" + ev2,
+		"backwards time": `{"finwl_trace":1,"spec":"x","seed":0,"requests":2,"classes":[{"name":"a","requests":2,"endpoint":"solve","target":0}]}` + "\n" +
+			`{"seq":0,"class":"a","at_ms":5,"endpoint":"solve","requests":[{"k":1,"n":1}]}` + "\n" +
+			`{"seq":1,"class":"a","at_ms":4,"endpoint":"solve","requests":[{"k":1,"n":1}]}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadJSONL(strings.NewReader(in)); !errors.Is(err, check.ErrInvalidModel) {
+			t.Errorf("%s: err = %v, want ErrInvalidModel", name, err)
+		}
+	}
+}
+
+// Generation from an invalid spec fails with the same typed error the
+// spec package uses.
+func TestGenerateInvalidSpec(t *testing.T) {
+	s := exampleSpec(t)
+	s.Classes[0].Fraction = 0.9
+	if _, err := Generate(s); !errors.Is(err, check.ErrInvalidModel) {
+		t.Fatalf("err = %v, want ErrInvalidModel", err)
+	}
+}

@@ -1,10 +1,17 @@
-// Package trace generates and summarizes synthetic workload traces —
-// the stand-in for the measured CPU-time and file-size traces
-// (BELLCORE et al.) that motivate the paper's non-exponential
-// modeling. It produces genuinely power-tailed samples (Pareto and
-// lognormal, which are NOT phase-type), summarizes them, and together
-// with phase.FitHyperEM closes the loop: measure → fit a
-// matrix-exponential law → feed the analytic model.
+// Package trace is the scenario front door. It has two halves:
+//
+// Synthetic samples (this file): power-tailed draws (Pareto and
+// lognormal, which are NOT phase-type) standing in for the measured
+// CPU-time and file-size traces (BELLCORE et al.) that motivate the
+// paper's non-exponential modeling; together with phase.FitHyperEM
+// they close the loop measure → fit a matrix-exponential law → feed
+// the analytic model.
+//
+// Event traces (events.go, drive.go): a workload spec (internal/spec)
+// expands into a deterministic, seeded stream of timed request
+// events — recordable as JSONL and replayable bit-identically — and
+// the load driver fires that stream at a live finwld with open-loop
+// pacing, scoring each class against its SLO.
 package trace
 
 import (

@@ -29,7 +29,7 @@ trap 'rm -f "$tmp"' EXIT
 for pass in $(seq "$benchcount"); do
     echo "== bench pass $pass/$benchcount =="
     go test -run '^$' -bench 'Perf' -benchmem -benchtime "$benchtime" \
-        ./internal/matrix ./internal/core ./internal/obs ./internal/serve . | tee -a "$tmp"
+        ./internal/matrix ./internal/core ./internal/obs ./internal/serve ./internal/trace . | tee -a "$tmp"
 done
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \

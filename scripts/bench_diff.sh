@@ -18,7 +18,10 @@
 # relative gates, BenchmarkPerfNewSolver* carries a hard allocs/op
 # budget (NEWSOLVER_ALLOC_BUDGET, default 1500): solver construction
 # through the structured sparse build must stay within it in absolute
-# terms, baseline or not. Benchmarks
+# terms, baseline or not. BenchmarkPerfReplayDrive* carries its own
+# hard budget (REPLAY_ALLOC_BUDGET, default 15000 allocs/op for a
+# 64-request drive): the load driver must stay cheap enough that its
+# own overhead never distorts the latencies it reports. Benchmarks
 # outside the BenchmarkPerf* harness are advisory: drift is reported
 # but never fails the gate (they have no pinned snapshot discipline).
 # Benchmarks present on only one side are reported but never fail the
@@ -37,9 +40,11 @@ cd "$(dirname "$0")/.."
 ns_tol="${NS_TOL_PCT:-25}"
 alloc_tol="${ALLOC_TOL_PCT:-25}"
 newsolver_budget="${NEWSOLVER_ALLOC_BUDGET:-1500}"
+replay_budget="${REPLAY_ALLOC_BUDGET:-15000}"
 
 compare() { # baseline.json fresh.json
-    awk -v ns_tol="$ns_tol" -v alloc_tol="$alloc_tol" -v ns_budget="$newsolver_budget" '
+    awk -v ns_tol="$ns_tol" -v alloc_tol="$alloc_tol" -v ns_budget="$newsolver_budget" \
+        -v replay_budget="$replay_budget" '
     function parse(line) {
         match(line, /"name": "[^"]*"/)
         name = substr(line, RSTART + 9, RLENGTH - 10)
@@ -64,6 +69,12 @@ compare() { # baseline.json fresh.json
         # benchmark with no baseline entry yet.
         if (name ~ /^BenchmarkPerfNewSolver/ && allocs != "null" && allocs + 0 > ns_budget + 0) {
             printf "REGRESSION %-28s allocs/op %s exceeds hard budget %s (NEWSOLVER_ALLOC_BUDGET)\n", name, allocs, ns_budget
+            bad = 1
+        }
+        # Same shape for the replay load driver: its per-drive
+        # allocations are an absolute budget, not just a relative drift.
+        if (name ~ /^BenchmarkPerfReplayDrive/ && allocs != "null" && allocs + 0 > replay_budget + 0) {
+            printf "REGRESSION %-28s allocs/op %s exceeds hard budget %s (REPLAY_ALLOC_BUDGET)\n", name, allocs, replay_budget
             bad = 1
         }
         if (!(name in base_ns)) {
@@ -191,6 +202,30 @@ EOF
         return 1
     fi
     newsolver_budget="$saved_budget"
+
+    # The replay-driver hard budget mirrors the NewSolver one: over
+    # budget fails even against an equally bloated baseline, within
+    # budget passes.
+    local saved_replay="$replay_budget"
+    replay_budget=15000
+    cat > "$dir/replay_base.json" <<'EOF'
+{
+  "benchmarks": [
+    {"name": "BenchmarkPerfReplayDrive", "iters": 100, "ns_per_op": 15000000, "bytes_per_op": 1100000, "allocs_per_op": 9500}
+  ]
+}
+EOF
+    if ! compare "$dir/replay_base.json" "$dir/replay_base.json" > /dev/null; then
+        echo "bench_diff self-test: within-budget ReplayDrive allocs flagged as regression" >&2
+        return 1
+    fi
+    sed 's/"allocs_per_op": 9500/"allocs_per_op": 20000/' "$dir/replay_base.json" > "$dir/replay_fat.json"
+    rc=0; compare "$dir/replay_fat.json" "$dir/replay_fat.json" > /dev/null || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "bench_diff self-test: ReplayDrive allocs over hard budget exit $rc, want 1" >&2
+        return 1
+    fi
+    replay_budget="$saved_replay"
 
     # A benchmark present in the baseline only must never fail the diff.
     grep -v 'BenchmarkPerfAllocy' "$dir/base.json" > "$dir/gone.json"

@@ -25,6 +25,12 @@ echo "== go test -race + coverage =="
 # (raise the floor when coverage rises; it must never fall below it).
 scratch=$(mktemp -d)
 trap 'rm -rf "$scratch"' EXIT
+# Artifacts (the replay SLO report, the recorded trace, the crash-smoke
+# journal) land in CI_ARTIFACT_DIR when set, so the workflow can upload
+# them even after a failure; locally they stay in the scratch dir and
+# vanish with it.
+artdir="${CI_ARTIFACT_DIR:-$scratch}"
+mkdir -p "$artdir"
 go test -race -covermode=atomic -coverprofile="$scratch/cover.out" ./...
 
 echo "== coverage floor =="
@@ -68,8 +74,15 @@ scripts/bench_diff.sh --self-test
 echo "== fuzz seed smoke =="
 # Each target's seed corpus runs as ordinary tests; a short -fuzz burst
 # per target catches regressions the fixed seeds miss.
-for target in FuzzNetworkPipeline FuzzPHFit FuzzRobustSolve FuzzJournalReplay; do
-    go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s ./internal/faultcheck
+for entry in \
+    internal/faultcheck:FuzzNetworkPipeline \
+    internal/faultcheck:FuzzPHFit \
+    internal/faultcheck:FuzzRobustSolve \
+    internal/faultcheck:FuzzJournalReplay \
+    internal/spec:FuzzSpecParse; do
+    pkg=${entry%%:*}
+    target=${entry##*:}
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s "./$pkg"
 done
 
 echo "== cmd exit-code smoke =="
@@ -95,6 +108,29 @@ expect_exit 2 "phfit bad family"   "$bindir/phfit" -family nope
 expect_exit 2 "finwl bad exp"      "$bindir/finwl" -exp nope
 expect_exit 1 "finwl timeout"      "$bindir/finwl" -exp tbl-sim -timeout 5ms
 
+scrape_addr() { # logfile
+    local a=""
+    for _ in $(seq 1 100); do
+        a=$(sed -n 's/^finwld listening on //p' "$1")
+        [ -n "$a" ] && break
+        sleep 0.1
+    done
+    if [ -z "$a" ]; then
+        echo "smoke: daemon behind $1 never reported its address" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+    echo "$a"
+}
+wait_healthy() { # addr — poll /healthz instead of sleeping blind
+    for _ in $(seq 1 100); do
+        curl -sf "http://$1/healthz" >/dev/null 2>&1 && return 0
+        sleep 0.1
+    done
+    echo "smoke: daemon at $1 never became healthy" >&2
+    exit 1
+}
+
 echo "== finwld serve smoke =="
 # Boot the daemon (admin listener on) on ephemeral ports, solve once
 # over HTTP, assert a full-fidelity answer with a timings breakdown,
@@ -104,17 +140,8 @@ echo "== finwld serve smoke =="
 finwld_pid=$!
 # A failed assertion below must not leave an orphan daemon behind.
 trap 'kill "$finwld_pid" 2>/dev/null; rm -rf "$scratch"' EXIT
-addr=""
-for _ in $(seq 1 100); do
-    addr=$(sed -n 's/^finwld listening on //p' "$bindir/finwld.log")
-    [ -n "$addr" ] && break
-    sleep 0.1
-done
-if [ -z "$addr" ]; then
-    echo "finwld smoke: daemon never reported its address" >&2
-    cat "$bindir/finwld.log" >&2
-    exit 1
-fi
+addr=$(scrape_addr "$bindir/finwld.log")
+wait_healthy "$addr"
 admin_addr=$(sed -n 's/^finwld admin listening on //p' "$bindir/finwld.log")
 if [ -z "$admin_addr" ]; then
     echo "finwld smoke: daemon never reported its admin address" >&2
@@ -229,20 +256,6 @@ echo "== finwld fleet smoke =="
 # request (same model, fresh population, so the same shard but a cold
 # result cache) to come back correct via failover — then a clean
 # SIGTERM drain of the router.
-scrape_addr() { # logfile
-    local a=""
-    for _ in $(seq 1 100); do
-        a=$(sed -n 's/^finwld listening on //p' "$1")
-        [ -n "$a" ] && break
-        sleep 0.1
-    done
-    if [ -z "$a" ]; then
-        echo "fleet smoke: daemon behind $1 never reported its address" >&2
-        cat "$1" >&2
-        exit 1
-    fi
-    echo "$a"
-}
 "$bindir/finwld" -addr 127.0.0.1:0 -quiet >"$bindir/rep1.log" 2>&1 &
 rep1_pid=$!
 "$bindir/finwld" -addr 127.0.0.1:0 -quiet >"$bindir/rep2.log" 2>&1 &
@@ -250,10 +263,13 @@ rep2_pid=$!
 trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
 rep1_url="http://$(scrape_addr "$bindir/rep1.log")"
 rep2_url="http://$(scrape_addr "$bindir/rep2.log")"
+wait_healthy "${rep1_url#http://}"
+wait_healthy "${rep2_url#http://}"
 "$bindir/finwld" -addr 127.0.0.1:0 -router "$rep1_url,$rep2_url" \
     -probe-interval 200ms >"$bindir/router.log" 2>&1 &
 router_pid=$!
 router_addr=$(scrape_addr "$bindir/router.log")
+wait_healthy "$router_addr"
 body=$(curl -s -X POST -d '{"arch":"central","k":3,"n":10}' "http://$router_addr/solve")
 via=$(sed -n 's/.*"routed_via":"\([^"]*\)".*/\1/p' <<< "$body")
 if [ -z "$via" ]; then
@@ -310,12 +326,13 @@ echo "== finwld crash-recovery smoke =="
 # Idempotency-Key, SIGKILL with no drain, then a restart over the same
 # journal directory: the job must reach done with every result intact,
 # and replaying the same key must map back to the same job ID.
-jdir="$scratch/journal"
+jdir="$artdir/journal"
 jobs_body='[{"arch":"central","k":9,"n":46},{"arch":"central","k":9,"n":48},{"arch":"central","k":10,"n":50}]'
 "$bindir/finwld" -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always >"$bindir/crash1.log" 2>&1 &
 crash_pid=$!
 trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" "${crash_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
 crash_addr=$(scrape_addr "$bindir/crash1.log")
+wait_healthy "$crash_addr"
 accepted=$(curl -s -X POST -H 'Idempotency-Key: ci-crash' -d "$jobs_body" "http://$crash_addr/jobs")
 job_id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<< "$accepted")
 if [ -z "$job_id" ]; then
@@ -328,6 +345,7 @@ wait "$crash_pid" 2>/dev/null || true
 "$bindir/finwld" -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always >"$bindir/crash2.log" 2>&1 &
 crash_pid=$!
 crash_addr=$(scrape_addr "$bindir/crash2.log")
+wait_healthy "$crash_addr"
 job=""
 for _ in $(seq 1 100); do
     job=$(curl -s "http://$crash_addr/jobs/$job_id")
@@ -355,6 +373,55 @@ wait "$crash_pid" || rc=$?
 if [ "$rc" -ne 0 ]; then
     echo "crash smoke: exit $rc after SIGTERM, want a clean drain (0)" >&2
     cat "$bindir/crash2.log" >&2
+    exit 1
+fi
+
+echo "== finwld replay smoke (-race) =="
+# The SLO gate, end to end: boot a race-instrumented daemon, replay the
+# committed 3-class example spec through all three serving surfaces
+# with -gate (every class must hit its attainment target and zero
+# untyped 5xx may appear), then prove trace determinism from the CLI:
+# the recorded trace re-records byte-identically. The driver is the
+# most concurrent client the server sees, so the -race build doubles
+# as a client/server race probe.
+go build -race -o "$bindir/finwld.race" ./cmd/finwld
+"$bindir/finwld.race" -addr 127.0.0.1:0 -quiet >"$bindir/replay-srv.log" 2>&1 &
+replay_pid=$!
+trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" "${crash_pid:-}" "${replay_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
+replay_addr=$(scrape_addr "$bindir/replay-srv.log")
+wait_healthy "$replay_addr"
+report="$artdir/replay-report.json"
+rtrace="$artdir/replay-trace.jsonl"
+"$bindir/finwld.race" -replay examples/spec-mixed.yaml -target "http://$replay_addr" \
+    -record "$rtrace" -report "$report" -gate -time-scale 0.2
+# The report must be well-formed: per-class attainment present, the
+# gate fields populated, and zero untyped 5xx (a 5xx with no typed
+# wire code is a crash, not a policy outcome).
+for field in '"classes"' '"attainment"' '"slo_met": true' '"untyped_5xx": 0'; do
+    if ! grep -q "$field" "$report"; then
+        echo "replay smoke: report missing $field:" >&2
+        cat "$report" >&2
+        exit 1
+    fi
+done
+if grep -Eq '"untyped_5xx": [1-9]' "$report"; then
+    echo "replay smoke: untyped 5xx responses in report:" >&2
+    cat "$report" >&2
+    exit 1
+fi
+# Determinism from the CLI: replaying the recorded trace and
+# re-recording it must reproduce the file byte for byte.
+"$bindir/finwld.race" -replay "$rtrace" -record "$scratch/replay-trace2.jsonl" >/dev/null
+if ! cmp -s "$rtrace" "$scratch/replay-trace2.jsonl"; then
+    echo "replay smoke: record → replay → re-record changed the trace bytes" >&2
+    exit 1
+fi
+kill -TERM "$replay_pid"
+rc=0
+wait "$replay_pid" || rc=$?
+if [ "$rc" -ne 0 ]; then
+    echo "replay smoke: exit $rc after SIGTERM, want a clean drain (0)" >&2
+    cat "$bindir/replay-srv.log" >&2
     exit 1
 fi
 
