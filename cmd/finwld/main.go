@@ -11,9 +11,13 @@
 //	curl -s -X POST -d '{"arch":"central","k":3,"n":10}' localhost:8080/solve
 //	curl -s -X POST -d '[{"k":3,"n":10},{"k":3,"n":20}]' localhost:8080/batch
 //	curl -s -X POST -d '[{"k":3,"n":10}]' localhost:8080/jobs   # then GET /jobs/{id}
+//	curl -s -X POST -d '{"arch":"central","k":3,"job_tasks":4,"jobs":3,"arrival":{"process":"poisson","mean":2},"probes":[1,5]}' localhost:8080/stream
 //
 // Endpoints: POST /solve, POST /batch (shared-chain batch solving),
 // POST /jobs + GET /jobs/{id} (async batches with polled progress),
+// POST /stream (job streams: finite workloads arriving by a renewal
+// process, or a closed finite customer pool with think times — exact
+// transient mean tasks-in-system, mean drain time and drain CDF),
 // GET /healthz, GET /stats, GET /metrics.
 //
 // Durability: -journal DIR appends every async-job transition to an

@@ -14,7 +14,9 @@ import (
 	"finwl/internal/matrix"
 	"finwl/internal/network"
 	"finwl/internal/phase"
+	"finwl/internal/serve"
 	"finwl/internal/statespace"
+	"finwl/internal/stream"
 )
 
 // byteReader turns a fuzz payload into a stream of adversarial values.
@@ -217,6 +219,36 @@ func FuzzRobustSolve(f *testing.F) {
 		}
 		if err := ExerciseSolve(a, b); err != nil {
 			t.Fatal(err)
+		}
+	})
+}
+
+// FuzzStreamSpec drives the /stream request-parsing path with
+// arbitrary JSON payloads: any body that decodes must either build a
+// validated stream config and price it, or fail typed — never panic.
+// NaN/∞ values travel through the Num wire type on purpose.
+func FuzzStreamSpec(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"k":2,"job_tasks":2,"jobs":2,"arrival":{"process":"poisson","mean":1},"probes":[0.5,2]}`))
+	f.Add([]byte(`{"k":2,"job_tasks":3,"customers":2,"think":{"process":"bursty","mean":"NaN"}}`))
+	f.Add([]byte(`{"k":0,"job_tasks":-1,"jobs":2,"arrival":{"process":"fit","mean":"+Inf","cv2":-3}}`))
+	f.Add([]byte(`{"k":4,"job_tasks":8,"jobs":40,"arrival":{"process":"bursty","mean":1e-300},"probes":["Infinity"]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		var req serve.StreamRequest
+		if dec.Decode(&req) != nil {
+			return // malformed JSON never reaches BuildConfig
+		}
+		if v, _ := capture("stream-build", func() error {
+			cfg, err := req.BuildConfig(1 << 12)
+			if err != nil {
+				return err
+			}
+			_, _, err = stream.Price(cfg)
+			return err
+		}); v != nil {
+			t.Fatal(v)
 		}
 	})
 }

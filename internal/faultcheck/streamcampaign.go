@@ -1,0 +1,173 @@
+package faultcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+
+	"finwl/internal/serve"
+)
+
+// StreamClass is one degenerate job-stream request. The catalogue
+// mirrors Classes() for the /stream surface: malformed modes, broken
+// renewal laws, adversarial probes, and an over-cap chain that must
+// come back typed — refused or explicitly degraded, never a silent
+// exact answer and never a 500.
+type StreamClass struct {
+	Name string
+	// Degrades marks the classes that are structurally valid but too
+	// large for the exact tier: the contract for those is a 200 tagged
+	// single-job with a degraded_from reason, not a refusal.
+	Degrades bool
+	Request  *serve.StreamRequest
+}
+
+// law builds a LawSpec literal inline.
+func law(process string, mean float64) *serve.LawSpec {
+	return &serve.LawSpec{Process: process, Mean: serve.Num(mean)}
+}
+
+// StreamClasses returns the degenerate job-stream catalogue. Requests
+// reuse the /solve cluster form (arch defaults to central) so the
+// campaign exercises the shared network build before the stream
+// guards.
+func StreamClasses() []StreamClass {
+	return []StreamClass{
+		{Name: "zero-job-tasks", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 0, Jobs: 2, Arrival: law("poisson", 1),
+		}},
+		{Name: "no-mode", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2,
+		}},
+		{Name: "both-modes", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Jobs: 2, Arrival: law("poisson", 1),
+			Customers: 2, Think: law("poisson", 1),
+		}},
+		{Name: "jobs-without-arrival", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Jobs: 2,
+		}},
+		{Name: "customers-without-think", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Customers: 2,
+		}},
+		{Name: "nan-arrival-mean", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Jobs: 2, Arrival: law("poisson", math.NaN()),
+		}},
+		{Name: "negative-think-mean", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Customers: 2, Think: law("deterministic", -1),
+		}},
+		{Name: "unknown-law-process", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Jobs: 2, Arrival: law("brownian", 1),
+		}},
+		{Name: "zero-servers", Request: &serve.StreamRequest{
+			K: 0, JobTasks: 2, Jobs: 2, Arrival: law("poisson", 1),
+		}},
+		{Name: "negative-probe", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Jobs: 2, Arrival: law("poisson", 1),
+			Probes: []serve.Num{-1},
+		}},
+		{Name: "inf-probe", Request: &serve.StreamRequest{
+			K: 2, JobTasks: 2, Jobs: 2, Arrival: law("poisson", 1),
+			Probes: []serve.Num{serve.Num(math.Inf(1))},
+		}},
+		{Name: "over-cap-open", Degrades: true, Request: &serve.StreamRequest{
+			K: 3, JobTasks: 6, Jobs: 24, Arrival: law("bursty", 2),
+			Probes: []serve.Num{1, 10},
+		}},
+		{Name: "over-cap-closed", Degrades: true, Request: &serve.StreamRequest{
+			K: 3, JobTasks: 6, Customers: 24, Think: law("bursty", 2),
+			Probes: []serve.Num{1, 10},
+		}},
+	}
+}
+
+// StreamOutcome records how the /stream surface disposed of one
+// degenerate job-stream class.
+type StreamOutcome struct {
+	Class    string
+	Degrades bool
+	Status   int
+	Code     string // machine-readable code from the error body
+	Fidelity string // fidelity tag when the surface answered 200
+	Body     string // raw response body, for diagnostics
+}
+
+// Check enforces the stream robustness contract on one outcome. A
+// refusal must carry a mapped status and a typed code, exactly as on
+// /solve. A 200 is allowed only for the over-cap classes, and only
+// when it is honestly tagged single-job — a degenerate stream must
+// never pass as an exact answer.
+func (o StreamOutcome) Check() error {
+	if o.Status == http.StatusOK {
+		if !o.Degrades {
+			return &Violation{
+				Stage: "stream:" + o.Class,
+				Err:   fmt.Errorf("degenerate stream answered 200 (body %s)", o.Body),
+			}
+		}
+		if o.Fidelity != string(serve.FidelitySingleJob) {
+			return &Violation{
+				Stage: "stream:" + o.Class,
+				Err:   fmt.Errorf("over-cap stream answered fidelity %q, want %q (body %s)", o.Fidelity, serve.FidelitySingleJob, o.Body),
+			}
+		}
+		return nil
+	}
+	if !serveStatuses[o.Status] {
+		return &Violation{
+			Stage: "stream:" + o.Class,
+			Err:   fmt.Errorf("HTTP status %d outside the degenerate-input contract (body %s)", o.Status, o.Body),
+		}
+	}
+	if !serveCodes[o.Code] {
+		return &Violation{
+			Stage: "stream:" + o.Class,
+			Err:   fmt.Errorf("error code %q is not a typed serve code (body %s)", o.Code, o.Body),
+		}
+	}
+	return nil
+}
+
+// StreamCampaign pushes every degenerate job-stream class through a
+// live HTTP surface (POST baseURL/stream) and returns one outcome per
+// class. It is the /stream twin of ServeCampaign; callers run Check on
+// each outcome. The over-cap classes assume the target server's
+// StreamMaxStates is below their augmented-chain size — the campaign
+// tests configure the cap explicitly.
+func StreamCampaign(baseURL string, client *http.Client) ([]StreamOutcome, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	classes := StreamClasses()
+	outcomes := make([]StreamOutcome, 0, len(classes))
+	for _, c := range classes {
+		body, err := json.Marshal(c.Request)
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: stream class %s: marshal request: %w", c.Name, err)
+		}
+		resp, err := client.Post(baseURL+"/stream", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: stream class %s: POST /stream: %w", c.Name, err)
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("faultcheck: stream class %s: read response: %w", c.Name, err)
+		}
+		var eb serve.ErrorBody
+		_ = json.Unmarshal(raw, &eb) // non-error bodies leave Code empty
+		var sr serve.StreamResponse
+		_ = json.Unmarshal(raw, &sr) // error bodies leave Fidelity empty
+		outcomes = append(outcomes, StreamOutcome{
+			Class:    c.Name,
+			Degrades: c.Degrades,
+			Status:   resp.StatusCode,
+			Code:     eb.Code,
+			Fidelity: string(sr.Fidelity),
+			Body:     string(bytes.TrimSpace(raw)),
+		})
+	}
+	return outcomes, nil
+}

@@ -1,0 +1,69 @@
+package faultcheck
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"finwl/internal/serve"
+)
+
+// TestStreamCampaign pushes all degenerate job-stream classes through
+// a real HTTP round trip and asserts the /stream contract: invalid
+// streams are refused with mapped statuses and typed bodies, and
+// over-cap streams come back 200 but honestly tagged single-job. The
+// tight StreamMaxStates guarantees the over-cap classes actually trip
+// the pricing guard.
+func TestStreamCampaign(t *testing.T) {
+	srv := serve.New(serve.Config{Seed: 1, StreamMaxStates: 200})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	outcomes, err := StreamCampaign(ts.URL, ts.Client())
+	if err != nil {
+		t.Fatalf("campaign transport failure: %v", err)
+	}
+	if len(outcomes) != len(StreamClasses()) {
+		t.Fatalf("campaign covered %d classes, want %d", len(outcomes), len(StreamClasses()))
+	}
+	degraded := 0
+	for _, o := range outcomes {
+		if err := o.Check(); err != nil {
+			t.Errorf("%v", err)
+		}
+		if o.Status == http.StatusOK {
+			degraded++
+		}
+		t.Logf("%-24s -> %d %s%s", o.Class, o.Status, o.Code, o.Fidelity)
+	}
+	if degraded == 0 {
+		t.Error("no class exercised the degradation rung; the single-job assertions are vacuous")
+	}
+
+	// Spot-check the mapping: every invalid class is a 400 and both
+	// over-cap classes land on the single-job rung.
+	for _, o := range outcomes {
+		if o.Degrades {
+			if o.Status != http.StatusOK {
+				t.Errorf("class %s: status %d, want 200 single-job (body %s)", o.Class, o.Status, o.Body)
+			}
+			continue
+		}
+		if o.Status != http.StatusBadRequest || o.Code != "invalid_model" {
+			t.Errorf("class %s: %d %q, want 400 invalid_model (body %s)", o.Class, o.Status, o.Code, o.Body)
+		}
+	}
+
+	// Refusals and degradations must land in the observability
+	// counters the nightly campaign watches.
+	st := srv.Snapshot()
+	if st.Requests != int64(len(outcomes)) {
+		t.Errorf("requests counter = %d, want %d", st.Requests, len(outcomes))
+	}
+	if st.Invalid != int64(len(outcomes)-degraded) {
+		t.Errorf("invalid counter = %d, want %d", st.Invalid, len(outcomes)-degraded)
+	}
+	if st.Degraded != int64(degraded) {
+		t.Errorf("degraded counter = %d, want %d", st.Degraded, degraded)
+	}
+}

@@ -46,6 +46,14 @@ type JobRunner interface {
 	JobPayload(ctx context.Context, id string) (payload any, err error)
 }
 
+// StreamRunner is the optional job-stream surface (POST /stream). A
+// Service that implements it gets the route; one that does not (the
+// fleet router, until it learns stream sharding) simply serves 404,
+// and clients fall back on per-job /solve calls.
+type StreamRunner interface {
+	SolveStream(ctx context.Context, req *StreamRequest) (*StreamResponse, error)
+}
+
 // rejectionCounter lets the front report protocol-level rejections
 // (batch over the job limit) back into an implementation's metrics
 // without widening the Service interface.
@@ -99,6 +107,9 @@ func (f *Front) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/solve", f.handleSolve)
 	mux.HandleFunc("POST /batch", f.handleBatch)
+	if sr, ok := f.svc.(StreamRunner); ok {
+		mux.HandleFunc("POST /stream", f.streamHandler(sr))
+	}
 	if f.jobs != nil {
 		mux.HandleFunc("POST /jobs", f.handleJobSubmit)
 		// {id...} rather than {id}: fleet-era job IDs are
@@ -191,6 +202,27 @@ func (f *Front) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+}
+
+// streamHandler serves POST /stream against an implementation's
+// StreamRunner surface; decode limits and error mapping match /solve.
+func (f *Front) streamHandler(sr StreamRunner) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req StreamRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			werr := check.Invalid("serve: bad stream body: %v", err)
+			writeJSON(w, http.StatusBadRequest, ErrorBody{Error: werr.Error(), Code: CodeOf(werr)})
+			return
+		}
+		resp, err := sr.SolveStream(r.Context(), &req)
+		if resp != nil && (err == nil || errors.Is(err, check.ErrDegraded)) {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		writeJSON(w, StatusOf(err), ErrorBody{Error: err.Error(), Code: CodeOf(err)})
+	}
 }
 
 // decodeBatch reads a JSON array of requests, enforcing the body and

@@ -102,6 +102,7 @@ type Config struct {
 	Retries          int           // extra attempts for transient failures (default 2, <0 disables)
 	RetryBase        time.Duration // first backoff (default 50ms)
 	MaxTimeout       time.Duration // cap and default for per-request deadlines (default 60s)
+	StreamMaxStates  int64         // /stream augmented-state cap (default stream.DefaultMaxStates)
 
 	// Batch and async-job tuning.
 	MaxBatchJobs int           // max jobs in one /batch or /jobs submission (default 256)

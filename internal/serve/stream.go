@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"finwl/internal/check"
+	"finwl/internal/phase"
+	"finwl/internal/stream"
+)
+
+// FidelitySingleJob tags a stream response computed by the
+// single-job degradation rung: the job-stream chain was too large or
+// failed numerically, so the answer was assembled from the paper's
+// single-workload solver plus renewal arithmetic. Coarse, but typed —
+// clients always know they did not get the exact stream solve.
+const FidelitySingleJob Fidelity = "single-job"
+
+// LawSpec is the wire form of an arrival or think-time law: a named
+// process fitted by mean and squared coefficient of variation through
+// phase.FitCV2. CV2 defaults per process — deterministic 0.25 (Erlang
+// approximation), poisson 1, bursty 4 — and may be overridden.
+type LawSpec struct {
+	Process string `json:"process,omitempty"` // deterministic | poisson | bursty | fit
+	Mean    Num    `json:"mean"`
+	CV2     Num    `json:"cv2,omitempty"`
+}
+
+// buildPH resolves a LawSpec into a phase-type distribution; every
+// failure matches check.ErrInvalidModel.
+func (l *LawSpec) buildPH(name string) (*phase.PH, error) {
+	if l == nil {
+		return nil, nil
+	}
+	cv2 := float64(l.CV2)
+	var def float64
+	switch strings.ToLower(l.Process) {
+	case "deterministic":
+		def = 0.25
+	case "poisson":
+		def = 1
+	case "bursty":
+		def = 4
+	case "", "fit":
+		def = 1
+	default:
+		return nil, check.Invalid("serve: unknown %s process %q (want deterministic, poisson, bursty or fit)", name, l.Process)
+	}
+	if cv2 == 0 {
+		cv2 = def
+	}
+	ph, err := phase.FitCV2(float64(l.Mean), cv2)
+	if err != nil {
+		return nil, typedOr(fmt.Errorf("serve: %s law: %w", name, err), check.ErrInvalidModel)
+	}
+	ph.Name = name
+	return ph, nil
+}
+
+// StreamRequest is one POST /stream request: the same model forms as
+// /solve (cluster or raw network) plus the job-stream fields. Exactly
+// one of the open (jobs + arrival) and closed (customers + think)
+// pairs must be set.
+type StreamRequest struct {
+	Arch    string       `json:"arch,omitempty"`
+	K       int          `json:"k"`
+	App     *AppSpec     `json:"app,omitempty"`
+	CV2     *CV2Spec     `json:"cv2,omitempty"`
+	Network *NetworkSpec `json:"network,omitempty"`
+
+	JobTasks  int      `json:"job_tasks"`
+	Jobs      int      `json:"jobs,omitempty"`
+	Arrival   *LawSpec `json:"arrival,omitempty"`
+	Customers int      `json:"customers,omitempty"`
+	Think     *LawSpec `json:"think,omitempty"`
+
+	Probes    []Num `json:"probes,omitempty"`
+	TimeoutMS int   `json:"timeout_ms,omitempty"`
+}
+
+// BuildConfig resolves the request into a validated stream.Config.
+// maxStates is the server-side state cap (0 = stream default) — it is
+// deliberately not client-controlled. Every failure matches a check
+// sentinel.
+func (r *StreamRequest) BuildConfig(maxStates int64) (stream.Config, error) {
+	var cfg stream.Config
+	if r.JobTasks < 1 {
+		return cfg, check.Invalid("serve: stream job_tasks=%d, want >= 1", r.JobTasks)
+	}
+	// The network forms and their guards are exactly /solve's; the
+	// workload size a cluster-form app model scales by is the job size.
+	base := Request{Arch: r.Arch, K: r.K, N: r.JobTasks, App: r.App, CV2: r.CV2, Network: r.Network}
+	net, err := base.BuildNetwork()
+	if err != nil {
+		return cfg, err
+	}
+	arrival, err := (r.Arrival).buildPH("arrival")
+	if err != nil {
+		return cfg, err
+	}
+	think, err := (r.Think).buildPH("think")
+	if err != nil {
+		return cfg, err
+	}
+	cfg = stream.Config{
+		Net: net, K: r.K, JobTasks: r.JobTasks,
+		Jobs: r.Jobs, Arrival: arrival,
+		Customers: r.Customers, Think: think,
+		MaxStates: maxStates,
+	}
+	if err := cfg.Validate(); err != nil {
+		return cfg, err
+	}
+	for i, p := range r.Probes {
+		if err := check.Finite("serve: stream probe", float64(p)); err != nil {
+			return cfg, err
+		}
+		if p < 0 {
+			return cfg, check.Invalid("serve: stream probe %d is %v, want >= 0", i, float64(p))
+		}
+	}
+	return cfg, nil
+}
+
+// StreamResponse is the client-visible result of one stream solve.
+type StreamResponse struct {
+	Fidelity  Fidelity `json:"fidelity"`
+	Mode      string   `json:"mode"`
+	K         int      `json:"k"`
+	JobTasks  int      `json:"job_tasks"`
+	Jobs      int      `json:"jobs,omitempty"`
+	Customers int      `json:"customers,omitempty"`
+
+	States int   `json:"states,omitempty"` // exact tier: augmented transient states
+	Price  int64 `json:"price"`            // admission cost charged
+
+	Probes    []Num `json:"probes,omitempty"`
+	MeanTasks []Num `json:"mean_tasks,omitempty"` // E[tasks in system] per probe
+	MeanDrain Num   `json:"mean_drain,omitempty"` // open mode: mean time of last departure
+	DrainCDF  []Num `json:"drain_cdf,omitempty"`  // open mode: P(drain <= probe)
+
+	DegradedFrom string   `json:"degraded_from,omitempty"`
+	ElapsedMS    float64  `json:"elapsed_ms"`
+	Timings      *Timings `json:"timings,omitempty"`
+}
+
+// SolveStream runs one job-stream request: admission-priced exact
+// solve first, falling to the single-job rung when the augmented chain
+// is over the state cap or fails numerically. As with Solve, a
+// degraded result returns both a usable response and a *DegradedError
+// matching check.ErrDegraded.
+func (s *Server) SolveStream(ctx context.Context, req *StreamRequest) (*StreamResponse, error) {
+	s.m.requests.Inc()
+	if s.draining.Load() {
+		s.m.rejected.Inc()
+		return nil, errDraining()
+	}
+	cfg, err := req.BuildConfig(s.cfg.StreamMaxStates)
+	if err != nil {
+		s.m.invalid.Inc()
+		return nil, err
+	}
+	probes := floats(req.Probes)
+
+	timeout := s.cfg.MaxTimeout
+	if req.TimeoutMS > 0 {
+		if t := time.Duration(req.TimeoutMS) * time.Millisecond; t < timeout {
+			timeout = t
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.workCtx, cancel)
+	defer stop()
+
+	var reason string
+	states, price, perr := stream.Price(cfg)
+	if perr != nil && !errors.Is(perr, stream.ErrTooLarge) {
+		s.m.invalid.Inc()
+		return nil, perr
+	}
+	if perr != nil {
+		reason = fmt.Sprintf("%d augmented states over the stream cap", states)
+	} else {
+		resp, err := s.streamExact(ctx, cfg, probes, price)
+		switch {
+		case err == nil:
+			return resp, nil
+		case errors.Is(err, check.ErrCanceled):
+			s.m.canceled.Inc()
+			return nil, err
+		case errors.Is(err, check.ErrOverloaded), errors.Is(err, check.ErrInvalidModel):
+			return nil, err
+		}
+		// Numerical failure of the exact tier: fall one rung.
+		reason = fmt.Sprintf("exact stream tier failed: %v", err)
+	}
+	resp, err := s.streamSingleJob(ctx, cfg, probes, reason)
+	if err != nil {
+		if errors.Is(err, check.ErrCanceled) {
+			s.m.canceled.Inc()
+		} else if !errors.Is(err, check.ErrOverloaded) {
+			s.m.failures.Inc()
+		}
+		return nil, err
+	}
+	s.m.degraded.Inc()
+	return resp, &DegradedError{Fidelity: FidelitySingleJob, Reason: reason}
+}
+
+// streamExact is the admission → exact stream solve path.
+func (s *Server) streamExact(ctx context.Context, cfg stream.Config, probes []float64, price int64) (*StreamResponse, error) {
+	queueSpan := s.m.queueWait.Start()
+	if err := s.adm.acquire(ctx.Done(), price); err != nil {
+		queueSpan.End()
+		if errors.Is(err, check.ErrOverloaded) {
+			s.m.rejected.Inc()
+		}
+		return nil, err
+	}
+	queueWait := queueSpan.End()
+	defer s.adm.release(price)
+
+	start := time.Now()
+	res, err := stream.Solve(ctx, cfg, probes)
+	if err != nil {
+		return nil, err
+	}
+	solveTime := time.Since(start)
+	s.m.tierCounter(FidelityExact).Inc()
+	s.m.solveTime.ObserveDuration(solveTime)
+	resp := &StreamResponse{
+		Fidelity: FidelityExact,
+		Mode:     res.Mode,
+		K:        cfg.K, JobTasks: cfg.JobTasks,
+		Jobs: cfg.Jobs, Customers: cfg.Customers,
+		States: res.States, Price: res.Price,
+		Probes:    nums(res.Probes),
+		MeanTasks: nums(res.MeanTasks),
+		MeanDrain: Num(res.MeanDrain),
+		DrainCDF:  nums(res.DrainCDF),
+		ElapsedMS: float64(solveTime.Microseconds()) / 1000,
+		Timings: &Timings{
+			QueueMS: float64(queueWait.Microseconds()) / 1000,
+			SolveMS: float64(solveTime.Microseconds()) / 1000,
+		},
+	}
+	return resp, nil
+}
+
+// streamSingleJob is the degradation rung: solve the paper's single
+// finite workload exactly, then extend it with renewal arithmetic.
+// Open mode brackets the drain as the later of "last arrival plus one
+// job's drain" (light traffic) and "jobs served back to back"
+// (saturation). Closed mode reports the cycle-time steady state
+// E[J] ≈ Customers·JobTasks·T₁/(T₁ + think) at every probe. No drain
+// CDF — the rung cannot see the distribution.
+func (s *Server) streamSingleJob(ctx context.Context, cfg stream.Config, probes []float64, reason string) (*StreamResponse, error) {
+	k := cfg.K
+	if cfg.JobTasks < k {
+		k = cfg.JobTasks
+	}
+	space := cfg.Net.Space()
+	price := chainPrice(space, k)
+	queueSpan := s.m.queueWait.Start()
+	if err := s.adm.acquire(ctx.Done(), price); err != nil {
+		queueSpan.End()
+		if errors.Is(err, check.ErrOverloaded) {
+			s.m.rejected.Inc()
+		}
+		return nil, err
+	}
+	queueWait := queueSpan.End()
+	defer s.adm.release(price)
+
+	start := time.Now()
+	solver, _, err := s.solverFor(ctx, ShardKey(cfg.Net, k), cfg.Net, k)
+	if err != nil {
+		return nil, err
+	}
+	res, err := solver.SolveCtx(ctx, cfg.JobTasks)
+	if err != nil {
+		return nil, err
+	}
+	t1 := res.TotalTime
+	solveTime := time.Since(start)
+	s.m.solveTime.ObserveDuration(solveTime)
+	resp := &StreamResponse{
+		Fidelity: FidelitySingleJob,
+		Mode:     cfg.Mode(),
+		K:        cfg.K, JobTasks: cfg.JobTasks,
+		Jobs: cfg.Jobs, Customers: cfg.Customers,
+		Price:        price,
+		Probes:       nums(probes),
+		DegradedFrom: reason,
+		ElapsedMS:    float64(solveTime.Microseconds()) / 1000,
+		Timings: &Timings{
+			QueueMS: float64(queueWait.Microseconds()) / 1000,
+			SolveMS: float64(solveTime.Microseconds()) / 1000,
+		},
+	}
+	if cfg.Mode() == stream.ModeOpen {
+		g := float64(cfg.Jobs - 1)
+		resp.MeanDrain = Num(math.Max(g*cfg.Arrival.Mean(), g*t1) + t1)
+	} else {
+		level := float64(cfg.Customers) * float64(cfg.JobTasks) * t1 / (t1 + cfg.Think.Mean())
+		tasks := make([]Num, len(probes))
+		for i := range tasks {
+			tasks[i] = Num(level)
+		}
+		resp.MeanTasks = tasks
+	}
+	return resp, nil
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"finwl/internal/check"
+	"finwl/internal/stream"
+)
+
+func TestStreamLawSpecDefaults(t *testing.T) {
+	cases := []struct {
+		process string
+		cv2     float64
+	}{
+		{"deterministic", 0.25},
+		{"poisson", 1},
+		{"bursty", 4},
+		{"", 1},
+		{"fit", 1},
+	}
+	for _, tc := range cases {
+		ph, err := (&LawSpec{Process: tc.process, Mean: 2}).buildPH("arrival")
+		if err != nil {
+			t.Fatalf("%q: %v", tc.process, err)
+		}
+		if diff := math.Abs(ph.Mean() - 2); diff > 1e-9 {
+			t.Fatalf("%q: mean %v, want 2", tc.process, ph.Mean())
+		}
+		if diff := math.Abs(ph.CV2() - tc.cv2); diff > 0.01 && tc.cv2 != 0.25 {
+			t.Fatalf("%q: cv2 %v, want %v", tc.process, ph.CV2(), tc.cv2)
+		}
+	}
+	for _, bad := range []*LawSpec{
+		{Process: "weibull", Mean: 1},
+		{Mean: 0},
+		{Mean: -1},
+		{Mean: Num(math.NaN())},
+		{Mean: 1, CV2: -2},
+	} {
+		if _, err := bad.buildPH("arrival"); err == nil {
+			t.Fatalf("law %+v accepted", bad)
+		} else if !errors.Is(err, check.ErrInvalidModel) {
+			t.Fatalf("law %+v: error %v does not match ErrInvalidModel", bad, err)
+		}
+	}
+}
+
+func TestSolveStreamExact(t *testing.T) {
+	s := New(Config{Seed: 1})
+	req := &StreamRequest{
+		Arch: "central", K: 3, JobTasks: 4, Jobs: 2,
+		Arrival: &LawSpec{Process: "poisson", Mean: 5},
+		Probes:  []Num{0, 2, 10},
+	}
+	resp, err := s.SolveStream(context.Background(), req)
+	if err != nil {
+		t.Fatalf("SolveStream: %v", err)
+	}
+	if resp.Fidelity != FidelityExact || resp.Mode != stream.ModeOpen {
+		t.Fatalf("response %+v, want exact open", resp)
+	}
+	if resp.States < 1 || resp.Price < 1 {
+		t.Fatalf("states=%d price=%d", resp.States, resp.Price)
+	}
+	if float64(resp.MeanDrain) <= 0 {
+		t.Fatalf("mean drain %v", resp.MeanDrain)
+	}
+	if len(resp.MeanTasks) != 3 || len(resp.DrainCDF) != 3 {
+		t.Fatalf("probe series lengths %d/%d, want 3", len(resp.MeanTasks), len(resp.DrainCDF))
+	}
+	if math.Abs(float64(resp.MeanTasks[0])-4) > 1e-9 {
+		t.Fatalf("E[J(0)] = %v, want job_tasks", resp.MeanTasks[0])
+	}
+	if st := s.Snapshot(); st.Exact != 1 || st.Degraded != 0 {
+		t.Fatalf("stats %+v, want one exact stream solve", st)
+	}
+}
+
+func TestSolveStreamClosed(t *testing.T) {
+	s := New(Config{Seed: 1})
+	resp, err := s.SolveStream(context.Background(), &StreamRequest{
+		Arch: "central", K: 2, JobTasks: 2, Customers: 2,
+		Think:  &LawSpec{Process: "deterministic", Mean: 3},
+		Probes: []Num{1, 5},
+	})
+	if err != nil {
+		t.Fatalf("SolveStream: %v", err)
+	}
+	if resp.Mode != stream.ModeClosed || resp.DrainCDF != nil || resp.MeanDrain != 0 {
+		t.Fatalf("closed response %+v, want no drain outputs", resp)
+	}
+}
+
+func TestSolveStreamInvalid(t *testing.T) {
+	s := New(Config{Seed: 1})
+	for name, req := range map[string]*StreamRequest{
+		"no job tasks": {Arch: "central", K: 2, Jobs: 2, Arrival: &LawSpec{Mean: 1}},
+		"both modes": {Arch: "central", K: 2, JobTasks: 1, Jobs: 2, Arrival: &LawSpec{Mean: 1},
+			Customers: 2, Think: &LawSpec{Mean: 1}},
+		"neither mode": {Arch: "central", K: 2, JobTasks: 1},
+		"bad law":      {Arch: "central", K: 2, JobTasks: 1, Jobs: 2, Arrival: &LawSpec{Mean: -1}},
+		"bad probe": {Arch: "central", K: 2, JobTasks: 1, Jobs: 2, Arrival: &LawSpec{Mean: 1},
+			Probes: []Num{Num(math.Inf(1))}},
+		"bad arch": {Arch: "ring", K: 2, JobTasks: 1, Jobs: 2, Arrival: &LawSpec{Mean: 1}},
+	} {
+		_, err := s.SolveStream(context.Background(), req)
+		if err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+		if !errors.Is(err, check.ErrInvalidModel) {
+			t.Fatalf("%s: error %v does not match ErrInvalidModel", name, err)
+		}
+		if StatusOf(err) != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", name, StatusOf(err))
+		}
+	}
+}
+
+func TestSolveStreamDegradesToSingleJob(t *testing.T) {
+	// A tiny state cap forces the single-job rung; the response stays
+	// usable and the error is typed degraded.
+	s := New(Config{Seed: 1, StreamMaxStates: 4})
+	resp, err := s.SolveStream(context.Background(), &StreamRequest{
+		Arch: "central", K: 3, JobTasks: 4, Jobs: 3,
+		Arrival: &LawSpec{Process: "bursty", Mean: 4},
+		Probes:  []Num{1},
+	})
+	if err == nil || !errors.Is(err, check.ErrDegraded) {
+		t.Fatalf("error %v, want ErrDegraded", err)
+	}
+	if resp == nil || resp.Fidelity != FidelitySingleJob {
+		t.Fatalf("response %+v, want single-job fidelity", resp)
+	}
+	if float64(resp.MeanDrain) <= 0 {
+		t.Fatalf("degraded mean drain %v", resp.MeanDrain)
+	}
+	if resp.DegradedFrom == "" || !strings.Contains(resp.DegradedFrom, "states") {
+		t.Fatalf("degraded_from %q", resp.DegradedFrom)
+	}
+	if st := s.Snapshot(); st.Degraded != 1 {
+		t.Fatalf("stats %+v, want one degraded response", st)
+	}
+
+	// Closed mode degrades to the cycle-time steady state.
+	resp, err = s.SolveStream(context.Background(), &StreamRequest{
+		Arch: "central", K: 3, JobTasks: 4, Customers: 3,
+		Think:  &LawSpec{Mean: 4},
+		Probes: []Num{1, 2},
+	})
+	if err == nil || !errors.Is(err, check.ErrDegraded) {
+		t.Fatalf("closed degraded error %v", err)
+	}
+	if len(resp.MeanTasks) != 2 || !(float64(resp.MeanTasks[0]) > 0) {
+		t.Fatalf("closed degraded tasks %v", resp.MeanTasks)
+	}
+}
+
+func TestSolveStreamDraining(t *testing.T) {
+	s := New(Config{Seed: 1})
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	_, err := s.SolveStream(context.Background(), &StreamRequest{
+		Arch: "central", K: 2, JobTasks: 1, Jobs: 1, Arrival: &LawSpec{Mean: 1},
+	})
+	if !errors.Is(err, ErrDraining) {
+		t.Fatalf("error %v, want ErrDraining", err)
+	}
+}
+
+func TestStreamHTTPRoundTrip(t *testing.T) {
+	s := New(Config{Seed: 1})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body := `{"arch":"central","k":3,"job_tasks":2,"jobs":2,` +
+		`"arrival":{"process":"poisson","mean":3},"probes":[0,1,5]}`
+	httpResp, err := http.Post(srv.URL+"/stream", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", httpResp.StatusCode)
+	}
+	var resp StreamResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Fidelity != FidelityExact || len(resp.MeanTasks) != 3 {
+		t.Fatalf("wire response %+v", resp)
+	}
+
+	// Unknown fields and malformed bodies answer 400 typed.
+	for _, bad := range []string{
+		`{"arch":"central","k":3,"job_tasks":2,"jobs":2,"arrival":{"mean":3},"bogus":1}`,
+		`{"k":`,
+		`[]`,
+	} {
+		r, err := http.Post(srv.URL+"/stream", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var eb ErrorBody
+		if err := json.NewDecoder(r.Body).Decode(&eb); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest || eb.Code != "invalid_model" {
+			t.Fatalf("body %q: status %d code %q, want 400 invalid_model", bad, r.StatusCode, eb.Code)
+		}
+	}
+}

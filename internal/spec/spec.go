@@ -33,9 +33,10 @@ const (
 
 // Endpoints a class can target.
 const (
-	EndpointSolve = "solve"
-	EndpointBatch = "batch"
-	EndpointJobs  = "jobs"
+	EndpointSolve  = "solve"
+	EndpointBatch  = "batch"
+	EndpointJobs   = "jobs"
+	EndpointStream = "stream"
 )
 
 // DefaultBurstCV2 is the squared coefficient of variation of
@@ -69,14 +70,30 @@ type Class struct {
 	Arrival  Arrival `json:"arrival"`
 	SLO      SLO     `json:"slo"`
 	// Endpoint picks the serving surface: "solve" (default, one
-	// request per arrival), "batch" (synchronous shared-chain batches)
-	// or "jobs" (async batches polled to completion).
+	// request per arrival), "batch" (synchronous shared-chain batches),
+	// "jobs" (async batches polled to completion) or "stream"
+	// (job-stream transient solves).
 	Endpoint string `json:"endpoint,omitempty"`
 	// Batch is the number of jobs per batch/jobs submission (default
-	// 4; ignored for solve).
+	// 4; ignored for solve and stream).
 	Batch int    `json:"batch,omitempty"`
 	Model Model  `json:"model"`
 	N     NRange `json:"n"`
+	// Stream configures the stream endpoint's job-stream scenario; the
+	// class's N range samples the per-job task count.
+	Stream *StreamSpec `json:"stream,omitempty"`
+}
+
+// StreamSpec is the stream-endpoint sub-spec: exactly one of the open
+// (jobs + arrival law) and closed (customers + think law) pairs must
+// be set, mirroring serve.StreamRequest.
+type StreamSpec struct {
+	Jobs      int            `json:"jobs,omitempty"`
+	Arrival   *serve.LawSpec `json:"arrival,omitempty"`
+	Customers int            `json:"customers,omitempty"`
+	Think     *serve.LawSpec `json:"think,omitempty"`
+	// Probes are the E[J(t)] sample times sent with every request.
+	Probes []float64 `json:"probes,omitempty"`
 }
 
 // Arrival selects the inter-arrival process of a class.
@@ -227,8 +244,18 @@ func (c *Class) validate() error {
 		if c.Batch < 0 {
 			return check.Invalid("spec: class %s: batch %d, want >= 1", c.Name, c.Batch)
 		}
+	case EndpointStream:
+		if c.Batch != 0 {
+			return check.Invalid("spec: class %s: batch size only applies to batch/jobs endpoints", c.Name)
+		}
+		if c.Stream == nil {
+			return check.Invalid("spec: class %s: stream endpoint needs a stream sub-spec", c.Name)
+		}
 	default:
-		return check.Invalid("spec: class %s: unknown endpoint %q (want solve, batch or jobs)", c.Name, c.Endpoint)
+		return check.Invalid("spec: class %s: unknown endpoint %q (want solve, batch, jobs or stream)", c.Name, c.Endpoint)
+	}
+	if c.Stream != nil && c.Endpoint != EndpointStream {
+		return check.Invalid("spec: class %s: stream sub-spec only applies to the stream endpoint", c.Name)
 	}
 	if c.N.Min < 1 || c.N.Max < c.N.Min {
 		return check.Invalid("spec: class %s: n range [%d,%d], want 1 <= min <= max", c.Name, c.N.Min, c.N.Max)
@@ -236,7 +263,11 @@ func (c *Class) validate() error {
 	// Compile the template once at the range floor: a spec that
 	// validates must produce requests the server's own validators
 	// accept (modulo N, which only grows the workload, not the model).
-	if _, err := c.Request(c.N.Min).BuildNetwork(); err != nil {
+	if c.Endpoint == EndpointStream {
+		if _, err := c.StreamRequest(c.N.Min).BuildConfig(0); err != nil {
+			return fmt.Errorf("spec: class %s: stream model: %w", c.Name, err)
+		}
+	} else if _, err := c.Request(c.N.Min).BuildNetwork(); err != nil {
 		return fmt.Errorf("spec: class %s: model: %w", c.Name, err)
 	}
 	return nil
@@ -281,6 +312,33 @@ func (c *Class) Request(n int) *serve.Request {
 		N:         n,
 		App:       c.Model.App,
 		CV2:       c.Model.CV2,
+		TimeoutMS: c.SLO.DeadlineMS,
+	}
+}
+
+// StreamRequest instantiates a stream class's template with jobTasks
+// tasks per job. As with Request, the SLO deadline doubles as the
+// server-side request deadline.
+func (c *Class) StreamRequest(jobTasks int) *serve.StreamRequest {
+	s := c.Stream
+	if s == nil {
+		s = &StreamSpec{}
+	}
+	probes := make([]serve.Num, len(s.Probes))
+	for i, p := range s.Probes {
+		probes[i] = serve.Num(p)
+	}
+	return &serve.StreamRequest{
+		Arch:      c.Model.Arch,
+		K:         c.Model.K,
+		App:       c.Model.App,
+		CV2:       c.Model.CV2,
+		JobTasks:  jobTasks,
+		Jobs:      s.Jobs,
+		Arrival:   s.Arrival,
+		Customers: s.Customers,
+		Think:     s.Think,
+		Probes:    probes,
 		TimeoutMS: c.SLO.DeadlineMS,
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"finwl/internal/check"
+	"finwl/internal/serve"
 )
 
 // validYAML is a minimal two-class spec used across the tests.
@@ -118,6 +119,30 @@ func TestParseExampleSpec(t *testing.T) {
 	}
 }
 
+// The committed stream example must stay valid too — it is the README's
+// job-stream walkthrough and exercises both stream modes.
+func TestParseStreamExampleSpec(t *testing.T) {
+	s, err := ParseFile("../../examples/spec-stream.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "stream-demo" || len(s.Classes) != 2 {
+		t.Fatalf("stream example: name %q classes %d", s.Name, len(s.Classes))
+	}
+	var open, closed bool
+	for i := range s.Classes {
+		c := &s.Classes[i]
+		if c.EndpointOrDefault() != EndpointStream || c.Stream == nil {
+			t.Fatalf("stream example class %s: endpoint %q", c.Name, c.EndpointOrDefault())
+		}
+		open = open || c.Stream.Jobs > 0
+		closed = closed || c.Stream.Customers > 0
+	}
+	if !open || !closed {
+		t.Fatalf("stream example: open=%v closed=%v, want both modes", open, closed)
+	}
+}
+
 func TestValidateErrors(t *testing.T) {
 	edit := func(f func(*Spec)) *Spec {
 		s, err := Parse([]byte(validYAML))
@@ -128,25 +153,52 @@ func TestValidateErrors(t *testing.T) {
 		return s
 	}
 	cases := map[string]*Spec{
-		"missing name":      edit(func(s *Spec) { s.Name = "" }),
-		"zero requests":     edit(func(s *Spec) { s.Requests = 0 }),
-		"zero rate":         edit(func(s *Spec) { s.Rate = 0 }),
-		"no classes":        edit(func(s *Spec) { s.Classes = nil }),
-		"duplicate class":   edit(func(s *Spec) { s.Classes[1].Name = "fast" }),
-		"fractions sum":     edit(func(s *Spec) { s.Classes[0].Fraction = 0.5 }),
-		"zero fraction":     edit(func(s *Spec) { s.Classes[0].Fraction = 0 }),
-		"unknown arrival":   edit(func(s *Spec) { s.Classes[0].Arrival.Process = "uniform" }),
-		"cv2 on poisson":    edit(func(s *Spec) { s.Classes[0].Arrival.CV2 = 4 }),
-		"bursty cv2 <= 1":   edit(func(s *Spec) { s.Classes[1].Arrival.CV2 = 0.5 }),
-		"negative deadline": edit(func(s *Spec) { s.Classes[0].SLO.DeadlineMS = -1 }),
-		"target > 1":        edit(func(s *Spec) { s.Classes[0].SLO.Target = 1.5 }),
-		"unknown endpoint":  edit(func(s *Spec) { s.Classes[0].Endpoint = "stream" }),
-		"batch on solve":    edit(func(s *Spec) { s.Classes[0].Batch = 2 }),
-		"negative batch":    edit(func(s *Spec) { s.Classes[1].Batch = -1 }),
-		"n min zero":        edit(func(s *Spec) { s.Classes[0].N.Min = 0 }),
-		"n max < min":       edit(func(s *Spec) { s.Classes[0].N.Max = 1 }),
-		"bad model k":       edit(func(s *Spec) { s.Classes[0].Model.K = 0 }),
-		"bad model arch":    edit(func(s *Spec) { s.Classes[0].Model.Arch = "mesh" }),
+		"missing name":       edit(func(s *Spec) { s.Name = "" }),
+		"zero requests":      edit(func(s *Spec) { s.Requests = 0 }),
+		"zero rate":          edit(func(s *Spec) { s.Rate = 0 }),
+		"no classes":         edit(func(s *Spec) { s.Classes = nil }),
+		"duplicate class":    edit(func(s *Spec) { s.Classes[1].Name = "fast" }),
+		"fractions sum":      edit(func(s *Spec) { s.Classes[0].Fraction = 0.5 }),
+		"zero fraction":      edit(func(s *Spec) { s.Classes[0].Fraction = 0 }),
+		"unknown arrival":    edit(func(s *Spec) { s.Classes[0].Arrival.Process = "uniform" }),
+		"cv2 on poisson":     edit(func(s *Spec) { s.Classes[0].Arrival.CV2 = 4 }),
+		"bursty cv2 <= 1":    edit(func(s *Spec) { s.Classes[1].Arrival.CV2 = 0.5 }),
+		"negative deadline":  edit(func(s *Spec) { s.Classes[0].SLO.DeadlineMS = -1 }),
+		"target > 1":         edit(func(s *Spec) { s.Classes[0].SLO.Target = 1.5 }),
+		"unknown endpoint":   edit(func(s *Spec) { s.Classes[0].Endpoint = "pubsub" }),
+		"stream no sub-spec": edit(func(s *Spec) { s.Classes[0].Endpoint = EndpointStream }),
+		"stream on solve": edit(func(s *Spec) {
+			s.Classes[0].Stream = &StreamSpec{Jobs: 2, Arrival: &serve.LawSpec{Process: "poisson", Mean: 1}}
+		}),
+		"stream batch": edit(func(s *Spec) {
+			s.Classes[0].Endpoint = EndpointStream
+			s.Classes[0].Batch = 2
+			s.Classes[0].Stream = &StreamSpec{Jobs: 2, Arrival: &serve.LawSpec{Process: "poisson", Mean: 1}}
+		}),
+		"stream both modes": edit(func(s *Spec) {
+			s.Classes[0].Endpoint = EndpointStream
+			s.Classes[0].Stream = &StreamSpec{
+				Jobs: 2, Arrival: &serve.LawSpec{Process: "poisson", Mean: 1},
+				Customers: 2, Think: &serve.LawSpec{Process: "poisson", Mean: 1},
+			}
+		}),
+		"stream bad law": edit(func(s *Spec) {
+			s.Classes[0].Endpoint = EndpointStream
+			s.Classes[0].Stream = &StreamSpec{Jobs: 2, Arrival: &serve.LawSpec{Process: "poisson", Mean: -1}}
+		}),
+		"stream bad probe": edit(func(s *Spec) {
+			s.Classes[0].Endpoint = EndpointStream
+			s.Classes[0].Stream = &StreamSpec{
+				Jobs: 2, Arrival: &serve.LawSpec{Process: "poisson", Mean: 1},
+				Probes: []float64{-1},
+			}
+		}),
+		"batch on solve": edit(func(s *Spec) { s.Classes[0].Batch = 2 }),
+		"negative batch": edit(func(s *Spec) { s.Classes[1].Batch = -1 }),
+		"n min zero":     edit(func(s *Spec) { s.Classes[0].N.Min = 0 }),
+		"n max < min":    edit(func(s *Spec) { s.Classes[0].N.Max = 1 }),
+		"bad model k":    edit(func(s *Spec) { s.Classes[0].Model.K = 0 }),
+		"bad model arch": edit(func(s *Spec) { s.Classes[0].Model.Arch = "mesh" }),
 	}
 	for name, s := range cases {
 		if err := s.Validate(); !errors.Is(err, check.ErrInvalidModel) {

@@ -1,0 +1,34 @@
+package stream
+
+import (
+	"context"
+	"testing"
+
+	"finwl/internal/phase"
+)
+
+// BenchmarkPerfStreamSolve measures one exact open-mode job-stream
+// solve end to end — augmented-graph build, block topological order,
+// and the per-block uniformization passes — on a mid-size chain. The
+// gate holds both ns/op (relative, vs the committed snapshot) and
+// allocs/op (hard STREAM_ALLOC_BUDGET in scripts/bench_diff.sh): the
+// solver works per (g,d) block and must not allocate per jump.
+func BenchmarkPerfStreamSolve(b *testing.B) {
+	cfg := Config{
+		Net: testNet(), K: 3, JobTasks: 4,
+		Jobs: 3, Arrival: phase.MustHyperExpFit(1.2, 4),
+	}
+	probes := []float64{0.5, 2, 8}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Solve(ctx, cfg, probes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.MeanDrain <= 0 {
+			b.Fatalf("mean drain %v", res.MeanDrain)
+		}
+	}
+}

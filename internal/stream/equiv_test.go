@@ -1,0 +1,112 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"finwl/internal/phase"
+	"finwl/internal/sim"
+)
+
+// equivReps is the per-case replication count for the sim-equivalence
+// matrix: short by default so tier-1 stays fast, raised via
+// STREAM_EQUIV_REPS by the nightly campaign.
+func equivReps() int {
+	if s := os.Getenv("STREAM_EQUIV_REPS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n >= 2 {
+			return n
+		}
+	}
+	return 600
+}
+
+// TestStreamSimEquivalence is the acceptance matrix from the issue:
+// three arrival/think laws (deterministic-ish cv² = 0.25, Poisson
+// cv² = 1, bursty cv² = 4) crossed with open and closed loop mode.
+// The solver's transient mean tasks-in-system (and, open mode, mean
+// drain time and drain CDF) must sit within 3 standard errors of the
+// simulator, which samples from the very same phase-type objects.
+// Seeds are pinned, so a pass is reproducible, not a coin flip.
+func TestStreamSimEquivalence(t *testing.T) {
+	reps := equivReps()
+	probes := []float64{0.5, 1.5, 3, 6, 12}
+	laws := []struct {
+		name string
+		cv2  float64
+	}{
+		{"deterministic", 0.25},
+		{"poisson", 1},
+		{"bursty", 4},
+	}
+	for li, law := range laws {
+		law := law
+		ph := phase.MustFitCV2(1.2, law.cv2)
+		for _, mode := range []string{ModeOpen, ModeClosed} {
+			mode := mode
+			seed := int64(1000*li + 7)
+			t.Run(fmt.Sprintf("%s/%s", law.name, mode), func(t *testing.T) {
+				t.Parallel()
+				cfg := Config{Net: testNet(), K: 3, JobTasks: 2}
+				if mode == ModeOpen {
+					cfg.Jobs = 3
+					cfg.Arrival = ph
+				} else {
+					cfg.Customers = 3
+					cfg.Think = ph
+				}
+				res, err := Solve(context.Background(), cfg, probes)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, err := sim.ReplicateStream(sim.StreamConfig{
+					Net: cfg.Net, K: cfg.K, JobTasks: cfg.JobTasks,
+					Jobs: cfg.Jobs, Arrival: cfg.Arrival,
+					Customers: cfg.Customers, Think: cfg.Think,
+					Probes: probes, Seed: seed, MaxEvents: 1 << 20,
+				}, reps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, p := range probes {
+					// Floor the half-width: near-deterministic probes can
+					// report a ~zero SE while the solver carries honest
+					// series-truncation round-off.
+					tol := 3*ref.TasksSE[i] + 1e-6
+					if diff := math.Abs(res.MeanTasks[i] - ref.MeanTasks[i]); diff > tol {
+						t.Errorf("E[J(%v)]: solver %.5f vs sim %.5f ± %.5f (diff %.5f > 3σ %.5f)",
+							p, res.MeanTasks[i], ref.MeanTasks[i], ref.TasksSE[i], diff, tol)
+					}
+				}
+				if mode == ModeOpen {
+					tol := 3*ref.DrainSE + 1e-6
+					if diff := math.Abs(res.MeanDrain - ref.MeanDrain); diff > tol {
+						t.Errorf("mean drain: solver %.5f vs sim %.5f ± %.5f (diff %.5f > 3σ %.5f)",
+							res.MeanDrain, ref.MeanDrain, ref.DrainSE, diff, tol)
+					}
+					for i, p := range probes {
+						var below int
+						for _, d := range ref.Drains {
+							if d <= p {
+								below++
+							}
+						}
+						n := float64(len(ref.Drains))
+						emp := float64(below) / n
+						// Rule-of-three floor: zero (or all) successes make
+						// the plug-in binomial SE degenerate, yet only bound
+						// the true probability by about 3/n.
+						tol := 3*math.Sqrt(emp*(1-emp)/n) + 3/n + 1e-6
+						if diff := math.Abs(res.DrainCDF[i] - emp); diff > tol {
+							t.Errorf("P(T<=%v): solver %.5f vs sim %.5f (diff %.5f > 3σ %.5f)",
+								p, res.DrainCDF[i], emp, diff, tol)
+						}
+					}
+				}
+			})
+		}
+	}
+}

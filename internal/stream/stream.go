@@ -1,0 +1,340 @@
+// Package stream solves job-stream workloads: finite workloads of
+// JobTasks tasks each that keep arriving while earlier ones drain,
+// the generalization of the paper's single N-task job that the
+// finite customer-pool literature (Boxma/Kella/Mandjes) and the
+// MAP-driven transient queue work (Mandjes/Rutgers/Scheinhardt)
+// point at.
+//
+// Two modes share one level-augmented CTMC machinery:
+//
+//   - Open: a fixed number of Jobs arrive by a phase-type renewal
+//     process (the first at t = 0) while the network drains under the
+//     usual admission cap K. The chain is absorbing — the drain time
+//     (last task leaves after the last job arrived) has an exact mean
+//     via block back-substitution and a distribution via
+//     uniformization.
+//
+//   - Closed: a finite pool of Customers cycles forever — think for a
+//     phase-type time, submit a job of JobTasks tasks, wait for it to
+//     drain, rejoin the think pool. Job completion is attributed
+//     FIFO: every departure is charged to the oldest outstanding job,
+//     which keeps the chain exactly Markov with only (jobs in system,
+//     remaining-of-oldest) bookkeeping — the same modeling move
+//     internal/multiclass makes with random-order-of-service. The
+//     chain is recurrent; the deliverable is the transient mean
+//     tasks-in-system E[J(t)].
+//
+// Both modes ride the existing per-level matrices (network.Chain):
+// the augmented state is (stream bookkeeping, arrival/think phases,
+// network state at level min(j, K)), where j counts every task in the
+// system including those queued for admission. The state space is
+// priced through statespace.LevelSize before anything is allocated,
+// so oversized configurations fail with a typed error instead of an
+// allocation storm.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"finwl/internal/check"
+	"finwl/internal/network"
+	"finwl/internal/phase"
+	"finwl/internal/statespace"
+)
+
+// ErrTooLarge marks a configuration whose augmented state space
+// exceeds MaxStates. It additionally matches check.ErrInvalidModel, so
+// existing error mapping keeps working; serving layers branch on it to
+// degrade to a cheaper approximation instead of rejecting outright.
+var ErrTooLarge = errors.New("stream state space too large")
+
+// Config describes one job-stream scenario. Exactly one of the open
+// (Jobs + Arrival) and closed (Customers + Think) field pairs must be
+// set.
+type Config struct {
+	Net      *network.Network
+	K        int // admission cap: max tasks concurrently inside the network
+	JobTasks int // tasks per job
+
+	// Open mode: Jobs finite workloads arrive by a phase-type renewal
+	// process with inter-arrival law Arrival; the first job arrives at
+	// t = 0.
+	Jobs    int
+	Arrival *phase.PH
+
+	// Closed mode: Customers cycle submit → drain → think forever,
+	// rejoining the pool with think-time law Think. At t = 0 every
+	// customer is thinking.
+	Customers int
+	Think     *phase.PH
+
+	// MaxStates bounds the augmented state space (0 = DefaultMaxStates).
+	MaxStates int64
+}
+
+// DefaultMaxStates is the default cap on the augmented state space.
+// The drain solve densifies one block at a time, never the whole
+// space, so the bound is about total edge storage and uniformization
+// step cost rather than a single dense matrix.
+const DefaultMaxStates = 1 << 20
+
+// maxUniformSteps bounds one uniformization series: past this many
+// jumps the probe horizon is so far beyond the chain's mixing scale
+// that the answer is indistinguishable from the limit anyway, and the
+// series is cut off with a typed convergence error instead.
+const maxUniformSteps = 4 << 20
+
+// ModeOpen and ModeClosed are the Result.Mode values.
+const (
+	ModeOpen   = "open"
+	ModeClosed = "closed"
+)
+
+// Result is the transient solution of one job-stream scenario.
+type Result struct {
+	Mode   string
+	States int   // augmented transient states
+	Price  int64 // admission price (see Price)
+
+	// Probes echoes the probe times; MeanTasks[i] is E[J(Probes[i])],
+	// the expected number of tasks in the system (admitted + queued)
+	// at that time.
+	Probes    []float64
+	MeanTasks []float64
+
+	// Open mode only: the exact mean drain time (last departure) and
+	// the drain-time CDF P(T ≤ Probes[i]).
+	MeanDrain float64
+	DrainCDF  []float64
+}
+
+// Mode returns ModeOpen or ModeClosed for a validated config.
+func (c *Config) Mode() string {
+	if c.Jobs > 0 || c.Arrival != nil {
+		return ModeOpen
+	}
+	return ModeClosed
+}
+
+// totalTasks is the largest possible number of in-system tasks.
+func (c *Config) totalTasks() int {
+	if c.Mode() == ModeOpen {
+		return c.Jobs * c.JobTasks
+	}
+	return c.Customers * c.JobTasks
+}
+
+// maxLevel is the highest network population level the scenario can
+// reach: the admission cap, or fewer when the whole stream holds
+// fewer tasks.
+func (c *Config) maxLevel() int {
+	k := c.K
+	if t := c.totalTasks(); t < k {
+		k = t
+	}
+	return k
+}
+
+// Validate checks the structural invariants of the scenario. Every
+// failure matches check.ErrInvalidModel.
+func (c *Config) Validate() error {
+	if c == nil {
+		return check.Invalid("stream: nil config")
+	}
+	if c.Net == nil {
+		return check.Invalid("stream: nil network")
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	if c.K < 1 {
+		return check.Invalid("stream: admission cap K=%d, want >= 1", c.K)
+	}
+	if c.JobTasks < 1 {
+		return check.Invalid("stream: JobTasks=%d, want >= 1", c.JobTasks)
+	}
+	open := c.Jobs > 0 || c.Arrival != nil
+	closed := c.Customers > 0 || c.Think != nil
+	if open == closed {
+		return check.Invalid("stream: configure exactly one of open mode (Jobs + Arrival) and closed mode (Customers + Think)")
+	}
+	if open {
+		if c.Jobs < 1 {
+			return check.Invalid("stream: open mode needs Jobs >= 1, got %d", c.Jobs)
+		}
+		if c.Arrival == nil {
+			return check.Invalid("stream: open mode needs an Arrival law")
+		}
+		if err := c.Arrival.Validate(); err != nil {
+			return err
+		}
+	} else {
+		if c.Customers < 1 {
+			return check.Invalid("stream: closed mode needs Customers >= 1, got %d", c.Customers)
+		}
+		if c.Think == nil {
+			return check.Invalid("stream: closed mode needs a Think law")
+		}
+		if err := c.Think.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.MaxStates < 0 {
+		return check.Invalid("stream: MaxStates=%d, want >= 0", c.MaxStates)
+	}
+	return nil
+}
+
+// Price sizes the augmented chain without enumerating it: the number
+// of transient states and an admission price in the same
+// dense-entry units as statespace.ChainPrice — one n² + n term per
+// (bookkeeping) block for the drain solves and edge storage, plus the
+// level-chain construction itself. A configuration whose state count
+// exceeds MaxStates fails with a typed ErrInvalidModel; callers that
+// only want the price for admission accounting still receive it.
+func Price(cfg Config) (states, price int64, err error) {
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, err
+	}
+	space := cfg.Net.Space()
+	maxK := cfg.maxLevel()
+	sizes := make([]float64, maxK+1)
+	for k := 0; k <= maxK; k++ {
+		sizes[k] = float64(space.LevelSize(k))
+	}
+	var s, p float64
+	cfg.forEachBlockSize(sizes, func(n float64) {
+		s += n
+		p += n*n + n
+	})
+	p += float64(space.ChainPrice(maxK))
+	states = clampPrice(s)
+	price = clampPrice(p)
+	max := cfg.MaxStates
+	if max == 0 {
+		max = DefaultMaxStates
+	}
+	if states > max {
+		return states, price, fmt.Errorf(
+			"stream: %d augmented states (limit %d) — lower Jobs/Customers, JobTasks or K: %w: %w",
+			states, max, ErrTooLarge, check.ErrInvalidModel)
+	}
+	return states, price, nil
+}
+
+// forEachBlockSize visits the state count of every bookkeeping block,
+// mirroring the enumeration in buildOpen/buildClosed without
+// allocating any of it.
+func (c *Config) forEachBlockSize(sizes []float64, visit func(n float64)) {
+	b := c.JobTasks
+	level := func(j int) float64 {
+		k := j
+		if k > len(sizes)-1 {
+			k = len(sizes) - 1
+		}
+		return sizes[k]
+	}
+	if c.Mode() == ModeOpen {
+		g0, ph := 1, float64(c.Arrival.Dim())
+		for g := g0; g <= c.Jobs; g++ {
+			phDim := ph
+			if g == c.Jobs {
+				phDim = 1
+			}
+			for d := 0; d <= g*b; d++ {
+				if g == c.Jobs && d == g*b {
+					continue // the absorbing drained state
+				}
+				visit(phDim * level(g*b-d))
+			}
+		}
+		return
+	}
+	at := c.Think.Dim()
+	visit(float64(statespace.Compositions(at, c.Customers))) // all thinking
+	for m := 1; m <= c.Customers; m++ {
+		comp := float64(statespace.Compositions(at, c.Customers-m))
+		for r := 1; r <= b; r++ {
+			visit(comp * level((m-1)*b+r))
+		}
+	}
+}
+
+// clampPrice converts a float64 size estimate to int64, saturating at
+// statespace.MaxPrice like the other admission prices.
+func clampPrice(v float64) int64 {
+	if v >= float64(statespace.MaxPrice) {
+		return statespace.MaxPrice
+	}
+	return int64(v)
+}
+
+// Solve computes the transient solution of the scenario: E[J(t)] at
+// every probe time, and in open mode the exact mean drain time plus
+// the drain-time CDF at the probes. Probe times must be finite and
+// non-negative.
+func Solve(ctx context.Context, cfg Config, probes []float64) (*Result, error) {
+	states, price, err := Price(cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i, t := range probes {
+		if err := check.Finite("probe time", t); err != nil {
+			return nil, err
+		}
+		if t < 0 {
+			return nil, check.Invalid("stream: probe %d time %v, want >= 0", i, t)
+		}
+	}
+	if err := check.Canceled(ctx); err != nil {
+		return nil, err
+	}
+	chain, err := network.NewChainCtx(ctx, cfg.Net, cfg.maxLevel())
+	if err != nil {
+		return nil, err
+	}
+	var g *graph
+	if cfg.Mode() == ModeOpen {
+		g = buildOpen(&cfg, chain)
+	} else {
+		g = buildClosed(&cfg, chain)
+	}
+	if int64(g.total) != states {
+		// The planner and the builder must agree: a mismatch means the
+		// price was wrong and the admission guard meaningless.
+		return nil, check.Invalid("stream: planned %d states but built %d (internal error)", states, g.total)
+	}
+	res := &Result{
+		Mode:   cfg.Mode(),
+		States: g.total,
+		Price:  price,
+		Probes: append([]float64(nil), probes...),
+	}
+	if len(probes) > 0 {
+		tasks, surv, err := g.transientAt(ctx, probes)
+		if err != nil {
+			return nil, err
+		}
+		res.MeanTasks = tasks
+		if g.absorbing {
+			res.DrainCDF = make([]float64, len(surv))
+			for i, s := range surv {
+				cdf := 1 - s
+				res.DrainCDF[i] = math.Min(1, math.Max(0, cdf))
+			}
+		}
+	} else {
+		res.MeanTasks = []float64{}
+	}
+	if g.absorbing {
+		mean, err := g.meanAbsorption(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res.MeanDrain = mean
+	}
+	return res, nil
+}

@@ -41,6 +41,10 @@ type DriveOptions struct {
 	// PollInterval is the async-jobs completion poll period (default
 	// 25ms).
 	PollInterval time.Duration
+	// TimelineBuckets is the number of equal time slices the run is
+	// divided into for each class's latency-over-time timeline
+	// (default 8; <0 disables the timeline).
+	TimelineBuckets int
 }
 
 func (o DriveOptions) withDefaults() DriveOptions {
@@ -58,6 +62,9 @@ func (o DriveOptions) withDefaults() DriveOptions {
 	}
 	if o.PollInterval <= 0 {
 		o.PollInterval = 25 * time.Millisecond
+	}
+	if o.TimelineBuckets == 0 {
+		o.TimelineBuckets = 8
 	}
 	return o
 }
@@ -118,6 +125,23 @@ type ClassReport struct {
 	P95MS  float64 `json:"p95_ms"`
 	P99MS  float64 `json:"p99_ms"`
 	MeanMS float64 `json:"mean_ms"`
+
+	// Timeline slices the run into equal time buckets and reports how
+	// this class's latency evolved — the view that separates "slow all
+	// along" from "degraded under the burst".
+	Timeline []TimelineBucket `json:"timeline,omitempty"`
+}
+
+// TimelineBucket is one slice of a class's latency-over-time timeline.
+// A completion lands in the bucket covering the moment its outcome was
+// recorded.
+type TimelineBucket struct {
+	StartMS   float64 `json:"start_ms"`
+	EndMS     float64 `json:"end_ms"`
+	Completed int     `json:"completed"`
+	OK        int     `json:"ok"`
+	MeanMS    float64 `json:"mean_ms"`
+	MaxMS     float64 `json:"max_ms"`
 }
 
 // latencyBounds spans 0.5ms to ~2000s in ~17% steps — fine enough
@@ -126,7 +150,8 @@ var latencyBounds = obs.ExpBounds(500_000, 1.17, 96)
 
 // collector aggregates one class's outcomes.
 type collector struct {
-	info ClassInfo
+	info  ClassInfo
+	start time.Time // drive start, anchoring the timeline
 
 	mu             sync.Mutex
 	sent           int
@@ -136,18 +161,28 @@ type collector struct {
 	withinDeadline int
 	errors         map[string]int
 	untyped5xx     int
+	samples        []latSample
 
 	lat *obs.Histogram
+}
+
+// latSample is one completion on the class's timeline.
+type latSample struct {
+	atNS  int64 // since drive start, at outcome time
+	latNS int64
+	ok    bool
 }
 
 // outcome records one request's fate. latency is the submission's
 // wall time (each request of a batch shares it).
 func (c *collector) outcome(latency time.Duration, ok, degraded, untyped bool, code string) {
 	c.lat.ObserveDuration(latency)
+	at := time.Since(c.start)
 	deadline := time.Duration(c.info.DeadlineMS) * time.Millisecond
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.completed++
+	c.samples = append(c.samples, latSample{atNS: int64(at), latNS: int64(latency), ok: ok})
 	if ok {
 		c.ok++
 		if degraded {
@@ -205,6 +240,9 @@ func Drive(ctx context.Context, tr *Trace, target string, opts DriveOptions) (*R
 	sem := make(chan struct{}, opts.MaxInFlight)
 	var wg sync.WaitGroup
 	start := time.Now()
+	for _, coll := range colls {
+		coll.start = start
+	}
 	var maxLag maxTracker
 loop:
 	for _, ev := range tr.Events {
@@ -229,8 +267,12 @@ loop:
 			maxLag.max(int64(lag))
 		}
 		coll := colls[ev.Class]
+		n := len(ev.Requests)
+		if ev.Stream != nil {
+			n++
+		}
 		coll.mu.Lock()
-		coll.sent += len(ev.Requests)
+		coll.sent += n
 		coll.mu.Unlock()
 		wg.Add(1)
 		go func(ev *Event) {
@@ -257,7 +299,7 @@ loop:
 		MaxPacingLagMS: float64(maxLag.load()) / 1e6,
 	}
 	for _, ci := range tr.Header.Classes {
-		cr := colls[ci.Name].report()
+		cr := colls[ci.Name].report(elapsed, opts.TimelineBuckets)
 		rep.Completed += cr.Completed
 		rep.Untyped5xx += cr.Untyped5xx
 		if !cr.Met {
@@ -268,8 +310,9 @@ loop:
 	return rep, nil
 }
 
-// report freezes a collector into its report slice.
-func (c *collector) report() ClassReport {
+// report freezes a collector into its report slice; elapsed and
+// buckets shape the timeline.
+func (c *collector) report(elapsed time.Duration, buckets int) ClassReport {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	snap := c.lat.Snapshot()
@@ -304,7 +347,49 @@ func (c *collector) report() ClassReport {
 		cr.Attainment = float64(c.withinDeadline) / float64(c.info.Requests)
 	}
 	cr.Met = cr.Attainment >= c.info.Target
+	cr.Timeline = timeline(c.samples, elapsed, buckets)
 	return cr
+}
+
+// timeline folds the class's completion samples into `buckets` equal
+// slices of [0, elapsed]. Every completion lands in exactly one bucket
+// (the final bucket's end is inclusive), so bucket counts sum to the
+// class's completed count.
+func timeline(samples []latSample, elapsed time.Duration, buckets int) []TimelineBucket {
+	if buckets < 1 || elapsed <= 0 || len(samples) == 0 {
+		return nil
+	}
+	width := float64(elapsed) / float64(buckets)
+	out := make([]TimelineBucket, buckets)
+	sums := make([]float64, buckets)
+	for i := range out {
+		out[i].StartMS = float64(i) * width / 1e6
+		out[i].EndMS = float64(i+1) * width / 1e6
+	}
+	for _, s := range samples {
+		b := int(float64(s.atNS) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= buckets {
+			b = buckets - 1
+		}
+		out[b].Completed++
+		if s.ok {
+			out[b].OK++
+		}
+		ms := float64(s.latNS) / 1e6
+		sums[b] += ms
+		if ms > out[b].MaxMS {
+			out[b].MaxMS = ms
+		}
+	}
+	for i := range out {
+		if out[i].Completed > 0 {
+			out[i].MeanMS = sums[i] / float64(out[i].Completed)
+		}
+	}
+	return out
 }
 
 // driver is the per-run firing state.
@@ -332,6 +417,16 @@ func (d *driver) fire(ctx context.Context, ev *Event, coll *collector) {
 		}
 	case "jobs":
 		d.fireJobs(ctx, ev, coll, start)
+	case "stream":
+		var resp serve.StreamResponse
+		status, body, err := d.post(ctx, "/stream", ev.Stream, &resp)
+		latency := time.Since(start)
+		if err != nil || status != http.StatusOK {
+			d.failAll(coll, 1, latency, status, body, err)
+			return
+		}
+		degraded := resp.Fidelity == serve.FidelitySingleJob || resp.DegradedFrom != ""
+		coll.outcome(latency, true, degraded, false, "")
 	default: // solve
 		for _, req := range ev.Requests {
 			var resp serve.Response

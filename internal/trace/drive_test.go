@@ -21,11 +21,11 @@ import (
 const driveSpec = `
 name: drive-test
 seed: 11
-requests: 16
+requests: 20
 rate: 100
 classes:
   - name: points
-    fraction: 0.5
+    fraction: 0.4
     arrival:
       process: poisson
     slo:
@@ -36,8 +36,27 @@ classes:
     n:
       min: 4
       max: 8
+  - name: streams
+    fraction: 0.2
+    arrival:
+      process: poisson
+    slo:
+      deadline_ms: 30000
+      target: 0.5
+    endpoint: stream
+    model:
+      k: 2
+    n:
+      min: 2
+      max: 3
+    stream:
+      jobs: 2
+      arrival:
+        process: poisson
+        mean: 2
+      probes: [0.5, 2]
   - name: batches
-    fraction: 0.25
+    fraction: 0.2
     arrival:
       process: deterministic
     slo:
@@ -50,7 +69,7 @@ classes:
       min: 4
       max: 6
   - name: async
-    fraction: 0.25
+    fraction: 0.2
     arrival:
       process: deterministic
     slo:
@@ -123,6 +142,29 @@ func TestDriveAgainstServer(t *testing.T) {
 		if cr.P50MS <= 0 || cr.P95MS < cr.P50MS || cr.P99MS < cr.P95MS {
 			t.Fatalf("class %s: quantiles out of order p50 %v p95 %v p99 %v",
 				cr.Class, cr.P50MS, cr.P95MS, cr.P99MS)
+		}
+		// The latency timeline must account for every completion of the
+		// class across contiguous buckets spanning the run.
+		if len(cr.Timeline) == 0 {
+			t.Fatalf("class %s: no timeline", cr.Class)
+		}
+		bucketed, okSum := 0, 0
+		for b, tb := range cr.Timeline {
+			bucketed += tb.Completed
+			okSum += tb.OK
+			if tb.EndMS <= tb.StartMS {
+				t.Fatalf("class %s: bucket %d spans [%v,%v]", cr.Class, b, tb.StartMS, tb.EndMS)
+			}
+			if b > 0 && cr.Timeline[b-1].EndMS != tb.StartMS {
+				t.Fatalf("class %s: bucket %d not contiguous", cr.Class, b)
+			}
+			if tb.Completed > 0 && (tb.MeanMS <= 0 || tb.MaxMS < tb.MeanMS) {
+				t.Fatalf("class %s: bucket %d mean %v max %v", cr.Class, b, tb.MeanMS, tb.MaxMS)
+			}
+		}
+		if bucketed != cr.Completed || okSum != cr.OK {
+			t.Fatalf("class %s: timeline holds %d/%d completions, class has %d/%d",
+				cr.Class, bucketed, okSum, cr.Completed, cr.OK)
 		}
 	}
 	var sb bytes.Buffer

@@ -51,14 +51,18 @@ type ClassInfo struct {
 	Target     float64 `json:"target"`
 }
 
-// Event is one arrival: a single request (solve) or one submission of
-// several (batch, jobs), due AtMS milliseconds after the drive starts.
+// Event is one arrival: a single request (solve), one submission of
+// several (batch, jobs), or one job-stream scenario (stream), due AtMS
+// milliseconds after the drive starts. Exactly one of Requests and
+// Stream is set; Stream is omitempty, so pre-stream traces re-encode
+// byte-identically.
 type Event struct {
-	Seq      int              `json:"seq"`
-	Class    string           `json:"class"`
-	AtMS     float64          `json:"at_ms"`
-	Endpoint string           `json:"endpoint"`
-	Requests []*serve.Request `json:"requests"`
+	Seq      int                  `json:"seq"`
+	Class    string               `json:"class"`
+	AtMS     float64              `json:"at_ms"`
+	Endpoint string               `json:"endpoint"`
+	Requests []*serve.Request     `json:"requests,omitempty"`
+	Stream   *serve.StreamRequest `json:"stream,omitempty"`
 }
 
 // Trace is a fully expanded workload: the header plus the
@@ -178,26 +182,38 @@ func expandClass(s *spec.Spec, c *spec.Class, idx, count int) ([]*Event, error) 
 		}
 		remaining -= jobs
 		t += gap()
-		reqs := make([]*serve.Request, jobs)
-		for j := range reqs {
-			n := c.N.Min + rng.Intn(c.N.Max-c.N.Min+1)
-			reqs[j] = c.Request(n)
-		}
-		events = append(events, &Event{
+		ev := &Event{
 			Class:    c.Name,
 			AtMS:     t,
 			Endpoint: c.EndpointOrDefault(),
-			Requests: reqs,
-		})
+		}
+		if c.Endpoint == spec.EndpointStream {
+			// One stream scenario per arrival; the N range samples the
+			// per-job task count.
+			n := c.N.Min + rng.Intn(c.N.Max-c.N.Min+1)
+			ev.Stream = c.StreamRequest(n)
+		} else {
+			reqs := make([]*serve.Request, jobs)
+			for j := range reqs {
+				n := c.N.Min + rng.Intn(c.N.Max-c.N.Min+1)
+				reqs[j] = c.Request(n)
+			}
+			ev.Requests = reqs
+		}
+		events = append(events, ev)
 	}
 	return events, nil
 }
 
-// RequestCount sums the requests across all events.
+// RequestCount sums the requests across all events; a stream event
+// counts as one request.
 func (tr *Trace) RequestCount() int {
 	n := 0
 	for _, ev := range tr.Events {
 		n += len(ev.Requests)
+		if ev.Stream != nil {
+			n++
+		}
 	}
 	return n
 }
@@ -283,8 +299,11 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 		if !classes[ev.Class] {
 			return nil, check.Invalid("trace: line %d: unknown class %q", line, ev.Class)
 		}
-		if len(ev.Requests) == 0 {
+		if len(ev.Requests) == 0 && ev.Stream == nil {
 			return nil, check.Invalid("trace: line %d: event with no requests", line)
+		}
+		if len(ev.Requests) > 0 && ev.Stream != nil {
+			return nil, check.Invalid("trace: line %d: event with both requests and a stream payload", line)
 		}
 		prev = ev.AtMS
 		tr.Events = append(tr.Events, ev)

@@ -7,7 +7,7 @@
 # BENCHTIME overrides the per-benchmark budget (default 2s).
 # BENCHCOUNT overrides the repetition count (default 3): the whole
 # harness runs BENCHCOUNT times and the snapshot records each
-# benchmark's *minimum* ns/op (with that run's bytes/allocs).
+# benchmark's *minimum* ns/op and *maximum* bytes/allocs per op.
 # Benchmark noise on shared hosts is one-sided — contention and
 # frequency throttling only ever slow a run down — so min-of-N
 # converges on the machine's true speed. The repetitions are whole
@@ -29,7 +29,8 @@ trap 'rm -f "$tmp"' EXIT
 for pass in $(seq "$benchcount"); do
     echo "== bench pass $pass/$benchcount =="
     go test -run '^$' -bench 'Perf' -benchmem -benchtime "$benchtime" \
-        ./internal/matrix ./internal/core ./internal/obs ./internal/serve ./internal/trace . | tee -a "$tmp"
+        ./internal/matrix ./internal/core ./internal/obs ./internal/serve \
+        ./internal/stream ./internal/trace . | tee -a "$tmp"
 done
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
@@ -49,12 +50,20 @@ BEGIN {
         if ($(i+1) == "B/op") bop = $i
         if ($(i+1) == "allocs/op") allocs = $i
     }
-    # Keep the fastest of the -count repetitions (bytes/allocs taken
-    # from the same run for coherence; they are deterministic anyway).
+    # Keep the fastest ns/op of the -count repetitions, but the
+    # *maximum* bytes/allocs seen in any pass: time noise is one-sided
+    # slow so min converges on true speed, while allocations on the
+    # amortized paths (interval journal flushes, pool/map growth) vary
+    # with the iteration count b.N, so the worst pass is the stable
+    # conservative baseline for the alloc gate. Alloc-free benchmarks
+    # stay pinned at 0 either way.
     if (!(name in min_ns) || nsop + 0 < min_ns[name] + 0) {
         min_ns[name] = nsop; min_it[name] = iters
-        min_b[name] = bop; min_a[name] = allocs
     }
+    if (!(name in max_b) || (bop != "null" && (max_b[name] == "null" || bop + 0 > max_b[name] + 0)))
+        max_b[name] = bop
+    if (!(name in max_a) || (allocs != "null" && (max_a[name] == "null" || allocs + 0 > max_a[name] + 0)))
+        max_a[name] = allocs
     if (!(name in seen)) { seen[name] = 1; order[++n] = name }
 }
 END {
@@ -62,7 +71,7 @@ END {
         name = order[i]
         if (i > 1) printf ",\n"
         printf "    {\"name\": \"%s\", \"iters\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-            name, min_it[name], min_ns[name], min_b[name], min_a[name]
+            name, min_it[name], min_ns[name], max_b[name], max_a[name]
     }
     printf "\n  ],\n  \"cpu\": \"%s\"\n}\n", cpu
 }' "$tmp" > "$out"

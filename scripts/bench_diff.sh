@@ -21,7 +21,10 @@
 # terms, baseline or not. BenchmarkPerfReplayDrive* carries its own
 # hard budget (REPLAY_ALLOC_BUDGET, default 15000 allocs/op for a
 # 64-request drive): the load driver must stay cheap enough that its
-# own overhead never distorts the latencies it reports. Benchmarks
+# own overhead never distorts the latencies it reports.
+# BenchmarkPerfStreamSolve* carries STREAM_ALLOC_BUDGET (default 1200
+# allocs/op for one exact open-mode solve): the job-stream solver
+# allocates per (g,d) block, never per uniformization jump. Benchmarks
 # outside the BenchmarkPerf* harness are advisory: drift is reported
 # but never fails the gate (they have no pinned snapshot discipline).
 # Benchmarks present on only one side are reported but never fail the
@@ -41,10 +44,11 @@ ns_tol="${NS_TOL_PCT:-25}"
 alloc_tol="${ALLOC_TOL_PCT:-25}"
 newsolver_budget="${NEWSOLVER_ALLOC_BUDGET:-1500}"
 replay_budget="${REPLAY_ALLOC_BUDGET:-15000}"
+stream_budget="${STREAM_ALLOC_BUDGET:-1200}"
 
 compare() { # baseline.json fresh.json
     awk -v ns_tol="$ns_tol" -v alloc_tol="$alloc_tol" -v ns_budget="$newsolver_budget" \
-        -v replay_budget="$replay_budget" '
+        -v replay_budget="$replay_budget" -v stream_budget="$stream_budget" '
     function parse(line) {
         match(line, /"name": "[^"]*"/)
         name = substr(line, RSTART + 9, RLENGTH - 10)
@@ -75,6 +79,12 @@ compare() { # baseline.json fresh.json
         # allocations are an absolute budget, not just a relative drift.
         if (name ~ /^BenchmarkPerfReplayDrive/ && allocs != "null" && allocs + 0 > replay_budget + 0) {
             printf "REGRESSION %-28s allocs/op %s exceeds hard budget %s (REPLAY_ALLOC_BUDGET)\n", name, allocs, replay_budget
+            bad = 1
+        }
+        # And for the job-stream solver: one exact solve must stay
+        # within its absolute allocation budget.
+        if (name ~ /^BenchmarkPerfStreamSolve/ && allocs != "null" && allocs + 0 > stream_budget + 0) {
+            printf "REGRESSION %-28s allocs/op %s exceeds hard budget %s (STREAM_ALLOC_BUDGET)\n", name, allocs, stream_budget
             bad = 1
         }
         if (!(name in base_ns)) {
@@ -226,6 +236,30 @@ EOF
         return 1
     fi
     replay_budget="$saved_replay"
+
+    # The stream-solver hard budget follows the same contract: over
+    # budget fails even against an equally bloated baseline, within
+    # budget passes.
+    local saved_stream="$stream_budget"
+    stream_budget=1200
+    cat > "$dir/stream_base.json" <<'EOF'
+{
+  "benchmarks": [
+    {"name": "BenchmarkPerfStreamSolve", "iters": 500, "ns_per_op": 2000000, "bytes_per_op": 190000, "allocs_per_op": 900}
+  ]
+}
+EOF
+    if ! compare "$dir/stream_base.json" "$dir/stream_base.json" > /dev/null; then
+        echo "bench_diff self-test: within-budget StreamSolve allocs flagged as regression" >&2
+        return 1
+    fi
+    sed 's/"allocs_per_op": 900/"allocs_per_op": 1600/' "$dir/stream_base.json" > "$dir/stream_fat.json"
+    rc=0; compare "$dir/stream_fat.json" "$dir/stream_fat.json" > /dev/null || rc=$?
+    if [ "$rc" -ne 1 ]; then
+        echo "bench_diff self-test: StreamSolve allocs over hard budget exit $rc, want 1" >&2
+        return 1
+    fi
+    stream_budget="$saved_stream"
 
     # A benchmark present in the baseline only must never fail the diff.
     grep -v 'BenchmarkPerfAllocy' "$dir/base.json" > "$dir/gone.json"

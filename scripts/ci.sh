@@ -24,13 +24,31 @@ echo "== go test -race + coverage =="
 # full suite, and the coverage ratchet against scripts/coverage_floor.txt
 # (raise the floor when coverage rises; it must never fall below it).
 scratch=$(mktemp -d)
-trap 'rm -rf "$scratch"' EXIT
+bindir="$scratch/bin"
+mkdir -p "$bindir"
 # Artifacts (the replay SLO report, the recorded trace, the crash-smoke
 # journal) land in CI_ARTIFACT_DIR when set, so the workflow can upload
 # them even after a failure; locally they stay in the scratch dir and
 # vanish with it.
 artdir="${CI_ARTIFACT_DIR:-$scratch}"
 mkdir -p "$artdir"
+
+# Every daemon any smoke boots is registered here, and the one EXIT
+# trap tears them all down. On a failing exit the trap also copies
+# every daemon log into the artifact dir — the journal and the replay
+# report are written straight into $artdir — so a red smoke always
+# leaves its evidence uploadable, whichever smoke broke.
+smoke_pids=()
+cleanup() {
+    rc=$?
+    [ "${#smoke_pids[@]}" -gt 0 ] && kill "${smoke_pids[@]}" 2>/dev/null || true
+    if [ "$rc" -ne 0 ] && [ "$artdir" != "$scratch" ]; then
+        mkdir -p "$artdir/logs"
+        cp "$bindir"/*.log "$artdir/logs/" 2>/dev/null || true
+    fi
+    rm -rf "$scratch"
+}
+trap cleanup EXIT
 go test -race -covermode=atomic -coverprofile="$scratch/cover.out" ./...
 
 echo "== coverage floor =="
@@ -79,15 +97,21 @@ for entry in \
     internal/faultcheck:FuzzPHFit \
     internal/faultcheck:FuzzRobustSolve \
     internal/faultcheck:FuzzJournalReplay \
+    internal/faultcheck:FuzzStreamSpec \
     internal/spec:FuzzSpecParse; do
     pkg=${entry%%:*}
     target=${entry##*:}
     go test -run '^$' -fuzz "^${target}\$" -fuzztime 5s "./$pkg"
 done
 
+echo "== stream sim-equivalence gate =="
+# Blocking: the job-stream solver must agree with the discrete-event
+# simulator within 3σ across the law × mode matrix (deterministic,
+# poisson, bursty × open, closed). The nightly sim-equivalence job
+# reruns this with an order of magnitude more replications.
+go test -count=1 -run '^TestStreamSimEquivalence$' ./internal/stream
+
 echo "== cmd exit-code smoke =="
-bindir="$scratch/bin"
-mkdir -p "$bindir"
 go build -o "$bindir/" ./cmd/...
 
 expect_exit() { # expected-status description command...
@@ -130,18 +154,37 @@ wait_healthy() { # addr — poll /healthz instead of sleeping blind
     echo "smoke: daemon at $1 never became healthy" >&2
     exit 1
 }
+boot_daemon() { # name args... — boot a finwld, register it for
+    # teardown, block until healthy; sets daemon_pid and daemon_addr.
+    # FINWLD_BIN overrides the binary (the replay smoke boots the
+    # race-instrumented build).
+    local name=$1; shift
+    local log="$bindir/$name.log"
+    "${FINWLD_BIN:-$bindir/finwld}" "$@" >"$log" 2>&1 &
+    daemon_pid=$!
+    smoke_pids+=("$daemon_pid")
+    daemon_addr=$(scrape_addr "$log")
+    wait_healthy "$daemon_addr"
+}
+drain_daemon() { # pid name — SIGTERM and require a clean drain (0)
+    local pid=$1 name=$2 rc=0
+    kill -TERM "$pid"
+    wait "$pid" || rc=$?
+    if [ "$rc" -ne 0 ]; then
+        echo "smoke: $name exit $rc after SIGTERM, want a clean drain (0)" >&2
+        cat "$bindir/$name.log" >&2
+        exit 1
+    fi
+}
 
 echo "== finwld serve smoke =="
 # Boot the daemon (admin listener on) on ephemeral ports, solve once
 # over HTTP, assert a full-fidelity answer with a timings breakdown,
 # scrape /metrics on both surfaces, then SIGTERM and require a clean
 # drain (exit 0).
-"$bindir/finwld" -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0 >"$bindir/finwld.log" 2>&1 &
-finwld_pid=$!
-# A failed assertion below must not leave an orphan daemon behind.
-trap 'kill "$finwld_pid" 2>/dev/null; rm -rf "$scratch"' EXIT
-addr=$(scrape_addr "$bindir/finwld.log")
-wait_healthy "$addr"
+boot_daemon finwld -addr 127.0.0.1:0 -metrics-addr 127.0.0.1:0
+finwld_pid=$daemon_pid
+addr=$daemon_addr
 admin_addr=$(sed -n 's/^finwld admin listening on //p' "$bindir/finwld.log")
 if [ -z "$admin_addr" ]; then
     echo "finwld smoke: daemon never reported its admin address" >&2
@@ -231,6 +274,29 @@ if [ "$(grep -o '"total_time":' <<< "$job" | wc -l)" -ne 2 ]; then
     echo "finwld smoke: async job results incomplete: $job" >&2
     exit 1
 fi
+# Stream smoke: an open job stream must come back exact with a drain
+# time and one mean-tasks value per probe; a closed pool must come
+# back exact with no drain outputs; a stream with no mode must be
+# refused with a typed 400.
+ostream=$(curl -s -X POST -d '{"arch":"central","k":2,"job_tasks":3,"jobs":2,"arrival":{"process":"poisson","mean":2},"probes":[0.5,2]}' "http://$addr/stream")
+if ! grep -q '"fidelity":"exact"' <<< "$ostream" || ! grep -q '"mode":"open"' <<< "$ostream" \
+    || ! grep -q '"mean_drain":' <<< "$ostream" \
+    || [ "$(grep -o '"mean_tasks":\[[^]]*\]' <<< "$ostream" | grep -oc ',')" -ne 1 ]; then
+    echo "finwld smoke: unexpected open /stream body: $ostream" >&2
+    exit 1
+fi
+cstream=$(curl -s -X POST -d '{"arch":"central","k":2,"job_tasks":3,"customers":2,"think":{"process":"deterministic","mean":3},"probes":[1,4]}' "http://$addr/stream")
+if ! grep -q '"fidelity":"exact"' <<< "$cstream" || ! grep -q '"mode":"closed"' <<< "$cstream" \
+    || grep -q '"mean_drain":' <<< "$cstream"; then
+    echo "finwld smoke: unexpected closed /stream body: $cstream" >&2
+    exit 1
+fi
+badstream_status=$(curl -s -o "$scratch/badstream.json" -w '%{http_code}' \
+    -X POST -d '{"k":2,"job_tasks":2}' "http://$addr/stream")
+if [ "$badstream_status" != 400 ] || ! grep -q '"code":"invalid_model"' "$scratch/badstream.json"; then
+    echo "finwld smoke: modeless stream not refused typed: $badstream_status $(cat "$scratch/badstream.json")" >&2
+    exit 1
+fi
 # A 1ms deadline either degrades (deadline below the exact-tier
 # estimate → tagged approximation) or, if request setup already ate the
 # budget, cancels with a typed 504; both prove the deadline path
@@ -241,14 +307,7 @@ if ! grep -Eq '"degraded_from"|"code":"canceled"' <<< "$degraded"; then
     echo "finwld smoke: 1ms deadline neither degraded nor canceled: $degraded" >&2
     exit 1
 fi
-kill -TERM "$finwld_pid"
-rc=0
-wait "$finwld_pid" || rc=$?
-if [ "$rc" -ne 0 ]; then
-    echo "finwld smoke: exit $rc after SIGTERM, want a clean drain (0)" >&2
-    cat "$bindir/finwld.log" >&2
-    exit 1
-fi
+drain_daemon "$finwld_pid" finwld
 
 echo "== finwld fleet smoke =="
 # Boot two replica daemons plus a router over them, solve through the
@@ -256,20 +315,16 @@ echo "== finwld fleet smoke =="
 # request (same model, fresh population, so the same shard but a cold
 # result cache) to come back correct via failover — then a clean
 # SIGTERM drain of the router.
-"$bindir/finwld" -addr 127.0.0.1:0 -quiet >"$bindir/rep1.log" 2>&1 &
-rep1_pid=$!
-"$bindir/finwld" -addr 127.0.0.1:0 -quiet >"$bindir/rep2.log" 2>&1 &
-rep2_pid=$!
-trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
-rep1_url="http://$(scrape_addr "$bindir/rep1.log")"
-rep2_url="http://$(scrape_addr "$bindir/rep2.log")"
-wait_healthy "${rep1_url#http://}"
-wait_healthy "${rep2_url#http://}"
-"$bindir/finwld" -addr 127.0.0.1:0 -router "$rep1_url,$rep2_url" \
-    -probe-interval 200ms >"$bindir/router.log" 2>&1 &
-router_pid=$!
-router_addr=$(scrape_addr "$bindir/router.log")
-wait_healthy "$router_addr"
+boot_daemon rep1 -addr 127.0.0.1:0 -quiet
+rep1_pid=$daemon_pid
+rep1_url="http://$daemon_addr"
+boot_daemon rep2 -addr 127.0.0.1:0 -quiet
+rep2_pid=$daemon_pid
+rep2_url="http://$daemon_addr"
+boot_daemon router -addr 127.0.0.1:0 -router "$rep1_url,$rep2_url" \
+    -probe-interval 200ms
+router_pid=$daemon_pid
+router_addr=$daemon_addr
 body=$(curl -s -X POST -d '{"arch":"central","k":3,"n":10}' "http://$router_addr/solve")
 via=$(sed -n 's/.*"routed_via":"\([^"]*\)".*/\1/p' <<< "$body")
 if [ -z "$via" ]; then
@@ -311,14 +366,7 @@ if ! grep -q '"mode":"router"' <<< "$stats" \
     echo "fleet smoke: router /stats incoherent: $stats" >&2
     exit 1
 fi
-kill -TERM "$router_pid"
-rc=0
-wait "$router_pid" || rc=$?
-if [ "$rc" -ne 0 ]; then
-    echo "fleet smoke: router exit $rc after SIGTERM, want a clean drain (0)" >&2
-    cat "$bindir/router.log" >&2
-    exit 1
-fi
+drain_daemon "$router_pid" router
 kill -TERM "$rep1_pid" "$rep2_pid" 2>/dev/null || true
 
 echo "== finwld crash-recovery smoke =="
@@ -328,11 +376,9 @@ echo "== finwld crash-recovery smoke =="
 # and replaying the same key must map back to the same job ID.
 jdir="$artdir/journal"
 jobs_body='[{"arch":"central","k":9,"n":46},{"arch":"central","k":9,"n":48},{"arch":"central","k":10,"n":50}]'
-"$bindir/finwld" -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always >"$bindir/crash1.log" 2>&1 &
-crash_pid=$!
-trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" "${crash_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
-crash_addr=$(scrape_addr "$bindir/crash1.log")
-wait_healthy "$crash_addr"
+boot_daemon crash1 -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always
+crash_pid=$daemon_pid
+crash_addr=$daemon_addr
 accepted=$(curl -s -X POST -H 'Idempotency-Key: ci-crash' -d "$jobs_body" "http://$crash_addr/jobs")
 job_id=$(sed -n 's/.*"id":"\([^"]*\)".*/\1/p' <<< "$accepted")
 if [ -z "$job_id" ]; then
@@ -342,10 +388,9 @@ fi
 # SIGKILL immediately: the fsync-always journal is all the restart gets.
 kill -KILL "$crash_pid"
 wait "$crash_pid" 2>/dev/null || true
-"$bindir/finwld" -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always >"$bindir/crash2.log" 2>&1 &
-crash_pid=$!
-crash_addr=$(scrape_addr "$bindir/crash2.log")
-wait_healthy "$crash_addr"
+boot_daemon crash2 -addr 127.0.0.1:0 -quiet -journal "$jdir" -fsync always
+crash_pid=$daemon_pid
+crash_addr=$daemon_addr
 job=""
 for _ in $(seq 1 100); do
     job=$(curl -s "http://$crash_addr/jobs/$job_id")
@@ -367,14 +412,7 @@ if [ "$again_id" != "$job_id" ]; then
     echo "crash smoke: replayed Idempotency-Key minted a new job: $again_id vs $job_id" >&2
     exit 1
 fi
-kill -TERM "$crash_pid"
-rc=0
-wait "$crash_pid" || rc=$?
-if [ "$rc" -ne 0 ]; then
-    echo "crash smoke: exit $rc after SIGTERM, want a clean drain (0)" >&2
-    cat "$bindir/crash2.log" >&2
-    exit 1
-fi
+drain_daemon "$crash_pid" crash2
 
 echo "== finwld replay smoke (-race) =="
 # The SLO gate, end to end: boot a race-instrumented daemon, replay the
@@ -385,19 +423,18 @@ echo "== finwld replay smoke (-race) =="
 # most concurrent client the server sees, so the -race build doubles
 # as a client/server race probe.
 go build -race -o "$bindir/finwld.race" ./cmd/finwld
-"$bindir/finwld.race" -addr 127.0.0.1:0 -quiet >"$bindir/replay-srv.log" 2>&1 &
-replay_pid=$!
-trap 'kill "$rep1_pid" "$rep2_pid" "${router_pid:-}" "${crash_pid:-}" "${replay_pid:-}" 2>/dev/null; rm -rf "$scratch"' EXIT
-replay_addr=$(scrape_addr "$bindir/replay-srv.log")
-wait_healthy "$replay_addr"
+FINWLD_BIN="$bindir/finwld.race" boot_daemon replay-srv -addr 127.0.0.1:0 -quiet
+replay_pid=$daemon_pid
+replay_addr=$daemon_addr
 report="$artdir/replay-report.json"
 rtrace="$artdir/replay-trace.jsonl"
 "$bindir/finwld.race" -replay examples/spec-mixed.yaml -target "http://$replay_addr" \
     -record "$rtrace" -report "$report" -gate -time-scale 0.2
 # The report must be well-formed: per-class attainment present, the
-# gate fields populated, and zero untyped 5xx (a 5xx with no typed
-# wire code is a crash, not a policy outcome).
-for field in '"classes"' '"attainment"' '"slo_met": true' '"untyped_5xx": 0'; do
+# latency-over-time timeline populated, the gate fields present, and
+# zero untyped 5xx (a 5xx with no typed wire code is a crash, not a
+# policy outcome).
+for field in '"classes"' '"attainment"' '"timeline"' '"slo_met": true' '"untyped_5xx": 0'; do
     if ! grep -q "$field" "$report"; then
         echo "replay smoke: report missing $field:" >&2
         cat "$report" >&2
@@ -416,13 +453,19 @@ if ! cmp -s "$rtrace" "$scratch/replay-trace2.jsonl"; then
     echo "replay smoke: record → replay → re-record changed the trace bytes" >&2
     exit 1
 fi
-kill -TERM "$replay_pid"
-rc=0
-wait "$replay_pid" || rc=$?
-if [ "$rc" -ne 0 ]; then
-    echo "replay smoke: exit $rc after SIGTERM, want a clean drain (0)" >&2
-    cat "$bindir/replay-srv.log" >&2
-    exit 1
-fi
+# The committed stream example replays through the same gate: both
+# job-stream modes travel the /stream surface end to end under the
+# race-instrumented daemon.
+stream_report="$artdir/replay-stream-report.json"
+"$bindir/finwld.race" -replay examples/spec-stream.yaml -target "http://$replay_addr" \
+    -report "$stream_report" -gate -time-scale 0.2
+for field in '"endpoint": "stream"' '"timeline"' '"slo_met": true' '"untyped_5xx": 0'; do
+    if ! grep -q "$field" "$stream_report"; then
+        echo "replay smoke: stream report missing $field:" >&2
+        cat "$stream_report" >&2
+        exit 1
+    fi
+done
+drain_daemon "$replay_pid" replay-srv
 
 echo "CI OK"
